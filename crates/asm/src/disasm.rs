@@ -1,0 +1,69 @@
+//! Disassembler: [`Instr`] → canonical assembly text.
+//!
+//! The output uses explicit integer branch offsets and jump targets (the
+//! instruction word carries no label names) and re-assembles to the
+//! identical instruction — `assemble(disassemble(i)) == i` is checked
+//! exhaustively by the property tests.
+
+use asc_isa::{Instr, Mask};
+
+fn m(mask: Mask) -> String {
+    match mask {
+        Mask::All => String::new(),
+        Mask::Flag(f) => format!(" ?{f}"),
+    }
+}
+
+/// Render one instruction as canonical assembly text.
+pub fn disassemble(i: &Instr) -> String {
+    use Instr::*;
+    match *i {
+        Nop => "nop".into(),
+        Halt => "halt".into(),
+        SAlu { op, rd, ra, rb } => format!("{op} {rd}, {ra}, {rb}"),
+        SAluImm { op, rd, ra, imm } => format!("{op}i {rd}, {ra}, {imm}"),
+        SCmp { op, fd, ra, rb } => format!("c{op} {fd}, {ra}, {rb}"),
+        SCmpImm { op, fd, ra, imm } => format!("c{op}i {fd}, {ra}, {imm}"),
+        SFlagOp { op, fd, fa, fb } => match op.arity() {
+            0 => format!("{op} {fd}"),
+            1 => format!("{op} {fd}, {fa}"),
+            _ => format!("{op} {fd}, {fa}, {fb}"),
+        },
+        Lw { rd, base, off } => format!("lw {rd}, {off}({base})"),
+        Sw { rs, base, off } => format!("sw {rs}, {off}({base})"),
+        Li { rd, imm } => format!("li {rd}, {imm}"),
+        Lui { rd, imm } => format!("lui {rd}, {imm}"),
+        Bt { fa, off } => format!("bt {fa}, {off}"),
+        Bf { fa, off } => format!("bf {fa}, {off}"),
+        J { target } => format!("j {target}"),
+        Jal { rd, target } => format!("jal {rd}, {target}"),
+        Jr { ra } => format!("jr {ra}"),
+        TSpawn { rd, ra } => format!("tspawn {rd}, {ra}"),
+        TExit => "texit".into(),
+        TJoin { ra } => format!("tjoin {ra}"),
+        TGet { rd, ta, src } => format!("tget {rd}, {ta}, {src}"),
+        TPut { ta, dst, rb } => format!("tput {ta}, {dst}, {rb}"),
+        TId { rd } => format!("tid {rd}"),
+        PAlu { op, pd, pa, pb, mask } => format!("p{op} {pd}, {pa}, {pb}{}", m(mask)),
+        PAluS { op, pd, pa, sb, mask } => format!("p{op}s {pd}, {pa}, {sb}{}", m(mask)),
+        PAluImm { op, pd, pa, imm, mask } => format!("p{op}i {pd}, {pa}, {imm}{}", m(mask)),
+        PCmp { op, fd, pa, pb, mask } => format!("pc{op} {fd}, {pa}, {pb}{}", m(mask)),
+        PCmpS { op, fd, pa, sb, mask } => format!("pc{op}s {fd}, {pa}, {sb}{}", m(mask)),
+        PCmpImm { op, fd, pa, imm, mask } => format!("pc{op}i {fd}, {pa}, {imm}{}", m(mask)),
+        PFlagOp { op, fd, fa, fb, mask } => match op.arity() {
+            0 => format!("p{op} {fd}{}", m(mask)),
+            1 => format!("p{op} {fd}, {fa}{}", m(mask)),
+            _ => format!("p{op} {fd}, {fa}, {fb}{}", m(mask)),
+        },
+        Plw { pd, base, off, mask } => format!("plw {pd}, {off}({base}){}", m(mask)),
+        Psw { ps, base, off, mask } => format!("psw {ps}, {off}({base}){}", m(mask)),
+        Pidx { pd, mask } => format!("pidx {pd}{}", m(mask)),
+        PMovS { pd, sa, mask } => format!("pmovs {pd}, {sa}{}", m(mask)),
+        PShift { pd, pa, dist, mask } => format!("pshift {pd}, {pa}, {dist}{}", m(mask)),
+        Reduce { op, sd, pa, mask } => format!("{op} {sd}, {pa}{}", m(mask)),
+        RCount { sd, fa, mask } => format!("rcount {sd}, {fa}{}", m(mask)),
+        RFlag { op, fd, fa, mask } => format!("{op} {fd}, {fa}{}", m(mask)),
+        PFirst { fd, fa, mask } => format!("pfirst {fd}, {fa}{}", m(mask)),
+        RGet { sd, pa, fa, mask } => format!("rget {sd}, {pa}, {fa}{}", m(mask)),
+    }
+}

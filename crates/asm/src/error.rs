@@ -1,0 +1,77 @@
+//! Assembler error reporting. Errors carry the 1-based source line; the
+//! assembler collects *all* errors in a file rather than stopping at the
+//! first.
+
+use std::fmt;
+
+/// What went wrong on a particular line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmErrorKind {
+    /// A character the lexer does not understand.
+    BadChar(char),
+    /// A malformed integer literal.
+    BadInt(String),
+    /// An unknown instruction mnemonic or directive.
+    UnknownMnemonic(String),
+    /// Operand list doesn't match the mnemonic; the message says what was
+    /// expected.
+    BadOperands(String),
+    /// Reference to an undefined label or `.equ` symbol.
+    UndefinedSymbol(String),
+    /// The same label or symbol defined twice.
+    DuplicateSymbol(String),
+    /// An immediate or branch offset out of range for its field.
+    OutOfRange {
+        /// What kind of value overflowed ("immediate", "branch offset", ...).
+        what: &'static str,
+        /// The out-of-range value.
+        value: i64,
+        /// Smallest allowed value.
+        min: i64,
+        /// Largest allowed value.
+        max: i64,
+    },
+}
+
+impl fmt::Display for AsmErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmErrorKind::BadChar(c) => write!(f, "unexpected character {c:?}"),
+            AsmErrorKind::BadInt(s) => write!(f, "malformed integer literal `{s}`"),
+            AsmErrorKind::UnknownMnemonic(s) => write!(f, "unknown mnemonic `{s}`"),
+            AsmErrorKind::BadOperands(msg) => write!(f, "bad operands: {msg}"),
+            AsmErrorKind::UndefinedSymbol(s) => write!(f, "undefined symbol `{s}`"),
+            AsmErrorKind::DuplicateSymbol(s) => write!(f, "duplicate symbol `{s}`"),
+            AsmErrorKind::OutOfRange { what, value, min, max } => {
+                write!(f, "{what} {value} out of range [{min}, {max}]")
+            }
+        }
+    }
+}
+
+/// An assembler diagnostic: kind plus source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: u32,
+    /// The diagnostic.
+    pub kind: AsmErrorKind,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.kind)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Render a batch of errors, one per line.
+pub fn render_errors(errors: &[AsmError]) -> String {
+    let mut out = String::new();
+    for e in errors {
+        out.push_str(&e.to_string());
+        out.push('\n');
+    }
+    out
+}

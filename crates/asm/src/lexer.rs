@@ -1,0 +1,228 @@
+//! Hand-written lexer. Newlines are significant (one statement per line);
+//! comments (`;`, `#`, `//` to end of line) are skipped.
+
+use crate::error::{AsmError, AsmErrorKind};
+use crate::token::{Spanned, Tok};
+
+/// Tokenize assembler source. On success returns the token stream with a
+/// trailing `Newline`; on failure returns every lexical error found.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, Vec<AsmError>> {
+    let mut toks = Vec::new();
+    let mut errors = Vec::new();
+    for (lineno, line) in src.lines().enumerate() {
+        let line_no = lineno as u32 + 1;
+        lex_line(line, line_no, &mut toks, &mut errors);
+        toks.push(Spanned { tok: Tok::Newline, line: line_no });
+    }
+    if errors.is_empty() {
+        Ok(toks)
+    } else {
+        Err(errors)
+    }
+}
+
+fn lex_line(line: &str, line_no: u32, toks: &mut Vec<Spanned>, errors: &mut Vec<AsmError>) {
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    let push = |toks: &mut Vec<Spanned>, tok: Tok| toks.push(Spanned { tok, line: line_no });
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' => i += 1,
+            ';' | '#' => return,
+            '/' if bytes.get(i + 1) == Some(&b'/') => return,
+            ',' => {
+                push(toks, Tok::Comma);
+                i += 1;
+            }
+            ':' => {
+                push(toks, Tok::Colon);
+                i += 1;
+            }
+            '(' => {
+                push(toks, Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                push(toks, Tok::RParen);
+                i += 1;
+            }
+            '?' => {
+                push(toks, Tok::Question);
+                i += 1;
+            }
+            '.' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() && is_ident_char(bytes[i] as char) {
+                    i += 1;
+                }
+                push(toks, Tok::Directive(line[start..i].to_ascii_lowercase()));
+            }
+            '-' | '0'..='9' => {
+                let start = i;
+                if c == '-' {
+                    i += 1;
+                }
+                while i < bytes.len() && is_ident_char(bytes[i] as char) {
+                    i += 1;
+                }
+                let text = &line[start..i];
+                match parse_int(text) {
+                    Some(v) => push(toks, Tok::Int(v)),
+                    None => errors.push(AsmError {
+                        line: line_no,
+                        kind: AsmErrorKind::BadInt(text.to_string()),
+                    }),
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && is_ident_char(bytes[i] as char) {
+                    i += 1;
+                }
+                push(toks, Tok::Ident(line[start..i].to_string()));
+            }
+            other => {
+                errors.push(AsmError { line: line_no, kind: AsmErrorKind::BadChar(other) });
+                i += other.len_utf8();
+            }
+        }
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+fn parse_int(text: &str) -> Option<i64> {
+    let (neg, body) = match text.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, text),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(&hex.replace('_', ""), 16).ok()?
+    } else if let Some(bin) = body.strip_prefix("0b").or_else(|| body.strip_prefix("0B")) {
+        i64::from_str_radix(&bin.replace('_', ""), 2).ok()?
+    } else {
+        body.replace('_', "").parse::<i64>().ok()?
+    };
+    Some(if neg { -v } else { v })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn basic_line() {
+        assert_eq!(
+            toks("add s1, s2, s3"),
+            vec![
+                Tok::Ident("add".into()),
+                Tok::Ident("s1".into()),
+                Tok::Comma,
+                Tok::Ident("s2".into()),
+                Tok::Comma,
+                Tok::Ident("s3".into()),
+                Tok::Newline,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_labels() {
+        assert_eq!(
+            toks("loop: j loop ; forever\n# whole-line comment\n// also"),
+            vec![
+                Tok::Ident("loop".into()),
+                Tok::Colon,
+                Tok::Ident("j".into()),
+                Tok::Ident("loop".into()),
+                Tok::Newline,
+                Tok::Newline,
+                Tok::Newline,
+            ]
+        );
+    }
+
+    #[test]
+    fn integers() {
+        assert_eq!(
+            toks("li s1, -42\nli s1, 0xff\nli s1, 0b1010\nli s1, 1_000"),
+            vec![
+                Tok::Ident("li".into()),
+                Tok::Ident("s1".into()),
+                Tok::Comma,
+                Tok::Int(-42),
+                Tok::Newline,
+                Tok::Ident("li".into()),
+                Tok::Ident("s1".into()),
+                Tok::Comma,
+                Tok::Int(255),
+                Tok::Newline,
+                Tok::Ident("li".into()),
+                Tok::Ident("s1".into()),
+                Tok::Comma,
+                Tok::Int(10),
+                Tok::Newline,
+                Tok::Ident("li".into()),
+                Tok::Ident("s1".into()),
+                Tok::Comma,
+                Tok::Int(1000),
+                Tok::Newline,
+            ]
+        );
+    }
+
+    #[test]
+    fn mask_and_mem_syntax() {
+        assert_eq!(
+            toks("plw p1, 4(p2) ?pf3"),
+            vec![
+                Tok::Ident("plw".into()),
+                Tok::Ident("p1".into()),
+                Tok::Comma,
+                Tok::Int(4),
+                Tok::LParen,
+                Tok::Ident("p2".into()),
+                Tok::RParen,
+                Tok::Question,
+                Tok::Ident("pf3".into()),
+                Tok::Newline,
+            ]
+        );
+    }
+
+    #[test]
+    fn directive() {
+        assert_eq!(
+            toks(".equ N, 16"),
+            vec![
+                Tok::Directive(".equ".into()),
+                Tok::Ident("N".into()),
+                Tok::Comma,
+                Tok::Int(16),
+                Tok::Newline,
+            ]
+        );
+    }
+
+    #[test]
+    fn bad_char_reported_with_line() {
+        let errs = lex("nop\nadd s1, s2, @").unwrap_err();
+        assert_eq!(errs.len(), 1);
+        assert_eq!(errs[0].line, 2);
+        assert!(matches!(errs[0].kind, AsmErrorKind::BadChar('@')));
+    }
+
+    #[test]
+    fn bad_int_reported() {
+        let errs = lex("li s1, 0xzz").unwrap_err();
+        assert!(matches!(errs[0].kind, AsmErrorKind::BadInt(_)));
+    }
+}

@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! # asc-asm — assembler and disassembler for the MTASC ISA
+//!
+//! A small two-pass assembler for the Multithreaded ASC Processor. The
+//! syntax is MIPS-flavoured:
+//!
+//! ```text
+//! ; Find the maximum value and the index of the PE holding it.
+//!         pidx    p1              ; p1 = PE index
+//!         plw     p2, 0(p0)       ; p2 = local_mem[0]
+//!         rmax    s1, p2          ; s1 = global maximum
+//!         pceqs   pf1, p2, s1     ; search: who holds the max?
+//!         pfirst  pf2, pf1        ; resolve multiple responders
+//!         rget    s2, p1, pf2     ; s2 = index of the first one
+//!         halt
+//! ```
+//!
+//! * Comments start with `;` or `#` and run to end of line.
+//! * Labels are `name:`; they denote instruction addresses and may be used
+//!   anywhere an immediate is expected.
+//! * `.equ NAME, value` defines a constant.
+//! * Parallel and reduction instructions accept a trailing activity mask
+//!   written `?pfN` ("only PEs with flag `pfN` set participate"):
+//!   `padds p3, p3, s1 ?pf1`.
+//! * Pseudo-instructions: `mov`, `pmov`, `pli`, `cgt`/`cge` (and
+//!   `pcgt`/`pcge`), `b` — each expands to exactly one machine instruction.
+//!
+//! Entry points: [`assemble`] (source → [`Program`]), [`disassemble`]
+//! (instruction → canonical text). The disassembler output re-assembles to
+//! the identical instruction, a property the test-suite checks exhaustively.
+
+mod disasm;
+mod error;
+mod lexer;
+mod parser;
+mod program;
+mod token;
+
+pub use disasm::disassemble;
+pub use error::{render_errors, AsmError, AsmErrorKind};
+pub use parser::assemble;
+pub use program::Program;
+
+#[cfg(test)]
+mod tests;

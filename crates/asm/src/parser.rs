@@ -1,0 +1,813 @@
+//! Two-pass parser: pass 1 collects labels and `.equ` constants, pass 2
+//! parses instructions with the complete symbol table in scope, so forward
+//! references need no fixup machinery.
+
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+use asc_isa::{
+    AluOp, CmpOp, FlagOp, FlagReduceOp, Instr, Mask, PFlag, PReg, ReduceOp, SFlag, SReg,
+};
+
+use crate::error::{AsmError, AsmErrorKind};
+use crate::lexer::lex;
+use crate::program::Program;
+use crate::token::{Spanned, Tok};
+
+/// Assemble MTASC source text into a [`Program`]. All diagnostics in the
+/// file are collected and returned together.
+pub fn assemble(src: &str) -> Result<Program, Vec<AsmError>> {
+    let toks = lex(src)?;
+    let lines = split_lines(&toks);
+    let mut errors = Vec::new();
+
+    // ---- pass 1: addresses of labels, values of .equ constants ----
+    // (pass-1 cursors resolve symbols through the parameter, not through
+    // their own table, so they get an empty one)
+    let empty: HashMap<String, i64> = HashMap::new();
+    let mut symbols: HashMap<String, i64> = HashMap::new();
+    let mut addr: i64 = 0;
+    for line in &lines {
+        let mut c = Cursor::new(line, &empty, &mut errors);
+        c.labels_and_equ_pass1(&mut symbols, &mut addr);
+    }
+
+    // ---- pass 2: full parse ----
+    let mut instrs = Vec::new();
+    let mut line_map = Vec::new();
+    for line in &lines {
+        let mut c = Cursor::new(line, &symbols, &mut errors);
+        c.skip_labels_and_equ();
+        if let Some(mnemonic) = c.opt_ident() {
+            let line_no = c.line();
+            let before = c.errors.len();
+            match parse_instr(&mnemonic, &mut c, instrs.len() as i64) {
+                Some(i) => {
+                    c.end_of_operands();
+                    if c.errors.len() == before {
+                        instrs.push(i);
+                        line_map.push(line_no);
+                    } else {
+                        // keep addresses consistent despite the error
+                        instrs.push(Instr::Nop);
+                        line_map.push(line_no);
+                    }
+                }
+                None => {
+                    instrs.push(Instr::Nop);
+                    line_map.push(line_no);
+                }
+            }
+        }
+    }
+
+    if errors.is_empty() {
+        Ok(Program { instrs, symbols, lines: line_map })
+    } else {
+        Err(errors)
+    }
+}
+
+/// Split the token stream into per-statement slices (newline-terminated).
+fn split_lines<'a>(toks: &'a [Spanned]) -> Vec<&'a [Spanned]> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    for (i, t) in toks.iter().enumerate() {
+        if t.tok == Tok::Newline {
+            if i > start {
+                out.push(&toks[start..i]);
+            }
+            start = i + 1;
+        }
+    }
+    if start < toks.len() {
+        out.push(&toks[start..]);
+    }
+    out
+}
+
+struct Cursor<'a> {
+    toks: &'a [Spanned],
+    pos: usize,
+    symbols: &'a HashMap<String, i64>,
+    errors: &'a mut Vec<AsmError>,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(
+        toks: &'a [Spanned],
+        symbols: &'a HashMap<String, i64>,
+        errors: &'a mut Vec<AsmError>,
+    ) -> Self {
+        Cursor { toks, pos: 0, symbols, errors }
+    }
+
+    fn line(&self) -> u32 {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map(|t| t.line)
+            .unwrap_or(0)
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn next(&mut self) -> Option<&'a Tok> {
+        let t = self.toks.get(self.pos).map(|s| &s.tok);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&mut self, kind: AsmErrorKind) {
+        let line = self.line();
+        self.errors.push(AsmError { line, kind });
+    }
+
+    fn bad(&mut self, msg: impl Into<String>) {
+        self.err(AsmErrorKind::BadOperands(msg.into()));
+    }
+
+    /// Pass 1: consume leading `label:` pairs and `.equ` directives,
+    /// updating the symbol table; bump `addr` if an instruction follows.
+    fn labels_and_equ_pass1(&mut self, symbols: &mut HashMap<String, i64>, addr: &mut i64) {
+        loop {
+            match (self.peek().cloned(), self.toks.get(self.pos + 1).map(|s| s.tok.clone())) {
+                (Some(Tok::Ident(name)), Some(Tok::Colon)) => {
+                    self.pos += 2;
+                    if symbols.insert(name.clone(), *addr).is_some() {
+                        self.err(AsmErrorKind::DuplicateSymbol(name));
+                    }
+                }
+                (Some(Tok::Directive(d)), _) if d == ".equ" => {
+                    self.pos += 1;
+                    let name = match self.next() {
+                        Some(Tok::Ident(n)) => n.clone(),
+                        _ => {
+                            self.bad(".equ expects `.equ NAME, value`");
+                            return;
+                        }
+                    };
+                    if self.peek() == Some(&Tok::Comma) {
+                        self.pos += 1;
+                    }
+                    let value = match self.next() {
+                        Some(Tok::Int(v)) => *v,
+                        Some(Tok::Ident(sym)) => match symbols.get(sym.as_str()) {
+                            Some(&v) => v,
+                            None => {
+                                let sym = sym.clone();
+                                self.err(AsmErrorKind::UndefinedSymbol(sym));
+                                0
+                            }
+                        },
+                        _ => {
+                            self.bad(".equ expects a numeric value or known symbol");
+                            0
+                        }
+                    };
+                    if symbols.insert(name.clone(), value).is_some() {
+                        self.err(AsmErrorKind::DuplicateSymbol(name));
+                    }
+                    return;
+                }
+                (Some(Tok::Directive(d)), _) => {
+                    self.err(AsmErrorKind::UnknownMnemonic(d));
+                    return;
+                }
+                (Some(_), _) => {
+                    *addr += 1;
+                    return;
+                }
+                (None, _) => return,
+            }
+        }
+    }
+
+    /// Pass 2: skip what pass 1 consumed.
+    fn skip_labels_and_equ(&mut self) {
+        loop {
+            match (self.peek().cloned(), self.toks.get(self.pos + 1).map(|s| s.tok.clone())) {
+                (Some(Tok::Ident(_)), Some(Tok::Colon)) => self.pos += 2,
+                (Some(Tok::Directive(_)), _) => {
+                    self.pos = self.toks.len();
+                    return;
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn opt_ident(&mut self) -> Option<String> {
+        match self.peek() {
+            Some(Tok::Ident(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Some(s)
+            }
+            _ => None,
+        }
+    }
+
+    fn comma(&mut self) {
+        match self.next() {
+            Some(Tok::Comma) => {}
+            other => {
+                let msg = match other {
+                    Some(t) => format!("expected `,`, found {t}"),
+                    None => "expected `,`, found end of line".to_string(),
+                };
+                self.bad(msg);
+            }
+        }
+    }
+
+    fn reg_ident(&mut self, what: &'static str) -> Option<String> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Some(s.clone()),
+            other => {
+                let msg = match other {
+                    Some(t) => format!("expected {what}, found {t}"),
+                    None => format!("expected {what}, found end of line"),
+                };
+                self.bad(msg);
+                None
+            }
+        }
+    }
+
+    fn sreg(&mut self) -> SReg {
+        self.parse_reg("scalar register (s0..s15)", "s", 16)
+            .map(SReg::from_index)
+            .unwrap_or(SReg::R0)
+    }
+
+    fn preg(&mut self) -> PReg {
+        self.parse_reg("parallel register (p0..p15)", "p", 16)
+            .map(PReg::from_index)
+            .unwrap_or(PReg::R0)
+    }
+
+    fn sflag(&mut self) -> SFlag {
+        self.parse_reg("scalar flag (f0..f7)", "f", 8)
+            .map(SFlag::from_index)
+            .unwrap_or(SFlag::R0)
+    }
+
+    fn pflag(&mut self) -> PFlag {
+        self.parse_reg("parallel flag (pf0..pf7)", "pf", 8)
+            .map(PFlag::from_index)
+            .unwrap_or(PFlag::R0)
+    }
+
+    fn parse_reg(&mut self, what: &'static str, prefix: &str, count: u8) -> Option<u8> {
+        let name = self.reg_ident(what)?;
+        let idx = name
+            .strip_prefix(prefix)
+            .and_then(|rest| rest.parse::<u8>().ok())
+            .filter(|&i| i < count);
+        // "pf3" must not parse as p-register "f3"; require exact prefix and
+        // all-digits remainder.
+        if prefix == "p" && name.starts_with("pf") {
+            self.bad(format!("expected {what}, found `{name}`"));
+            return None;
+        }
+        if prefix == "f" && name.starts_with("pf") {
+            self.bad(format!("expected {what}, found `{name}`"));
+            return None;
+        }
+        match idx {
+            Some(i) => Some(i),
+            None => {
+                self.bad(format!("expected {what}, found `{name}`"));
+                None
+            }
+        }
+    }
+
+    /// An immediate: integer literal or symbol (label / `.equ`).
+    fn imm(&mut self, what: &'static str, min: i64, max: i64) -> i64 {
+        let v = match self.next() {
+            Some(Tok::Int(v)) => *v,
+            Some(Tok::Ident(sym)) => match self.symbols.get(sym.as_str()) {
+                Some(&v) => v,
+                None => {
+                    let sym = sym.clone();
+                    self.err(AsmErrorKind::UndefinedSymbol(sym));
+                    return 0;
+                }
+            },
+            other => {
+                let msg = match other {
+                    Some(t) => format!("expected {what}, found {t}"),
+                    None => format!("expected {what}, found end of line"),
+                };
+                self.bad(msg);
+                return 0;
+            }
+        };
+        self.check_range(what, v, min, max)
+    }
+
+    fn check_range(&mut self, what: &'static str, v: i64, min: i64, max: i64) -> i64 {
+        if v < min || v > max {
+            self.err(AsmErrorKind::OutOfRange { what, value: v, min, max });
+            0
+        } else {
+            v
+        }
+    }
+
+    /// `imm16` accepts the signed range plus unsigned bit patterns up to
+    /// 0xffff (stored as the same 16 bits).
+    fn imm16(&mut self) -> i16 {
+        self.imm("immediate", -0x8000, 0xffff) as u16 as i16
+    }
+
+    fn imm8(&mut self) -> i8 {
+        self.imm("immediate", -0x80, 0xff) as u8 as i8
+    }
+
+    /// Branch target: a label (offset computed from `addr`) or an explicit
+    /// integer offset.
+    fn branch_off(&mut self, addr: i64) -> i16 {
+        let v = match self.next() {
+            Some(Tok::Int(v)) => *v,
+            Some(Tok::Ident(sym)) => match self.symbols.get(sym.as_str()) {
+                Some(&target) => target - (addr + 1),
+                None => {
+                    let sym = sym.clone();
+                    self.err(AsmErrorKind::UndefinedSymbol(sym));
+                    0
+                }
+            },
+            other => {
+                let msg = match other {
+                    Some(t) => format!("expected branch target, found {t}"),
+                    None => "expected branch target, found end of line".to_string(),
+                };
+                self.bad(msg);
+                0
+            }
+        };
+        self.check_range("branch offset", v, -0x8000, 0x7fff) as i16
+    }
+
+    fn jump_target(&mut self, max: i64) -> u32 {
+        self.imm("jump target", 0, max) as u32
+    }
+
+    /// `off(reg)` memory operand; returns (offset, base).
+    fn mem_s(&mut self) -> (i16, SReg) {
+        let off = self.imm("offset", -0x8000, 0xffff) as u16 as i16;
+        self.expect(Tok::LParen);
+        let base = self.sreg();
+        self.expect(Tok::RParen);
+        (off, base)
+    }
+
+    fn mem_p(&mut self) -> (i8, PReg) {
+        let off = self.imm("offset", -0x80, 0xff) as u8 as i8;
+        self.expect(Tok::LParen);
+        let base = self.preg();
+        self.expect(Tok::RParen);
+        (off, base)
+    }
+
+    fn expect(&mut self, want: Tok) {
+        match self.next() {
+            Some(t) if *t == want => {}
+            other => {
+                let msg = match other {
+                    Some(t) => format!("expected {want}, found {t}"),
+                    None => format!("expected {want}, found end of line"),
+                };
+                self.bad(msg);
+            }
+        }
+    }
+
+    /// Optional trailing activity mask: `?pfN`.
+    fn mask(&mut self) -> Mask {
+        if self.peek() == Some(&Tok::Question) {
+            self.pos += 1;
+            Mask::Flag(self.pflag())
+        } else {
+            Mask::All
+        }
+    }
+
+    fn end_of_operands(&mut self) {
+        if let Some(t) = self.peek() {
+            let msg = format!("unexpected {t} after operands");
+            self.bad(msg);
+        }
+    }
+}
+
+/// Operand shape of each mnemonic.
+#[derive(Clone, Copy)]
+enum Form {
+    SAlu(AluOp),
+    SAluImm(AluOp),
+    SCmp(CmpOp),
+    SCmpSwapped(CmpOp),
+    SCmpImm(CmpOp),
+    SFlag(FlagOp),
+    PAlu(AluOp),
+    PAluS(AluOp),
+    PAluImm(AluOp),
+    PCmp(CmpOp),
+    PCmpSwapped(CmpOp),
+    PCmpS(CmpOp),
+    PCmpImm(CmpOp),
+    PFlag(FlagOp),
+    Reduce(ReduceOp),
+    RFlag(FlagReduceOp),
+    Named(&'static str),
+}
+
+fn mnemonic_table() -> &'static HashMap<String, Form> {
+    static TABLE: OnceLock<HashMap<String, Form>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = HashMap::new();
+        for &op in AluOp::ALL {
+            let m = op.mnemonic();
+            t.insert(m.to_string(), Form::SAlu(op));
+            t.insert(format!("{m}i"), Form::SAluImm(op));
+            t.insert(format!("p{m}"), Form::PAlu(op));
+            t.insert(format!("p{m}s"), Form::PAluS(op));
+            t.insert(format!("p{m}i"), Form::PAluImm(op));
+        }
+        for &op in CmpOp::ALL {
+            let m = op.mnemonic();
+            t.insert(format!("c{m}"), Form::SCmp(op));
+            t.insert(format!("c{m}i"), Form::SCmpImm(op));
+            t.insert(format!("pc{m}"), Form::PCmp(op));
+            t.insert(format!("pc{m}s"), Form::PCmpS(op));
+            t.insert(format!("pc{m}i"), Form::PCmpImm(op));
+        }
+        // gt/ge pseudo-comparisons (operands swapped)
+        t.insert("cgt".into(), Form::SCmpSwapped(CmpOp::Lt));
+        t.insert("cge".into(), Form::SCmpSwapped(CmpOp::Le));
+        t.insert("cgtu".into(), Form::SCmpSwapped(CmpOp::LtU));
+        t.insert("cgeu".into(), Form::SCmpSwapped(CmpOp::LeU));
+        t.insert("pcgt".into(), Form::PCmpSwapped(CmpOp::Lt));
+        t.insert("pcge".into(), Form::PCmpSwapped(CmpOp::Le));
+        t.insert("pcgtu".into(), Form::PCmpSwapped(CmpOp::LtU));
+        t.insert("pcgeu".into(), Form::PCmpSwapped(CmpOp::LeU));
+        for &op in FlagOp::ALL {
+            let m = op.mnemonic();
+            t.insert(m.to_string(), Form::SFlag(op));
+            t.insert(format!("p{m}"), Form::PFlag(op));
+        }
+        for &op in ReduceOp::ALL {
+            t.insert(op.mnemonic().to_string(), Form::Reduce(op));
+        }
+        t.insert("rany".into(), Form::RFlag(FlagReduceOp::Any));
+        t.insert("rall".into(), Form::RFlag(FlagReduceOp::All));
+        for name in [
+            "nop", "halt", "lw", "sw", "li", "lui", "bt", "bf", "j", "b", "jal", "jr", "tspawn",
+            "texit", "tjoin", "tget", "tput", "tid", "plw", "psw", "pidx", "pmovs", "pshift", "rcount",
+            "pfirst", "rget", "mov", "pmov", "pli", "not", "pnot",
+        ] {
+            t.insert(name.into(), Form::Named(name));
+        }
+        t
+    })
+}
+
+/// Parse the operands of one instruction. `addr` is the instruction's own
+/// address (for branch offsets).
+fn parse_instr(mnemonic: &str, c: &mut Cursor<'_>, addr: i64) -> Option<Instr> {
+    let lower = mnemonic.to_ascii_lowercase();
+    let form = match mnemonic_table().get(&lower) {
+        Some(f) => *f,
+        None => {
+            c.err(AsmErrorKind::UnknownMnemonic(mnemonic.to_string()));
+            return None;
+        }
+    };
+    let i = match form {
+        Form::SAlu(op) => {
+            let rd = c.sreg();
+            c.comma();
+            let ra = c.sreg();
+            c.comma();
+            let rb = c.sreg();
+            Instr::SAlu { op, rd, ra, rb }
+        }
+        Form::SAluImm(op) => {
+            let rd = c.sreg();
+            c.comma();
+            let ra = c.sreg();
+            c.comma();
+            let imm = c.imm16();
+            Instr::SAluImm { op, rd, ra, imm }
+        }
+        Form::SCmp(op) => {
+            let fd = c.sflag();
+            c.comma();
+            let ra = c.sreg();
+            c.comma();
+            let rb = c.sreg();
+            Instr::SCmp { op, fd, ra, rb }
+        }
+        Form::SCmpSwapped(op) => {
+            let fd = c.sflag();
+            c.comma();
+            let ra = c.sreg();
+            c.comma();
+            let rb = c.sreg();
+            Instr::SCmp { op, fd, ra: rb, rb: ra }
+        }
+        Form::SCmpImm(op) => {
+            let fd = c.sflag();
+            c.comma();
+            let ra = c.sreg();
+            c.comma();
+            let imm = c.imm16();
+            Instr::SCmpImm { op, fd, ra, imm }
+        }
+        Form::SFlag(op) => {
+            let fd = c.sflag();
+            let mut fa = SFlag::R0;
+            let mut fb = SFlag::R0;
+            if op.arity() >= 1 {
+                c.comma();
+                fa = c.sflag();
+            }
+            if op.arity() >= 2 {
+                c.comma();
+                fb = c.sflag();
+            }
+            Instr::SFlagOp { op, fd, fa, fb }
+        }
+        Form::PAlu(op) => {
+            let pd = c.preg();
+            c.comma();
+            let pa = c.preg();
+            c.comma();
+            let pb = c.preg();
+            let mask = c.mask();
+            Instr::PAlu { op, pd, pa, pb, mask }
+        }
+        Form::PAluS(op) => {
+            let pd = c.preg();
+            c.comma();
+            let pa = c.preg();
+            c.comma();
+            let sb = c.sreg();
+            let mask = c.mask();
+            Instr::PAluS { op, pd, pa, sb, mask }
+        }
+        Form::PAluImm(op) => {
+            let pd = c.preg();
+            c.comma();
+            let pa = c.preg();
+            c.comma();
+            let imm = c.imm8();
+            let mask = c.mask();
+            Instr::PAluImm { op, pd, pa, imm, mask }
+        }
+        Form::PCmp(op) => {
+            let fd = c.pflag();
+            c.comma();
+            let pa = c.preg();
+            c.comma();
+            let pb = c.preg();
+            let mask = c.mask();
+            Instr::PCmp { op, fd, pa, pb, mask }
+        }
+        Form::PCmpSwapped(op) => {
+            let fd = c.pflag();
+            c.comma();
+            let pa = c.preg();
+            c.comma();
+            let pb = c.preg();
+            let mask = c.mask();
+            Instr::PCmp { op, fd, pa: pb, pb: pa, mask }
+        }
+        Form::PCmpS(op) => {
+            let fd = c.pflag();
+            c.comma();
+            let pa = c.preg();
+            c.comma();
+            let sb = c.sreg();
+            let mask = c.mask();
+            Instr::PCmpS { op, fd, pa, sb, mask }
+        }
+        Form::PCmpImm(op) => {
+            let fd = c.pflag();
+            c.comma();
+            let pa = c.preg();
+            c.comma();
+            let imm = c.imm8();
+            let mask = c.mask();
+            Instr::PCmpImm { op, fd, pa, imm, mask }
+        }
+        Form::PFlag(op) => {
+            let fd = c.pflag();
+            let mut fa = PFlag::R0;
+            let mut fb = PFlag::R0;
+            if op.arity() >= 1 {
+                c.comma();
+                fa = c.pflag();
+            }
+            if op.arity() >= 2 {
+                c.comma();
+                fb = c.pflag();
+            }
+            let mask = c.mask();
+            Instr::PFlagOp { op, fd, fa, fb, mask }
+        }
+        Form::Reduce(op) => {
+            let sd = c.sreg();
+            c.comma();
+            let pa = c.preg();
+            let mask = c.mask();
+            Instr::Reduce { op, sd, pa, mask }
+        }
+        Form::RFlag(op) => {
+            let fd = c.sflag();
+            c.comma();
+            let fa = c.pflag();
+            let mask = c.mask();
+            Instr::RFlag { op, fd, fa, mask }
+        }
+        Form::Named(name) => parse_named(name, c, addr)?,
+    };
+    Some(i)
+}
+
+fn parse_named(name: &'static str, c: &mut Cursor<'_>, addr: i64) -> Option<Instr> {
+    let i = match name {
+        "nop" => Instr::Nop,
+        "halt" => Instr::Halt,
+        "lw" => {
+            let rd = c.sreg();
+            c.comma();
+            let (off, base) = c.mem_s();
+            Instr::Lw { rd, base, off }
+        }
+        "sw" => {
+            let rs = c.sreg();
+            c.comma();
+            let (off, base) = c.mem_s();
+            Instr::Sw { rs, base, off }
+        }
+        "li" => {
+            let rd = c.sreg();
+            c.comma();
+            let imm = c.imm16();
+            Instr::Li { rd, imm }
+        }
+        "lui" => {
+            let rd = c.sreg();
+            c.comma();
+            let imm = c.imm("immediate", 0, 0xffff) as u16;
+            Instr::Lui { rd, imm }
+        }
+        "bt" => {
+            let fa = c.sflag();
+            c.comma();
+            let off = c.branch_off(addr);
+            Instr::Bt { fa, off }
+        }
+        "bf" => {
+            let fa = c.sflag();
+            c.comma();
+            let off = c.branch_off(addr);
+            Instr::Bf { fa, off }
+        }
+        "j" | "b" => Instr::J { target: c.jump_target(0x00ff_ffff) },
+        "jal" => {
+            let rd = c.sreg();
+            c.comma();
+            Instr::Jal { rd, target: c.jump_target(0x000f_ffff) }
+        }
+        "jr" => Instr::Jr { ra: c.sreg() },
+        "tspawn" => {
+            let rd = c.sreg();
+            c.comma();
+            let ra = c.sreg();
+            Instr::TSpawn { rd, ra }
+        }
+        "texit" => Instr::TExit,
+        "tjoin" => Instr::TJoin { ra: c.sreg() },
+        "tget" => {
+            let rd = c.sreg();
+            c.comma();
+            let ta = c.sreg();
+            c.comma();
+            let src = c.sreg();
+            Instr::TGet { rd, ta, src }
+        }
+        "tput" => {
+            let ta = c.sreg();
+            c.comma();
+            let dst = c.sreg();
+            c.comma();
+            let rb = c.sreg();
+            Instr::TPut { ta, dst, rb }
+        }
+        "tid" => Instr::TId { rd: c.sreg() },
+        "plw" => {
+            let pd = c.preg();
+            c.comma();
+            let (off, base) = c.mem_p();
+            let mask = c.mask();
+            Instr::Plw { pd, base, off, mask }
+        }
+        "psw" => {
+            let ps = c.preg();
+            c.comma();
+            let (off, base) = c.mem_p();
+            let mask = c.mask();
+            Instr::Psw { ps, base, off, mask }
+        }
+        "pidx" => {
+            let pd = c.preg();
+            let mask = c.mask();
+            Instr::Pidx { pd, mask }
+        }
+        "pmovs" => {
+            let pd = c.preg();
+            c.comma();
+            let sa = c.sreg();
+            let mask = c.mask();
+            Instr::PMovS { pd, sa, mask }
+        }
+        "pshift" => {
+            let pd = c.preg();
+            c.comma();
+            let pa = c.preg();
+            c.comma();
+            let dist = c.imm8();
+            let mask = c.mask();
+            Instr::PShift { pd, pa, dist, mask }
+        }
+        "rcount" => {
+            let sd = c.sreg();
+            c.comma();
+            let fa = c.pflag();
+            let mask = c.mask();
+            Instr::RCount { sd, fa, mask }
+        }
+        "pfirst" => {
+            let fd = c.pflag();
+            c.comma();
+            let fa = c.pflag();
+            let mask = c.mask();
+            Instr::PFirst { fd, fa, mask }
+        }
+        "rget" => {
+            let sd = c.sreg();
+            c.comma();
+            let pa = c.preg();
+            c.comma();
+            let fa = c.pflag();
+            let mask = c.mask();
+            Instr::RGet { sd, pa, fa, mask }
+        }
+        // ---- pseudo-instructions (each expands to one word) ----
+        "mov" => {
+            let rd = c.sreg();
+            c.comma();
+            let ra = c.sreg();
+            Instr::SAlu { op: AluOp::Add, rd, ra, rb: SReg::R0 }
+        }
+        "not" => {
+            let rd = c.sreg();
+            c.comma();
+            let ra = c.sreg();
+            Instr::SAlu { op: AluOp::Nor, rd, ra, rb: SReg::R0 }
+        }
+        "pmov" => {
+            let pd = c.preg();
+            c.comma();
+            let pa = c.preg();
+            let mask = c.mask();
+            Instr::PAlu { op: AluOp::Add, pd, pa, pb: PReg::R0, mask }
+        }
+        "pnot" => {
+            let pd = c.preg();
+            c.comma();
+            let pa = c.preg();
+            let mask = c.mask();
+            Instr::PAlu { op: AluOp::Nor, pd, pa, pb: PReg::R0, mask }
+        }
+        "pli" => {
+            let pd = c.preg();
+            c.comma();
+            let imm = c.imm8();
+            let mask = c.mask();
+            Instr::PAluImm { op: AluOp::Add, pd, pa: PReg::R0, imm, mask }
+        }
+        _ => unreachable!("unhandled named mnemonic {name}"),
+    };
+    Some(i)
+}

@@ -1,0 +1,40 @@
+//! Assembled program representation.
+
+use std::collections::HashMap;
+
+use asc_isa::{encode, Instr};
+
+/// The output of [`crate::assemble`]: decoded instructions, their machine
+/// words, the symbol table, and a source map.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// Decoded instructions, one per instruction address.
+    pub instrs: Vec<Instr>,
+    /// Symbol table: labels (instruction addresses) and `.equ` constants.
+    pub symbols: HashMap<String, i64>,
+    /// 1-based source line of each instruction (for traces and
+    /// diagnostics).
+    pub lines: Vec<u32>,
+}
+
+impl Program {
+    /// Machine words, ready to load into instruction memory.
+    pub fn words(&self) -> Vec<u32> {
+        self.instrs.iter().map(encode).collect()
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// True if the program contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Address of a label, if defined.
+    pub fn label(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).map(|&v| v as u32)
+    }
+}

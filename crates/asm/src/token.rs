@@ -1,0 +1,52 @@
+//! Token model for the assembler.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier: mnemonic, register name, label, or symbol.
+    Ident(String),
+    /// Directive, e.g. `.equ` (leading dot included in the name).
+    Directive(String),
+    /// Integer literal (decimal, `0x` hex, `0b` binary; optional leading
+    /// `-`).
+    Int(i64),
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `?` — introduces an activity mask.
+    Question,
+    /// End of line (significant: one instruction per line).
+    Newline,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Directive(s) => write!(f, "`{s}`"),
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Comma => f.write_str("`,`"),
+            Tok::Colon => f.write_str("`:`"),
+            Tok::LParen => f.write_str("`(`"),
+            Tok::RParen => f.write_str("`)`"),
+            Tok::Question => f.write_str("`?`"),
+            Tok::Newline => f.write_str("end of line"),
+        }
+    }
+}
+
+/// A token plus its source line (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}

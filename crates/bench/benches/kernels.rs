@@ -1,0 +1,86 @@
+//! Criterion benchmarks of the associative kernel suite (experiment E12's
+//! workloads): end-to-end assemble + distribute + simulate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use asc_core::MachineConfig;
+use asc_kernels::{hull, image, iterate, mst, search, select, string_match, tracker};
+
+fn bench_search(c: &mut Criterion) {
+    let records: Vec<(i64, i64)> = (0..256).map(|i| ((i * 7) % 32, i)).collect();
+    c.bench_function("kernel_search_256", |b| {
+        b.iter(|| black_box(search::run(MachineConfig::new(256), &records, 3).unwrap().matches))
+    });
+}
+
+fn bench_select(c: &mut Criterion) {
+    let values: Vec<i64> = (0..256).map(|i| ((i * 37) % 199) - 99).collect();
+    c.bench_function("kernel_select_256", |b| {
+        b.iter(|| black_box(select::run(MachineConfig::new(256), &values).unwrap().max))
+    });
+}
+
+fn bench_iterate(c: &mut Criterion) {
+    let recs: Vec<(i64, i64)> = (0..64).map(|i| (i % 2, i)).collect();
+    c.bench_function("kernel_iterate_32", |b| {
+        b.iter(|| black_box(iterate::run(MachineConfig::new(64), &recs, 1).unwrap().fold))
+    });
+}
+
+fn bench_mst(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel_mst");
+    for n in [16usize, 48] {
+        let graph = mst::random_graph(n, 100, 7);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(mst::run(MachineConfig::new(64), &graph).unwrap().total_weight))
+        });
+    }
+    g.finish();
+}
+
+fn bench_string_match(c: &mut Criterion) {
+    let text: Vec<u8> = (0..256).map(|i| b"abcab"[i % 5]).collect();
+    c.bench_function("kernel_string_match_256", |b| {
+        b.iter(|| {
+            black_box(string_match::run(MachineConfig::new(256), &text, b"abc").unwrap().count)
+        })
+    });
+}
+
+fn bench_image(c: &mut Criterion) {
+    let pixels: Vec<i64> = (0..1024).map(|i| (i * 13) % 31).collect();
+    c.bench_function("kernel_image_1024px", |b| {
+        b.iter(|| black_box(image::run(MachineConfig::new(256), &pixels, 15).unwrap().sum))
+    });
+}
+
+fn bench_hull(c: &mut Criterion) {
+    let pts: Vec<(i64, i64)> = (0..48)
+        .map(|i| (((i * 17) % 91) as i64 - 45, ((i * 29) % 83) as i64 - 41))
+        .collect();
+    c.bench_function("kernel_hull_48", |b| {
+        b.iter(|| black_box(hull::run(MachineConfig::new(64), &pts).unwrap().count))
+    });
+}
+
+fn bench_tracker(c: &mut Criterion) {
+    let reports: Vec<(i64, i64)> =
+        (0..40).map(|i| ((i * 13) % 101 - 50, (i * 7) % 99 - 49)).collect();
+    c.bench_function("kernel_tracker_40", |b| {
+        b.iter(|| black_box(tracker::run(MachineConfig::new(64), &reports).unwrap().dropped))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_search,
+    bench_select,
+    bench_iterate,
+    bench_mst,
+    bench_string_match,
+    bench_image,
+    bench_hull,
+    bench_tracker
+);
+criterion_main!(benches);

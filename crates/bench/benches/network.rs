@@ -1,0 +1,99 @@
+//! Criterion benchmarks of the broadcast/reduction network's functional
+//! models and the assembler — the substrates' hot paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use asc_isa::{ReduceOp, Width, Word};
+use asc_network::{MultipleResponseResolver, Network, NetworkConfig};
+
+fn bench_reductions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("network_reduce");
+    for p in [1024usize, 65536] {
+        let net = Network::new(NetworkConfig::new(p, 4));
+        let values: Vec<Word> = (0..p).map(|i| Word::new(i as u32 & 0xffff, Width::W16)).collect();
+        let active = vec![true; p];
+        for op in [ReduceOp::Sum, ReduceOp::Max, ReduceOp::Or] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("{op}"), p),
+                &p,
+                |b, _| b.iter(|| black_box(net.reduce(op, &values, &active, Width::W16))),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_resolver(c: &mut Criterion) {
+    let mut g = c.benchmark_group("network_mrr");
+    for p in [1024usize, 65536] {
+        let flags: Vec<bool> = (0..p).map(|i| i % 97 == 3).collect();
+        let active = vec![true; p];
+        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, _| {
+            b.iter(|| black_box(MultipleResponseResolver::resolve(&flags, &active)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_assembler(c: &mut Criterion) {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    // a 2k-instruction program in canonical syntax
+    let mut rng = StdRng::seed_from_u64(3);
+    let src: String = (0..2048)
+        .map(|_| asc_asm::disassemble(&asc_isa::gen::random_instr(&mut rng)) + "\n")
+        .collect();
+    c.bench_function("assembler_throughput_2k", |b| {
+        b.iter(|| black_box(asc_asm::assemble(&src).map(|p| p.len())))
+    });
+}
+
+fn bench_encode_decode(c: &mut Criterion) {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(9);
+    let instrs: Vec<_> = (0..4096).map(|_| asc_isa::gen::random_instr(&mut rng)).collect();
+    let words: Vec<u32> = instrs.iter().map(asc_isa::encode).collect();
+    c.bench_function("isa_decode_4k", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for &w in &words {
+                if asc_isa::decode(w).is_ok() {
+                    n += 1;
+                }
+            }
+            black_box(n)
+        })
+    });
+}
+
+fn bench_lang_compile(c: &mut Criterion) {
+    // a representative ASCL program, compiled end to end
+    let src = "
+        par score;
+        score = index() * 7 % 100;
+        sca passing = 60;
+        out(count(score >= passing));
+        where (score < passing) {
+            score = score + 15;
+        } elsewhere {
+            where (score > 90) { out(first(index())); }
+        }
+        out(count(score >= passing));
+    "
+    .repeat(1); // single unit; compile includes lex/parse/codegen/assemble
+    c.bench_function("ascl_compile", |b| {
+        b.iter(|| black_box(asc_lang::compile_program(&src).map(|p| p.len())))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_reductions,
+    bench_resolver,
+    bench_assembler,
+    bench_encode_decode,
+    bench_lang_compile
+);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion benchmarks of the timing simulator itself: issue throughput
+//! across PE counts, thread counts, and scheduler policies — the harness
+//! behind experiments E5–E7/E10 (their *cycle* numbers are deterministic;
+//! these benches track the simulator's host-side speed so the parameter
+//! sweeps stay tractable).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use asc_asm::assemble;
+use asc_core::{Machine, MachineConfig};
+use asc_kernels::micro;
+
+fn micro_cfg(p: usize) -> MachineConfig {
+    let mut cfg = MachineConfig::new(p);
+    cfg.lmem_words = 8;
+    cfg
+}
+
+fn run(cfg: MachineConfig, src: &str) -> u64 {
+    let program = assemble(src).unwrap();
+    let mut m = Machine::with_program(cfg, &program).unwrap();
+    m.run(u64::MAX).unwrap().cycles
+}
+
+fn bench_reduction_chain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reduction_chain_st");
+    for p in [16usize, 256, 4096] {
+        let src = micro::reduction_chain(100);
+        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| black_box(run(micro_cfg(p).single_threaded(), &src)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_mt_fleet(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mt_fleet");
+    for threads in [2u32, 8, 15] {
+        let src = micro::unrolled_fleet(threads, 60, 8);
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            b.iter(|| black_box(run(micro_cfg(256), &src)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let src = micro::unrolled_fleet(8, 40, 8);
+    let mut g = c.benchmark_group("sched_policy");
+    g.bench_function("fine_grain", |b| b.iter(|| black_box(run(micro_cfg(256), &src))));
+    g.bench_function("coarse_grain", |b| {
+        b.iter(|| black_box(run(micro_cfg(256).coarse_grain(4), &src)))
+    });
+    g.finish();
+}
+
+fn bench_mixed_workload(c: &mut Criterion) {
+    let src = micro::mixed_workload(100);
+    let mut g = c.benchmark_group("mixed_workload");
+    for p in [16usize, 1024] {
+        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| black_box(run(micro_cfg(p).single_threaded(), &src)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_reduction_chain,
+    bench_mt_fleet,
+    bench_policies,
+    bench_mixed_workload
+);
+criterion_main!(benches);

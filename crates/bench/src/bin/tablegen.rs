@@ -1,0 +1,111 @@
+//! Regenerate every table and figure of the paper (and the derived
+//! experiments in `EXPERIMENTS.md`).
+//!
+//! ```text
+//! cargo run --release -p asc-bench --bin tablegen            # everything
+//! cargo run --release -p asc-bench --bin tablegen -- table1  # one artifact
+//! ```
+
+use asc_bench::experiments as e;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name || a == "all");
+
+    let sections: Vec<(&str, &str, Box<dyn Fn() -> String>)> = vec![
+        ("table1", "E1 — Table 1: FPGA resource usage (calibrated model)", Box::new(e::table1)),
+        ("fig1", "E2 — Figure 1: pipeline organization", Box::new(e::fig1)),
+        ("fig2", "E3 — Figure 2: pipeline hazards (simulated traces)", Box::new(e::fig2)),
+        ("fig3", "E4 — Figure 3: control unit organization", Box::new(e::fig3)),
+        (
+            "stalls",
+            "E5 — reduction-hazard stalls vs PE count (single thread)",
+            Box::new(|| e::render_stall_scaling(&e::stall_scaling())),
+        ),
+        (
+            "ipc",
+            "E6 — IPC vs hardware threads (fixed total work)",
+            Box::new(|| e::render_ipc(&e::ipc_vs_threads())),
+        ),
+        (
+            "scaling",
+            "E7 — throughput vs PE count: non-pipelined / pipelined-ST / pipelined-MT",
+            Box::new(|| e::render_scaling(&e::throughput_scaling())),
+        ),
+        (
+            "arity",
+            "E8 — broadcast tree arity sweep (p = 1024)",
+            Box::new(|| e::render_arity(&e::arity_sweep())),
+        ),
+        ("ramlimit", "E9 — RAM blocks limit the PE count", Box::new(e::ram_limit)),
+        (
+            "coarse",
+            "E10 — fine-grain vs coarse-grain multithreading (p = 256)",
+            Box::new(|| e::render_policy(&e::coarse_vs_fine())),
+        ),
+        ("muldiv", "E11 — multiplier/divider organizations", Box::new(e::muldiv)),
+        (
+            "kernels",
+            "E12 — associative kernel suite (validated against host references)",
+            Box::new(|| e::render_kernels(&e::kernel_suite())),
+        ),
+        (
+            "forwarding",
+            "E13 — forwarding ablation (EX->B1 / EX->EX paths removed)",
+            Box::new(e::forwarding_ablation),
+        ),
+        (
+            "interconnect",
+            "E14 — PE interconnection network extension (pshift)",
+            Box::new(e::interconnect),
+        ),
+        (
+            "batch",
+            "E15 — multithreaded batch queries: worker-count sweep",
+            Box::new(e::batch_speedup),
+        ),
+        (
+            "fetch",
+            "E16 — fetch-unit model: buffer-depth sensitivity",
+            Box::new(e::fetch_model),
+        ),
+        (
+            "width",
+            "E17 — datapath width sweep (8/16/32-bit PEs)",
+            Box::new(e::width_sweep),
+        ),
+        (
+            "lang",
+            "E18 — ASCL compiler overhead vs hand-written assembly",
+            Box::new(e::lang_overhead),
+        ),
+        (
+            "offchip",
+            "E19 — local memory size vs off-chip traffic vs PE count",
+            Box::new(e::offchip),
+        ),
+        (
+            "occupancy",
+            "E20 — reduction-network occupancy: pipelining needs multithreading",
+            Box::new(e::occupancy),
+        ),
+    ];
+
+    let mut ran = false;
+    for (name, title, f) in &sections {
+        if want(name) {
+            ran = true;
+            println!("==================================================================");
+            println!("{title}   [{name}]");
+            println!("==================================================================");
+            println!("{}", f());
+        }
+    }
+    if !ran {
+        eprintln!("unknown experiment; available:");
+        for (name, title, _) in &sections {
+            eprintln!("  {name:<10} {title}");
+        }
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,376 @@
+#![warn(missing_docs)]
+
+//! # asc-cli — the `mtasc` command-line tool
+//!
+//! ```text
+//! mtasc run prog.asc [--pes N] [--threads T] [--arity K] [--width W]
+//!                    [--trace] [--max-cycles N] [--no-forwarding]
+//! mtasc asm prog.asc              # assemble to hex words
+//! mtasc disasm prog.hex           # hex words back to assembly
+//! mtasc info [--pes N ...]        # machine geometry + FPGA resources
+//! ```
+//!
+//! The library exposes the argument parsing and subcommand logic so it can
+//! be unit-tested; `main.rs` is a thin wrapper.
+
+use std::fmt::Write as _;
+
+use asc_core::pipeline::{control_unit_organization, hazard_diagram, pipeline_organization};
+use asc_core::{Machine, MachineConfig};
+use asc_fpga::{ClockModel, Device, FpgaConfig, ResourceReport};
+use asc_isa::Width;
+
+/// Errors surfaced to the user with exit code 1/2.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line (prints usage, exit 2).
+    Usage(String),
+    /// Runtime failure (exit 1).
+    Failure(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) | CliError::Failure(m) => f.write_str(m),
+        }
+    }
+}
+
+/// Parsed machine options shared by the subcommands.
+#[derive(Debug, Clone, Copy)]
+pub struct MachineOpts {
+    /// PE count.
+    pub pes: usize,
+    /// Hardware threads.
+    pub threads: usize,
+    /// Broadcast arity.
+    pub arity: usize,
+    /// Datapath width.
+    pub width: Width,
+    /// Forwarding enabled.
+    pub forwarding: bool,
+    /// Cycle budget.
+    pub max_cycles: u64,
+    /// Record and print the pipeline diagram.
+    pub trace: bool,
+}
+
+impl Default for MachineOpts {
+    fn default() -> Self {
+        MachineOpts {
+            pes: 16,
+            threads: 16,
+            arity: 4,
+            width: Width::W16,
+            forwarding: true,
+            max_cycles: 100_000_000,
+            trace: false,
+        }
+    }
+}
+
+impl MachineOpts {
+    /// Build the machine configuration.
+    pub fn config(&self) -> MachineConfig {
+        let mut cfg = MachineConfig::new(self.pes)
+            .with_threads(self.threads)
+            .with_arity(self.arity)
+            .with_width(self.width);
+        if !self.forwarding {
+            cfg = cfg.without_forwarding();
+        }
+        cfg
+    }
+
+    /// Consume recognized flags from `args`, leaving positional arguments.
+    pub fn parse(args: &mut Vec<String>) -> Result<MachineOpts, CliError> {
+        let mut opts = MachineOpts::default();
+        let mut rest = Vec::new();
+        let mut it = args.drain(..);
+        while let Some(a) = it.next() {
+            let take = |it: &mut std::vec::Drain<String>| {
+                it.next().ok_or_else(|| CliError::Usage(format!("{a} needs a value")))
+            };
+            match a.as_str() {
+                "--pes" => opts.pes = parse_num(&take(&mut it)?)?,
+                "--threads" => opts.threads = parse_num(&take(&mut it)?)?,
+                "--arity" => opts.arity = parse_num(&take(&mut it)?)?,
+                "--max-cycles" => opts.max_cycles = parse_num(&take(&mut it)?)? as u64,
+                "--width" => {
+                    opts.width = match take(&mut it)?.as_str() {
+                        "8" => Width::W8,
+                        "16" => Width::W16,
+                        "32" => Width::W32,
+                        other => {
+                            return Err(CliError::Usage(format!(
+                                "--width must be 8, 16 or 32, got {other}"
+                            )))
+                        }
+                    }
+                }
+                "--no-forwarding" => opts.forwarding = false,
+                "--trace" => opts.trace = true,
+                _ => rest.push(a),
+            }
+        }
+        drop(it);
+        *args = rest;
+        Ok(opts)
+    }
+}
+
+fn parse_num(s: &str) -> Result<usize, CliError> {
+    s.parse().map_err(|_| CliError::Usage(format!("not a number: {s}")))
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+mtasc — Multithreaded ASC Processor toolchain
+
+USAGE:
+  mtasc run <prog.asc|.ascl> [options]  assemble/compile and simulate
+  mtasc asm <prog.asc|.ascl>            assemble to hex words (stdout)
+  mtasc lower <prog.ascl>               compile ASCL to assembly (stdout)
+  mtasc disasm <prog.hex>               disassemble hex words (stdout)
+  mtasc info [options]                  machine geometry + FPGA resources
+
+OPTIONS:
+  --pes N          processing elements        (default 16)
+  --threads T      hardware thread contexts   (default 16)
+  --arity K        broadcast tree arity       (default 4)
+  --width 8|16|32  datapath width             (default 16)
+  --max-cycles N   simulation cycle budget
+  --no-forwarding  disable forwarding paths (ablation)
+  --trace          print the stage-by-cycle pipeline diagram
+";
+
+/// Dispatch a command line (without argv\[0\]); returns the text to print.
+pub fn dispatch(mut args: Vec<String>) -> Result<String, CliError> {
+    let opts = MachineOpts::parse(&mut args)?;
+    let mut it = args.into_iter();
+    let cmd = it.next().ok_or_else(|| CliError::Usage(USAGE.into()))?;
+    match cmd.as_str() {
+        "run" => {
+            let path = it.next().ok_or_else(|| CliError::Usage("run needs a file".into()))?;
+            let src = std::fs::read_to_string(&path)
+                .map_err(|e| CliError::Failure(format!("{path}: {e}")))?;
+            let src = lower_if_ascl(&path, &src)?;
+            cmd_run(&src, opts)
+        }
+        "asm" => {
+            let path = it.next().ok_or_else(|| CliError::Usage("asm needs a file".into()))?;
+            let src = std::fs::read_to_string(&path)
+                .map_err(|e| CliError::Failure(format!("{path}: {e}")))?;
+            let src = lower_if_ascl(&path, &src)?;
+            cmd_asm(&src)
+        }
+        "lower" => {
+            let path = it.next().ok_or_else(|| CliError::Usage("lower needs a file".into()))?;
+            let src = std::fs::read_to_string(&path)
+                .map_err(|e| CliError::Failure(format!("{path}: {e}")))?;
+            asc_lang::compile(&src).map_err(|e| CliError::Failure(e.to_string()))
+        }
+        "disasm" => {
+            let path = it.next().ok_or_else(|| CliError::Usage("disasm needs a file".into()))?;
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| CliError::Failure(format!("{path}: {e}")))?;
+            cmd_disasm(&text)
+        }
+        "info" => Ok(cmd_info(opts)),
+        other => Err(CliError::Usage(format!("unknown command `{other}`\n\n{USAGE}"))),
+    }
+}
+
+/// Compile `.ascl` sources down to assembly; pass `.asc` through.
+fn lower_if_ascl(path: &str, src: &str) -> Result<String, CliError> {
+    if path.ends_with(".ascl") {
+        asc_lang::compile(src).map_err(|e| CliError::Failure(e.to_string()))
+    } else {
+        Ok(src.to_string())
+    }
+}
+
+/// `mtasc run`: assemble, simulate, report.
+pub fn cmd_run(source: &str, opts: MachineOpts) -> Result<String, CliError> {
+    let program = asc_asm::assemble(source)
+        .map_err(|errs| CliError::Failure(asc_asm::render_errors(&errs)))?;
+    let cfg = opts.config();
+    let mut m = Machine::with_program(cfg, &program)
+        .map_err(|e| CliError::Failure(e.to_string()))?;
+    if opts.trace {
+        m.enable_trace();
+    }
+    let stats = m.run(opts.max_cycles).map_err(|e| CliError::Failure(e.to_string()))?;
+    let mut out = String::new();
+    let t = m.timing();
+    let _ = writeln!(out, "machine: {} PEs, {} threads, b={}, r={}", cfg.num_pes, cfg.threads, t.b, t.r);
+    out.push_str(&stats.report());
+    let _ = writeln!(out, "\nscalar registers (thread 0):");
+    for r in 1..16 {
+        let v = m.sreg(0, r);
+        if v.to_u32() != 0 {
+            let _ = writeln!(out, "  s{r:<2} = {:>6}  ({})", v.to_u32(), v.to_i64(cfg.width));
+        }
+    }
+    if opts.trace {
+        let _ = writeln!(out, "\npipeline diagram:");
+        out.push_str(&hazard_diagram(m.trace().unwrap(), &t));
+    }
+    Ok(out)
+}
+
+/// `mtasc asm`: hex words, one per line.
+pub fn cmd_asm(source: &str) -> Result<String, CliError> {
+    let program = asc_asm::assemble(source)
+        .map_err(|errs| CliError::Failure(asc_asm::render_errors(&errs)))?;
+    let mut out = String::new();
+    for w in program.words() {
+        let _ = writeln!(out, "{w:08x}");
+    }
+    Ok(out)
+}
+
+/// `mtasc disasm`: hex words (one per line, `#` comments allowed) back to
+/// text.
+pub fn cmd_disasm(text: &str) -> Result<String, CliError> {
+    let mut out = String::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let body = line.split('#').next().unwrap_or("").trim();
+        if body.is_empty() {
+            continue;
+        }
+        let word = u32::from_str_radix(body.trim_start_matches("0x"), 16)
+            .map_err(|_| CliError::Failure(format!("line {}: bad hex `{body}`", lineno + 1)))?;
+        match asc_isa::decode(word) {
+            Ok(i) => {
+                let _ = writeln!(out, "{}", asc_asm::disassemble(&i));
+            }
+            Err(e) => {
+                let _ = writeln!(out, "; {word:08x}: {e}");
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `mtasc info`: geometry, figures, resource model.
+pub fn cmd_info(opts: MachineOpts) -> String {
+    let cfg = opts.config();
+    let t = cfg.timing();
+    let fc = FpgaConfig::from_machine(&cfg);
+    let report = ResourceReport::model(&fc);
+    let clock = ClockModel::default();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "MTASC machine: {} PEs ({}), {} threads, broadcast arity {}",
+        cfg.num_pes, cfg.width, cfg.threads, cfg.broadcast_arity
+    );
+    let _ = writeln!(out, "latencies: broadcast b = {}, reduction r = {} cycles", t.b, t.r);
+    let _ = writeln!(
+        out,
+        "estimated clock: {:.1} MHz pipelined ({:.1} MHz if non-pipelined)\n",
+        clock.pipelined_mhz(&fc),
+        clock.nonpipelined_mhz(&fc)
+    );
+    out.push_str(&pipeline_organization(&t));
+    out.push('\n');
+    out.push_str(&control_unit_organization(&cfg));
+    out.push('\n');
+    out.push_str(&report.render_table(&Device::ep2c35()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_options() {
+        let mut args: Vec<String> =
+            ["run", "--pes", "64", "x.asc", "--trace", "--width", "8", "--no-forwarding"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        let opts = MachineOpts::parse(&mut args).unwrap();
+        assert_eq!(opts.pes, 64);
+        assert_eq!(opts.width, Width::W8);
+        assert!(opts.trace);
+        assert!(!opts.forwarding);
+        assert_eq!(args, vec!["run", "x.asc"]);
+    }
+
+    #[test]
+    fn bad_option_values() {
+        let mut args: Vec<String> = ["--pes", "lots"].iter().map(|s| s.to_string()).collect();
+        assert!(matches!(MachineOpts::parse(&mut args), Err(CliError::Usage(_))));
+        let mut args: Vec<String> = ["--width", "12"].iter().map(|s| s.to_string()).collect();
+        assert!(matches!(MachineOpts::parse(&mut args), Err(CliError::Usage(_))));
+        let mut args: Vec<String> = vec!["--pes".to_string()];
+        assert!(matches!(MachineOpts::parse(&mut args), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn run_reports_results() {
+        let out = cmd_run(
+            "pidx p1\nrsum s1, p1\nhalt\n",
+            MachineOpts { trace: true, ..MachineOpts::default() },
+        )
+        .unwrap();
+        assert!(out.contains("s1"));
+        assert!(out.contains("120")); // sum 0..=15
+        assert!(out.contains("IPC"));
+        assert!(out.contains("WB"), "trace diagram present");
+    }
+
+    #[test]
+    fn run_surfaces_assembly_errors() {
+        let e = cmd_run("frobnicate\n", MachineOpts::default()).unwrap_err();
+        assert!(matches!(e, CliError::Failure(_)));
+        assert!(e.to_string().contains("unknown mnemonic"));
+    }
+
+    #[test]
+    fn asm_disasm_round_trip() {
+        let hex = cmd_asm("add s1, s2, s3\nhalt\n").unwrap();
+        let text = cmd_disasm(&hex).unwrap();
+        assert_eq!(text, "add s1, s2, s3\nhalt\n");
+    }
+
+    #[test]
+    fn disasm_flags_bad_words() {
+        let out = cmd_disasm("ff000000\n").unwrap();
+        assert!(out.contains("invalid opcode"));
+        assert!(cmd_disasm("zzz\n").is_err());
+    }
+
+    #[test]
+    fn ascl_files_are_lowered() {
+        let dir = std::env::temp_dir().join("mtasc_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let f = dir.join("demo.ascl");
+        std::fs::write(&f, "par x; x = index(); out(sum(x));").unwrap();
+        let out = dispatch(vec!["run".into(), f.to_string_lossy().into_owned()]).unwrap();
+        assert!(out.contains("120"), "{out}"); // sum 0..=15
+        let asm = dispatch(vec!["lower".into(), f.to_string_lossy().into_owned()]).unwrap();
+        assert!(asm.contains("rsum"));
+    }
+
+    #[test]
+    fn info_renders() {
+        let out = cmd_info(MachineOpts::default());
+        assert!(out.contains("b = 2"));
+        assert!(out.contains("75.0 MHz"));
+        assert!(out.contains("Control Unit"));
+    }
+
+    #[test]
+    fn dispatch_usage() {
+        assert!(matches!(dispatch(vec![]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            dispatch(vec!["bogus".into()]),
+            Err(CliError::Usage(_))
+        ));
+    }
+}

@@ -1,0 +1,16 @@
+//! `mtasc` binary: thin wrapper over [`asc_cli::dispatch`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match asc_cli::dispatch(args) {
+        Ok(out) => print!("{out}"),
+        Err(asc_cli::CliError::Usage(msg)) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+        Err(asc_cli::CliError::Failure(msg)) => {
+            eprintln!("{msg}");
+            std::process::exit(1);
+        }
+    }
+}

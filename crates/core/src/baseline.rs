@@ -1,0 +1,141 @@
+//! Baseline processor models the paper compares against (implicitly or in
+//! the related-work section):
+//!
+//! * [`NonPipelinedModel`] — the original ASC Processor line \[5,6\]: no
+//!   broadcast/reduction pipelining, no multithreading. Every instruction
+//!   completes before the next begins; max/min reductions run the
+//!   bit-serial Falkoff algorithm (one bit per cycle); the clock is slower
+//!   and *degrades with PE count* (wire delay — see `asc-fpga`'s clock
+//!   model).
+//! * The pipelined-but-single-threaded machine is just
+//!   `MachineConfig::single_threaded()` — it pays the full b+r stall on
+//!   every reduction dependency.
+//! * Coarse-grain multithreading is `MachineConfig::coarse_grain(penalty)`.
+
+use asc_asm::Program;
+use asc_isa::{Instr, InstrClass, ReduceOp, Width};
+use asc_pe::{DividerConfig, MultiplierKind};
+
+use crate::config::MachineConfig;
+use crate::emulator::Emulator;
+use crate::error::RunError;
+
+/// Cycle-cost model of the non-pipelined scalable ASC Processor.
+#[derive(Debug, Clone, Copy)]
+pub struct NonPipelinedModel {
+    /// Datapath width (Falkoff max/min takes one cycle per bit).
+    pub width: Width,
+    /// Multiplier cost per operation (sequential shift-add).
+    pub mul_cycles: u64,
+    /// Divider cost per operation.
+    pub div_cycles: u64,
+}
+
+impl NonPipelinedModel {
+    /// Model for a machine of the given width.
+    pub fn new(width: Width) -> NonPipelinedModel {
+        NonPipelinedModel {
+            width,
+            mul_cycles: width.bits() as u64,
+            div_cycles: width.bits() as u64 + 2,
+        }
+    }
+
+    /// Cycles the non-pipelined processor spends on one instruction. The
+    /// broadcast is combinational (folded into the — slow — clock), so
+    /// scalar and parallel instructions take one cycle; bit-serial
+    /// reductions take one cycle per bit.
+    pub fn cycles_for(&self, i: &Instr) -> u64 {
+        if i.uses_multiplier() {
+            return self.mul_cycles;
+        }
+        if i.uses_divider() {
+            return self.div_cycles;
+        }
+        match i {
+            Instr::Reduce { op, .. } => match op {
+                // Falkoff bit-serial max/min: one bit per cycle
+                ReduceOp::Max | ReduceOp::Min | ReduceOp::MaxU | ReduceOp::MinU => {
+                    self.width.bits() as u64
+                }
+                // bit-serial sum likewise
+                ReduceOp::Sum => self.width.bits() as u64,
+                // combinational OR/AND tree within the (long) cycle
+                ReduceOp::And | ReduceOp::Or => 1,
+            },
+            // responder detection / resolution / count: combinational
+            _ => match i.class() {
+                InstrClass::Scalar | InstrClass::Parallel | InstrClass::Reduction => 1,
+            },
+        }
+    }
+}
+
+/// Outcome of a non-pipelined baseline run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BaselineRun {
+    /// Instructions executed.
+    pub instructions: u64,
+    /// Cycles consumed under the cost model.
+    pub cycles: u64,
+}
+
+/// Run `program` on the non-pipelined baseline: functional emulation with
+/// the per-instruction cost model. The machine is forced single-threaded
+/// (the original ASC Processors had one instruction stream).
+pub fn run_nonpipelined(
+    cfg: MachineConfig,
+    program: &Program,
+    max_steps: u64,
+) -> Result<BaselineRun, RunError> {
+    let cfg = MachineConfig {
+        threads: 1,
+        // the old processors had sequential mul/div when present at all
+        multiplier: match cfg.multiplier {
+            MultiplierKind::None => MultiplierKind::None,
+            _ => MultiplierKind::default_sequential(cfg.width.bits()),
+        },
+        divider: match cfg.divider {
+            DividerConfig::None => DividerConfig::None,
+            _ => DividerConfig::default_sequential(cfg.width.bits()),
+        },
+        ..cfg
+    };
+    let model = NonPipelinedModel::new(cfg.width);
+    let mut emu = Emulator::with_program(cfg, program)?;
+    let cycles = emu.run_costed(max_steps, |i| model.cycles_for(i))?;
+    Ok(BaselineRun { instructions: emu.executed(), cycles })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_model() {
+        let m = NonPipelinedModel::new(Width::W16);
+        let rmax = asc_asm::assemble("rmax s1, p1\n").unwrap().instrs[0];
+        assert_eq!(m.cycles_for(&rmax), 16);
+        let ror = asc_asm::assemble("ror s1, p1\n").unwrap().instrs[0];
+        assert_eq!(m.cycles_for(&ror), 1);
+        let padd = asc_asm::assemble("padd p1, p2, p3\n").unwrap().instrs[0];
+        assert_eq!(m.cycles_for(&padd), 1);
+        let mul = asc_asm::assemble("mul s1, s2, s3\n").unwrap().instrs[0];
+        assert_eq!(m.cycles_for(&mul), 16);
+    }
+
+    #[test]
+    fn runs_a_program() {
+        let prog = asc_asm::assemble(
+            "pidx p1\n\
+             rmax s1, p1\n\
+             rsum s2, p1\n\
+             halt\n",
+        )
+        .unwrap();
+        let out = run_nonpipelined(MachineConfig::new(8), &prog, 10_000).unwrap();
+        assert_eq!(out.instructions, 4);
+        // pidx 1 + rmax 16 + rsum 16 + halt 1
+        assert_eq!(out.cycles, 34);
+    }
+}

@@ -1,0 +1,119 @@
+//! Simulator error types.
+
+use std::fmt;
+
+use asc_isa::DecodeError;
+use asc_pe::PeFault;
+
+/// Why a simulation stopped abnormally. Every variant carries the thread
+/// and program counter for diagnosis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// A word in instruction memory failed to decode.
+    IllegalInstruction {
+        /// Executing thread.
+        thread: usize,
+        /// Instruction address.
+        pc: u32,
+        /// The decode failure.
+        cause: DecodeError,
+    },
+    /// An instruction needs a functional unit this machine doesn't have
+    /// (multiplier/divider configured as `None`).
+    MissingUnit {
+        /// Executing thread.
+        thread: usize,
+        /// Instruction address.
+        pc: u32,
+        /// "multiplier" or "divider".
+        unit: &'static str,
+    },
+    /// A thread's PC left instruction memory.
+    PcOutOfRange {
+        /// Executing thread.
+        thread: usize,
+        /// The bad address.
+        pc: u32,
+        /// Number of instructions loaded.
+        len: u32,
+    },
+    /// A PE local-memory access faulted.
+    PeMemoryFault {
+        /// Executing thread.
+        thread: usize,
+        /// Instruction address.
+        pc: u32,
+        /// The fault.
+        fault: PeFault,
+    },
+    /// A scalar memory access faulted.
+    ScalarMemoryFault {
+        /// Executing thread.
+        thread: usize,
+        /// Instruction address.
+        pc: u32,
+        /// The offending word address.
+        addr: i64,
+    },
+    /// A thread-management instruction referenced a nonexistent thread id.
+    InvalidThread {
+        /// Executing thread.
+        thread: usize,
+        /// Instruction address.
+        pc: u32,
+        /// The bad thread id.
+        tid: u32,
+    },
+    /// The cycle limit passed to `run` was reached before the program
+    /// finished (livelock/deadlock guard).
+    CycleLimit {
+        /// The limit that was hit.
+        limit: u64,
+    },
+    /// Every live thread is blocked on a join and none can ever complete
+    /// (join deadlock).
+    Deadlock {
+        /// Cycle at which the deadlock was detected.
+        cycle: u64,
+    },
+    /// The program (or a `tspawn` target) did not fit in instruction
+    /// memory.
+    ProgramTooLarge {
+        /// Instructions in the program.
+        len: usize,
+        /// Instruction memory capacity.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::IllegalInstruction { thread, pc, cause } => {
+                write!(f, "thread {thread} pc {pc}: illegal instruction: {cause}")
+            }
+            RunError::MissingUnit { thread, pc, unit } => {
+                write!(f, "thread {thread} pc {pc}: machine has no {unit}")
+            }
+            RunError::PcOutOfRange { thread, pc, len } => {
+                write!(f, "thread {thread}: pc {pc} outside program (len {len})")
+            }
+            RunError::PeMemoryFault { thread, pc, fault } => {
+                write!(f, "thread {thread} pc {pc}: {fault}")
+            }
+            RunError::ScalarMemoryFault { thread, pc, addr } => {
+                write!(f, "thread {thread} pc {pc}: scalar memory address {addr} out of range")
+            }
+            RunError::InvalidThread { thread, pc, tid } => {
+                write!(f, "thread {thread} pc {pc}: invalid thread id {tid}")
+            }
+            RunError::CycleLimit { limit } => write!(f, "cycle limit {limit} exceeded"),
+            RunError::Deadlock { cycle } => write!(f, "join deadlock detected at cycle {cycle}"),
+            RunError::ProgramTooLarge { len, capacity } => {
+                write!(f, "program of {len} instructions exceeds imem capacity {capacity}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}

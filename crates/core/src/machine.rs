@@ -1,0 +1,617 @@
+//! The cycle-accurate machine: fetch/decode/issue with fine-grain (or
+//! coarse-grain) multithreading, the split pipeline's hazard model, and the
+//! functional architectural state.
+//!
+//! ## Model summary (see `DESIGN.md` §3 for the derivation)
+//!
+//! One instruction issues per cycle from the scheduler, which rotates
+//! priority over threads whose next instruction has no outstanding hazard
+//! (the paper's "rotating priority selection policy ... to ensure fairness
+//! between threads"). Hazards are detected against the *instruction status
+//! table* ([`crate::scoreboard::Scoreboard`]): each architectural register
+//! records when its latest in-flight writer's value becomes forwardable.
+//!
+//! Simplifications, stated: instruction fetch is ideal (per-thread buffers
+//! always full; the branch-redirect bubble models the refill); write-back
+//! ports are unlimited; inter-thread register transfers are serialized at
+//! issue and must be synchronized by software (`tjoin`, flags), exactly as
+//! the prototype required.
+
+use asc_asm::Program;
+use asc_isa::{decode, DecodeError, Instr, InstrClass, Operand, RegClass, Word};
+use asc_network::Network;
+use asc_pe::{
+    DividerConfig, FlagFile, LocalMemory, MultiplierKind, PeArray, RegFile, SequentialUnit,
+};
+
+use crate::config::{FetchModel, MachineConfig, SchedPolicy};
+use crate::error::RunError;
+use crate::exec::Effect;
+use crate::scoreboard::Scoreboard;
+use crate::stats::{StallReason, Stats};
+use crate::threads::{ThreadState, ThreadTable};
+use crate::timing::Timing;
+
+/// One issue event, recorded when tracing is enabled (the pipeline-diagram
+/// renderers consume these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IssueRecord {
+    /// Cycle at which the instruction issued (entered SR).
+    pub cycle: u64,
+    /// Issuing thread.
+    pub thread: usize,
+    /// Instruction address.
+    pub pc: u32,
+    /// The instruction.
+    pub instr: Instr,
+}
+
+/// Result of a single [`Machine::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// An instruction issued from the given thread.
+    Issued {
+        /// The thread that issued.
+        thread: usize,
+    },
+    /// No instruction could issue; the reason of the highest-priority
+    /// blocked thread, and how many cycles were skipped (≥ 1 — the
+    /// simulator fast-forwards through long stalls).
+    Stalled {
+        /// Attributed stall reason.
+        reason: StallReason,
+        /// Cycles consumed.
+        cycles: u64,
+    },
+    /// The machine has halted (or every thread has exited).
+    Finished,
+}
+
+/// Why a specific thread could not issue this cycle (internal).
+#[derive(Debug, Clone, Copy)]
+struct Blocked {
+    reason: StallReason,
+    /// Earliest cycle at which the thread might issue (`u64::MAX` for
+    /// event-driven waits like joins).
+    earliest: u64,
+}
+
+/// The simulated Multithreaded ASC Processor.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    pub(crate) cfg: MachineConfig,
+    pub(crate) timing: Timing,
+    imem: Vec<Result<Instr, DecodeError>>,
+    pub(crate) sregs: RegFile,
+    pub(crate) sflags: FlagFile,
+    pub(crate) smem: LocalMemory,
+    pub(crate) array: PeArray,
+    pub(crate) net: Network,
+    pub(crate) threads: ThreadTable,
+    score: Scoreboard,
+    mul_scalar: SequentialUnit,
+    div_scalar: SequentialUnit,
+    mul_parallel: SequentialUnit,
+    div_parallel: SequentialUnit,
+    cycle: u64,
+    halted: bool,
+    rotate: usize,
+    current: usize,
+    /// Per-thread reason for a pending `next_issue` bubble.
+    bubble: Vec<StallReason>,
+    /// Instructions buffered per thread (finite fetch model).
+    ibuf: Vec<usize>,
+    fetch_rotate: usize,
+    stats: Stats,
+    trace: Option<Vec<IssueRecord>>,
+}
+
+impl Machine {
+    /// Build a machine from a configuration. Load a program with
+    /// [`Machine::load_program`] before running.
+    pub fn new(cfg: MachineConfig) -> Machine {
+        assert!(cfg.threads >= 1);
+        Machine {
+            timing: cfg.timing(),
+            imem: Vec::new(),
+            sregs: RegFile::new(cfg.threads, asc_isa::NUM_GPRS),
+            sflags: FlagFile::new(cfg.threads, asc_isa::NUM_FLAGS),
+            smem: LocalMemory::new(cfg.smem_words),
+            array: PeArray::new(cfg.array()),
+            net: Network::new(cfg.network()),
+            threads: ThreadTable::new(cfg.threads),
+            score: Scoreboard::new(cfg.threads),
+            mul_scalar: SequentialUnit::new(),
+            div_scalar: SequentialUnit::new(),
+            mul_parallel: SequentialUnit::new(),
+            div_parallel: SequentialUnit::new(),
+            cycle: 0,
+            halted: false,
+            rotate: 0,
+            current: 0,
+            bubble: vec![StallReason::BranchBubble; cfg.threads],
+            ibuf: vec![0; cfg.threads],
+            fetch_rotate: 0,
+            stats: Stats::new(cfg.threads),
+            trace: None,
+            cfg,
+        }
+    }
+
+    /// Convenience: build the machine and load an assembled program.
+    pub fn with_program(cfg: MachineConfig, program: &Program) -> Result<Machine, RunError> {
+        let mut m = Machine::new(cfg);
+        m.load_program(program)?;
+        Ok(m)
+    }
+
+    /// Load an assembled program into instruction memory.
+    pub fn load_program(&mut self, program: &Program) -> Result<(), RunError> {
+        self.load_words(&program.words())
+    }
+
+    /// Load raw machine words into instruction memory. Words are
+    /// pre-decoded; a word that fails to decode only raises
+    /// [`RunError::IllegalInstruction`] if it is ever executed.
+    pub fn load_words(&mut self, words: &[u32]) -> Result<(), RunError> {
+        if words.len() > self.cfg.imem_words {
+            return Err(RunError::ProgramTooLarge {
+                len: words.len(),
+                capacity: self.cfg.imem_words,
+            });
+        }
+        self.imem = words.iter().map(|&w| decode(w)).collect();
+        Ok(())
+    }
+
+    /// Record every issue (for pipeline diagrams). Call before running.
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// The recorded issue trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&[IssueRecord]> {
+        self.trace.as_deref()
+    }
+
+    /// Machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Pipeline timing parameters (b, r, unit latencies).
+    pub fn timing(&self) -> Timing {
+        self.timing
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Host access to the PE array.
+    pub fn array(&self) -> &PeArray {
+        &self.array
+    }
+
+    /// Host mutable access to the PE array (data distribution).
+    pub fn array_mut(&mut self) -> &mut PeArray {
+        &mut self.array
+    }
+
+    /// Host read of a scalar register.
+    pub fn sreg(&self, thread: usize, reg: usize) -> Word {
+        self.sregs.read(thread, reg)
+    }
+
+    /// Host write of a scalar register.
+    pub fn set_sreg(&mut self, thread: usize, reg: usize, v: Word) {
+        self.sregs.write(thread, reg, v);
+    }
+
+    /// Host read of a scalar flag.
+    pub fn sflag(&self, thread: usize, reg: usize) -> bool {
+        self.sflags.read(thread, reg)
+    }
+
+    /// Host access to scalar data memory.
+    pub fn smem(&self) -> &LocalMemory {
+        &self.smem
+    }
+
+    /// Host mutable access to scalar data memory.
+    pub fn smem_mut(&mut self) -> &mut LocalMemory {
+        &mut self.smem
+    }
+
+    /// True once the machine has halted or all threads have exited.
+    pub fn finished(&self) -> bool {
+        self.halted || !self.threads.any_live()
+    }
+
+    /// Allocate a thread context at `target` (used by `tspawn`): clears the
+    /// context's registers, flags and scoreboard entries; the new thread
+    /// first issues two cycles later (front-end fill).
+    pub(crate) fn spawn_thread(&mut self, target: u32) -> Option<usize> {
+        let tid = self.threads.alloc(target, self.cycle + 2)?;
+        self.ibuf[tid] = 0;
+        self.sregs.clear_thread(tid);
+        self.sflags.clear_thread(tid);
+        self.array.clear_thread(tid);
+        self.score.clear_thread(tid);
+        self.bubble[tid] = StallReason::BranchBubble;
+        Some(tid)
+    }
+
+    /// Fetch and decode the instruction at `pc` for `thread`.
+    pub(crate) fn fetch(&self, thread: usize, pc: u32) -> Result<Instr, RunError> {
+        if pc as usize >= self.imem.len() {
+            return Err(RunError::PcOutOfRange { thread, pc, len: self.imem.len() as u32 });
+        }
+        match &self.imem[pc as usize] {
+            Ok(i) => Ok(*i),
+            Err(cause) => Err(RunError::IllegalInstruction { thread, pc, cause: *cause }),
+        }
+    }
+
+    /// Stop the machine (emulator's `halt` path).
+    pub(crate) fn force_halt(&mut self) {
+        self.halted = true;
+    }
+
+    // ------------------------------------------------------------ stepping
+
+    /// Advance the machine: issue one instruction if any thread is ready,
+    /// otherwise consume the (possibly fast-forwarded) stall.
+    pub fn step(&mut self) -> Result<Step, RunError> {
+        if self.finished() {
+            return Ok(Step::Finished);
+        }
+
+        if let FetchModel::Finite { buffer_depth } = self.cfg.fetch {
+            self.fetch_cycle(buffer_depth);
+        }
+
+        match self.cfg.sched {
+            SchedPolicy::FineGrain => self.step_fine(),
+            SchedPolicy::CoarseGrain { switch_penalty } => self.step_coarse(switch_penalty),
+        }
+    }
+
+    /// One cycle of the shared fetch unit: fill one instruction into the
+    /// buffer of the next live thread with space (round-robin).
+    fn fetch_cycle(&mut self, depth: usize) {
+        let n = self.threads.len();
+        for k in 0..n {
+            let tid = (self.fetch_rotate + k) % n;
+            let row = self.threads.get(tid);
+            if row.state == ThreadState::Free || self.ibuf[tid] >= depth {
+                continue;
+            }
+            // don't fetch past the end of the program
+            if (row.pc as usize + self.ibuf[tid]) >= self.imem.len() {
+                continue;
+            }
+            self.ibuf[tid] += 1;
+            self.fetch_rotate = (tid + 1) % n;
+            return;
+        }
+    }
+
+    fn step_fine(&mut self) -> Result<Step, RunError> {
+        let mut first_block: Option<Blocked> = None;
+        let mut min_earliest = u64::MAX;
+        let order: Vec<usize> = self.threads.rotation(self.rotate).collect();
+        for tid in order {
+            match self.thread_ready(tid)? {
+                Ok(instr) => {
+                    self.issue(tid, instr)?;
+                    self.rotate = (tid + 1) % self.threads.len();
+                    return Ok(Step::Issued { thread: tid });
+                }
+                Err(b) => {
+                    if b.reason != StallReason::NoThread && first_block.is_none() {
+                        first_block = Some(b);
+                    }
+                    min_earliest = min_earliest.min(b.earliest);
+                }
+            }
+        }
+        self.consume_stall(first_block, min_earliest)
+    }
+
+    fn step_coarse(&mut self, penalty: u64) -> Result<Step, RunError> {
+        // Coarse-grain MT: run the current thread until it would stall
+        // longer than the switch penalty, then flush and switch.
+        match self.thread_ready(self.current)? {
+            Ok(instr) => {
+                let tid = self.current;
+                self.issue(tid, instr)?;
+                return Ok(Step::Issued { thread: tid });
+            }
+            Err(b) => {
+                let wait = b.earliest.saturating_sub(self.cycle);
+                let must_switch = matches!(
+                    b.reason,
+                    StallReason::NoThread | StallReason::WaitJoin
+                ) || wait > penalty;
+                if must_switch {
+                    // find another live thread to switch to
+                    let next = self
+                        .threads
+                        .rotation((self.current + 1) % self.threads.len())
+                        .take(self.threads.len() - 1)
+                        .find(|&t| self.threads.get(t).state == ThreadState::Runnable);
+                    if let Some(next) = next {
+                        self.current = next;
+                        self.stats.thread_switches += 1;
+                        let row = self.threads.get_mut(next);
+                        row.next_issue = row.next_issue.max(self.cycle + penalty);
+                        self.bubble[next] = StallReason::SwitchPenalty;
+                        self.stats.record_stall(StallReason::SwitchPenalty, 1);
+                        self.cycle += 1;
+                        return Ok(Step::Stalled {
+                            reason: StallReason::SwitchPenalty,
+                            cycles: 1,
+                        });
+                    }
+                }
+                // no switch possible (or stall short enough): wait in place
+                let block =
+                    if b.reason == StallReason::NoThread { None } else { Some(b) };
+                self.consume_stall(block, b.earliest)
+            }
+        }
+    }
+
+    /// Burn stall cycles (fast-forwarding long waits) and detect deadlock.
+    fn consume_stall(
+        &mut self,
+        block: Option<Blocked>,
+        min_earliest: u64,
+    ) -> Result<Step, RunError> {
+        if min_earliest == u64::MAX {
+            // Nothing will ever wake by time alone.
+            if self.threads.any_live() && !self.threads.any_runnable() {
+                return Err(RunError::Deadlock { cycle: self.cycle });
+            }
+            // All threads free — finished (handled by caller next step).
+            return Ok(Step::Finished);
+        }
+        // the finite fetch model changes buffer state every cycle, so no
+        // fast-forwarding there
+        let delta = if matches!(self.cfg.fetch, FetchModel::Finite { .. }) {
+            1
+        } else {
+            (min_earliest - self.cycle).max(1)
+        };
+        let reason = block.map(|b| b.reason).unwrap_or(StallReason::NoThread);
+        self.stats.record_stall(reason, delta);
+        self.cycle += delta;
+        Ok(Step::Stalled { reason, cycles: delta })
+    }
+
+    /// Can `tid` issue at the current cycle? Returns the decoded
+    /// instruction, or why not.
+    fn thread_ready(&mut self, tid: usize) -> Result<Result<Instr, Blocked>, RunError> {
+        let row = *self.threads.get(tid);
+        match row.state {
+            ThreadState::Free => {
+                return Ok(Err(Blocked { reason: StallReason::NoThread, earliest: u64::MAX }))
+            }
+            ThreadState::WaitingJoin(_) => {
+                return Ok(Err(Blocked { reason: StallReason::WaitJoin, earliest: u64::MAX }))
+            }
+            ThreadState::Runnable => {}
+        }
+        if row.next_issue > self.cycle {
+            return Ok(Err(Blocked { reason: self.bubble[tid], earliest: row.next_issue }));
+        }
+        if matches!(self.cfg.fetch, FetchModel::Finite { .. }) && self.ibuf[tid] == 0 {
+            return Ok(Err(Blocked {
+                reason: StallReason::FetchEmpty,
+                earliest: self.cycle + 1,
+            }));
+        }
+        let pc = row.pc;
+        let instr = self.fetch(tid, pc)?;
+
+        // Missing functional units are illegal instructions on this
+        // machine.
+        if instr.uses_multiplier() && self.cfg.multiplier == MultiplierKind::None {
+            return Err(RunError::MissingUnit { thread: tid, pc, unit: "multiplier" });
+        }
+        if instr.uses_divider() && self.cfg.divider == DividerConfig::None {
+            return Err(RunError::MissingUnit { thread: tid, pc, unit: "divider" });
+        }
+
+        // RAW hazards against the instruction status table.
+        let class = instr.class();
+        let mut worst: Option<Blocked> = None;
+        for op in instr.reads() {
+            // the scoreboard stores the first cycle at which a value may
+            // be consumed (produce end + 1)
+            let consume = self.cycle + self.timing.consume_offset(class, op.class);
+            let available = self.score.ready_time(tid, op);
+            if available > consume {
+                let producer = self.score.producer_class(tid, op);
+                let reason = classify_hazard(producer, class, op);
+                let earliest = self.cycle + (available - consume);
+                let b = Blocked { reason, earliest };
+                worst = Some(match worst {
+                    Some(prev) if prev.earliest >= b.earliest => prev,
+                    _ => b,
+                });
+            }
+        }
+        if let Some(b) = worst {
+            return Ok(Err(b));
+        }
+
+        // WAW interlock: an instruction may not issue if an older, slower
+        // writer of the same register would complete after it.
+        for op in instr.writes() {
+            let pending = self.score.ready_time(tid, op);
+            let mine = self.cycle + self.timing.produce_offset(&instr) + 1;
+            if pending > mine {
+                return Ok(Err(Blocked {
+                    reason: StallReason::DataHazard,
+                    earliest: self.cycle + (pending - mine),
+                }));
+            }
+        }
+
+        // Structural hazards on the sequential multiplier/divider.
+        if let Some(blocked) = self.structural_block(&instr, class) {
+            return Ok(Err(blocked));
+        }
+
+        Ok(Ok(instr))
+    }
+
+    fn structural_block(&self, instr: &Instr, class: InstrClass) -> Option<Blocked> {
+        let ex = self.cycle + self.timing.ex_start(class);
+        let unit = self.sequential_unit(instr, class)?;
+        if unit.is_free(ex) {
+            None
+        } else {
+            Some(Blocked {
+                reason: StallReason::Structural,
+                // the unit frees at free_at(); our EX is `ex_start` after
+                // issue, so we could issue once free_at - ex_start arrives
+                earliest: unit
+                    .free_at()
+                    .saturating_sub(self.timing.ex_start(class))
+                    .max(self.cycle + 1),
+            })
+        }
+    }
+
+    fn sequential_unit(&self, instr: &Instr, class: InstrClass) -> Option<&SequentialUnit> {
+        let scalar = class == InstrClass::Scalar;
+        if instr.uses_multiplier() {
+            if let MultiplierKind::Sequential { .. } = self.cfg.multiplier {
+                return Some(if scalar { &self.mul_scalar } else { &self.mul_parallel });
+            }
+        }
+        if instr.uses_divider() {
+            if let DividerConfig::Sequential { .. } = self.cfg.divider {
+                return Some(if scalar { &self.div_scalar } else { &self.div_parallel });
+            }
+        }
+        None
+    }
+
+    fn claim_sequential_unit(&mut self, instr: &Instr, class: InstrClass) {
+        let ex = self.cycle + self.timing.ex_start(class);
+        let scalar = class == InstrClass::Scalar;
+        if instr.uses_multiplier() {
+            if let MultiplierKind::Sequential { cycles } = self.cfg.multiplier {
+                let unit = if scalar { &mut self.mul_scalar } else { &mut self.mul_parallel };
+                let claimed = unit.try_claim(ex, cycles);
+                debug_assert!(claimed.is_some(), "structural check preceded issue");
+            }
+        }
+        if instr.uses_divider() {
+            if let DividerConfig::Sequential { cycles } = self.cfg.divider {
+                let unit = if scalar { &mut self.div_scalar } else { &mut self.div_parallel };
+                let claimed = unit.try_claim(ex, cycles);
+                debug_assert!(claimed.is_some(), "structural check preceded issue");
+            }
+        }
+    }
+
+    /// Issue one instruction from `tid`: execute it functionally, record
+    /// its writes in the scoreboard, and update thread/PC state.
+    fn issue(&mut self, tid: usize, instr: Instr) -> Result<(), RunError> {
+        let pc = self.threads.get(tid).pc;
+        let class = instr.class();
+        self.claim_sequential_unit(&instr, class);
+        if matches!(self.cfg.fetch, FetchModel::Finite { .. }) {
+            debug_assert!(self.ibuf[tid] > 0);
+            self.ibuf[tid] -= 1;
+        }
+
+        let effect = self.execute_instr(tid, pc, &instr)?;
+
+        self.stats.record_issue(tid, class);
+        if let Some(trace) = &mut self.trace {
+            trace.push(IssueRecord { cycle: self.cycle, thread: tid, pc, instr });
+        }
+
+        // store "available from": the cycle after the result is produced
+        let available = self.cycle + self.timing.produce_offset(&instr) + 1;
+        for op in instr.writes() {
+            self.score.record_write(tid, op, available, class);
+        }
+        let retire = self.cycle + self.timing.retire_offset(&instr);
+        self.stats.last_writeback = self.stats.last_writeback.max(retire);
+
+        let row = self.threads.get_mut(tid);
+        match effect {
+            Effect::Next => {
+                row.pc = pc + 1;
+                row.next_issue = self.cycle + 1;
+            }
+            Effect::Branch(target) => {
+                row.pc = target;
+                // branches resolve at the end of EX; the redirected fetch
+                // reaches issue one cycle later than back-to-back
+                row.next_issue = self.cycle + 2;
+                self.bubble[tid] = StallReason::BranchBubble;
+                // the buffered fall-through instructions are wrong-path
+                self.ibuf[tid] = 0;
+            }
+            Effect::Halt => {
+                row.pc = pc + 1;
+                self.halted = true;
+            }
+            Effect::Exit => {
+                self.threads.release(tid);
+            }
+            Effect::JoinWait(target) => {
+                let row = self.threads.get_mut(tid);
+                row.pc = pc + 1;
+                row.state = ThreadState::WaitingJoin(target);
+                row.next_issue = self.cycle + 1;
+            }
+        }
+
+        self.cycle += 1;
+        Ok(())
+    }
+
+    /// Run until the program halts, every thread exits, or `max_cycles`
+    /// elapse. Returns the final statistics.
+    pub fn run(&mut self, max_cycles: u64) -> Result<Stats, RunError> {
+        while !self.finished() {
+            if self.cycle >= max_cycles {
+                return Err(RunError::CycleLimit { limit: max_cycles });
+            }
+            self.step()?;
+        }
+        // pipeline drain: cycles counted to the last writeback
+        self.stats.cycles = self.stats.last_writeback.max(self.cycle) + 1;
+        Ok(self.stats.clone())
+    }
+}
+
+/// Classify a RAW stall by the classes of producer and consumer — the
+/// taxonomy of Section 4.2.
+fn classify_hazard(producer: InstrClass, consumer: InstrClass, op: Operand) -> StallReason {
+    match (producer, consumer) {
+        (InstrClass::Reduction, InstrClass::Scalar) => StallReason::ReductionHazard,
+        (InstrClass::Reduction, _) => StallReason::BroadcastReductionHazard,
+        (InstrClass::Scalar, InstrClass::Parallel | InstrClass::Reduction)
+            if matches!(op.class, RegClass::SGpr | RegClass::SFlag) =>
+        {
+            StallReason::BroadcastHazard
+        }
+        _ => StallReason::DataHazard,
+    }
+}

@@ -1,0 +1,6 @@
+//! Pipeline visualization: generated reproductions of the paper's Figures
+//! 1–3.
+
+pub mod diagram;
+
+pub use diagram::{control_unit_organization, hazard_diagram, pipeline_organization};

@@ -1,0 +1,256 @@
+//! Machine-level property tests: masked-execution semantics, scheduler
+//! determinism, fast-forward correctness, and instruction-semantics
+//! equivalence against host arithmetic.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use asc_isa::{AluOp, CmpOp, Width, Word};
+
+use crate::config::MachineConfig;
+use crate::machine::Machine;
+
+fn cfg8() -> MachineConfig {
+    let mut c = MachineConfig::new(8).with_width(Width::W8);
+    c.lmem_words = 16;
+    c
+}
+
+proptest! {
+    /// Masked execution equals run-everywhere + merge: running an ALU op
+    /// under mask `pf1` leaves inactive PEs' destination untouched and
+    /// matches the unmasked result in active PEs.
+    #[test]
+    fn masked_alu_is_a_merge(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ops = [AluOp::Add, AluOp::Sub, AluOp::Xor, AluOp::Min, AluOp::Srl];
+        let op = ops[rng.random_range(0..ops.len())];
+        let threshold = rng.random_range(0..8i64);
+        let src = format!(
+            "pidx   p1
+             pli    p2, 11
+             pclti  pf1, p1, {threshold}
+             p{op}i p3, p1, 3 ?pf1
+             halt"
+        );
+        let (masked, _) = crate::run_source(cfg8(), &src, 100_000).unwrap();
+        let unmasked_src = format!(
+            "pidx   p1
+             pli    p2, 11
+             p{op}i p3, p1, 3
+             halt"
+        );
+        let (unmasked, _) = crate::run_source(cfg8(), &unmasked_src, 100_000).unwrap();
+        for pe in 0..8 {
+            let got = masked.array().gpr(pe, 0, 3);
+            if (pe as i64) < threshold {
+                prop_assert_eq!(got, unmasked.array().gpr(pe, 0, 3), "active PE {}", pe);
+            } else {
+                prop_assert_eq!(got, Word::ZERO, "inactive PE {} must be untouched", pe);
+            }
+        }
+    }
+
+    /// Scalar ALU/compare instructions compute exactly what the host
+    /// arithmetic says, for every op and random operands.
+    #[test]
+    fn scalar_semantics_match_host(a in -128i64..128, b in -128i64..128) {
+        let w = Width::W8;
+        for &op in AluOp::ALL {
+            let src = format!(
+                "li  s1, {a}
+                 li  s2, {b}
+                 {op} s3, s1, s2
+                 halt"
+            );
+            let (m, _) = crate::run_source(cfg8(), &src, 100_000).unwrap();
+            let expect = op.apply(Word::from_i64(a, w), Word::from_i64(b, w), w);
+            prop_assert_eq!(m.sreg(0, 3), expect, "{} {} {}", op, a, b);
+        }
+        for &op in CmpOp::ALL {
+            let src = format!(
+                "li  s1, {a}
+                 li  s2, {b}
+                 c{op} f1, s1, s2
+                 halt"
+            );
+            let (m, _) = crate::run_source(cfg8(), &src, 100_000).unwrap();
+            let expect = op.apply(Word::from_i64(a, w), Word::from_i64(b, w), w);
+            prop_assert_eq!(m.sflag(0, 1), expect, "c{} {} {}", op, a, b);
+        }
+    }
+
+    /// Reductions equal host folds over the active set, for random values
+    /// and random masks.
+    #[test]
+    fn reductions_match_host_folds(
+        vals in proptest::collection::vec(-100i64..100, 8),
+        threshold in 0i64..9,
+    ) {
+        let w = Width::W8;
+        let src = format!(
+            "pidx  p1
+             plw   p2, 0(p0)
+             pclti pf1, p1, {threshold}
+             rsum  s1, p2 ?pf1
+             rmax  s2, p2 ?pf1
+             rmin  s3, p2 ?pf1
+             rcount s4, pf1
+             halt"
+        );
+        let program = asc_asm::assemble(&src).unwrap();
+        let mut m = Machine::with_program(cfg8(), &program).unwrap();
+        let words: Vec<Word> = vals.iter().map(|&v| Word::from_i64(v, w)).collect();
+        m.array_mut().scatter_column(0, &words).unwrap();
+        m.run(100_000).unwrap();
+
+        let active: Vec<i64> = vals.iter().take(threshold as usize).copied().collect();
+        let sum: i64 = active.iter().sum::<i64>().clamp(w.smin(), w.smax());
+        // the machine's saturating tree sum equals the clamped exact sum
+        // when no intermediate node overflows; with |v| < 100 and <= 8
+        // values the max partial magnitude is 800 -- may exceed 127, so
+        // only check when the exact partial sums stay in range
+        let abs: i64 = active.iter().map(|v| v.abs()).sum();
+        if abs <= w.smax() {
+            prop_assert_eq!(m.sreg(0, 1).to_i64(w), sum);
+        }
+        let max = active.iter().copied().max().unwrap_or(w.smin());
+        let min = active.iter().copied().min().unwrap_or(w.smax());
+        prop_assert_eq!(m.sreg(0, 2).to_i64(w), max);
+        prop_assert_eq!(m.sreg(0, 3).to_i64(w), min);
+        prop_assert_eq!(m.sreg(0, 4).to_u32() as usize, active.len());
+    }
+
+    /// `pshift` by d then by -d over-writes with zeros only at the edges;
+    /// the middle returns intact (shift network round trip).
+    #[test]
+    fn shift_round_trip(d in 1i64..7) {
+        let src = format!(
+            "pidx   p1
+             pshift p2, p1, {d}
+             pshift p3, p2, -{d}
+             halt"
+        );
+        let (m, _) = crate::run_source(cfg8(), &src, 100_000).unwrap();
+        for pe in 0..8i64 {
+            let expect = if pe + d < 8 { pe as u32 } else { 0 };
+            prop_assert_eq!(m.array().gpr(pe as usize, 0, 3).to_u32(), expect);
+        }
+    }
+}
+
+/// `Instr::writes()` drives the scoreboard: if it under-reports, hazard
+/// detection is silently wrong. Check against the executor: after one
+/// random instruction, every changed register must appear in `writes()`.
+#[test]
+fn writes_set_bounds_executor_effects() {
+    use asc_isa::gen::random_straightline_instr;
+    use asc_isa::{Instr, Operand, RegClass};
+    use crate::emulator::Emulator;
+
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    // lmem large enough that any 8-bit base register + small offset is in
+    // range (random register state feeds the address calculation)
+    let mut cfg = cfg8();
+    cfg.lmem_words = 512;
+    for trial in 0..400 {
+        let mut i = random_straightline_instr(&mut rng);
+        match &mut i {
+            Instr::Lw { off, .. } | Instr::Sw { off, .. } => *off = off.rem_euclid(16),
+            Instr::Plw { off, .. } | Instr::Psw { off, .. } => *off = off.rem_euclid(15),
+            _ => {}
+        }
+        let words = [asc_isa::encode(&i), asc_isa::encode(&Instr::Halt)];
+        let mut emu = Emulator::new(cfg);
+        emu.machine_mut().load_words(&words).unwrap();
+        // randomize initial state so effects are visible
+        for r in 1..16 {
+            emu.machine_mut().set_sreg(0, r, Word::new(rng.random::<u32>() & 0xff, Width::W8));
+        }
+        for pe in 0..8 {
+            for r in 1..16 {
+                emu.machine_mut().array_mut().set_gpr(
+                    pe,
+                    0,
+                    r,
+                    Word::new(rng.random::<u32>() & 0xff, Width::W8),
+                );
+            }
+            for f in 0..8 {
+                emu.machine_mut().array_mut().set_flag(pe, 0, f, rng.random());
+            }
+        }
+
+        // snapshot
+        let snap_s: Vec<Word> = (0..16).map(|r| emu.machine().sreg(0, r)).collect();
+        let snap_f: Vec<bool> = (0..8).map(|f| emu.machine().sflag(0, f)).collect();
+        let snap_p: Vec<Vec<Word>> =
+            (0..8).map(|pe| (0..16).map(|r| emu.array().gpr(pe, 0, r)).collect()).collect();
+        let snap_pf: Vec<Vec<bool>> =
+            (0..8).map(|pe| (0..8).map(|f| emu.array().flag(pe, 0, f)).collect()).collect();
+
+        emu.step().unwrap();
+
+        let writes = i.writes();
+        let declared = |op: Operand| writes.contains(&op);
+        for r in 0..16u8 {
+            if emu.machine().sreg(0, r as usize) != snap_s[r as usize] {
+                assert!(
+                    declared(Operand { class: RegClass::SGpr, index: r }),
+                    "trial {trial}: {i:?} changed s{r} without declaring it"
+                );
+            }
+        }
+        for f in 0..8u8 {
+            if emu.machine().sflag(0, f as usize) != snap_f[f as usize] {
+                assert!(
+                    declared(Operand { class: RegClass::SFlag, index: f }),
+                    "trial {trial}: {i:?} changed f{f} without declaring it"
+                );
+            }
+        }
+        for pe in 0..8 {
+            for r in 0..16u8 {
+                if emu.array().gpr(pe, 0, r as usize) != snap_p[pe][r as usize] {
+                    assert!(
+                        declared(Operand { class: RegClass::PGpr, index: r }),
+                        "trial {trial}: {i:?} changed PE{pe} p{r} without declaring it"
+                    );
+                }
+            }
+            for f in 0..8u8 {
+                if emu.array().flag(pe, 0, f as usize) != snap_pf[pe][f as usize] {
+                    assert!(
+                        declared(Operand { class: RegClass::PFlag, index: f }),
+                        "trial {trial}: {i:?} changed PE{pe} pf{f} without declaring it"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The fast-forward optimization (skipping long stalls in one step) must
+/// not change any cycle count: compare against a machine stepped with the
+/// same programs at different PE counts, where the final cycle counts obey
+/// the closed-form b+r model.
+#[test]
+fn fast_forward_matches_closed_form() {
+    for p in [4usize, 16, 64, 1024] {
+        let mut cfg = MachineConfig::new(p).single_threaded();
+        cfg.lmem_words = 8;
+        let t = cfg.timing();
+        let (_, stats) = crate::run_source(
+            cfg,
+            "rmax s1, p2
+             sub  s3, s1, s1
+             halt",
+            1_000_000,
+        )
+        .unwrap();
+        // issue cycles: rmax@0, sub@(b+r+1), halt@(b+r+2); halt retires at
+        // +3, so total = b+r+2+3+1
+        assert_eq!(stats.cycles, t.b + t.r + 6, "p = {p}");
+    }
+}

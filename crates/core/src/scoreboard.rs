@@ -1,0 +1,100 @@
+//! The instruction status table ("maintained by the scheduler ... used by
+//! the decode unit to detect hazards"): for every architectural register of
+//! every thread, the first cycle at which its latest in-flight writer's
+//! value can be consumed (through forwarding, or via the register file when
+//! forwarding is disabled), and the pipeline class of that writer (needed
+//! to classify a stall as a reduction hazard vs. an ordinary data hazard).
+
+use asc_isa::{InstrClass, Operand, RegClass};
+
+const FILES: usize = 4;
+const REGS: usize = 16; // flags use the first 8 slots
+
+fn file_index(class: RegClass) -> usize {
+    match class {
+        RegClass::SGpr => 0,
+        RegClass::SFlag => 1,
+        RegClass::PGpr => 2,
+        RegClass::PFlag => 3,
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    ready: u64,
+    producer: InstrClass,
+}
+
+impl Default for Entry {
+    fn default() -> Self {
+        Entry { ready: 0, producer: InstrClass::Scalar }
+    }
+}
+
+/// Per-thread register readiness tracking.
+#[derive(Debug, Clone)]
+pub struct Scoreboard {
+    entries: Vec<[[Entry; REGS]; FILES]>,
+}
+
+impl Scoreboard {
+    /// Allocate for `threads` hardware threads; everything ready at cycle
+    /// 0.
+    pub fn new(threads: usize) -> Scoreboard {
+        Scoreboard { entries: vec![[[Entry::default(); REGS]; FILES]; threads] }
+    }
+
+    /// First cycle at which `op` of `thread` may be consumed.
+    pub fn ready_time(&self, thread: usize, op: Operand) -> u64 {
+        self.entries[thread][file_index(op.class)][op.index as usize].ready
+    }
+
+    /// Pipeline class of the latest writer of `op`.
+    pub fn producer_class(&self, thread: usize, op: Operand) -> InstrClass {
+        self.entries[thread][file_index(op.class)][op.index as usize].producer
+    }
+
+    /// Record that `op` of `thread` will be produced (forward-ready) at the
+    /// end of `ready`, by an instruction of class `producer`.
+    pub fn record_write(&mut self, thread: usize, op: Operand, ready: u64, producer: InstrClass) {
+        self.entries[thread][file_index(op.class)][op.index as usize] =
+            Entry { ready, producer };
+    }
+
+    /// Clear a thread's entries (context reallocation).
+    pub fn clear_thread(&mut self, thread: usize) {
+        self.entries[thread] = [[Entry::default(); REGS]; FILES];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asc_isa::{PFlag, PReg, SReg};
+
+    #[test]
+    fn tracks_per_thread_per_file() {
+        let mut sb = Scoreboard::new(2);
+        let s1 = Operand::s(SReg::from_index(1));
+        let p1 = Operand::p(PReg::from_index(1));
+        sb.record_write(0, s1, 10, InstrClass::Reduction);
+        sb.record_write(1, s1, 20, InstrClass::Scalar);
+        sb.record_write(0, p1, 30, InstrClass::Parallel);
+        assert_eq!(sb.ready_time(0, s1), 10);
+        assert_eq!(sb.producer_class(0, s1), InstrClass::Reduction);
+        assert_eq!(sb.ready_time(1, s1), 20);
+        assert_eq!(sb.ready_time(0, p1), 30);
+        // same index, different file
+        assert_eq!(sb.ready_time(0, Operand::pf(PFlag::from_index(1))), 0);
+    }
+
+    #[test]
+    fn clear_thread_resets() {
+        let mut sb = Scoreboard::new(2);
+        let s1 = Operand::s(SReg::from_index(1));
+        sb.record_write(0, s1, 99, InstrClass::Reduction);
+        sb.clear_thread(0);
+        assert_eq!(sb.ready_time(0, s1), 0);
+        assert_eq!(sb.producer_class(0, s1), InstrClass::Scalar);
+    }
+}

@@ -1,0 +1,203 @@
+//! Execution statistics: issue counts by class and thread, and a stall
+//! breakdown by hazard type — the quantities the paper's argument is about.
+
+use asc_isa::InstrClass;
+use std::fmt;
+
+/// Why an issue slot went empty (or a particular thread could not issue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StallReason {
+    /// Waiting on a scalar→scalar or parallel→parallel dependency (load
+    /// delay, multiplier latency, WAW interlock, ...).
+    DataHazard,
+    /// Parallel instruction waiting on a scalar producer (only load-use
+    /// variants survive the EX→B1 forwarding path).
+    BroadcastHazard,
+    /// Scalar instruction waiting on a reduction result — the b+r stall of
+    /// Figure 2 (middle).
+    ReductionHazard,
+    /// Parallel instruction waiting on a reduction result — Figure 2
+    /// (bottom).
+    BroadcastReductionHazard,
+    /// Sequential multiplier/divider busy (structural hazard).
+    Structural,
+    /// Branch resolution bubble.
+    BranchBubble,
+    /// Blocked in `tjoin`.
+    WaitJoin,
+    /// Thread context is unallocated or has no instruction to run.
+    NoThread,
+    /// Coarse-grain thread-switch penalty.
+    SwitchPenalty,
+    /// Instruction buffer empty (finite fetch model only).
+    FetchEmpty,
+}
+
+impl StallReason {
+    /// All reasons, for table rendering.
+    pub const ALL: [StallReason; 10] = [
+        StallReason::DataHazard,
+        StallReason::BroadcastHazard,
+        StallReason::ReductionHazard,
+        StallReason::BroadcastReductionHazard,
+        StallReason::Structural,
+        StallReason::BranchBubble,
+        StallReason::WaitJoin,
+        StallReason::NoThread,
+        StallReason::SwitchPenalty,
+        StallReason::FetchEmpty,
+    ];
+
+    /// Dense index for counters.
+    pub const fn index(self) -> usize {
+        match self {
+            StallReason::DataHazard => 0,
+            StallReason::BroadcastHazard => 1,
+            StallReason::ReductionHazard => 2,
+            StallReason::BroadcastReductionHazard => 3,
+            StallReason::Structural => 4,
+            StallReason::BranchBubble => 5,
+            StallReason::WaitJoin => 6,
+            StallReason::NoThread => 7,
+            StallReason::SwitchPenalty => 8,
+            StallReason::FetchEmpty => 9,
+        }
+    }
+
+    /// Human-readable label.
+    pub const fn label(self) -> &'static str {
+        match self {
+            StallReason::DataHazard => "data hazard",
+            StallReason::BroadcastHazard => "broadcast hazard",
+            StallReason::ReductionHazard => "reduction hazard",
+            StallReason::BroadcastReductionHazard => "broadcast-reduction hazard",
+            StallReason::Structural => "structural (mul/div)",
+            StallReason::BranchBubble => "branch bubble",
+            StallReason::WaitJoin => "join wait",
+            StallReason::NoThread => "no live thread",
+            StallReason::SwitchPenalty => "thread-switch penalty",
+            StallReason::FetchEmpty => "fetch buffer empty",
+        }
+    }
+}
+
+impl fmt::Display for StallReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Counters accumulated during a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Total cycles simulated (to the last writeback).
+    pub cycles: u64,
+    /// Cycles in which an instruction issued.
+    pub issued: u64,
+    /// Issued instructions by pipeline class (scalar/parallel/reduction).
+    pub issued_by_class: [u64; 3],
+    /// Issued instructions per hardware thread.
+    pub issued_by_thread: Vec<u64>,
+    /// Cycles in which no instruction issued.
+    pub stall_cycles: u64,
+    /// Stall cycles by the reason of the highest-priority blocked thread.
+    pub stalls: [u64; 10],
+    /// Cycle of the last writeback (pipeline drain).
+    pub last_writeback: u64,
+    /// Thread switches (meaningful under coarse-grain scheduling).
+    pub thread_switches: u64,
+}
+
+impl Stats {
+    /// Allocate for `threads` hardware threads.
+    pub fn new(threads: usize) -> Stats {
+        Stats { issued_by_thread: vec![0; threads], ..Stats::default() }
+    }
+
+    /// Record an issue.
+    pub fn record_issue(&mut self, thread: usize, class: InstrClass) {
+        self.issued += 1;
+        self.issued_by_thread[thread] += 1;
+        let idx = match class {
+            InstrClass::Scalar => 0,
+            InstrClass::Parallel => 1,
+            InstrClass::Reduction => 2,
+        };
+        self.issued_by_class[idx] += 1;
+    }
+
+    /// Record `n` stall cycles attributed to `reason`.
+    pub fn record_stall(&mut self, reason: StallReason, n: u64) {
+        self.stall_cycles += n;
+        self.stalls[reason.index()] += n;
+    }
+
+    /// Instructions per cycle over the whole run.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.issued as f64 / self.cycles as f64
+        }
+    }
+
+    /// Stall cycles attributed to a reason.
+    pub fn stalls_for(&self, reason: StallReason) -> u64 {
+        self.stalls[reason.index()]
+    }
+
+    /// Issue-slot utilization report, one line per non-zero reason.
+    pub fn report(&self) -> String {
+        let mut out = format!(
+            "cycles: {}  issued: {} (scalar {}, parallel {}, reduction {})  IPC: {:.3}\n",
+            self.cycles,
+            self.issued,
+            self.issued_by_class[0],
+            self.issued_by_class[1],
+            self.issued_by_class[2],
+            self.ipc()
+        );
+        for reason in StallReason::ALL {
+            let n = self.stalls_for(reason);
+            if n > 0 {
+                out.push_str(&format!("  stalls[{}]: {}\n", reason.label(), n));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        let mut seen = [false; 10];
+        for r in StallReason::ALL {
+            assert!(!seen[r.index()]);
+            seen[r.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn ipc_and_report() {
+        let mut s = Stats::new(2);
+        s.cycles = 10;
+        s.record_issue(0, InstrClass::Scalar);
+        s.record_issue(1, InstrClass::Reduction);
+        s.record_stall(StallReason::ReductionHazard, 6);
+        assert!((s.ipc() - 0.2).abs() < 1e-12);
+        assert_eq!(s.issued_by_thread, vec![1, 1]);
+        assert_eq!(s.stalls_for(StallReason::ReductionHazard), 6);
+        let rep = s.report();
+        assert!(rep.contains("reduction hazard"));
+        assert!(rep.contains("IPC: 0.200"));
+    }
+
+    #[test]
+    fn zero_cycles_ipc() {
+        assert_eq!(Stats::new(1).ipc(), 0.0);
+    }
+}

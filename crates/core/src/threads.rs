@@ -1,0 +1,146 @@
+//! The thread status table: per-thread PC, run state and earliest next
+//! issue cycle. "Each thread's instruction buffer, PC, and state are
+//! recorded in a data structure called the thread status table, which is
+//! shared between the fetch unit and the decode unit."
+
+/// Run state of one hardware thread context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadState {
+    /// Context is unallocated.
+    Free,
+    /// Thread has a PC and may issue when its hazards clear.
+    Runnable,
+    /// Blocked in `tjoin` until the named thread's context is released.
+    WaitingJoin(usize),
+}
+
+/// One row of the thread status table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Thread {
+    /// Run state.
+    pub state: ThreadState,
+    /// Program counter (instruction address).
+    pub pc: u32,
+    /// Earliest cycle at which this thread may issue its next instruction
+    /// (branch bubbles, spawn latency, switch penalties).
+    pub next_issue: u64,
+}
+
+/// The thread status table.
+#[derive(Debug, Clone)]
+pub struct ThreadTable {
+    rows: Vec<Thread>,
+}
+
+impl ThreadTable {
+    /// Create with `n` contexts; thread 0 starts runnable at PC 0, the
+    /// rest are free.
+    pub fn new(n: usize) -> ThreadTable {
+        assert!(n >= 1);
+        let mut rows =
+            vec![Thread { state: ThreadState::Free, pc: 0, next_issue: 0 }; n];
+        rows[0].state = ThreadState::Runnable;
+        ThreadTable { rows }
+    }
+
+    /// Number of contexts.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Always at least one context.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Borrow one row.
+    pub fn get(&self, tid: usize) -> &Thread {
+        &self.rows[tid]
+    }
+
+    /// Mutably borrow one row.
+    pub fn get_mut(&mut self, tid: usize) -> &mut Thread {
+        &mut self.rows[tid]
+    }
+
+    /// Allocate a free context, set it runnable at `pc`, first issue no
+    /// earlier than `ready_at`. Returns the thread id, or `None` if all
+    /// contexts are in use. Contexts are allocated lowest-index-first
+    /// (deterministic).
+    pub fn alloc(&mut self, pc: u32, ready_at: u64) -> Option<usize> {
+        let tid = self.rows.iter().position(|t| t.state == ThreadState::Free)?;
+        self.rows[tid] = Thread { state: ThreadState::Runnable, pc, next_issue: ready_at };
+        Some(tid)
+    }
+
+    /// Release a context (`texit`), waking any joiners.
+    pub fn release(&mut self, tid: usize) {
+        self.rows[tid].state = ThreadState::Free;
+        for row in &mut self.rows {
+            if row.state == ThreadState::WaitingJoin(tid) {
+                row.state = ThreadState::Runnable;
+            }
+        }
+    }
+
+    /// True if any context is runnable or waiting.
+    pub fn any_live(&self) -> bool {
+        self.rows.iter().any(|t| t.state != ThreadState::Free)
+    }
+
+    /// True if at least one thread is runnable (not free, not join-blocked).
+    pub fn any_runnable(&self) -> bool {
+        self.rows.iter().any(|t| t.state == ThreadState::Runnable)
+    }
+
+    /// Iterate thread ids in rotating-priority order starting at `from`.
+    pub fn rotation(&self, from: usize) -> impl Iterator<Item = usize> + '_ {
+        let n = self.rows.len();
+        (0..n).map(move |i| (from + i) % n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_state() {
+        let t = ThreadTable::new(4);
+        assert_eq!(t.get(0).state, ThreadState::Runnable);
+        assert_eq!(t.get(1).state, ThreadState::Free);
+        assert!(t.any_live());
+        assert!(t.any_runnable());
+    }
+
+    #[test]
+    fn alloc_release_cycle() {
+        let mut t = ThreadTable::new(3);
+        let a = t.alloc(10, 5).unwrap();
+        assert_eq!(a, 1);
+        assert_eq!(t.get(1).pc, 10);
+        assert_eq!(t.get(1).next_issue, 5);
+        let b = t.alloc(20, 0).unwrap();
+        assert_eq!(b, 2);
+        assert_eq!(t.alloc(30, 0), None, "exhausted");
+        t.release(1);
+        assert_eq!(t.alloc(40, 0), Some(1), "reuses freed context");
+    }
+
+    #[test]
+    fn join_wakeup() {
+        let mut t = ThreadTable::new(3);
+        let worker = t.alloc(5, 0).unwrap();
+        t.get_mut(0).state = ThreadState::WaitingJoin(worker);
+        assert!(!t.get(0).state.eq(&ThreadState::Runnable));
+        t.release(worker);
+        assert_eq!(t.get(0).state, ThreadState::Runnable);
+    }
+
+    #[test]
+    fn rotation_order() {
+        let t = ThreadTable::new(4);
+        let order: Vec<usize> = t.rotation(2).collect();
+        assert_eq!(order, vec![2, 3, 0, 1]);
+    }
+}

@@ -1,0 +1,149 @@
+//! The clock model: why pipelining the broadcast/reduction network
+//! matters.
+//!
+//! In a **non-pipelined** SIMD processor every instruction's broadcast
+//! (and any reduction) must settle combinationally within one cycle, so
+//! the cycle time grows with the network's gate depth (∝ log₂ p) *and*
+//! wire length across the die (∝ √p for a 2-D layout) — the
+//! broadcast/reduction bottleneck of Section 1 (Allen & Schimmel \[3\]).
+//! In the **pipelined** design, registers at every tree node keep the
+//! critical path inside a PE (the paper: "the critical path that limits
+//! the clock speed is the forwarding logic in the PE"), so frequency is
+//! nearly flat in p.
+//!
+//! Constants are calibrated to the two hard numbers available: the
+//! prototype's ~75 MHz at p = 16 (Section 7), and the non-pipelined
+//! related-work point of roughly 68 MHz at 95 8-bit PEs \[10\] (we model a
+//! 16-bit datapath, which lands somewhat lower — the *shape* is what the
+//! experiments use).
+
+use crate::resources::FpgaConfig;
+
+/// Cycle-time model for pipelined and non-pipelined network organizations.
+#[derive(Debug, Clone, Copy)]
+pub struct ClockModel {
+    /// PE datapath + forwarding critical path at W=16, ns.
+    pub t_pe_ns: f64,
+    /// Extra routing delay per doubling of the PE count in the pipelined
+    /// design (placement spread), ns.
+    pub t_route_ns: f64,
+    /// Per-tree-level gate delay of the combinational network, ns.
+    pub t_gate_ns: f64,
+    /// Wire delay coefficient (× √p) of the combinational network, ns.
+    pub t_wire_ns: f64,
+}
+
+impl Default for ClockModel {
+    fn default() -> Self {
+        // calibrated: pipelined(p=16, W=16) = 75.0 MHz
+        ClockModel { t_pe_ns: 12.533, t_route_ns: 0.2, t_gate_ns: 0.9, t_wire_ns: 0.35 }
+    }
+}
+
+fn lg2(p: u64) -> f64 {
+    if p <= 1 {
+        0.0
+    } else {
+        (p as f64).log2()
+    }
+}
+
+impl ClockModel {
+    /// Width scaling of the PE critical path (carry chains): linear beyond
+    /// 16 bits at ~0.15 ns/bit.
+    fn t_pe(&self, cfg: &FpgaConfig) -> f64 {
+        self.t_pe_ns + 0.15 * (cfg.width.bits() as f64 - 16.0)
+    }
+
+    /// Delay of one broadcast tree node: register + k-way fanout buffer.
+    /// Grows with arity — the physical reason the arity is "variable and
+    /// chosen so as to maximize system performance" (§6.4): higher k means
+    /// fewer stages (smaller b, shorter hazards) but a slower clock once
+    /// the node fanout exceeds the PE critical path.
+    pub fn broadcast_node_ns(&self, arity: u64) -> f64 {
+        8.0 + 0.6 * arity as f64
+    }
+
+    /// Cycle time (ns) of the pipelined design: the longer of the PE
+    /// forwarding path and the broadcast node, plus a mild routing term.
+    pub fn pipelined_ns(&self, cfg: &FpgaConfig) -> f64 {
+        self.t_pe(cfg).max(self.broadcast_node_ns(cfg.broadcast_arity))
+            + self.t_route_ns * lg2(cfg.num_pes)
+    }
+
+    /// Cycle time (ns) of the non-pipelined design: PE path plus the full
+    /// combinational broadcast+reduction traversal.
+    pub fn nonpipelined_ns(&self, cfg: &FpgaConfig) -> f64 {
+        self.t_pe(cfg)
+            + self.t_gate_ns * 2.0 * lg2(cfg.num_pes)
+            + self.t_wire_ns * (cfg.num_pes as f64).sqrt()
+    }
+
+    /// Pipelined clock in MHz.
+    pub fn pipelined_mhz(&self, cfg: &FpgaConfig) -> f64 {
+        1000.0 / self.pipelined_ns(cfg)
+    }
+
+    /// Non-pipelined clock in MHz.
+    pub fn nonpipelined_mhz(&self, cfg: &FpgaConfig) -> f64 {
+        1000.0 / self.nonpipelined_ns(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resources::FpgaConfig;
+
+    #[test]
+    fn prototype_runs_at_75mhz() {
+        let m = ClockModel::default();
+        let f = m.pipelined_mhz(&FpgaConfig::prototype());
+        assert!((f - 75.0).abs() < 0.5, "got {f}");
+    }
+
+    #[test]
+    fn nonpipelined_is_always_slower() {
+        let m = ClockModel::default();
+        for p in [4u64, 16, 64, 256, 1024, 16384] {
+            let cfg = FpgaConfig { num_pes: p, ..FpgaConfig::prototype() };
+            assert!(m.nonpipelined_mhz(&cfg) < m.pipelined_mhz(&cfg), "p={p}");
+        }
+    }
+
+    #[test]
+    fn gap_widens_with_pe_count() {
+        let m = ClockModel::default();
+        let ratio = |p| {
+            let cfg = FpgaConfig { num_pes: p, ..FpgaConfig::prototype() };
+            m.pipelined_mhz(&cfg) / m.nonpipelined_mhz(&cfg)
+        };
+        assert!(ratio(16) < ratio(256));
+        assert!(ratio(256) < ratio(4096));
+        // pipelined clock degrades only mildly over a 1024x scale-up
+        let cfg16 = FpgaConfig { num_pes: 16, ..FpgaConfig::prototype() };
+        let cfg16k = FpgaConfig { num_pes: 16384, ..FpgaConfig::prototype() };
+        let drop = m.pipelined_mhz(&cfg16) / m.pipelined_mhz(&cfg16k);
+        assert!(drop < 1.2, "pipelined clock nearly flat, drop factor {drop}");
+    }
+
+    #[test]
+    fn high_arity_eventually_limits_the_clock() {
+        let m = ClockModel::default();
+        let at = |k| {
+            let cfg = FpgaConfig { broadcast_arity: k, num_pes: 1024, ..FpgaConfig::prototype() };
+            m.pipelined_mhz(&cfg)
+        };
+        // small arities share the PE-limited clock; very wide nodes lose
+        assert_eq!(at(2), at(4));
+        assert!(at(32) < at(4));
+    }
+
+    #[test]
+    fn wider_datapath_is_slower() {
+        let m = ClockModel::default();
+        let w16 = FpgaConfig::prototype();
+        let w32 = FpgaConfig { width: asc_isa::Width::W32, ..w16 };
+        assert!(m.pipelined_mhz(&w32) < m.pipelined_mhz(&w16));
+    }
+}

@@ -1,0 +1,58 @@
+//! Altera Cyclone II device database (the family the prototype targeted).
+
+/// One FPGA device: logic elements and M4K RAM blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Device {
+    /// Part name.
+    pub name: &'static str,
+    /// Logic elements.
+    pub les: u64,
+    /// M4K RAM blocks.
+    pub m4k_blocks: u64,
+}
+
+impl Device {
+    /// Data bits per M4K block (4 Kbit data, parity excluded).
+    pub const M4K_DATA_BITS: u64 = 4096;
+
+    /// Look up a Cyclone II device by name.
+    pub fn by_name(name: &str) -> Option<Device> {
+        CYCLONE_II.iter().copied().find(|d| d.name == name)
+    }
+
+    /// The prototype's device.
+    pub fn ep2c35() -> Device {
+        Device::by_name("EP2C35").expect("EP2C35 in database")
+    }
+}
+
+/// The Cyclone II family (production members with M4K counts).
+pub const CYCLONE_II: &[Device] = &[
+    Device { name: "EP2C5", les: 4_608, m4k_blocks: 26 },
+    Device { name: "EP2C8", les: 8_256, m4k_blocks: 36 },
+    Device { name: "EP2C15", les: 14_448, m4k_blocks: 52 },
+    Device { name: "EP2C20", les: 18_752, m4k_blocks: 52 },
+    Device { name: "EP2C35", les: 33_216, m4k_blocks: 105 },
+    Device { name: "EP2C50", les: 50_528, m4k_blocks: 129 },
+    Device { name: "EP2C70", les: 68_416, m4k_blocks: 250 },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ep2c35_matches_table_1_availability() {
+        // Table 1's "Available" row: 33,216 LEs and 105 RAM blocks.
+        let d = Device::ep2c35();
+        assert_eq!(d.les, 33_216);
+        assert_eq!(d.m4k_blocks, 105);
+    }
+
+    #[test]
+    fn lookup() {
+        assert!(Device::by_name("EP2C70").is_some());
+        assert!(Device::by_name("EP4CE115").is_none());
+        assert!(CYCLONE_II.windows(2).all(|w| w[0].les < w[1].les));
+    }
+}

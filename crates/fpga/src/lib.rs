@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! # asc-fpga — FPGA resource and clock model
+//!
+//! The paper's quantitative evaluation (Section 7, Table 1) is a synthesis
+//! report: logic elements (LEs) and M4K RAM blocks per subsystem on an
+//! Altera Cyclone II EP2C35, plus a ~75 MHz clock estimate. We cannot run
+//! Quartus II on 2005-era silicon, so this crate substitutes an
+//! **analytical component model**: parametric LE/RAM formulas whose
+//! constants are *calibrated* so the prototype configuration (16 PEs, 16
+//! threads, 16-bit datapath, 1 KB local memory, 512-instruction program
+//! store) reproduces Table 1 row-for-row. The model then *extrapolates* to
+//! other configurations — answering the paper's Section 9 question of how
+//! many PEs fit a device, and why RAM blocks (not LEs) are the limit.
+//!
+//! The clock model covers the paper's architectural argument: a pipelined
+//! broadcast/reduction network keeps the cycle time roughly flat as the PE
+//! count grows, while a non-pipelined (combinational) network's cycle time
+//! grows with tree depth and wire length — the broadcast/reduction
+//! bottleneck of the introduction.
+
+pub mod clock;
+pub mod device;
+pub mod offchip;
+pub mod resources;
+
+pub use clock::ClockModel;
+pub use offchip::{sweep as offchip_sweep, TilingCost, Workload};
+pub use device::{Device, CYCLONE_II};
+pub use resources::{max_pes_on, FpgaConfig, ResourceReport, Usage};

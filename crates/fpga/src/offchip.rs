@@ -1,0 +1,116 @@
+//! The off-chip memory traffic model behind §6.2's configuration
+//! tradeoff: "a larger memory will reduce off-chip memory traffic, but
+//! reduce the number of PEs that can fit on a single FPGA."
+//!
+//! The local memory is a software-managed cache. For an iterative
+//! workload (`data_words` total, `passes` sweeps over it), a PE whose
+//! slice fits its local memory loads it **once**; otherwise every pass
+//! must re-stream the slice from off-chip memory. Off-chip bandwidth is
+//! shared by the whole array, so total time is
+//!
+//! ```text
+//! compute  = passes * data / p                 (1 word/PE/cycle)
+//! transfer = data * (1 or passes) / bus_words  (shared bus)
+//! total    = compute + transfer                (no overlap, worst case)
+//! ```
+//!
+//! Combined with the resource model's `max_pes(lmem)`, this exposes the
+//! interior optimum the paper gestures at: shrinking local memory buys
+//! PEs (less compute time) until the working set spills and traffic
+//! multiplies by the pass count.
+
+use crate::device::Device;
+use crate::resources::{max_pes_on, FpgaConfig};
+
+/// An iterative workload description.
+#[derive(Debug, Clone, Copy)]
+pub struct Workload {
+    /// Total data words.
+    pub data_words: u64,
+    /// Sweeps over the data.
+    pub passes: u64,
+    /// Off-chip bus width in words per cycle.
+    pub bus_words_per_cycle: u64,
+}
+
+/// One configuration's predicted cost.
+#[derive(Debug, Clone, Copy)]
+pub struct TilingCost {
+    /// Local memory words per PE.
+    pub lmem_words: u64,
+    /// PEs that fit the device at this local-memory size.
+    pub pes: u64,
+    /// Does each PE's slice fit its local memory?
+    pub resident: bool,
+    /// Compute cycles.
+    pub compute_cycles: u64,
+    /// Words transferred off-chip.
+    pub transfer_words: u64,
+    /// Total cycles (compute + transfer on the shared bus).
+    pub total_cycles: u64,
+}
+
+/// Evaluate the workload at one local-memory size on `device`.
+pub fn tiling_cost(base: &FpgaConfig, device: &Device, lmem: u64, w: &Workload) -> TilingCost {
+    let cfg = FpgaConfig { lmem_words: lmem, ..*base };
+    let pes = max_pes_on(&cfg, device).max(1);
+    let slice = w.data_words.div_ceil(pes);
+    let resident = slice <= lmem;
+    let compute_cycles = w.passes * slice;
+    let transfer_words = if resident { w.data_words } else { w.data_words * w.passes };
+    let total_cycles = compute_cycles + transfer_words / w.bus_words_per_cycle.max(1);
+    TilingCost { lmem_words: lmem, pes, resident, compute_cycles, transfer_words, total_cycles }
+}
+
+/// Sweep local-memory sizes and report each configuration.
+pub fn sweep(base: &FpgaConfig, device: &Device, w: &Workload, sizes: &[u64]) -> Vec<TilingCost> {
+    sizes.iter().map(|&l| tiling_cost(base, device, l, w)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resources::FpgaConfig;
+
+    fn workload() -> Workload {
+        Workload { data_words: 16_384, passes: 8, bus_words_per_cycle: 1 }
+    }
+
+    #[test]
+    fn spilling_multiplies_traffic() {
+        let base = FpgaConfig::prototype();
+        let dev = Device::ep2c35();
+        let big = tiling_cost(&base, &dev, 4096, &workload());
+        let tiny = tiling_cost(&base, &dev, 64, &workload());
+        assert!(big.resident);
+        assert!(!tiny.resident);
+        assert_eq!(tiny.transfer_words, big.transfer_words * workload().passes);
+    }
+
+    #[test]
+    fn more_pes_cut_compute() {
+        let base = FpgaConfig::prototype();
+        let dev = Device::ep2c35();
+        let small_mem = tiling_cost(&base, &dev, 128, &workload());
+        let large_mem = tiling_cost(&base, &dev, 1024, &workload());
+        assert!(small_mem.pes >= large_mem.pes);
+        assert!(small_mem.compute_cycles <= large_mem.compute_cycles);
+    }
+
+    #[test]
+    fn interior_optimum_exists_on_a_big_device() {
+        // on the EP2C70 the sweep transitions from spilled to resident and
+        // the best point beats both extremes
+        let base = FpgaConfig::prototype();
+        let dev = Device::by_name("EP2C70").unwrap();
+        let sizes = [64u64, 128, 256, 512, 1024, 2048, 4096];
+        let costs = sweep(&base, &dev, &workload(), &sizes);
+        assert!(costs.iter().any(|c| c.resident) && costs.iter().any(|c| !c.resident));
+        let best = costs.iter().map(|c| c.total_cycles).min().unwrap();
+        assert!(best < costs[0].total_cycles, "beats tiny memory: {costs:?}");
+        assert!(
+            best < costs.last().unwrap().total_cycles,
+            "beats huge memory: {costs:?}"
+        );
+    }
+}

@@ -1,0 +1,358 @@
+//! The LE/RAM resource model.
+//!
+//! ## Model structure (constants calibrated to Table 1)
+//!
+//! **RAM blocks** (M4K = 4096 data bits) are allocated, per Section 6.2:
+//!
+//! * each PE: its local memory (`⌈L·W/4096⌉`), **three** block-RAM copies
+//!   of the general-purpose register file (two ALU read ports plus the
+//!   store-data/forwarding port — the standard replicate-for-ports idiom
+//!   the paper alludes to with "block RAMs are the best way to implement
+//!   the register files"), and one block for the flag register file. The
+//!   paper notes flag files *could* share a block between PEs; Table 1's
+//!   counts (96 blocks = 6/PE) indicate the initial prototype did not, so
+//!   sharing is a model parameter (`pes_per_flag_block`, default 1) — and
+//!   raising it is exactly the Section 9 "alternative PE organizations"
+//!   experiment.
+//! * control unit: the instruction store (512 × 32-bit words = 4 blocks in
+//!   the prototype), three copies of the scalar register file, and one
+//!   scalar flag block.
+//! * the network uses no RAM at all (Table 1: 0) — it is registers and
+//!   LUTs only.
+//!
+//! **LEs** are linear in datapath width per component; coefficients were
+//! fit to Table 1's three rows and are documented inline.
+
+use asc_core::MachineConfig;
+use asc_isa::Width;
+
+use crate::device::Device;
+
+/// Configuration the resource model evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FpgaConfig {
+    /// Datapath width.
+    pub width: Width,
+    /// Hardware thread contexts.
+    pub threads: u64,
+    /// Number of PEs.
+    pub num_pes: u64,
+    /// General-purpose registers per thread.
+    pub gprs: u64,
+    /// Flag registers per thread.
+    pub flags: u64,
+    /// PE local memory in words.
+    pub lmem_words: u64,
+    /// Instruction store in 32-bit words.
+    pub imem_words: u64,
+    /// Broadcast tree arity.
+    pub broadcast_arity: u64,
+    /// PEs sharing one flag-file RAM block (1 = no sharing, as synthesized;
+    /// >1 models the paper's proposed optimization).
+    pub pes_per_flag_block: u64,
+}
+
+impl FpgaConfig {
+    /// The synthesized prototype of Section 7: 16 16-bit PEs, 16 threads,
+    /// 1 KB local memory per PE, 512-instruction store, no flag sharing.
+    pub fn prototype() -> FpgaConfig {
+        FpgaConfig {
+            width: Width::W16,
+            threads: 16,
+            num_pes: 16,
+            gprs: 16,
+            flags: 8,
+            lmem_words: 512,
+            imem_words: 512,
+            broadcast_arity: 4,
+            pes_per_flag_block: 1,
+        }
+    }
+
+    /// Derive from a simulator configuration (the simulator's larger
+    /// default instruction memory is kept; pass `prototype()` to match
+    /// Table 1 exactly).
+    pub fn from_machine(cfg: &MachineConfig) -> FpgaConfig {
+        FpgaConfig {
+            width: cfg.width,
+            threads: cfg.threads as u64,
+            num_pes: cfg.num_pes as u64,
+            gprs: asc_isa::NUM_GPRS as u64,
+            flags: asc_isa::NUM_FLAGS as u64,
+            lmem_words: cfg.lmem_words as u64,
+            imem_words: cfg.imem_words as u64,
+            broadcast_arity: cfg.broadcast_arity as u64,
+            pes_per_flag_block: 1,
+        }
+    }
+
+    fn w(&self) -> u64 {
+        self.width.bits() as u64
+    }
+}
+
+/// LEs and RAM blocks of one subsystem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Usage {
+    /// Logic elements.
+    pub les: u64,
+    /// M4K RAM blocks.
+    pub rams: u64,
+}
+
+impl Usage {
+    fn plus(self, o: Usage) -> Usage {
+        Usage { les: self.les + o.les, rams: self.rams + o.rams }
+    }
+}
+
+/// Table 1: per-subsystem resource usage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceReport {
+    /// Control unit row.
+    pub control_unit: Usage,
+    /// PE array row (all PEs together).
+    pub pe_array: Usage,
+    /// Broadcast/reduction network row.
+    pub network: Usage,
+}
+
+impl ResourceReport {
+    /// Compute the model for a configuration.
+    pub fn model(cfg: &FpgaConfig) -> ResourceReport {
+        ResourceReport {
+            control_unit: control_unit(cfg),
+            pe_array: pe_array(cfg),
+            network: network(cfg),
+        }
+    }
+
+    /// Total row.
+    pub fn total(&self) -> Usage {
+        self.control_unit.plus(self.pe_array).plus(self.network)
+    }
+
+    /// Does the design fit the device?
+    pub fn fits(&self, d: &Device) -> bool {
+        let t = self.total();
+        t.les <= d.les && t.rams <= d.m4k_blocks
+    }
+
+    /// Render as the paper's Table 1.
+    pub fn render_table(&self, device: &Device) -> String {
+        let t = self.total();
+        let mut s = String::new();
+        s.push_str("Component              LEs     RAMs\n");
+        s.push_str("-----------------------------------\n");
+        s.push_str(&format!(
+            "Control Unit        {:>6}   {:>6}\n",
+            self.control_unit.les, self.control_unit.rams
+        ));
+        s.push_str(&format!(
+            "PE Array            {:>6}   {:>6}\n",
+            self.pe_array.les, self.pe_array.rams
+        ));
+        s.push_str(&format!(
+            "Network             {:>6}   {:>6}\n",
+            self.network.les, self.network.rams
+        ));
+        s.push_str(&format!("Total               {:>6}   {:>6}\n", t.les, t.rams));
+        s.push_str(&format!(
+            "Available ({})  {:>6}   {:>6}\n",
+            device.name, device.les, device.m4k_blocks
+        ));
+        s
+    }
+}
+
+fn blocks_for_bits(bits: u64) -> u64 {
+    bits.div_ceil(Device::M4K_DATA_BITS)
+}
+
+/// Per-PE LE cost: ~18 LEs per datapath bit (ALU, comparator, forwarding
+/// muxes, local-memory addressing) plus 86 LEs of fixed control.
+/// Calibrated: 86 + 18·16 = 374 LEs/PE; ×16 PEs = 5,984 (Table 1).
+fn pe_les(cfg: &FpgaConfig) -> u64 {
+    86 + 18 * cfg.w()
+}
+
+/// Per-PE RAM blocks: local memory + 3 GPR-file copies + flag file
+/// (possibly shared). Calibrated: 2 + 3 + 1 = 6/PE; ×16 = 96 (Table 1).
+fn pe_rams(cfg: &FpgaConfig) -> u64 {
+    let lmem = blocks_for_bits(cfg.lmem_words * cfg.w());
+    let gpr = 3 * blocks_for_bits(cfg.threads * cfg.gprs * cfg.w());
+    lmem + gpr // flag blocks are accounted array-wide (sharing)
+}
+
+fn pe_array(cfg: &FpgaConfig) -> Usage {
+    let flag_bits = cfg.threads * cfg.flags; // per PE
+    let flag_blocks = if cfg.pes_per_flag_block <= 1 {
+        cfg.num_pes * blocks_for_bits(flag_bits)
+    } else {
+        // one block serves several PEs' flag files (if capacity allows)
+        let group = cfg
+            .pes_per_flag_block
+            .min(Device::M4K_DATA_BITS / flag_bits.max(1))
+            .max(1);
+        cfg.num_pes.div_ceil(group) * blocks_for_bits(flag_bits * group)
+    };
+    Usage {
+        les: cfg.num_pes * pe_les(cfg),
+        rams: cfg.num_pes * pe_rams(cfg) + flag_blocks,
+    }
+}
+
+/// Control unit: fetch unit (150 LEs), one decode unit per hardware thread
+/// (64 LEs each), the scheduler with its instruction status table
+/// (30 + 10·T LEs), and a scalar datapath organised like a PE plus
+/// branch/fork/join logic (PE cost + 159 LEs). Calibrated to 1,897 LEs at
+/// T = 16, W = 16 (Table 1). RAM: the instruction store, 3 scalar GPR-file
+/// copies, 1 scalar flag block — 8 blocks in the prototype.
+fn control_unit(cfg: &FpgaConfig) -> Usage {
+    let les = 150 + 64 * cfg.threads + (30 + 10 * cfg.threads) + (pe_les(cfg) + 159);
+    let imem = blocks_for_bits(cfg.imem_words * 32);
+    let gpr = 3 * blocks_for_bits(cfg.threads * cfg.gprs * cfg.w());
+    let flags = blocks_for_bits(cfg.threads * cfg.flags);
+    Usage { les, rams: imem + gpr + flags }
+}
+
+/// Number of register nodes in a k-ary broadcast tree over p leaves.
+fn broadcast_nodes(p: u64, k: u64) -> u64 {
+    let mut nodes = 0;
+    let mut level = p;
+    while level > 1 {
+        level = level.div_ceil(k);
+        nodes += level;
+    }
+    nodes.max(1)
+}
+
+/// Network: broadcast registers (36 LEs per tree node: a 32-bit
+/// instruction/data register plus fanout buffers), the four binary
+/// reduction trees (per internal node: logic 3W/2, max/min 5W/2, sum 2W,
+/// counter 6 LEs), the multiple response resolver (one LE per
+/// parallel-prefix cell, p·⌈log₂p⌉ cells), and 17 LEs of fixed control.
+/// Calibrated to 1,791 LEs at p = 16, k = 4, W = 16 (Table 1). Uses no RAM
+/// blocks, as synthesized.
+fn network(cfg: &FpgaConfig) -> Usage {
+    let p = cfg.num_pes;
+    let w = cfg.w();
+    let internal = p.saturating_sub(1);
+    let red_per_node = (3 * w) / 2 + (5 * w) / 2 + 2 * w + 6;
+    let lg = if p <= 1 { 0 } else { (64 - (p - 1).leading_zeros()) as u64 };
+    let les = 17
+        + 36 * broadcast_nodes(p, cfg.broadcast_arity)
+        + internal * red_per_node
+        + p * lg;
+    Usage { les, rams: 0 }
+}
+
+/// Largest PE count whose full design fits `device` (everything else held
+/// fixed) — the Section 9 scaling question. Returns 0 if even one PE does
+/// not fit.
+pub fn max_pes_on(base: &FpgaConfig, device: &Device) -> u64 {
+    let mut lo = 0u64;
+    let mut hi = 1u64 << 20;
+    while lo < hi {
+        let mid = (lo + hi + 1) / 2;
+        let cfg = FpgaConfig { num_pes: mid, ..*base };
+        if ResourceReport::model(&cfg).fits(device) {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The headline check: the calibrated model reproduces Table 1 exactly.
+    #[test]
+    fn table_1_exact() {
+        let r = ResourceReport::model(&FpgaConfig::prototype());
+        assert_eq!(r.control_unit, Usage { les: 1_897, rams: 8 });
+        assert_eq!(r.pe_array, Usage { les: 5_984, rams: 96 });
+        assert_eq!(r.network, Usage { les: 1_791, rams: 0 });
+        assert_eq!(r.total(), Usage { les: 9_672, rams: 104 });
+        assert!(r.fits(&Device::ep2c35()));
+    }
+
+    /// §7: "the main factor that limits the number of PEs is the
+    /// availability of RAM blocks" — and indeed the model says exactly 16
+    /// PEs fit the EP2C35, with LEs far from exhausted.
+    #[test]
+    fn ep2c35_is_ram_limited_at_16_pes() {
+        let proto = FpgaConfig::prototype();
+        assert_eq!(max_pes_on(&proto, &Device::ep2c35()), 16);
+        let at17 = FpgaConfig { num_pes: 17, ..proto };
+        let r = ResourceReport::model(&at17);
+        assert!(r.total().rams > 105, "RAMs exceed first");
+        assert!(r.total().les < 33_216, "LEs would still fit");
+    }
+
+    /// §9: flag-file sharing frees RAM blocks and admits more PEs.
+    #[test]
+    fn flag_sharing_increases_capacity() {
+        let proto = FpgaConfig::prototype();
+        let shared = FpgaConfig { pes_per_flag_block: 8, ..proto };
+        let base = max_pes_on(&proto, &Device::ep2c35());
+        let more = max_pes_on(&shared, &Device::ep2c35());
+        assert!(more > base, "sharing {more} vs base {base}");
+    }
+
+    #[test]
+    fn smaller_local_memory_admits_more_pes() {
+        let proto = FpgaConfig::prototype();
+        let small = FpgaConfig { lmem_words: 128, ..proto };
+        assert!(
+            max_pes_on(&small, &Device::ep2c35()) > max_pes_on(&proto, &Device::ep2c35())
+        );
+    }
+
+    #[test]
+    fn bigger_device_fits_more() {
+        let proto = FpgaConfig::prototype();
+        let d35 = max_pes_on(&proto, &Device::ep2c35());
+        let d70 = max_pes_on(&proto, &Device::by_name("EP2C70").unwrap());
+        assert!(d70 > d35);
+    }
+
+    #[test]
+    fn usage_monotone_in_pes_threads_width() {
+        let base = FpgaConfig::prototype();
+        let more_pes = FpgaConfig { num_pes: 32, ..base };
+        let more_threads = FpgaConfig { threads: 32, ..base };
+        let wider = FpgaConfig { width: Width::W32, ..base };
+        let t0 = ResourceReport::model(&base).total();
+        for c in [more_pes, more_threads, wider] {
+            let t = ResourceReport::model(&c).total();
+            assert!(t.les >= t0.les && t.rams >= t0.rams, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn render_matches_paper_rows() {
+        let r = ResourceReport::model(&FpgaConfig::prototype());
+        let s = r.render_table(&Device::ep2c35());
+        assert!(s.contains("1897") || s.contains("1,897") || s.contains(" 1897"));
+        assert!(s.contains("5984"));
+        assert!(s.contains("1791"));
+        assert!(s.contains("9672"));
+        assert!(s.contains("104"));
+        assert!(s.contains("33216"));
+        assert!(s.contains("105"));
+    }
+
+    #[test]
+    fn from_machine_roundtrip() {
+        let mc = asc_core::MachineConfig::new(64);
+        let fc = FpgaConfig::from_machine(&mc);
+        assert_eq!(fc.num_pes, 64);
+        assert_eq!(fc.threads, 16);
+        let r = ResourceReport::model(&fc);
+        assert!(r.total().les > 0);
+    }
+}

@@ -1,0 +1,413 @@
+//! Instruction decoding: 32-bit word → [`Instr`].
+//!
+//! Decoding is *strict*: unknown opcodes, out-of-range flag fields, reserved
+//! mask encodings, and nonzero reserved bits are all rejected. Strictness
+//! makes `decode(encode(i)) == i` and `encode(decode(w)) == w` total on
+//! their respective domains, which the property tests rely on, and gives the
+//! simulator a well-defined illegal-instruction trap.
+
+use std::fmt;
+
+use crate::instr::Instr;
+use crate::opcode as op;
+use crate::ops::{AluOp, CmpOp, FlagOp, FlagReduceOp, ReduceOp};
+use crate::reg::{Mask, PFlag, PReg, SFlag, SReg};
+
+/// Why a 32-bit word failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The major opcode byte is not assigned.
+    InvalidOpcode(u8),
+    /// A flag-register field had its top bit set (only 8 flag registers
+    /// exist).
+    InvalidFlagField {
+        /// The offending instruction word.
+        word: u32,
+        /// The bad 4-bit field value.
+        field: u32,
+    },
+    /// The 4-bit mask field used a reserved encoding (`0001`..`0111`).
+    InvalidMask {
+        /// The offending instruction word.
+        word: u32,
+        /// The reserved mask bits.
+        bits: u32,
+    },
+    /// Bits that must be zero were set.
+    ReservedBits {
+        /// The offending instruction word.
+        word: u32,
+        /// The nonzero reserved bits.
+        reserved: u32,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::InvalidOpcode(o) => write!(f, "invalid opcode {o:#04x}"),
+            DecodeError::InvalidFlagField { word, field } => {
+                write!(f, "invalid flag register field {field} in word {word:#010x}")
+            }
+            DecodeError::InvalidMask { word, bits } => {
+                write!(f, "reserved mask encoding {bits:#06b} in word {word:#010x}")
+            }
+            DecodeError::ReservedBits { word, reserved } => {
+                write!(f, "reserved bits set ({reserved:#010x}) in word {word:#010x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+struct Fields {
+    word: u32,
+}
+
+impl Fields {
+    fn a(&self) -> u8 {
+        ((self.word >> 20) & 0xf) as u8
+    }
+    fn b(&self) -> u8 {
+        ((self.word >> 16) & 0xf) as u8
+    }
+    fn c(&self) -> u8 {
+        ((self.word >> 12) & 0xf) as u8
+    }
+    fn sa(&self) -> SReg {
+        SReg::from_index(self.a())
+    }
+    fn sb(&self) -> SReg {
+        SReg::from_index(self.b())
+    }
+    fn sc(&self) -> SReg {
+        SReg::from_index(self.c())
+    }
+    fn pa(&self) -> PReg {
+        PReg::from_index(self.a())
+    }
+    fn pb(&self) -> PReg {
+        PReg::from_index(self.b())
+    }
+    fn pc(&self) -> PReg {
+        PReg::from_index(self.c())
+    }
+    fn flag(&self, field: u8) -> Result<u8, DecodeError> {
+        if field < 8 {
+            Ok(field)
+        } else {
+            Err(DecodeError::InvalidFlagField { word: self.word, field: field as u32 })
+        }
+    }
+    fn sfa(&self) -> Result<SFlag, DecodeError> {
+        self.flag(self.a()).map(SFlag::from_index)
+    }
+    fn sfb(&self) -> Result<SFlag, DecodeError> {
+        self.flag(self.b()).map(SFlag::from_index)
+    }
+    fn sfc(&self) -> Result<SFlag, DecodeError> {
+        self.flag(self.c()).map(SFlag::from_index)
+    }
+    fn pfa(&self) -> Result<PFlag, DecodeError> {
+        self.flag(self.a()).map(PFlag::from_index)
+    }
+    fn pfb(&self) -> Result<PFlag, DecodeError> {
+        self.flag(self.b()).map(PFlag::from_index)
+    }
+    fn pfc(&self) -> Result<PFlag, DecodeError> {
+        self.flag(self.c()).map(PFlag::from_index)
+    }
+    fn imm16(&self) -> i16 {
+        (self.word & 0xffff) as u16 as i16
+    }
+    fn uimm16(&self) -> u16 {
+        (self.word & 0xffff) as u16
+    }
+    fn imm8(&self) -> i8 {
+        ((self.word >> 8) & 0xff) as u8 as i8
+    }
+    fn mask(&self) -> Result<Mask, DecodeError> {
+        let bits = self.word & 0xf;
+        Mask::from_bits(bits).ok_or(DecodeError::InvalidMask { word: self.word, bits })
+    }
+    /// Check that every bit outside `used` (within [23:0]) is zero.
+    fn reserved(&self, used: u32) -> Result<(), DecodeError> {
+        let reserved = self.word & 0x00ff_ffff & !used;
+        if reserved != 0 {
+            Err(DecodeError::ReservedBits { word: self.word, reserved })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+const A: u32 = 0x00f0_0000;
+const B: u32 = 0x000f_0000;
+const C: u32 = 0x0000_f000;
+const IMM16: u32 = 0x0000_ffff;
+const IMM8: u32 = 0x0000_ff00;
+const MASK: u32 = 0x0000_000f;
+
+/// Decode a 32-bit machine word into an [`Instr`].
+pub fn decode(word: u32) -> Result<Instr, DecodeError> {
+    let opc = (word >> 24) as u8;
+    let f = Fields { word };
+    use Instr::*;
+
+    // Sub-op families first.
+    if let Some(o) = in_family(opc, op::SALU, AluOp::from_code) {
+        f.reserved(A | B | C)?;
+        return Ok(SAlu { op: o, rd: f.sa(), ra: f.sb(), rb: f.sc() });
+    }
+    if let Some(o) = in_family(opc, op::SALU_IMM, AluOp::from_code) {
+        f.reserved(A | B | IMM16)?;
+        return Ok(SAluImm { op: o, rd: f.sa(), ra: f.sb(), imm: f.imm16() });
+    }
+    if let Some(o) = in_family(opc, op::SCMP, CmpOp::from_code) {
+        f.reserved(A | B | C)?;
+        return Ok(SCmp { op: o, fd: f.sfa()?, ra: f.sb(), rb: f.sc() });
+    }
+    if let Some(o) = in_family(opc, op::SCMP_IMM, CmpOp::from_code) {
+        f.reserved(A | B | IMM16)?;
+        return Ok(SCmpImm { op: o, fd: f.sfa()?, ra: f.sb(), imm: f.imm16() });
+    }
+    if let Some(o) = in_family(opc, op::SFLAG, FlagOp::from_code) {
+        f.reserved(A | B | C)?;
+        return Ok(SFlagOp { op: o, fd: f.sfa()?, fa: f.sfb()?, fb: f.sfc()? });
+    }
+    if let Some(o) = in_family(opc, op::PALU, AluOp::from_code) {
+        f.reserved(A | B | C | MASK)?;
+        return Ok(PAlu { op: o, pd: f.pa(), pa: f.pb(), pb: f.pc(), mask: f.mask()? });
+    }
+    if let Some(o) = in_family(opc, op::PCMP, CmpOp::from_code) {
+        f.reserved(A | B | C | MASK)?;
+        return Ok(PCmp { op: o, fd: f.pfa()?, pa: f.pb(), pb: f.pc(), mask: f.mask()? });
+    }
+    if let Some(o) = in_family(opc, op::PFLAG, FlagOp::from_code) {
+        f.reserved(A | B | C | MASK)?;
+        return Ok(PFlagOp { op: o, fd: f.pfa()?, fa: f.pfb()?, fb: f.pfc()?, mask: f.mask()? });
+    }
+    if let Some(o) = in_family(opc, op::PALU_S, AluOp::from_code) {
+        f.reserved(A | B | C | MASK)?;
+        return Ok(PAluS { op: o, pd: f.pa(), pa: f.pb(), sb: f.sc(), mask: f.mask()? });
+    }
+    if let Some(o) = in_family(opc, op::PCMP_S, CmpOp::from_code) {
+        f.reserved(A | B | C | MASK)?;
+        return Ok(PCmpS { op: o, fd: f.pfa()?, pa: f.pb(), sb: f.sc(), mask: f.mask()? });
+    }
+    if let Some(o) = in_family(opc, op::PALU_IMM, AluOp::from_code) {
+        f.reserved(A | B | IMM8 | MASK)?;
+        return Ok(PAluImm { op: o, pd: f.pa(), pa: f.pb(), imm: f.imm8(), mask: f.mask()? });
+    }
+    if let Some(o) = in_family(opc, op::PCMP_IMM, CmpOp::from_code) {
+        f.reserved(A | B | IMM8 | MASK)?;
+        return Ok(PCmpImm { op: o, fd: f.pfa()?, pa: f.pb(), imm: f.imm8(), mask: f.mask()? });
+    }
+    if let Some(o) = in_family(opc, op::REDUCE, ReduceOp::from_code) {
+        f.reserved(A | B | MASK)?;
+        return Ok(Reduce { op: o, sd: f.sa(), pa: f.pb(), mask: f.mask()? });
+    }
+    if let Some(o) = in_family(opc, op::RFLAG, FlagReduceOp::from_code) {
+        f.reserved(A | B | MASK)?;
+        return Ok(RFlag { op: o, fd: f.sfa()?, fa: f.pfb()?, mask: f.mask()? });
+    }
+
+    match opc {
+        op::NOP => {
+            f.reserved(0)?;
+            Ok(Nop)
+        }
+        op::HALT => {
+            f.reserved(0)?;
+            Ok(Halt)
+        }
+        op::LW => {
+            f.reserved(A | B | IMM16)?;
+            Ok(Lw { rd: f.sa(), base: f.sb(), off: f.imm16() })
+        }
+        op::SW => {
+            f.reserved(A | B | IMM16)?;
+            Ok(Sw { rs: f.sa(), base: f.sb(), off: f.imm16() })
+        }
+        op::LI => {
+            f.reserved(A | IMM16)?;
+            Ok(Li { rd: f.sa(), imm: f.imm16() })
+        }
+        op::LUI => {
+            f.reserved(A | IMM16)?;
+            Ok(Lui { rd: f.sa(), imm: f.uimm16() })
+        }
+        op::BT => {
+            f.reserved(A | IMM16)?;
+            Ok(Bt { fa: f.sfa()?, off: f.imm16() })
+        }
+        op::BF => {
+            f.reserved(A | IMM16)?;
+            Ok(Bf { fa: f.sfa()?, off: f.imm16() })
+        }
+        op::J => Ok(J { target: word & 0x00ff_ffff }),
+        op::JAL => {
+            f.reserved(A | 0x000f_ffff)?;
+            Ok(Jal { rd: f.sa(), target: word & 0x000f_ffff })
+        }
+        op::JR => {
+            f.reserved(A)?;
+            Ok(Jr { ra: f.sa() })
+        }
+        op::TSPAWN => {
+            f.reserved(A | B)?;
+            Ok(TSpawn { rd: f.sa(), ra: f.sb() })
+        }
+        op::TEXIT => {
+            f.reserved(0)?;
+            Ok(TExit)
+        }
+        op::TJOIN => {
+            f.reserved(A)?;
+            Ok(TJoin { ra: f.sa() })
+        }
+        op::TGET => {
+            f.reserved(A | B | C)?;
+            Ok(TGet { rd: f.sa(), ta: f.sb(), src: f.sc() })
+        }
+        op::TPUT => {
+            f.reserved(A | B | C)?;
+            Ok(TPut { ta: f.sa(), dst: f.sb(), rb: f.sc() })
+        }
+        op::TID => {
+            f.reserved(A)?;
+            Ok(TId { rd: f.sa() })
+        }
+        op::PLW => {
+            f.reserved(A | B | IMM8 | MASK)?;
+            Ok(Plw { pd: f.pa(), base: f.pb(), off: f.imm8(), mask: f.mask()? })
+        }
+        op::PSW => {
+            f.reserved(A | B | IMM8 | MASK)?;
+            Ok(Psw { ps: f.pa(), base: f.pb(), off: f.imm8(), mask: f.mask()? })
+        }
+        op::PIDX => {
+            f.reserved(A | MASK)?;
+            Ok(Pidx { pd: f.pa(), mask: f.mask()? })
+        }
+        op::PMOVS => {
+            f.reserved(A | B | MASK)?;
+            Ok(PMovS { pd: f.pa(), sa: f.sb(), mask: f.mask()? })
+        }
+        op::PSHIFT => {
+            f.reserved(A | B | IMM8 | MASK)?;
+            Ok(PShift { pd: f.pa(), pa: f.pb(), dist: f.imm8(), mask: f.mask()? })
+        }
+        op::RCOUNT => {
+            f.reserved(A | B | MASK)?;
+            Ok(RCount { sd: f.sa(), fa: f.pfb()?, mask: f.mask()? })
+        }
+        op::PFIRST => {
+            f.reserved(A | B | MASK)?;
+            Ok(PFirst { fd: f.pfa()?, fa: f.pfb()?, mask: f.mask()? })
+        }
+        op::RGET => {
+            f.reserved(A | B | C | MASK)?;
+            Ok(RGet { sd: f.sa(), pa: f.pb(), fa: f.pfc()?, mask: f.mask()? })
+        }
+        other => Err(DecodeError::InvalidOpcode(other)),
+    }
+}
+
+/// If `opc` falls in the family starting at `base`, decode the sub-op.
+fn in_family<T>(opc: u8, base: u8, from_code: fn(u8) -> Option<T>) -> Option<T> {
+    opc.checked_sub(base).and_then(from_code)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+    use crate::reg::{Mask, PFlag, PReg, SFlag, SReg};
+
+    #[test]
+    fn round_trip_examples() {
+        let cases = [
+            Instr::Nop,
+            Instr::Halt,
+            Instr::SAlu {
+                op: AluOp::Sub,
+                rd: SReg::from_index(1),
+                ra: SReg::from_index(2),
+                rb: SReg::from_index(3),
+            },
+            Instr::Li { rd: SReg::from_index(5), imm: -42 },
+            Instr::Bt { fa: SFlag::from_index(3), off: -7 },
+            Instr::J { target: 0x123456 },
+            Instr::PAluS {
+                op: AluOp::Add,
+                pd: PReg::from_index(4),
+                pa: PReg::from_index(5),
+                sb: SReg::from_index(6),
+                mask: Mask::Flag(PFlag::from_index(2)),
+            },
+            Instr::Reduce {
+                op: ReduceOp::Max,
+                sd: SReg::from_index(7),
+                pa: PReg::from_index(8),
+                mask: Mask::All,
+            },
+            Instr::RGet {
+                sd: SReg::from_index(1),
+                pa: PReg::from_index(2),
+                fa: PFlag::from_index(3),
+                mask: Mask::Flag(PFlag::from_index(4)),
+            },
+            Instr::TSpawn { rd: SReg::from_index(9), ra: SReg::from_index(10) },
+        ];
+        for i in cases {
+            let w = encode(&i);
+            assert_eq!(decode(w), Ok(i), "word {w:#010x}");
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_opcode() {
+        assert_eq!(decode(0x02_000000), Err(DecodeError::InvalidOpcode(0x02)));
+        assert_eq!(decode(0xff_000000), Err(DecodeError::InvalidOpcode(0xff)));
+    }
+
+    #[test]
+    fn rejects_reserved_bits() {
+        // NOP with garbage in the low bits
+        let e = decode(0x00_000001);
+        assert!(matches!(e, Err(DecodeError::ReservedBits { .. })), "{e:?}");
+        // scalar ALU with nonzero bits below field C
+        let base = encode(&Instr::SAlu {
+            op: AluOp::Add,
+            rd: SReg::from_index(1),
+            ra: SReg::from_index(2),
+            rb: SReg::from_index(3),
+        });
+        assert!(matches!(decode(base | 1), Err(DecodeError::ReservedBits { .. })));
+    }
+
+    #[test]
+    fn rejects_bad_flag_field() {
+        // SCMP with fd field = 8 (top bit set)
+        let w = ((crate::opcode::SCMP as u32) << 24) | (8 << 20);
+        assert!(matches!(decode(w), Err(DecodeError::InvalidFlagField { .. })));
+    }
+
+    #[test]
+    fn rejects_reserved_mask() {
+        // PIDX with mask bits 0b0011
+        let w = ((crate::opcode::PIDX as u32) << 24) | 0b0011;
+        assert!(matches!(decode(w), Err(DecodeError::InvalidMask { .. })));
+    }
+
+    #[test]
+    fn family_boundaries() {
+        // One past the last AluOp in the scalar family is unassigned (0x21).
+        assert_eq!(decode(0x21_000000), Err(DecodeError::InvalidOpcode(0x21)));
+        // One past the last ReduceOp (0xf0 + 7 = RCOUNT) is assigned, but
+        // 0xfc..0xff are not.
+        assert_eq!(decode(0xfc_000000), Err(DecodeError::InvalidOpcode(0xfc)));
+    }
+}

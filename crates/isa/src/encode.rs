@@ -1,0 +1,132 @@
+//! Instruction encoding: [`Instr`] → 32-bit word.
+//!
+//! Field layout below the major opcode (bits `[23:0]`): register fields `A`
+//! = `[23:20]`, `B` = `[19:16]`, `C` = `[15:12]` (flag registers use the
+//! same 4-bit fields with the top bit clear); scalar immediates occupy
+//! `[15:0]`; parallel immediates occupy `[15:8]`; the activity mask is
+//! always `[3:0]`; jump targets occupy `[23:0]` (`j`) or `[19:0]` (`jal`).
+//! All unused bits encode as zero, and [`crate::decode`] rejects nonzero
+//! reserved bits, making encode/decode a bijection on valid words.
+
+use crate::instr::Instr;
+use crate::opcode as op;
+use crate::reg::{Mask, PFlag, PReg, SFlag, SReg};
+
+fn fa(r: u8) -> u32 {
+    (r as u32) << 20
+}
+fn fb(r: u8) -> u32 {
+    (r as u32) << 16
+}
+fn fc(r: u8) -> u32 {
+    (r as u32) << 12
+}
+fn imm16(i: i16) -> u32 {
+    (i as u16) as u32
+}
+fn imm8(i: i8) -> u32 {
+    ((i as u8) as u32) << 8
+}
+
+fn word(opcode: u8, rest: u32) -> u32 {
+    debug_assert_eq!(rest >> 24, 0, "fields overflow into opcode byte");
+    ((opcode as u32) << 24) | rest
+}
+
+fn s(r: SReg) -> u8 {
+    r.raw()
+}
+fn p(r: PReg) -> u8 {
+    r.raw()
+}
+fn sf(f: SFlag) -> u8 {
+    f.raw()
+}
+fn pf(f: PFlag) -> u8 {
+    f.raw()
+}
+fn m(mask: Mask) -> u32 {
+    mask.to_bits()
+}
+
+/// Encode an instruction into its 32-bit machine word.
+pub fn encode(i: &Instr) -> u32 {
+    use Instr::*;
+    match *i {
+        Nop => word(op::NOP, 0),
+        Halt => word(op::HALT, 0),
+        SAlu { op: o, rd, ra, rb } => {
+            word(op::SALU + o.code(), fa(s(rd)) | fb(s(ra)) | fc(s(rb)))
+        }
+        SAluImm { op: o, rd, ra, imm } => {
+            word(op::SALU_IMM + o.code(), fa(s(rd)) | fb(s(ra)) | imm16(imm))
+        }
+        SCmp { op: o, fd, ra, rb } => {
+            word(op::SCMP + o.code(), fa(sf(fd)) | fb(s(ra)) | fc(s(rb)))
+        }
+        SCmpImm { op: o, fd, ra, imm } => {
+            word(op::SCMP_IMM + o.code(), fa(sf(fd)) | fb(s(ra)) | imm16(imm))
+        }
+        SFlagOp { op: o, fd, fa: a, fb: b } => {
+            word(op::SFLAG + o.code(), fa(sf(fd)) | fb(sf(a)) | fc(sf(b)))
+        }
+        Lw { rd, base, off } => word(op::LW, fa(s(rd)) | fb(s(base)) | imm16(off)),
+        Sw { rs, base, off } => word(op::SW, fa(s(rs)) | fb(s(base)) | imm16(off)),
+        Li { rd, imm } => word(op::LI, fa(s(rd)) | imm16(imm)),
+        Lui { rd, imm } => word(op::LUI, fa(s(rd)) | imm as u32),
+        Bt { fa: f, off } => word(op::BT, fa(sf(f)) | imm16(off)),
+        Bf { fa: f, off } => word(op::BF, fa(sf(f)) | imm16(off)),
+        J { target } => word(op::J, target & 0x00ff_ffff),
+        Jal { rd, target } => word(op::JAL, fa(s(rd)) | (target & 0x000f_ffff)),
+        Jr { ra } => word(op::JR, fa(s(ra))),
+        TSpawn { rd, ra } => word(op::TSPAWN, fa(s(rd)) | fb(s(ra))),
+        TExit => word(op::TEXIT, 0),
+        TJoin { ra } => word(op::TJOIN, fa(s(ra))),
+        TGet { rd, ta, src } => word(op::TGET, fa(s(rd)) | fb(s(ta)) | fc(s(src))),
+        TPut { ta, dst, rb } => word(op::TPUT, fa(s(ta)) | fb(s(dst)) | fc(s(rb))),
+        TId { rd } => word(op::TID, fa(s(rd))),
+        PAlu { op: o, pd, pa, pb, mask } => {
+            word(op::PALU + o.code(), fa(p(pd)) | fb(p(pa)) | fc(p(pb)) | m(mask))
+        }
+        PAluS { op: o, pd, pa, sb, mask } => {
+            word(op::PALU_S + o.code(), fa(p(pd)) | fb(p(pa)) | fc(s(sb)) | m(mask))
+        }
+        PAluImm { op: o, pd, pa, imm, mask } => {
+            word(op::PALU_IMM + o.code(), fa(p(pd)) | fb(p(pa)) | imm8(imm) | m(mask))
+        }
+        PCmp { op: o, fd, pa, pb, mask } => {
+            word(op::PCMP + o.code(), fa(pf(fd)) | fb(p(pa)) | fc(p(pb)) | m(mask))
+        }
+        PCmpS { op: o, fd, pa, sb, mask } => {
+            word(op::PCMP_S + o.code(), fa(pf(fd)) | fb(p(pa)) | fc(s(sb)) | m(mask))
+        }
+        PCmpImm { op: o, fd, pa, imm, mask } => {
+            word(op::PCMP_IMM + o.code(), fa(pf(fd)) | fb(p(pa)) | imm8(imm) | m(mask))
+        }
+        PFlagOp { op: o, fd, fa: a, fb: b, mask } => {
+            word(op::PFLAG + o.code(), fa(pf(fd)) | fb(pf(a)) | fc(pf(b)) | m(mask))
+        }
+        Plw { pd, base, off, mask } => {
+            word(op::PLW, fa(p(pd)) | fb(p(base)) | imm8(off) | m(mask))
+        }
+        Psw { ps, base, off, mask } => {
+            word(op::PSW, fa(p(ps)) | fb(p(base)) | imm8(off) | m(mask))
+        }
+        Pidx { pd, mask } => word(op::PIDX, fa(p(pd)) | m(mask)),
+        PMovS { pd, sa, mask } => word(op::PMOVS, fa(p(pd)) | fb(s(sa)) | m(mask)),
+        PShift { pd, pa, dist, mask } => {
+            word(op::PSHIFT, fa(p(pd)) | fb(p(pa)) | imm8(dist) | m(mask))
+        }
+        Reduce { op: o, sd, pa, mask } => {
+            word(op::REDUCE + o.code(), fa(s(sd)) | fb(p(pa)) | m(mask))
+        }
+        RCount { sd, fa: f, mask } => word(op::RCOUNT, fa(s(sd)) | fb(pf(f)) | m(mask)),
+        RFlag { op: o, fd, fa: f, mask } => {
+            word(op::RFLAG + o.code(), fa(sf(fd)) | fb(pf(f)) | m(mask))
+        }
+        PFirst { fd, fa: f, mask } => word(op::PFIRST, fa(pf(fd)) | fb(pf(f)) | m(mask)),
+        RGet { sd, pa, fa: f, mask } => {
+            word(op::RGET, fa(s(sd)) | fb(p(pa)) | fc(pf(f)) | m(mask))
+        }
+    }
+}

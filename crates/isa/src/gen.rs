@@ -1,0 +1,218 @@
+//! Random generation of *valid* instructions, used by property tests,
+//! cross-crate differential tests (emulator vs. timing simulator), and
+//! fuzz-style benchmark workloads.
+
+use rand::Rng;
+
+use crate::instr::Instr;
+use crate::ops::{AluOp, CmpOp, FlagOp, FlagReduceOp, ReduceOp};
+use crate::reg::{Mask, PFlag, PReg, SFlag, SReg};
+
+fn sreg<R: Rng + ?Sized>(rng: &mut R) -> SReg {
+    SReg::from_index(rng.random_range(0..16))
+}
+fn preg<R: Rng + ?Sized>(rng: &mut R) -> PReg {
+    PReg::from_index(rng.random_range(0..16))
+}
+fn sflag<R: Rng + ?Sized>(rng: &mut R) -> SFlag {
+    SFlag::from_index(rng.random_range(0..8))
+}
+fn pflag<R: Rng + ?Sized>(rng: &mut R) -> PFlag {
+    PFlag::from_index(rng.random_range(0..8))
+}
+fn mask<R: Rng + ?Sized>(rng: &mut R) -> Mask {
+    if rng.random_bool(0.5) {
+        Mask::All
+    } else {
+        Mask::Flag(pflag(rng))
+    }
+}
+fn alu_op<R: Rng + ?Sized>(rng: &mut R) -> AluOp {
+    AluOp::ALL[rng.random_range(0..AluOp::ALL.len())]
+}
+fn cmp_op<R: Rng + ?Sized>(rng: &mut R) -> CmpOp {
+    CmpOp::ALL[rng.random_range(0..CmpOp::ALL.len())]
+}
+fn flag_op<R: Rng + ?Sized>(rng: &mut R) -> FlagOp {
+    FlagOp::ALL[rng.random_range(0..FlagOp::ALL.len())]
+}
+fn reduce_op<R: Rng + ?Sized>(rng: &mut R) -> ReduceOp {
+    ReduceOp::ALL[rng.random_range(0..ReduceOp::ALL.len())]
+}
+
+/// Generate a uniformly random valid instruction, drawing from every
+/// instruction form (including control flow and thread management).
+pub fn random_instr<R: Rng + ?Sized>(rng: &mut R) -> Instr {
+    match rng.random_range(0..33u32) {
+        0 => Instr::Nop,
+        1 => Instr::Halt,
+        2 => Instr::SAlu { op: alu_op(rng), rd: sreg(rng), ra: sreg(rng), rb: sreg(rng) },
+        3 => Instr::SAluImm { op: alu_op(rng), rd: sreg(rng), ra: sreg(rng), imm: rng.random() },
+        4 => Instr::SCmp { op: cmp_op(rng), fd: sflag(rng), ra: sreg(rng), rb: sreg(rng) },
+        5 => Instr::SCmpImm { op: cmp_op(rng), fd: sflag(rng), ra: sreg(rng), imm: rng.random() },
+        6 => {
+            let op = flag_op(rng);
+            Instr::SFlagOp {
+                op,
+                fd: sflag(rng),
+                fa: if op.arity() >= 1 { sflag(rng) } else { SFlag::R0 },
+                fb: if op.arity() >= 2 { sflag(rng) } else { SFlag::R0 },
+            }
+        }
+        7 => Instr::Lw { rd: sreg(rng), base: sreg(rng), off: rng.random() },
+        8 => Instr::Sw { rs: sreg(rng), base: sreg(rng), off: rng.random() },
+        9 => Instr::Li { rd: sreg(rng), imm: rng.random() },
+        10 => Instr::Lui { rd: sreg(rng), imm: rng.random() },
+        11 => Instr::Bt { fa: sflag(rng), off: rng.random() },
+        12 => Instr::Bf { fa: sflag(rng), off: rng.random() },
+        13 => Instr::J { target: rng.random_range(0..0x0100_0000) },
+        14 => Instr::Jal { rd: sreg(rng), target: rng.random_range(0..0x0010_0000) },
+        15 => Instr::Jr { ra: sreg(rng) },
+        16 => Instr::TSpawn { rd: sreg(rng), ra: sreg(rng) },
+        17 => Instr::TExit,
+        18 => Instr::TJoin { ra: sreg(rng) },
+        19 => Instr::TGet { rd: sreg(rng), ta: sreg(rng), src: sreg(rng) },
+        20 => Instr::TPut { ta: sreg(rng), dst: sreg(rng), rb: sreg(rng) },
+        21 => Instr::TId { rd: sreg(rng) },
+        22 => Instr::PAlu {
+            op: alu_op(rng),
+            pd: preg(rng),
+            pa: preg(rng),
+            pb: preg(rng),
+            mask: mask(rng),
+        },
+        23 => Instr::PAluS {
+            op: alu_op(rng),
+            pd: preg(rng),
+            pa: preg(rng),
+            sb: sreg(rng),
+            mask: mask(rng),
+        },
+        24 => Instr::PAluImm {
+            op: alu_op(rng),
+            pd: preg(rng),
+            pa: preg(rng),
+            imm: rng.random(),
+            mask: mask(rng),
+        },
+        25 => match rng.random_range(0..3u32) {
+            0 => Instr::PCmp {
+                op: cmp_op(rng),
+                fd: pflag(rng),
+                pa: preg(rng),
+                pb: preg(rng),
+                mask: mask(rng),
+            },
+            1 => Instr::PCmpS {
+                op: cmp_op(rng),
+                fd: pflag(rng),
+                pa: preg(rng),
+                sb: sreg(rng),
+                mask: mask(rng),
+            },
+            _ => Instr::PCmpImm {
+                op: cmp_op(rng),
+                fd: pflag(rng),
+                pa: preg(rng),
+                imm: rng.random(),
+                mask: mask(rng),
+            },
+        },
+        26 => {
+            let op = flag_op(rng);
+            Instr::PFlagOp {
+                op,
+                fd: pflag(rng),
+                fa: if op.arity() >= 1 { pflag(rng) } else { PFlag::R0 },
+                fb: if op.arity() >= 2 { pflag(rng) } else { PFlag::R0 },
+                mask: mask(rng),
+            }
+        }
+        27 => {
+            if rng.random_bool(0.5) {
+                Instr::Plw { pd: preg(rng), base: preg(rng), off: rng.random(), mask: mask(rng) }
+            } else {
+                Instr::Psw { ps: preg(rng), base: preg(rng), off: rng.random(), mask: mask(rng) }
+            }
+        }
+        28 => {
+            if rng.random_bool(0.5) {
+                Instr::Pidx { pd: preg(rng), mask: mask(rng) }
+            } else {
+                Instr::PShift {
+                    pd: preg(rng),
+                    pa: preg(rng),
+                    dist: rng.random(),
+                    mask: mask(rng),
+                }
+            }
+        }
+        29 => Instr::PMovS { pd: preg(rng), sa: sreg(rng), mask: mask(rng) },
+        30 => Instr::Reduce { op: reduce_op(rng), sd: sreg(rng), pa: preg(rng), mask: mask(rng) },
+        31 => match rng.random_range(0..3u32) {
+            0 => Instr::RCount { sd: sreg(rng), fa: pflag(rng), mask: mask(rng) },
+            1 => Instr::RFlag {
+                op: if rng.random_bool(0.5) { FlagReduceOp::Any } else { FlagReduceOp::All },
+                fd: sflag(rng),
+                fa: pflag(rng),
+                mask: mask(rng),
+            },
+            _ => Instr::PFirst { fd: pflag(rng), fa: pflag(rng), mask: mask(rng) },
+        },
+        _ => Instr::RGet { sd: sreg(rng), pa: preg(rng), fa: pflag(rng), mask: mask(rng) },
+    }
+}
+
+/// Generate a random *straight-line, thread-local* instruction: no control
+/// flow, no halt, no thread management. Useful for differential tests where
+/// the program must terminate and per-thread state must stay independent.
+pub fn random_straightline_instr<R: Rng + ?Sized>(rng: &mut R) -> Instr {
+    loop {
+        let i = random_instr(rng);
+        let excluded = i.is_branch()
+            || matches!(
+                i,
+                Instr::Halt
+                    | Instr::TSpawn { .. }
+                    | Instr::TExit
+                    | Instr::TJoin { .. }
+                    | Instr::TGet { .. }
+                    | Instr::TPut { .. }
+            );
+        if !excluded {
+            return i;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn straightline_excludes_control_flow() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..2000 {
+            let i = random_straightline_instr(&mut rng);
+            assert!(!i.is_branch());
+            assert!(!matches!(i, Instr::Halt | Instr::TExit));
+        }
+    }
+
+    #[test]
+    fn generator_covers_all_classes() {
+        use crate::instr::InstrClass;
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut seen = [false; 3];
+        for _ in 0..500 {
+            match random_instr(&mut rng).class() {
+                InstrClass::Scalar => seen[0] = true,
+                InstrClass::Parallel => seen[1] = true,
+                InstrClass::Reduction => seen[2] = true,
+            }
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+}

@@ -1,0 +1,60 @@
+#![warn(missing_docs)]
+
+//! # asc-isa — Instruction Set Architecture for the MTASC processor
+//!
+//! This crate defines the instruction set of the *Multithreaded Associative
+//! SIMD Processor* (Schaffer & Walker, IPDPS/MPP 2007): a RISC load/store
+//! architecture similar to MIPS, extended with
+//!
+//! * **parallel instructions** that execute on the PE array, operating on a
+//!   separate parallel register file and parallel (local) memory space,
+//!   optionally taking one *scalar* operand that is broadcast to the array;
+//! * **flag registers** — 1-bit logical values produced by comparisons are a
+//!   first-class data type with their own register files and instructions,
+//!   on both the scalar and the parallel side;
+//! * **reduction instructions** that combine parallel values into a scalar
+//!   (bitwise AND/OR, max/min, saturating sum, responder count) plus the
+//!   *multiple response resolver* which produces a parallel result;
+//! * **multithreading instructions** to allocate and release hardware
+//!   threads and to communicate data between threads.
+//!
+//! The paper names these instruction classes but does not publish an opcode
+//! map; the concrete 32-bit encoding here is ours (see `DESIGN.md`). All
+//! instructions are fixed 32-bit words with an 8-bit major opcode.
+//!
+//! The main types are [`Instr`] (a fully decoded instruction), the
+//! [`encode`]/[`decode`] pair, and the operand introspection API
+//! ([`Instr::reads`], [`Instr::writes`], [`Instr::class`]) used by the
+//! simulator's scoreboard for hazard detection.
+
+pub mod gen;
+pub mod instr;
+pub mod ops;
+pub mod reg;
+pub mod word;
+
+mod decode;
+mod encode;
+mod opcode;
+
+pub use decode::{decode, DecodeError};
+pub use encode::encode;
+pub use instr::{Instr, InstrClass, Operand, RegClass};
+pub use ops::{AluOp, CmpOp, FlagOp, FlagReduceOp, ReduceOp};
+pub use reg::{Mask, PFlag, PReg, SFlag, SReg};
+pub use word::{Width, Word};
+
+/// Number of general-purpose registers per thread, on both the scalar and
+/// the parallel side (register fields are 4 bits wide).
+pub const NUM_GPRS: usize = 16;
+
+/// Number of flag registers per thread, on both the scalar and the parallel
+/// side (flag fields are 3 bits wide).
+pub const NUM_FLAGS: usize = 8;
+
+/// Register 0 reads as zero and ignores writes, like MIPS `$zero`, on both
+/// register files.
+pub const ZERO_REG: u8 = 0;
+
+#[cfg(test)]
+mod proptests;

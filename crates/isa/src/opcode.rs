@@ -1,0 +1,89 @@
+//! Major-opcode assignments. Every instruction word is 32 bits with the
+//! major opcode in bits `[31:24]`. Families with a sub-operation (ALU,
+//! compare, flag-logic, reduce) occupy a contiguous opcode range starting at
+//! the family base, offset by the operation code.
+
+/// No operation.
+pub const NOP: u8 = 0x00;
+/// Halt the machine.
+pub const HALT: u8 = 0x01;
+
+/// Scalar ALU register-register family base (`+ AluOp::code()`).
+pub const SALU: u8 = 0x10;
+/// Scalar ALU register-immediate family base.
+pub const SALU_IMM: u8 = 0x30;
+/// Scalar compare family base (`+ CmpOp::code()`).
+pub const SCMP: u8 = 0x50;
+/// Scalar compare-immediate family base.
+pub const SCMP_IMM: u8 = 0x58;
+/// Scalar flag-logic family base (`+ FlagOp::code()`).
+pub const SFLAG: u8 = 0x60;
+
+/// Scalar load word.
+pub const LW: u8 = 0x70;
+/// Scalar store word.
+pub const SW: u8 = 0x71;
+/// Load immediate.
+pub const LI: u8 = 0x72;
+/// Load upper immediate.
+pub const LUI: u8 = 0x73;
+/// Branch if flag true.
+pub const BT: u8 = 0x74;
+/// Branch if flag false.
+pub const BF: u8 = 0x75;
+/// Jump.
+pub const J: u8 = 0x76;
+/// Jump and link.
+pub const JAL: u8 = 0x77;
+/// Jump register.
+pub const JR: u8 = 0x78;
+
+/// Allocate a hardware thread.
+pub const TSPAWN: u8 = 0x79;
+/// Release the executing hardware thread.
+pub const TEXIT: u8 = 0x7a;
+/// Wait for another thread to exit.
+pub const TJOIN: u8 = 0x7b;
+/// Inter-thread register read.
+pub const TGET: u8 = 0x7c;
+/// Inter-thread register write.
+pub const TPUT: u8 = 0x7d;
+/// Read the executing thread id.
+pub const TID: u8 = 0x7e;
+
+/// Parallel ALU register-register family base.
+pub const PALU: u8 = 0x80;
+/// Parallel compare family base.
+pub const PCMP: u8 = 0x91;
+/// Parallel flag-logic family base.
+pub const PFLAG: u8 = 0x97;
+/// Parallel ALU with broadcast scalar operand, family base.
+pub const PALU_S: u8 = 0xa0;
+/// Parallel compare against broadcast scalar, family base.
+pub const PCMP_S: u8 = 0xb1;
+/// Parallel ALU register-immediate family base.
+pub const PALU_IMM: u8 = 0xc0;
+/// Parallel compare-immediate family base.
+pub const PCMP_IMM: u8 = 0xd1;
+
+/// Parallel load from PE local memory.
+pub const PLW: u8 = 0xe0;
+/// Parallel store to PE local memory.
+pub const PSW: u8 = 0xe1;
+/// Write PE index.
+pub const PIDX: u8 = 0xe2;
+/// Broadcast scalar into parallel register.
+pub const PMOVS: u8 = 0xe3;
+/// Inter-PE shift through the reconfigurable PE interconnection network.
+pub const PSHIFT: u8 = 0xe4;
+
+/// Reduction family base (`+ ReduceOp::code()`).
+pub const REDUCE: u8 = 0xf0;
+/// Exact responder count.
+pub const RCOUNT: u8 = 0xf7;
+/// Flag reduction family base (`+ FlagReduceOp::code()`): any/all.
+pub const RFLAG: u8 = 0xf8;
+/// Multiple response resolver (first responder; parallel result).
+pub const PFIRST: u8 = 0xfa;
+/// Pick-one-and-read.
+pub const RGET: u8 = 0xfb;

@@ -1,0 +1,322 @@
+//! Operation kinds shared by scalar and parallel instructions, plus the
+//! reduction operations implemented by the broadcast/reduction network.
+
+use std::fmt;
+
+use crate::word::{Width, Word};
+
+macro_rules! op_enum {
+    ($(#[$doc:meta])* $name:ident { $($variant:ident = $code:expr => $mnem:expr),+ $(,)? }) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        #[repr(u8)]
+        pub enum $name {
+            $(
+                #[allow(missing_docs)]
+                $variant = $code,
+            )+
+        }
+
+        impl $name {
+            /// All variants, in opcode order.
+            pub const ALL: &'static [$name] = &[$($name::$variant),+];
+
+            /// Sub-opcode offset within the instruction family.
+            pub const fn code(self) -> u8 {
+                self as u8
+            }
+
+            /// Decode from a sub-opcode offset.
+            pub fn from_code(code: u8) -> Option<$name> {
+                match code {
+                    $($code => Some($name::$variant),)+
+                    _ => None,
+                }
+            }
+
+            /// Mnemonic suffix used by the assembler.
+            pub const fn mnemonic(self) -> &'static str {
+                match self {
+                    $($name::$variant => $mnem,)+
+                }
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(self.mnemonic())
+            }
+        }
+    };
+}
+
+op_enum!(
+    /// Arithmetic/logic operations, available in scalar and parallel forms.
+    AluOp {
+        Add = 0 => "add",
+        Sub = 1 => "sub",
+        And = 2 => "and",
+        Or = 3 => "or",
+        Xor = 4 => "xor",
+        Nor = 5 => "nor",
+        Sll = 6 => "sll",
+        Srl = 7 => "srl",
+        Sra = 8 => "sra",
+        Mul = 9 => "mul",
+        Mulh = 10 => "mulh",
+        Div = 11 => "div",
+        Rem = 12 => "rem",
+        Min = 13 => "min",
+        Max = 14 => "max",
+        MinU = 15 => "minu",
+        MaxU = 16 => "maxu",
+    }
+);
+
+impl AluOp {
+    /// Apply the operation to two words at width `w`.
+    pub fn apply(self, a: Word, b: Word, w: Width) -> Word {
+        match self {
+            AluOp::Add => a.wrapping_add(b, w),
+            AluOp::Sub => a.wrapping_sub(b, w),
+            AluOp::And => a.and(b),
+            AluOp::Or => a.or(b),
+            AluOp::Xor => a.xor(b),
+            AluOp::Nor => a.nor(b, w),
+            AluOp::Sll => a.shl(b, w),
+            AluOp::Srl => a.shr(b, w),
+            AluOp::Sra => a.sar(b, w),
+            AluOp::Mul => a.mul_lo(b, w),
+            AluOp::Mulh => a.mul_hi(b, w),
+            AluOp::Div => a.div_signed(b, w),
+            AluOp::Rem => a.rem_signed(b, w),
+            AluOp::Min => a.min_signed(b, w),
+            AluOp::Max => a.max_signed(b, w),
+            AluOp::MinU => a.min_unsigned(b),
+            AluOp::MaxU => a.max_unsigned(b),
+        }
+    }
+
+    /// True for operations executed by the (possibly sequential) multiplier.
+    pub const fn uses_multiplier(self) -> bool {
+        matches!(self, AluOp::Mul | AluOp::Mulh)
+    }
+
+    /// True for operations executed by the sequential divider.
+    pub const fn uses_divider(self) -> bool {
+        matches!(self, AluOp::Div | AluOp::Rem)
+    }
+}
+
+op_enum!(
+    /// Comparison operations. Comparisons read general-purpose registers and
+    /// write a flag register ("logical results from comparisons ... become a
+    /// first-class data type").
+    CmpOp {
+        Eq = 0 => "eq",
+        Ne = 1 => "ne",
+        Lt = 2 => "lt",
+        Le = 3 => "le",
+        LtU = 4 => "ltu",
+        LeU = 5 => "leu",
+    }
+);
+
+impl CmpOp {
+    /// Apply the comparison at width `w`.
+    pub fn apply(self, a: Word, b: Word, w: Width) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a.to_i64(w) < b.to_i64(w),
+            CmpOp::Le => a.to_i64(w) <= b.to_i64(w),
+            CmpOp::LtU => a.to_u32() < b.to_u32(),
+            CmpOp::LeU => a.to_u32() <= b.to_u32(),
+        }
+    }
+}
+
+op_enum!(
+    /// Flag-register logic operations ("logic operations are supported for
+    /// both integers (bitwise logic) and flags").
+    FlagOp {
+        And = 0 => "fand",
+        Or = 1 => "for",
+        Xor = 2 => "fxor",
+        AndNot = 3 => "fandn",
+        Not = 4 => "fnot",
+        Mov = 5 => "fmov",
+        Set = 6 => "fset",
+        Clr = 7 => "fclr",
+    }
+);
+
+impl FlagOp {
+    /// Apply the flag operation. Unary/nullary operations ignore the unused
+    /// inputs.
+    pub fn apply(self, a: bool, b: bool) -> bool {
+        match self {
+            FlagOp::And => a && b,
+            FlagOp::Or => a || b,
+            FlagOp::Xor => a ^ b,
+            FlagOp::AndNot => a && !b,
+            FlagOp::Not => !a,
+            FlagOp::Mov => a,
+            FlagOp::Set => true,
+            FlagOp::Clr => false,
+        }
+    }
+
+    /// Number of flag source operands the operation reads.
+    pub const fn arity(self) -> usize {
+        match self {
+            FlagOp::And | FlagOp::Or | FlagOp::Xor | FlagOp::AndNot => 2,
+            FlagOp::Not | FlagOp::Mov => 1,
+            FlagOp::Set | FlagOp::Clr => 0,
+        }
+    }
+}
+
+op_enum!(
+    /// Reduction operations over parallel general-purpose values, computed
+    /// by the pipelined reduction network.
+    ReduceOp {
+        And = 0 => "rand",
+        Or = 1 => "ror",
+        Max = 2 => "rmax",
+        Min = 3 => "rmin",
+        MaxU = 4 => "rmaxu",
+        MinU = 5 => "rminu",
+        Sum = 6 => "rsum",
+    }
+);
+
+impl ReduceOp {
+    /// Identity element of the reduction at width `w` (what an inactive PE
+    /// contributes to the tree).
+    pub fn identity(self, w: Width) -> Word {
+        match self {
+            ReduceOp::And => Word(w.mask()),
+            ReduceOp::Or => Word::ZERO,
+            ReduceOp::Max => Word::from_i64(w.smin(), w),
+            ReduceOp::Min => Word::from_i64(w.smax(), w),
+            ReduceOp::MaxU => Word::ZERO,
+            ReduceOp::MinU => Word(w.mask()),
+            ReduceOp::Sum => Word::ZERO,
+        }
+    }
+
+    /// Combine two values at a tree node. `Sum` saturates, per the paper.
+    pub fn combine(self, a: Word, b: Word, w: Width) -> Word {
+        match self {
+            ReduceOp::And => a.and(b),
+            ReduceOp::Or => a.or(b),
+            ReduceOp::Max => a.max_signed(b, w),
+            ReduceOp::Min => a.min_signed(b, w),
+            ReduceOp::MaxU => a.max_unsigned(b),
+            ReduceOp::MinU => a.min_unsigned(b),
+            ReduceOp::Sum => a.saturating_add_signed(b, w),
+        }
+    }
+}
+
+op_enum!(
+    /// Reductions over parallel *flag* values: responder detection. `Any` is
+    /// the ASC "some/none responders" test; `All` is its dual.
+    FlagReduceOp {
+        Any = 0 => "rany",
+        All = 1 => "rall",
+    }
+);
+
+impl FlagReduceOp {
+    /// Identity element (what an inactive PE contributes).
+    pub const fn identity(self) -> bool {
+        match self {
+            FlagReduceOp::Any => false,
+            FlagReduceOp::All => true,
+        }
+    }
+
+    /// Combine two flag values at a tree node.
+    pub fn combine(self, a: bool, b: bool) -> bool {
+        match self {
+            FlagReduceOp::Any => a || b,
+            FlagReduceOp::All => a && b,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_code_round_trip() {
+        for &op in AluOp::ALL {
+            assert_eq!(AluOp::from_code(op.code()), Some(op));
+        }
+        assert_eq!(AluOp::from_code(17), None);
+        assert_eq!(AluOp::ALL.len(), 17);
+    }
+
+    #[test]
+    fn cmp_semantics_signedness() {
+        let w = Width::W8;
+        let neg = Word::from_i64(-1, w);
+        let one = Word::from_i64(1, w);
+        assert!(CmpOp::Lt.apply(neg, one, w));
+        assert!(!CmpOp::LtU.apply(neg, one, w)); // 0xff > 1 unsigned
+        assert!(CmpOp::Le.apply(one, one, w));
+        assert!(CmpOp::Ne.apply(neg, one, w));
+    }
+
+    #[test]
+    fn flag_op_truth_tables() {
+        assert!(FlagOp::And.apply(true, true));
+        assert!(!FlagOp::And.apply(true, false));
+        assert!(FlagOp::Or.apply(false, true));
+        assert!(FlagOp::Xor.apply(true, false));
+        assert!(!FlagOp::Xor.apply(true, true));
+        assert!(FlagOp::AndNot.apply(true, false));
+        assert!(!FlagOp::AndNot.apply(true, true));
+        assert!(FlagOp::Not.apply(false, false));
+        assert!(FlagOp::Set.apply(false, false));
+        assert!(!FlagOp::Clr.apply(true, true));
+        assert_eq!(FlagOp::Set.arity(), 0);
+        assert_eq!(FlagOp::Not.arity(), 1);
+        assert_eq!(FlagOp::Xor.arity(), 2);
+    }
+
+    #[test]
+    fn reduce_identities() {
+        let w = Width::W8;
+        for &op in ReduceOp::ALL {
+            let id = op.identity(w);
+            for v in [0u32, 1, 0x7f, 0x80, 0xff] {
+                let v = Word::new(v, w);
+                assert_eq!(op.combine(id, v, w), v, "{op} identity");
+                assert_eq!(op.combine(v, id, w), v, "{op} identity (comm)");
+            }
+        }
+    }
+
+    #[test]
+    fn sum_reduction_saturates() {
+        let w = Width::W8;
+        let a = Word::from_i64(100, w);
+        assert_eq!(ReduceOp::Sum.combine(a, a, w).to_i64(w), 127);
+        let b = Word::from_i64(-100, w);
+        assert_eq!(ReduceOp::Sum.combine(b, b, w).to_i64(w), -128);
+    }
+
+    #[test]
+    fn flag_reduce() {
+        assert!(FlagReduceOp::Any.combine(false, true));
+        assert!(!FlagReduceOp::Any.combine(false, false));
+        assert!(FlagReduceOp::All.combine(true, true));
+        assert!(!FlagReduceOp::All.combine(true, false));
+        assert!(!FlagReduceOp::Any.identity());
+        assert!(FlagReduceOp::All.identity());
+    }
+}

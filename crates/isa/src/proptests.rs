@@ -1,0 +1,104 @@
+//! Property tests for the ISA: encode/decode bijectivity and operand
+//! introspection invariants.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::gen::random_instr;
+use crate::instr::InstrClass;
+use crate::{decode, encode};
+
+proptest! {
+    /// decode(encode(i)) == i for every valid instruction.
+    #[test]
+    fn encode_decode_round_trip(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..64 {
+            let i = random_instr(&mut rng);
+            let w = encode(&i);
+            prop_assert_eq!(decode(w), Ok(i), "word {:#010x}", w);
+        }
+    }
+
+    /// Any word that decodes must re-encode to the identical word (the
+    /// encoding has no don't-care bits).
+    #[test]
+    fn decode_encode_fixpoint(word in any::<u32>()) {
+        if let Ok(i) = decode(word) {
+            prop_assert_eq!(encode(&i), word);
+        }
+    }
+
+    /// Writes never alias the hardwired zero registers; reads and writes
+    /// always reference in-range register indices.
+    #[test]
+    fn operand_invariants(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..64 {
+            let i = random_instr(&mut rng);
+            for o in i.reads().into_iter().chain(i.writes()) {
+                prop_assert!(!o.is_zero_gpr() || i.writes().iter().all(|w| *w != o));
+                let limit = match o.class {
+                    crate::RegClass::SGpr | crate::RegClass::PGpr => 16,
+                    crate::RegClass::SFlag | crate::RegClass::PFlag => 8,
+                };
+                prop_assert!((o.index as usize) < limit);
+            }
+        }
+    }
+
+    /// Mask reads are reported: any masked instruction lists its mask flag
+    /// among its reads.
+    #[test]
+    fn mask_is_a_read(seed in any::<u64>()) {
+        use crate::reg::Mask;
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..64 {
+            let i = random_instr(&mut rng);
+            if let Some(Mask::Flag(f)) = i.mask() {
+                prop_assert!(i.reads().contains(&crate::Operand::pf(f)), "{:?}", i);
+            }
+        }
+    }
+
+    /// Reduction-class instructions never write parallel GPRs, and parallel
+    /// instructions never write scalar registers (the pipeline paths of
+    /// Figure 1 have no such datapath).
+    #[test]
+    fn class_write_discipline(seed in any::<u64>()) {
+        use crate::RegClass;
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..64 {
+            let i = random_instr(&mut rng);
+            match i.class() {
+                InstrClass::Parallel => {
+                    for w in i.writes() {
+                        prop_assert!(
+                            matches!(w.class, RegClass::PGpr | RegClass::PFlag),
+                            "parallel instruction {:?} writes {:?}", i, w
+                        );
+                    }
+                }
+                InstrClass::Reduction => {
+                    for w in i.writes() {
+                        // the MRR is the one reduction with a parallel
+                        // (flag) result
+                        prop_assert!(
+                            !matches!(w.class, RegClass::PGpr),
+                            "reduction {:?} writes a parallel GPR", i
+                        );
+                    }
+                }
+                InstrClass::Scalar => {
+                    for w in i.writes() {
+                        prop_assert!(
+                            matches!(w.class, RegClass::SGpr | RegClass::SFlag),
+                            "scalar instruction {:?} writes {:?}", i, w
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

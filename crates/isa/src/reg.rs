@@ -1,0 +1,183 @@
+//! Register names: scalar/parallel general-purpose registers, scalar/parallel
+//! flag registers, and the activity [`Mask`] field carried by every parallel
+//! and reduction instruction.
+
+use std::fmt;
+
+use crate::{NUM_FLAGS, NUM_GPRS};
+
+macro_rules! reg_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:expr, $count:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(u8);
+
+        impl $name {
+            /// Construct, returning `None` if `idx` is out of range.
+            pub const fn new(idx: u8) -> Option<$name> {
+                if (idx as usize) < $count {
+                    Some($name(idx))
+                } else {
+                    None
+                }
+            }
+
+            /// Construct without a range check.
+            ///
+            /// # Panics
+            /// Panics if `idx` is out of range.
+            pub fn from_index(idx: u8) -> $name {
+                Self::new(idx).unwrap_or_else(|| {
+                    panic!(concat!(stringify!($name), " index {} out of range"), idx)
+                })
+            }
+
+            /// Register index.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Raw encoded field value.
+            pub const fn raw(self) -> u8 {
+                self.0
+            }
+
+            /// Register 0 of this file.
+            pub const R0: $name = $name(0);
+
+            /// Iterate over every register of this file.
+            pub fn all() -> impl Iterator<Item = $name> {
+                (0..$count as u8).map($name)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", $prefix, self.0)
+            }
+        }
+    };
+}
+
+reg_type!(
+    /// A scalar general-purpose register (`s0`..`s15`). `s0` reads as zero.
+    SReg,
+    "s",
+    NUM_GPRS
+);
+reg_type!(
+    /// A parallel general-purpose register (`p0`..`p15`), one instance per
+    /// PE per thread. `p0` reads as zero.
+    PReg,
+    "p",
+    NUM_GPRS
+);
+reg_type!(
+    /// A scalar flag register (`f0`..`f7`): a 1-bit logical value in the
+    /// control unit's flag register file.
+    SFlag,
+    "f",
+    NUM_FLAGS
+);
+reg_type!(
+    /// A parallel flag register (`pf0`..`pf7`), one bit per PE per thread.
+    /// Comparison results and responder sets live here.
+    PFlag,
+    "pf",
+    NUM_FLAGS
+);
+
+/// The activity mask of a parallel or reduction instruction.
+///
+/// Associative programs first *search* (a parallel comparison writing a flag
+/// register) and then operate only on the *responders*. Every parallel and
+/// reduction instruction therefore carries a mask field: either `All` (every
+/// enabled PE participates) or `Flag(pf)` (only PEs whose `pf` bit is set
+/// participate). Encoded as 4 bits: `1fff` for `Flag(fff)`, `0000` for `All`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Mask {
+    /// All PEs participate.
+    #[default]
+    All,
+    /// Only PEs whose given parallel flag is set participate.
+    Flag(PFlag),
+}
+
+impl Mask {
+    /// Encode to the 4-bit instruction field.
+    pub fn to_bits(self) -> u32 {
+        match self {
+            Mask::All => 0,
+            Mask::Flag(f) => 0x8 | f.raw() as u32,
+        }
+    }
+
+    /// Decode from the 4-bit instruction field. Values `0001`..`0111` are
+    /// reserved and rejected.
+    pub fn from_bits(bits: u32) -> Option<Mask> {
+        match bits {
+            0 => Some(Mask::All),
+            b if b & 0x8 != 0 => PFlag::new((b & 0x7) as u8).map(Mask::Flag),
+            _ => None,
+        }
+    }
+
+    /// The flag register this mask reads, if any.
+    pub fn flag(self) -> Option<PFlag> {
+        match self {
+            Mask::All => None,
+            Mask::Flag(f) => Some(f),
+        }
+    }
+}
+
+impl fmt::Display for Mask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mask::All => Ok(()),
+            Mask::Flag(fl) => write!(f, "?{fl}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_ranges() {
+        assert!(SReg::new(15).is_some());
+        assert!(SReg::new(16).is_none());
+        assert!(PFlag::new(7).is_some());
+        assert!(PFlag::new(8).is_none());
+        assert_eq!(SReg::all().count(), 16);
+        assert_eq!(PFlag::all().count(), 8);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SReg::from_index(3).to_string(), "s3");
+        assert_eq!(PReg::from_index(12).to_string(), "p12");
+        assert_eq!(SFlag::from_index(0).to_string(), "f0");
+        assert_eq!(PFlag::from_index(7).to_string(), "pf7");
+        assert_eq!(Mask::All.to_string(), "");
+        assert_eq!(Mask::Flag(PFlag::from_index(2)).to_string(), "?pf2");
+    }
+
+    #[test]
+    fn mask_round_trip() {
+        for m in [Mask::All, Mask::Flag(PFlag::from_index(0)), Mask::Flag(PFlag::from_index(7))] {
+            assert_eq!(Mask::from_bits(m.to_bits()), Some(m));
+        }
+        // reserved encodings rejected
+        for bits in 1..8 {
+            assert_eq!(Mask::from_bits(bits), None);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_panics() {
+        let _ = SReg::from_index(16);
+    }
+}

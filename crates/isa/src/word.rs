@@ -1,0 +1,347 @@
+//! Machine word semantics.
+//!
+//! The MTASC prototype family used 8-bit PEs; this implementation makes the
+//! datapath width configurable (8, 16, or 32 bits). A [`Word`] is stored as
+//! a `u32` whose bits above the configured [`Width`] are always zero; all
+//! arithmetic wraps (or saturates, where specified) at that width.
+
+use std::fmt;
+
+/// Datapath width of the machine (scalar datapath and every PE).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Width {
+    /// 8-bit datapath — the width of the FPGA prototype family.
+    W8,
+    /// 16-bit datapath.
+    W16,
+    /// 32-bit datapath.
+    W32,
+}
+
+impl Width {
+    /// Number of bits.
+    pub const fn bits(self) -> u32 {
+        match self {
+            Width::W8 => 8,
+            Width::W16 => 16,
+            Width::W32 => 32,
+        }
+    }
+
+    /// Bit mask selecting the valid bits of a word.
+    pub const fn mask(self) -> u32 {
+        match self {
+            Width::W8 => 0xff,
+            Width::W16 => 0xffff,
+            Width::W32 => 0xffff_ffff,
+        }
+    }
+
+    /// Largest representable signed value.
+    pub const fn smax(self) -> i64 {
+        (self.mask() >> 1) as i64
+    }
+
+    /// Smallest representable signed value.
+    pub const fn smin(self) -> i64 {
+        -(self.smax() + 1)
+    }
+
+    /// All widths, smallest first.
+    pub const ALL: [Width; 3] = [Width::W8, Width::W16, Width::W32];
+}
+
+impl fmt::Display for Width {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-bit", self.bits())
+    }
+}
+
+/// A machine word: an unsigned value truncated to a [`Width`].
+///
+/// `Word` deliberately does not carry its width; operations take the width
+/// as a parameter (it is a machine-wide configuration constant, and storing
+/// it per value would double the memory footprint of the PE array).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Word(pub u32);
+
+impl Word {
+    /// The zero word.
+    pub const ZERO: Word = Word(0);
+
+    /// Construct from a raw `u32`, truncating to `w`.
+    pub fn new(v: u32, w: Width) -> Word {
+        Word(v & w.mask())
+    }
+
+    /// Construct from a signed value, truncating to `w` (two's complement).
+    pub fn from_i64(v: i64, w: Width) -> Word {
+        Word((v as u32) & w.mask())
+    }
+
+    /// Unsigned value of the word.
+    pub fn to_u32(self) -> u32 {
+        self.0
+    }
+
+    /// Signed (two's complement) value of the word at width `w`.
+    pub fn to_i64(self, w: Width) -> i64 {
+        let bits = w.bits();
+        if bits == 32 {
+            self.0 as i32 as i64
+        } else {
+            let sign = 1u32 << (bits - 1);
+            if self.0 & sign != 0 {
+                (self.0 as i64) - (1i64 << bits)
+            } else {
+                self.0 as i64
+            }
+        }
+    }
+
+    /// True if any bit is set.
+    pub fn is_nonzero(self) -> bool {
+        self.0 != 0
+    }
+
+    /// Wrapping addition at width `w`.
+    pub fn wrapping_add(self, rhs: Word, w: Width) -> Word {
+        Word(self.0.wrapping_add(rhs.0) & w.mask())
+    }
+
+    /// Wrapping subtraction at width `w`.
+    pub fn wrapping_sub(self, rhs: Word, w: Width) -> Word {
+        Word(self.0.wrapping_sub(rhs.0) & w.mask())
+    }
+
+    /// Saturating signed addition at width `w` (used by the sum-reduction
+    /// network: "if overflow occurs while computing the sum, the result is
+    /// saturated to the largest or smallest representable value").
+    pub fn saturating_add_signed(self, rhs: Word, w: Width) -> Word {
+        let s = self.to_i64(w) + rhs.to_i64(w);
+        Word::from_i64(s.clamp(w.smin(), w.smax()), w)
+    }
+
+    /// Bitwise AND.
+    pub fn and(self, rhs: Word) -> Word {
+        Word(self.0 & rhs.0)
+    }
+
+    /// Bitwise OR.
+    pub fn or(self, rhs: Word) -> Word {
+        Word(self.0 | rhs.0)
+    }
+
+    /// Bitwise XOR.
+    pub fn xor(self, rhs: Word) -> Word {
+        Word(self.0 ^ rhs.0)
+    }
+
+    /// Bitwise NOR at width `w`.
+    pub fn nor(self, rhs: Word, w: Width) -> Word {
+        Word(!(self.0 | rhs.0) & w.mask())
+    }
+
+    /// Logical left shift by `rhs` (modulo the width), truncated to `w`.
+    pub fn shl(self, rhs: Word, w: Width) -> Word {
+        let sh = rhs.0 % w.bits();
+        Word((self.0 << sh) & w.mask())
+    }
+
+    /// Logical right shift by `rhs` (modulo the width).
+    pub fn shr(self, rhs: Word, w: Width) -> Word {
+        let sh = rhs.0 % w.bits();
+        Word(self.0 >> sh)
+    }
+
+    /// Arithmetic right shift by `rhs` (modulo the width).
+    pub fn sar(self, rhs: Word, w: Width) -> Word {
+        let sh = rhs.0 % w.bits();
+        Word::from_i64(self.to_i64(w) >> sh, w)
+    }
+
+    /// Low word of the signed product at width `w`.
+    pub fn mul_lo(self, rhs: Word, w: Width) -> Word {
+        Word::from_i64(self.to_i64(w).wrapping_mul(rhs.to_i64(w)), w)
+    }
+
+    /// High word of the signed product at width `w`.
+    pub fn mul_hi(self, rhs: Word, w: Width) -> Word {
+        let p = self.to_i64(w).wrapping_mul(rhs.to_i64(w));
+        Word::from_i64(p >> w.bits(), w)
+    }
+
+    /// Signed division at width `w`. Division by zero is defined (the
+    /// hardware must do *something*): the quotient is all ones.
+    pub fn div_signed(self, rhs: Word, w: Width) -> Word {
+        let b = rhs.to_i64(w);
+        if b == 0 {
+            Word(w.mask())
+        } else {
+            Word::from_i64(self.to_i64(w).wrapping_div(b), w)
+        }
+    }
+
+    /// Signed remainder at width `w`. Remainder of division by zero is the
+    /// dividend.
+    pub fn rem_signed(self, rhs: Word, w: Width) -> Word {
+        let b = rhs.to_i64(w);
+        if b == 0 {
+            self
+        } else {
+            Word::from_i64(self.to_i64(w).wrapping_rem(b), w)
+        }
+    }
+
+    /// Signed minimum at width `w`.
+    pub fn min_signed(self, rhs: Word, w: Width) -> Word {
+        if self.to_i64(w) <= rhs.to_i64(w) {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// Signed maximum at width `w`.
+    pub fn max_signed(self, rhs: Word, w: Width) -> Word {
+        if self.to_i64(w) >= rhs.to_i64(w) {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// Unsigned minimum.
+    pub fn min_unsigned(self, rhs: Word) -> Word {
+        if self.0 <= rhs.0 {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// Unsigned maximum.
+    pub fn max_unsigned(self, rhs: Word) -> Word {
+        if self.0 >= rhs.0 {
+            self
+        } else {
+            rhs
+        }
+    }
+}
+
+impl fmt::Display for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<u32> for Word {
+    /// Untruncated conversion; the caller is responsible for masking (use
+    /// [`Word::new`] when a width is in scope).
+    fn from(v: u32) -> Word {
+        Word(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths() {
+        assert_eq!(Width::W8.bits(), 8);
+        assert_eq!(Width::W8.mask(), 0xff);
+        assert_eq!(Width::W8.smax(), 127);
+        assert_eq!(Width::W8.smin(), -128);
+        assert_eq!(Width::W16.smax(), 32767);
+        assert_eq!(Width::W32.smin(), i32::MIN as i64);
+        assert_eq!(Width::W32.smax(), i32::MAX as i64);
+    }
+
+    #[test]
+    fn signed_round_trip() {
+        for w in Width::ALL {
+            for v in [-1i64, 0, 1, w.smin(), w.smax(), -17, 42] {
+                let word = Word::from_i64(v, w);
+                assert_eq!(word.to_i64(w), v, "width {w}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn wrapping_arithmetic() {
+        let w = Width::W8;
+        assert_eq!(
+            Word::new(0xff, w).wrapping_add(Word::new(1, w), w),
+            Word::ZERO
+        );
+        assert_eq!(
+            Word::new(0, w).wrapping_sub(Word::new(1, w), w),
+            Word::new(0xff, w)
+        );
+    }
+
+    #[test]
+    fn saturating_add() {
+        let w = Width::W8;
+        let big = Word::from_i64(120, w);
+        assert_eq!(big.saturating_add_signed(big, w).to_i64(w), 127);
+        let small = Word::from_i64(-120, w);
+        assert_eq!(small.saturating_add_signed(small, w).to_i64(w), -128);
+        assert_eq!(
+            big.saturating_add_signed(Word::from_i64(-3, w), w).to_i64(w),
+            117
+        );
+    }
+
+    #[test]
+    fn shifts_mask_amount() {
+        let w = Width::W8;
+        // shift amount is taken modulo the width
+        assert_eq!(
+            Word::new(1, w).shl(Word::new(9, w), w),
+            Word::new(2, w)
+        );
+        assert_eq!(
+            Word::new(0x80, w).sar(Word::new(1, w), w),
+            Word::new(0xc0, w)
+        );
+        assert_eq!(
+            Word::new(0x80, w).shr(Word::new(1, w), w),
+            Word::new(0x40, w)
+        );
+    }
+
+    #[test]
+    fn mul_hi_lo() {
+        let w = Width::W8;
+        let a = Word::from_i64(100, w);
+        let b = Word::from_i64(100, w);
+        // 100*100 = 10000 = 0x2710
+        assert_eq!(a.mul_lo(b, w), Word::new(0x10, w));
+        assert_eq!(a.mul_hi(b, w), Word::new(0x27, w));
+        let neg = Word::from_i64(-1, w);
+        assert_eq!(neg.mul_lo(neg, w).to_i64(w), 1);
+        assert_eq!(neg.mul_hi(neg, w).to_i64(w), 0);
+    }
+
+    #[test]
+    fn division_by_zero_is_defined() {
+        let w = Width::W16;
+        let a = Word::from_i64(1234, w);
+        assert_eq!(a.div_signed(Word::ZERO, w), Word(w.mask()));
+        assert_eq!(a.rem_signed(Word::ZERO, w), a);
+    }
+
+    #[test]
+    fn min_max_signedness() {
+        let w = Width::W8;
+        let a = Word::from_i64(-1, w); // 0xff unsigned
+        let b = Word::from_i64(1, w);
+        assert_eq!(a.min_signed(b, w), a);
+        assert_eq!(a.max_signed(b, w), b);
+        assert_eq!(a.min_unsigned(b), b);
+        assert_eq!(a.max_unsigned(b), a);
+    }
+}

@@ -1,0 +1,180 @@
+//! Multithreaded batch query processing: the kernel that shows what the
+//! hardware threads are *for*. A block of equality queries is answered
+//! against a table of keys (one record per PE); each query is a
+//! broadcast-compare plus a responder count whose result feeds a store —
+//! a reduction hazard per query. One thread stalls b+r cycles per query;
+//! a fleet of threads (each owning a slice of the query block) keeps the
+//! pipeline full.
+
+use asc_core::{MachineConfig, RunError, Stats};
+use asc_isa::Word;
+
+use crate::harness::{pad_to, run_kernel, to_words};
+
+/// Queries live at `smem[QUERY_BASE..]`, results at `smem[RESULT_BASE..]`.
+const QUERY_BASE: i64 = 64;
+/// Result block base.
+const RESULT_BASE: i64 = 512;
+
+/// Batch outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchResult {
+    /// Per-query responder counts.
+    pub counts: Vec<u32>,
+    /// Run statistics.
+    pub stats: Stats,
+}
+
+/// `workers` threads, each answering a contiguous slice of `q` queries.
+/// With `workers == 0` the main thread answers everything itself (the
+/// single-threaded baseline, same instruction mix).
+fn program(q: usize, workers: usize) -> String {
+    let per = if workers > 0 { q / workers } else { q };
+    assert!(workers == 0 || q % workers == 0, "query count divisible by workers");
+    if workers == 0 {
+        return format!(
+            "
+main:   plw    p2, 0(p0)       ; keys
+        li     s7, 0           ; query index
+        li     s6, {q}
+qloop:  ceq    f1, s7, s6
+        bt     f1, done
+        lw     s2, {qb}(s7)
+        pfclr  pf1
+        pceqs  pf1, p2, s2
+        rcount s8, pf1
+        sw     s8, {rb}(s7)
+        addi   s7, s7, 1
+        j      qloop
+done:   halt
+            ",
+            qb = QUERY_BASE,
+            rb = RESULT_BASE,
+        );
+    }
+    // Each worker has its own two-instruction entry stub carrying its
+    // slice number. Thread ids cannot be used for work assignment: a fast
+    // worker may exit while the main thread is still spawning, so a later
+    // spawn can reuse its context id.
+    let stubs: String = (0..workers)
+        .map(|k| format!("stub{k}: li s5, {k}\n        j  wbody\n"))
+        .collect();
+    format!(
+        "
+main:   li   s1, stub0
+        li   s2, 0
+        li   s3, {workers}
+spawnl: ceq  f1, s2, s3
+        bt   f1, joins
+        tspawn s4, s1
+        sw   s4, 16(s2)
+        addi s1, s1, 2         ; next worker's entry stub
+        addi s2, s2, 1
+        j    spawnl
+joins:  li   s2, 0
+joinl:  ceq  f1, s2, s3
+        bt   f1, done
+        lw   s4, 16(s2)
+        tjoin s4
+        addi s2, s2, 1
+        j    joinl
+done:   halt
+{stubs}wbody:  plw    p2, 0(p0)       ; keys (per-thread parallel registers)
+        li     s7, {per}
+        mul    s7, s7, s5      ; start = slice * per
+        add    s6, s7, s0
+        addi   s6, s6, {per}   ; end
+qloop:  ceq    f1, s7, s6
+        bt     f1, wdone
+        lw     s2, {qb}(s7)
+        pfclr  pf1
+        pceqs  pf1, p2, s2
+        rcount s8, pf1
+        sw     s8, {rb}(s7)
+        addi   s7, s7, 1
+        j      qloop
+wdone:  texit
+        ",
+        qb = QUERY_BASE,
+        rb = RESULT_BASE,
+    )
+}
+
+/// Answer `queries` against `keys` with `workers` hardware threads
+/// (0 = run everything on the main thread).
+pub fn run(
+    cfg: MachineConfig,
+    keys: &[i64],
+    queries: &[i64],
+    workers: usize,
+) -> Result<BatchResult, RunError> {
+    assert!(keys.len() <= cfg.num_pes);
+    assert!((RESULT_BASE as usize) + queries.len() <= cfg.smem_words);
+    assert!((QUERY_BASE as usize) + queries.len() <= RESULT_BASE as usize);
+    assert!(workers == 0 || queries.len() % workers == 0);
+    assert!(workers < cfg.threads, "main thread + workers must fit");
+    let w = cfg.width;
+    let pad_key = w.mask() as i64;
+    assert!(queries.iter().all(|&q| q != pad_key));
+    let padded = pad_to(keys.to_vec(), cfg.num_pes, pad_key);
+    let (m, stats) = run_kernel(cfg, &program(queries.len(), workers), |mach| {
+        mach.array_mut().scatter_column(0, &to_words(&padded, w)).unwrap();
+        for (i, &q) in queries.iter().enumerate() {
+            mach.smem_mut()
+                .write((QUERY_BASE as usize + i) as u32, Word::from_i64(q, w))
+                .unwrap();
+        }
+    })?;
+    let counts = (0..queries.len())
+        .map(|i| m.smem().read((RESULT_BASE as usize + i) as u32).unwrap().to_u32())
+        .collect();
+    Ok(BatchResult { counts, stats })
+}
+
+/// Host reference.
+pub fn reference(keys: &[i64], queries: &[i64]) -> Vec<u32> {
+    queries
+        .iter()
+        .map(|q| keys.iter().filter(|&&k| k == *q).count() as u32)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys() -> Vec<i64> {
+        (0..64).map(|i| (i * 13) % 16).collect()
+    }
+
+    #[test]
+    fn single_threaded_counts() {
+        let queries: Vec<i64> = (0..16).collect();
+        let r = run(MachineConfig::new(64), &keys(), &queries, 0).unwrap();
+        assert_eq!(r.counts, reference(&keys(), &queries));
+    }
+
+    #[test]
+    fn multithreaded_counts_match() {
+        let queries: Vec<i64> = (0..48).map(|i| i % 16).collect();
+        for workers in [2usize, 4, 8, 12] {
+            let r = run(MachineConfig::new(64), &keys(), &queries, workers).unwrap();
+            assert_eq!(r.counts, reference(&keys(), &queries), "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn multithreading_speeds_up_the_batch() {
+        let queries: Vec<i64> = (0..240).map(|i| i % 16).collect();
+        let cfg = MachineConfig::new(256);
+        let st = run(cfg, &keys(), &queries, 0).unwrap();
+        let mt = run(cfg, &keys(), &queries, 12).unwrap();
+        assert_eq!(st.counts, mt.counts);
+        assert!(
+            mt.stats.cycles * 2 < st.stats.cycles,
+            "12 workers should at least halve the batch time: {} vs {}",
+            mt.stats.cycles,
+            st.stats.cycles
+        );
+    }
+}

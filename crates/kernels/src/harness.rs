@@ -1,0 +1,81 @@
+//! Shared kernel-running scaffolding.
+
+use asc_asm::{assemble, render_errors, Program};
+use asc_core::{Machine, MachineConfig, RunError, Stats};
+use asc_isa::{Width, Word};
+
+use crate::MAX_CYCLES;
+
+/// Assemble, panicking with rendered diagnostics on failure (kernel
+/// sources are generated; a failure is a bug in the generator).
+pub fn assemble_kernel(src: &str) -> Program {
+    assemble(src).unwrap_or_else(|errs| {
+        panic!("kernel failed to assemble:\n{}\nsource:\n{src}", render_errors(&errs))
+    })
+}
+
+/// Build a machine, run `setup` to distribute data, execute, and return
+/// the machine (for result extraction) with its statistics.
+pub fn run_kernel(
+    cfg: MachineConfig,
+    src: &str,
+    setup: impl FnOnce(&mut Machine),
+) -> Result<(Machine, Stats), RunError> {
+    let program = assemble_kernel(src);
+    let mut m = Machine::with_program(cfg, &program)?;
+    setup(&mut m);
+    let stats = m.run(MAX_CYCLES)?;
+    Ok((m, stats))
+}
+
+/// Convert host values into machine words at the machine's width,
+/// panicking if a value does not fit (kernel inputs must be
+/// representable).
+pub fn to_words(values: &[i64], width: Width) -> Vec<Word> {
+    values
+        .iter()
+        .map(|&v| {
+            assert!(
+                v >= width.smin() && v <= width.mask() as i64,
+                "value {v} does not fit {width}"
+            );
+            Word::from_i64(v, width)
+        })
+        .collect()
+}
+
+/// Pad a value list to the PE count with a filler.
+pub fn pad_to(mut values: Vec<i64>, n: usize, fill: i64) -> Vec<i64> {
+    assert!(values.len() <= n, "more values ({}) than PEs ({n})", values.len());
+    values.resize(n, fill);
+    values
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn to_words_checks_range() {
+        let w = to_words(&[0, 255, -1], Width::W8);
+        assert_eq!(w[1].to_u32(), 255);
+        assert_eq!(w[2].to_u32(), 0xff);
+    }
+
+    #[test]
+    #[should_panic]
+    fn to_words_rejects_overflow() {
+        to_words(&[300], Width::W8);
+    }
+
+    #[test]
+    fn pad() {
+        assert_eq!(pad_to(vec![1, 2], 4, 9), vec![1, 2, 9, 9]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn pad_rejects_too_many() {
+        pad_to(vec![1, 2, 3], 2, 0);
+    }
+}

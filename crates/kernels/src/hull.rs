@@ -1,0 +1,246 @@
+//! Convex hull by associative QuickHull: one point per PE; every step of
+//! the classic recursion becomes O(1) associative work (broadcast the
+//! segment endpoints, compute cross products in parallel, masked RMAX to
+//! find the farthest point, MRR to resolve ties), with the recursion
+//! stack kept in scalar memory. Associative geometry like this is a
+//! staple of the ASC application literature.
+//!
+//! Points use small integer coordinates so the cross products fit the
+//! 16-bit datapath (|coord| ≤ 60 keeps every product within ±7200).
+
+use asc_core::{MachineConfig, RunError, Stats};
+
+use crate::harness::{run_kernel, to_words};
+
+/// Coordinate magnitude limit (keeps cross products in range at W16).
+pub const MAX_COORD: i64 = 60;
+
+/// Hull outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HullResult {
+    /// `true` for each input point on the convex hull (strictly —
+    /// collinear boundary points are excluded).
+    pub on_hull: Vec<bool>,
+    /// Number of hull vertices.
+    pub count: u32,
+    /// Run statistics.
+    pub stats: Stats,
+}
+
+/// The kernel. Layout: x in `lmem[0]`, y in `lmem[1]`; segment stack at
+/// `smem[64..]` (two words per entry); hull membership accumulates in
+/// `pf7`.
+fn program(n: usize) -> String {
+    format!(
+        "
+        .equ STACK, 64
+        li     s15, {last}
+        pidx   p1
+        pcles  pf1, p1, s15    ; valid points
+        plw    p2, 0(p0) ?pf1  ; x
+        plw    p3, 1(p0) ?pf1  ; y
+        pfclr  pf7             ; hull membership
+
+; ---- find A = lexicographically smallest (x, y) point ----
+        rmin   s2, p2 ?pf1     ; min x
+        pfclr  pf2
+        pceqs  pf2, p2, s2 ?pf1
+        rmin   s3, p3 ?pf2     ; min y among those
+        pfclr  pf3
+        pceqs  pf3, p3, s3 ?pf2
+        pfirst pf4, pf3
+        rget   s6, p1, pf4     ; A's index
+        pfor   pf7, pf7, pf4
+
+; ---- find B = lexicographically largest (x, y) point ----
+        rmax   s4, p2 ?pf1
+        pfclr  pf2
+        pceqs  pf2, p2, s4 ?pf1
+        rmax   s5, p3 ?pf2
+        pfclr  pf3
+        pceqs  pf3, p3, s5 ?pf2
+        pfirst pf4, pf3
+        rget   s7, p1, pf4     ; B's index
+        pfor   pf7, pf7, pf4
+
+; ---- degenerate single-point input: A == B → done ----
+        ceq    f1, s6, s7
+        bt     f1, finish
+
+; ---- stack := [(A,B), (B,A)] ----
+        li     s1, 0           ; sp (in entries)
+        sw     s6, STACK(s0)
+        sw     s7, 65(s0)
+        sw     s7, 66(s0)
+        sw     s6, 67(s0)
+        li     s1, 2           ; two entries pushed
+
+; ---- main loop: pop (P, Q), find farthest strictly-left point ----
+loop:   ceqi   f1, s1, 0
+        bt     f1, finish
+        addi   s1, s1, -1
+        add    s14, s1, s1     ; entry offset = 2*sp
+        lw     s6, STACK(s14)  ; P index
+        lw     s7, 65(s14)     ; Q index
+
+        ; fetch P and Q coordinates associatively (search by index)
+        pfclr  pf2
+        pceqs  pf2, p1, s6
+        rget   s2, p2, pf2     ; px
+        rget   s3, p3, pf2     ; py
+        pfclr  pf2
+        pceqs  pf2, p1, s7
+        rget   s4, p2, pf2     ; qx
+        rget   s5, p3, pf2     ; qy
+
+        ; cross = (qx-px)*(y-py) - (qy-py)*(x-px), per PE
+        sub    s8, s4, s2      ; dx
+        sub    s9, s5, s3      ; dy
+        psubs  p4, p2, s2      ; x - px
+        psubs  p5, p3, s3      ; y - py
+        pmuls  p6, p5, s8      ; dx*(y-py)
+        pmuls  p7, p4, s9      ; dy*(x-px)
+        psub   p8, p6, p7      ; cross
+
+        ; candidates: valid points strictly left of P->Q
+        pfclr  pf2
+        pclei  pf2, p8, 0 ?pf1 ; cross <= 0
+        pfclr  pf3
+        pfnot  pf3, pf2 ?pf1   ; cross > 0, valid only
+        rany   f1, pf3
+        bf     f1, loop        ; no candidates: segment done
+
+        ; C = candidate with maximum cross (first on ties)
+        rmax   s10, p8 ?pf3
+        pfclr  pf4
+        pceqs  pf4, p8, s10 ?pf3
+        pfirst pf5, pf4
+        rget   s11, p1, pf5    ; C's index
+        pfor   pf7, pf7, pf5   ; C joins the hull
+
+        ; push (P, C) and (C, Q)
+        add    s14, s1, s1
+        sw     s6, STACK(s14)
+        sw     s11, 65(s14)
+        addi   s1, s1, 1
+        add    s14, s1, s1
+        sw     s11, STACK(s14)
+        sw     s7, 65(s14)
+        addi   s1, s1, 1
+        j      loop
+
+finish: rcount s12, pf7
+        halt
+        ",
+        last = n as i64 - 1,
+    )
+}
+
+/// Compute the convex hull of `points` (one per PE, `|coord| <=`
+/// [`MAX_COORD`]).
+pub fn run(cfg: MachineConfig, points: &[(i64, i64)]) -> Result<HullResult, RunError> {
+    let n = points.len();
+    assert!(n >= 1 && n <= cfg.num_pes);
+    assert!(
+        points.iter().all(|&(x, y)| x.abs() <= MAX_COORD && y.abs() <= MAX_COORD),
+        "coordinates limited to ±{MAX_COORD}"
+    );
+    let w = cfg.width;
+    let mut xs: Vec<i64> = points.iter().map(|p| p.0).collect();
+    let mut ys: Vec<i64> = points.iter().map(|p| p.1).collect();
+    xs.resize(cfg.num_pes, 0);
+    ys.resize(cfg.num_pes, 0);
+    let (m, stats) = run_kernel(cfg, &program(n), |mach| {
+        mach.array_mut().scatter_column(0, &to_words(&xs, w)).unwrap();
+        mach.array_mut().scatter_column(1, &to_words(&ys, w)).unwrap();
+    })?;
+    let on_hull: Vec<bool> = (0..n).map(|i| m.array().flag(i, 0, 7)).collect();
+    Ok(HullResult { on_hull, count: m.sreg(0, 12).to_u32(), stats })
+}
+
+/// Host reference: the same QuickHull recursion with identical
+/// tie-breaking (lexicographic extremes; farthest = max cross, first
+/// index on ties; strict inequalities exclude collinear points).
+pub fn reference(points: &[(i64, i64)]) -> Vec<bool> {
+    let n = points.len();
+    let mut on_hull = vec![false; n];
+    // first index wins ties, matching the machine's PFIRST resolution
+    let a = (0..n).min_by_key(|&i| (points[i], i)).unwrap();
+    let b = (0..n).max_by_key(|&i| (points[i], std::cmp::Reverse(i))).unwrap();
+    on_hull[a] = true;
+    on_hull[b] = true;
+    if a == b {
+        return on_hull;
+    }
+    let mut stack = vec![(a, b), (b, a)];
+    while let Some((p, q)) = stack.pop() {
+        let (px, py) = points[p];
+        let (qx, qy) = points[q];
+        let cross =
+            |i: usize| (qx - px) * (points[i].1 - py) - (qy - py) * (points[i].0 - px);
+        let best = (0..n).filter(|&i| cross(i) > 0).max_by(|&i, &j| {
+            cross(i).cmp(&cross(j)).then(j.cmp(&i)) // first index wins ties
+        });
+        if let Some(c) = best {
+            on_hull[c] = true;
+            stack.push((p, c));
+            stack.push((c, q));
+        }
+    }
+    on_hull
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn square_with_interior_point() {
+        let pts = vec![(0, 0), (10, 0), (10, 10), (0, 10), (5, 5)];
+        let r = run(MachineConfig::new(8), &pts).unwrap();
+        assert_eq!(r.on_hull, vec![true, true, true, true, false]);
+        assert_eq!(r.count, 4);
+    }
+
+    #[test]
+    fn triangle_and_collinear() {
+        let pts = vec![(0, 0), (10, 0), (5, 8), (5, 0)]; // (5,0) lies on an edge
+        let r = run(MachineConfig::new(8), &pts).unwrap();
+        assert_eq!(r.on_hull, vec![true, true, true, false]);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        // single point
+        let r = run(MachineConfig::new(4), &[(3, 4)]).unwrap();
+        assert_eq!(r.on_hull, vec![true]);
+        assert_eq!(r.count, 1);
+        // all collinear: only the extremes are hull vertices
+        let pts = vec![(0, 0), (1, 1), (2, 2), (3, 3)];
+        let r = run(MachineConfig::new(8), &pts).unwrap();
+        assert_eq!(r.on_hull, vec![true, false, false, true]);
+    }
+
+    #[test]
+    fn matches_reference_on_random_point_sets() {
+        let mut rng = StdRng::seed_from_u64(0x4011);
+        for trial in 0..15 {
+            let n = rng.random_range(3..=48);
+            let pts: Vec<(i64, i64)> = (0..n)
+                .map(|_| (rng.random_range(-50..=50), rng.random_range(-50..=50)))
+                .collect();
+            let got = run(MachineConfig::new(64), &pts).unwrap();
+            assert_eq!(got.on_hull, reference(&pts), "trial {trial}: {pts:?}");
+        }
+    }
+
+    #[test]
+    fn negative_coordinates() {
+        let pts = vec![(-50, -50), (50, -50), (0, 50), (0, 0), (-10, -10)];
+        let r = run(MachineConfig::new(8), &pts).unwrap();
+        assert_eq!(r.on_hull, reference(&pts));
+        assert_eq!(r.count, 3);
+    }
+}

@@ -1,0 +1,263 @@
+//! Image statistics — the workloads the paper cites for the sum unit
+//! ("used in a number of image and video processing algorithms"): pixel
+//! sum, extrema, threshold counting, and a histogram built from repeated
+//! responder counts. Pixels are distributed across PEs, several per PE
+//! when the image is larger than the array: each PE accumulates its strip
+//! locally, then one global reduction finishes.
+
+use asc_core::{MachineConfig, RunError, Stats};
+use asc_isa::Word;
+
+use crate::harness::{pad_to, run_kernel, to_words};
+
+/// Image statistics outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImageStats {
+    /// Sum of all pixels (saturating at the machine width, per the sum
+    /// unit's semantics — keep images small enough if exactness matters).
+    pub sum: i64,
+    /// Minimum pixel (over the strip-padded layout; pads are zero).
+    pub min: i64,
+    /// Maximum pixel.
+    pub max: i64,
+    /// Pixels strictly above the threshold.
+    pub above_threshold: u32,
+    /// Run statistics.
+    pub stats: Stats,
+}
+
+/// `pixels_per_pe` pixels at `lmem[0..]` in each of `valid_pes` PEs;
+/// threshold in `smem\[0\]`; running threshold count in `smem\[1\]`.
+fn stats_program(pixels_per_pe: usize, valid_pes: usize) -> String {
+    format!(
+        "
+        li     s6, {last_pe}
+        pidx   p1
+        pcles  pf1, p1, s6     ; PEs holding data
+        lw     s7, 0(s0)       ; threshold
+        pli    p3, 0           ; strip address
+        pli    p4, 0           ; strip sum
+        plw    p5, 0(p3) ?pf1  ; strip max, seeded with first pixel
+        pmov   p6, p5 ?pf1     ; strip min, same seed
+        li     s3, 0
+        li     s4, {k}
+strip:  ceq    f1, s3, s4
+        bt     f1, reduce
+        plw    p2, 0(p3) ?pf1
+        padd   p4, p4, p2 ?pf1 ; strip sum
+        pmax   p5, p5, p2 ?pf1 ; strip max
+        pmin   p6, p6, p2 ?pf1 ; strip min
+        pfclr  pf4
+        pcles  pf4, p2, s7 ?pf1 ; pixel <= threshold
+        pfclr  pf5
+        pfnot  pf5, pf4 ?pf1    ; pixel > threshold, active only
+        rcount s8, pf5
+        lw     s9, 1(s0)
+        add    s9, s9, s8
+        sw     s9, 1(s0)
+        paddi  p3, p3, 1
+        addi   s3, s3, 1
+        j      strip
+reduce: rsum   s1, p4 ?pf1
+        rmin   s2, p6 ?pf1
+        rmax   s5, p5 ?pf1
+        lw     s9, 1(s0)
+        halt
+        ",
+        last_pe = valid_pes as i64 - 1,
+        k = pixels_per_pe,
+    )
+}
+
+/// Compute statistics of `pixels` (non-negative values fitting the signed
+/// width; threshold non-negative so strip padding never counts).
+pub fn run(cfg: MachineConfig, pixels: &[i64], threshold: i64) -> Result<ImageStats, RunError> {
+    assert!(!pixels.is_empty());
+    assert!(threshold >= 0, "kernel requires a non-negative threshold");
+    assert!(pixels.iter().all(|&v| v >= 0), "pixel values are non-negative");
+    let w = cfg.width;
+    let p = cfg.num_pes;
+    let per_pe = pixels.len().div_ceil(p);
+    assert!(per_pe <= cfg.lmem_words);
+    let valid_pes = pixels.len().div_ceil(per_pe);
+    let (m, stats) = run_kernel(cfg, &stats_program(per_pe, valid_pes), |mach| {
+        mach.smem_mut().write(0, Word::from_i64(threshold, w)).unwrap();
+        mach.smem_mut().write(1, Word::ZERO).unwrap();
+        for j in 0..valid_pes {
+            let strip: Vec<i64> = (0..per_pe)
+                .map(|i| pixels.get(j * per_pe + i).copied().unwrap_or(0))
+                .collect();
+            mach.array_mut().lmem_mut(j).load_slice(0, &to_words(&strip, w)).unwrap();
+        }
+    })?;
+    Ok(ImageStats {
+        sum: m.sreg(0, 1).to_i64(w),
+        min: m.sreg(0, 2).to_i64(w),
+        max: m.sreg(0, 5).to_i64(w),
+        above_threshold: m.sreg(0, 9).to_u32(),
+        stats,
+    })
+}
+
+/// Host reference (padding zeros included, mirroring the strip layout).
+pub fn reference(pixels: &[i64], threshold: i64, num_pes: usize) -> (i64, i64, i64, u32) {
+    let per_pe = pixels.len().div_ceil(num_pes);
+    let valid_pes = pixels.len().div_ceil(per_pe);
+    let padded: Vec<i64> = (0..valid_pes * per_pe)
+        .map(|i| pixels.get(i).copied().unwrap_or(0))
+        .collect();
+    let sum = padded.iter().sum();
+    let min = *padded.iter().min().unwrap();
+    let max = *padded.iter().max().unwrap();
+    let above = padded.iter().filter(|&&v| v > threshold).count() as u32;
+    (sum, min, max, above)
+}
+
+/// Histogram via repeated responder counting: one broadcast-compare pair
+/// and an exact responder count per bin.
+pub mod histogram {
+    use super::*;
+
+    /// Histogram of `values` into `bins` equal-width buckets over
+    /// `[0, range)`. One value per PE; results land in `smem[16..16+bins]`.
+    pub fn run(
+        cfg: MachineConfig,
+        values: &[i64],
+        bins: usize,
+        range: i64,
+    ) -> Result<(Vec<u32>, Stats), RunError> {
+        assert!(bins >= 1 && range >= bins as i64);
+        assert!(values.len() <= cfg.num_pes);
+        assert!(values.iter().all(|&v| (0..range).contains(&v)));
+        let w = cfg.width;
+        let width_per_bin = range / bins as i64;
+        let src = format!(
+            "
+        li     s6, {last}
+        pidx   p1
+        pcles  pf1, p1, s6     ; valid data
+        plw    p2, 0(p0) ?pf1
+        li     s2, 0           ; bin index
+        li     s3, {bins}
+        li     s4, 0           ; lower bound
+        li     s5, {bw}
+bin:    ceq    f1, s2, s3
+        bt     f1, done
+        add    s7, s4, s5      ; upper bound
+        pfclr  pf2
+        pclts  pf2, p2, s4 ?pf1 ; v < lo
+        pfclr  pf5
+        pfnot  pf5, pf2 ?pf1    ; v >= lo, active only
+        pfclr  pf3
+        pclts  pf3, p2, s7 ?pf1 ; v < hi
+        pfand  pf4, pf5, pf3
+        rcount s8, pf4
+        sw     s8, 16(s2)       ; hist[bin]
+        add    s4, s4, s5
+        addi   s2, s2, 1
+        j      bin
+done:   halt
+            ",
+            last = values.len() as i64 - 1,
+            bins = bins,
+            bw = width_per_bin,
+        );
+        let vals = values.to_vec();
+        let (m, stats) = run_kernel(cfg, &src, |mach| {
+            let padded = pad_to(vals, cfg.num_pes, 0);
+            mach.array_mut().scatter_column(0, &to_words(&padded, w)).unwrap();
+        })?;
+        let mut hist = Vec::with_capacity(bins);
+        for b in 0..bins {
+            hist.push(m.smem().read(16 + b as u32).unwrap().to_u32());
+        }
+        Ok((hist, stats))
+    }
+
+    /// Host reference. Values at or beyond `bins * (range/bins)` fall in no
+    /// bin (mirrors the kernel's half-open windows).
+    pub fn reference(values: &[i64], bins: usize, range: i64) -> Vec<u32> {
+        let bw = range / bins as i64;
+        let mut hist = vec![0u32; bins];
+        for &v in values {
+            if v < bins as i64 * bw {
+                hist[(v / bw) as usize] += 1;
+            }
+        }
+        hist
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        #[test]
+        fn histogram_counts() {
+            let values = vec![0, 1, 5, 9, 9, 3, 7, 2];
+            let (hist, _) = run(MachineConfig::new(8), &values, 5, 10).unwrap();
+            assert_eq!(hist, vec![2, 2, 1, 1, 2]);
+            assert_eq!(reference(&values, 5, 10), vec![2, 2, 1, 1, 2]);
+        }
+
+        #[test]
+        fn single_bin() {
+            let values = vec![0, 1, 2];
+            let (hist, _) = run(MachineConfig::new(4), &values, 1, 3).unwrap();
+            assert_eq!(hist, vec![3]);
+        }
+
+        #[test]
+        fn matches_reference_on_random_values() {
+            let mut rng = StdRng::seed_from_u64(66);
+            for _ in 0..10 {
+                let n = rng.random_range(1..=32);
+                let values: Vec<i64> = (0..n).map(|_| rng.random_range(0..64)).collect();
+                let (hist, _) = run(MachineConfig::new(32), &values, 8, 64).unwrap();
+                assert_eq!(hist, reference(&values, 8, 64));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn one_pixel_per_pe() {
+        let pixels: Vec<i64> = (1..=16).collect();
+        let r = run(MachineConfig::new(16), &pixels, 10).unwrap();
+        assert_eq!(r.sum, 136);
+        assert_eq!(r.min, 1);
+        assert_eq!(r.max, 16);
+        assert_eq!(r.above_threshold, 6);
+    }
+
+    #[test]
+    fn multiple_pixels_per_pe() {
+        let pixels: Vec<i64> = (0..64).map(|i| i % 7).collect();
+        let r = run(MachineConfig::new(16), &pixels, 3).unwrap();
+        let (sum, min, max, above) = reference(&pixels, 3, 16);
+        assert_eq!((r.sum, r.min, r.max, r.above_threshold), (sum, min, max, above));
+    }
+
+    #[test]
+    fn matches_reference_on_random_images() {
+        let mut rng = StdRng::seed_from_u64(55);
+        for _ in 0..10 {
+            let n = rng.random_range(1..=200);
+            let pixels: Vec<i64> = (0..n).map(|_| rng.random_range(0..100)).collect();
+            let threshold = rng.random_range(0..100);
+            let got = run(MachineConfig::new(32), &pixels, threshold).unwrap();
+            let (sum, min, max, above) = reference(&pixels, threshold, 32);
+            assert_eq!(
+                (got.sum, got.min, got.max, got.above_threshold),
+                (sum, min, max, above)
+            );
+        }
+    }
+}

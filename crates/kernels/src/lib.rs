@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! # asc-kernels — associative algorithms for the MTASC processor
+//!
+//! The paper's future work includes "implementing software for the
+//! architecture in order to better show the performance advantages of
+//! multithreading and to explore possible application areas". This crate
+//! is that software: classic associative-computing (ASC) kernels written
+//! in MTASC assembly, with host-side data distribution, result extraction,
+//! and reference implementations for validation.
+//!
+//! | kernel | associative idiom exercised |
+//! |--------|------------------------------|
+//! | [`search`] | broadcast-compare, responder count, pick-one |
+//! | [`select`] | global max/min with argmax (RMAX + search + MRR) |
+//! | [`iterate`] | sequential responder iteration (PFIRST loop) |
+//! | [`mst`] | Prim's MST, the canonical ASC demonstration \[4\] |
+//! | [`string_match`] | sliding-window search with flag accumulation |
+//! | [`image`] | sum/count reductions (the sum unit's motivating use) |
+//! | [`sort`] | associative selection sort (extract-min + MRR retire) |
+//! | [`hull`] | convex hull by associative QuickHull (stack on the CU) |
+//! | [`tracker`] | air-traffic track association — the STARAN-era flagship |
+//! | [`batch`] | multithreaded batch queries — the hardware threads' showcase |
+//! | [`prefix`] | log-step scan over the PE interconnect (`pshift` extension) |
+//! | [`stencil`] | 3-point stencil over the interconnect |
+//! | [`micro`] | parameterized stall/throughput stressors for the benches |
+//!
+//! Every kernel returns both its computed result and the run's [`Stats`],
+//! so the experiments can report cycles alongside correctness.
+
+pub mod batch;
+pub mod harness;
+pub mod hull;
+pub mod image;
+pub mod iterate;
+pub mod micro;
+pub mod mst;
+pub mod prefix;
+pub mod search;
+pub mod select;
+pub mod sort;
+pub mod stencil;
+pub mod string_match;
+pub mod tracker;
+
+pub use asc_core::{MachineConfig, RunError, Stats};
+
+/// Default cycle budget for kernel runs.
+pub const MAX_CYCLES: u64 = 50_000_000;

@@ -1,0 +1,274 @@
+//! Parameterized microkernels for the experiments: reduction-dependency
+//! chains (the stall worst case), multithreaded worker fleets, and mixed
+//! instruction streams. These generate assembly source; the benches and
+//! experiment tables run them across machine configurations.
+
+use asc_core::{MachineConfig, RunError, Stats};
+
+use crate::harness::run_kernel;
+use crate::MAX_CYCLES;
+
+/// A single thread executing `iters` dependent
+/// reduce → broadcast-consume pairs: every `padds` waits on the previous
+/// `rsum` (a broadcast-reduction hazard), so a single-threaded pipelined
+/// machine stalls b+r cycles per iteration.
+pub fn reduction_chain(iters: u32) -> String {
+    format!(
+        "
+        li    s6, {iters}
+        pidx  p1
+wloop:  padds p2, p1, s7    ; waits on the previous rsum
+        rsum  s7, p2
+        addi  s6, s6, -1
+        ceqi  f1, s6, 0
+        bf    f1, wloop
+        halt
+        "
+    )
+}
+
+/// `workers` hardware threads each running a `reduction_chain(iters)`
+/// body; the main thread spawns them, joins them, and halts. Total work
+/// equals `reduction_chain(workers * iters)`.
+pub fn mt_reduction_fleet(workers: u32, iters: u32) -> String {
+    assert!(workers >= 1);
+    format!(
+        "
+main:   li   s1, worker
+        li   s2, 0
+        li   s3, {workers}
+spawnl: ceq  f1, s2, s3
+        bt   f1, joins
+        tspawn s4, s1
+        sw   s4, 32(s2)
+        addi s2, s2, 1
+        j    spawnl
+joins:  li   s2, 0
+joinl:  ceq  f1, s2, s3
+        bt   f1, done
+        lw   s4, 32(s2)
+        tjoin s4
+        addi s2, s2, 1
+        j    joinl
+done:   halt
+worker: li   s6, {iters}
+        pidx p1
+wloop:  padds p2, p1, s7
+        rsum s7, p2
+        addi s6, s6, -1
+        ceqi f1, s6, 0
+        bf   f1, wloop
+        texit
+        "
+    )
+}
+
+/// Body text of `unroll` dependent reduce/consume pairs (used by the
+/// unrolled chain generators: fewer loop-control instructions per hazard,
+/// so deeper machines need more threads to reach full issue rate).
+fn unrolled_pairs(unroll: u32) -> String {
+    let mut body = String::new();
+    for _ in 0..unroll {
+        body.push_str("        padds p2, p1, s7\n        rsum  s7, p2\n");
+    }
+    body
+}
+
+/// Single-threaded unrolled reduction chain: `iters` iterations of
+/// `unroll` dependent pairs.
+pub fn unrolled_chain(iters: u32, unroll: u32) -> String {
+    format!(
+        "
+        li    s6, {iters}
+        pidx  p1
+wloop:
+{body}        addi  s6, s6, -1
+        ceqi  f1, s6, 0
+        bf    f1, wloop
+        halt
+        ",
+        body = unrolled_pairs(unroll),
+    )
+}
+
+/// Multithreaded unrolled fleet: `workers` threads each running
+/// `unrolled_chain(iters, unroll)` bodies.
+pub fn unrolled_fleet(workers: u32, iters: u32, unroll: u32) -> String {
+    assert!(workers >= 1);
+    format!(
+        "
+main:   li   s1, worker
+        li   s2, 0
+        li   s3, {workers}
+spawnl: ceq  f1, s2, s3
+        bt   f1, joins
+        tspawn s4, s1
+        sw   s4, 32(s2)
+        addi s2, s2, 1
+        j    spawnl
+joins:  li   s2, 0
+joinl:  ceq  f1, s2, s3
+        bt   f1, done
+        lw   s4, 32(s2)
+        tjoin s4
+        addi s2, s2, 1
+        j    joinl
+done:   halt
+worker: li   s6, {iters}
+        pidx p1
+wloop:
+{body}        addi s6, s6, -1
+        ceqi f1, s6, 0
+        bf   f1, wloop
+        texit
+        ",
+        body = unrolled_pairs(unroll),
+    )
+}
+
+/// The mixed workload body wrapped in a spawn/join fleet.
+pub fn mixed_fleet(workers: u32, iters: u32) -> String {
+    assert!(workers >= 1);
+    format!(
+        "
+main:   li   s1, worker
+        li   s2, 0
+        li   s3, {workers}
+spawnl: ceq  f1, s2, s3
+        bt   f1, joins
+        tspawn s4, s1
+        sw   s4, 32(s2)
+        addi s2, s2, 1
+        j    spawnl
+joins:  li   s2, 0
+joinl:  ceq  f1, s2, s3
+        bt   f1, done
+        lw   s4, 32(s2)
+        tjoin s4
+        addi s2, s2, 1
+        j    joinl
+done:   halt
+worker: li   s6, {iters}
+        pidx p1
+        pli  p2, 1
+wloop:  paddi p2, p2, 3
+        pxor  p3, p2, p1
+        pclti pf1, p3, 40
+        rcount s2, pf1
+        add   s5, s5, s2
+        rmax  s3, p3
+        padds p4, p1, s3
+        addi  s6, s6, -1
+        ceqi  f1, s6, 0
+        bf    f1, wloop
+        texit
+        "
+    )
+}
+
+/// A stream of `iters` *independent* reductions — exercises the network's
+/// one-per-cycle initiation rate rather than its latency.
+pub fn independent_reductions(iters: u32) -> String {
+    format!(
+        "
+        li    s6, {iters}
+        pidx  p1
+wloop:  rsum  s1, p1
+        rmax  s2, p1
+        rmin  s3, p1
+        ror   s4, p1
+        addi  s6, s6, -1
+        ceqi  f1, s6, 0
+        bf    f1, wloop
+        halt
+        "
+    )
+}
+
+/// A scalar/parallel/reduction mix approximating "typical" associative
+/// code (≈ the instruction-class ratio of the kernel suite): useful as a
+/// neutral workload in throughput comparisons.
+pub fn mixed_workload(iters: u32) -> String {
+    format!(
+        "
+        li    s6, {iters}
+        pidx  p1
+        pli   p2, 1
+wloop:  paddi p2, p2, 3
+        pxor  p3, p2, p1
+        pclti pf1, p3, 40
+        rcount s2, pf1
+        add   s5, s5, s2
+        rmax  s3, p3
+        padds p4, p1, s3
+        addi  s6, s6, -1
+        ceqi  f1, s6, 0
+        bf    f1, wloop
+        halt
+        "
+    )
+}
+
+/// Run a generated microkernel on a configuration.
+pub fn run_micro(cfg: MachineConfig, src: &str) -> Result<Stats, RunError> {
+    let (_, stats) = run_kernel(cfg, src, |_| {})?;
+    Ok(stats)
+}
+
+/// Convenience: cycles per chain iteration on a machine (used by the
+/// stall-scaling experiment E5).
+pub fn chain_cycles_per_iter(cfg: MachineConfig, iters: u32) -> Result<f64, RunError> {
+    let stats = run_micro(cfg, &reduction_chain(iters))?;
+    Ok(stats.cycles as f64 / iters as f64)
+}
+
+const _: () = assert!(MAX_CYCLES > 1_000_000);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asc_core::StallReason;
+
+    #[test]
+    fn chain_cost_tracks_b_plus_r() {
+        // per-iteration cost on one thread ≈ (b+r) stall + issue slots
+        for p in [16usize, 256] {
+            let cfg = MachineConfig::new(p).single_threaded();
+            let t = cfg.timing();
+            let per_iter = chain_cycles_per_iter(cfg, 200).unwrap();
+            let expected = (t.b + t.r) as f64 + 5.0; // 5 instructions/iter
+            assert!(
+                (per_iter - expected).abs() < 3.0,
+                "p={p}: {per_iter} vs ~{expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn fleet_beats_single_thread() {
+        let st = run_micro(
+            MachineConfig::new(16).single_threaded(),
+            &reduction_chain(7 * 30),
+        )
+        .unwrap();
+        let mt = run_micro(MachineConfig::new(16), &mt_reduction_fleet(7, 30)).unwrap();
+        assert!(mt.cycles < st.cycles, "{} vs {}", mt.cycles, st.cycles);
+    }
+
+    #[test]
+    fn independent_reductions_do_not_stall_on_hazards() {
+        let stats = run_micro(
+            MachineConfig::new(64).single_threaded(),
+            &independent_reductions(50),
+        )
+        .unwrap();
+        assert_eq!(stats.stalls_for(StallReason::ReductionHazard), 0);
+        assert_eq!(stats.stalls_for(StallReason::BroadcastReductionHazard), 0);
+    }
+
+    #[test]
+    fn mixed_workload_runs() {
+        let stats = run_micro(MachineConfig::new(16), &mixed_workload(20)).unwrap();
+        assert!(stats.issued > 150);
+    }
+}

@@ -1,0 +1,181 @@
+//! Prim's minimum spanning tree — the canonical associative-computing
+//! demonstration (Potter et al. \[4\] present it as the ASC showcase): with
+//! one vertex per PE and each vertex's adjacency row in its local memory,
+//! every Prim step is a *constant number of associative operations*
+//! (masked RMIN, search, resolve, broadcast, masked PMIN), so the whole
+//! MST takes O(n) parallel steps instead of O(n²) sequential work.
+
+use asc_core::{MachineConfig, RunError, Stats};
+
+use crate::harness::{run_kernel, to_words};
+
+/// "No edge" weight: must exceed every real edge weight.
+pub const INF: i64 = 0x3fff;
+
+/// MST outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MstResult {
+    /// Total weight of the tree.
+    pub total_weight: u64,
+    /// Run statistics.
+    pub stats: Stats,
+}
+
+/// Adjacency-row layout: PE `j` holds `w(j, u)` at `lmem[u]` for all `u`.
+fn program(n: usize) -> String {
+    format!(
+        "
+        .equ N, {n}
+        li     s6, 0           ; root vertex
+        li     s7, {last}      ; n-1
+        pidx   p1
+        pcles  pf6, p1, s7     ; valid vertices
+        pmovs  p3, s6
+        plw    p2, 0(p3) ?pf6  ; dist = w(j, root)
+        pfclr  pf1
+        pceqs  pf1, p1, s6     ; in-tree = {{root}}
+        pfmov  pf2, pf1
+        pfnot  pf2, pf2        ; candidates = not in-tree
+        pfand  pf2, pf2, pf6
+        li     s5, 0           ; total weight
+        li     s3, 0           ; step counter
+step:   ceq    f1, s3, s7
+        bt     f1, done
+        rmin   s1, p2 ?pf2     ; lightest crossing edge
+        pfclr  pf3
+        pceqs  pf3, p2, s1 ?pf2
+        pfirst pf4, pf3
+        rget   s2, p1, pf4     ; new vertex v
+        add    s5, s5, s1      ; accumulate weight
+        pfclr  pf5
+        pceqs  pf5, p1, s2
+        pfor   pf1, pf1, pf5   ; tree += v
+        pfandn pf2, pf2, pf5   ; candidates -= v
+        pmovs  p3, s2
+        plw    p4, 0(p3) ?pf2  ; w(u, v) for candidates
+        pmin   p2, p2, p4 ?pf2 ; dist update
+        addi   s3, s3, 1
+        j      step
+done:   halt
+        ",
+        last = n - 1,
+    )
+}
+
+/// Compute the MST weight of a connected undirected graph given as a full
+/// adjacency matrix (`weights[i][j]`, `INF` for no edge; diagonal
+/// ignored). Needs `n <= num_pes` and `n <= lmem_words`.
+pub fn run(cfg: MachineConfig, weights: &[Vec<i64>]) -> Result<MstResult, RunError> {
+    let n = weights.len();
+    assert!(n >= 1 && n <= cfg.num_pes, "graph must fit the PE array");
+    assert!(n <= cfg.lmem_words, "adjacency row must fit local memory");
+    let w = cfg.width;
+    let (m, stats) = run_kernel(cfg, &program(n), |m| {
+        for (j, row) in weights.iter().enumerate() {
+            assert_eq!(row.len(), n, "square matrix required");
+            m.array_mut().lmem_mut(j).load_slice(0, &to_words(row, w)).unwrap();
+        }
+    })?;
+    Ok(MstResult { total_weight: m.sreg(0, 5).to_u32() as u64, stats })
+}
+
+/// Host reference: Prim's algorithm.
+pub fn reference(weights: &[Vec<i64>]) -> u64 {
+    let n = weights.len();
+    let mut in_tree = vec![false; n];
+    let mut dist = weights[0].clone();
+    in_tree[0] = true;
+    let mut total = 0u64;
+    for _ in 1..n {
+        let (v, &d) = dist
+            .iter()
+            .enumerate()
+            .filter(|&(u, _)| !in_tree[u])
+            .min_by_key(|&(_, &d)| d)
+            .expect("graph connected");
+        total += d as u64;
+        in_tree[v] = true;
+        for u in 0..n {
+            if !in_tree[u] && weights[v][u] < dist[u] {
+                dist[u] = weights[v][u];
+            }
+        }
+    }
+    total
+}
+
+/// Generate a random connected graph: a random spanning path plus random
+/// extra edges, weights in `1..=max_w`.
+pub fn random_graph(n: usize, max_w: i64, seed: u64) -> Vec<Vec<i64>> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut w = vec![vec![INF; n]; n];
+    // spanning path guarantees connectivity
+    for i in 1..n {
+        let wt = rng.random_range(1..=max_w);
+        w[i - 1][i] = wt;
+        w[i][i - 1] = wt;
+    }
+    // extra edges
+    for _ in 0..(2 * n) {
+        let a = rng.random_range(0..n);
+        let b = rng.random_range(0..n);
+        if a != b {
+            let wt = rng.random_range(1..=max_w);
+            w[a][b] = wt.min(w[a][b]);
+            w[b][a] = w[a][b];
+        }
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_triangle() {
+        // triangle with weights 1, 2, 3 → MST = 1 + 2
+        let w = vec![
+            vec![INF, 1, 3],
+            vec![1, INF, 2],
+            vec![3, 2, INF],
+        ];
+        let r = run(MachineConfig::new(4), &w).unwrap();
+        assert_eq!(r.total_weight, 3);
+        assert_eq!(reference(&w), 3);
+    }
+
+    #[test]
+    fn single_vertex() {
+        let w = vec![vec![INF]];
+        let r = run(MachineConfig::new(4), &w).unwrap();
+        assert_eq!(r.total_weight, 0);
+    }
+
+    #[test]
+    fn matches_reference_on_random_graphs() {
+        for seed in 0..8 {
+            let n = 4 + (seed as usize % 13) * 3;
+            let g = random_graph(n, 100, seed);
+            let got = run(MachineConfig::new(64), &g).unwrap();
+            assert_eq!(got.total_weight, reference(&g), "n={n} seed={seed}");
+        }
+    }
+
+    #[test]
+    fn steps_scale_linearly() {
+        // O(n) associative steps: instructions ≈ c₁ + c₂·n
+        let g16 = random_graph(16, 50, 1);
+        let g32 = random_graph(32, 50, 2);
+        let a = run(MachineConfig::new(64), &g16).unwrap();
+        let b = run(MachineConfig::new(64), &g32).unwrap();
+        let per_step_a = a.stats.issued as f64 / 16.0;
+        let per_step_b = b.stats.issued as f64 / 32.0;
+        assert!(
+            (per_step_a - per_step_b).abs() / per_step_a < 0.3,
+            "instructions per vertex roughly constant: {per_step_a} vs {per_step_b}"
+        );
+    }
+}

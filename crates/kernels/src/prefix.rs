@@ -1,0 +1,117 @@
+//! Inclusive prefix sum (scan) via the PE interconnection network: the
+//! Hillis–Steele log-step pattern, with shift distances doubling each
+//! step. An extension kernel — the base prototype has no inter-PE
+//! network; the lineage's embedded processor \[7\] added one, exposed here
+//! as `pshift`.
+
+use asc_core::{MachineConfig, RunError, Stats};
+
+use crate::harness::{pad_to, run_kernel, to_words};
+
+/// Scan outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefixResult {
+    /// Inclusive prefix sums, one per input element.
+    pub sums: Vec<i64>,
+    /// Run statistics.
+    pub stats: Stats,
+}
+
+/// Unrolled Hillis–Steele: ⌈log₂ n⌉ shift+add steps. The `pshift`
+/// immediate is 8 bits, so distances above 127 are realized as a chain of
+/// shorter shifts.
+fn program(n: usize) -> String {
+    let mut body = String::new();
+    let mut d = 1usize;
+    while d < n {
+        let mut remaining = d;
+        let mut src = "p2";
+        while remaining > 0 {
+            let step = remaining.min(127);
+            body.push_str(&format!("        pshift p3, {src}, {step}\n"));
+            src = "p3";
+            remaining -= step;
+        }
+        body.push_str("        padd   p2, p2, p3\n");
+        d *= 2;
+    }
+    format!(
+        "
+        li     s6, {last}
+        pidx   p1
+        pcles  pf1, p1, s6
+        plw    p2, 0(p0) ?pf1
+{body}        halt
+        ",
+        last = n as i64 - 1,
+    )
+}
+
+/// Compute the inclusive prefix sum of `values` (one per PE; sums must fit
+/// the signed width).
+pub fn run(cfg: MachineConfig, values: &[i64]) -> Result<PrefixResult, RunError> {
+    let n = values.len();
+    assert!(n >= 1 && n <= cfg.num_pes);
+    let w = cfg.width;
+    let total: i64 = values.iter().map(|v| v.abs()).sum();
+    assert!(total <= w.smax(), "prefix sums must fit the signed width");
+    let padded = pad_to(values.to_vec(), cfg.num_pes, 0);
+    let (m, stats) = run_kernel(cfg, &program(n), |mach| {
+        mach.array_mut().scatter_column(0, &to_words(&padded, w)).unwrap();
+    })?;
+    let sums = (0..n).map(|i| m.array().gpr(i, 0, 2).to_i64(w)).collect();
+    Ok(PrefixResult { sums, stats })
+}
+
+/// Host reference.
+pub fn reference(values: &[i64]) -> Vec<i64> {
+    values
+        .iter()
+        .scan(0i64, |acc, &v| {
+            *acc += v;
+            Some(*acc)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn small_scan() {
+        let r = run(MachineConfig::new(8), &[1, 2, 3, 4, 5]).unwrap();
+        assert_eq!(r.sums, vec![1, 3, 6, 10, 15]);
+    }
+
+    #[test]
+    fn single_element_and_negatives() {
+        assert_eq!(run(MachineConfig::new(4), &[7]).unwrap().sums, vec![7]);
+        assert_eq!(
+            run(MachineConfig::new(4), &[5, -3, 2, -4]).unwrap().sums,
+            vec![5, 2, 4, 0]
+        );
+    }
+
+    #[test]
+    fn matches_reference_on_random_inputs() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..15 {
+            let n = rng.random_range(1..=100);
+            let values: Vec<i64> = (0..n).map(|_| rng.random_range(-50..50)).collect();
+            let got = run(MachineConfig::new(128), &values).unwrap();
+            assert_eq!(got.sums, reference(&values));
+        }
+    }
+
+    #[test]
+    fn log_steps() {
+        // ⌈log₂ n⌉ shift+add pairs: instruction count grows only
+        // logarithmically with n
+        let a = run(MachineConfig::new(256), &vec![1; 16]).unwrap();
+        let b = run(MachineConfig::new(256), &vec![1; 256]).unwrap();
+        assert!(b.stats.issued <= a.stats.issued + 10);
+    }
+}

@@ -1,0 +1,131 @@
+//! Associative database search: one record per PE (key in `lmem[0]`,
+//! value in `lmem[1]`), the query key broadcast from the control unit.
+//! Returns the number of matching records and the value of the first
+//! match — the introductory example of the ASC paradigm: search is a
+//! constant-time parallel compare, not an index walk.
+
+use asc_core::{MachineConfig, RunError, Stats};
+use asc_isa::Word;
+
+use crate::harness::{pad_to, run_kernel, to_words};
+
+/// Search outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchResult {
+    /// Number of records whose key matched.
+    pub matches: u32,
+    /// Value of the first matching record (`None` if no match).
+    pub first_value: Option<u32>,
+    /// PE index of the first match.
+    pub first_index: Option<u32>,
+    /// Run statistics.
+    pub stats: Stats,
+}
+
+/// The kernel program: key arrives in scalar memory slot 0.
+fn program() -> String {
+    "
+        lw     s1, 0(s0)       ; query key
+        plw    p2, 0(p0)       ; keys
+        plw    p3, 1(p0)       ; values
+        pidx   p1
+        pceqs  pf1, p2, s1     ; associative search
+        rcount s2, pf1         ; responder count
+        pfirst pf2, pf1        ; resolve
+        rget   s3, p3, pf2     ; first value
+        rget   s4, p1, pf2     ; first index
+        halt
+    "
+    .to_string()
+}
+
+/// Run the search over `(key, value)` records. Records are padded with a
+/// key that differs from `query` (all-ones) so padding never matches.
+pub fn run(
+    cfg: MachineConfig,
+    records: &[(i64, i64)],
+    query: i64,
+) -> Result<SearchResult, RunError> {
+    let n = cfg.num_pes;
+    let w = cfg.width;
+    let pad_key = w.mask() as i64;
+    assert!(query != pad_key, "query collides with the padding sentinel");
+    let keys = pad_to(records.iter().map(|r| r.0).collect(), n, pad_key);
+    let values = pad_to(records.iter().map(|r| r.1).collect(), n, 0);
+
+    let (m, stats) = run_kernel(cfg, &program(), |m| {
+        m.smem_mut().write(0, Word::from_i64(query, w)).unwrap();
+        m.array_mut().scatter_column(0, &to_words(&keys, w)).unwrap();
+        m.array_mut().scatter_column(1, &to_words(&values, w)).unwrap();
+    })?;
+
+    let matches = m.sreg(0, 2).to_u32();
+    let (first_value, first_index) = if matches > 0 {
+        (Some(m.sreg(0, 3).to_u32()), Some(m.sreg(0, 4).to_u32()))
+    } else {
+        (None, None)
+    };
+    Ok(SearchResult { matches, first_value, first_index, stats })
+}
+
+/// Host reference.
+pub fn reference(records: &[(i64, i64)], query: i64) -> (u32, Option<u32>, Option<u32>) {
+    let matches = records.iter().filter(|r| r.0 == query).count() as u32;
+    let first = records.iter().position(|r| r.0 == query);
+    (
+        matches,
+        first.map(|i| records[i].1 as u32),
+        first.map(|i| i as u32),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn finds_all_matches() {
+        let records = vec![(5, 100), (7, 200), (5, 300), (9, 400)];
+        let r = run(MachineConfig::new(16), &records, 5).unwrap();
+        assert_eq!(r.matches, 2);
+        assert_eq!(r.first_value, Some(100));
+        assert_eq!(r.first_index, Some(0));
+    }
+
+    #[test]
+    fn no_match() {
+        let records = vec![(1, 10), (2, 20)];
+        let r = run(MachineConfig::new(8), &records, 42).unwrap();
+        assert_eq!(r.matches, 0);
+        assert_eq!(r.first_value, None);
+    }
+
+    #[test]
+    fn matches_reference_on_random_data() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..20 {
+            let n = rng.random_range(1..=64);
+            let records: Vec<(i64, i64)> = (0..n)
+                .map(|_| (rng.random_range(0..16), rng.random_range(0..1000)))
+                .collect();
+            let query = rng.random_range(0..16);
+            let got = run(MachineConfig::new(64), &records, query).unwrap();
+            let (matches, first_value, first_index) = reference(&records, query);
+            assert_eq!(got.matches, matches);
+            assert_eq!(got.first_value, first_value);
+            assert_eq!(got.first_index, first_index);
+        }
+    }
+
+    #[test]
+    fn search_cost_is_independent_of_record_count() {
+        // the associative claim: O(1) parallel search regardless of n
+        let recs_small: Vec<(i64, i64)> = (0..8).map(|i| (i, i)).collect();
+        let recs_large: Vec<(i64, i64)> = (0..512).map(|i| (i % 100, i)).collect();
+        let a = run(MachineConfig::new(512), &recs_small, 3).unwrap();
+        let b = run(MachineConfig::new(512), &recs_large, 3).unwrap();
+        assert_eq!(a.stats.issued, b.stats.issued, "same instruction count");
+    }
+}

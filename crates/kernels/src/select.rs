@@ -1,0 +1,127 @@
+//! Max/min selection with argmax/argmin: the associative "find the
+//! extremum and who holds it" idiom (RMAX, then a search for the maximum,
+//! then the multiple response resolver).
+
+use asc_core::{MachineConfig, RunError, Stats};
+
+use crate::harness::{pad_to, run_kernel, to_words};
+
+/// Selection outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectResult {
+    /// The maximum value.
+    pub max: i64,
+    /// PE index of the first PE holding the maximum.
+    pub argmax: u32,
+    /// The minimum value.
+    pub min: i64,
+    /// PE index of the first PE holding the minimum.
+    pub argmin: u32,
+    /// Run statistics.
+    pub stats: Stats,
+}
+
+fn program(n_valid: usize) -> String {
+    format!(
+        "
+        li     s7, {max_idx}
+        pidx   p1
+        pcles  pf3, p1, s7     ; valid data mask
+        plw    p2, 0(p0) ?pf3
+        rmax   s1, p2 ?pf3
+        pfclr  pf1
+        pceqs  pf1, p2, s1 ?pf3
+        pfirst pf2, pf1
+        rget   s2, p1, pf2
+        rmin   s3, p2 ?pf3
+        pfclr  pf1
+        pceqs  pf1, p2, s3 ?pf3
+        pfirst pf2, pf1
+        rget   s4, p1, pf2
+        halt
+        ",
+        max_idx = n_valid - 1
+    )
+}
+
+/// Find max/min and their PE indices over `values` (at most one per PE).
+pub fn run(cfg: MachineConfig, values: &[i64]) -> Result<SelectResult, RunError> {
+    assert!(!values.is_empty());
+    let w = cfg.width;
+    let n_valid = values.len();
+    let padded = pad_to(values.to_vec(), cfg.num_pes, 0);
+    let (m, stats) = run_kernel(cfg, &program(n_valid), |m| {
+        m.array_mut().scatter_column(0, &to_words(&padded, w)).unwrap();
+    })?;
+    Ok(SelectResult {
+        max: m.sreg(0, 1).to_i64(w),
+        argmax: m.sreg(0, 2).to_u32(),
+        min: m.sreg(0, 3).to_i64(w),
+        argmin: m.sreg(0, 4).to_u32(),
+        stats,
+    })
+}
+
+/// Host reference: (max, argmax, min, argmin), first index on ties.
+pub fn reference(values: &[i64]) -> (i64, u32, i64, u32) {
+    let mut max = values[0];
+    let mut argmax = 0u32;
+    let mut min = values[0];
+    let mut argmin = 0u32;
+    for (i, &v) in values.iter().enumerate() {
+        if v > max {
+            max = v;
+            argmax = i as u32;
+        }
+        if v < min {
+            min = v;
+            argmin = i as u32;
+        }
+    }
+    (max, argmax, min, argmin)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn basic_selection() {
+        let values = vec![3, -7, 100, 42, -7, 100];
+        let r = run(MachineConfig::new(8), &values).unwrap();
+        assert_eq!(r.max, 100);
+        assert_eq!(r.argmax, 2, "first of the tied maxima");
+        assert_eq!(r.min, -7);
+        assert_eq!(r.argmin, 1);
+    }
+
+    #[test]
+    fn negative_values_and_partial_array() {
+        // padding must not win even though it is 0 > all values
+        let values = vec![-5, -3, -9];
+        let r = run(MachineConfig::new(16), &values).unwrap();
+        assert_eq!(r.max, -3);
+        assert_eq!(r.argmax, 1);
+        assert_eq!(r.min, -9);
+    }
+
+    #[test]
+    fn single_element() {
+        let r = run(MachineConfig::new(4), &[7]).unwrap();
+        assert_eq!((r.max, r.argmax, r.min, r.argmin), (7, 0, 7, 0));
+    }
+
+    #[test]
+    fn matches_reference_on_random_data() {
+        let mut rng = StdRng::seed_from_u64(22);
+        for _ in 0..20 {
+            let n = rng.random_range(1..=100);
+            let values: Vec<i64> = (0..n).map(|_| rng.random_range(-1000..1000)).collect();
+            let got = run(MachineConfig::new(128), &values).unwrap();
+            let (max, argmax, min, argmin) = reference(&values);
+            assert_eq!((got.max, got.argmax, got.min, got.argmin), (max, argmax, min, argmin));
+        }
+    }
+}

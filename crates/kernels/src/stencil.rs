@@ -1,0 +1,115 @@
+//! 1-D 3-point stencil (smoothing / box filter) over the PE
+//! interconnection network: `y[i] = x[i-1] + x[i] + x[i+1]` with zero
+//! boundaries — two single-hop shifts and two adds, independent of the
+//! array length. The classic embedded/image workload of the lineage's
+//! interconnect paper \[7\].
+
+use asc_core::{MachineConfig, RunError, Stats};
+
+use crate::harness::{pad_to, run_kernel, to_words};
+
+/// Stencil outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StencilResult {
+    /// Output samples (same length as the input).
+    pub output: Vec<i64>,
+    /// Run statistics.
+    pub stats: Stats,
+}
+
+fn program(n: usize, passes: u32) -> String {
+    let mut body = String::new();
+    for _ in 0..passes {
+        body.push_str(
+            "        pshift p3, p2, 1
+        pshift p4, p2, -1
+        padd   p2, p2, p3
+        padd   p2, p2, p4
+        pfclr  pf2
+        pfnot  pf2, pf1        ; zero out the padding lanes again
+        pli    p2, 0 ?pf2
+",
+        );
+    }
+    format!(
+        "
+        li     s6, {last}
+        pidx   p1
+        pcles  pf1, p1, s6
+        plw    p2, 0(p0)
+{body}        halt
+        ",
+        last = n as i64 - 1,
+    )
+}
+
+/// Apply `passes` rounds of the 3-point sum stencil to `samples` (one per
+/// PE).
+pub fn run(cfg: MachineConfig, samples: &[i64], passes: u32) -> Result<StencilResult, RunError> {
+    let n = samples.len();
+    assert!(n >= 1 && n <= cfg.num_pes);
+    let w = cfg.width;
+    let padded = pad_to(samples.to_vec(), cfg.num_pes, 0);
+    let (m, stats) = run_kernel(cfg, &program(n, passes), |mach| {
+        mach.array_mut().scatter_column(0, &to_words(&padded, w)).unwrap();
+    })?;
+    let output = (0..n).map(|i| m.array().gpr(i, 0, 2).to_i64(w)).collect();
+    Ok(StencilResult { output, stats })
+}
+
+/// Host reference.
+pub fn reference(samples: &[i64], passes: u32) -> Vec<i64> {
+    let n = samples.len();
+    let mut x = samples.to_vec();
+    for _ in 0..passes {
+        let mut y = vec![0i64; n];
+        for i in 0..n {
+            let left = if i > 0 { x[i - 1] } else { 0 };
+            let right = if i + 1 < n { x[i + 1] } else { 0 };
+            y[i] = left + x[i] + right;
+        }
+        x = y;
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn single_pass() {
+        let r = run(MachineConfig::new(8), &[1, 2, 3, 4], 1).unwrap();
+        assert_eq!(r.output, vec![3, 6, 9, 7]);
+    }
+
+    #[test]
+    fn impulse_response_spreads() {
+        let mut input = vec![0i64; 9];
+        input[4] = 1;
+        let r = run(MachineConfig::new(16), &input, 2).unwrap();
+        assert_eq!(r.output, reference(&input, 2));
+        assert_eq!(r.output[4], 3, "center of the 2-pass kernel");
+    }
+
+    #[test]
+    fn matches_reference_on_random_inputs() {
+        let mut rng = StdRng::seed_from_u64(88);
+        for _ in 0..10 {
+            let n = rng.random_range(1..=64);
+            let passes = rng.random_range(1..=3);
+            let samples: Vec<i64> = (0..n).map(|_| rng.random_range(-20..20)).collect();
+            let got = run(MachineConfig::new(64), &samples, passes).unwrap();
+            assert_eq!(got.output, reference(&samples, passes), "n={n} passes={passes}");
+        }
+    }
+
+    #[test]
+    fn cost_independent_of_length() {
+        let a = run(MachineConfig::new(256), &vec![1; 8], 1).unwrap();
+        let b = run(MachineConfig::new(256), &vec![1; 256], 1).unwrap();
+        assert_eq!(a.stats.issued, b.stats.issued);
+    }
+}

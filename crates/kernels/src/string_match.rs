@@ -1,0 +1,248 @@
+//! Associative string matching: PE `j` holds the text window
+//! `text[j .. j+m]` in its local memory (the host distributes overlapping
+//! windows — the stand-in for the inter-PE shift network this processor
+//! does not have). The pattern is broadcast character by character; each
+//! PE ANDs per-character equality into its match flag, so the whole text
+//! is scanned in O(m) steps regardless of text length.
+
+use asc_core::{MachineConfig, RunError, Stats};
+use asc_isa::Word;
+
+use crate::harness::{run_kernel, to_words};
+
+/// Match outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchResult {
+    /// Number of occurrences.
+    pub count: u32,
+    /// Starting index of the first occurrence.
+    pub first: Option<u32>,
+    /// Run statistics.
+    pub stats: Stats,
+}
+
+/// Pattern lives in scalar memory `[0..m)`; window length m, valid
+/// starting positions `0..=n-m`.
+fn program(n: usize, m: usize) -> String {
+    format!(
+        "
+        li     s6, {last_start}
+        pidx   p1
+        pcles  pf1, p1, s6     ; valid starting positions
+        li     s3, 0           ; i = 0
+        li     s4, {m}
+        pli    p3, 0           ; window offset register
+char:   ceq    f1, s3, s4
+        bt     f1, tally
+        lw     s2, 0(s3)       ; pattern[i] (base = i, offset 0)
+        plw    p2, 0(p3) ?pf1  ; window[i]
+        pfclr  pf2
+        pceqs  pf2, p2, s2 ?pf1
+        pfand  pf1, pf1, pf2   ; running match flag
+        paddi  p3, p3, 1
+        addi   s3, s3, 1
+        j      char
+tally:  rcount s1, pf1
+        pfirst pf3, pf1
+        pidx   p1
+        rget   s5, p1, pf3
+        rany   f2, pf1
+        halt
+        ",
+        last_start = n as i64 - m as i64,
+    )
+}
+
+/// Count occurrences of `pattern` in `text` (byte strings; characters must
+/// fit the machine width).
+pub fn run(cfg: MachineConfig, text: &[u8], pattern: &[u8]) -> Result<MatchResult, RunError> {
+    let n = text.len();
+    let m = pattern.len();
+    assert!(m >= 1, "empty pattern");
+    assert!(n <= cfg.num_pes, "text must fit one character-window per PE");
+    assert!(m <= cfg.lmem_words, "pattern must fit local memory windows");
+    if m > n {
+        return Ok(MatchResult {
+            count: 0,
+            first: None,
+            stats: Stats::new(cfg.threads),
+        });
+    }
+    let w = cfg.width;
+    let (machine, stats) = run_kernel(cfg, &program(n, m), |mach| {
+        // pattern into scalar memory
+        let pat: Vec<i64> = pattern.iter().map(|&c| c as i64).collect();
+        for (i, &c) in pat.iter().enumerate() {
+            mach.smem_mut().write(i as u32, Word::from_i64(c, w)).unwrap();
+        }
+        // overlapping windows into PE local memories (sentinel-padded)
+        for j in 0..n {
+            let window: Vec<i64> = (0..m)
+                .map(|i| text.get(j + i).map(|&c| c as i64).unwrap_or(-1))
+                .collect();
+            mach.array_mut().lmem_mut(j).load_slice(0, &to_words(&window, w)).unwrap();
+        }
+    })?;
+    let count = machine.sreg(0, 1).to_u32();
+    let first = if machine.sflag(0, 2) { Some(machine.sreg(0, 5).to_u32()) } else { None };
+    Ok(MatchResult { count, first, stats })
+}
+
+/// Interconnect variant: one character per PE (no window replication —
+/// local memory holds exactly one word). The text is shifted left one PE
+/// per pattern step, so `match[i] = AND_k (text[i+k] == pattern[k])` with
+/// O(m) steps and O(1) memory per PE. Requires the `pshift` extension.
+fn shift_program(n: usize, m: usize) -> String {
+    format!(
+        "
+        li     s6, {last_start}
+        pidx   p1
+        pcles  pf1, p1, s6     ; valid starting positions
+        plw    p2, 0(p0)       ; text characters
+        pmov   p3, p2          ; sliding copy
+        li     s3, 0           ; i
+        li     s4, {m}
+char:   ceq    f1, s3, s4
+        bt     f1, tally
+        lw     s2, 0(s3)       ; pattern[i]
+        pfclr  pf2
+        pceqs  pf2, p3, s2 ?pf1
+        pfand  pf1, pf1, pf2
+        pshift p3, p3, -1      ; next character slides into place
+        addi   s3, s3, 1
+        j      char
+tally:  rcount s1, pf1
+        pfirst pf3, pf1
+        rget   s5, p1, pf3
+        rany   f2, pf1
+        halt
+        ",
+        last_start = n as i64 - m as i64,
+    )
+}
+
+/// Count occurrences using the interconnection network instead of
+/// replicated windows. Same result as [`run`], different hardware usage:
+/// one text character per PE and O(m) single-hop shifts.
+pub fn run_shift(
+    cfg: MachineConfig,
+    text: &[u8],
+    pattern: &[u8],
+) -> Result<MatchResult, RunError> {
+    let n = text.len();
+    let m = pattern.len();
+    assert!(m >= 1, "empty pattern");
+    assert!(n <= cfg.num_pes);
+    if m > n {
+        return Ok(MatchResult { count: 0, first: None, stats: Stats::new(cfg.threads) });
+    }
+    let w = cfg.width;
+    let (machine, stats) = run_kernel(cfg, &shift_program(n, m), |mach| {
+        for (i, &c) in pattern.iter().enumerate() {
+            mach.smem_mut().write(i as u32, Word::from_i64(c as i64, w)).unwrap();
+        }
+        let chars: Vec<i64> = (0..cfg.num_pes)
+            .map(|j| text.get(j).map(|&c| c as i64).unwrap_or(-1))
+            .collect();
+        mach.array_mut().scatter_column(0, &to_words(&chars, w)).unwrap();
+    })?;
+    let count = machine.sreg(0, 1).to_u32();
+    let first = if machine.sflag(0, 2) { Some(machine.sreg(0, 5).to_u32()) } else { None };
+    Ok(MatchResult { count, first, stats })
+}
+
+/// Host reference: naive scan.
+pub fn reference(text: &[u8], pattern: &[u8]) -> (u32, Option<u32>) {
+    if pattern.is_empty() || pattern.len() > text.len() {
+        return (0, None);
+    }
+    let hits: Vec<usize> = (0..=text.len() - pattern.len())
+        .filter(|&j| &text[j..j + pattern.len()] == pattern)
+        .collect();
+    (hits.len() as u32, hits.first().map(|&j| j as u32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn finds_overlapping_occurrences() {
+        let text = b"abababa";
+        let r = run(MachineConfig::new(8), text, b"aba").unwrap();
+        assert_eq!(r.count, 3, "overlapping matches at 0, 2, 4");
+        assert_eq!(r.first, Some(0));
+    }
+
+    #[test]
+    fn no_match_and_single_char() {
+        let r = run(MachineConfig::new(16), b"hello world", b"xyz").unwrap();
+        assert_eq!(r.count, 0);
+        assert_eq!(r.first, None);
+        let r = run(MachineConfig::new(16), b"hello world", b"o").unwrap();
+        assert_eq!(r.count, 2);
+        assert_eq!(r.first, Some(4));
+    }
+
+    #[test]
+    fn pattern_longer_than_text() {
+        let r = run(MachineConfig::new(8), b"ab", b"abc").unwrap();
+        assert_eq!(r.count, 0);
+    }
+
+    #[test]
+    fn match_at_end() {
+        let r = run(MachineConfig::new(8), b"xxxxyz", b"yz").unwrap();
+        assert_eq!(r.count, 1);
+        assert_eq!(r.first, Some(4));
+    }
+
+    #[test]
+    fn matches_reference_on_random_strings() {
+        let mut rng = StdRng::seed_from_u64(44);
+        for _ in 0..20 {
+            let n = rng.random_range(1..=60);
+            let m = rng.random_range(1..=4);
+            let text: Vec<u8> = (0..n).map(|_| rng.random_range(b'a'..=b'c')).collect();
+            let pattern: Vec<u8> = (0..m).map(|_| rng.random_range(b'a'..=b'c')).collect();
+            let got = run(MachineConfig::new(64), &text, &pattern).unwrap();
+            let (count, first) = reference(&text, &pattern);
+            assert_eq!((got.count, got.first), (count, first), "{text:?} {pattern:?}");
+        }
+    }
+
+    #[test]
+    fn shift_variant_agrees_with_window_variant() {
+        let mut rng = StdRng::seed_from_u64(45);
+        for _ in 0..15 {
+            let n = rng.random_range(1..=60);
+            let m = rng.random_range(1..=4);
+            let text: Vec<u8> = (0..n).map(|_| rng.random_range(b'a'..=b'c')).collect();
+            let pattern: Vec<u8> = (0..m).map(|_| rng.random_range(b'a'..=b'c')).collect();
+            let cfg = MachineConfig::new(64);
+            let windowed = run(cfg, &text, &pattern).unwrap();
+            let shifted = run_shift(cfg, &text, &pattern).unwrap();
+            assert_eq!((windowed.count, windowed.first), (shifted.count, shifted.first));
+        }
+    }
+
+    #[test]
+    fn shift_variant_uses_constant_local_memory() {
+        // windows need m words per PE; the shift variant needs one
+        let text: Vec<u8> = vec![b'a'; 32];
+        let r = run_shift(MachineConfig::new(32), &text, b"aaaa").unwrap();
+        assert_eq!(r.count, 29);
+        assert_eq!(r.first, Some(0));
+    }
+
+    #[test]
+    fn cost_scales_with_pattern_not_text() {
+        let t1: Vec<u8> = vec![b'a'; 32];
+        let t2: Vec<u8> = vec![b'a'; 256];
+        let a = run(MachineConfig::new(256), &t1, b"ab").unwrap();
+        let b = run(MachineConfig::new(256), &t2, b"ab").unwrap();
+        assert_eq!(a.stats.issued, b.stats.issued, "O(m) regardless of n");
+    }
+}

@@ -1,0 +1,248 @@
+//! Air-traffic-control track association — *the* canonical associative
+//! computing application (Potter's ASC work \[4\] grew out of exactly this
+//! workload on the STARAN): a table of active tracks lives one-per-PE;
+//! for every incoming radar report the machine
+//!
+//! 1. broadcasts the report position,
+//! 2. computes squared distances to all live tracks in parallel,
+//! 3. finds the nearest track within a gate (masked RMIN),
+//! 4. associates the report (updates that track) — or, if nothing gates,
+//!    allocates a *free PE* for a new track via the multiple response
+//!    resolver.
+//!
+//! Every report is processed in a constant number of associative steps
+//! regardless of the number of tracks.
+
+use asc_core::{MachineConfig, RunError, Stats};
+use asc_isa::Word;
+
+use crate::harness::{run_kernel, to_words};
+
+/// Association gate: reports farther than this (squared distance) from
+/// every live track start a new track.
+pub const GATE2: i64 = 100;
+
+/// A track state (host-side view).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Track {
+    /// Position.
+    pub x: i64,
+    /// Position.
+    pub y: i64,
+    /// Reports associated into this track (hit count).
+    pub hits: u32,
+}
+
+/// Tracker outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrackerResult {
+    /// Live tracks, by PE index.
+    pub tracks: Vec<Option<Track>>,
+    /// Reports that could not be stored (no free PE).
+    pub dropped: u32,
+    /// Run statistics.
+    pub stats: Stats,
+}
+
+/// Reports at `smem[REPORT_BASE..]` (x, y pairs); count at `smem\[0\]`.
+const REPORT_BASE: i64 = 16;
+
+/// Per-PE state: `p2` = x, `p3` = y, `p4` = hits, `pf1` = live.
+fn program() -> String {
+    format!(
+        "
+        lw     s1, 0(s0)       ; report count
+        li     s2, 0           ; report index
+        li     s10, 0          ; dropped count
+        pidx   p1
+        pfclr  pf1             ; no live tracks
+
+rloop:  ceq    f1, s2, s1
+        bt     f1, done
+        add    s3, s2, s2      ; 2*i
+        lw     s4, {rb}(s3)    ; bx
+        lw     s5, {rb1}(s3)   ; by
+
+        ; squared distance to every live track
+        psubs  p5, p2, s4 ?pf1
+        pmul   p5, p5, p5 ?pf1
+        psubs  p6, p3, s5 ?pf1
+        pmul   p6, p6, p6 ?pf1
+        padd   p5, p5, p6 ?pf1
+
+        ; nearest live track within the gate
+        li     s6, {gate}
+        pfclr  pf2
+        pclts  pf2, p5, s6 ?pf1   ; gated candidates
+        rany   f2, pf2
+        bf     f2, newtrk
+
+        rmin   s7, p5 ?pf2
+        pfclr  pf3
+        pceqs  pf3, p5, s7 ?pf2
+        pfirst pf4, pf3           ; the winning track
+        pmovs  p2, s4 ?pf4        ; snap to the report
+        pmovs  p3, s5 ?pf4
+        paddi  p4, p4, 1 ?pf4     ; hits += 1
+        j      next
+
+newtrk: pfclr  pf5
+        pfnot  pf5, pf1           ; free PEs
+        rany   f3, pf5
+        bf     f3, drop           ; table full
+        pfirst pf6, pf5           ; allocate the first free PE
+        pmovs  p2, s4 ?pf6
+        pmovs  p3, s5 ?pf6
+        pli    p4, 1 ?pf6
+        pfor   pf1, pf1, pf6      ; now live
+        j      next
+
+drop:   addi   s10, s10, 1
+
+next:   addi   s2, s2, 1
+        j      rloop
+
+done:   rcount s11, pf1           ; live track count
+        halt
+        ",
+        rb = REPORT_BASE,
+        rb1 = REPORT_BASE + 1,
+        gate = GATE2,
+    )
+}
+
+/// Maximum coordinate magnitude: keeps every squared distance within the
+/// 16-bit signed range (2 * 120² = 28,800 < 32,767).
+pub const MAX_COORD: i64 = 60;
+
+/// Feed `reports` through the associative tracker on `cfg`.
+pub fn run(cfg: MachineConfig, reports: &[(i64, i64)]) -> Result<TrackerResult, RunError> {
+    assert!(2 * reports.len() + (REPORT_BASE as usize) <= cfg.smem_words);
+    assert!(
+        reports.iter().all(|&(x, y)| x.abs() <= MAX_COORD && y.abs() <= MAX_COORD),
+        "coordinates limited to ±{MAX_COORD} so squared distances stay exact"
+    );
+    let w = cfg.width;
+    let (m, stats) = run_kernel(cfg, &program(), |mach| {
+        mach.smem_mut().write(0, Word::new(reports.len() as u32, w)).unwrap();
+        let flat: Vec<i64> = reports.iter().flat_map(|&(x, y)| [x, y]).collect();
+        let words = to_words(&flat, w);
+        for (i, word) in words.iter().enumerate() {
+            mach.smem_mut().write((REPORT_BASE as usize + i) as u32, *word).unwrap();
+        }
+    })?;
+    let tracks = (0..cfg.num_pes)
+        .map(|pe| {
+            if m.array().flag(pe, 0, 1) {
+                Some(Track {
+                    x: m.array().gpr(pe, 0, 2).to_i64(w),
+                    y: m.array().gpr(pe, 0, 3).to_i64(w),
+                    hits: m.array().gpr(pe, 0, 4).to_u32(),
+                })
+            } else {
+                None
+            }
+        })
+        .collect();
+    Ok(TrackerResult { tracks, dropped: m.sreg(0, 10).to_u32(), stats })
+}
+
+/// Host reference with identical association and allocation rules.
+pub fn reference(reports: &[(i64, i64)], num_pes: usize) -> (Vec<Option<Track>>, u32) {
+    let mut tracks: Vec<Option<Track>> = vec![None; num_pes];
+    let mut dropped = 0;
+    for &(bx, by) in reports {
+        // nearest live track within the gate; first PE on ties
+        let best = tracks
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| {
+                t.map(|t| (i, (t.x - bx) * (t.x - bx) + (t.y - by) * (t.y - by)))
+            })
+            .filter(|&(_, d2)| d2 < GATE2)
+            .min_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
+        match best {
+            Some((i, _)) => {
+                let t = tracks[i].as_mut().unwrap();
+                t.x = bx;
+                t.y = by;
+                t.hits += 1;
+            }
+            None => match tracks.iter().position(|t| t.is_none()) {
+                Some(i) => tracks[i] = Some(Track { x: bx, y: by, hits: 1 }),
+                None => dropped += 1,
+            },
+        }
+    }
+    (tracks, dropped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn associates_nearby_reports() {
+        // two aircraft, three sweeps each
+        let reports = vec![
+            (10, 10),
+            (50, 50),
+            (12, 11), // near track 0
+            (52, 49), // near track 1
+            (14, 12),
+            (54, 48),
+        ];
+        let r = run(MachineConfig::new(8), &reports).unwrap();
+        let live: Vec<&Track> = r.tracks.iter().flatten().collect();
+        assert_eq!(live.len(), 2);
+        assert_eq!(live[0].hits, 3);
+        assert_eq!(live[1].hits, 3);
+        assert_eq!((live[0].x, live[0].y), (14, 12), "track follows the last report");
+        assert_eq!(r.dropped, 0);
+    }
+
+    #[test]
+    fn far_reports_start_new_tracks() {
+        let reports = vec![(0, 0), (60, 60), (-60, 60)];
+        let r = run(MachineConfig::new(8), &reports).unwrap();
+        assert_eq!(r.tracks.iter().flatten().count(), 3);
+    }
+
+    #[test]
+    fn table_overflow_drops_reports() {
+        // 4 PEs, 6 mutually-distant reports
+        let reports: Vec<(i64, i64)> =
+            (0..6).map(|i| ((i % 3) * 55 - 55, (i / 3) * 55 - 25)).collect();
+        let r = run(MachineConfig::new(4), &reports).unwrap();
+        let (_, dropped) = reference(&reports, 4);
+        assert!(r.dropped > 0);
+        assert_eq!(r.dropped, dropped);
+    }
+
+    #[test]
+    fn matches_reference_on_random_report_streams() {
+        let mut rng = StdRng::seed_from_u64(0xA7C);
+        for trial in 0..10 {
+            let n = rng.random_range(1..=40);
+            let reports: Vec<(i64, i64)> = (0..n)
+                .map(|_| (rng.random_range(-60..=60), rng.random_range(-60..=60)))
+                .collect();
+            let cfg = MachineConfig::new(16);
+            let got = run(cfg, &reports).unwrap();
+            let (tracks, dropped) = reference(&reports, 16);
+            assert_eq!(got.tracks, tracks, "trial {trial}");
+            assert_eq!(got.dropped, dropped, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn per_report_cost_is_constant() {
+        // constant associative steps per report, independent of table size
+        let near: Vec<(i64, i64)> = (0..20).map(|i| (i % 4, i % 4)).collect();
+        let a = run(MachineConfig::new(16), &near).unwrap();
+        let b = run(MachineConfig::new(256), &near).unwrap();
+        assert_eq!(a.stats.issued, b.stats.issued);
+    }
+}

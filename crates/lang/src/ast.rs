@@ -1,0 +1,123 @@
+//! ASCL abstract syntax.
+
+/// Binary arithmetic/logic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (flags only)
+    And,
+    /// `||` (flags only)
+    Or,
+    /// `band(a, b)` — bitwise AND of integers.
+    BitAnd,
+    /// `bor(a, b)` — bitwise OR of integers.
+    BitOr,
+    /// `bxor(a, b)` — bitwise XOR of integers.
+    BitXor,
+    /// `shl(a, k)` — logical shift left.
+    Shl,
+    /// `shr(a, k)` — logical shift right.
+    Shr,
+}
+
+impl BinOp {
+    /// Is this a comparison (int × int → flag)?
+    pub fn is_comparison(self) -> bool {
+        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+    }
+
+    /// Is this flag logic (flag × flag → flag)?
+    pub fn is_logic(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+}
+
+/// Reduction builtins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reduction {
+    /// `sum(e)`
+    Sum,
+    /// `max(e)`
+    Max,
+    /// `min(e)`
+    Min,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // fields are described in each variant's doc
+pub enum Expr {
+    /// Integer literal.
+    Int { value: i64, line: u32 },
+    /// Variable reference.
+    Var { name: String, line: u32 },
+    /// Binary operation.
+    Bin { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr>, line: u32 },
+    /// Unary minus.
+    Neg { inner: Box<Expr>, line: u32 },
+    /// Unary `!` (flags).
+    Not { inner: Box<Expr>, line: u32 },
+    /// `index()` — the PE number (parallel).
+    Index { line: u32 },
+    /// `sum/max/min(parallel-expr)` over the current mask.
+    Reduce { what: Reduction, arg: Box<Expr>, line: u32 },
+    /// `count(parallel-cond)` over the current mask.
+    Count { cond: Box<Expr>, line: u32 },
+    /// `any(parallel-cond)` / `all(parallel-cond)` — scalar flag.
+    AnyAll { all: bool, cond: Box<Expr>, line: u32 },
+    /// `first(parallel-expr)` — value at the first responder of the
+    /// current mask (0 if no responder).
+    First { arg: Box<Expr>, line: u32 },
+    /// `shift(parallel-expr, dist)` — inter-PE move by a constant.
+    Shift { arg: Box<Expr>, dist: i64, line: u32 },
+    /// `load(addr)` — parallel load from PE local memory.
+    Load { addr: Box<Expr>, line: u32 },
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // fields are described in each variant's doc
+pub enum Stmt {
+    /// `par name;` / `sca name = expr;`
+    Decl { parallel: bool, name: String, init: Option<Expr>, line: u32 },
+    /// `name = expr;`
+    Assign { name: String, value: Expr, line: u32 },
+    /// `where (cond) { then } elsewhere { other }`
+    Where { cond: Expr, then: Vec<Stmt>, other: Vec<Stmt>, line: u32 },
+    /// `if (cond) { then } else { other }` — scalar condition.
+    If { cond: Expr, then: Vec<Stmt>, other: Vec<Stmt>, line: u32 },
+    /// `while (cond) { body }` — scalar condition.
+    While { cond: Expr, body: Vec<Stmt>, line: u32 },
+    /// `out(expr);` — append a scalar value to the output block.
+    Out { value: Expr, line: u32 },
+    /// `store(addr, value);` — parallel store to PE local memory.
+    Store { addr: Expr, value: Expr, line: u32 },
+}
+
+/// A parsed program: a statement list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramAst {
+    /// Top-level statements.
+    pub stmts: Vec<Stmt>,
+}

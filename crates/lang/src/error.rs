@@ -1,0 +1,27 @@
+//! Compiler diagnostics.
+
+use std::fmt;
+
+/// A compile-time error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl CompileError {
+    /// Construct.
+    pub fn new(line: u32, message: impl Into<String>) -> CompileError {
+        CompileError { line, message: message.into() }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}

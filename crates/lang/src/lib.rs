@@ -1,0 +1,130 @@
+#![warn(missing_docs)]
+
+//! # asc-lang — ASCL, a small associative data-parallel language
+//!
+//! The paper's future work is "implementing software for the architecture
+//! in order to better show the performance advantages of multithreading
+//! and to explore possible application areas". The historical ASC
+//! ecosystem had Potter's ASC language, whose signature construct is the
+//! **`where`/`elsewhere`** block: a data-parallel conditional that masks
+//! execution to the *responders* of an associative search. ASCL is a
+//! compact language in that tradition, compiled to MTASC assembly.
+//!
+//! ```text
+//! par x;                      # a parallel variable (one value per PE)
+//! sca limit = 20;             # a scalar variable (control unit)
+//! x = index() * 3;            # index() = PE number
+//! where (x > limit) {         # associative search -> responder mask
+//!     x = x - limit;          # executes only in responders
+//! } elsewhere {
+//!     x = 0;                  # executes only in non-responders
+//! }
+//! out(sum(x));                # reduction over the current mask
+//! out(count(x == 0));
+//! ```
+//!
+//! ## Language summary
+//!
+//! * **Declarations** — `par name;` / `sca name;`, optional initializer.
+//! * **Types** — scalar int, parallel int, and (implicitly, in
+//!   conditions) scalar/parallel flags. Mixing a scalar into a parallel
+//!   expression broadcasts it, exactly like the hardware's
+//!   scalar-operand instructions.
+//! * **Masking** — `where (par-cond) { ... } elsewhere { ... }`,
+//!   arbitrarily nested; every parallel assignment and reduction inside
+//!   is masked to the enclosing responders.
+//! * **Control flow** — `if (sca-cond) {} else {}`, `while (sca-cond) {}`
+//!   on the control unit.
+//! * **Builtins** — `index()`, `sum(e)`, `max(e)`, `min(e)`, `count(c)`,
+//!   `any(c)`, `all(c)`, `first(e)` (value of `e` at the first responder
+//!   of the current mask — MRR + RGET), `shift(e, d)` (inter-PE move),
+//!   `load(addr)` / `store(addr, val);` (PE local memory, masked),
+//!   `band/bor/bxor(a, b)` and `shl/shr(a, k)` (bitwise/shift).
+//! * **Output** — `out(sca-expr);` appends to the output block in scalar
+//!   memory; the host reads results back with [`OUT_BASE`].
+//!
+//! ## Entry points
+//!
+//! [`compile`] produces MTASC assembly text; [`compile_program`] goes all
+//! the way to an assembled [`asc_asm::Program`]; [`run`] compiles and
+//! executes on a fresh machine, returning the `out(...)` values.
+
+mod ast;
+mod codegen;
+mod error;
+mod parser;
+mod token;
+
+pub use error::CompileError;
+
+use asc_core::{Machine, MachineConfig, RunError, Stats};
+use asc_isa::Word;
+
+/// Scalar-memory base address of the `out(...)` block.
+pub const OUT_BASE: u32 = 512;
+
+/// Compile ASCL source to MTASC assembly text.
+pub fn compile(source: &str) -> Result<String, CompileError> {
+    let toks = token::lex(source)?;
+    let program = parser::parse(&toks)?;
+    codegen::generate(&program)
+}
+
+/// Compile ASCL source all the way to an assembled program.
+pub fn compile_program(source: &str) -> Result<asc_asm::Program, CompileError> {
+    let asm = compile(source)?;
+    asc_asm::assemble(&asm).map_err(|errs| CompileError {
+        line: errs.first().map(|e| e.line).unwrap_or(0),
+        message: format!(
+            "internal: generated assembly failed to assemble:\n{}\n{asm}",
+            asc_asm::render_errors(&errs)
+        ),
+    })
+}
+
+/// Compile and run on `cfg`, returning the `out(...)` values (in order)
+/// and the run statistics.
+pub fn run(cfg: MachineConfig, source: &str) -> Result<(Vec<Word>, Stats), LangError> {
+    let program = compile_program(source)?;
+    let mut m = Machine::with_program(cfg, &program).map_err(LangError::Run)?;
+    let stats = m.run(100_000_000).map_err(LangError::Run)?;
+    // output count is kept at OUT_BASE - 1 by the epilogue
+    let count = m.smem().read(OUT_BASE - 1).map_err(|_| LangError::OutputUnreadable)?.to_u32();
+    let mut outs = Vec::with_capacity(count as usize);
+    for i in 0..count {
+        outs.push(m.smem().read(OUT_BASE + i).map_err(|_| LangError::OutputUnreadable)?);
+    }
+    Ok((outs, stats))
+}
+
+/// Errors from [`run`]: compile-time or run-time.
+#[derive(Debug)]
+pub enum LangError {
+    /// The source failed to compile.
+    Compile(CompileError),
+    /// The compiled program failed at run time.
+    Run(RunError),
+    /// The output block could not be read back.
+    OutputUnreadable,
+}
+
+impl From<CompileError> for LangError {
+    fn from(e: CompileError) -> Self {
+        LangError::Compile(e)
+    }
+}
+
+impl std::fmt::Display for LangError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LangError::Compile(e) => write!(f, "compile error: {e}"),
+            LangError::Run(e) => write!(f, "runtime error: {e}"),
+            LangError::OutputUnreadable => f.write_str("output block unreadable"),
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+#[cfg(test)]
+mod tests;

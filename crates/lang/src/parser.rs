@@ -1,0 +1,397 @@
+//! ASCL recursive-descent parser.
+
+use crate::ast::{BinOp, Expr, ProgramAst, Reduction, Stmt};
+use crate::error::CompileError;
+use crate::token::{Spanned, Tok};
+
+/// Parse a token stream into a program.
+pub fn parse(toks: &[Spanned]) -> Result<ProgramAst, CompileError> {
+    let mut p = Parser { toks, pos: 0 };
+    let stmts = p.stmt_list(false)?;
+    if p.pos < toks.len() {
+        return Err(p.err("unexpected token after program end"));
+    }
+    Ok(ProgramAst { stmts })
+}
+
+struct Parser<'a> {
+    toks: &'a [Spanned],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn line(&self) -> u32 {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map(|t| t.line)
+            .unwrap_or(1)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> CompileError {
+        CompileError::new(self.line(), msg)
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn next(&mut self) -> Option<&'a Tok> {
+        let t = self.toks.get(self.pos).map(|s| &s.tok);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<(), CompileError> {
+        match self.next() {
+            Some(t) if t == want => Ok(()),
+            Some(t) => Err(self.err(format!("expected {what}, found {t:?}"))),
+            None => Err(self.err(format!("expected {what}, found end of input"))),
+        }
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if let Some(Tok::Ident(s)) = self.peek() {
+            if s == word {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// `inside_block`: stop at `}` instead of end of input.
+    fn stmt_list(&mut self, inside_block: bool) -> Result<Vec<Stmt>, CompileError> {
+        let mut stmts = Vec::new();
+        loop {
+            match self.peek() {
+                None => {
+                    if inside_block {
+                        return Err(self.err("unterminated block (missing `}`)"));
+                    }
+                    return Ok(stmts);
+                }
+                Some(Tok::RBrace) if inside_block => return Ok(stmts),
+                Some(Tok::RBrace) => return Err(self.err("unmatched `}`")),
+                _ => stmts.push(self.stmt()?),
+            }
+        }
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        self.expect(&Tok::LBrace, "`{`")?;
+        let stmts = self.stmt_list(true)?;
+        self.expect(&Tok::RBrace, "`}`")?;
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        let line = self.line();
+        // declarations
+        for (kw, parallel) in [("par", true), ("sca", false)] {
+            if self.eat_ident(kw) {
+                let name = self.ident("variable name")?;
+                let init = if self.peek() == Some(&Tok::Assign) {
+                    self.pos += 1;
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                self.expect(&Tok::Semi, "`;`")?;
+                return Ok(Stmt::Decl { parallel, name, init, line });
+            }
+        }
+        if self.eat_ident("where") {
+            self.expect(&Tok::LParen, "`(`")?;
+            let cond = self.expr()?;
+            self.expect(&Tok::RParen, "`)`")?;
+            let then = self.block()?;
+            let other = if self.eat_ident("elsewhere") { self.block()? } else { Vec::new() };
+            return Ok(Stmt::Where { cond, then, other, line });
+        }
+        if self.eat_ident("if") {
+            self.expect(&Tok::LParen, "`(`")?;
+            let cond = self.expr()?;
+            self.expect(&Tok::RParen, "`)`")?;
+            let then = self.block()?;
+            let other = if self.eat_ident("else") { self.block()? } else { Vec::new() };
+            return Ok(Stmt::If { cond, then, other, line });
+        }
+        if self.eat_ident("while") {
+            self.expect(&Tok::LParen, "`(`")?;
+            let cond = self.expr()?;
+            self.expect(&Tok::RParen, "`)`")?;
+            let body = self.block()?;
+            return Ok(Stmt::While { cond, body, line });
+        }
+        if self.eat_ident("store") {
+            self.expect(&Tok::LParen, "`(`")?;
+            let addr = self.expr()?;
+            self.expect(&Tok::Comma, "`,`")?;
+            let value = self.expr()?;
+            self.expect(&Tok::RParen, "`)`")?;
+            self.expect(&Tok::Semi, "`;`")?;
+            return Ok(Stmt::Store { addr, value, line });
+        }
+        if self.eat_ident("out") {
+            self.expect(&Tok::LParen, "`(`")?;
+            let value = self.expr()?;
+            self.expect(&Tok::RParen, "`)`")?;
+            self.expect(&Tok::Semi, "`;`")?;
+            return Ok(Stmt::Out { value, line });
+        }
+        // assignment
+        let name = self.ident("statement")?;
+        self.expect(&Tok::Assign, "`=`")?;
+        let value = self.expr()?;
+        self.expect(&Tok::Semi, "`;`")?;
+        Ok(Stmt::Assign { name, value, line })
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, CompileError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s.clone()),
+            Some(t) => Err(self.err(format!("expected {what}, found {t:?}"))),
+            None => Err(self.err(format!("expected {what}, found end of input"))),
+        }
+    }
+
+    // ----- expressions, precedence climbing -----
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.and_expr()?;
+        while self.peek() == Some(&Tok::OrOr) {
+            let line = self.line();
+            self.pos += 1;
+            let rhs = self.and_expr()?;
+            lhs = Expr::Bin { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs), line };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.peek() == Some(&Tok::AndAnd) {
+            let line = self.line();
+            self.pos += 1;
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Bin { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs), line };
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, CompileError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Some(Tok::Eq) => BinOp::Eq,
+            Some(Tok::Ne) => BinOp::Ne,
+            Some(Tok::Lt) => BinOp::Lt,
+            Some(Tok::Le) => BinOp::Le,
+            Some(Tok::Gt) => BinOp::Gt,
+            Some(Tok::Ge) => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        let line = self.line();
+        self.pos += 1;
+        let rhs = self.add_expr()?;
+        Ok(Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs), line })
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Plus) => BinOp::Add,
+                Some(Tok::Minus) => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            let line = self.line();
+            self.pos += 1;
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs), line };
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Star) => BinOp::Mul,
+                Some(Tok::Slash) => BinOp::Div,
+                Some(Tok::Percent) => BinOp::Rem,
+                _ => return Ok(lhs),
+            };
+            let line = self.line();
+            self.pos += 1;
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs), line };
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        match self.peek() {
+            Some(Tok::Minus) => {
+                self.pos += 1;
+                Ok(Expr::Neg { inner: Box::new(self.unary_expr()?), line })
+            }
+            Some(Tok::Not) => {
+                self.pos += 1;
+                Ok(Expr::Not { inner: Box::new(self.unary_expr()?), line })
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        match self.next() {
+            Some(Tok::Int(v)) => Ok(Expr::Int { value: *v, line }),
+            Some(Tok::LParen) => {
+                let e = self.expr()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            Some(Tok::Ident(name)) => {
+                let name = name.clone();
+                if self.peek() == Some(&Tok::LParen) {
+                    self.pos += 1;
+                    return self.builtin(&name, line);
+                }
+                Ok(Expr::Var { name, line })
+            }
+            Some(t) => Err(self.err(format!("expected expression, found {t:?}"))),
+            None => Err(self.err("expected expression, found end of input")),
+        }
+    }
+
+    /// Parse a builtin call; `(` already consumed.
+    fn builtin(&mut self, name: &str, line: u32) -> Result<Expr, CompileError> {
+        let e = match name {
+            "index" => {
+                self.expect(&Tok::RParen, "`)`")?;
+                return Ok(Expr::Index { line });
+            }
+            "sum" => Expr::Reduce { what: Reduction::Sum, arg: Box::new(self.expr()?), line },
+            "max" => Expr::Reduce { what: Reduction::Max, arg: Box::new(self.expr()?), line },
+            "min" => Expr::Reduce { what: Reduction::Min, arg: Box::new(self.expr()?), line },
+            "count" => Expr::Count { cond: Box::new(self.expr()?), line },
+            "any" => Expr::AnyAll { all: false, cond: Box::new(self.expr()?), line },
+            "all" => Expr::AnyAll { all: true, cond: Box::new(self.expr()?), line },
+            "first" => Expr::First { arg: Box::new(self.expr()?), line },
+            "load" => Expr::Load { addr: Box::new(self.expr()?), line },
+            "band" | "bor" | "bxor" | "shl" | "shr" => {
+                let op = match name {
+                    "band" => BinOp::BitAnd,
+                    "bor" => BinOp::BitOr,
+                    "bxor" => BinOp::BitXor,
+                    "shl" => BinOp::Shl,
+                    _ => BinOp::Shr,
+                };
+                let lhs = self.expr()?;
+                self.expect(&Tok::Comma, "`,`")?;
+                let rhs = self.expr()?;
+                Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs), line }
+            }
+            "shift" => {
+                let arg = self.expr()?;
+                self.expect(&Tok::Comma, "`,`")?;
+                let (dist, neg) = match self.next() {
+                    Some(Tok::Minus) => match self.next() {
+                        Some(Tok::Int(v)) => (*v, true),
+                        _ => return Err(self.err("shift distance must be a constant")),
+                    },
+                    Some(Tok::Int(v)) => (*v, false),
+                    _ => return Err(self.err("shift distance must be a constant")),
+                };
+                let dist = if neg { -dist } else { dist };
+                if !(-127..=127).contains(&dist) {
+                    return Err(self.err("shift distance must be in -127..=127"));
+                }
+                Expr::Shift { arg: Box::new(arg), dist, line }
+            }
+            other => return Err(self.err(format!("unknown builtin `{other}`"))),
+        };
+        self.expect(&Tok::RParen, "`)`")?;
+        Ok(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::lex;
+
+    fn parse_src(src: &str) -> Result<ProgramAst, CompileError> {
+        parse(&lex(src).unwrap())
+    }
+
+    #[test]
+    fn declarations_and_assignment() {
+        let p = parse_src("par x; sca n = 3; x = index() + n;").unwrap();
+        assert_eq!(p.stmts.len(), 3);
+        assert!(matches!(p.stmts[0], Stmt::Decl { parallel: true, .. }));
+        assert!(matches!(p.stmts[1], Stmt::Decl { parallel: false, init: Some(_), .. }));
+    }
+
+    #[test]
+    fn where_elsewhere_nesting() {
+        let p = parse_src(
+            "par x;
+             where (x > 3) {
+                 where (x < 10) { x = 0; }
+             } elsewhere {
+                 x = 1;
+             }",
+        )
+        .unwrap();
+        match &p.stmts[1] {
+            Stmt::Where { then, other, .. } => {
+                assert_eq!(then.len(), 1);
+                assert!(matches!(then[0], Stmt::Where { .. }));
+                assert_eq!(other.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence() {
+        let p = parse_src("sca x = 1 + 2 * 3 == 7 && 1 < 2;").unwrap();
+        // ((1 + (2*3)) == 7) && (1 < 2)
+        match &p.stmts[0] {
+            Stmt::Decl { init: Some(Expr::Bin { op: BinOp::And, lhs, .. }), .. } => {
+                assert!(matches!(**lhs, Expr::Bin { op: BinOp::Eq, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn builtin_calls() {
+        let p = parse_src("out(sum(index())); out(count(index() > 2)); sca s = first(index());")
+            .unwrap();
+        assert_eq!(p.stmts.len(), 3);
+        let p = parse_src("par y; y = shift(y, -2);").unwrap();
+        match &p.stmts[1] {
+            Stmt::Assign { value: Expr::Shift { dist, .. }, .. } => assert_eq!(*dist, -2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_src("par ;").is_err());
+        assert!(parse_src("x = ;").is_err());
+        assert!(parse_src("where (x) { ").is_err());
+        assert!(parse_src("}").is_err());
+        assert!(parse_src("out(frob(1));").is_err());
+        assert!(parse_src("par y; y = shift(y, 500);").is_err());
+    }
+}

@@ -1,0 +1,438 @@
+//! End-to-end ASCL tests: compile → assemble → simulate → check outputs,
+//! plus error diagnostics and a differential property test against a host
+//! interpreter.
+
+use asc_core::MachineConfig;
+
+use crate::{compile, run, CompileError, LangError};
+
+fn cfg() -> MachineConfig {
+    MachineConfig::new(16)
+}
+
+fn outs(src: &str) -> Vec<i64> {
+    let (words, _) = run(cfg(), src).unwrap_or_else(|e| panic!("{e}\nsource:\n{src}"));
+    words.iter().map(|w| w.to_i64(asc_isa::Width::W16)).collect()
+}
+
+fn compile_err(src: &str) -> CompileError {
+    match compile(src) {
+        Err(e) => e,
+        Ok(asm) => panic!("expected error, compiled to:\n{asm}"),
+    }
+}
+
+// ------------------------------------------------------------ basics
+
+#[test]
+fn scalar_arithmetic_and_output() {
+    assert_eq!(outs("out(1 + 2 * 3);"), vec![7]);
+    assert_eq!(outs("sca x = 10; sca y = x - 3; out(y * y);"), vec![49]);
+    assert_eq!(outs("out(-5); out(7 % 3); out(14 / 4);"), vec![-5, 1, 3]);
+}
+
+#[test]
+fn parallel_reduction_pipeline() {
+    // sum of PE indices on 16 PEs = 120; max = 15
+    assert_eq!(outs("par x; x = index(); out(sum(x)); out(max(x)); out(min(x));"), vec![
+        120, 15, 0
+    ]);
+}
+
+#[test]
+fn broadcast_mixing() {
+    // scalar into parallel arithmetic broadcasts
+    assert_eq!(outs("sca n = 10; par x; x = index() + n; out(min(x)); out(max(x));"), vec![
+        10, 25
+    ]);
+    // scalar on the left of a non-commutative op
+    assert_eq!(outs("par x; x = 20 - index(); out(min(x));"), vec![5]);
+}
+
+#[test]
+fn where_masks_assignments_and_reductions() {
+    let src = "
+        par x;
+        x = index();
+        where (x >= 8) {
+            x = x - 8;
+            out(count(x == x)); # responders: 8
+            out(max(x));        # masked reduction: 7
+        }
+        out(sum(x));            # 0..7 twice = 56
+    ";
+    assert_eq!(outs(src), vec![8, 7, 56]);
+}
+
+#[test]
+fn elsewhere_gets_the_complement() {
+    let src = "
+        par x;
+        x = index();
+        where (x < 4) {
+            x = 100;
+        } elsewhere {
+            x = 200;
+        }
+        out(count(x == 100));
+        out(count(x == 200));
+    ";
+    assert_eq!(outs(src), vec![4, 12]);
+}
+
+#[test]
+fn nested_where_intersects_masks() {
+    let src = "
+        par x;
+        x = index();
+        where (x >= 4) {
+            where (x < 12) {
+                x = 0;          # only 4..11 zeroed
+            }
+        }
+        out(count(x == 0));      # PE 0 holds 0 too
+    ";
+    assert_eq!(outs(src), vec![9]);
+}
+
+#[test]
+fn scalar_control_flow() {
+    let src = "
+        sca n = 0;
+        sca i = 0;
+        while (i < 10) {
+            n = n + i;
+            i = i + 1;
+        }
+        out(n);
+        if (n == 45) { out(1); } else { out(2); }
+        if (n != 45) { out(3); } else { out(4); }
+    ";
+    assert_eq!(outs(src), vec![45, 1, 4]);
+}
+
+#[test]
+fn any_all_first() {
+    let src = "
+        par x;
+        x = index();
+        if (any(x == 7)) { out(1); }
+        if (all(x < 100)) { out(2); }
+        if (all(x < 10)) { out(3); } else { out(4); }
+        where (x > 5) {
+            out(first(x));       # first responder is PE 6
+        }
+    ";
+    assert_eq!(outs(src), vec![1, 2, 4, 6]);
+}
+
+#[test]
+fn shift_moves_data() {
+    let src = "
+        par x;
+        par y;
+        x = index();
+        y = shift(x, 1) + x + shift(x, -1);   # 3-point stencil
+        out(sum(y));
+    ";
+    // host: sum over i of (x[i-1] + x[i] + x[i+1]) with zero edges
+    let expect: i64 = (0..16)
+        .map(|i: i64| {
+            (if i > 0 { i - 1 } else { 0 }) + i + (if i < 15 { i + 1 } else { 0 })
+        })
+        .sum();
+    assert_eq!(outs(src), vec![expect]);
+}
+
+#[test]
+fn shift_inside_where_reads_all_lanes() {
+    // the shift argument is evaluated unmasked, so neighbours outside the
+    // responder set slide in with their true values
+    let src = "
+        par x;
+        x = index();
+        where (index() >= 8) {
+            x = shift(index(), 1);    # x[i] = i-1, for i >= 8
+        }
+        out(sum(x));
+    ";
+    // PEs 0..7 keep index; PEs 8..15 get 7..14
+    let expect: i64 = (0..8).sum::<i64>() + (7..15).sum::<i64>();
+    assert_eq!(outs(src), vec![expect]);
+}
+
+#[test]
+fn logical_operators() {
+    let src = "
+        par x;
+        x = index();
+        out(count(x > 3 && x < 8));
+        out(count(x < 2 || x > 13));
+        where (!(x < 8)) { out(count(x == x)); }
+    ";
+    assert_eq!(outs(src), vec![4, 4, 8]);
+}
+
+#[test]
+fn block_scoping_frees_registers() {
+    // 12 sequential blocks each declaring locals — would exhaust the
+    // register pools if scoping leaked
+    let mut src = String::new();
+    src.push_str("sca acc = 0;\n");
+    for i in 0..12 {
+        src.push_str(&format!(
+            "if (acc >= 0) {{ sca t = {i}; par q; q = index() + t; acc = acc + max(q); }}\n"
+        ));
+    }
+    src.push_str("out(acc);");
+    let expect: i64 = (0..12).map(|i| 15 + i).sum();
+    assert_eq!(outs(&src), vec![expect]);
+}
+
+#[test]
+fn associative_max_and_holder() {
+    // the canonical ASC idiom written in ASCL
+    let src = "
+        par v;
+        v = index() * 3 % 7;     # some data
+        sca m = max(v);
+        out(m);
+        where (v == m) {
+            out(first(index()));  # who holds it
+            out(count(v == m));   # how many
+        }
+    ";
+    let data: Vec<i64> = (0..16).map(|i| i * 3 % 7).collect();
+    let m = *data.iter().max().unwrap();
+    let first = data.iter().position(|&v| v == m).unwrap() as i64;
+    let count = data.iter().filter(|&&v| v == m).count() as i64;
+    assert_eq!(outs(src), vec![m, first, count]);
+}
+
+#[test]
+fn load_store_local_memory() {
+    use asc_core::Machine;
+    use asc_isa::{Width, Word};
+    // program reads a data column, doubles it where > 4, stores back
+    let src = "
+        par a;
+        a = load(index() * 0);      # lmem[0]
+        where (a > 4) {
+            a = a * 2;
+        }
+        store(index() * 0 + 1, a);   # lmem[1]
+        out(sum(a));
+    ";
+    let program = crate::compile_program(src).unwrap();
+    let mut m = Machine::with_program(cfg(), &program).unwrap();
+    let data: Vec<Word> = (0..16).map(|i| Word::new(i, Width::W16)).collect();
+    m.array_mut().scatter_column(0, &data).unwrap();
+    m.run(1_000_000).unwrap();
+    let expect: i64 = (0..16).map(|i: i64| if i > 4 { i * 2 } else { i }).sum();
+    assert_eq!(m.smem().read(crate::OUT_BASE).unwrap().to_i64(Width::W16), expect);
+    // and the stored column
+    let col = m.array().gather_column(1).unwrap();
+    for (i, w) in col.iter().enumerate() {
+        let i = i as i64;
+        let e = if i > 4 { i * 2 } else { i };
+        assert_eq!(w.to_i64(Width::W16), e, "PE {i}");
+    }
+}
+
+#[test]
+fn mst_written_in_ascl_matches_kernel_reference() {
+    use asc_core::Machine;
+    use asc_isa::{Width, Word};
+    // Prim's MST in ASCL: vertex j's adjacency row in lmem[0..n] of PE j.
+    // The same layout and tie-breaking as asc-kernels' hand-written MST.
+    let n = 12usize;
+    let src = format!(
+        "
+        sca n = {n};
+        par vid;
+        vid = index();
+        par valid;
+        valid = 0;
+        where (vid < n) {{ valid = 1; }}
+
+        par dist;
+        par cand;
+        cand = 0;
+        where (valid == 1) {{
+            dist = load(vid * 0);     # w(j, 0): root = 0
+            cand = 1;
+        }}
+        where (vid == 0) {{ cand = 0; }}   # root not a candidate
+
+        sca total = 0;
+        sca step = 0;
+        while (step < n - 1) {{
+            sca best = 0;
+            sca v = 0;
+            where (cand == 1) {{
+                best = min(dist);
+                where (dist == best) {{
+                    v = first(vid);       # argmin, first index
+                }}
+            }}
+            total = total + best;
+            where (vid == v) {{ cand = 0; }}
+            par wv;
+            wv = load(vid * 0 + v);       # w(u, v) for every u
+            where (cand == 1) {{
+                where (wv < dist) {{ dist = wv; }}
+            }}
+            step = step + 1;
+        }}
+        out(total);
+        "
+    );
+    let program = crate::compile_program(&src)
+        .unwrap_or_else(|e| panic!("{e}"));
+    let graph = asc_kernels::mst::random_graph(n, 50, 42);
+    let mut m = Machine::with_program(MachineConfig::new(16), &program).unwrap();
+    for (j, row) in graph.iter().enumerate() {
+        let words: Vec<Word> = row.iter().map(|&v| Word::from_i64(v, Width::W16)).collect();
+        m.array_mut().lmem_mut(j).load_slice(0, &words).unwrap();
+    }
+    m.run(10_000_000).unwrap();
+    let total = m.smem().read(crate::OUT_BASE).unwrap().to_u32() as u64;
+    assert_eq!(total, asc_kernels::mst::reference(&graph), "ASCL MST == host Prim");
+}
+
+#[test]
+fn bitwise_builtins() {
+    assert_eq!(outs("out(band(12, 10)); out(bor(12, 10)); out(bxor(12, 10));"), vec![8, 14, 6]);
+    assert_eq!(outs("out(shl(3, 4)); out(shr(32, 3));"), vec![48, 4]);
+    // parallel forms, masked
+    let src = "
+        par x;
+        x = index();
+        where (x >= 4) {
+            x = band(x, 3);      # low two bits only
+        }
+        out(sum(x));
+    ";
+    let expect: i64 = (0..16).map(|i: i64| if i >= 4 { i & 3 } else { i }).sum();
+    assert_eq!(outs(src), vec![expect]);
+    // variable shift amounts
+    assert_eq!(outs("sca k = 2; par x; x = shl(index(), k); out(max(x));"), vec![60]);
+}
+
+// ------------------------------------------------------------ diagnostics
+
+#[test]
+fn undeclared_variable() {
+    let e = compile_err("x = 1;");
+    assert!(e.message.contains("not declared"));
+    assert_eq!(e.line, 1);
+}
+
+#[test]
+fn double_declaration() {
+    assert!(compile_err("par x; par x;").message.contains("already declared"));
+}
+
+#[test]
+fn type_errors() {
+    assert!(compile_err("par x; out(x);").message.contains("scalar"));
+    assert!(compile_err("sca x; where (x == 1) {}").message.contains("parallel condition"));
+    assert!(compile_err("par x; if (x == 1) {}").message.contains("scalar condition"));
+    assert!(compile_err("par x; x = (x == 1) + 2;").message.contains("conditions"));
+    assert!(compile_err("par x; x = 1 && 2;").message.contains("conditions"));
+    assert!(compile_err("sca x = count(1 == 1);").message.contains("parallel condition"));
+}
+
+#[test]
+fn constant_range_and_division() {
+    assert!(compile_err("out(70000);").message.contains("16-bit"));
+    assert!(compile_err("out(1 / 0);").message.contains("division by zero"));
+}
+
+#[test]
+fn register_exhaustion_is_reported() {
+    // 20 live scalar variables exceed the pool
+    let mut src = String::new();
+    for i in 0..20 {
+        src.push_str(&format!("sca v{i} = {i};\n"));
+    }
+    assert!(compile_err(&src).message.contains("out of scalar int registers"));
+}
+
+#[test]
+fn runtime_errors_surface() {
+    // division by a zero-valued variable is a machine-level behaviour
+    // (defined result), but a missing divider would error; here check the
+    // compile-run plumbing reports run errors: exceed cycle budget is hard
+    // to trigger cheaply, so check the compile error path through run()
+    let e = run(cfg(), "x = 1;").unwrap_err();
+    assert!(matches!(e, LangError::Compile(_)));
+}
+
+// ------------------------------------------------------------ differential
+
+/// Host interpreter for the random-program generator below.
+mod interp {
+    /// Evaluate `((a op1 b) op2 c) ...` with wrapping 16-bit semantics,
+    /// mirroring the machine.
+    pub fn wrap16(v: i64) -> i64 {
+        let m = (v as u32 & 0xffff) as i64;
+        if m >= 0x8000 {
+            m - 0x10000
+        } else {
+            m
+        }
+    }
+}
+
+proptest::proptest! {
+    /// Random scalar expression chains computed by the compiled program
+    /// equal the host's wrapping arithmetic.
+    #[test]
+    fn compiled_scalar_chains_match_host(ops in proptest::collection::vec((0u8..5, -40i64..40), 1..12)) {
+        let mut src = String::from("sca x = 1;\n");
+        let mut host: i64 = 1;
+        for (op, k) in &ops {
+            let k = *k;
+            match op {
+                0 => {
+                    src.push_str(&format!("x = x + {k};\n"));
+                    host = interp::wrap16(host + k);
+                }
+                1 => {
+                    src.push_str(&format!("x = x - {k};\n"));
+                    host = interp::wrap16(host - k);
+                }
+                2 => {
+                    src.push_str(&format!("x = x * {k};\n"));
+                    host = interp::wrap16(host.wrapping_mul(k));
+                }
+                3 => {
+                    let d = if k == 0 { 7 } else { k };
+                    src.push_str(&format!("x = x / {d};\n"));
+                    host = interp::wrap16(host.wrapping_div(d));
+                }
+                _ => {
+                    let d = if k == 0 { 7 } else { k };
+                    src.push_str(&format!("x = x % {d};\n"));
+                    host = interp::wrap16(host.wrapping_rem(d));
+                }
+            }
+        }
+        src.push_str("out(x);");
+        proptest::prop_assert_eq!(outs(&src), vec![host]);
+    }
+
+    /// Random threshold partitions: `where`/`elsewhere` counts always sum
+    /// to the array size, and match the host.
+    #[test]
+    fn where_partition_matches_host(t in -5i64..25) {
+        let src = format!(
+            "par x; x = index();
+             where (x < {t}) {{ x = 1; }} elsewhere {{ x = 2; }}
+             out(count(x == 1)); out(count(x == 2));"
+        );
+        let ones = (0..16).filter(|&i| i < t).count() as i64;
+        proptest::prop_assert_eq!(outs(&src), vec![ones, 16 - ones]);
+    }
+}

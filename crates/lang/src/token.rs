@@ -1,0 +1,246 @@
+//! ASCL lexer.
+
+use crate::error::CompileError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Keyword or identifier.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Not,
+}
+
+/// Token plus 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Source line.
+    pub line: u32,
+}
+
+/// Tokenize ASCL source. `#` starts a comment to end of line.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, CompileError> {
+    let mut out = Vec::new();
+    for (lineno, line) in src.lines().enumerate() {
+        let line_no = lineno as u32 + 1;
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let c = bytes[i] as char;
+            let push = |out: &mut Vec<Spanned>, tok: Tok| out.push(Spanned { tok, line: line_no });
+            match c {
+                ' ' | '\t' | '\r' => i += 1,
+                '#' => break,
+                '(' => {
+                    push(&mut out, Tok::LParen);
+                    i += 1;
+                }
+                ')' => {
+                    push(&mut out, Tok::RParen);
+                    i += 1;
+                }
+                '{' => {
+                    push(&mut out, Tok::LBrace);
+                    i += 1;
+                }
+                '}' => {
+                    push(&mut out, Tok::RBrace);
+                    i += 1;
+                }
+                ';' => {
+                    push(&mut out, Tok::Semi);
+                    i += 1;
+                }
+                ',' => {
+                    push(&mut out, Tok::Comma);
+                    i += 1;
+                }
+                '+' => {
+                    push(&mut out, Tok::Plus);
+                    i += 1;
+                }
+                '-' => {
+                    push(&mut out, Tok::Minus);
+                    i += 1;
+                }
+                '*' => {
+                    push(&mut out, Tok::Star);
+                    i += 1;
+                }
+                '/' => {
+                    push(&mut out, Tok::Slash);
+                    i += 1;
+                }
+                '%' => {
+                    push(&mut out, Tok::Percent);
+                    i += 1;
+                }
+                '=' => {
+                    if bytes.get(i + 1) == Some(&b'=') {
+                        push(&mut out, Tok::Eq);
+                        i += 2;
+                    } else {
+                        push(&mut out, Tok::Assign);
+                        i += 1;
+                    }
+                }
+                '!' => {
+                    if bytes.get(i + 1) == Some(&b'=') {
+                        push(&mut out, Tok::Ne);
+                        i += 2;
+                    } else {
+                        push(&mut out, Tok::Not);
+                        i += 1;
+                    }
+                }
+                '<' => {
+                    if bytes.get(i + 1) == Some(&b'=') {
+                        push(&mut out, Tok::Le);
+                        i += 2;
+                    } else {
+                        push(&mut out, Tok::Lt);
+                        i += 1;
+                    }
+                }
+                '>' => {
+                    if bytes.get(i + 1) == Some(&b'=') {
+                        push(&mut out, Tok::Ge);
+                        i += 2;
+                    } else {
+                        push(&mut out, Tok::Gt);
+                        i += 1;
+                    }
+                }
+                '&' => {
+                    if bytes.get(i + 1) == Some(&b'&') {
+                        push(&mut out, Tok::AndAnd);
+                        i += 2;
+                    } else {
+                        return Err(CompileError::new(line_no, "single `&` (use `&&`)"));
+                    }
+                }
+                '|' => {
+                    if bytes.get(i + 1) == Some(&b'|') {
+                        push(&mut out, Tok::OrOr);
+                        i += 2;
+                    } else {
+                        return Err(CompileError::new(line_no, "single `|` (use `||`)"));
+                    }
+                }
+                '0'..='9' => {
+                    let start = i;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let text = &line[start..i];
+                    let v: i64 = text.parse().map_err(|_| {
+                        CompileError::new(line_no, format!("bad integer `{text}`"))
+                    })?;
+                    push(&mut out, Tok::Int(v));
+                }
+                c if c.is_ascii_alphabetic() || c == '_' => {
+                    let start = i;
+                    while i < bytes.len()
+                        && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                    {
+                        i += 1;
+                    }
+                    push(&mut out, Tok::Ident(line[start..i].to_string()));
+                }
+                other => {
+                    return Err(CompileError::new(
+                        line_no,
+                        format!("unexpected character {other:?}"),
+                    ))
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn operators_and_idents() {
+        assert_eq!(
+            toks("x = a <= 3 && !b;"),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::Ident("a".into()),
+                Tok::Le,
+                Tok::Int(3),
+                Tok::AndAnd,
+                Tok::Not,
+                Tok::Ident("b".into()),
+                Tok::Semi,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(toks("x # everything here ignored\n;"), vec![
+            Tok::Ident("x".into()),
+            Tok::Semi
+        ]);
+    }
+
+    #[test]
+    fn errors_carry_lines() {
+        let e = lex("ok;\n x = $;").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(lex("a & b").is_err());
+    }
+}

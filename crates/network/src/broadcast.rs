@@ -1,0 +1,106 @@
+//! The broadcast unit: a pipelined k-ary tree with a register at each node.
+//! It accepts a new instruction (or scalar datum) each clock cycle and
+//! delivers it to all PEs after ⌈log_k p⌉ cycles. The broadcast tree is
+//! "not pipelined as deeply as the reduction network, since the broadcast
+//! network does not perform any computation" — hence the configurable,
+//! typically higher, arity.
+
+use crate::tree::{tree_depth, DelayLine};
+
+/// Structural model of the broadcast tree.
+#[derive(Debug, Clone)]
+pub struct BroadcastTree<T> {
+    num_pes: usize,
+    arity: usize,
+    line: DelayLine<T>,
+}
+
+impl<T: Clone> BroadcastTree<T> {
+    /// Build a k-ary broadcast tree over `num_pes` leaves.
+    pub fn new(num_pes: usize, arity: usize) -> Self {
+        assert!(arity >= 2);
+        let latency = tree_depth(num_pes, arity);
+        BroadcastTree { num_pes, arity, line: DelayLine::new(latency) }
+    }
+
+    /// Latency in cycles (⌈log_k p⌉).
+    pub fn latency(&self) -> u64 {
+        self.line.latency()
+    }
+
+    /// Tree arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of internal register nodes in the tree (used by the FPGA
+    /// resource model): one root plus ⌈p/k⌉-grouped levels.
+    pub fn node_count(&self) -> usize {
+        let mut nodes = 0;
+        let mut level = self.num_pes;
+        while level > 1 {
+            level = level.div_ceil(self.arity);
+            nodes += level;
+        }
+        nodes.max(1)
+    }
+
+    /// Advance one cycle, optionally injecting a value at the root; when a
+    /// value reaches the leaves this cycle, it is returned as a vector with
+    /// one copy per PE.
+    pub fn tick(&mut self, input: Option<T>) -> Option<Vec<T>> {
+        self.line
+            .tick(input)
+            .map(|v| std::iter::repeat_n(v, self.num_pes).collect())
+    }
+
+    /// Values currently moving down the tree.
+    pub fn occupancy(&self) -> usize {
+        self.line.occupancy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_matches_geometry() {
+        assert_eq!(BroadcastTree::<u32>::new(16, 4).latency(), 2);
+        assert_eq!(BroadcastTree::<u32>::new(16, 2).latency(), 4);
+        assert_eq!(BroadcastTree::<u32>::new(1, 2).latency(), 0);
+        assert_eq!(BroadcastTree::<u32>::new(50, 4).latency(), 3);
+    }
+
+    #[test]
+    fn delivers_to_every_pe() {
+        let mut t = BroadcastTree::new(8, 2);
+        assert_eq!(t.tick(Some(7u32)), None); // cycle 0
+        assert_eq!(t.tick(None), None); // 1
+        assert_eq!(t.tick(None), None); // 2
+        assert_eq!(t.tick(None), Some(vec![7; 8])); // emerges at latency 3
+    }
+
+    #[test]
+    fn sustains_one_per_cycle() {
+        let mut t = BroadcastTree::new(16, 4);
+        let mut received = Vec::new();
+        for c in 0..20u32 {
+            if let Some(v) = t.tick(if c < 10 { Some(c) } else { None }) {
+                received.push(v[0]);
+                assert_eq!(v.len(), 16);
+            }
+        }
+        assert_eq!(received, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn node_counts() {
+        // 16 leaves, arity 4: 4 first-level nodes + 1 root = 5
+        assert_eq!(BroadcastTree::<u32>::new(16, 4).node_count(), 5);
+        // 16 leaves, arity 2: 8 + 4 + 2 + 1 = 15
+        assert_eq!(BroadcastTree::<u32>::new(16, 2).node_count(), 15);
+        // single PE: just the root register
+        assert_eq!(BroadcastTree::<u32>::new(1, 2).node_count(), 1);
+    }
+}

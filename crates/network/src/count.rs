@@ -1,0 +1,82 @@
+//! The response counter: counts PEs whose responder bit is set. The ASC
+//! model only requires a some/none test, but "due to the pipelined
+//! implementation, the simpler counter would not have been any faster than
+//! the exact one", so the unit produces an exact count via a pipelined
+//! binary adder tree.
+
+use asc_isa::{Width, Word};
+
+use crate::tree::tree_reduce;
+
+/// Functional model of the response counter.
+pub struct ResponseCounter;
+
+impl ResponseCounter {
+    /// Exact count of active PEs with the flag set. The internal adder tree
+    /// is wide enough for any PE count; the final result saturates at the
+    /// machine word's unsigned maximum when it cannot be represented
+    /// (documented simulator semantics — the prototype's PE counts never
+    /// approach this).
+    pub fn count(flags: &[bool], active: &[bool], w: Width) -> Word {
+        let leaves: Vec<u64> = flags
+            .iter()
+            .zip(active)
+            .map(|(&f, &a)| u64::from(f && a))
+            .collect();
+        let total = tree_reduce(&leaves, 0, |a, b| a + b);
+        Word::new(total.min(w.mask() as u64) as u32, w)
+    }
+
+    /// The some/none binary test the ASC model minimally requires.
+    pub fn any(flags: &[bool], active: &[bool]) -> bool {
+        flags.iter().zip(active).any(|(&f, &a)| f && a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn counts_exactly() {
+        let flags = [true, false, true, true];
+        let active = [true, true, true, false];
+        assert_eq!(ResponseCounter::count(&flags, &active, Width::W16).to_u32(), 2);
+        assert!(ResponseCounter::any(&flags, &active));
+        assert!(!ResponseCounter::any(&[false, true], &[true, false]));
+    }
+
+    #[test]
+    fn zero_responders() {
+        assert_eq!(ResponseCounter::count(&[false; 8], &[true; 8], Width::W8).to_u32(), 0);
+        assert_eq!(ResponseCounter::count(&[], &[], Width::W8).to_u32(), 0);
+    }
+
+    #[test]
+    fn saturates_at_word_max() {
+        // 300 responders cannot be represented in 8 bits
+        let flags = vec![true; 300];
+        let active = vec![true; 300];
+        assert_eq!(ResponseCounter::count(&flags, &active, Width::W8).to_u32(), 255);
+        assert_eq!(ResponseCounter::count(&flags, &active, Width::W16).to_u32(), 300);
+    }
+
+    proptest! {
+        /// The adder tree matches a sequential popcount.
+        #[test]
+        fn matches_popcount(
+            flags in proptest::collection::vec(any::<bool>(), 0..128),
+            active in proptest::collection::vec(any::<bool>(), 0..128),
+        ) {
+            let n = flags.len().min(active.len());
+            let expect = (0..n).filter(|&i| flags[i] && active[i]).count() as u32;
+            let got = ResponseCounter::count(&flags[..n], &active[..n], Width::W32);
+            prop_assert_eq!(got.to_u32(), expect);
+            prop_assert_eq!(
+                ResponseCounter::any(&flags[..n], &active[..n]),
+                expect > 0
+            );
+        }
+    }
+}

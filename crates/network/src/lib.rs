@@ -1,0 +1,170 @@
+#![warn(missing_docs)]
+
+//! # asc-network — broadcast/reduction network models
+//!
+//! The defining hardware of an associative SIMD processor (Section 6.4 of
+//! the paper): a **broadcast unit** (pipelined k-ary tree carrying
+//! instructions and scalar data from the control unit to the PE array) and
+//! five **reduction units** (pipelined trees carrying data the other way):
+//!
+//! | unit | function | latency |
+//! |------|----------|---------|
+//! | broadcast | instruction/data distribution | ⌈log_k p⌉ |
+//! | logic | bitwise AND/OR of integers and flags | ⌈log₂ p⌉ |
+//! | max/min | signed/unsigned maximum/minimum | ⌈log₂ p⌉ |
+//! | sum | saturating sum | ⌈log₂ p⌉ |
+//! | response counter | exact count of responders | ⌈log₂ p⌉ |
+//! | multiple response resolver | first responder (parallel result) | ⌈log₂ p⌉ |
+//!
+//! Every unit has an initiation rate of one operation per cycle — the
+//! property that lets the fine-grain multithreaded pipeline issue a
+//! reduction every cycle without structural hazards.
+//!
+//! This crate provides both **functional** models (what value comes out,
+//! respecting the tree association order, which matters for the saturating
+//! sum) and **structural** models ([`DelayLine`], [`PipelinedUnit`]) that
+//! the cycle-accurate simulator uses to track occupancy and latency.
+
+pub mod broadcast;
+pub mod count;
+pub mod logic;
+pub mod maxmin;
+pub mod resolver;
+pub mod sum;
+pub mod tree;
+
+pub use broadcast::BroadcastTree;
+pub use count::ResponseCounter;
+pub use logic::LogicUnit;
+pub use maxmin::MaxMinUnit;
+pub use resolver::MultipleResponseResolver;
+pub use sum::SumUnit;
+pub use tree::{reduction_latency, tree_depth, DelayLine, PipelinedUnit};
+
+use asc_isa::{ReduceOp, Width, Word};
+
+/// Geometry and latency of the whole broadcast/reduction network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetworkConfig {
+    /// Number of processing elements.
+    pub num_pes: usize,
+    /// Arity (k) of the broadcast tree — "variable and chosen so as to
+    /// maximize system performance".
+    pub broadcast_arity: usize,
+}
+
+impl NetworkConfig {
+    /// Construct; `num_pes >= 1`, `broadcast_arity >= 2`.
+    pub fn new(num_pes: usize, broadcast_arity: usize) -> NetworkConfig {
+        assert!(num_pes >= 1, "need at least one PE");
+        assert!(broadcast_arity >= 2, "broadcast tree arity must be >= 2");
+        NetworkConfig { num_pes, broadcast_arity }
+    }
+
+    /// Broadcast latency `b` = ⌈log_k p⌉ cycles.
+    pub fn broadcast_latency(&self) -> u64 {
+        tree_depth(self.num_pes, self.broadcast_arity)
+    }
+
+    /// Reduction latency `r` = ⌈log₂ p⌉ cycles (all reduction units are
+    /// binary trees).
+    pub fn reduction_latency(&self) -> u64 {
+        reduction_latency(self.num_pes)
+    }
+}
+
+/// The full network: functional entry points used by the instruction
+/// executor. Stateless (the pipelined occupancy is tracked by the timing
+/// core; these units have initiation rate 1/cycle so they never reject an
+/// operation).
+#[derive(Debug, Clone)]
+pub struct Network {
+    cfg: NetworkConfig,
+}
+
+impl Network {
+    /// Build the network for a given geometry.
+    pub fn new(cfg: NetworkConfig) -> Network {
+        Network { cfg }
+    }
+
+    /// Network geometry.
+    pub fn config(&self) -> NetworkConfig {
+        self.cfg
+    }
+
+    /// Reduce a per-PE value over the active set with the given operation.
+    /// Inactive PEs contribute the operation's identity element, exactly as
+    /// the hardware feeds identity values into the tree leaves.
+    pub fn reduce(&self, op: ReduceOp, values: &[Word], active: &[bool], w: Width) -> Word {
+        debug_assert_eq!(values.len(), self.cfg.num_pes);
+        debug_assert_eq!(active.len(), self.cfg.num_pes);
+        match op {
+            ReduceOp::And | ReduceOp::Or => LogicUnit::reduce(op, values, active, w),
+            ReduceOp::Max | ReduceOp::Min | ReduceOp::MaxU | ReduceOp::MinU => {
+                MaxMinUnit::reduce(op, values, active, w)
+            }
+            ReduceOp::Sum => SumUnit::reduce(values, active, w),
+        }
+    }
+
+    /// Responder detection: OR (any) / AND (all) over a flag per PE.
+    pub fn reduce_flags(&self, op: asc_isa::FlagReduceOp, flags: &[bool], active: &[bool]) -> bool {
+        LogicUnit::reduce_flags(op, flags, active)
+    }
+
+    /// Exact responder count, saturating at the word width.
+    pub fn count_responders(&self, flags: &[bool], active: &[bool], w: Width) -> Word {
+        ResponseCounter::count(flags, active, w)
+    }
+
+    /// Multiple response resolution: one-hot first responder.
+    pub fn first_responder(&self, flags: &[bool], active: &[bool]) -> Vec<bool> {
+        MultipleResponseResolver::resolve(flags, active)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latencies_match_paper_prototype() {
+        // The paper's Figure 1 assumes two broadcast stages and four
+        // reduction stages; that is exactly p = 16 with a 4-ary broadcast
+        // tree and binary reduction trees.
+        let cfg = NetworkConfig::new(16, 4);
+        assert_eq!(cfg.broadcast_latency(), 2);
+        assert_eq!(cfg.reduction_latency(), 4);
+    }
+
+    #[test]
+    fn latency_scaling() {
+        for (p, k, b, r) in [
+            (1, 2, 0, 0),
+            (2, 2, 1, 1),
+            (4, 2, 2, 2),
+            (50, 2, 6, 6),
+            (1024, 2, 10, 10),
+            (1024, 4, 5, 10),
+            (1024, 16, 3, 10),
+            (1000, 4, 5, 10),
+        ] {
+            let cfg = NetworkConfig::new(p, k);
+            assert_eq!(cfg.broadcast_latency(), b, "p={p} k={k}");
+            assert_eq!(cfg.reduction_latency(), r, "p={p} k={k}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_pes_rejected() {
+        NetworkConfig::new(0, 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn unary_tree_rejected() {
+        NetworkConfig::new(4, 1);
+    }
+}

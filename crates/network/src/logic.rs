@@ -1,0 +1,135 @@
+//! The logic unit: bitwise reduction of integers and flags, supporting AND
+//! and OR. In hardware it is "a pipelined tree of OR gates with bypassable
+//! inverters before and after the tree" — AND is computed as
+//! `~(OR(~x))` by De Morgan. The functional model here implements both the
+//! direct reduction and the De Morgan path and the tests check they agree.
+
+use asc_isa::{FlagReduceOp, ReduceOp, Width, Word};
+
+use crate::tree::tree_reduce;
+
+/// Functional model of the logic reduction unit.
+pub struct LogicUnit;
+
+impl LogicUnit {
+    /// Bitwise AND/OR over active PEs. Inactive PEs contribute the identity
+    /// (all ones for AND, zero for OR).
+    ///
+    /// # Panics
+    /// Panics if `op` is not `And` or `Or`.
+    pub fn reduce(op: ReduceOp, values: &[Word], active: &[bool], w: Width) -> Word {
+        assert!(matches!(op, ReduceOp::And | ReduceOp::Or), "logic unit only does AND/OR");
+        let id = op.identity(w);
+        let leaves: Vec<Word> =
+            values.iter().zip(active).map(|(&v, &a)| if a { v } else { id }).collect();
+        match op {
+            ReduceOp::Or => tree_reduce(&leaves, id, |a, b| a.or(b)),
+            ReduceOp::And => {
+                // hardware path: invert, OR-tree, invert
+                let inverted: Vec<Word> =
+                    leaves.iter().map(|v| Word::new(!v.to_u32(), w)).collect();
+                let ored = tree_reduce(&inverted, Word::ZERO, |a, b| a.or(b));
+                Word::new(!ored.to_u32(), w)
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// Flag reduction: responder detection. `Any` = OR, `All` = AND over the
+    /// active set.
+    pub fn reduce_flags(op: FlagReduceOp, flags: &[bool], active: &[bool]) -> bool {
+        let id = op.identity();
+        let leaves: Vec<bool> =
+            flags.iter().zip(active).map(|(&f, &a)| if a { f } else { id }).collect();
+        tree_reduce(&leaves, id, |a, b| op.combine(a, b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn w8(v: u32) -> Word {
+        Word::new(v, Width::W8)
+    }
+
+    #[test]
+    fn and_or_basic() {
+        let vals = [w8(0b1100), w8(0b1010), w8(0b1111)];
+        let all = [true, true, true];
+        assert_eq!(LogicUnit::reduce(ReduceOp::And, &vals, &all, Width::W8), w8(0b1000));
+        assert_eq!(LogicUnit::reduce(ReduceOp::Or, &vals, &all, Width::W8), w8(0b1111));
+    }
+
+    #[test]
+    fn inactive_pes_are_transparent() {
+        let vals = [w8(0x0f), w8(0xf0)];
+        assert_eq!(
+            LogicUnit::reduce(ReduceOp::And, &vals, &[true, false], Width::W8),
+            w8(0x0f)
+        );
+        assert_eq!(
+            LogicUnit::reduce(ReduceOp::Or, &vals, &[false, true], Width::W8),
+            w8(0xf0)
+        );
+    }
+
+    #[test]
+    fn empty_active_set_yields_identity() {
+        let vals = [w8(1), w8(2)];
+        assert_eq!(
+            LogicUnit::reduce(ReduceOp::And, &vals, &[false, false], Width::W8),
+            w8(0xff)
+        );
+        assert_eq!(
+            LogicUnit::reduce(ReduceOp::Or, &vals, &[false, false], Width::W8),
+            w8(0)
+        );
+    }
+
+    #[test]
+    fn flag_reduction() {
+        assert!(LogicUnit::reduce_flags(FlagReduceOp::Any, &[false, true, false], &[true; 3]));
+        assert!(!LogicUnit::reduce_flags(FlagReduceOp::Any, &[false, true], &[true, false]));
+        assert!(LogicUnit::reduce_flags(FlagReduceOp::All, &[true, false], &[true, false]));
+        assert!(!LogicUnit::reduce_flags(FlagReduceOp::All, &[true, false], &[true, true]));
+        // empty active set
+        assert!(!LogicUnit::reduce_flags(FlagReduceOp::Any, &[true], &[false]));
+        assert!(LogicUnit::reduce_flags(FlagReduceOp::All, &[false], &[false]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_non_logic_op() {
+        LogicUnit::reduce(ReduceOp::Sum, &[], &[], Width::W8);
+    }
+
+    proptest! {
+        /// The De Morgan AND path agrees with a plain fold, and OR agrees
+        /// with a plain fold, for any width.
+        #[test]
+        fn matches_sequential_fold(
+            vals in proptest::collection::vec(0u32..=0xffff_ffff, 1..64),
+            actives in proptest::collection::vec(any::<bool>(), 1..64),
+        ) {
+            for w in Width::ALL {
+                let n = vals.len().min(actives.len());
+                let words: Vec<Word> = vals[..n].iter().map(|&v| Word::new(v, w)).collect();
+                let act = &actives[..n];
+                let and = LogicUnit::reduce(ReduceOp::And, &words, act, w);
+                let or = LogicUnit::reduce(ReduceOp::Or, &words, act, w);
+                let mut fand = w.mask();
+                let mut for_ = 0u32;
+                for i in 0..n {
+                    if act[i] {
+                        fand &= words[i].to_u32();
+                        for_ |= words[i].to_u32();
+                    }
+                }
+                prop_assert_eq!(and.to_u32(), fand);
+                prop_assert_eq!(or.to_u32(), for_);
+            }
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! The maximum/minimum unit. Earlier ASC processors used the bit-serial
+//! Falkoff algorithm (one bit of the word per cycle); the multithreaded
+//! design replaces it with a pipelined tree of comparators so multiple
+//! threads can have max/min reductions in flight simultaneously. Both
+//! algorithms are implemented here: the tree is the architecture's unit;
+//! [`MaxMinUnit::falkoff_max`] is used by the non-pipelined baseline and as
+//! a cross-check.
+
+use asc_isa::{ReduceOp, Width, Word};
+
+use crate::tree::tree_reduce;
+
+/// Functional model of the max/min reduction unit.
+pub struct MaxMinUnit;
+
+impl MaxMinUnit {
+    /// Tree reduction for `Max`/`Min`/`MaxU`/`MinU` over the active set.
+    ///
+    /// # Panics
+    /// Panics if `op` is not a max/min operation.
+    pub fn reduce(op: ReduceOp, values: &[Word], active: &[bool], w: Width) -> Word {
+        assert!(
+            matches!(op, ReduceOp::Max | ReduceOp::Min | ReduceOp::MaxU | ReduceOp::MinU),
+            "max/min unit got {op:?}"
+        );
+        let id = op.identity(w);
+        let leaves: Vec<Word> =
+            values.iter().zip(active).map(|(&v, &a)| if a { v } else { id }).collect();
+        tree_reduce(&leaves, id, |a, b| op.combine(a, b, w))
+    }
+
+    /// The Falkoff bit-serial maximum: examine one bit per step from the
+    /// most significant down, keeping only candidates that have the bit set
+    /// whenever any candidate does. Runs in `width` steps — the per-cycle
+    /// behaviour of the original non-pipelined ASC processors. Operates on
+    /// *unsigned* ordering (signed max is the same after flipping the sign
+    /// bit, which is what [`MaxMinUnit::falkoff_max_signed`] does).
+    ///
+    /// Returns the maximum over active PEs, or `None` if no PE is active.
+    pub fn falkoff_max(values: &[Word], active: &[bool], w: Width) -> Option<Word> {
+        let mut candidates: Vec<bool> = active.to_vec();
+        if !candidates.iter().any(|&c| c) {
+            return None;
+        }
+        for bit in (0..w.bits()).rev() {
+            let m = 1u32 << bit;
+            let any_set = values
+                .iter()
+                .zip(&candidates)
+                .any(|(v, &c)| c && v.to_u32() & m != 0);
+            if any_set {
+                for (v, c) in values.iter().zip(candidates.iter_mut()) {
+                    if *c && v.to_u32() & m == 0 {
+                        *c = false;
+                    }
+                }
+            }
+        }
+        values
+            .iter()
+            .zip(&candidates)
+            .find(|(_, &c)| c)
+            .map(|(&v, _)| v)
+    }
+
+    /// Falkoff maximum under *signed* ordering (flip the sign bit, take the
+    /// unsigned maximum, flip back).
+    pub fn falkoff_max_signed(values: &[Word], active: &[bool], w: Width) -> Option<Word> {
+        let sign = 1u32 << (w.bits() - 1);
+        let flipped: Vec<Word> =
+            values.iter().map(|v| Word::new(v.to_u32() ^ sign, w)).collect();
+        Self::falkoff_max(&flipped, active, w).map(|v| Word::new(v.to_u32() ^ sign, w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn words(vs: &[i64], w: Width) -> Vec<Word> {
+        vs.iter().map(|&v| Word::from_i64(v, w)).collect()
+    }
+
+    #[test]
+    fn signed_vs_unsigned() {
+        let w = Width::W8;
+        let vals = words(&[-1, 3, 100, -128], w);
+        let all = [true; 4];
+        assert_eq!(MaxMinUnit::reduce(ReduceOp::Max, &vals, &all, w).to_i64(w), 100);
+        assert_eq!(MaxMinUnit::reduce(ReduceOp::Min, &vals, &all, w).to_i64(w), -128);
+        // unsigned: -1 is 0xff, the largest
+        assert_eq!(MaxMinUnit::reduce(ReduceOp::MaxU, &vals, &all, w).to_u32(), 0xff);
+        assert_eq!(MaxMinUnit::reduce(ReduceOp::MinU, &vals, &all, w).to_u32(), 3);
+    }
+
+    #[test]
+    fn respects_active_mask() {
+        let w = Width::W8;
+        let vals = words(&[100, 50, 75], w);
+        let act = [false, true, true];
+        assert_eq!(MaxMinUnit::reduce(ReduceOp::Max, &vals, &act, w).to_i64(w), 75);
+    }
+
+    #[test]
+    fn empty_set_gives_identity() {
+        let w = Width::W8;
+        let vals = words(&[1], w);
+        assert_eq!(
+            MaxMinUnit::reduce(ReduceOp::Max, &vals, &[false], w).to_i64(w),
+            w.smin()
+        );
+        assert_eq!(
+            MaxMinUnit::reduce(ReduceOp::Min, &vals, &[false], w).to_i64(w),
+            w.smax()
+        );
+    }
+
+    #[test]
+    fn falkoff_examples() {
+        let w = Width::W8;
+        let vals = words(&[5, 200, 13, 200], w);
+        let all = [true; 4];
+        assert_eq!(MaxMinUnit::falkoff_max(&vals, &all, w).unwrap().to_u32(), 200);
+        assert_eq!(MaxMinUnit::falkoff_max(&vals, &[false; 4], w), None);
+        let signed = words(&[-5, 3, -120], w);
+        assert_eq!(
+            MaxMinUnit::falkoff_max_signed(&signed, &[true; 3], w).unwrap().to_i64(w),
+            3
+        );
+    }
+
+    proptest! {
+        /// Falkoff (bit-serial) and the comparator tree agree on every
+        /// input, for unsigned and signed orderings.
+        #[test]
+        fn falkoff_equals_tree(
+            raw in proptest::collection::vec(0u32..=u32::MAX, 1..40),
+            actives in proptest::collection::vec(any::<bool>(), 1..40),
+        ) {
+            for w in Width::ALL {
+                let n = raw.len().min(actives.len());
+                let vals: Vec<Word> = raw[..n].iter().map(|&v| Word::new(v, w)).collect();
+                let act = &actives[..n];
+                if act.iter().any(|&a| a) {
+                    let tree_u = MaxMinUnit::reduce(ReduceOp::MaxU, &vals, act, w);
+                    prop_assert_eq!(MaxMinUnit::falkoff_max(&vals, act, w), Some(tree_u));
+                    let tree_s = MaxMinUnit::reduce(ReduceOp::Max, &vals, act, w);
+                    prop_assert_eq!(MaxMinUnit::falkoff_max_signed(&vals, act, w), Some(tree_s));
+                } else {
+                    prop_assert_eq!(MaxMinUnit::falkoff_max(&vals, act, w), None);
+                }
+            }
+        }
+
+        /// The tree result equals the sequential fold (max/min are
+        /// associative, so order cannot matter — this guards the identity
+        /// handling).
+        #[test]
+        fn tree_equals_fold(
+            raw in proptest::collection::vec(0u32..=u32::MAX, 1..40),
+        ) {
+            let w = Width::W16;
+            let vals: Vec<Word> = raw.iter().map(|&v| Word::new(v, w)).collect();
+            let act = vec![true; vals.len()];
+            let tree = MaxMinUnit::reduce(ReduceOp::Max, &vals, &act, w);
+            let fold = vals.iter().fold(Word::from_i64(w.smin(), w), |a, &b| a.max_signed(b, w));
+            prop_assert_eq!(tree, fold);
+        }
+    }
+}

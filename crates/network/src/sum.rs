@@ -1,0 +1,126 @@
+//! The sum unit: a pipelined binary adder tree producing the sum of a data
+//! word from every PE. Not required by the ASC model, but "used in a number
+//! of image and video processing algorithms". If overflow occurs while
+//! computing the sum, the result saturates to the largest or smallest
+//! representable value — at *every* tree node, which makes the operation
+//! non-associative; the result is defined by the canonical tree order of
+//! [`crate::tree::tree_reduce`].
+
+use asc_isa::{ReduceOp, Width, Word};
+
+use crate::tree::tree_reduce;
+
+/// Functional model of the saturating sum reduction unit.
+pub struct SumUnit;
+
+impl SumUnit {
+    /// Saturating signed sum over the active set (inactive PEs contribute
+    /// zero).
+    pub fn reduce(values: &[Word], active: &[bool], w: Width) -> Word {
+        let leaves: Vec<Word> = values
+            .iter()
+            .zip(active)
+            .map(|(&v, &a)| if a { v } else { Word::ZERO })
+            .collect();
+        tree_reduce(&leaves, Word::ZERO, |a, b| a.saturating_add_signed(b, w))
+    }
+
+    /// Reference: the exact (unbounded) signed sum, clamped once at the
+    /// end. Differs from [`SumUnit::reduce`] only when intermediate nodes
+    /// saturate; the tests characterize exactly when the two agree.
+    pub fn exact_clamped(values: &[Word], active: &[bool], w: Width) -> Word {
+        let s: i64 = values
+            .iter()
+            .zip(active)
+            .filter(|(_, &a)| a)
+            .map(|(v, _)| v.to_i64(w))
+            .sum();
+        Word::from_i64(s.clamp(w.smin(), w.smax()), w)
+    }
+
+    /// Identity check helper.
+    pub fn identity() -> Word {
+        ReduceOp::Sum.identity(Width::W32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn words(vs: &[i64], w: Width) -> Vec<Word> {
+        vs.iter().map(|&v| Word::from_i64(v, w)).collect()
+    }
+
+    #[test]
+    fn small_sums_are_exact() {
+        let w = Width::W8;
+        let vals = words(&[1, 2, 3, 4, 5], w);
+        let act = [true; 5];
+        assert_eq!(SumUnit::reduce(&vals, &act, w).to_i64(w), 15);
+        assert_eq!(SumUnit::exact_clamped(&vals, &act, w).to_i64(w), 15);
+    }
+
+    #[test]
+    fn saturates_positive_and_negative() {
+        let w = Width::W8;
+        let vals = words(&[100, 100, 100], w);
+        assert_eq!(SumUnit::reduce(&vals, &[true; 3], w).to_i64(w), 127);
+        let vals = words(&[-100, -100, -100], w);
+        assert_eq!(SumUnit::reduce(&vals, &[true; 3], w).to_i64(w), -128);
+    }
+
+    #[test]
+    fn inactive_pes_contribute_zero() {
+        let w = Width::W16;
+        let vals = words(&[1000, 2000, 3000], w);
+        assert_eq!(SumUnit::reduce(&vals, &[true, false, true], w).to_i64(w), 4000);
+        assert_eq!(SumUnit::reduce(&vals, &[false; 3], w).to_i64(w), 0);
+    }
+
+    #[test]
+    fn tree_saturation_is_sticky() {
+        // (100 + 100) saturates to 127 at the first node; adding -100
+        // afterwards gives 27, whereas the exact sum 100 would not clamp.
+        // This documents the hardware's node-by-node saturation semantics.
+        let w = Width::W8;
+        let vals = words(&[100, 100, -100, 0], w);
+        assert_eq!(SumUnit::reduce(&vals, &[true; 4], w).to_i64(w), 27);
+        assert_eq!(SumUnit::exact_clamped(&vals, &[true; 4], w).to_i64(w), 100);
+    }
+
+    proptest! {
+        /// When all inputs share one sign, node saturation and final
+        /// clamping agree.
+        #[test]
+        fn same_sign_matches_exact(
+            raw in proptest::collection::vec(0i64..=127, 1..64),
+        ) {
+            let w = Width::W8;
+            let vals = words(&raw, w);
+            let act = vec![true; vals.len()];
+            prop_assert_eq!(
+                SumUnit::reduce(&vals, &act, w),
+                SumUnit::exact_clamped(&vals, &act, w)
+            );
+        }
+
+        /// If the exact sum of absolute values fits in the width, no node
+        /// can saturate, so the tree sum is exact.
+        #[test]
+        fn no_overflow_is_exact(
+            raw in proptest::collection::vec(-40i64..=40, 1..3),
+        ) {
+            let w = Width::W8;
+            let vals = words(&raw, w);
+            let act = vec![true; vals.len()];
+            let abs_sum: i64 = raw.iter().map(|v| v.abs()).sum();
+            prop_assume!(abs_sum <= 127);
+            prop_assert_eq!(
+                SumUnit::reduce(&vals, &act, w).to_i64(w),
+                raw.iter().sum::<i64>()
+            );
+        }
+    }
+}

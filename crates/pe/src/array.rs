@@ -1,0 +1,600 @@
+//! The PE array: whole-array functional operations used by the instruction
+//! executors in `asc-core`.
+//!
+//! Every parallel operation takes the issuing *thread* (register files are
+//! split per thread) and an *active* predicate derived from the
+//! instruction's mask flag. Inactive PEs are completely unaffected — the
+//! defining semantics of associative masked execution.
+//!
+//! For large arrays (the scaling experiments run up to 2¹⁶ PEs) the
+//! per-PE loop runs under Rayon; below [`ArrayConfig::parallel_threshold`]
+//! it runs serially, and both paths produce identical results.
+
+use asc_isa::{AluOp, CmpOp, FlagOp, Mask, PFlag, PReg, Width, Word};
+use rayon::prelude::*;
+
+use crate::memory::{LocalMemory, MemFault};
+use crate::regfile::{FlagFile, RegFile};
+
+/// Geometry of the PE array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArrayConfig {
+    /// Number of PEs.
+    pub num_pes: usize,
+    /// Hardware thread contexts (register files are split this many ways).
+    pub threads: usize,
+    /// General-purpose registers per thread (16 in this ISA).
+    pub gprs: usize,
+    /// Flag registers per thread (8 in this ISA).
+    pub flags: usize,
+    /// Local memory words per PE.
+    pub lmem_words: usize,
+    /// Datapath width.
+    pub width: Width,
+    /// Use Rayon when `num_pes` is at least this large.
+    pub parallel_threshold: usize,
+}
+
+impl ArrayConfig {
+    /// The FPGA prototype's array: 16 PEs, 16 threads, 1 KB local memory
+    /// (512 16-bit words).
+    pub fn prototype() -> ArrayConfig {
+        ArrayConfig {
+            num_pes: 16,
+            threads: 16,
+            gprs: asc_isa::NUM_GPRS,
+            flags: asc_isa::NUM_FLAGS,
+            lmem_words: 512,
+            width: Width::W16,
+            parallel_threshold: 4096,
+        }
+    }
+}
+
+/// Second operand of a parallel ALU/compare operation: another parallel
+/// register, a broadcast scalar, or an immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Src {
+    /// A parallel register (per-PE value).
+    Reg(PReg),
+    /// A broadcast scalar value (already resolved by the control unit).
+    Scalar(Word),
+    /// An immediate (sign-extended by the decoder).
+    Imm(Word),
+}
+
+/// A memory fault attributed to a PE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeFault {
+    /// Which PE faulted (lowest index if several).
+    pub pe: usize,
+    /// The fault.
+    pub fault: MemFault,
+}
+
+impl std::fmt::Display for PeFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PE {}: {}", self.pe, self.fault)
+    }
+}
+
+impl std::error::Error for PeFault {}
+
+/// One processing element's architectural state.
+#[derive(Debug, Clone)]
+struct Pe {
+    lmem: LocalMemory,
+    gprs: RegFile,
+    flags: FlagFile,
+}
+
+/// The PE array.
+#[derive(Debug, Clone)]
+pub struct PeArray {
+    cfg: ArrayConfig,
+    pes: Vec<Pe>,
+}
+
+impl PeArray {
+    /// Allocate a zeroed array.
+    pub fn new(cfg: ArrayConfig) -> PeArray {
+        let pe = Pe {
+            lmem: LocalMemory::new(cfg.lmem_words),
+            gprs: RegFile::new(cfg.threads, cfg.gprs),
+            flags: FlagFile::new(cfg.threads, cfg.flags),
+        };
+        PeArray { cfg, pes: vec![pe; cfg.num_pes] }
+    }
+
+    /// Array geometry.
+    pub fn config(&self) -> &ArrayConfig {
+        &self.cfg
+    }
+
+    /// Number of PEs.
+    pub fn num_pes(&self) -> usize {
+        self.cfg.num_pes
+    }
+
+    fn width(&self) -> Width {
+        self.cfg.width
+    }
+
+    /// The active vector for a thread and mask: `active[i]` is true iff PE
+    /// `i` participates.
+    pub fn active(&self, thread: usize, mask: Mask) -> Vec<bool> {
+        match mask {
+            Mask::All => vec![true; self.cfg.num_pes],
+            Mask::Flag(f) => self.flag_column(thread, f.index()),
+        }
+    }
+
+    fn apply<F>(&mut self, f: F)
+    where
+        F: Fn(usize, &mut Pe) + Sync + Send,
+    {
+        if self.pes.len() >= self.cfg.parallel_threshold {
+            self.pes.par_iter_mut().enumerate().for_each(|(i, pe)| f(i, pe));
+        } else {
+            for (i, pe) in self.pes.iter_mut().enumerate() {
+                f(i, pe);
+            }
+        }
+    }
+
+    fn try_apply<F>(&mut self, f: F) -> Result<(), PeFault>
+    where
+        F: Fn(usize, &mut Pe) -> Result<(), MemFault> + Sync + Send,
+    {
+        if self.pes.len() >= self.cfg.parallel_threshold {
+            let fault = self
+                .pes
+                .par_iter_mut()
+                .enumerate()
+                .filter_map(|(i, pe)| f(i, pe).err().map(|fault| PeFault { pe: i, fault }))
+                .min_by_key(|pf| pf.pe);
+            match fault {
+                Some(pf) => Err(pf),
+                None => Ok(()),
+            }
+        } else {
+            for (i, pe) in self.pes.iter_mut().enumerate() {
+                f(i, pe).map_err(|fault| PeFault { pe: i, fault })?;
+            }
+            Ok(())
+        }
+    }
+
+    fn src_value(pe: &Pe, thread: usize, src: Src) -> Word {
+        match src {
+            Src::Reg(r) => pe.gprs.read(thread, r.index()),
+            Src::Scalar(v) | Src::Imm(v) => v,
+        }
+    }
+
+    /// Parallel ALU operation: `pd = pa op src` in active PEs.
+    pub fn alu(
+        &mut self,
+        thread: usize,
+        op: AluOp,
+        pd: PReg,
+        pa: PReg,
+        src: Src,
+        active: &[bool],
+    ) {
+        let w = self.width();
+        self.apply(|i, pe| {
+            if active[i] {
+                let a = pe.gprs.read(thread, pa.index());
+                let b = Self::src_value(pe, thread, src);
+                pe.gprs.write(thread, pd.index(), op.apply(a, b, w));
+            }
+        });
+    }
+
+    /// Parallel comparison (associative search): `fd = pa cmp src` in
+    /// active PEs.
+    pub fn cmp(
+        &mut self,
+        thread: usize,
+        op: CmpOp,
+        fd: PFlag,
+        pa: PReg,
+        src: Src,
+        active: &[bool],
+    ) {
+        let w = self.width();
+        self.apply(|i, pe| {
+            if active[i] {
+                let a = pe.gprs.read(thread, pa.index());
+                let b = Self::src_value(pe, thread, src);
+                pe.flags.write(thread, fd.index(), op.apply(a, b, w));
+            }
+        });
+    }
+
+    /// Parallel flag logic: `fd = fa op fb` in active PEs.
+    pub fn flag_op(
+        &mut self,
+        thread: usize,
+        op: FlagOp,
+        fd: PFlag,
+        fa: PFlag,
+        fb: PFlag,
+        active: &[bool],
+    ) {
+        self.apply(|i, pe| {
+            if active[i] {
+                let a = pe.flags.read(thread, fa.index());
+                let b = pe.flags.read(thread, fb.index());
+                pe.flags.write(thread, fd.index(), op.apply(a, b));
+            }
+        });
+    }
+
+    /// Effective address: unsigned base register plus sign-extended offset,
+    /// computed at full precision (the hardware address path is wider than
+    /// the data path so a 1 KB local memory stays addressable).
+    fn effective_addr(base: Word, off: i32) -> i64 {
+        base.to_u32() as i64 + off as i64
+    }
+
+    /// Parallel load: `pd = lmem[pa + off]` in active PEs.
+    pub fn load(
+        &mut self,
+        thread: usize,
+        pd: PReg,
+        base: PReg,
+        off: i32,
+        active: &[bool],
+    ) -> Result<(), PeFault> {
+        self.try_apply(|i, pe| {
+            if active[i] {
+                let b = pe.gprs.read(thread, base.index());
+                let ea = Self::effective_addr(b, off);
+                let addr = u32::try_from(ea).map_err(|_| MemFault {
+                    addr: ea as u32,
+                    capacity: pe.lmem.capacity() as u32,
+                    is_store: false,
+                })?;
+                let v = pe.lmem.read(addr)?;
+                pe.gprs.write(thread, pd.index(), v);
+            }
+            Ok(())
+        })
+    }
+
+    /// Parallel store: `lmem[pa + off] = ps` in active PEs.
+    pub fn store(
+        &mut self,
+        thread: usize,
+        ps: PReg,
+        base: PReg,
+        off: i32,
+        active: &[bool],
+    ) -> Result<(), PeFault> {
+        self.try_apply(|i, pe| {
+            if active[i] {
+                let b = pe.gprs.read(thread, base.index());
+                let ea = Self::effective_addr(b, off);
+                let addr = u32::try_from(ea).map_err(|_| MemFault {
+                    addr: ea as u32,
+                    capacity: pe.lmem.capacity() as u32,
+                    is_store: true,
+                })?;
+                let v = pe.gprs.read(thread, ps.index());
+                pe.lmem.write(addr, v)?;
+            }
+            Ok(())
+        })
+    }
+
+    /// Write each PE's index (truncated to the width) into `pd`.
+    pub fn pidx(&mut self, thread: usize, pd: PReg, active: &[bool]) {
+        let w = self.width();
+        self.apply(|i, pe| {
+            if active[i] {
+                pe.gprs.write(thread, pd.index(), Word::new(i as u32, w));
+            }
+        });
+    }
+
+    /// Inter-PE shift through the interconnection network:
+    /// `pd[i] = pa[i - dist]` for active PEs, zero shifted in at the
+    /// boundary. The column is latched before any write, so `pd == pa` is
+    /// well defined.
+    pub fn shift(&mut self, thread: usize, pd: PReg, pa: PReg, dist: i32, active: &[bool]) {
+        let col = self.gpr_column(thread, pa.index());
+        let n = col.len() as i64;
+        self.apply(|i, pe| {
+            if active[i] {
+                let src = i as i64 - dist as i64;
+                let v = if (0..n).contains(&src) { col[src as usize] } else { Word::ZERO };
+                pe.gprs.write(thread, pd.index(), v);
+            }
+        });
+    }
+
+    /// Broadcast a scalar into `pd` of active PEs.
+    pub fn movs(&mut self, thread: usize, pd: PReg, value: Word, active: &[bool]) {
+        self.apply(|i, pe| {
+            if active[i] {
+                pe.gprs.write(thread, pd.index(), value);
+            }
+        });
+    }
+
+    /// Write a whole flag column (the multiple response resolver's parallel
+    /// result). Only active PEs are updated.
+    pub fn write_flag_column(
+        &mut self,
+        thread: usize,
+        fd: PFlag,
+        values: &[bool],
+        active: &[bool],
+    ) {
+        self.apply(|i, pe| {
+            if active[i] {
+                pe.flags.write(thread, fd.index(), values[i]);
+            }
+        });
+    }
+
+    /// Snapshot a GPR across all PEs (input to the reduction network).
+    pub fn gpr_column(&self, thread: usize, reg: usize) -> Vec<Word> {
+        self.pes.iter().map(|pe| pe.gprs.read(thread, reg)).collect()
+    }
+
+    /// Snapshot a flag across all PEs.
+    pub fn flag_column(&self, thread: usize, reg: usize) -> Vec<bool> {
+        self.pes.iter().map(|pe| pe.flags.read(thread, reg)).collect()
+    }
+
+    /// Clear one thread's registers and flags in every PE (thread
+    /// allocation).
+    pub fn clear_thread(&mut self, thread: usize) {
+        self.apply(|_, pe| {
+            pe.gprs.clear_thread(thread);
+            pe.flags.clear_thread(thread);
+        });
+    }
+
+    // ---------------------------------------------------------- host API
+
+    /// Host access to one PE's local memory.
+    pub fn lmem(&self, pe: usize) -> &LocalMemory {
+        &self.pes[pe].lmem
+    }
+
+    /// Host mutable access to one PE's local memory (data distribution —
+    /// the simulator's stand-in for off-chip memory traffic).
+    pub fn lmem_mut(&mut self, pe: usize) -> &mut LocalMemory {
+        &mut self.pes[pe].lmem
+    }
+
+    /// Host read of one PE's GPR.
+    pub fn gpr(&self, pe: usize, thread: usize, reg: usize) -> Word {
+        self.pes[pe].gprs.read(thread, reg)
+    }
+
+    /// Host write of one PE's GPR.
+    pub fn set_gpr(&mut self, pe: usize, thread: usize, reg: usize, v: Word) {
+        self.pes[pe].gprs.write(thread, reg, v);
+    }
+
+    /// Host read of one PE's flag.
+    pub fn flag(&self, pe: usize, thread: usize, reg: usize) -> bool {
+        self.pes[pe].flags.read(thread, reg)
+    }
+
+    /// Host write of one PE's flag.
+    pub fn set_flag(&mut self, pe: usize, thread: usize, reg: usize, v: bool) {
+        self.pes[pe].flags.write(thread, reg, v);
+    }
+
+    /// Distribute one value per PE into local memory at `addr` (column
+    /// layout: `lmem[addr]` of PE `i` = `data[i]`).
+    pub fn scatter_column(&mut self, addr: u32, data: &[Word]) -> Result<(), PeFault> {
+        assert_eq!(data.len(), self.cfg.num_pes, "one value per PE");
+        for (i, pe) in self.pes.iter_mut().enumerate() {
+            pe.lmem.write(addr, data[i]).map_err(|fault| PeFault { pe: i, fault })?;
+        }
+        Ok(())
+    }
+
+    /// Gather `lmem[addr]` from every PE.
+    pub fn gather_column(&self, addr: u32) -> Result<Vec<Word>, PeFault> {
+        self.pes
+            .iter()
+            .enumerate()
+            .map(|(i, pe)| pe.lmem.read(addr).map_err(|fault| PeFault { pe: i, fault }))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> PeArray {
+        PeArray::new(ArrayConfig {
+            num_pes: 8,
+            threads: 2,
+            gprs: 16,
+            flags: 8,
+            lmem_words: 32,
+            width: Width::W16,
+            parallel_threshold: 4096,
+        })
+    }
+
+    fn p(i: u8) -> PReg {
+        PReg::from_index(i)
+    }
+    fn pf(i: u8) -> PFlag {
+        PFlag::from_index(i)
+    }
+
+    #[test]
+    fn alu_masked() {
+        let mut a = small();
+        a.pidx(0, p(1), &vec![true; 8]);
+        // add 10 only where index >= 4
+        let active: Vec<bool> = (0..8).map(|i| i >= 4).collect();
+        a.alu(0, AluOp::Add, p(2), p(1), Src::Imm(Word(10)), &active);
+        for i in 0..8 {
+            let got = a.gpr(i, 0, 2).to_u32();
+            if i >= 4 {
+                assert_eq!(got, i as u32 + 10);
+            } else {
+                assert_eq!(got, 0, "inactive PE must be untouched");
+            }
+        }
+    }
+
+    #[test]
+    fn cmp_writes_flags() {
+        let mut a = small();
+        a.pidx(0, p(1), &vec![true; 8]);
+        a.cmp(0, CmpOp::Lt, pf(1), p(1), Src::Scalar(Word(3)), &vec![true; 8]);
+        assert_eq!(
+            a.flag_column(0, 1),
+            vec![true, true, true, false, false, false, false, false]
+        );
+    }
+
+    #[test]
+    fn threads_have_separate_registers() {
+        let mut a = small();
+        a.movs(0, p(5), Word(111), &vec![true; 8]);
+        a.movs(1, p(5), Word(222), &vec![true; 8]);
+        assert_eq!(a.gpr(3, 0, 5), Word(111));
+        assert_eq!(a.gpr(3, 1, 5), Word(222));
+    }
+
+    #[test]
+    fn load_store_round_trip() {
+        let mut a = small();
+        a.pidx(0, p(1), &vec![true; 8]);
+        a.alu(0, AluOp::Mul, p(2), p(1), Src::Imm(Word(3)), &vec![true; 8]);
+        a.store(0, p(2), p(1), 4, &vec![true; 8]).unwrap(); // lmem[i+4] = 3i
+        a.load(0, p(3), p(1), 4, &vec![true; 8]).unwrap();
+        for i in 0..8u32 {
+            assert_eq!(a.gpr(i as usize, 0, 3).to_u32(), 3 * i);
+        }
+    }
+
+    #[test]
+    fn store_fault_reports_lowest_pe() {
+        let mut a = small();
+        a.pidx(0, p(1), &vec![true; 8]);
+        // address = idx + 30 → PEs 2.. fault (capacity 32)
+        let e = a.store(0, p(1), p(1), 30, &vec![true; 8]).unwrap_err();
+        assert_eq!(e.pe, 2);
+        assert!(e.fault.is_store);
+        assert_eq!(e.fault.addr, 32);
+    }
+
+    #[test]
+    fn masked_pes_cannot_fault() {
+        let mut a = small();
+        a.pidx(0, p(1), &vec![true; 8]);
+        let active: Vec<bool> = (0..8).map(|i| i < 2).collect();
+        a.store(0, p(1), p(1), 30, &active).unwrap();
+    }
+
+    #[test]
+    fn scatter_gather() {
+        let mut a = small();
+        let data: Vec<Word> = (0..8).map(|i| Word(i * i)).collect();
+        a.scatter_column(7, &data).unwrap();
+        assert_eq!(a.gather_column(7).unwrap(), data);
+        assert!(a.scatter_column(32, &data).is_err());
+    }
+
+    #[test]
+    fn rayon_path_matches_serial() {
+        let mk = |threshold| {
+            let mut a = PeArray::new(ArrayConfig {
+                num_pes: 100,
+                threads: 1,
+                gprs: 16,
+                flags: 8,
+                lmem_words: 8,
+                width: Width::W8,
+                parallel_threshold: threshold,
+            });
+            let all = vec![true; 100];
+            a.pidx(0, p(1), &all);
+            a.alu(0, AluOp::Mul, p(2), p(1), Src::Reg(p(1)), &all);
+            a.cmp(0, CmpOp::LtU, pf(1), p(2), Src::Imm(Word(50)), &all);
+            (a.gpr_column(0, 2), a.flag_column(0, 1))
+        };
+        assert_eq!(mk(usize::MAX), mk(1));
+    }
+
+    #[test]
+    fn clear_thread_resets_state() {
+        let mut a = small();
+        a.movs(0, p(4), Word(9), &vec![true; 8]);
+        a.cmp(0, CmpOp::Eq, pf(2), p(4), Src::Imm(Word(9)), &vec![true; 8]);
+        a.clear_thread(0);
+        assert_eq!(a.gpr(0, 0, 4), Word::ZERO);
+        assert!(!a.flag(0, 0, 2));
+    }
+
+    #[test]
+    fn shift_moves_values_between_pes() {
+        let mut a = small();
+        let all = vec![true; 8];
+        a.pidx(0, p(1), &all);
+        // shift right by one: pd[i] = pa[i-1]
+        a.shift(0, p(2), p(1), 1, &all);
+        assert_eq!(
+            a.gpr_column(0, 2).iter().map(|w| w.to_u32()).collect::<Vec<_>>(),
+            vec![0, 0, 1, 2, 3, 4, 5, 6]
+        );
+        // shift left by two: pd[i] = pa[i+2]
+        a.shift(0, p(3), p(1), -2, &all);
+        assert_eq!(
+            a.gpr_column(0, 3).iter().map(|w| w.to_u32()).collect::<Vec<_>>(),
+            vec![2, 3, 4, 5, 6, 7, 0, 0]
+        );
+    }
+
+    #[test]
+    fn shift_in_place_is_well_defined() {
+        let mut a = small();
+        let all = vec![true; 8];
+        a.pidx(0, p(1), &all);
+        a.shift(0, p(1), p(1), 1, &all);
+        assert_eq!(
+            a.gpr_column(0, 1).iter().map(|w| w.to_u32()).collect::<Vec<_>>(),
+            vec![0, 0, 1, 2, 3, 4, 5, 6],
+            "source column latched before writes"
+        );
+    }
+
+    #[test]
+    fn shift_respects_mask() {
+        let mut a = small();
+        let all = vec![true; 8];
+        a.pidx(0, p(1), &all);
+        let active: Vec<bool> = (0..8).map(|i| i % 2 == 0).collect();
+        a.shift(0, p(2), p(1), 1, &active);
+        let col: Vec<u32> = a.gpr_column(0, 2).iter().map(|w| w.to_u32()).collect();
+        assert_eq!(col, vec![0, 0, 1, 0, 3, 0, 5, 0]);
+    }
+
+    #[test]
+    fn write_flag_column_respects_mask() {
+        let mut a = small();
+        let vals = vec![true; 8];
+        let active: Vec<bool> = (0..8).map(|i| i % 2 == 0).collect();
+        a.write_flag_column(0, pf(3), &vals, &active);
+        assert_eq!(
+            a.flag_column(0, 3),
+            vec![true, false, true, false, true, false, true, false]
+        );
+    }
+}

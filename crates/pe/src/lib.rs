@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! # asc-pe — the processing element array
+//!
+//! Each PE of the Multithreaded ASC Processor (Section 6.2 of the paper)
+//! consists of
+//!
+//! * a small **local memory** acting as a programmer/compiler-managed
+//!   cache, shared between threads at the hardware level (1 KB in the
+//!   prototype);
+//! * a **general-purpose register file**, *split* between threads so a
+//!   thread can only access its own registers;
+//! * a **flag register file**, likewise split between threads;
+//! * an **ALU** (one operation per cycle, latency one, fully forwarded);
+//! * an optional **multiplier** (fast pipelined, or a slower sequential
+//!   unit that only one thread can use at a time);
+//! * an optional sequential **divider**.
+//!
+//! This crate implements the functional state and the structural occupancy
+//! model of the sequential units; pipeline timing lives in `asc-core`.
+//! Whole-array operations go through [`PeArray`], which transparently uses
+//! Rayon for large arrays (the scaling experiments run up to 2¹⁶ PEs).
+
+pub mod array;
+pub mod memory;
+pub mod muldiv;
+pub mod regfile;
+
+pub use array::{ArrayConfig, PeArray, PeFault, Src};
+pub use memory::{LocalMemory, MemFault};
+pub use muldiv::{DividerConfig, MultiplierKind, SequentialUnit};
+pub use regfile::{FlagFile, RegFile};

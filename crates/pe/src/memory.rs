@@ -1,0 +1,141 @@
+//! PE local memory: a small word-addressed scratchpad ("one or more block
+//! RAMs" in the FPGA prototype; 1 KB per PE). Shared between threads at the
+//! hardware level — software partitions it.
+//!
+//! Out-of-range accesses are a *fault*: the simulator reports them rather
+//! than silently wrapping, because a silent wrap hides kernel bugs that
+//! real block RAM addressing would expose at a different PE count.
+
+use asc_isa::Word;
+
+/// An out-of-range memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemFault {
+    /// The offending word address.
+    pub addr: u32,
+    /// Capacity of the memory in words.
+    pub capacity: u32,
+    /// True for a store, false for a load.
+    pub is_store: bool,
+}
+
+impl std::fmt::Display for MemFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} address {} out of range (capacity {} words)",
+            if self.is_store { "store" } else { "load" },
+            self.addr,
+            self.capacity
+        )
+    }
+}
+
+impl std::error::Error for MemFault {}
+
+/// A word-addressed memory (used for PE local memories and for the control
+/// unit's scalar data memory).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalMemory {
+    words: Vec<Word>,
+}
+
+impl LocalMemory {
+    /// Allocate a zeroed memory of `capacity` words.
+    pub fn new(capacity: usize) -> LocalMemory {
+        LocalMemory { words: vec![Word::ZERO; capacity] }
+    }
+
+    /// Capacity in words.
+    pub fn capacity(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Load the word at `addr`.
+    pub fn read(&self, addr: u32) -> Result<Word, MemFault> {
+        self.words.get(addr as usize).copied().ok_or(MemFault {
+            addr,
+            capacity: self.words.len() as u32,
+            is_store: false,
+        })
+    }
+
+    /// Store `value` at `addr`.
+    pub fn write(&mut self, addr: u32, value: Word) -> Result<(), MemFault> {
+        let cap = self.words.len() as u32;
+        match self.words.get_mut(addr as usize) {
+            Some(slot) => {
+                *slot = value;
+                Ok(())
+            }
+            None => Err(MemFault { addr, capacity: cap, is_store: true }),
+        }
+    }
+
+    /// Host-side bulk load starting at `base` (e.g. distributing a data set
+    /// across PE memories before a kernel runs — the simulator's stand-in
+    /// for the prototype's off-chip memory traffic).
+    pub fn load_slice(&mut self, base: usize, data: &[Word]) -> Result<(), MemFault> {
+        let end = base + data.len();
+        if end > self.words.len() {
+            return Err(MemFault {
+                addr: end as u32 - 1,
+                capacity: self.words.len() as u32,
+                is_store: true,
+            });
+        }
+        self.words[base..end].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Host-side view of the contents.
+    pub fn as_slice(&self) -> &[Word] {
+        &self.words
+    }
+
+    /// Reset all words to zero.
+    pub fn clear(&mut self) {
+        self.words.fill(Word::ZERO);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write() {
+        let mut m = LocalMemory::new(4);
+        m.write(2, Word(99)).unwrap();
+        assert_eq!(m.read(2).unwrap(), Word(99));
+        assert_eq!(m.read(0).unwrap(), Word::ZERO);
+    }
+
+    #[test]
+    fn faults_carry_details() {
+        let mut m = LocalMemory::new(4);
+        let e = m.read(4).unwrap_err();
+        assert_eq!(e, MemFault { addr: 4, capacity: 4, is_store: false });
+        let e = m.write(100, Word(1)).unwrap_err();
+        assert!(e.is_store);
+        assert_eq!(e.addr, 100);
+        assert!(e.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn bulk_load() {
+        let mut m = LocalMemory::new(8);
+        m.load_slice(2, &[Word(1), Word(2), Word(3)]).unwrap();
+        assert_eq!(m.read(2).unwrap(), Word(1));
+        assert_eq!(m.read(4).unwrap(), Word(3));
+        assert!(m.load_slice(6, &[Word(0); 3]).is_err());
+    }
+
+    #[test]
+    fn clear_zeroes() {
+        let mut m = LocalMemory::new(2);
+        m.write(0, Word(5)).unwrap();
+        m.clear();
+        assert_eq!(m.read(0).unwrap(), Word::ZERO);
+    }
+}

@@ -1,0 +1,144 @@
+//! Multiplier and divider configuration and the structural-hazard model of
+//! the sequential units.
+//!
+//! The multiplier "is optional and can be implemented in one of two ways":
+//! a fast, fully pipelined unit built from hard multiplier blocks, or a
+//! sequential unit that "uses fewer FPGA resources, but is slower and
+//! cannot be used by multiple threads simultaneously". The divider "is
+//! only available as a sequential unit", and "since division is an
+//! uncommon operation, structural hazards for the divider should not
+//! degrade performance significantly" — a claim experiment E11 tests.
+
+/// How the multiplier is implemented.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MultiplierKind {
+    /// No multiplier: `mul`/`mulh` are illegal instructions.
+    None,
+    /// Fully pipelined (hard multiplier blocks): initiation 1/cycle,
+    /// latency `latency` cycles.
+    Pipelined {
+        /// Result latency in cycles.
+        latency: u64,
+    },
+    /// Sequential (shift-add): occupies the unit for `cycles` cycles; only
+    /// one operation — from any thread — may be in flight.
+    Sequential {
+        /// Cycles per operation.
+        cycles: u64,
+    },
+}
+
+impl MultiplierKind {
+    /// Default pipelined multiplier (3-cycle, typical of FPGA hard-block
+    /// multipliers at this clock rate).
+    pub const DEFAULT_PIPELINED: MultiplierKind = MultiplierKind::Pipelined { latency: 3 };
+
+    /// Default sequential multiplier: one bit of the multiplier operand per
+    /// cycle (shift-add), so `width` cycles.
+    pub const fn default_sequential(width_bits: u32) -> MultiplierKind {
+        MultiplierKind::Sequential { cycles: width_bits as u64 }
+    }
+}
+
+/// Divider configuration: always sequential ("only available as a
+/// sequential unit"), or absent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DividerConfig {
+    /// No divider: `div`/`rem` are illegal instructions.
+    None,
+    /// Sequential restoring divider taking `cycles` cycles per operation.
+    Sequential {
+        /// Cycles per operation.
+        cycles: u64,
+    },
+}
+
+impl DividerConfig {
+    /// Default: one quotient bit per cycle plus setup — `width + 2` cycles.
+    pub const fn default_sequential(width_bits: u32) -> DividerConfig {
+        DividerConfig::Sequential { cycles: width_bits as u64 + 2 }
+    }
+}
+
+/// Occupancy tracker for a sequential (non-pipelined) functional unit: the
+/// structural hazard. One instance is shared by all threads.
+#[derive(Debug, Clone, Default)]
+pub struct SequentialUnit {
+    busy_until: u64,
+    /// Total cycles any issue was rejected because the unit was busy
+    /// (structural-hazard stall statistic).
+    pub busy_rejections: u64,
+}
+
+impl SequentialUnit {
+    /// New, idle unit.
+    pub fn new() -> SequentialUnit {
+        SequentialUnit::default()
+    }
+
+    /// Is the unit free at `cycle`?
+    pub fn is_free(&self, cycle: u64) -> bool {
+        cycle >= self.busy_until
+    }
+
+    /// Try to claim the unit at `cycle` for `duration` cycles. Returns the
+    /// completion cycle on success; `None` (and counts a rejection) if
+    /// busy.
+    pub fn try_claim(&mut self, cycle: u64, duration: u64) -> Option<u64> {
+        if self.is_free(cycle) {
+            self.busy_until = cycle + duration;
+            Some(self.busy_until)
+        } else {
+            self.busy_rejections += 1;
+            None
+        }
+    }
+
+    /// Cycle at which the unit becomes free.
+    pub fn free_at(&self) -> u64 {
+        self.busy_until
+    }
+
+    /// Reset to idle.
+    pub fn reset(&mut self) {
+        self.busy_until = 0;
+        self.busy_rejections = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claim_and_release() {
+        let mut u = SequentialUnit::new();
+        assert!(u.is_free(0));
+        assert_eq!(u.try_claim(0, 8), Some(8));
+        assert!(!u.is_free(7));
+        assert!(u.is_free(8));
+        assert_eq!(u.try_claim(3, 8), None);
+        assert_eq!(u.busy_rejections, 1);
+        assert_eq!(u.try_claim(8, 4), Some(12));
+    }
+
+    #[test]
+    fn defaults() {
+        assert_eq!(MultiplierKind::default_sequential(8), MultiplierKind::Sequential { cycles: 8 });
+        assert_eq!(
+            DividerConfig::default_sequential(8),
+            DividerConfig::Sequential { cycles: 10 }
+        );
+        assert_eq!(MultiplierKind::DEFAULT_PIPELINED, MultiplierKind::Pipelined { latency: 3 });
+    }
+
+    #[test]
+    fn reset() {
+        let mut u = SequentialUnit::new();
+        u.try_claim(0, 100);
+        u.try_claim(1, 1);
+        u.reset();
+        assert!(u.is_free(0));
+        assert_eq!(u.busy_rejections, 0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Per-thread register files. "The register file is split between threads
+//! at the hardware level, so that a thread can only access its own
+//! registers" — modelled as one backing array indexed by
+//! `thread * regs_per_thread + reg`, exactly like the block-RAM layout of
+//! the prototype. Register 0 of each GPR file is hardwired to zero.
+
+use asc_isa::Word;
+
+/// A general-purpose register file partitioned among hardware threads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegFile {
+    regs_per_thread: usize,
+    words: Vec<Word>,
+}
+
+impl RegFile {
+    /// Allocate for `threads` threads with `regs_per_thread` registers
+    /// each, all zero.
+    pub fn new(threads: usize, regs_per_thread: usize) -> RegFile {
+        RegFile { regs_per_thread, words: vec![Word::ZERO; threads * regs_per_thread] }
+    }
+
+    /// Read `reg` of `thread`. Register 0 always reads zero.
+    #[inline]
+    pub fn read(&self, thread: usize, reg: usize) -> Word {
+        if reg == 0 {
+            Word::ZERO
+        } else {
+            self.words[thread * self.regs_per_thread + reg]
+        }
+    }
+
+    /// Write `reg` of `thread`. Writes to register 0 are ignored.
+    #[inline]
+    pub fn write(&mut self, thread: usize, reg: usize, value: Word) {
+        if reg != 0 {
+            self.words[thread * self.regs_per_thread + reg] = value;
+        }
+    }
+
+    /// Zero every register of one thread (thread allocation reuses
+    /// contexts).
+    pub fn clear_thread(&mut self, thread: usize) {
+        let base = thread * self.regs_per_thread;
+        self.words[base..base + self.regs_per_thread].fill(Word::ZERO);
+    }
+
+    /// Registers per thread.
+    pub fn regs_per_thread(&self) -> usize {
+        self.regs_per_thread
+    }
+}
+
+/// A flag (1-bit) register file partitioned among hardware threads. Unlike
+/// the GPR file there is no hardwired-zero flag: `pf0`/`f0` are ordinary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlagFile {
+    flags_per_thread: usize,
+    bits: Vec<bool>,
+}
+
+impl FlagFile {
+    /// Allocate for `threads` threads with `flags_per_thread` flags each,
+    /// all clear.
+    pub fn new(threads: usize, flags_per_thread: usize) -> FlagFile {
+        FlagFile { flags_per_thread, bits: vec![false; threads * flags_per_thread] }
+    }
+
+    /// Read flag `reg` of `thread`.
+    #[inline]
+    pub fn read(&self, thread: usize, reg: usize) -> bool {
+        self.bits[thread * self.flags_per_thread + reg]
+    }
+
+    /// Write flag `reg` of `thread`.
+    #[inline]
+    pub fn write(&mut self, thread: usize, reg: usize, value: bool) {
+        self.bits[thread * self.flags_per_thread + reg] = value;
+    }
+
+    /// Clear every flag of one thread.
+    pub fn clear_thread(&mut self, thread: usize) {
+        let base = thread * self.flags_per_thread;
+        self.bits[base..base + self.flags_per_thread].fill(false);
+    }
+
+    /// Flags per thread.
+    pub fn flags_per_thread(&self) -> usize {
+        self.flags_per_thread
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threads_are_isolated() {
+        let mut rf = RegFile::new(4, 16);
+        rf.write(0, 3, Word(11));
+        rf.write(1, 3, Word(22));
+        assert_eq!(rf.read(0, 3), Word(11));
+        assert_eq!(rf.read(1, 3), Word(22));
+        assert_eq!(rf.read(2, 3), Word::ZERO);
+    }
+
+    #[test]
+    fn zero_register_semantics() {
+        let mut rf = RegFile::new(2, 16);
+        rf.write(0, 0, Word(42));
+        assert_eq!(rf.read(0, 0), Word::ZERO);
+    }
+
+    #[test]
+    fn clear_thread_only_touches_one_thread() {
+        let mut rf = RegFile::new(2, 8);
+        rf.write(0, 1, Word(1));
+        rf.write(1, 1, Word(2));
+        rf.clear_thread(0);
+        assert_eq!(rf.read(0, 1), Word::ZERO);
+        assert_eq!(rf.read(1, 1), Word(2));
+    }
+
+    #[test]
+    fn flags() {
+        let mut ff = FlagFile::new(2, 8);
+        ff.write(0, 7, true);
+        assert!(ff.read(0, 7));
+        assert!(!ff.read(1, 7));
+        ff.clear_thread(0);
+        assert!(!ff.read(0, 7));
+    }
+}

@@ -1,0 +1,47 @@
+//! Image statistics pipeline — the workload class the paper cites for the
+//! sum unit ("used in a number of image and video processing
+//! algorithms"): per-strip accumulation in the PEs, then global
+//! sum/min/max reductions, threshold counting, and a histogram built from
+//! repeated exact responder counts.
+//!
+//! ```text
+//! cargo run --example image_pipeline
+//! ```
+
+use asc::core::MachineConfig;
+use asc::kernels::image;
+
+fn main() {
+    // A synthetic 64x16 "image" with a bright band in the middle.
+    let (w, h) = (64usize, 16usize);
+    let pixels: Vec<i64> = (0..w * h)
+        .map(|i| {
+            let y = i / w;
+            if (6..10).contains(&y) {
+                20 + (i % 7) as i64
+            } else {
+                (i % 5) as i64
+            }
+        })
+        .collect();
+
+    let cfg = MachineConfig::new(256);
+    let stats = image::run(cfg, &pixels, 15).expect("runs");
+    let (sum, min, max, above) = image::reference(&pixels, 15, cfg.num_pes);
+    assert_eq!((stats.sum, stats.min, stats.max, stats.above_threshold), (sum, min, max, above));
+
+    println!("{}x{} image on {} PEs ({} pixels per PE)", w, h, cfg.num_pes, (w * h).div_ceil(256));
+    println!("  sum  = {}", stats.sum);
+    println!("  min  = {}, max = {}", stats.min, stats.max);
+    println!("  pixels > 15: {}  (the bright band)", stats.above_threshold);
+    println!("  simulated cycles: {}", stats.stats.cycles);
+
+    let (hist, hstats) =
+        image::histogram::run(cfg, &pixels[..256].to_vec(), 9, 27).expect("histogram runs");
+    assert_eq!(hist, image::histogram::reference(&pixels[..256], 9, 27));
+    println!("\nhistogram of the first row block (9 bins over [0,27)):");
+    for (b, count) in hist.iter().enumerate() {
+        println!("  [{:>2}..{:>2})  {:>3}  {}", b * 3, (b + 1) * 3, count, "#".repeat(*count as usize / 2));
+    }
+    println!("  histogram cycles: {}", hstats.cycles);
+}

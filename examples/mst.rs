@@ -1,0 +1,32 @@
+//! Minimum spanning tree with Prim's algorithm — the canonical
+//! associative-computing demonstration: one vertex per PE, each Prim step
+//! is a constant number of associative operations (masked RMIN → search →
+//! resolve → broadcast → masked PMIN), so the MST takes O(n) steps.
+//!
+//! ```text
+//! cargo run --example mst
+//! ```
+
+use asc::core::MachineConfig;
+use asc::kernels::mst;
+
+fn main() {
+    for n in [8usize, 16, 32, 48] {
+        let graph = mst::random_graph(n, 100, n as u64);
+        let cfg = MachineConfig::new(64);
+        let result = mst::run(cfg, &graph).expect("MST runs");
+        let expect = mst::reference(&graph);
+        assert_eq!(result.total_weight, expect, "simulator vs host Prim");
+        println!(
+            "n = {n:>2}: MST weight {:>4} (verified), {:>5} cycles, {:>4} instructions, {:.1} instr/vertex",
+            result.total_weight,
+            result.stats.cycles,
+            result.stats.issued,
+            result.stats.issued as f64 / n as f64,
+        );
+    }
+
+    println!();
+    println!("Instructions per vertex are ~constant: each Prim step is O(1)");
+    println!("associative operations regardless of graph size — the ASC claim.");
+}

@@ -1,0 +1,57 @@
+//! Quickstart: assemble a small associative program, run it on the
+//! prototype configuration (16 PEs, 16 threads, pipelined networks), and
+//! inspect results and pipeline statistics.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use asc::core::{Machine, MachineConfig};
+use asc::isa::{Width, Word};
+
+fn main() {
+    // One record per PE: find the maximum and who holds it, count how
+    // many PEs exceed a broadcast threshold.
+    let source = "
+        plw    p2, 0(p0)       ; load the data distributed below
+        pidx   p1              ; each PE learns its index
+        rmax   s1, p2          ; global maximum (pipelined reduction)
+        pceqs  pf1, p2, s1     ; associative search for the maximum
+        pfirst pf2, pf1        ; multiple response resolution
+        rget   s2, p1, pf2     ; index of the first responder
+        li     s3, 20
+        pfclr  pf3
+        pcles  pf3, p2, s3     ; data <= 20 ...
+        pfnot  pf3, pf3        ; ... inverted: data > 20
+        rcount s4, pf3         ; exact responder count
+        halt
+    ";
+
+    let program = asc::asm::assemble(source).expect("assembles");
+    println!("program: {} instructions", program.len());
+
+    let cfg = MachineConfig::prototype();
+    let mut m = Machine::with_program(cfg, &program).expect("fits imem");
+
+    // Distribute one value per PE (the host side of the prototype's
+    // off-chip memory path).
+    let data: [u32; 16] = [3, 17, 9, 42, 42, 1, 0, 5, 42, 7, 2, 2, 30, 41, 40, 39];
+    let words: Vec<Word> = data.iter().map(|&v| Word::new(v, Width::W16)).collect();
+    m.array_mut().scatter_column(0, &words).expect("fits local memory");
+
+    let stats = m.run(100_000).expect("runs to halt");
+
+    println!("max value    = {}", m.sreg(0, 1).to_u32());
+    println!("held by PE   = {}", m.sreg(0, 2).to_u32());
+    println!("values > 20  = {}", m.sreg(0, 4).to_u32());
+    println!();
+    println!("--- pipeline statistics ---");
+    print!("{}", stats.report());
+    println!();
+    println!("--- machine geometry ---");
+    let t = m.timing();
+    println!(
+        "{} PEs, broadcast latency b = {} cycles, reduction latency r = {} cycles",
+        cfg.num_pes, t.b, t.r
+    );
+}

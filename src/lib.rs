@@ -1,0 +1,62 @@
+#![warn(missing_docs)]
+
+//! # asc — the Multithreaded Associative SIMD Processor, in Rust
+//!
+//! A full reproduction of *"A Prototype Multithreaded Associative SIMD
+//! Processor"* (Schaffer & Walker, IPDPS/MPP 2007): a cycle-accurate
+//! simulator of an associative SIMD processor whose broadcast/reduction
+//! networks are fully pipelined and whose control unit is fine-grain
+//! multithreaded, plus the assembler, kernel library, FPGA resource model
+//! and experiment harness around it.
+//!
+//! ```
+//! use asc::core::{Machine, MachineConfig};
+//!
+//! // Find the maximum of the PE indices and which PE holds it.
+//! let program = asc::asm::assemble(
+//!     "        pidx   p1
+//!              rmax   s1, p1       ; global maximum
+//!              pceqs  pf1, p1, s1  ; associative search
+//!              pfirst pf2, pf1     ; multiple response resolution
+//!              rget   s2, p1, pf2  ; read out the responder
+//!              halt
+//!     ",
+//! ).unwrap();
+//!
+//! let mut m = Machine::with_program(MachineConfig::prototype(), &program).unwrap();
+//! let stats = m.run(10_000).unwrap();
+//! assert_eq!(m.sreg(0, 1).to_u32(), 15);
+//! assert_eq!(m.sreg(0, 2).to_u32(), 15);
+//! assert!(stats.ipc() > 0.0);
+//! ```
+//!
+//! ## Crate map
+//!
+//! * [`isa`] — instruction set: encodings, operand introspection.
+//! * [`asm`] — two-pass assembler and disassembler.
+//! * [`network`] — pipelined broadcast tree and the five reduction units.
+//! * [`pe`] — the PE array: local memories, per-thread register files,
+//!   ALU, multiplier/divider.
+//! * [`core`] — the machine: control unit, split pipeline, hazards,
+//!   fine-grain multithreading, baselines, figure renderers.
+//! * [`fpga`] — calibrated Cyclone II resource/clock model (Table 1).
+//! * [`kernels`] — associative algorithms: search, selection, responder
+//!   iteration, MST, string matching, image statistics, sorting, convex
+//!   hull, prefix sums.
+//! * [`lang`] — ASCL, a small associative language (`where`/`elsewhere`
+//!   masking, reductions) compiling to MTASC assembly.
+//!
+//! See `DESIGN.md` for the architecture inventory and `EXPERIMENTS.md`
+//! for the paper-versus-measured record of every table and figure.
+
+pub use asc_asm as asm;
+pub use asc_core as core;
+pub use asc_fpga as fpga;
+pub use asc_isa as isa;
+pub use asc_kernels as kernels;
+pub use asc_lang as lang;
+pub use asc_network as network;
+pub use asc_pe as pe;
+
+/// Crate version (workspace-wide).
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -1,0 +1,112 @@
+//! Differential tests through the public API: random programs travel
+//! source → assembler → encoder → decoder → both execution engines, and
+//! everything must agree.
+
+use asc::core::{Emulator, Machine, MachineConfig};
+use asc::isa::gen::random_straightline_instr;
+use asc::isa::{Instr, Width};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generate a random straight-line program whose memory accesses cannot
+/// fault on a W8 machine.
+fn random_program(rng: &mut StdRng, len: usize) -> Vec<Instr> {
+    let mut instrs = Vec::with_capacity(len + 1);
+    for _ in 0..len {
+        let mut i = random_straightline_instr(rng);
+        match &mut i {
+            Instr::Lw { off, .. } | Instr::Sw { off, .. } => *off = off.rem_euclid(128),
+            Instr::Plw { off, .. } | Instr::Psw { off, .. } => *off = off.rem_euclid(127),
+            _ => {}
+        }
+        instrs.push(i);
+    }
+    instrs.push(Instr::Halt);
+    instrs
+}
+
+#[test]
+fn assembler_text_path_equals_binary_path() {
+    // program as text → assemble → run  vs  program as words → run
+    let mut rng = StdRng::seed_from_u64(99);
+    for _ in 0..10 {
+        let instrs = random_program(&mut rng, 40);
+        let text: String = instrs.iter().map(|i| asc::asm::disassemble(i) + "\n").collect();
+        let program = asc::asm::assemble(&text).unwrap();
+        assert_eq!(program.instrs, instrs);
+
+        let cfg = MachineConfig::new(8).with_width(Width::W8).single_threaded();
+        let mut via_text = Machine::with_program(cfg, &program).unwrap();
+        via_text.run(1_000_000).unwrap();
+
+        let words: Vec<u32> = instrs.iter().map(asc::isa::encode).collect();
+        let mut via_words = Machine::new(cfg);
+        via_words.load_words(&words).unwrap();
+        via_words.run(1_000_000).unwrap();
+
+        for r in 0..16 {
+            assert_eq!(via_text.sreg(0, r), via_words.sreg(0, r));
+        }
+    }
+}
+
+#[test]
+fn timing_and_functional_engines_agree_via_public_api() {
+    let mut rng = StdRng::seed_from_u64(0xD1FF);
+    for trial in 0..15 {
+        let len = rng.random_range(10..80);
+        let instrs = random_program(&mut rng, len);
+        let words: Vec<u32> = instrs.iter().map(asc::isa::encode).collect();
+        let cfg = MachineConfig::new(16).with_width(Width::W8).single_threaded();
+
+        let mut machine = Machine::new(cfg);
+        machine.load_words(&words).unwrap();
+        let stats = machine.run(10_000_000).unwrap();
+
+        let mut emu = Emulator::new(cfg);
+        emu.machine_mut().load_words(&words).unwrap();
+        let executed = emu.run(10_000_000).unwrap();
+
+        // the timing machine issued exactly as many instructions as the
+        // emulator executed
+        assert_eq!(stats.issued, executed, "trial {trial}");
+        // and cycle count ≥ instruction count (single issue)
+        assert!(stats.cycles >= stats.issued);
+
+        for pe in 0..16 {
+            for reg in 0..16 {
+                assert_eq!(
+                    machine.array().gpr(pe, 0, reg),
+                    emu.array().gpr(pe, 0, reg),
+                    "trial {trial} PE {pe} p{reg}"
+                );
+            }
+        }
+        for reg in 0..16 {
+            assert_eq!(machine.sreg(0, reg), emu.sreg(0, reg), "trial {trial} s{reg}");
+        }
+    }
+}
+
+#[test]
+fn timing_is_schedule_invariant_for_functional_results() {
+    // same program on fine-grain vs coarse-grain scheduling: different
+    // cycle counts, identical architectural results (single thread means
+    // the schedule cannot change semantics)
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    let instrs = random_program(&mut rng, 60);
+    let words: Vec<u32> = instrs.iter().map(asc::isa::encode).collect();
+
+    let base = MachineConfig::new(8).with_width(Width::W8).single_threaded();
+    let mut fine = Machine::new(base);
+    fine.load_words(&words).unwrap();
+    fine.run(10_000_000).unwrap();
+
+    let mut coarse = Machine::new(base.coarse_grain(4));
+    coarse.load_words(&words).unwrap();
+    coarse.run(10_000_000).unwrap();
+
+    for reg in 0..16 {
+        assert_eq!(fine.sreg(0, reg), coarse.sreg(0, reg));
+    }
+}

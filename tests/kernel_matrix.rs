@@ -1,0 +1,139 @@
+//! Portability matrix: the kernel suite must produce correct results on
+//! every machine shape — PE counts, widths, arities, thread counts,
+//! scheduler policies, fetch models. Correctness must never depend on
+//! timing configuration.
+
+use asc::core::MachineConfig;
+use asc::isa::Width;
+use asc::kernels::{batch, hull, mst, prefix, search, select, sort, stencil, string_match, tracker};
+
+fn configs() -> Vec<(String, MachineConfig)> {
+    vec![
+        ("default-64".into(), MachineConfig::new(64)),
+        ("binary-tree".into(), MachineConfig::new(64).with_arity(2)),
+        ("wide-tree".into(), MachineConfig::new(64).with_arity(16)),
+        ("single-thread".into(), MachineConfig::new(64).single_threaded()),
+        ("coarse-grain".into(), MachineConfig::new(64).coarse_grain(4)),
+        ("no-forwarding".into(), MachineConfig::new(64).without_forwarding()),
+        ("finite-fetch".into(), MachineConfig::new(64).with_fetch_buffers(2)),
+        ("w32".into(), MachineConfig::new(64).with_width(Width::W32)),
+        ("big-array".into(), MachineConfig::new(256)),
+    ]
+}
+
+#[test]
+fn search_correct_on_every_config() {
+    let records: Vec<(i64, i64)> = (0..48).map(|i| ((i * 7) % 12, 100 + i)).collect();
+    let expect = search::reference(&records, 5);
+    for (name, cfg) in configs() {
+        let r = search::run(cfg, &records, 5).unwrap();
+        assert_eq!((r.matches, r.first_value, r.first_index), expect, "{name}");
+    }
+}
+
+#[test]
+fn select_correct_on_every_config() {
+    let values: Vec<i64> = (0..48).map(|i| ((i * 37) % 101) - 50).collect();
+    let (max, argmax, min, argmin) = select::reference(&values);
+    for (name, cfg) in configs() {
+        let r = select::run(cfg, &values).unwrap();
+        assert_eq!((r.max, r.argmax, r.min, r.argmin), (max, argmax, min, argmin), "{name}");
+    }
+}
+
+#[test]
+fn mst_correct_on_every_config() {
+    let g = mst::random_graph(24, 60, 3);
+    let expect = mst::reference(&g);
+    for (name, cfg) in configs() {
+        let r = mst::run(cfg, &g).unwrap();
+        assert_eq!(r.total_weight, expect, "{name}");
+    }
+}
+
+#[test]
+fn sort_correct_on_every_config() {
+    let values: Vec<i64> = (0..40).map(|i| ((i * 53) % 97) - 48).collect();
+    let expect = sort::reference(&values);
+    for (name, cfg) in configs() {
+        let r = sort::run(cfg, &values).unwrap();
+        assert_eq!(r.sorted, expect, "{name}");
+    }
+}
+
+#[test]
+fn hull_correct_on_every_config() {
+    let points: Vec<(i64, i64)> = (0..30)
+        .map(|i| (((i * 17) % 41) as i64 - 20, ((i * 29) % 37) as i64 - 18))
+        .collect();
+    let expect = hull::reference(&points);
+    for (name, cfg) in configs() {
+        let r = hull::run(cfg, &points).unwrap();
+        assert_eq!(r.on_hull, expect, "{name}");
+    }
+}
+
+#[test]
+fn interconnect_kernels_correct_on_every_config() {
+    let values: Vec<i64> = (0..40).map(|i| (i % 9) - 4).collect();
+    let scan_expect = prefix::reference(&values);
+    let stencil_expect = stencil::reference(&values, 2);
+    for (name, cfg) in configs() {
+        assert_eq!(prefix::run(cfg, &values).unwrap().sums, scan_expect, "{name}");
+        assert_eq!(stencil::run(cfg, &values, 2).unwrap().output, stencil_expect, "{name}");
+    }
+}
+
+#[test]
+fn string_match_correct_on_every_config() {
+    let text: Vec<u8> = (0..60).map(|i| b"abcab"[i % 5]).collect();
+    let expect = string_match::reference(&text, b"ab");
+    for (name, cfg) in configs() {
+        let a = string_match::run(cfg, &text, b"ab").unwrap();
+        let b = string_match::run_shift(cfg, &text, b"ab").unwrap();
+        assert_eq!((a.count, a.first), expect, "{name} windowed");
+        assert_eq!((b.count, b.first), expect, "{name} shifted");
+    }
+}
+
+#[test]
+fn batch_correct_on_multithreaded_configs() {
+    let keys: Vec<i64> = (0..48).map(|i| (i * 11) % 10).collect();
+    let queries: Vec<i64> = (0..24).map(|i| i % 10).collect();
+    let expect = batch::reference(&keys, &queries);
+    for (name, cfg) in configs() {
+        if cfg.threads < 16 {
+            continue; // workers need contexts
+        }
+        let r = batch::run(cfg, &keys, &queries, 4).unwrap();
+        assert_eq!(r.counts, expect, "{name}");
+    }
+}
+
+#[test]
+fn tracker_correct_on_every_config() {
+    let reports: Vec<(i64, i64)> =
+        (0..24).map(|i| ((i * 11) % 101 - 50, (i * 17) % 99 - 49)).collect();
+    let (tref, dref) = tracker::reference(&reports, 64);
+    for (name, cfg) in configs() {
+        let r = tracker::run(cfg, &reports).unwrap();
+        assert_eq!(r.tracks.len(), cfg.num_pes, "{name}");
+        assert_eq!(&r.tracks[..64.min(cfg.num_pes)], &tref[..64.min(cfg.num_pes)], "{name}");
+        assert_eq!(r.dropped, dref, "{name}");
+    }
+}
+
+#[test]
+fn timing_configs_change_cycles_not_results() {
+    // the same MST on two very different timing configurations: results
+    // equal, cycle counts very different
+    let g = mst::random_graph(32, 60, 9);
+    let fast = mst::run(MachineConfig::new(64), &g).unwrap();
+    let slow = mst::run(
+        MachineConfig::new(64).without_forwarding().single_threaded().with_arity(2),
+        &g,
+    )
+    .unwrap();
+    assert_eq!(fast.total_weight, slow.total_weight);
+    assert!(slow.stats.cycles > fast.stats.cycles);
+}

@@ -1,0 +1,182 @@
+//! The paper's claims, checked end-to-end through the public API. Each
+//! test names the section making the claim.
+
+use asc::core::baseline::run_nonpipelined;
+use asc::core::{Machine, MachineConfig, StallReason};
+use asc::fpga::{ClockModel, FpgaConfig};
+use asc::kernels::micro;
+
+fn cycles(cfg: MachineConfig, src: &str) -> asc::core::Stats {
+    let program = asc::asm::assemble(src).unwrap();
+    let mut m = Machine::with_program(cfg, &program).unwrap();
+    m.run(100_000_000).unwrap()
+}
+
+fn micro_cfg(p: usize) -> MachineConfig {
+    let mut cfg = MachineConfig::new(p);
+    cfg.lmem_words = 8;
+    cfg
+}
+
+/// §4.2 / Figure 2: "a stall can be avoided by forwarding the result from
+/// the scalar EX stage to the parallel B1 stage."
+#[test]
+fn claim_broadcast_hazards_forwarded() {
+    let stats = cycles(
+        MachineConfig::prototype(),
+        "sub s1, s2, s3\npadds p1, p2, s1\nhalt\n",
+    );
+    assert_eq!(stats.stalls_for(StallReason::BroadcastHazard), 0);
+}
+
+/// §4.2: "the scalar instruction has to stall for up to b + r clock
+/// cycles."
+#[test]
+fn claim_reduction_stall_is_b_plus_r() {
+    for p in [16usize, 256, 4096] {
+        let cfg = micro_cfg(p).single_threaded();
+        let t = cfg.timing();
+        let stats = cycles(cfg, "rmax s1, p2\nsub s3, s1, s1\nhalt\n");
+        assert_eq!(
+            stats.stalls_for(StallReason::ReductionHazard),
+            t.b + t.r,
+            "p = {p}"
+        );
+    }
+}
+
+/// §5: "so long as there is at least one thread that is not stalled in
+/// every cycle, a fine-grain multithreaded processor will never stall."
+#[test]
+fn claim_enough_threads_eliminate_stalls() {
+    let stats = cycles(micro_cfg(16), &micro::unrolled_fleet(15, 50, 8));
+    // issue slots essentially full once spawn/join ramp is amortized
+    assert!(stats.ipc() > 0.95, "IPC {}", stats.ipc());
+}
+
+/// §5: "the latency could be much higher than the degree of
+/// instruction-level parallelism in the code" — a single thread cannot
+/// hide the stall at scale, and it worsens with p.
+#[test]
+fn claim_single_thread_degrades_with_scale() {
+    let ipc_at = |p| cycles(micro_cfg(p).single_threaded(), &micro::reduction_chain(100)).ipc();
+    let small = ipc_at(16);
+    let large = ipc_at(4096);
+    assert!(large < small * 0.5, "{large} !<< {small}");
+}
+
+/// §5: coarse-grain multithreading switches are too expensive for the
+/// short, frequent stalls of reduction hazards.
+#[test]
+fn claim_fine_grain_beats_coarse_grain() {
+    let src = micro::unrolled_fleet(8, 40, 8);
+    let fine = cycles(micro_cfg(256), &src);
+    let coarse = cycles(micro_cfg(256).coarse_grain(4), &src);
+    assert!(fine.cycles < coarse.cycles);
+}
+
+/// §1/§4: pipelining keeps the clock high while the non-pipelined
+/// broadcast/reduction clock degrades with PE count; combined with
+/// multithreading, throughput at scale favours the proposed design.
+#[test]
+fn claim_pipelined_mt_wins_at_scale() {
+    let model = ClockModel::default();
+    let p = 1024usize;
+    let fcfg = FpgaConfig { num_pes: p as u64, ..FpgaConfig::prototype() };
+
+    let program = asc::asm::assemble(&micro::mixed_workload(100)).unwrap();
+    let np = run_nonpipelined(micro_cfg(p), &program, 100_000_000).unwrap();
+    let np_mips = np.instructions as f64 / np.cycles as f64 * model.nonpipelined_mhz(&fcfg);
+
+    let mt = cycles(micro_cfg(p), &micro::mixed_fleet(15, 30));
+    let mt_mips = mt.ipc() * model.pipelined_mhz(&fcfg);
+
+    assert!(
+        mt_mips > 3.0 * np_mips,
+        "multithreaded pipelined {mt_mips:.1} vs non-pipelined {np_mips:.1} M instr/s"
+    );
+}
+
+/// §6.4: every reduction unit has an initiation rate of one operation per
+/// cycle — independent reductions from one thread issue back-to-back.
+#[test]
+fn claim_network_initiation_rate() {
+    let stats = cycles(
+        micro_cfg(1024).single_threaded(),
+        "rsum s1, p1\nrmax s2, p1\nrmin s3, p1\nror s4, p1\nrand s5, p1\nhalt\n",
+    );
+    assert_eq!(stats.stalls_for(StallReason::Structural), 0);
+    assert_eq!(stats.stalls_for(StallReason::ReductionHazard), 0);
+}
+
+/// §6.2: "since division is an uncommon operation, structural hazards for
+/// the divider should not degrade performance significantly."
+#[test]
+fn claim_rare_division_is_cheap() {
+    // 4 threads, one division per 16 other instructions
+    let src = "
+main:   li   s1, worker
+        tspawn s2, s1
+        tspawn s3, s1
+        tspawn s4, s1
+        tjoin s2
+        tjoin s3
+        tjoin s4
+        halt
+worker: li   s6, 30
+        pidx p1
+wloop:  pdivi p2, p1, 3
+        paddi p3, p3, 1
+        paddi p3, p3, 1
+        paddi p3, p3, 1
+        paddi p3, p3, 1
+        paddi p3, p3, 1
+        paddi p3, p3, 1
+        paddi p3, p3, 1
+        paddi p3, p3, 1
+        paddi p3, p3, 1
+        paddi p3, p3, 1
+        paddi p3, p3, 1
+        paddi p3, p3, 1
+        paddi p3, p3, 1
+        paddi p3, p3, 1
+        paddi p3, p3, 1
+        paddi p3, p3, 1
+        addi s6, s6, -1
+        ceqi f1, s6, 0
+        bf   f1, wloop
+        texit
+";
+    let stats = cycles(micro_cfg(64), src);
+    let structural = stats.stalls_for(StallReason::Structural) as f64;
+    assert!(
+        structural / stats.cycles as f64 <= 0.10,
+        "structural stalls {:.1}% should be minor",
+        100.0 * structural / stats.cycles as f64
+    );
+}
+
+/// §7: the prototype supports 16 thread contexts; allocating a 17th
+/// stream fails gracefully (tspawn returns all-ones).
+#[test]
+fn claim_sixteen_thread_contexts() {
+    let src = "
+main:   li   s1, worker
+        li   s2, 0
+        li   s3, 15
+spawnl: ceq  f1, s2, s3
+        bt   f1, extra
+        tspawn s4, s1
+        addi s2, s2, 1
+        j    spawnl
+extra:  tspawn s5, s1   ; 17th context: must fail
+        halt
+worker: j worker
+";
+    let program = asc::asm::assemble(src).unwrap();
+    let mut m = Machine::with_program(MachineConfig::prototype(), &program).unwrap();
+    m.run(1_000_000).unwrap();
+    // 15 spawns succeeded (s4 holds last tid), the 16th failed
+    assert!(m.sreg(0, 4).to_u32() < 16);
+    assert_eq!(m.sreg(0, 5).to_u32(), 0xffff);
+}
