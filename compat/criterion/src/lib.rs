@@ -1,0 +1,281 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to a crate registry, so the
+//! workspace patches `criterion` to this crate (see `[patch.crates-io]` in
+//! the root `Cargo.toml`). It is a real wall-clock benchmark harness
+//! implementing the API subset the workspace uses — [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], `Bencher::iter`,
+//! [`criterion_group!`], [`criterion_main!`] and [`black_box`] — without
+//! criterion's statistical machinery: each benchmark is warmed up, then
+//! timed over enough iterations to fill the measurement window, and the
+//! mean time per iteration is printed.
+//!
+//! CLI behaviour (matching what `cargo bench`/`cargo test` pass to
+//! `harness = false` targets): `--test` runs every benchmark exactly once
+//! as a smoke test; `--list` lists names; the first free argument is a
+//! substring filter. `MTASC_BENCH_WARMUP_MS` / `MTASC_BENCH_MEASURE_MS`
+//! override the default windows (100 / 400).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+fn env_ms(var: &str, default: u64) -> Duration {
+    Duration::from_millis(std::env::var(var).ok().and_then(|v| v.parse().ok()).unwrap_or(default))
+}
+
+/// How the harness was invoked (parsed from `std::env::args`).
+#[derive(Debug, Clone)]
+struct Mode {
+    /// Run each benchmark once, no timing (`--test`).
+    smoke: bool,
+    /// Print names and exit (`--list`).
+    list: bool,
+    /// Substring filter on benchmark names.
+    filter: Option<String>,
+}
+
+impl Mode {
+    fn from_args() -> Mode {
+        let mut smoke = false;
+        let mut list = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => smoke = true,
+                "--list" => list = true,
+                "--bench" | "--nocapture" | "--quiet" | "--exact" => {}
+                a if a.starts_with("--") => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Mode { smoke, list, filter }
+    }
+
+    fn selects(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+}
+
+/// Identifier for one parameterized benchmark: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { full: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Just the parameter (the group name provides the function part).
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { full: parameter.to_string() }
+    }
+}
+
+/// Passed to each benchmark closure; [`Bencher::iter`] does the timing.
+pub struct Bencher<'m> {
+    mode: &'m Mode,
+    /// Mean time per iteration, filled in by `iter`.
+    measured: Option<(Duration, u64)>,
+}
+
+impl Bencher<'_> {
+    /// Time the routine: warm up, then run enough iterations to fill the
+    /// measurement window, recording the mean wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.mode.smoke {
+            black_box(routine());
+            self.measured = Some((Duration::ZERO, 1));
+            return;
+        }
+        let warmup = env_ms("MTASC_BENCH_WARMUP_MS", 100);
+        let measure = env_ms("MTASC_BENCH_MEASURE_MS", 400);
+
+        // Warm-up: run until the window elapses, estimating per-iter cost.
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed() < warmup {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = start.elapsed().as_nanos().max(1) / u128::from(warm_iters.max(1));
+        let iters = (measure.as_nanos() / per_iter.max(1)).clamp(1, u128::from(u64::MAX)) as u64;
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.measured = Some((start.elapsed(), iters));
+    }
+}
+
+fn run_one(mode: &Mode, name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    if !mode.selects(name) {
+        return;
+    }
+    if mode.list {
+        println!("{name}: bench");
+        return;
+    }
+    let mut b = Bencher { mode, measured: None };
+    f(&mut b);
+    match b.measured {
+        _ if mode.smoke => println!("{name}: ok (smoke)"),
+        Some((total, iters)) => {
+            let mean = total.as_secs_f64() / iters as f64;
+            println!("{name:<40} time: {:>12} ({iters} iters)", fmt_time(mean));
+        }
+        None => println!("{name}: no measurement (Bencher::iter never called)"),
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// The top-level harness handle passed to every benchmark function.
+pub struct Criterion {
+    mode: Mode,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { mode: Mode::from_args() }
+    }
+}
+
+impl Criterion {
+    /// Register and run a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        mut f: F,
+    ) -> &mut Criterion {
+        run_one(&self.mode, name, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { mode: &self.mode, name: name.into() }
+    }
+}
+
+/// A named group of benchmarks; names print as `group/bench`.
+pub struct BenchmarkGroup<'c> {
+    mode: &'c Mode,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(self.mode, &format!("{}/{}", self.name, id.full), &mut f);
+        self
+    }
+
+    /// Benchmark within the group, with an input value passed through.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(self.mode, &format!("{}/{}", self.name, id.full), &mut |b| f(b, input));
+        self
+    }
+
+    /// End the group (no-op here; criterion finalizes reports).
+    pub fn finish(self) {}
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> BenchmarkId {
+        BenchmarkId { full: name.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> BenchmarkId {
+        BenchmarkId { full: name }
+    }
+}
+
+/// Bundle benchmark functions into a group runner, as criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("reduce", 1024).full, "reduce/1024");
+        assert_eq!(BenchmarkId::from_parameter(64).full, "64");
+    }
+
+    #[test]
+    fn bencher_measures() {
+        std::env::set_var("MTASC_BENCH_WARMUP_MS", "1");
+        std::env::set_var("MTASC_BENCH_MEASURE_MS", "2");
+        let mode = Mode { smoke: false, list: false, filter: None };
+        let mut b = Bencher { mode: &mode, measured: None };
+        let mut n = 0u64;
+        b.iter(|| n = n.wrapping_add(1));
+        let (total, iters) = b.measured.expect("measured");
+        assert!(iters >= 1);
+        assert!(total > Duration::ZERO);
+    }
+
+    #[test]
+    fn filter_selects_substrings() {
+        let mode = Mode { smoke: false, list: false, filter: Some("kernel".into()) };
+        assert!(mode.selects("kernel_search_256"));
+        assert!(!mode.selects("network_mrr"));
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(fmt_time(2.5), "2.500 s");
+        assert_eq!(fmt_time(0.0025), "2.500 ms");
+        assert_eq!(fmt_time(2.5e-6), "2.500 µs");
+        assert_eq!(fmt_time(2.5e-9), "2.5 ns");
+    }
+}

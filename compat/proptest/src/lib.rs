@@ -1,0 +1,516 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to a crate registry, so the
+//! workspace patches `proptest` to this crate (see `[patch.crates-io]` in
+//! the root `Cargo.toml`). It is a real — if small — property-testing
+//! engine implementing the subset the workspace uses:
+//!
+//! * the [`proptest!`] macro (`#[test] fn name(pat in strategy, ...)`),
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//!   [`prop_assume!`],
+//! * strategies: integer ranges (`0u32..=u32::MAX`), [`any`],
+//!   [`collection::vec`], tuples of strategies, string "regex" literals
+//!   (interpreted as "arbitrary text up to the pattern's repetition
+//!   bound"), and [`Just`].
+//!
+//! Differences from real proptest, stated: cases are generated from a
+//! deterministic per-test seed (no persisted failure files), there is no
+//! shrinking (the failing case's inputs are printed in full instead), and
+//! string strategies do not implement real regex semantics — the one
+//! in-tree pattern (`\PC{0,200}`) wants "arbitrary printable-ish text",
+//! which is what they generate.
+
+use std::fmt::Write as _;
+
+/// Number of cases per property when `PROPTEST_CASES` is not set.
+pub const DEFAULT_CASES: u32 = 64;
+
+// ------------------------------------------------------------------ rng
+
+/// The generator driving value generation (xoshiro256++).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Deterministic generator for the given test-name/case pair.
+    pub fn for_case(test_name: &str, case: u64) -> TestRng {
+        // FNV-1a over the test name, mixed with the case index
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let mut state = h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut next = || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next() | 1];
+        TestRng { s }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = (self.s[0].wrapping_add(self.s[3])).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        let wide = ((self.next_u64() as u128) << 64) | self.next_u64() as u128;
+        (wide % n as u128) as u64
+    }
+}
+
+// ------------------------------------------------------------- strategy
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy producing a clone of a fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (self.start as i128, self.end as i128);
+                assert!(lo < hi, "empty range strategy");
+                let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                (lo + (wide % (hi - lo) as u128) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                assert!(lo <= hi, "empty range strategy");
+                let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                (lo + (wide % ((hi - lo) as u128 + 1)) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types with a canonical whole-domain strategy ([`any`]).
+pub trait Arbitrary: Sized {
+    /// Generate one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy for the whole domain of `T` (see [`any`]).
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// `any::<T>()` — the canonical whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+// Tuple strategies, as in proptest.
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+/// String "regex" strategies. Real regex semantics are not implemented;
+/// the repetition bound `{m,n}` (if present) caps the length, and the
+/// generated text mixes printable ASCII with occasional newlines, tabs
+/// and non-ASCII code points — the shape fuzz targets want.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let max_len = parse_repeat_bound(self).unwrap_or(64);
+        let len = rng.below(max_len as u64 + 1) as usize;
+        let mut s = String::with_capacity(len);
+        for _ in 0..len {
+            let c = match rng.below(20) {
+                0 => '\n',
+                1 => '\t',
+                2 => char::from_u32(0xA1 + rng.below(0x200) as u32).unwrap_or('¡'),
+                _ => (b' ' + rng.below(95) as u8) as char,
+            };
+            s.push(c);
+        }
+        s
+    }
+}
+
+/// Extract `n` from a trailing `{m,n}` repetition in a pattern.
+fn parse_repeat_bound(pattern: &str) -> Option<usize> {
+    let open = pattern.rfind('{')?;
+    let close = pattern[open..].find('}')? + open;
+    let body = &pattern[open + 1..close];
+    let upper = body.split(',').next_back()?;
+    upper.trim().parse().ok()
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Length specification for [`vec`]: an exact `usize`, `a..b`, or
+    /// `a..=b`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.hi - self.size.lo) as u64 + 1;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+// ------------------------------------------------------------- running
+
+/// Why a generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed; the property is falsified.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; try another case.
+    Reject,
+}
+
+impl TestCaseError {
+    /// Construct a failure.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Result type of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Number of cases to run: `PROPTEST_CASES` or [`DEFAULT_CASES`].
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(DEFAULT_CASES)
+}
+
+/// Drive one property: generate up to [`cases`] inputs, run the body on
+/// each, panic with the inputs on the first failure. Used by the
+/// [`proptest!`] expansion — not part of the real proptest API surface.
+pub fn run_property<F>(test_name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> (String, TestCaseResult),
+{
+    let target = cases();
+    let mut accepted = 0u32;
+    let mut rejected = 0u64;
+    let mut case_index = 0u64;
+    while accepted < target {
+        let mut rng = TestRng::for_case(test_name, case_index);
+        case_index += 1;
+        let (inputs, result) = case(&mut rng);
+        match result {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                if rejected > 16 * target as u64 {
+                    panic!(
+                        "{test_name}: too many prop_assume! rejections \
+                         ({rejected}) for {target} cases"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest property `{test_name}` falsified (case #{}):\n  \
+                     inputs: {inputs}\n  {msg}",
+                    case_index - 1
+                );
+            }
+        }
+    }
+}
+
+/// Render `name = value` pairs for the failure report.
+pub fn describe_input(buf: &mut String, name: &str, value: &dyn std::fmt::Debug) {
+    if !buf.is_empty() {
+        buf.push_str(", ");
+    }
+    let _ = write!(buf, "{name} = {value:?}");
+}
+
+/// The property-test macro. Supports the `pat in strategy` argument form
+/// with any number of arguments and doc comments/attributes on each test.
+/// As in real proptest, the user-written `#[test]` is captured along with
+/// the other attributes and re-emitted on the generated zero-argument fn.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_property(stringify!($name), |__rng| {
+                    let mut __inputs = ::std::string::String::new();
+                    $(
+                        let $arg = $crate::Strategy::generate(&($strat), __rng);
+                        $crate::describe_input(&mut __inputs, stringify!($arg), &$arg);
+                    )+
+                    let __result = (|| -> $crate::TestCaseResult {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    (__inputs, __result)
+                });
+            }
+        )+
+    };
+}
+
+/// Assert a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n  right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {} ({})\n  left: {:?}\n  right: {:?}",
+            stringify!($left), stringify!($right), ::std::format!($($fmt)*), l, r
+        );
+    }};
+}
+
+/// Assert inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {} ({})\n  both: {:?}",
+            stringify!($left), stringify!($right), ::std::format!($($fmt)*), l
+        );
+    }};
+}
+
+/// Reject the current case (skip without failing) unless the condition
+/// holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        $crate::prop_assume!($cond)
+    };
+}
+
+/// The glob import real proptest users reach for.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary, Just,
+        Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// Range strategies stay in bounds and the harness accepts
+        /// multiple arguments.
+        #[test]
+        fn ranges_in_bounds(a in -128i64..128, b in 0u32..=7, c in any::<bool>()) {
+            prop_assert!((-128..128).contains(&a));
+            prop_assert!(b <= 7);
+            let _ = c;
+        }
+
+        /// Vec strategies respect the size range; tuple elements are in
+        /// bounds.
+        #[test]
+        fn vec_and_tuples(v in collection::vec((0u8..5, -40i64..40), 1..12)) {
+            prop_assert!((1..12).contains(&v.len()));
+            for (x, y) in &v {
+                prop_assert!(*x < 5);
+                prop_assert!((-40..40).contains(y), "y = {}", y);
+            }
+        }
+
+        /// String strategies honour the repetition cap.
+        #[test]
+        fn string_cap(s in "\\PC{0,200}") {
+            prop_assert!(s.chars().count() <= 200);
+        }
+
+        /// prop_assume rejections are retried, not failed.
+        #[test]
+        fn assume_filters(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn falsified_properties_panic_with_inputs() {
+        let caught = std::panic::catch_unwind(|| {
+            crate::run_property("always_fails", |rng| {
+                let v = crate::Strategy::generate(&(0u32..10), rng);
+                let mut inputs = String::new();
+                crate::describe_input(&mut inputs, "v", &v);
+                (inputs, Err(crate::TestCaseError::fail("nope")))
+            });
+        });
+        let err = caught.expect_err("must panic");
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("always_fails"), "{msg}");
+        assert!(msg.contains("v = "), "{msg}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::TestRng::for_case("t", 0);
+        let mut b = crate::TestRng::for_case("t", 0);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,311 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to a crate registry, so the
+//! workspace patches `rand` to this crate (see `[patch.crates-io]` in the
+//! root `Cargo.toml`). It implements exactly the API subset the workspace
+//! uses — [`Rng::random`], [`Rng::random_range`], [`Rng::random_bool`],
+//! [`SeedableRng::seed_from_u64`] and [`rngs::StdRng`] — with the same
+//! shapes as rand 0.9, backed by a xoshiro256++ generator.
+//!
+//! Determinism note: streams differ from the real `rand` crate's `StdRng`
+//! (ChaCha12). All in-tree users seed explicitly and assert properties
+//! rather than exact streams, so this is observable only as different
+//! (still deterministic) test inputs.
+
+/// Low-level source of randomness.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+/// A seedable generator.
+pub trait SeedableRng: Sized {
+    /// Raw seed type.
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Construct from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64` seed (SplitMix64-expanded, as rand does).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64 { state };
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = sm.next().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// User-facing random-value methods, provided for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniformly random value of a primitive type (full range; `bool`
+    /// is a fair coin).
+    fn random<T: StandardUniform>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A uniform value in the given (half-open or inclusive) range.
+    /// Panics if the range is empty.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: UniformInt,
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        // 53 high bits give a uniform f64 in [0, 1)
+        let v = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        v < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+// As in the real rand crate: `&mut R` is itself an RngCore, which is what
+// lets `rng.random()` (whose receiver must be `Sized`) be called through
+// `&mut R` bindings where `R: Rng + ?Sized`.
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Types producible uniformly over their whole domain by [`Rng::random`].
+pub trait StandardUniform: Sized {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardUniform for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardUniform for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardUniform for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Integer types usable with [`Rng::random_range`].
+pub trait UniformInt: Copy + PartialOrd {
+    /// Widen to i128 (for span arithmetic that cannot overflow).
+    fn to_i128(self) -> i128;
+    /// Narrow from i128 (always in range by construction).
+    fn from_i128(v: i128) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn to_i128(self) -> i128 {
+                self as i128
+            }
+            fn from_i128(v: i128) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges acceptable to [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draw a uniform value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+fn uniform_span<R: RngCore + ?Sized>(rng: &mut R, lo: i128, span: u128) -> i128 {
+    debug_assert!(span > 0);
+    // Modulo draw over a 128-bit value: bias is < 2^-64 for every span the
+    // workspace uses — irrelevant for test-input generation.
+    let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+    lo + (wide % span) as i128
+}
+
+impl<T: UniformInt> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (self.start.to_i128(), self.end.to_i128());
+        assert!(lo < hi, "cannot sample empty range");
+        T::from_i128(uniform_span(rng, lo, (hi - lo) as u128))
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (self.start().to_i128(), self.end().to_i128());
+        assert!(lo <= hi, "cannot sample empty range");
+        T::from_i128(uniform_span(rng, lo, (hi - lo) as u128 + 1))
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++ (not the real
+    /// rand crate's ChaCha12 — streams differ, determinism is preserved).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result =
+                (self.s[0].wrapping_add(self.s[3])).rotate_left(23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+            }
+            // xoshiro must not start from the all-zero state
+            if s == [0; 4] {
+                s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+            }
+            StdRng { s }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.random()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.random()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.random()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..2000 {
+            let v: i64 = rng.random_range(-500..500);
+            assert!((-500..500).contains(&v));
+            let u: usize = rng.random_range(0..16);
+            assert!(u < 16);
+            let w: u8 = rng.random_range(b' '..=b'~');
+            assert!((b' '..=b'~').contains(&w));
+            let x: i64 = rng.random_range(-30..=30);
+            assert!((-30..=30).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_covers_endpoints() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.random_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all of 0..4 drawn: {seen:?}");
+    }
+
+    #[test]
+    fn bool_probabilities() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!((0..100).all(|_| !rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+        let heads = (0..2000).filter(|_| rng.random_bool(0.5)).count();
+        assert!((800..1200).contains(&heads), "fair-ish coin: {heads}");
+    }
+
+    #[test]
+    fn primitive_draws() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let _: (u8, u16, u32, u64, i8, i16, i32, i64, bool, f64) = (
+            rng.random(),
+            rng.random(),
+            rng.random(),
+            rng.random(),
+            rng.random(),
+            rng.random(),
+            rng.random(),
+            rng.random(),
+            rng.random(),
+            rng.random(),
+        );
+        let f: f64 = rng.random();
+        assert!((0.0..1.0).contains(&f));
+    }
+}

@@ -1,0 +1,76 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no access to a crate registry, so the
+//! workspace patches `rayon` to this crate (see `[patch.crates-io]` in the
+//! root `Cargo.toml`). The `par_iter`/`par_iter_mut` entry points return
+//! **serial** std iterators — semantically identical (rayon guarantees the
+//! same results as the sequential computation for the combinators the
+//! workspace uses: `enumerate`, `for_each`, `filter_map`, `min_by_key`),
+//! just without the parallel speedup. Restoring real data parallelism when
+//! a registry is available is tracked in the ROADMAP.
+//!
+//! The `Sync + Send` closure bounds at call sites stay meaningful: they
+//! keep the code ready for the real rayon.
+
+/// The glob import (`use rayon::prelude::*`) real rayon users reach for.
+pub mod prelude {
+    /// `par_iter()` on slices (serial stand-in).
+    pub trait IntoParallelRefIterator<T> {
+        /// Shared-reference iteration; serial `std::slice::Iter` here.
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+    }
+
+    impl<T> IntoParallelRefIterator<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+    }
+
+    /// `par_iter_mut()` on slices (serial stand-in).
+    pub trait IntoParallelRefMutIterator<T> {
+        /// Mutable iteration; serial `std::slice::IterMut` here.
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+    }
+
+    impl<T> IntoParallelRefMutIterator<T> for [T] {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+    }
+}
+
+/// Serial stand-in for `rayon::join`: runs `a` then `b`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_mut_matches_serial() {
+        let mut v = vec![1u32, 2, 3, 4];
+        v.par_iter_mut().enumerate().for_each(|(i, x)| *x += i as u32);
+        assert_eq!(v, [1, 3, 5, 7]);
+    }
+
+    #[test]
+    fn par_iter_combinators() {
+        let v = [10u32, 25, 7, 99];
+        let min_odd = v.par_iter().filter_map(|x| (x % 2 == 1).then_some(*x)).min();
+        assert_eq!(min_odd, Some(7));
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = super::join(|| 2 + 2, || "ok");
+        assert_eq!((a, b), (4, "ok"));
+    }
+}

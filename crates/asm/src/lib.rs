@@ -42,5 +42,7 @@ pub use error::{render_errors, AsmError, AsmErrorKind};
 pub use parser::assemble;
 pub use program::Program;
 
+#[cfg(all(test, feature = "proptest"))]
+mod proptests;
 #[cfg(test)]
 mod tests;

@@ -69,7 +69,7 @@ pub fn assemble(src: &str) -> Result<Program, Vec<AsmError>> {
 }
 
 /// Split the token stream into per-statement slices (newline-terminated).
-fn split_lines<'a>(toks: &'a [Spanned]) -> Vec<&'a [Spanned]> {
+fn split_lines(toks: &[Spanned]) -> Vec<&[Spanned]> {
     let mut out = Vec::new();
     let mut start = 0;
     for (i, t) in toks.iter().enumerate() {
@@ -103,11 +103,7 @@ impl<'a> Cursor<'a> {
     }
 
     fn line(&self) -> u32 {
-        self.toks
-            .get(self.pos)
-            .or_else(|| self.toks.last())
-            .map(|t| t.line)
-            .unwrap_or(0)
+        self.toks.get(self.pos).or_else(|| self.toks.last()).map(|t| t.line).unwrap_or(0)
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -252,9 +248,7 @@ impl<'a> Cursor<'a> {
     }
 
     fn sflag(&mut self) -> SFlag {
-        self.parse_reg("scalar flag (f0..f7)", "f", 8)
-            .map(SFlag::from_index)
-            .unwrap_or(SFlag::R0)
+        self.parse_reg("scalar flag (f0..f7)", "f", 8).map(SFlag::from_index).unwrap_or(SFlag::R0)
     }
 
     fn pflag(&mut self) -> PFlag {
@@ -471,8 +465,8 @@ fn mnemonic_table() -> &'static HashMap<String, Form> {
         t.insert("rall".into(), Form::RFlag(FlagReduceOp::All));
         for name in [
             "nop", "halt", "lw", "sw", "li", "lui", "bt", "bf", "j", "b", "jal", "jr", "tspawn",
-            "texit", "tjoin", "tget", "tput", "tid", "plw", "psw", "pidx", "pmovs", "pshift", "rcount",
-            "pfirst", "rget", "mov", "pmov", "pli", "not", "pnot",
+            "texit", "tjoin", "tget", "tput", "tid", "plw", "psw", "pidx", "pmovs", "pshift",
+            "rcount", "pfirst", "rget", "mov", "pmov", "pli", "not", "pnot",
         ] {
             t.insert(name.into(), Form::Named(name));
         }

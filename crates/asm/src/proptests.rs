@@ -1,0 +1,68 @@
+//! Assembler property tests, behind the `proptest` cargo feature so the
+//! crate's tests build without the `proptest` dependency
+//! (`cargo test --features proptest` to include these).
+
+use asc_isa::gen::random_instr;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{assemble, disassemble};
+
+proptest! {
+    /// The assembler never panics, whatever bytes it is fed — it either
+    /// assembles or returns diagnostics.
+    #[test]
+    fn assembler_never_panics_on_arbitrary_text(src in "\\PC{0,200}") {
+        let _ = assemble(&src);
+    }
+
+    /// Mutating a valid program's text (flip one character) never panics
+    /// and, if it still assembles, still produces one instruction per
+    /// statement.
+    #[test]
+    fn assembler_survives_mutations(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let instrs: Vec<_> = (0..8).map(|_| random_instr(&mut rng)).collect();
+        let mut text: String =
+            instrs.iter().map(|i| disassemble(i) + "\n").collect();
+        // flip a random byte to a random ASCII character
+        let pos = rng.random_range(0..text.len());
+        let ch = rng.random_range(b' '..=b'~') as char;
+        let mut bytes: Vec<char> = text.chars().collect();
+        if pos < bytes.len() {
+            bytes[pos] = ch;
+        }
+        text = bytes.into_iter().collect();
+        if let Ok(p) = assemble(&text) {
+            prop_assert!(p.instrs.len() <= instrs.len() + 1);
+        }
+    }
+
+    /// Disassembling any valid instruction and re-assembling it yields the
+    /// identical instruction.
+    #[test]
+    fn disasm_asm_round_trip(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..48 {
+            let i = random_instr(&mut rng);
+            let text = disassemble(&i);
+            let prog = assemble(&text)
+                .unwrap_or_else(|e| panic!("`{text}` failed: {e:?}"));
+            prop_assert_eq!(prog.instrs.len(), 1, "`{}`", &text);
+            prop_assert_eq!(prog.instrs[0], i, "`{}`", &text);
+        }
+    }
+
+    /// A whole random program survives the disassemble→assemble round trip
+    /// with addresses intact.
+    #[test]
+    fn program_round_trip(seed in any::<u64>(), len in 1usize..64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let instrs: Vec<_> = (0..len).map(|_| random_instr(&mut rng)).collect();
+        let text: String =
+            instrs.iter().map(|i| disassemble(i) + "\n").collect();
+        let prog = assemble(&text).unwrap();
+        prop_assert_eq!(prog.instrs, instrs);
+    }
+}

@@ -56,9 +56,8 @@ fn bench_image(c: &mut Criterion) {
 }
 
 fn bench_hull(c: &mut Criterion) {
-    let pts: Vec<(i64, i64)> = (0..48)
-        .map(|i| (((i * 17) % 91) as i64 - 45, ((i * 29) % 83) as i64 - 41))
-        .collect();
+    let pts: Vec<(i64, i64)> =
+        (0..48).map(|i| (((i * 17) % 91) as i64 - 45, ((i * 29) % 83) as i64 - 41)).collect();
     c.bench_function("kernel_hull_48", |b| {
         b.iter(|| black_box(hull::run(MachineConfig::new(64), &pts).unwrap().count))
     });

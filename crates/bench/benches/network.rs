@@ -14,11 +14,9 @@ fn bench_reductions(c: &mut Criterion) {
         let values: Vec<Word> = (0..p).map(|i| Word::new(i as u32 & 0xffff, Width::W16)).collect();
         let active = vec![true; p];
         for op in [ReduceOp::Sum, ReduceOp::Max, ReduceOp::Or] {
-            g.bench_with_input(
-                BenchmarkId::new(format!("{op}"), p),
-                &p,
-                |b, _| b.iter(|| black_box(net.reduce(op, &values, &active, Width::W16))),
-            );
+            g.bench_with_input(BenchmarkId::new(format!("{op}"), p), &p, |b, _| {
+                b.iter(|| black_box(net.reduce(op, &values, &active, Width::W16)))
+            });
         }
     }
     g.finish();
@@ -82,7 +80,7 @@ fn bench_lang_compile(c: &mut Criterion) {
         }
         out(count(score >= passing));
     "
-    .repeat(1); // single unit; compile includes lex/parse/codegen/assemble
+    .to_string(); // single unit; compile includes lex/parse/codegen/assemble
     c.bench_function("ascl_compile", |b| {
         b.iter(|| black_box(asc_lang::compile_program(&src).map(|p| p.len())))
     });

@@ -1,0 +1,85 @@
+//! Trace-emission overhead benchmark: the associative selection sort
+//! kernel run bare versus with a ring-buffer trace sink attached.
+//!
+//! The observability layer's contract is "near-zero cost when no sink is
+//! attached" — every emit site is gated on `sink.is_some()` so events are
+//! never even constructed on the bare path. This benchmark makes the
+//! contract measurable: `obs_overhead/no_sink` is the baseline and
+//! `obs_overhead/ring_sink` the fully-traced run; the acceptance target
+//! is the no-sink path staying within 3% of the seed simulator (i.e. the
+//! per-iteration times printed for `no_sink` should be indistinguishable
+//! from the pre-observability simulator, and attaching a ring sink should
+//! cost only the event construction itself).
+
+use std::cell::RefCell;
+use std::hint::black_box;
+use std::rc::Rc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use asc_asm::{assemble, Program};
+use asc_core::obs::{RingBufferSink, SinkHandle};
+use asc_core::{Machine, MachineConfig};
+use asc_isa::Word;
+
+/// Problem size: values to sort, one per PE.
+const N: usize = 64;
+
+/// Ring capacity comfortably above the event count of one sorted run.
+const RING_CAPACITY: usize = 1 << 16;
+
+/// The same associative selection sort as `asc_kernels::sort`: repeatedly
+/// RMIN the remaining set, store the minimum, retire one responder.
+fn sort_source(n: usize) -> String {
+    format!(
+        "
+        li     s6, {last}
+        pidx   p1
+        pcles  pf1, p1, s6
+        plw    p2, 0(p0) ?pf1
+        li     s3, 0
+        li     s4, {n}
+step:   ceq    f1, s3, s4
+        bt     f1, done
+        rmin   s1, p2 ?pf1
+        sw     s1, 32(s3)
+        pfclr  pf2
+        pceqs  pf2, p2, s1 ?pf1
+        pfirst pf3, pf2
+        pfandn pf1, pf1, pf3
+        addi   s3, s3, 1
+        j      step
+done:   halt
+        ",
+        last = n as i64 - 1,
+    )
+}
+
+/// One full simulated run; `traced` attaches a ring sink first.
+fn run_sort(program: &Program, values: &[Word], traced: bool) -> u64 {
+    let mut m = Machine::with_program(MachineConfig::new(N), program).unwrap();
+    if traced {
+        let ring = Rc::new(RefCell::new(RingBufferSink::new(RING_CAPACITY)));
+        m.attach_sink(SinkHandle::shared(ring));
+    }
+    m.array_mut().scatter_column(0, values).unwrap();
+    m.run(1_000_000).unwrap().cycles
+}
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let program = assemble(&sort_source(N)).expect("sort kernel assembles");
+    let cfg = MachineConfig::new(N);
+    let values: Vec<Word> =
+        (0..N as i64).map(|i| Word::from_i64((i * 37) % 101, cfg.width)).collect();
+
+    let mut g = c.benchmark_group("obs_overhead");
+    for (label, traced) in [("no_sink", false), ("ring_sink", true)] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &traced, |b, &traced| {
+            b.iter(|| black_box(run_sort(&program, &values, traced)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

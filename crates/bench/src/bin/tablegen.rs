@@ -8,11 +8,14 @@
 
 use asc_bench::experiments as e;
 
+/// Name, heading, generator for one artifact.
+type Section = (&'static str, &'static str, Box<dyn Fn() -> String>);
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name || a == "all");
 
-    let sections: Vec<(&str, &str, Box<dyn Fn() -> String>)> = vec![
+    let sections: Vec<Section> = vec![
         ("table1", "E1 — Table 1: FPGA resource usage (calibrated model)", Box::new(e::table1)),
         ("fig1", "E2 — Figure 1: pipeline organization", Box::new(e::fig1)),
         ("fig2", "E3 — Figure 2: pipeline hazards (simulated traces)", Box::new(e::fig2)),
@@ -64,16 +67,8 @@ fn main() {
             "E15 — multithreaded batch queries: worker-count sweep",
             Box::new(e::batch_speedup),
         ),
-        (
-            "fetch",
-            "E16 — fetch-unit model: buffer-depth sensitivity",
-            Box::new(e::fetch_model),
-        ),
-        (
-            "width",
-            "E17 — datapath width sweep (8/16/32-bit PEs)",
-            Box::new(e::width_sweep),
-        ),
+        ("fetch", "E16 — fetch-unit model: buffer-depth sensitivity", Box::new(e::fetch_model)),
+        ("width", "E17 — datapath width sweep (8/16/32-bit PEs)", Box::new(e::width_sweep)),
         (
             "lang",
             "E18 — ASCL compiler overhead vs hand-written assembly",

@@ -269,12 +269,22 @@ pub fn arity_sweep() -> Vec<ArityRow> {
         .iter()
         .map(|&k| {
             let cfg = micro_cfg(p).with_arity(k);
-            let fcfg =
-                FpgaConfig { num_pes: p as u64, broadcast_arity: k as u64, ..FpgaConfig::prototype() };
+            let fcfg = FpgaConfig {
+                num_pes: p as u64,
+                broadcast_arity: k as u64,
+                ..FpgaConfig::prototype()
+            };
             let mhz = model.pipelined_mhz(&fcfg);
             let stats = run(cfg, &micro::unrolled_fleet(8, 60, 8));
             let les = ResourceReport::model(&fcfg).network.les;
-            ArityRow { k, b: cfg.timing().b, mhz, ipc: stats.ipc(), mips: stats.ipc() * mhz, network_les: les }
+            ArityRow {
+                k,
+                b: cfg.timing().b,
+                mhz,
+                ipc: stats.ipc(),
+                mips: stats.ipc() * mhz,
+                network_les: les,
+            }
         })
         .collect()
 }
@@ -306,10 +316,7 @@ pub fn ram_limit() -> String {
             .iter()
             .map(|&l| max_pes_on(&FpgaConfig { lmem_words: l, ..base }, d))
             .collect();
-        let shared = max_pes_on(
-            &FpgaConfig { lmem_words: 512, pes_per_flag_block: 8, ..base },
-            d,
-        );
+        let shared = max_pes_on(&FpgaConfig { lmem_words: 512, pes_per_flag_block: 8, ..base }, d);
         s.push_str(&format!(
             "{:<10} | {:>8} {:>8} {:>8} | {:>19}\n",
             d.name, row[0], row[1], row[2], shared
@@ -588,9 +595,8 @@ pub fn kernel_suite() -> Vec<KernelRow> {
         reduction_stall_pct: pct(&r.stats),
     });
 
-    let pts: Vec<(i64, i64)> = (0..48)
-        .map(|i| (((i * 17) % 91) as i64 - 45, ((i * 29) % 83) as i64 - 41))
-        .collect();
+    let pts: Vec<(i64, i64)> =
+        (0..48).map(|i| (((i * 17) % 91) as i64 - 45, ((i * 29) % 83) as i64 - 41)).collect();
     let r = hull::run(MachineConfig::new(64), &pts).unwrap();
     rows.push(KernelRow {
         name: "convex hull (48 points)",
@@ -600,7 +606,8 @@ pub fn kernel_suite() -> Vec<KernelRow> {
         reduction_stall_pct: pct(&r.stats),
     });
 
-    let reports: Vec<(i64, i64)> = (0..40).map(|i| ((i * 13) % 101 - 50, (i * 7) % 99 - 49)).collect();
+    let reports: Vec<(i64, i64)> =
+        (0..40).map(|i| ((i * 13) % 101 - 50, (i * 7) % 99 - 49)).collect();
     let r = tracker::run(MachineConfig::new(64), &reports).unwrap();
     let (tref, dref) = tracker::reference(&reports, 64);
     rows.push(KernelRow {
@@ -973,10 +980,7 @@ mod tests {
     #[test]
     fn arity_sweep_has_interior_optimum() {
         let rows = arity_sweep();
-        let best = rows
-            .iter()
-            .max_by(|a, b| a.mips.partial_cmp(&b.mips).unwrap())
-            .unwrap();
+        let best = rows.iter().max_by(|a, b| a.mips.partial_cmp(&b.mips).unwrap()).unwrap();
         assert!(best.k > 2 && best.k < 32, "optimum should be interior, got k={}", best.k);
     }
 

@@ -15,6 +15,7 @@
 
 use std::fmt::Write as _;
 
+use asc_core::obs::{JsonLinesSink, RunReport, SinkHandle};
 use asc_core::pipeline::{control_unit_organization, hazard_diagram, pipeline_organization};
 use asc_core::{Machine, MachineConfig};
 use asc_fpga::{ClockModel, Device, FpgaConfig, ResourceReport};
@@ -38,7 +39,7 @@ impl std::fmt::Display for CliError {
 }
 
 /// Parsed machine options shared by the subcommands.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct MachineOpts {
     /// PE count.
     pub pes: usize,
@@ -54,6 +55,10 @@ pub struct MachineOpts {
     pub max_cycles: u64,
     /// Record and print the pipeline diagram.
     pub trace: bool,
+    /// Write a JSON run report to this path after `run`.
+    pub report: Option<String>,
+    /// Stream trace events (JSON-Lines) to this path during `run`.
+    pub trace_json: Option<String>,
 }
 
 impl Default for MachineOpts {
@@ -66,6 +71,8 @@ impl Default for MachineOpts {
             forwarding: true,
             max_cycles: 100_000_000,
             trace: false,
+            report: None,
+            trace_json: None,
         }
     }
 }
@@ -111,6 +118,8 @@ impl MachineOpts {
                 }
                 "--no-forwarding" => opts.forwarding = false,
                 "--trace" => opts.trace = true,
+                "--report" => opts.report = Some(take(&mut it)?),
+                "--trace-json" => opts.trace_json = Some(take(&mut it)?),
                 _ => rest.push(a),
             }
         }
@@ -133,6 +142,7 @@ USAGE:
   mtasc asm <prog.asc|.ascl>            assemble to hex words (stdout)
   mtasc lower <prog.ascl>               compile ASCL to assembly (stdout)
   mtasc disasm <prog.hex>               disassemble hex words (stdout)
+  mtasc stats <report.json>             summarize a saved run report
   mtasc info [options]                  machine geometry + FPGA resources
 
 OPTIONS:
@@ -143,6 +153,8 @@ OPTIONS:
   --max-cycles N   simulation cycle budget
   --no-forwarding  disable forwarding paths (ablation)
   --trace          print the stage-by-cycle pipeline diagram
+  --report F       write a JSON run report to F
+  --trace-json F   stream trace events (JSON-Lines) to F
 ";
 
 /// Dispatch a command line (without argv\[0\]); returns the text to print.
@@ -177,6 +189,12 @@ pub fn dispatch(mut args: Vec<String>) -> Result<String, CliError> {
                 .map_err(|e| CliError::Failure(format!("{path}: {e}")))?;
             cmd_disasm(&text)
         }
+        "stats" => {
+            let path = it.next().ok_or_else(|| CliError::Usage("stats needs a file".into()))?;
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| CliError::Failure(format!("{path}: {e}")))?;
+            cmd_stats(&text)
+        }
         "info" => Ok(cmd_info(opts)),
         other => Err(CliError::Usage(format!("unknown command `{other}`\n\n{USAGE}"))),
     }
@@ -196,15 +214,24 @@ pub fn cmd_run(source: &str, opts: MachineOpts) -> Result<String, CliError> {
     let program = asc_asm::assemble(source)
         .map_err(|errs| CliError::Failure(asc_asm::render_errors(&errs)))?;
     let cfg = opts.config();
-    let mut m = Machine::with_program(cfg, &program)
-        .map_err(|e| CliError::Failure(e.to_string()))?;
+    let mut m =
+        Machine::with_program(cfg, &program).map_err(|e| CliError::Failure(e.to_string()))?;
     if opts.trace {
         m.enable_trace();
+    }
+    if let Some(path) = &opts.trace_json {
+        let sink =
+            JsonLinesSink::create(path).map_err(|e| CliError::Failure(format!("{path}: {e}")))?;
+        m.attach_sink(SinkHandle::new(sink));
     }
     let stats = m.run(opts.max_cycles).map_err(|e| CliError::Failure(e.to_string()))?;
     let mut out = String::new();
     let t = m.timing();
-    let _ = writeln!(out, "machine: {} PEs, {} threads, b={}, r={}", cfg.num_pes, cfg.threads, t.b, t.r);
+    let _ = writeln!(
+        out,
+        "machine: {} PEs, {} threads, b={}, r={}",
+        cfg.num_pes, cfg.threads, t.b, t.r
+    );
     out.push_str(&stats.report());
     let _ = writeln!(out, "\nscalar registers (thread 0):");
     for r in 1..16 {
@@ -217,7 +244,24 @@ pub fn cmd_run(source: &str, opts: MachineOpts) -> Result<String, CliError> {
         let _ = writeln!(out, "\npipeline diagram:");
         out.push_str(&hazard_diagram(m.trace().unwrap(), &t));
     }
+    if let Some(path) = &opts.report {
+        let report = RunReport::from_machine(&m);
+        std::fs::write(path, report.to_json().to_pretty())
+            .map_err(|e| CliError::Failure(format!("{path}: {e}")))?;
+        let _ = writeln!(out, "\nrun report written to {path}");
+    }
+    if let Some(path) = &opts.trace_json {
+        // the machine flushed the sink at end of run
+        let _ = writeln!(out, "trace events written to {path}");
+    }
     Ok(out)
+}
+
+/// `mtasc stats`: pretty-print a saved JSON run report.
+pub fn cmd_stats(text: &str) -> Result<String, CliError> {
+    let report =
+        RunReport::parse(text).map_err(|e| CliError::Failure(format!("bad run report: {e}")))?;
+    Ok(report.to_text())
 }
 
 /// `mtasc asm`: hex words, one per line.
@@ -325,6 +369,56 @@ mod tests {
     }
 
     #[test]
+    fn report_and_trace_json_flags() {
+        let dir = std::env::temp_dir().join("mtasc_obs_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let report_path = dir.join("report.json");
+        let trace_path = dir.join("trace.jsonl");
+        let out = cmd_run(
+            "pidx p1\nrsum s1, p1\nhalt\n",
+            MachineOpts {
+                report: Some(report_path.to_string_lossy().into_owned()),
+                trace_json: Some(trace_path.to_string_lossy().into_owned()),
+                ..MachineOpts::default()
+            },
+        )
+        .unwrap();
+        assert!(out.contains("run report written to"));
+        assert!(out.contains("trace events written to"));
+
+        // the report's totals must exactly match what the text run printed
+        let text = std::fs::read_to_string(&report_path).unwrap();
+        let report = RunReport::parse(&text).unwrap();
+        assert!(out.contains(&format!("cycles: {}", report.totals.cycles)));
+        assert!(out.contains(&format!("issued: {} ", report.totals.issued)));
+        let summary = cmd_stats(&text).unwrap();
+        assert!(summary.starts_with("machine: 16 PEs"));
+        assert!(summary.contains("IPC"));
+
+        // the trace parses back and has one issue event per instruction
+        let trace_text = std::fs::read_to_string(&trace_path).unwrap();
+        let events = asc_core::obs::parse_json_lines(&trace_text).unwrap();
+        let issues =
+            events.iter().filter(|e| matches!(e, asc_core::obs::TraceEvent::Issue { .. })).count()
+                as u64;
+        assert_eq!(issues, report.totals.issued);
+    }
+
+    #[test]
+    fn stats_rejects_garbage() {
+        assert!(matches!(cmd_stats("not json"), Err(CliError::Failure(_))));
+        assert!(matches!(cmd_stats("{}"), Err(CliError::Failure(_))));
+    }
+
+    #[test]
+    fn empty_trace_prints_placeholder() {
+        // a program whose first instruction halts still issues once, so
+        // force the empty-record path directly through the library
+        let t = MachineOpts::default().config().timing();
+        assert_eq!(hazard_diagram(&[], &t), "(no issues recorded)\n");
+    }
+
+    #[test]
     fn run_surfaces_assembly_errors() {
         let e = cmd_run("frobnicate\n", MachineOpts::default()).unwrap_err();
         assert!(matches!(e, CliError::Failure(_)));
@@ -368,9 +462,6 @@ mod tests {
     #[test]
     fn dispatch_usage() {
         assert!(matches!(dispatch(vec![]), Err(CliError::Usage(_))));
-        assert!(matches!(
-            dispatch(vec!["bogus".into()]),
-            Err(CliError::Usage(_))
-        ));
+        assert!(matches!(dispatch(vec!["bogus".into()]), Err(CliError::Usage(_))));
     }
 }

@@ -115,7 +115,9 @@ impl Emulator {
                 self.m.threads.get_mut(tid).pc = pc + 1;
                 self.m.force_halt();
             }
-            Effect::Exit => self.m.threads.release(tid),
+            Effect::Exit => {
+                self.m.threads.release(tid);
+            }
             Effect::JoinWait(target) => {
                 let row = self.m.threads.get_mut(tid);
                 row.pc = pc + 1;

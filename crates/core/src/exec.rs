@@ -80,8 +80,7 @@ impl Machine {
             Lui { rd, imm } => {
                 // load the upper half-word: imm shifted by width/2
                 let sh = w.bits() / 2;
-                self.sregs
-                    .write(thread, rd.index(), Word::new((imm as u32) << sh, w));
+                self.sregs.write(thread, rd.index(), Word::new((imm as u32) << sh, w));
                 Ok(Effect::Next)
             }
 
@@ -124,8 +123,7 @@ impl Machine {
             }
             J { target } => Ok(Effect::Branch(target)),
             Jal { rd, target } => {
-                self.sregs
-                    .write(thread, rd.index(), Word::new(pc.wrapping_add(1), w));
+                self.sregs.write(thread, rd.index(), Word::new(pc.wrapping_add(1), w));
                 Ok(Effect::Branch(target))
             }
             Jr { ra } => {
@@ -137,9 +135,7 @@ impl Machine {
             TSpawn { rd, ra } => {
                 let target = self.sregs.read(thread, ra.index()).to_u32();
                 match self.spawn_thread(target) {
-                    Some(tid) => {
-                        self.sregs.write(thread, rd.index(), Word::new(tid as u32, w))
-                    }
+                    Some(tid) => self.sregs.write(thread, rd.index(), Word::new(tid as u32, w)),
                     None => self.sregs.write(thread, rd.index(), Word(w.mask())),
                 }
                 Ok(Effect::Next)
@@ -253,6 +249,7 @@ impl Machine {
                 let values = self.array.gpr_column(thread, pa.index());
                 let v = self.net.reduce(op, &values, &active, w);
                 self.sregs.write(thread, sd.index(), v);
+                self.emit_net_reduce(thread, asc_network::NetUnit::for_reduce(op));
                 Ok(Effect::Next)
             }
             RCount { sd, fa, mask } => {
@@ -260,6 +257,7 @@ impl Machine {
                 let flags = self.array.flag_column(thread, fa.index());
                 let v = self.net.count_responders(&flags, &active, w);
                 self.sregs.write(thread, sd.index(), v);
+                self.emit_net_reduce(thread, asc_network::NetUnit::Counter);
                 Ok(Effect::Next)
             }
             RFlag { op, fd, fa, mask } => {
@@ -267,6 +265,7 @@ impl Machine {
                 let flags = self.array.flag_column(thread, fa.index());
                 let v = self.net.reduce_flags(op, &flags, &active);
                 self.sflags.write(thread, fd.index(), v);
+                self.emit_net_reduce(thread, asc_network::NetUnit::Logic);
                 Ok(Effect::Next)
             }
             PFirst { fd, fa, mask } => {
@@ -274,6 +273,7 @@ impl Machine {
                 let flags = self.array.flag_column(thread, fa.index());
                 let one_hot = self.net.first_responder(&flags, &active);
                 self.array.write_flag_column(thread, fd, &one_hot, &active);
+                self.emit_net_reduce(thread, asc_network::NetUnit::Resolver);
                 Ok(Effect::Next)
             }
             RGet { sd, pa, fa, mask } => {
@@ -284,6 +284,7 @@ impl Machine {
                     .map(|i| values[i])
                     .unwrap_or(Word::ZERO);
                 self.sregs.write(thread, sd.index(), v);
+                self.emit_net_reduce(thread, asc_network::NetUnit::Resolver);
                 Ok(Effect::Next)
             }
         }

@@ -33,6 +33,7 @@ pub mod baseline;
 pub mod config;
 pub mod emulator;
 pub mod error;
+pub mod obs;
 pub mod pipeline;
 pub mod scoreboard;
 pub mod stats;
@@ -46,6 +47,7 @@ pub use config::{FetchModel, MachineConfig, SchedPolicy};
 pub use emulator::Emulator;
 pub use error::RunError;
 pub use machine::{IssueRecord, Machine, Step};
+pub use obs::{RingBufferSink, RunReport, SinkHandle, TraceEvent, TraceSink};
 pub use stats::{StallReason, Stats};
 pub use timing::Timing;
 
@@ -57,15 +59,14 @@ pub fn run_source(
     source: &str,
     max_cycles: u64,
 ) -> Result<(Machine, Stats), RunError> {
-    let program = asc_asm::assemble(source).unwrap_or_else(|errs| {
-        panic!("assembly failed:\n{}", asc_asm::render_errors(&errs))
-    });
+    let program = asc_asm::assemble(source)
+        .unwrap_or_else(|errs| panic!("assembly failed:\n{}", asc_asm::render_errors(&errs)));
     let mut m = Machine::with_program(cfg, &program)?;
     let stats = m.run(max_cycles)?;
     Ok((m, stats))
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptest"))]
 mod proptests;
 #[cfg(test)]
 mod tests;

@@ -17,9 +17,11 @@
 //! issue and must be synchronized by software (`tjoin`, flags), exactly as
 //! the prototype required.
 
+use std::collections::VecDeque;
+
 use asc_asm::Program;
 use asc_isa::{decode, DecodeError, Instr, InstrClass, Operand, RegClass, Word};
-use asc_network::Network;
+use asc_network::{NetUnit, Network};
 use asc_pe::{
     DividerConfig, FlagFile, LocalMemory, MultiplierKind, PeArray, RegFile, SequentialUnit,
 };
@@ -27,6 +29,7 @@ use asc_pe::{
 use crate::config::{FetchModel, MachineConfig, SchedPolicy};
 use crate::error::RunError;
 use crate::exec::Effect;
+use crate::obs::{SeqUnit, SinkHandle, ThreadTransition, TraceEvent};
 use crate::scoreboard::Scoreboard;
 use crate::stats::{StallReason, Stats};
 use crate::threads::{ThreadState, ThreadTable};
@@ -104,6 +107,13 @@ pub struct Machine {
     fetch_rotate: usize,
     stats: Stats,
     trace: Option<Vec<IssueRecord>>,
+    /// Attached observability sink (shared by clones of this machine).
+    sink: Option<SinkHandle>,
+    /// Completion cycles of in-flight broadcast-tree operations (queue
+    /// depth sampling).
+    bcast_inflight: VecDeque<u64>,
+    /// Completion cycles of in-flight reduction-tree operations.
+    red_inflight: VecDeque<u64>,
 }
 
 impl Machine {
@@ -134,6 +144,9 @@ impl Machine {
             fetch_rotate: 0,
             stats: Stats::new(cfg.threads),
             trace: None,
+            sink: None,
+            bcast_inflight: VecDeque::new(),
+            red_inflight: VecDeque::new(),
             cfg,
         }
     }
@@ -174,6 +187,23 @@ impl Machine {
         self.trace.as_deref()
     }
 
+    /// Attach an observability sink; every subsequent
+    /// [`crate::obs::TraceEvent`] is delivered to it. With no sink
+    /// attached, instrumentation costs one `Option` check per site.
+    pub fn attach_sink(&mut self, sink: SinkHandle) {
+        self.sink = Some(sink);
+    }
+
+    /// Detach the sink (returning it), e.g. to stop tracing mid-run.
+    pub fn detach_sink(&mut self) -> Option<SinkHandle> {
+        self.sink.take()
+    }
+
+    /// The attached sink, if any.
+    pub fn sink(&self) -> Option<&SinkHandle> {
+        self.sink.as_ref()
+    }
+
     /// Machine configuration.
     pub fn config(&self) -> &MachineConfig {
         &self.cfg
@@ -192,6 +222,12 @@ impl Machine {
     /// Statistics so far.
     pub fn stats(&self) -> &Stats {
         &self.stats
+    }
+
+    /// Number of `thread`'s registers with an in-flight (not yet produced)
+    /// writer at the current cycle.
+    pub fn pending_writes(&self, thread: usize) -> usize {
+        self.score.pending_writes(thread, self.cycle)
     }
 
     /// Host access to the PE array.
@@ -245,6 +281,13 @@ impl Machine {
         self.array.clear_thread(tid);
         self.score.clear_thread(tid);
         self.bubble[tid] = StallReason::BranchBubble;
+        if let Some(sink) = &self.sink {
+            sink.emit(&TraceEvent::Thread {
+                cycle: self.cycle,
+                thread: tid,
+                transition: ThreadTransition::Spawned,
+            });
+        }
         Some(tid)
     }
 
@@ -332,14 +375,12 @@ impl Machine {
             Ok(instr) => {
                 let tid = self.current;
                 self.issue(tid, instr)?;
-                return Ok(Step::Issued { thread: tid });
+                Ok(Step::Issued { thread: tid })
             }
             Err(b) => {
                 let wait = b.earliest.saturating_sub(self.cycle);
-                let must_switch = matches!(
-                    b.reason,
-                    StallReason::NoThread | StallReason::WaitJoin
-                ) || wait > penalty;
+                let must_switch = matches!(b.reason, StallReason::NoThread | StallReason::WaitJoin)
+                    || wait > penalty;
                 if must_switch {
                     // find another live thread to switch to
                     let next = self
@@ -354,16 +395,19 @@ impl Machine {
                         row.next_issue = row.next_issue.max(self.cycle + penalty);
                         self.bubble[next] = StallReason::SwitchPenalty;
                         self.stats.record_stall(StallReason::SwitchPenalty, 1);
+                        if let Some(sink) = &self.sink {
+                            sink.emit(&TraceEvent::Stall {
+                                cycle: self.cycle,
+                                reason: StallReason::SwitchPenalty,
+                                cycles: 1,
+                            });
+                        }
                         self.cycle += 1;
-                        return Ok(Step::Stalled {
-                            reason: StallReason::SwitchPenalty,
-                            cycles: 1,
-                        });
+                        return Ok(Step::Stalled { reason: StallReason::SwitchPenalty, cycles: 1 });
                     }
                 }
                 // no switch possible (or stall short enough): wait in place
-                let block =
-                    if b.reason == StallReason::NoThread { None } else { Some(b) };
+                let block = if b.reason == StallReason::NoThread { None } else { Some(b) };
                 self.consume_stall(block, b.earliest)
             }
         }
@@ -392,6 +436,9 @@ impl Machine {
         };
         let reason = block.map(|b| b.reason).unwrap_or(StallReason::NoThread);
         self.stats.record_stall(reason, delta);
+        if let Some(sink) = &self.sink {
+            sink.emit(&TraceEvent::Stall { cycle: self.cycle, reason, cycles: delta });
+        }
         self.cycle += delta;
         Ok(Step::Stalled { reason, cycles: delta })
     }
@@ -413,10 +460,7 @@ impl Machine {
             return Ok(Err(Blocked { reason: self.bubble[tid], earliest: row.next_issue }));
         }
         if matches!(self.cfg.fetch, FetchModel::Finite { .. }) && self.ibuf[tid] == 0 {
-            return Ok(Err(Blocked {
-                reason: StallReason::FetchEmpty,
-                earliest: self.cycle + 1,
-            }));
+            return Ok(Err(Blocked { reason: StallReason::FetchEmpty, earliest: self.cycle + 1 }));
         }
         let pc = row.pc;
         let instr = self.fetch(tid, pc)?;
@@ -507,7 +551,7 @@ impl Machine {
         None
     }
 
-    fn claim_sequential_unit(&mut self, instr: &Instr, class: InstrClass) {
+    fn claim_sequential_unit(&mut self, tid: usize, instr: &Instr, class: InstrClass) {
         let ex = self.cycle + self.timing.ex_start(class);
         let scalar = class == InstrClass::Scalar;
         if instr.uses_multiplier() {
@@ -515,6 +559,15 @@ impl Machine {
                 let unit = if scalar { &mut self.mul_scalar } else { &mut self.mul_parallel };
                 let claimed = unit.try_claim(ex, cycles);
                 debug_assert!(claimed.is_some(), "structural check preceded issue");
+                if let Some(sink) = &self.sink {
+                    let unit = if scalar { SeqUnit::ScalarMul } else { SeqUnit::ParallelMul };
+                    sink.emit(&TraceEvent::UnitBusy {
+                        cycle: ex,
+                        thread: tid,
+                        unit,
+                        busy_for: cycles,
+                    });
+                }
             }
         }
         if instr.uses_divider() {
@@ -522,6 +575,15 @@ impl Machine {
                 let unit = if scalar { &mut self.div_scalar } else { &mut self.div_parallel };
                 let claimed = unit.try_claim(ex, cycles);
                 debug_assert!(claimed.is_some(), "structural check preceded issue");
+                if let Some(sink) = &self.sink {
+                    let unit = if scalar { SeqUnit::ScalarDiv } else { SeqUnit::ParallelDiv };
+                    sink.emit(&TraceEvent::UnitBusy {
+                        cycle: ex,
+                        thread: tid,
+                        unit,
+                        busy_for: cycles,
+                    });
+                }
             }
         }
     }
@@ -531,11 +593,12 @@ impl Machine {
     fn issue(&mut self, tid: usize, instr: Instr) -> Result<(), RunError> {
         let pc = self.threads.get(tid).pc;
         let class = instr.class();
-        self.claim_sequential_unit(&instr, class);
+        self.claim_sequential_unit(tid, &instr, class);
         if matches!(self.cfg.fetch, FetchModel::Finite { .. }) {
             debug_assert!(self.ibuf[tid] > 0);
             self.ibuf[tid] -= 1;
         }
+        self.track_net_depth(class);
 
         let effect = self.execute_instr(tid, pc, &instr)?;
 
@@ -551,6 +614,27 @@ impl Machine {
         }
         let retire = self.cycle + self.timing.retire_offset(&instr);
         self.stats.last_writeback = self.stats.last_writeback.max(retire);
+
+        if let Some(sink) = &self.sink {
+            sink.emit(&TraceEvent::Issue {
+                cycle: self.cycle,
+                thread: tid,
+                pc,
+                class,
+                word: asc_isa::encode(&instr),
+            });
+            // retirement is resolved at issue; the event carries the
+            // future WB cycle
+            sink.emit(&TraceEvent::Retire { cycle: retire, thread: tid, pc, class });
+            if class != InstrClass::Scalar {
+                sink.emit(&TraceEvent::NetOp {
+                    cycle: self.cycle,
+                    thread: tid,
+                    unit: NetUnit::Broadcast,
+                    latency: self.timing.b,
+                });
+            }
+        }
 
         let row = self.threads.get_mut(tid);
         match effect {
@@ -572,18 +656,75 @@ impl Machine {
                 self.halted = true;
             }
             Effect::Exit => {
-                self.threads.release(tid);
+                let woken = self.threads.release(tid);
+                if let Some(sink) = &self.sink {
+                    sink.emit(&TraceEvent::Thread {
+                        cycle: self.cycle,
+                        thread: tid,
+                        transition: ThreadTransition::Exited,
+                    });
+                    for w in woken {
+                        sink.emit(&TraceEvent::Thread {
+                            cycle: self.cycle,
+                            thread: w,
+                            transition: ThreadTransition::Woken,
+                        });
+                    }
+                }
             }
             Effect::JoinWait(target) => {
                 let row = self.threads.get_mut(tid);
                 row.pc = pc + 1;
                 row.state = ThreadState::WaitingJoin(target);
                 row.next_issue = self.cycle + 1;
+                if let Some(sink) = &self.sink {
+                    sink.emit(&TraceEvent::Thread {
+                        cycle: self.cycle,
+                        thread: tid,
+                        transition: ThreadTransition::JoinWait { target },
+                    });
+                }
             }
         }
 
         self.cycle += 1;
         Ok(())
+    }
+
+    /// Sample broadcast/reduction queue depths: drop completed operations,
+    /// record the depth the new operation observes, then enqueue it.
+    fn track_net_depth(&mut self, class: InstrClass) {
+        if class == InstrClass::Scalar {
+            return;
+        }
+        while self.bcast_inflight.front().is_some_and(|&done| done <= self.cycle) {
+            self.bcast_inflight.pop_front();
+        }
+        self.stats.broadcast_depth.record(self.bcast_inflight.len() as u64);
+        // the broadcast tree carries the instruction through B1..Bb
+        self.bcast_inflight.push_back(self.cycle + self.timing.b);
+        if class == InstrClass::Reduction {
+            while self.red_inflight.front().is_some_and(|&done| done <= self.cycle) {
+                self.red_inflight.pop_front();
+            }
+            self.stats.reduction_depth.record(self.red_inflight.len() as u64);
+            // the reduction tree is occupied through R1..Rr, which start
+            // after broadcast (b) and PE read (1)
+            self.red_inflight.push_back(self.cycle + self.timing.b + 1 + self.timing.r);
+        }
+    }
+
+    /// Emit a reduction-unit network event (called by the executor's
+    /// reduction arms, which know which tree the operation uses).
+    pub(crate) fn emit_net_reduce(&mut self, thread: usize, unit: NetUnit) {
+        if let Some(sink) = &self.sink {
+            sink.emit(&TraceEvent::NetOp {
+                cycle: self.cycle,
+                thread,
+                unit,
+                latency: self.timing.r,
+            });
+        }
     }
 
     /// Run until the program halts, every thread exits, or `max_cycles`
@@ -597,6 +738,10 @@ impl Machine {
         }
         // pipeline drain: cycles counted to the last writeback
         self.stats.cycles = self.stats.last_writeback.max(self.cycle) + 1;
+        if let Some(sink) = &self.sink {
+            // best-effort flush; file-backed sinks latch their own errors
+            let _ = sink.flush();
+        }
         Ok(self.stats.clone())
     }
 }

@@ -1,0 +1,55 @@
+//! # Observability: event tracing, metrics, and run reports
+//!
+//! Three layers, cheapest first:
+//!
+//! 1. **Structured events** ([`TraceEvent`]) — a typed, cycle-stamped
+//!    stream of everything the issue logic decides: instruction issue and
+//!    retire, every stall span with its [`crate::StallReason`], network
+//!    operations with unit and latency, thread lifecycle transitions, and
+//!    sequential-unit (multiplier/divider) busy spans. Events flow into a
+//!    [`TraceSink`] — a bounded [`RingBufferSink`] for in-memory
+//!    inspection or a [`JsonLinesSink`] for on-disk traces. With no sink
+//!    attached, every emission site reduces to one `Option::is_some`
+//!    check: the event is never even constructed.
+//!
+//! 2. **Metrics** ([`Registry`]) — named counters, gauges, and
+//!    fixed-bucket [`Histogram`]s. [`crate::Stats`] is refactored on top:
+//!    `Stats::to_registry()` exports every legacy counter plus derived
+//!    gauges (IPC, per-thread issue-slot utilization) and histograms
+//!    (stall spans per reason, broadcast/reduction queue depths), and
+//!    `Stats::report()` renders from the registry so text and
+//!    machine-readable output cannot disagree.
+//!
+//! 3. **Run reports** ([`RunReport`]) — one JSON document per run:
+//!    machine geometry, the legacy totals verbatim, and the full registry
+//!    (including analytic per-stage pipeline occupancy). Written by
+//!    `mtasc run --report out.json`, re-read by `mtasc stats`.
+//!
+//! Attach a sink with [`crate::Machine::attach_sink`]:
+//!
+//! ```
+//! use std::cell::RefCell;
+//! use std::rc::Rc;
+//! use asc_core::obs::{RingBufferSink, SinkHandle};
+//! use asc_core::{Machine, MachineConfig};
+//!
+//! let mut m = Machine::new(MachineConfig::prototype());
+//! let ring = Rc::new(RefCell::new(RingBufferSink::new(4096)));
+//! m.attach_sink(SinkHandle::shared(ring.clone()));
+//! // ... load and run ...
+//! for ev in ring.borrow().events() {
+//!     println!("{}", ev.to_json().to_compact());
+//! }
+//! ```
+
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod report;
+pub mod trace;
+
+pub use event::{SeqUnit, ThreadTransition, TraceEvent};
+pub use json::{Json, JsonError};
+pub use metrics::{Histogram, MetricValue, Registry};
+pub use report::{MachineMeta, RunReport, REPORT_SCHEMA};
+pub use trace::{parse_json_lines, JsonLinesSink, RingBufferSink, SinkHandle, TraceSink};

@@ -1,0 +1,240 @@
+//! Trace sinks: where [`TraceEvent`]s go. The machine holds an optional
+//! [`SinkHandle`]; with none attached, instrumentation reduces to one
+//! `Option` check per emission site (no event is even constructed).
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::io::{self, Write};
+use std::rc::Rc;
+
+use super::event::TraceEvent;
+use super::json::Json;
+
+/// Receives every emitted event, in emission order.
+pub trait TraceSink {
+    /// Observe one event.
+    fn record(&mut self, event: &TraceEvent);
+
+    /// Flush any buffered output (called by `SinkHandle::flush`, and a
+    /// good idea at end of run for file-backed sinks).
+    fn flush_sink(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// A bounded in-memory sink: keeps the last `capacity` events and counts
+/// what it had to drop. Cheap enough to attach in tests and the kernels
+/// harness.
+#[derive(Debug, Clone)]
+pub struct RingBufferSink {
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl RingBufferSink {
+    /// A ring holding at most `capacity` events (≥ 1).
+    pub fn new(capacity: usize) -> RingBufferSink {
+        assert!(capacity >= 1);
+        RingBufferSink { capacity, events: VecDeque::with_capacity(capacity), dropped: 0 }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing was recorded (or everything was dropped).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl TraceSink for RingBufferSink {
+    fn record(&mut self, event: &TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(*event);
+    }
+}
+
+/// A sink writing one compact JSON object per line (JSON-Lines) to any
+/// `io::Write`. Construct over a `BufWriter<File>` (see
+/// [`JsonLinesSink::create`]) for traces on disk, or a `Vec<u8>` in tests.
+#[derive(Debug)]
+pub struct JsonLinesSink<W: Write> {
+    writer: W,
+    written: u64,
+    error: Option<io::Error>,
+}
+
+impl JsonLinesSink<io::BufWriter<std::fs::File>> {
+    /// Create (truncating) a JSON-Lines trace file.
+    pub fn create(path: &str) -> io::Result<Self> {
+        Ok(JsonLinesSink::new(io::BufWriter::new(std::fs::File::create(path)?)))
+    }
+}
+
+impl<W: Write> JsonLinesSink<W> {
+    /// Wrap a writer.
+    pub fn new(writer: W) -> JsonLinesSink<W> {
+        JsonLinesSink { writer, written: 0, error: None }
+    }
+
+    /// Lines successfully written.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// The first write error, if any occurred (recording continues past
+    /// errors; check this at end of run).
+    pub fn error(&self) -> Option<&io::Error> {
+        self.error.as_ref()
+    }
+
+    /// Consume the sink, returning the writer (for `Vec<u8>`-backed
+    /// round-trip tests).
+    pub fn into_writer(mut self) -> io::Result<W> {
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+}
+
+impl<W: Write> TraceSink for JsonLinesSink<W> {
+    fn record(&mut self, event: &TraceEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        let line = event.to_json().to_compact();
+        match self.writer.write_all(line.as_bytes()).and_then(|()| self.writer.write_all(b"\n")) {
+            Ok(()) => self.written += 1,
+            Err(e) => self.error = Some(e),
+        }
+    }
+
+    fn flush_sink(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+}
+
+/// Parse a JSON-Lines trace back into events (blank lines skipped).
+/// Returns the 1-based line number of the first malformed line on error.
+pub fn parse_json_lines(text: &str) -> Result<Vec<TraceEvent>, usize> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = Json::parse(line).map_err(|_| i + 1)?;
+        events.push(TraceEvent::from_json(&v).ok_or(i + 1)?);
+    }
+    Ok(events)
+}
+
+/// A shared, clonable handle to a sink. The machine stores one of these
+/// (rather than a `Box<dyn TraceSink>`) so `Machine` stays `Clone`;
+/// cloning a machine shares the sink with the clone.
+#[derive(Clone)]
+pub struct SinkHandle(Rc<RefCell<dyn TraceSink>>);
+
+impl std::fmt::Debug for SinkHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SinkHandle(..)")
+    }
+}
+
+impl SinkHandle {
+    /// Wrap a sink for attachment to a machine.
+    pub fn new(sink: impl TraceSink + 'static) -> SinkHandle {
+        SinkHandle(Rc::new(RefCell::new(sink)))
+    }
+
+    /// Wrap an externally held sink, keeping the caller's handle for
+    /// read-back after the run:
+    ///
+    /// ```
+    /// use std::cell::RefCell;
+    /// use std::rc::Rc;
+    /// use asc_core::obs::{RingBufferSink, SinkHandle};
+    ///
+    /// let ring = Rc::new(RefCell::new(RingBufferSink::new(1024)));
+    /// let handle = SinkHandle::shared(ring.clone());
+    /// // attach `handle` to a machine, run, then inspect ring.borrow()
+    /// ```
+    pub fn shared<S: TraceSink + 'static>(sink: Rc<RefCell<S>>) -> SinkHandle {
+        SinkHandle(sink)
+    }
+
+    /// Deliver one event.
+    pub fn emit(&self, event: &TraceEvent) {
+        self.0.borrow_mut().record(event);
+    }
+
+    /// Flush the underlying sink.
+    pub fn flush(&self) -> io::Result<()> {
+        self.0.borrow_mut().flush_sink()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::event::tests::samples;
+    use super::*;
+
+    #[test]
+    fn ring_buffer_keeps_the_tail() {
+        let mut ring = RingBufferSink::new(4);
+        for ev in samples() {
+            ring.record(&ev);
+        }
+        let n = samples().len();
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.dropped(), (n - 4) as u64);
+        let kept: Vec<TraceEvent> = ring.events().copied().collect();
+        assert_eq!(kept, samples()[n - 4..]);
+    }
+
+    #[test]
+    fn json_lines_round_trip_every_variant() {
+        let mut sink = JsonLinesSink::new(Vec::new());
+        for ev in samples() {
+            sink.record(&ev);
+        }
+        assert_eq!(sink.written(), samples().len() as u64);
+        assert!(sink.error().is_none());
+        let bytes = sink.into_writer().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        assert_eq!(parse_json_lines(&text).unwrap(), samples());
+    }
+
+    #[test]
+    fn parse_reports_bad_line_numbers() {
+        assert_eq!(parse_json_lines("{\"ev\":\"nope\",\"cycle\":1}"), Err(1));
+        let good = samples()[0].to_json().to_compact();
+        assert_eq!(parse_json_lines(&format!("{good}\n\nnot json")), Err(3));
+    }
+
+    #[test]
+    fn shared_handles_read_back() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let ring = Rc::new(RefCell::new(RingBufferSink::new(16)));
+        let handle = SinkHandle::shared(ring.clone());
+        let cloned = handle.clone();
+        cloned.emit(&samples()[0]);
+        handle.emit(&samples()[1]);
+        assert_eq!(ring.borrow().len(), 2);
+    }
+}

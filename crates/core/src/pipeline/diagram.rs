@@ -23,9 +23,7 @@ pub fn pipeline_organization(t: &Timing) -> String {
     let mut s = String::new();
     s.push_str("                 +-> EX -> MA -> WB                      (scalar)\n");
     s.push_str("IF -> ID -> SR --+\n");
-    s.push_str(&format!(
-        "                 +-> {bpath} -> PR --+-> EX -> MA -> WB  (parallel)\n"
-    ));
+    s.push_str(&format!("                 +-> {bpath} -> PR --+-> EX -> MA -> WB  (parallel)\n"));
     let pad = " ".repeat(21 + bpath.len() + 9);
     s.push_str(&format!("{pad}+-> {rpath} -> WB  (reduction)\n"));
     s
@@ -37,7 +35,9 @@ pub fn pipeline_organization(t: &Timing) -> String {
 /// its ID stage until issue, exactly as the paper draws it.
 pub fn hazard_diagram(records: &[IssueRecord], t: &Timing) -> String {
     if records.is_empty() {
-        return String::new();
+        // an empty diagram is confusing downstream (the CLI would print a
+        // heading followed by nothing) — say what happened instead
+        return "(no issues recorded)\n".to_string();
     }
     // program-order fetch: record k is fetched at first_fetch + k
     let first_issue = records[0].cycle;
@@ -134,6 +134,11 @@ mod tests {
             divider: DividerConfig::None,
             forwarding: true,
         }
+    }
+
+    #[test]
+    fn empty_trace_yields_placeholder() {
+        assert_eq!(hazard_diagram(&[], &t()), "(no issues recorded)\n");
     }
 
     #[test]

@@ -145,9 +145,9 @@ proptest! {
 /// random instruction, every changed register must appear in `writes()`.
 #[test]
 fn writes_set_bounds_executor_effects() {
+    use crate::emulator::Emulator;
     use asc_isa::gen::random_straightline_instr;
     use asc_isa::{Instr, Operand, RegClass};
-    use crate::emulator::Emulator;
 
     let mut rng = StdRng::seed_from_u64(0x5EED);
     // lmem large enough that any 8-bit base register + small offset is in

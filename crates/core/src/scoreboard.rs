@@ -57,13 +57,19 @@ impl Scoreboard {
     /// Record that `op` of `thread` will be produced (forward-ready) at the
     /// end of `ready`, by an instruction of class `producer`.
     pub fn record_write(&mut self, thread: usize, op: Operand, ready: u64, producer: InstrClass) {
-        self.entries[thread][file_index(op.class)][op.index as usize] =
-            Entry { ready, producer };
+        self.entries[thread][file_index(op.class)][op.index as usize] = Entry { ready, producer };
     }
 
     /// Clear a thread's entries (context reallocation).
     pub fn clear_thread(&mut self, thread: usize) {
         self.entries[thread] = [[Entry::default(); REGS]; FILES];
+    }
+
+    /// Number of `thread`'s registers whose in-flight writer has not yet
+    /// produced its value at cycle `now` — a per-thread measure of
+    /// outstanding work, sampled by observability tooling.
+    pub fn pending_writes(&self, thread: usize, now: u64) -> usize {
+        self.entries[thread].iter().flat_map(|file| file.iter()).filter(|e| e.ready > now).count()
     }
 }
 
@@ -86,6 +92,20 @@ mod tests {
         assert_eq!(sb.ready_time(0, p1), 30);
         // same index, different file
         assert_eq!(sb.ready_time(0, Operand::pf(PFlag::from_index(1))), 0);
+    }
+
+    #[test]
+    fn pending_writes_counts_in_flight() {
+        let mut sb = Scoreboard::new(2);
+        let s1 = Operand::s(SReg::from_index(1));
+        let p1 = Operand::p(PReg::from_index(1));
+        assert_eq!(sb.pending_writes(0, 0), 0);
+        sb.record_write(0, s1, 10, InstrClass::Reduction);
+        sb.record_write(0, p1, 5, InstrClass::Parallel);
+        assert_eq!(sb.pending_writes(0, 0), 2);
+        assert_eq!(sb.pending_writes(0, 5), 1, "p1 produced at end of 5");
+        assert_eq!(sb.pending_writes(0, 10), 0);
+        assert_eq!(sb.pending_writes(1, 0), 0, "other thread unaffected");
     }
 
     #[test]

@@ -1,8 +1,23 @@
 //! Execution statistics: issue counts by class and thread, and a stall
 //! breakdown by hazard type — the quantities the paper's argument is about.
+//!
+//! `Stats` is the struct-of-counters view; [`Stats::to_registry`] exposes
+//! the same quantities (plus derived gauges and histograms) as a named
+//! [`Registry`], and [`Stats::report`] renders from that registry, so the
+//! legacy text report and the machine-readable form cannot disagree.
 
 use asc_isa::InstrClass;
 use std::fmt;
+
+use crate::obs::{Histogram, Registry};
+
+/// Inclusive upper bucket edges for stall-span histograms (how long each
+/// contiguous stall lasted, in cycles).
+pub const SPAN_BUCKETS: [u64; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+/// Inclusive upper bucket edges for network queue-depth histograms
+/// (in-flight operations sampled at each issue).
+pub const DEPTH_BUCKETS: [u64; 6] = [0, 1, 2, 4, 8, 16];
 
 /// Why an issue slot went empty (or a particular thread could not issue).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -106,12 +121,27 @@ pub struct Stats {
     pub last_writeback: u64,
     /// Thread switches (meaningful under coarse-grain scheduling).
     pub thread_switches: u64,
+    /// Distribution of contiguous stall-span lengths, one histogram per
+    /// [`StallReason`] (indexed by [`StallReason::index`]).
+    pub stall_spans: Vec<Histogram>,
+    /// In-flight broadcast-tree operations, sampled at each issue of a
+    /// parallel or reduction instruction.
+    pub broadcast_depth: Histogram,
+    /// In-flight reduction-tree operations, sampled at each issue of a
+    /// reduction instruction.
+    pub reduction_depth: Histogram,
 }
 
 impl Stats {
     /// Allocate for `threads` hardware threads.
     pub fn new(threads: usize) -> Stats {
-        Stats { issued_by_thread: vec![0; threads], ..Stats::default() }
+        Stats {
+            issued_by_thread: vec![0; threads],
+            stall_spans: StallReason::ALL.iter().map(|_| Histogram::new(&SPAN_BUCKETS)).collect(),
+            broadcast_depth: Histogram::new(&DEPTH_BUCKETS),
+            reduction_depth: Histogram::new(&DEPTH_BUCKETS),
+            ..Stats::default()
+        }
     }
 
     /// Record an issue.
@@ -126,10 +156,13 @@ impl Stats {
         self.issued_by_class[idx] += 1;
     }
 
-    /// Record `n` stall cycles attributed to `reason`.
+    /// Record a contiguous span of `n` stall cycles attributed to `reason`.
     pub fn record_stall(&mut self, reason: StallReason, n: u64) {
         self.stall_cycles += n;
         self.stalls[reason.index()] += n;
+        if let Some(h) = self.stall_spans.get_mut(reason.index()) {
+            h.record(n);
+        }
     }
 
     /// Instructions per cycle over the whole run.
@@ -146,19 +179,56 @@ impl Stats {
         self.stalls[reason.index()]
     }
 
+    /// Export every counter as a named metric, plus derived gauges
+    /// (IPC, per-thread issue-slot utilization) and the span/depth
+    /// histograms. The registry is the canonical form: [`Stats::report`]
+    /// and [`crate::obs::RunReport`] both render from it.
+    pub fn to_registry(&self) -> Registry {
+        let mut reg = Registry::new();
+        reg.counter_add("cycles", self.cycles);
+        reg.counter_add("issued", self.issued);
+        reg.counter_add("issued.scalar", self.issued_by_class[0]);
+        reg.counter_add("issued.parallel", self.issued_by_class[1]);
+        reg.counter_add("issued.reduction", self.issued_by_class[2]);
+        reg.gauge_set("ipc", self.ipc());
+        for (t, &n) in self.issued_by_thread.iter().enumerate() {
+            reg.counter_add(&format!("issued.thread.{t}"), n);
+        }
+        for (t, &n) in self.issued_by_thread.iter().enumerate() {
+            let util = if self.cycles == 0 { 0.0 } else { n as f64 / self.cycles as f64 };
+            reg.gauge_set(&format!("util.thread.{t}"), util);
+        }
+        reg.counter_add("stall_cycles", self.stall_cycles);
+        for reason in StallReason::ALL {
+            reg.counter_add(&format!("stall.{}", reason.label()), self.stalls_for(reason));
+        }
+        for reason in StallReason::ALL {
+            if let Some(h) = self.stall_spans.get(reason.index()) {
+                reg.histogram_set(&format!("stall_span.{}", reason.label()), h.clone());
+            }
+        }
+        reg.histogram_set("queue_depth.broadcast", self.broadcast_depth.clone());
+        reg.histogram_set("queue_depth.reduction", self.reduction_depth.clone());
+        reg.counter_add("last_writeback", self.last_writeback);
+        reg.counter_add("thread_switches", self.thread_switches);
+        reg
+    }
+
     /// Issue-slot utilization report, one line per non-zero reason.
+    /// Rendered from [`Stats::to_registry`].
     pub fn report(&self) -> String {
+        let reg = self.to_registry();
         let mut out = format!(
             "cycles: {}  issued: {} (scalar {}, parallel {}, reduction {})  IPC: {:.3}\n",
-            self.cycles,
-            self.issued,
-            self.issued_by_class[0],
-            self.issued_by_class[1],
-            self.issued_by_class[2],
-            self.ipc()
+            reg.counter("cycles"),
+            reg.counter("issued"),
+            reg.counter("issued.scalar"),
+            reg.counter("issued.parallel"),
+            reg.counter("issued.reduction"),
+            reg.gauge("ipc").unwrap_or(0.0)
         );
         for reason in StallReason::ALL {
-            let n = self.stalls_for(reason);
+            let n = reg.counter(&format!("stall.{}", reason.label()));
             if n > 0 {
                 out.push_str(&format!("  stalls[{}]: {}\n", reason.label(), n));
             }
@@ -199,5 +269,49 @@ mod tests {
     #[test]
     fn zero_cycles_ipc() {
         assert_eq!(Stats::new(1).ipc(), 0.0);
+    }
+
+    #[test]
+    fn all_ordering_matches_index() {
+        // `ALL[i].index() == i` for every variant — table renderers index
+        // `stalls`/`stall_spans` by position in ALL, so the two orderings
+        // must never drift apart.
+        for (i, reason) in StallReason::ALL.iter().enumerate() {
+            assert_eq!(reason.index(), i, "{reason} out of place in StallReason::ALL");
+        }
+        assert_eq!(StallReason::ALL.len(), 10);
+    }
+
+    #[test]
+    fn registry_mirrors_counters() {
+        let mut s = Stats::new(2);
+        s.cycles = 10;
+        s.record_issue(0, InstrClass::Scalar);
+        s.record_issue(1, InstrClass::Reduction);
+        s.record_stall(StallReason::ReductionHazard, 6);
+        s.broadcast_depth.record(2);
+        let reg = s.to_registry();
+        assert_eq!(reg.counter("cycles"), 10);
+        assert_eq!(reg.counter("issued"), 2);
+        assert_eq!(reg.counter("issued.scalar"), 1);
+        assert_eq!(reg.counter("issued.reduction"), 1);
+        assert_eq!(reg.counter("issued.thread.1"), 1);
+        assert_eq!(reg.counter("stall.reduction hazard"), 6);
+        assert_eq!(reg.counter("stall.data hazard"), 0);
+        assert_eq!(reg.gauge("ipc"), Some(0.2));
+        assert_eq!(reg.gauge("util.thread.0"), Some(0.1));
+        let span = reg.histogram("stall_span.reduction hazard").unwrap();
+        assert_eq!((span.count(), span.sum(), span.max()), (1, 6, 6));
+        assert_eq!(reg.histogram("queue_depth.broadcast").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn default_stats_report_is_well_formed() {
+        // A Default-constructed Stats has no span histograms; report() and
+        // to_registry() must still work (used by code that builds Stats
+        // without knowing the thread count).
+        let s = Stats::default();
+        assert!(s.report().starts_with("cycles: 0"));
+        assert!(s.to_registry().histogram("stall_span.data hazard").is_none());
     }
 }

@@ -386,12 +386,7 @@ fn multithreading_hides_reduction_stalls() {
         mt.cycles,
         st.cycles
     );
-    assert!(
-        mt.ipc() > 1.5 * st.ipc(),
-        "MT IPC {} should far exceed ST IPC {}",
-        mt.ipc(),
-        st.ipc()
-    );
+    assert!(mt.ipc() > 1.5 * st.ipc(), "MT IPC {} should far exceed ST IPC {}", mt.ipc(), st.ipc());
     assert!(
         mt.stalls_for(StallReason::BroadcastReductionHazard)
             < st.stalls_for(StallReason::BroadcastReductionHazard),
@@ -516,7 +511,7 @@ fn pshift_moves_data_between_pes() {
     )
     .unwrap();
     for pe in 0..16u32 {
-        let expect2 = if pe >= 1 { pe - 1 } else { 0 };
+        let expect2 = pe.saturating_sub(1);
         let expect3 = if pe + 4 < 16 { pe + 4 } else { 0 };
         assert_eq!(m.array().gpr(pe as usize, 0, 2).to_u32(), expect2);
         assert_eq!(m.array().gpr(pe as usize, 0, 3).to_u32(), expect3);
@@ -628,8 +623,7 @@ wloop:   addi s6, s6, -1
     assert!(stats.ipc() > 0.5);
     // branchy code with flushed buffers must show refill stalls
     assert!(
-        stats.stalls_for(StallReason::FetchEmpty) + stats.stalls_for(StallReason::BranchBubble)
-            > 0
+        stats.stalls_for(StallReason::FetchEmpty) + stats.stalls_for(StallReason::BranchBubble) > 0
     );
 }
 
@@ -658,8 +652,7 @@ worker:  pidx p1
 #[test]
 fn coarse_grain_with_finite_fetch() {
     let src = MT_PROGRAM;
-    let (m, stats) =
-        run_source(full().coarse_grain(4).with_fetch_buffers(2), src, MAX).unwrap();
+    let (m, stats) = run_source(full().coarse_grain(4).with_fetch_buffers(2), src, MAX).unwrap();
     assert_eq!(m.sreg(0, 2).to_u32(), 7, "still computes correctly");
     assert!(stats.thread_switches > 0);
 }
@@ -766,10 +759,7 @@ fn cycle_limit() {
 fn program_too_large() {
     let mut m = Machine::new(proto());
     let words = vec![0u32; 5000];
-    assert!(matches!(
-        m.load_words(&words),
-        Err(RunError::ProgramTooLarge { .. })
-    ));
+    assert!(matches!(m.load_words(&words), Err(RunError::ProgramTooLarge { .. })));
 }
 
 // ------------------------------------------------------------ differential
@@ -811,11 +801,7 @@ fn timing_machine_matches_emulator_on_random_programs() {
         emu.run(MAX).unwrap();
 
         for r in 0..16 {
-            assert_eq!(
-                timing.sreg(0, r),
-                emu.sreg(0, r),
-                "trial {trial}: scalar reg {r}"
-            );
+            assert_eq!(timing.sreg(0, r), emu.sreg(0, r), "trial {trial}: scalar reg {r}");
         }
         for f in 0..8 {
             assert_eq!(timing.sflag(0, f), emu.machine().sflag(0, f), "trial {trial} flag {f}");
@@ -883,4 +869,137 @@ fn hazard_diagram_renders_figure_2() {
     assert!(id_count >= (t.b + t.r) as usize, "{diagram}");
     assert!(diagram.contains("R4"));
     assert!(diagram.contains("WB"));
+}
+
+// ------------------------------------------------------------ observability
+
+#[test]
+fn trace_events_reconcile_with_stats_on_mt_kernel() {
+    use crate::obs::{RingBufferSink, SinkHandle, ThreadTransition, TraceEvent};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    let program = assemble(MT_PROGRAM).unwrap();
+    let mut m = Machine::with_program(full(), &program).unwrap();
+    let ring = Rc::new(RefCell::new(RingBufferSink::new(1 << 20)));
+    m.attach_sink(SinkHandle::shared(ring.clone()));
+    let stats = m.run(MAX).unwrap();
+
+    let ring = ring.borrow();
+    assert_eq!(ring.dropped(), 0, "ring sized to hold the whole run");
+    let mut issues = 0u64;
+    let mut issues_reduction = 0u64;
+    let mut retires = 0u64;
+    let mut last_retire = 0u64;
+    let mut stall_cycles = 0u64;
+    let mut spawned = 0u64;
+    let mut exited = 0u64;
+    let mut sum_ops = 0u64;
+    let mut bcast_ops = 0u64;
+    for ev in ring.events() {
+        match *ev {
+            TraceEvent::Issue { class, .. } => {
+                issues += 1;
+                if class == asc_isa::InstrClass::Reduction {
+                    issues_reduction += 1;
+                }
+            }
+            TraceEvent::Retire { cycle, .. } => {
+                retires += 1;
+                last_retire = last_retire.max(cycle);
+            }
+            TraceEvent::Stall { cycles, .. } => stall_cycles += cycles,
+            TraceEvent::Thread { transition, .. } => match transition {
+                ThreadTransition::Spawned => spawned += 1,
+                ThreadTransition::Exited => exited += 1,
+                _ => {}
+            },
+            TraceEvent::NetOp { unit, .. } => match unit {
+                asc_network::NetUnit::Sum => sum_ops += 1,
+                asc_network::NetUnit::Broadcast => bcast_ops += 1,
+                _ => {}
+            },
+            TraceEvent::UnitBusy { .. } => {}
+        }
+    }
+    assert_eq!(issues, stats.issued, "one Issue event per issued instruction");
+    assert_eq!(retires, stats.issued, "one Retire event per issued instruction");
+    assert_eq!(last_retire, stats.last_writeback);
+    assert_eq!(stall_cycles, stats.stall_cycles, "stall spans cover every empty slot");
+    assert_eq!(spawned, 7, "seven workers spawned");
+    assert_eq!(exited, 7, "seven workers exited");
+    assert_eq!(sum_ops, issues_reduction, "each rsum uses the sum tree once");
+    assert_eq!(
+        bcast_ops,
+        stats.issued_by_class[1] + stats.issued_by_class[2],
+        "every parallel/reduction instruction crosses the broadcast tree"
+    );
+}
+
+#[test]
+fn jsonl_trace_of_real_run_round_trips() {
+    use crate::obs::{parse_json_lines, JsonLinesSink, RingBufferSink, SinkHandle, TraceEvent};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    let program = assemble(MT_PROGRAM).unwrap();
+
+    // run once into a JSON-Lines sink over a byte buffer
+    let jsonl = Rc::new(RefCell::new(JsonLinesSink::new(Vec::new())));
+    let mut m = Machine::with_program(full(), &program).unwrap();
+    m.attach_sink(SinkHandle::shared(jsonl.clone()));
+    m.run(MAX).unwrap();
+    drop(m);
+    let sink = Rc::try_unwrap(jsonl).expect("machine dropped").into_inner();
+    assert!(sink.error().is_none());
+    let written = sink.written();
+    let text = String::from_utf8(sink.into_writer().unwrap()).unwrap();
+    let parsed = parse_json_lines(&text).expect("every emitted event parses back");
+    assert_eq!(parsed.len() as u64, written);
+
+    // the simulator is deterministic: an identical run into a ring buffer
+    // must produce the identical event stream
+    let ring = Rc::new(RefCell::new(RingBufferSink::new(1 << 20)));
+    let mut m = Machine::with_program(full(), &program).unwrap();
+    m.attach_sink(SinkHandle::shared(ring.clone()));
+    m.run(MAX).unwrap();
+    let expected: Vec<TraceEvent> = ring.borrow().events().copied().collect();
+    assert_eq!(parsed, expected);
+}
+
+#[test]
+fn run_report_totals_match_stats_on_mt_kernel() {
+    use crate::obs::RunReport;
+
+    let (m, stats) = run_source(full(), MT_PROGRAM, MAX).unwrap();
+    let report = RunReport::from_machine(&m);
+    assert_eq!(&report.totals, &stats, "report totals are the legacy Stats verbatim");
+    let back = RunReport::parse(&report.to_json().to_pretty()).unwrap();
+    assert_eq!(back.totals.issued, stats.issued);
+    assert_eq!(back.totals.stall_cycles, stats.stall_cycles);
+    assert_eq!(back.totals.issued_by_thread, stats.issued_by_thread);
+    assert_eq!(back.metrics.counter("cycles"), stats.cycles);
+    for reason in StallReason::ALL {
+        assert_eq!(
+            back.metrics.counter(&format!("stall.{}", reason.label())),
+            stats.stalls_for(reason),
+            "{reason}"
+        );
+    }
+}
+
+#[test]
+fn unsinked_machine_emits_nothing_and_matches_sinked_run() {
+    use crate::obs::{RingBufferSink, SinkHandle};
+
+    // attaching a sink must not perturb timing
+    let (_, plain) = run_source(full(), MT_PROGRAM, MAX).unwrap();
+    let program = assemble(MT_PROGRAM).unwrap();
+    let mut m = Machine::with_program(full(), &program).unwrap();
+    m.attach_sink(SinkHandle::new(RingBufferSink::new(64)));
+    let sinked = m.run(MAX).unwrap();
+    assert_eq!(plain, sinked, "tracing is observation, not intervention");
+    assert!(m.sink().is_some());
+    assert!(m.detach_sink().is_some());
+    assert!(m.sink().is_none());
 }

@@ -37,8 +37,7 @@ impl ThreadTable {
     /// rest are free.
     pub fn new(n: usize) -> ThreadTable {
         assert!(n >= 1);
-        let mut rows =
-            vec![Thread { state: ThreadState::Free, pc: 0, next_issue: 0 }; n];
+        let mut rows = vec![Thread { state: ThreadState::Free, pc: 0, next_issue: 0 }; n];
         rows[0].state = ThreadState::Runnable;
         ThreadTable { rows }
     }
@@ -73,14 +72,18 @@ impl ThreadTable {
         Some(tid)
     }
 
-    /// Release a context (`texit`), waking any joiners.
-    pub fn release(&mut self, tid: usize) {
+    /// Release a context (`texit`), waking any joiners. Returns the ids of
+    /// the threads that were woken (so the caller can trace the wakeups).
+    pub fn release(&mut self, tid: usize) -> Vec<usize> {
         self.rows[tid].state = ThreadState::Free;
-        for row in &mut self.rows {
+        let mut woken = Vec::new();
+        for (i, row) in self.rows.iter_mut().enumerate() {
             if row.state == ThreadState::WaitingJoin(tid) {
                 row.state = ThreadState::Runnable;
+                woken.push(i);
             }
         }
+        woken
     }
 
     /// True if any context is runnable or waiting.
@@ -133,8 +136,10 @@ mod tests {
         let worker = t.alloc(5, 0).unwrap();
         t.get_mut(0).state = ThreadState::WaitingJoin(worker);
         assert!(!t.get(0).state.eq(&ThreadState::Runnable));
-        t.release(worker);
+        let woken = t.release(worker);
         assert_eq!(t.get(0).state, ThreadState::Runnable);
+        assert_eq!(woken, vec![0], "joiner reported woken");
+        assert_eq!(t.release(2), Vec::<usize>::new(), "no joiners, nobody woken");
     }
 
     #[test]

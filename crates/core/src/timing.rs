@@ -216,9 +216,9 @@ mod tests {
     #[test]
     fn broadcast_hazard_forwarded() {
         let t = t();
-        let produce = 0 + t.produce_offset(&sub()); // SUB issued at 0
-        // earliest issue of the dependent PADD: consume at j+1 must be
-        // after produce → j >= produce
+        let produce = t.produce_offset(&sub()); // SUB issued at 0
+                                                // earliest issue of the dependent PADD: consume at j+1 must be
+                                                // after produce → j >= produce
         let earliest = produce; // j + consume_offset - 1 >= produce ⇒ j >= produce - c + 1
         let c = t.consume_offset(InstrClass::Parallel, RegClass::SGpr);
         let j_min = produce.saturating_sub(c - 1);
@@ -305,10 +305,7 @@ mod tests {
     fn stage_names_match_figure_1() {
         let t = t();
         assert_eq!(t.stage_names(InstrClass::Scalar), ["SR", "EX", "MA", "WB"]);
-        assert_eq!(
-            t.stage_names(InstrClass::Parallel),
-            ["SR", "B1", "B2", "PR", "EX", "MA", "WB"]
-        );
+        assert_eq!(t.stage_names(InstrClass::Parallel), ["SR", "B1", "B2", "PR", "EX", "MA", "WB"]);
         assert_eq!(
             t.stage_names(InstrClass::Reduction),
             ["SR", "B1", "B2", "PR", "R1", "R2", "R3", "R4", "WB"]

@@ -25,6 +25,6 @@ pub mod offchip;
 pub mod resources;
 
 pub use clock::ClockModel;
-pub use offchip::{sweep as offchip_sweep, TilingCost, Workload};
 pub use device::{Device, CYCLONE_II};
+pub use offchip::{sweep as offchip_sweep, TilingCost, Workload};
 pub use resources::{max_pes_on, FpgaConfig, ResourceReport, Usage};

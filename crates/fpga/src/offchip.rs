@@ -108,9 +108,6 @@ mod tests {
         assert!(costs.iter().any(|c| c.resident) && costs.iter().any(|c| !c.resident));
         let best = costs.iter().map(|c| c.total_cycles).min().unwrap();
         assert!(best < costs[0].total_cycles, "beats tiny memory: {costs:?}");
-        assert!(
-            best < costs.last().unwrap().total_cycles,
-            "beats huge memory: {costs:?}"
-        );
+        assert!(best < costs.last().unwrap().total_cycles, "beats huge memory: {costs:?}");
     }
 }

@@ -190,16 +190,10 @@ fn pe_array(cfg: &FpgaConfig) -> Usage {
         cfg.num_pes * blocks_for_bits(flag_bits)
     } else {
         // one block serves several PEs' flag files (if capacity allows)
-        let group = cfg
-            .pes_per_flag_block
-            .min(Device::M4K_DATA_BITS / flag_bits.max(1))
-            .max(1);
+        let group = cfg.pes_per_flag_block.min(Device::M4K_DATA_BITS / flag_bits.max(1)).max(1);
         cfg.num_pes.div_ceil(group) * blocks_for_bits(flag_bits * group)
     };
-    Usage {
-        les: cfg.num_pes * pe_les(cfg),
-        rams: cfg.num_pes * pe_rams(cfg) + flag_blocks,
-    }
+    Usage { les: cfg.num_pes * pe_les(cfg), rams: cfg.num_pes * pe_rams(cfg) + flag_blocks }
 }
 
 /// Control unit: fetch unit (150 LEs), one decode unit per hardware thread
@@ -240,10 +234,7 @@ fn network(cfg: &FpgaConfig) -> Usage {
     let internal = p.saturating_sub(1);
     let red_per_node = (3 * w) / 2 + (5 * w) / 2 + 2 * w + 6;
     let lg = if p <= 1 { 0 } else { (64 - (p - 1).leading_zeros()) as u64 };
-    let les = 17
-        + 36 * broadcast_nodes(p, cfg.broadcast_arity)
-        + internal * red_per_node
-        + p * lg;
+    let les = 17 + 36 * broadcast_nodes(p, cfg.broadcast_arity) + internal * red_per_node + p * lg;
     Usage { les, rams: 0 }
 }
 
@@ -254,7 +245,7 @@ pub fn max_pes_on(base: &FpgaConfig, device: &Device) -> u64 {
     let mut lo = 0u64;
     let mut hi = 1u64 << 20;
     while lo < hi {
-        let mid = (lo + hi + 1) / 2;
+        let mid = (lo + hi).div_ceil(2);
         let cfg = FpgaConfig { num_pes: mid, ..*base };
         if ResourceReport::model(&cfg).fits(device) {
             lo = mid;
@@ -307,9 +298,7 @@ mod tests {
     fn smaller_local_memory_admits_more_pes() {
         let proto = FpgaConfig::prototype();
         let small = FpgaConfig { lmem_words: 128, ..proto };
-        assert!(
-            max_pes_on(&small, &Device::ep2c35()) > max_pes_on(&proto, &Device::ep2c35())
-        );
+        assert!(max_pes_on(&small, &Device::ep2c35()) > max_pes_on(&proto, &Device::ep2c35()));
     }
 
     #[test]

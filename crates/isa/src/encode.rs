@@ -55,15 +55,11 @@ pub fn encode(i: &Instr) -> u32 {
     match *i {
         Nop => word(op::NOP, 0),
         Halt => word(op::HALT, 0),
-        SAlu { op: o, rd, ra, rb } => {
-            word(op::SALU + o.code(), fa(s(rd)) | fb(s(ra)) | fc(s(rb)))
-        }
+        SAlu { op: o, rd, ra, rb } => word(op::SALU + o.code(), fa(s(rd)) | fb(s(ra)) | fc(s(rb))),
         SAluImm { op: o, rd, ra, imm } => {
             word(op::SALU_IMM + o.code(), fa(s(rd)) | fb(s(ra)) | imm16(imm))
         }
-        SCmp { op: o, fd, ra, rb } => {
-            word(op::SCMP + o.code(), fa(sf(fd)) | fb(s(ra)) | fc(s(rb)))
-        }
+        SCmp { op: o, fd, ra, rb } => word(op::SCMP + o.code(), fa(sf(fd)) | fb(s(ra)) | fc(s(rb))),
         SCmpImm { op: o, fd, ra, imm } => {
             word(op::SCMP_IMM + o.code(), fa(sf(fd)) | fb(s(ra)) | imm16(imm))
         }
@@ -106,12 +102,8 @@ pub fn encode(i: &Instr) -> u32 {
         PFlagOp { op: o, fd, fa: a, fb: b, mask } => {
             word(op::PFLAG + o.code(), fa(pf(fd)) | fb(pf(a)) | fc(pf(b)) | m(mask))
         }
-        Plw { pd, base, off, mask } => {
-            word(op::PLW, fa(p(pd)) | fb(p(base)) | imm8(off) | m(mask))
-        }
-        Psw { ps, base, off, mask } => {
-            word(op::PSW, fa(p(ps)) | fb(p(base)) | imm8(off) | m(mask))
-        }
+        Plw { pd, base, off, mask } => word(op::PLW, fa(p(pd)) | fb(p(base)) | imm8(off) | m(mask)),
+        Psw { ps, base, off, mask } => word(op::PSW, fa(p(ps)) | fb(p(base)) | imm8(off) | m(mask)),
         Pidx { pd, mask } => word(op::PIDX, fa(p(pd)) | m(mask)),
         PMovS { pd, sa, mask } => word(op::PMOVS, fa(p(pd)) | fb(s(sa)) | m(mask)),
         PShift { pd, pa, dist, mask } => {
@@ -125,8 +117,6 @@ pub fn encode(i: &Instr) -> u32 {
             word(op::RFLAG + o.code(), fa(sf(fd)) | fb(pf(f)) | m(mask))
         }
         PFirst { fd, fa: f, mask } => word(op::PFIRST, fa(pf(fd)) | fb(pf(f)) | m(mask)),
-        RGet { sd, pa, fa: f, mask } => {
-            word(op::RGET, fa(s(sd)) | fb(p(pa)) | fc(pf(f)) | m(mask))
-        }
+        RGet { sd, pa, fa: f, mask } => word(op::RGET, fa(s(sd)) | fb(p(pa)) | fc(pf(f)) | m(mask)),
     }
 }

@@ -139,12 +139,7 @@ pub fn random_instr<R: Rng + ?Sized>(rng: &mut R) -> Instr {
             if rng.random_bool(0.5) {
                 Instr::Pidx { pd: preg(rng), mask: mask(rng) }
             } else {
-                Instr::PShift {
-                    pd: preg(rng),
-                    pa: preg(rng),
-                    dist: rng.random(),
-                    mask: mask(rng),
-                }
+                Instr::PShift { pd: preg(rng), pa: preg(rng), dist: rng.random(), mask: mask(rng) }
             }
         }
         29 => Instr::PMovS { pd: preg(rng), sa: sreg(rng), mask: mask(rng) },

@@ -188,13 +188,40 @@ impl Instr {
     pub fn class(&self) -> InstrClass {
         use Instr::*;
         match self {
-            Nop | Halt | SAlu { .. } | SAluImm { .. } | SCmp { .. } | SCmpImm { .. }
-            | SFlagOp { .. } | Lw { .. } | Sw { .. } | Li { .. } | Lui { .. } | Bt { .. }
-            | Bf { .. } | J { .. } | Jal { .. } | Jr { .. } | TSpawn { .. } | TExit
-            | TJoin { .. } | TGet { .. } | TPut { .. } | TId { .. } => InstrClass::Scalar,
-            PAlu { .. } | PAluS { .. } | PAluImm { .. } | PCmp { .. } | PCmpS { .. }
-            | PCmpImm { .. } | PFlagOp { .. } | Plw { .. } | Psw { .. } | Pidx { .. }
-            | PMovS { .. } | PShift { .. } => InstrClass::Parallel,
+            Nop
+            | Halt
+            | SAlu { .. }
+            | SAluImm { .. }
+            | SCmp { .. }
+            | SCmpImm { .. }
+            | SFlagOp { .. }
+            | Lw { .. }
+            | Sw { .. }
+            | Li { .. }
+            | Lui { .. }
+            | Bt { .. }
+            | Bf { .. }
+            | J { .. }
+            | Jal { .. }
+            | Jr { .. }
+            | TSpawn { .. }
+            | TExit
+            | TJoin { .. }
+            | TGet { .. }
+            | TPut { .. }
+            | TId { .. } => InstrClass::Scalar,
+            PAlu { .. }
+            | PAluS { .. }
+            | PAluImm { .. }
+            | PCmp { .. }
+            | PCmpS { .. }
+            | PCmpImm { .. }
+            | PFlagOp { .. }
+            | Plw { .. }
+            | Psw { .. }
+            | Pidx { .. }
+            | PMovS { .. }
+            | PShift { .. } => InstrClass::Parallel,
             Reduce { .. } | RCount { .. } | RFlag { .. } | PFirst { .. } | RGet { .. } => {
                 InstrClass::Reduction
             }
@@ -223,11 +250,23 @@ impl Instr {
     pub fn mask(&self) -> Option<Mask> {
         use Instr::*;
         match self {
-            PAlu { mask, .. } | PAluS { mask, .. } | PAluImm { mask, .. } | PCmp { mask, .. }
-            | PCmpS { mask, .. } | PCmpImm { mask, .. } | PFlagOp { mask, .. }
-            | Plw { mask, .. } | Psw { mask, .. } | Pidx { mask, .. } | PMovS { mask, .. }
-            | PShift { mask, .. } | Reduce { mask, .. } | RCount { mask, .. } | RFlag { mask, .. }
-            | PFirst { mask, .. } | RGet { mask, .. } => Some(*mask),
+            PAlu { mask, .. }
+            | PAluS { mask, .. }
+            | PAluImm { mask, .. }
+            | PCmp { mask, .. }
+            | PCmpS { mask, .. }
+            | PCmpImm { mask, .. }
+            | PFlagOp { mask, .. }
+            | Plw { mask, .. }
+            | Psw { mask, .. }
+            | Pidx { mask, .. }
+            | PMovS { mask, .. }
+            | PShift { mask, .. }
+            | Reduce { mask, .. }
+            | RCount { mask, .. }
+            | RFlag { mask, .. }
+            | PFirst { mask, .. }
+            | RGet { mask, .. } => Some(*mask),
             _ => None,
         }
     }
@@ -326,21 +365,44 @@ impl Instr {
         use Instr::*;
         let mut v: Vec<Operand> = Vec::with_capacity(1);
         match *self {
-            SAlu { rd, .. } | SAluImm { rd, .. } | Lw { rd, .. } | Li { rd, .. }
-            | Lui { rd, .. } | Jal { rd, .. } | TSpawn { rd, .. } | TGet { rd, .. }
+            SAlu { rd, .. }
+            | SAluImm { rd, .. }
+            | Lw { rd, .. }
+            | Li { rd, .. }
+            | Lui { rd, .. }
+            | Jal { rd, .. }
+            | TSpawn { rd, .. }
+            | TGet { rd, .. }
             | TId { rd } => v.push(Operand::s(rd)),
             SCmp { fd, .. } | SCmpImm { fd, .. } | SFlagOp { fd, .. } => v.push(Operand::sf(fd)),
-            PAlu { pd, .. } | PAluS { pd, .. } | PAluImm { pd, .. } | Plw { pd, .. }
-            | Pidx { pd, .. } | PMovS { pd, .. } | PShift { pd, .. } => v.push(Operand::p(pd)),
-            PCmp { fd, .. } | PCmpS { fd, .. } | PCmpImm { fd, .. } | PFlagOp { fd, .. }
+            PAlu { pd, .. }
+            | PAluS { pd, .. }
+            | PAluImm { pd, .. }
+            | Plw { pd, .. }
+            | Pidx { pd, .. }
+            | PMovS { pd, .. }
+            | PShift { pd, .. } => v.push(Operand::p(pd)),
+            PCmp { fd, .. }
+            | PCmpS { fd, .. }
+            | PCmpImm { fd, .. }
+            | PFlagOp { fd, .. }
             | PFirst { fd, .. } => v.push(Operand::pf(fd)),
             Reduce { sd, .. } | RCount { sd, .. } | RGet { sd, .. } => v.push(Operand::s(sd)),
             RFlag { fd, .. } => v.push(Operand::sf(fd)),
             // TPut writes a *foreign* thread's register; it has no local
             // register destination. The simulator serializes inter-thread
             // transfers at issue time.
-            Nop | Halt | Sw { .. } | Bt { .. } | Bf { .. } | J { .. } | Jr { .. } | TExit
-            | TJoin { .. } | TPut { .. } | Psw { .. } => {}
+            Nop
+            | Halt
+            | Sw { .. }
+            | Bt { .. }
+            | Bf { .. }
+            | J { .. }
+            | Jr { .. }
+            | TExit
+            | TJoin { .. }
+            | TPut { .. }
+            | Psw { .. } => {}
         }
         v.retain(|o| !o.is_zero_gpr());
         v
@@ -405,13 +467,8 @@ mod tests {
 
     #[test]
     fn reads_include_mask() {
-        let i = Instr::PAlu {
-            op: AluOp::Add,
-            pd: p(1),
-            pa: p(2),
-            pb: p(3),
-            mask: Mask::Flag(pf(5)),
-        };
+        let i =
+            Instr::PAlu { op: AluOp::Add, pd: p(1), pa: p(2), pb: p(3), mask: Mask::Flag(pf(5)) };
         let reads = i.reads();
         assert!(reads.contains(&Operand::pf(pf(5))));
         assert!(reads.contains(&Operand::p(p(2))));

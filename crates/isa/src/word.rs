@@ -272,14 +272,8 @@ mod tests {
     #[test]
     fn wrapping_arithmetic() {
         let w = Width::W8;
-        assert_eq!(
-            Word::new(0xff, w).wrapping_add(Word::new(1, w), w),
-            Word::ZERO
-        );
-        assert_eq!(
-            Word::new(0, w).wrapping_sub(Word::new(1, w), w),
-            Word::new(0xff, w)
-        );
+        assert_eq!(Word::new(0xff, w).wrapping_add(Word::new(1, w), w), Word::ZERO);
+        assert_eq!(Word::new(0, w).wrapping_sub(Word::new(1, w), w), Word::new(0xff, w));
     }
 
     #[test]
@@ -289,28 +283,16 @@ mod tests {
         assert_eq!(big.saturating_add_signed(big, w).to_i64(w), 127);
         let small = Word::from_i64(-120, w);
         assert_eq!(small.saturating_add_signed(small, w).to_i64(w), -128);
-        assert_eq!(
-            big.saturating_add_signed(Word::from_i64(-3, w), w).to_i64(w),
-            117
-        );
+        assert_eq!(big.saturating_add_signed(Word::from_i64(-3, w), w).to_i64(w), 117);
     }
 
     #[test]
     fn shifts_mask_amount() {
         let w = Width::W8;
         // shift amount is taken modulo the width
-        assert_eq!(
-            Word::new(1, w).shl(Word::new(9, w), w),
-            Word::new(2, w)
-        );
-        assert_eq!(
-            Word::new(0x80, w).sar(Word::new(1, w), w),
-            Word::new(0xc0, w)
-        );
-        assert_eq!(
-            Word::new(0x80, w).shr(Word::new(1, w), w),
-            Word::new(0x40, w)
-        );
+        assert_eq!(Word::new(1, w).shl(Word::new(9, w), w), Word::new(2, w));
+        assert_eq!(Word::new(0x80, w).sar(Word::new(1, w), w), Word::new(0xc0, w));
+        assert_eq!(Word::new(0x80, w).shr(Word::new(1, w), w), Word::new(0x40, w));
     }
 
     #[test]

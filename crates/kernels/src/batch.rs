@@ -29,8 +29,8 @@ pub struct BatchResult {
 /// With `workers == 0` the main thread answers everything itself (the
 /// single-threaded baseline, same instruction mix).
 fn program(q: usize, workers: usize) -> String {
-    let per = if workers > 0 { q / workers } else { q };
-    assert!(workers == 0 || q % workers == 0, "query count divisible by workers");
+    let per = q.checked_div(workers).unwrap_or(q);
+    assert!(workers == 0 || q.is_multiple_of(workers), "query count divisible by workers");
     if workers == 0 {
         return format!(
             "
@@ -56,9 +56,8 @@ done:   halt
     // slice number. Thread ids cannot be used for work assignment: a fast
     // worker may exit while the main thread is still spawning, so a later
     // spawn can reuse its context id.
-    let stubs: String = (0..workers)
-        .map(|k| format!("stub{k}: li s5, {k}\n        j  wbody\n"))
-        .collect();
+    let stubs: String =
+        (0..workers).map(|k| format!("stub{k}: li s5, {k}\n        j  wbody\n")).collect();
     format!(
         "
 main:   li   s1, stub0
@@ -111,7 +110,7 @@ pub fn run(
     assert!(keys.len() <= cfg.num_pes);
     assert!((RESULT_BASE as usize) + queries.len() <= cfg.smem_words);
     assert!((QUERY_BASE as usize) + queries.len() <= RESULT_BASE as usize);
-    assert!(workers == 0 || queries.len() % workers == 0);
+    assert!(workers == 0 || queries.len().is_multiple_of(workers));
     assert!(workers < cfg.threads, "main thread + workers must fit");
     let w = cfg.width;
     let pad_key = w.mask() as i64;
@@ -120,9 +119,7 @@ pub fn run(
     let (m, stats) = run_kernel(cfg, &program(queries.len(), workers), |mach| {
         mach.array_mut().scatter_column(0, &to_words(&padded, w)).unwrap();
         for (i, &q) in queries.iter().enumerate() {
-            mach.smem_mut()
-                .write((QUERY_BASE as usize + i) as u32, Word::from_i64(q, w))
-                .unwrap();
+            mach.smem_mut().write((QUERY_BASE as usize + i) as u32, Word::from_i64(q, w)).unwrap();
         }
     })?;
     let counts = (0..queries.len())
@@ -133,10 +130,7 @@ pub fn run(
 
 /// Host reference.
 pub fn reference(keys: &[i64], queries: &[i64]) -> Vec<u32> {
-    queries
-        .iter()
-        .map(|q| keys.iter().filter(|&&k| k == *q).count() as u32)
-        .collect()
+    queries.iter().map(|q| keys.iter().filter(|&&k| k == *q).count() as u32).collect()
 }
 
 #[cfg(test)]

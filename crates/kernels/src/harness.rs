@@ -1,10 +1,43 @@
 //! Shared kernel-running scaffolding.
+//!
+//! Set `MTASC_KERNEL_OBS=1` to attach a ring-buffer trace sink to every
+//! kernel run and print a top-5 stall-reason summary to stderr after each
+//! kernel — a quick way to see where a kernel's issue slots go without
+//! modifying its code.
+
+use std::cell::RefCell;
+use std::rc::Rc;
 
 use asc_asm::{assemble, render_errors, Program};
-use asc_core::{Machine, MachineConfig, RunError, Stats};
+use asc_core::obs::{RingBufferSink, SinkHandle};
+use asc_core::{Machine, MachineConfig, RunError, StallReason, Stats};
 use asc_isa::{Width, Word};
 
 use crate::MAX_CYCLES;
+
+/// Ring capacity used when `MTASC_KERNEL_OBS` tracing is on.
+const OBS_RING_CAPACITY: usize = 65_536;
+
+fn obs_enabled() -> bool {
+    std::env::var("MTASC_KERNEL_OBS").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Render the top-5 stall reasons of a run, largest first (empty string if
+/// the run never stalled).
+pub fn stall_summary(stats: &Stats) -> String {
+    let mut ranked: Vec<(StallReason, u64)> = StallReason::ALL
+        .iter()
+        .map(|&r| (r, stats.stalls_for(r)))
+        .filter(|&(_, n)| n > 0)
+        .collect();
+    ranked.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+    let mut out = String::new();
+    for (reason, n) in ranked.iter().take(5) {
+        let pct = if stats.cycles == 0 { 0.0 } else { 100.0 * *n as f64 / stats.cycles as f64 };
+        out.push_str(&format!("  {:<26} {n:>8} cycles ({pct:>5.1}%)\n", reason.label()));
+    }
+    out
+}
 
 /// Assemble, panicking with rendered diagnostics on failure (kernel
 /// sources are generated; a failure is a bug in the generator).
@@ -23,8 +56,32 @@ pub fn run_kernel(
 ) -> Result<(Machine, Stats), RunError> {
     let program = assemble_kernel(src);
     let mut m = Machine::with_program(cfg, &program)?;
+    let ring = if obs_enabled() {
+        let ring = Rc::new(RefCell::new(RingBufferSink::new(OBS_RING_CAPACITY)));
+        m.attach_sink(SinkHandle::shared(ring.clone()));
+        Some(ring)
+    } else {
+        None
+    };
     setup(&mut m);
     let stats = m.run(MAX_CYCLES)?;
+    if let Some(ring) = ring {
+        let ring = ring.borrow();
+        eprintln!(
+            "[kernel obs] {} cycles, {} issued, IPC {:.3}; {} events traced ({} dropped)",
+            stats.cycles,
+            stats.issued,
+            stats.ipc(),
+            ring.len(),
+            ring.dropped()
+        );
+        let summary = stall_summary(&stats);
+        if summary.is_empty() {
+            eprintln!("[kernel obs] no stall cycles");
+        } else {
+            eprintln!("[kernel obs] top stall reasons:\n{}", summary.trim_end_matches('\n'));
+        }
+    }
     Ok((m, stats))
 }
 
@@ -71,6 +128,22 @@ mod tests {
     #[test]
     fn pad() {
         assert_eq!(pad_to(vec![1, 2], 4, 9), vec![1, 2, 9, 9]);
+    }
+
+    #[test]
+    fn stall_summary_ranks_and_caps_at_five() {
+        let mut s = Stats::new(1);
+        s.cycles = 1000;
+        for (i, reason) in StallReason::ALL.iter().enumerate() {
+            s.record_stall(*reason, (i as u64 + 1) * 10);
+        }
+        let text = stall_summary(&s);
+        assert_eq!(text.lines().count(), 5, "top five only:\n{text}");
+        let first = text.lines().next().unwrap();
+        assert!(first.contains(StallReason::ALL[9].label()), "largest stall first:\n{text}");
+        assert!(first.contains("100 cycles"));
+        assert!(first.contains("10.0%"));
+        assert!(stall_summary(&Stats::new(1)).is_empty());
     }
 
     #[test]

@@ -176,8 +176,7 @@ pub fn reference(points: &[(i64, i64)]) -> Vec<bool> {
     while let Some((p, q)) = stack.pop() {
         let (px, py) = points[p];
         let (qx, qy) = points[q];
-        let cross =
-            |i: usize| (qx - px) * (points[i].1 - py) - (qy - py) * (points[i].0 - px);
+        let cross = |i: usize| (qx - px) * (points[i].1 - py) - (qy - py) * (points[i].0 - px);
         let best = (0..n).filter(|&i| cross(i) > 0).max_by(|&i, &j| {
             cross(i).cmp(&cross(j)).then(j.cmp(&i)) // first index wins ties
         });
@@ -228,9 +227,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0x4011);
         for trial in 0..15 {
             let n = rng.random_range(3..=48);
-            let pts: Vec<(i64, i64)> = (0..n)
-                .map(|_| (rng.random_range(-50..=50), rng.random_range(-50..=50)))
-                .collect();
+            let pts: Vec<(i64, i64)> =
+                (0..n).map(|_| (rng.random_range(-50..=50), rng.random_range(-50..=50))).collect();
             let got = run(MachineConfig::new(64), &pts).unwrap();
             assert_eq!(got.on_hull, reference(&pts), "trial {trial}: {pts:?}");
         }

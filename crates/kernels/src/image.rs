@@ -84,9 +84,8 @@ pub fn run(cfg: MachineConfig, pixels: &[i64], threshold: i64) -> Result<ImageSt
         mach.smem_mut().write(0, Word::from_i64(threshold, w)).unwrap();
         mach.smem_mut().write(1, Word::ZERO).unwrap();
         for j in 0..valid_pes {
-            let strip: Vec<i64> = (0..per_pe)
-                .map(|i| pixels.get(j * per_pe + i).copied().unwrap_or(0))
-                .collect();
+            let strip: Vec<i64> =
+                (0..per_pe).map(|i| pixels.get(j * per_pe + i).copied().unwrap_or(0)).collect();
             mach.array_mut().lmem_mut(j).load_slice(0, &to_words(&strip, w)).unwrap();
         }
     })?;
@@ -103,9 +102,8 @@ pub fn run(cfg: MachineConfig, pixels: &[i64], threshold: i64) -> Result<ImageSt
 pub fn reference(pixels: &[i64], threshold: i64, num_pes: usize) -> (i64, i64, i64, u32) {
     let per_pe = pixels.len().div_ceil(num_pes);
     let valid_pes = pixels.len().div_ceil(per_pe);
-    let padded: Vec<i64> = (0..valid_pes * per_pe)
-        .map(|i| pixels.get(i).copied().unwrap_or(0))
-        .collect();
+    let padded: Vec<i64> =
+        (0..valid_pes * per_pe).map(|i| pixels.get(i).copied().unwrap_or(0)).collect();
     let sum = padded.iter().sum();
     let min = *padded.iter().min().unwrap();
     let max = *padded.iter().max().unwrap();
@@ -254,10 +252,7 @@ mod tests {
             let threshold = rng.random_range(0..100);
             let got = run(MachineConfig::new(32), &pixels, threshold).unwrap();
             let (sum, min, max, above) = reference(&pixels, threshold, 32);
-            assert_eq!(
-                (got.sum, got.min, got.max, got.above_threshold),
-                (sum, min, max, above)
-            );
+            assert_eq!((got.sum, got.min, got.max, got.above_threshold), (sum, min, max, above));
         }
     }
 }

@@ -62,11 +62,7 @@ pub fn run(
         m.array_mut().scatter_column(0, &to_words(&keys, w)).unwrap();
         m.array_mut().scatter_column(1, &to_words(&values, w)).unwrap();
     })?;
-    Ok(IterateResult {
-        processed: m.sreg(0, 4).to_u32(),
-        fold: m.sreg(0, 3).to_u32(),
-        stats,
-    })
+    Ok(IterateResult { processed: m.sreg(0, 4).to_u32(), fold: m.sreg(0, 3).to_u32(), stats })
 }
 
 /// Host reference fold at the machine width.
@@ -109,9 +105,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(33);
         for _ in 0..15 {
             let n = rng.random_range(1..=48);
-            let records: Vec<(i64, i64)> = (0..n)
-                .map(|_| (rng.random_range(0..6), rng.random_range(0..50)))
-                .collect();
+            let records: Vec<(i64, i64)> =
+                (0..n).map(|_| (rng.random_range(0..6), rng.random_range(0..50))).collect();
             let cfg = MachineConfig::new(64);
             let got = run(cfg, &records, 3).unwrap();
             let (count, fold) = reference(&records, 3, cfg.width);

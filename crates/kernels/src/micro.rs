@@ -237,31 +237,23 @@ mod tests {
             let t = cfg.timing();
             let per_iter = chain_cycles_per_iter(cfg, 200).unwrap();
             let expected = (t.b + t.r) as f64 + 5.0; // 5 instructions/iter
-            assert!(
-                (per_iter - expected).abs() < 3.0,
-                "p={p}: {per_iter} vs ~{expected}"
-            );
+            assert!((per_iter - expected).abs() < 3.0, "p={p}: {per_iter} vs ~{expected}");
         }
     }
 
     #[test]
     fn fleet_beats_single_thread() {
-        let st = run_micro(
-            MachineConfig::new(16).single_threaded(),
-            &reduction_chain(7 * 30),
-        )
-        .unwrap();
+        let st =
+            run_micro(MachineConfig::new(16).single_threaded(), &reduction_chain(7 * 30)).unwrap();
         let mt = run_micro(MachineConfig::new(16), &mt_reduction_fleet(7, 30)).unwrap();
         assert!(mt.cycles < st.cycles, "{} vs {}", mt.cycles, st.cycles);
     }
 
     #[test]
     fn independent_reductions_do_not_stall_on_hazards() {
-        let stats = run_micro(
-            MachineConfig::new(64).single_threaded(),
-            &independent_reductions(50),
-        )
-        .unwrap();
+        let stats =
+            run_micro(MachineConfig::new(64).single_threaded(), &independent_reductions(50))
+                .unwrap();
         assert_eq!(stats.stalls_for(StallReason::ReductionHazard), 0);
         assert_eq!(stats.stalls_for(StallReason::BroadcastReductionHazard), 0);
     }

@@ -137,11 +137,7 @@ mod tests {
     #[test]
     fn tiny_triangle() {
         // triangle with weights 1, 2, 3 → MST = 1 + 2
-        let w = vec![
-            vec![INF, 1, 3],
-            vec![1, INF, 2],
-            vec![3, 2, INF],
-        ];
+        let w = vec![vec![INF, 1, 3], vec![1, INF, 2], vec![3, 2, INF]];
         let r = run(MachineConfig::new(4), &w).unwrap();
         assert_eq!(r.total_weight, 3);
         assert_eq!(reference(&w), 3);

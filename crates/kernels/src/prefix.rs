@@ -89,10 +89,7 @@ mod tests {
     #[test]
     fn single_element_and_negatives() {
         assert_eq!(run(MachineConfig::new(4), &[7]).unwrap().sums, vec![7]);
-        assert_eq!(
-            run(MachineConfig::new(4), &[5, -3, 2, -4]).unwrap().sums,
-            vec![5, 2, 4, 0]
-        );
+        assert_eq!(run(MachineConfig::new(4), &[5, -3, 2, -4]).unwrap().sums, vec![5, 2, 4, 0]);
     }
 
     #[test]
@@ -110,7 +107,7 @@ mod tests {
     fn log_steps() {
         // ⌈log₂ n⌉ shift+add pairs: instruction count grows only
         // logarithmically with n
-        let a = run(MachineConfig::new(256), &vec![1; 16]).unwrap();
+        let a = run(MachineConfig::new(256), &[1; 16]).unwrap();
         let b = run(MachineConfig::new(256), &vec![1; 256]).unwrap();
         assert!(b.stats.issued <= a.stats.issued + 10);
     }

@@ -72,11 +72,7 @@ pub fn run(
 pub fn reference(records: &[(i64, i64)], query: i64) -> (u32, Option<u32>, Option<u32>) {
     let matches = records.iter().filter(|r| r.0 == query).count() as u32;
     let first = records.iter().position(|r| r.0 == query);
-    (
-        matches,
-        first.map(|i| records[i].1 as u32),
-        first.map(|i| i as u32),
-    )
+    (matches, first.map(|i| records[i].1 as u32), first.map(|i| i as u32))
 }
 
 #[cfg(test)]
@@ -107,9 +103,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         for _ in 0..20 {
             let n = rng.random_range(1..=64);
-            let records: Vec<(i64, i64)> = (0..n)
-                .map(|_| (rng.random_range(0..16), rng.random_range(0..1000)))
-                .collect();
+            let records: Vec<(i64, i64)> =
+                (0..n).map(|_| (rng.random_range(0..16), rng.random_range(0..1000))).collect();
             let query = rng.random_range(0..16);
             let got = run(MachineConfig::new(64), &records, query).unwrap();
             let (matches, first_value, first_index) = reference(&records, query);

@@ -49,18 +49,14 @@ done:   halt
 pub fn run(cfg: MachineConfig, values: &[i64]) -> Result<SortResult, RunError> {
     let n = values.len();
     assert!(n >= 1 && n <= cfg.num_pes);
-    assert!(
-        (OUT_BASE as usize) + n <= cfg.smem_words,
-        "output must fit scalar memory"
-    );
+    assert!((OUT_BASE as usize) + n <= cfg.smem_words, "output must fit scalar memory");
     let w = cfg.width;
     let padded = pad_to(values.to_vec(), cfg.num_pes, 0);
     let (m, stats) = run_kernel(cfg, &program(n), |mach| {
         mach.array_mut().scatter_column(0, &to_words(&padded, w)).unwrap();
     })?;
-    let sorted = (0..n)
-        .map(|i| m.smem().read((OUT_BASE as usize + i) as u32).unwrap().to_i64(w))
-        .collect();
+    let sorted =
+        (0..n).map(|i| m.smem().read((OUT_BASE as usize + i) as u32).unwrap().to_i64(w)).collect();
     Ok(SortResult { sorted, stats })
 }
 

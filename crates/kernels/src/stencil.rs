@@ -108,7 +108,7 @@ mod tests {
 
     #[test]
     fn cost_independent_of_length() {
-        let a = run(MachineConfig::new(256), &vec![1; 8], 1).unwrap();
+        let a = run(MachineConfig::new(256), &[1; 8], 1).unwrap();
         let b = run(MachineConfig::new(256), &vec![1; 256], 1).unwrap();
         assert_eq!(a.stats.issued, b.stats.issued);
     }

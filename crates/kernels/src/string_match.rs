@@ -62,11 +62,7 @@ pub fn run(cfg: MachineConfig, text: &[u8], pattern: &[u8]) -> Result<MatchResul
     assert!(n <= cfg.num_pes, "text must fit one character-window per PE");
     assert!(m <= cfg.lmem_words, "pattern must fit local memory windows");
     if m > n {
-        return Ok(MatchResult {
-            count: 0,
-            first: None,
-            stats: Stats::new(cfg.threads),
-        });
+        return Ok(MatchResult { count: 0, first: None, stats: Stats::new(cfg.threads) });
     }
     let w = cfg.width;
     let (machine, stats) = run_kernel(cfg, &program(n, m), |mach| {
@@ -77,9 +73,8 @@ pub fn run(cfg: MachineConfig, text: &[u8], pattern: &[u8]) -> Result<MatchResul
         }
         // overlapping windows into PE local memories (sentinel-padded)
         for j in 0..n {
-            let window: Vec<i64> = (0..m)
-                .map(|i| text.get(j + i).map(|&c| c as i64).unwrap_or(-1))
-                .collect();
+            let window: Vec<i64> =
+                (0..m).map(|i| text.get(j + i).map(|&c| c as i64).unwrap_or(-1)).collect();
             mach.array_mut().lmem_mut(j).load_slice(0, &to_words(&window, w)).unwrap();
         }
     })?;
@@ -124,11 +119,7 @@ tally:  rcount s1, pf1
 /// Count occurrences using the interconnection network instead of
 /// replicated windows. Same result as [`run`], different hardware usage:
 /// one text character per PE and O(m) single-hop shifts.
-pub fn run_shift(
-    cfg: MachineConfig,
-    text: &[u8],
-    pattern: &[u8],
-) -> Result<MatchResult, RunError> {
+pub fn run_shift(cfg: MachineConfig, text: &[u8], pattern: &[u8]) -> Result<MatchResult, RunError> {
     let n = text.len();
     let m = pattern.len();
     assert!(m >= 1, "empty pattern");
@@ -141,9 +132,8 @@ pub fn run_shift(
         for (i, &c) in pattern.iter().enumerate() {
             mach.smem_mut().write(i as u32, Word::from_i64(c as i64, w)).unwrap();
         }
-        let chars: Vec<i64> = (0..cfg.num_pes)
-            .map(|j| text.get(j).map(|&c| c as i64).unwrap_or(-1))
-            .collect();
+        let chars: Vec<i64> =
+            (0..cfg.num_pes).map(|j| text.get(j).map(|&c| c as i64).unwrap_or(-1)).collect();
         mach.array_mut().scatter_column(0, &to_words(&chars, w)).unwrap();
     })?;
     let count = machine.sreg(0, 1).to_u32();

@@ -156,9 +156,7 @@ pub fn reference(reports: &[(i64, i64)], num_pes: usize) -> (Vec<Option<Track>>,
         let best = tracks
             .iter()
             .enumerate()
-            .filter_map(|(i, t)| {
-                t.map(|t| (i, (t.x - bx) * (t.x - bx) + (t.y - by) * (t.y - by)))
-            })
+            .filter_map(|(i, t)| t.map(|t| (i, (t.x - bx) * (t.x - bx) + (t.y - by) * (t.y - by))))
             .filter(|&(_, d2)| d2 < GATE2)
             .min_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
         match best {
@@ -226,9 +224,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0xA7C);
         for trial in 0..10 {
             let n = rng.random_range(1..=40);
-            let reports: Vec<(i64, i64)> = (0..n)
-                .map(|_| (rng.random_range(-60..=60), rng.random_range(-60..=60)))
-                .collect();
+            let reports: Vec<(i64, i64)> =
+                (0..n).map(|_| (rng.random_range(-60..=60), rng.random_range(-60..=60))).collect();
             let cfg = MachineConfig::new(16);
             let got = run(cfg, &reports).unwrap();
             let (tracks, dropped) = reference(&reports, 16);

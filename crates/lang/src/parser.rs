@@ -21,11 +21,7 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn line(&self) -> u32 {
-        self.toks
-            .get(self.pos)
-            .or_else(|| self.toks.last())
-            .map(|t| t.line)
-            .unwrap_or(1)
+        self.toks.get(self.pos).or_else(|| self.toks.last()).map(|t| t.line).unwrap_or(1)
     }
 
     fn err(&self, msg: impl Into<String>) -> CompileError {

@@ -34,17 +34,16 @@ fn scalar_arithmetic_and_output() {
 #[test]
 fn parallel_reduction_pipeline() {
     // sum of PE indices on 16 PEs = 120; max = 15
-    assert_eq!(outs("par x; x = index(); out(sum(x)); out(max(x)); out(min(x));"), vec![
-        120, 15, 0
-    ]);
+    assert_eq!(
+        outs("par x; x = index(); out(sum(x)); out(max(x)); out(min(x));"),
+        vec![120, 15, 0]
+    );
 }
 
 #[test]
 fn broadcast_mixing() {
     // scalar into parallel arithmetic broadcasts
-    assert_eq!(outs("sca n = 10; par x; x = index() + n; out(min(x)); out(max(x));"), vec![
-        10, 25
-    ]);
+    assert_eq!(outs("sca n = 10; par x; x = index() + n; out(min(x)); out(max(x));"), vec![10, 25]);
     // scalar on the left of a non-commutative op
     assert_eq!(outs("par x; x = 20 - index(); out(min(x));"), vec![5]);
 }
@@ -137,9 +136,7 @@ fn shift_moves_data() {
     ";
     // host: sum over i of (x[i-1] + x[i] + x[i+1]) with zero edges
     let expect: i64 = (0..16)
-        .map(|i: i64| {
-            (if i > 0 { i - 1 } else { 0 }) + i + (if i < 15 { i + 1 } else { 0 })
-        })
+        .map(|i: i64| (if i > 0 { i - 1 } else { 0 }) + i + (if i < 15 { i + 1 } else { 0 }))
         .sum();
     assert_eq!(outs(src), vec![expect]);
 }
@@ -287,8 +284,7 @@ fn mst_written_in_ascl_matches_kernel_reference() {
         out(total);
         "
     );
-    let program = crate::compile_program(&src)
-        .unwrap_or_else(|e| panic!("{e}"));
+    let program = crate::compile_program(&src).unwrap_or_else(|e| panic!("{e}"));
     let graph = asc_kernels::mst::random_graph(n, 50, 42);
     let mut m = Machine::with_program(MachineConfig::new(16), &program).unwrap();
     for (j, row) in graph.iter().enumerate() {

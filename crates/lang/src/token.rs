@@ -177,9 +177,9 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, CompileError> {
                         i += 1;
                     }
                     let text = &line[start..i];
-                    let v: i64 = text.parse().map_err(|_| {
-                        CompileError::new(line_no, format!("bad integer `{text}`"))
-                    })?;
+                    let v: i64 = text
+                        .parse()
+                        .map_err(|_| CompileError::new(line_no, format!("bad integer `{text}`")))?;
                     push(&mut out, Tok::Int(v));
                 }
                 c if c.is_ascii_alphabetic() || c == '_' => {
@@ -231,10 +231,7 @@ mod tests {
 
     #[test]
     fn comments_skipped() {
-        assert_eq!(toks("x # everything here ignored\n;"), vec![
-            Tok::Ident("x".into()),
-            Tok::Semi
-        ]);
+        assert_eq!(toks("x # everything here ignored\n;"), vec![Tok::Ident("x".into()), Tok::Semi]);
     }
 
     #[test]

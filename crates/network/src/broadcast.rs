@@ -49,9 +49,7 @@ impl<T: Clone> BroadcastTree<T> {
     /// value reaches the leaves this cycle, it is returned as a vector with
     /// one copy per PE.
     pub fn tick(&mut self, input: Option<T>) -> Option<Vec<T>> {
-        self.line
-            .tick(input)
-            .map(|v| std::iter::repeat_n(v, self.num_pes).collect())
+        self.line.tick(input).map(|v| std::iter::repeat_n(v, self.num_pes).collect())
     }
 
     /// Values currently moving down the tree.

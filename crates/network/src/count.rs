@@ -18,11 +18,7 @@ impl ResponseCounter {
     /// (documented simulator semantics — the prototype's PE counts never
     /// approach this).
     pub fn count(flags: &[bool], active: &[bool], w: Width) -> Word {
-        let leaves: Vec<u64> = flags
-            .iter()
-            .zip(active)
-            .map(|(&f, &a)| u64::from(f && a))
-            .collect();
+        let leaves: Vec<u64> = flags.iter().zip(active).map(|(&f, &a)| u64::from(f && a)).collect();
         let total = tree_reduce(&leaves, 0, |a, b| a + b);
         Word::new(total.min(w.mask() as u64) as u32, w)
     }

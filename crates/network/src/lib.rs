@@ -32,6 +32,7 @@ pub mod maxmin;
 pub mod resolver;
 pub mod sum;
 pub mod tree;
+pub mod unit;
 
 pub use broadcast::BroadcastTree;
 pub use count::ResponseCounter;
@@ -40,6 +41,7 @@ pub use maxmin::MaxMinUnit;
 pub use resolver::MultipleResponseResolver;
 pub use sum::SumUnit;
 pub use tree::{reduction_latency, tree_depth, DelayLine, PipelinedUnit};
+pub use unit::NetUnit;
 
 use asc_isa::{ReduceOp, Width, Word};
 

@@ -65,27 +65,15 @@ mod tests {
     #[test]
     fn inactive_pes_are_transparent() {
         let vals = [w8(0x0f), w8(0xf0)];
-        assert_eq!(
-            LogicUnit::reduce(ReduceOp::And, &vals, &[true, false], Width::W8),
-            w8(0x0f)
-        );
-        assert_eq!(
-            LogicUnit::reduce(ReduceOp::Or, &vals, &[false, true], Width::W8),
-            w8(0xf0)
-        );
+        assert_eq!(LogicUnit::reduce(ReduceOp::And, &vals, &[true, false], Width::W8), w8(0x0f));
+        assert_eq!(LogicUnit::reduce(ReduceOp::Or, &vals, &[false, true], Width::W8), w8(0xf0));
     }
 
     #[test]
     fn empty_active_set_yields_identity() {
         let vals = [w8(1), w8(2)];
-        assert_eq!(
-            LogicUnit::reduce(ReduceOp::And, &vals, &[false, false], Width::W8),
-            w8(0xff)
-        );
-        assert_eq!(
-            LogicUnit::reduce(ReduceOp::Or, &vals, &[false, false], Width::W8),
-            w8(0)
-        );
+        assert_eq!(LogicUnit::reduce(ReduceOp::And, &vals, &[false, false], Width::W8), w8(0xff));
+        assert_eq!(LogicUnit::reduce(ReduceOp::Or, &vals, &[false, false], Width::W8), w8(0));
     }
 
     #[test]

@@ -44,10 +44,7 @@ impl MaxMinUnit {
         }
         for bit in (0..w.bits()).rev() {
             let m = 1u32 << bit;
-            let any_set = values
-                .iter()
-                .zip(&candidates)
-                .any(|(v, &c)| c && v.to_u32() & m != 0);
+            let any_set = values.iter().zip(&candidates).any(|(v, &c)| c && v.to_u32() & m != 0);
             if any_set {
                 for (v, c) in values.iter().zip(candidates.iter_mut()) {
                     if *c && v.to_u32() & m == 0 {
@@ -56,19 +53,14 @@ impl MaxMinUnit {
                 }
             }
         }
-        values
-            .iter()
-            .zip(&candidates)
-            .find(|(_, &c)| c)
-            .map(|(&v, _)| v)
+        values.iter().zip(&candidates).find(|(_, &c)| c).map(|(&v, _)| v)
     }
 
     /// Falkoff maximum under *signed* ordering (flip the sign bit, take the
     /// unsigned maximum, flip back).
     pub fn falkoff_max_signed(values: &[Word], active: &[bool], w: Width) -> Option<Word> {
         let sign = 1u32 << (w.bits() - 1);
-        let flipped: Vec<Word> =
-            values.iter().map(|v| Word::new(v.to_u32() ^ sign, w)).collect();
+        let flipped: Vec<Word> = values.iter().map(|v| Word::new(v.to_u32() ^ sign, w)).collect();
         Self::falkoff_max(&flipped, active, w).map(|v| Word::new(v.to_u32() ^ sign, w))
     }
 }
@@ -106,14 +98,8 @@ mod tests {
     fn empty_set_gives_identity() {
         let w = Width::W8;
         let vals = words(&[1], w);
-        assert_eq!(
-            MaxMinUnit::reduce(ReduceOp::Max, &vals, &[false], w).to_i64(w),
-            w.smin()
-        );
-        assert_eq!(
-            MaxMinUnit::reduce(ReduceOp::Min, &vals, &[false], w).to_i64(w),
-            w.smax()
-        );
+        assert_eq!(MaxMinUnit::reduce(ReduceOp::Max, &vals, &[false], w).to_i64(w), w.smin());
+        assert_eq!(MaxMinUnit::reduce(ReduceOp::Min, &vals, &[false], w).to_i64(w), w.smax());
     }
 
     #[test]
@@ -124,10 +110,7 @@ mod tests {
         assert_eq!(MaxMinUnit::falkoff_max(&vals, &all, w).unwrap().to_u32(), 200);
         assert_eq!(MaxMinUnit::falkoff_max(&vals, &[false; 4], w), None);
         let signed = words(&[-5, 3, -120], w);
-        assert_eq!(
-            MaxMinUnit::falkoff_max_signed(&signed, &[true; 3], w).unwrap().to_i64(w),
-            3
-        );
+        assert_eq!(MaxMinUnit::falkoff_max_signed(&signed, &[true; 3], w).unwrap().to_i64(w), 3);
     }
 
     proptest! {

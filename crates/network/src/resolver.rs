@@ -31,9 +31,7 @@ impl MultipleResponseResolver {
             }
             dist *= 2;
         }
-        (0..n)
-            .map(|i| resp[i] && (i == 0 || !prefix[i - 1]))
-            .collect()
+        (0..n).map(|i| resp[i] && (i == 0 || !prefix[i - 1])).collect()
     }
 
     /// Specification: linear scan for the first responder.

@@ -17,11 +17,8 @@ impl SumUnit {
     /// Saturating signed sum over the active set (inactive PEs contribute
     /// zero).
     pub fn reduce(values: &[Word], active: &[bool], w: Width) -> Word {
-        let leaves: Vec<Word> = values
-            .iter()
-            .zip(active)
-            .map(|(&v, &a)| if a { v } else { Word::ZERO })
-            .collect();
+        let leaves: Vec<Word> =
+            values.iter().zip(active).map(|(&v, &a)| if a { v } else { Word::ZERO }).collect();
         tree_reduce(&leaves, Word::ZERO, |a, b| a.saturating_add_signed(b, w))
     }
 
@@ -29,12 +26,7 @@ impl SumUnit {
     /// end. Differs from [`SumUnit::reduce`] only when intermediate nodes
     /// saturate; the tests characterize exactly when the two agree.
     pub fn exact_clamped(values: &[Word], active: &[bool], w: Width) -> Word {
-        let s: i64 = values
-            .iter()
-            .zip(active)
-            .filter(|(_, &a)| a)
-            .map(|(v, _)| v.to_i64(w))
-            .sum();
+        let s: i64 = values.iter().zip(active).filter(|(_, &a)| a).map(|(v, _)| v.to_i64(w)).sum();
         Word::from_i64(s.clamp(w.smin(), w.smax()), w)
     }
 

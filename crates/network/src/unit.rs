@@ -1,0 +1,107 @@
+//! Names for the network's functional units, used by the simulator's
+//! observability layer to attribute each network operation (and by any
+//! downstream activity/cost model: per-unit operation counts are the raw
+//! input to e.g. thermal analysis).
+
+use asc_isa::ReduceOp;
+use std::fmt;
+
+/// One of the broadcast/reduction units of Section 6.4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetUnit {
+    /// The k-ary broadcast tree (instructions and scalar data downward).
+    Broadcast,
+    /// The bitwise AND/OR reduction tree (integers and flags).
+    Logic,
+    /// The signed/unsigned max/min reduction tree.
+    MaxMin,
+    /// The saturating-sum reduction tree.
+    Sum,
+    /// The exact response counter.
+    Counter,
+    /// The multiple response resolver (first responder).
+    Resolver,
+}
+
+impl NetUnit {
+    /// Every unit, in a fixed order (for tables and dense counters).
+    pub const ALL: [NetUnit; 6] = [
+        NetUnit::Broadcast,
+        NetUnit::Logic,
+        NetUnit::MaxMin,
+        NetUnit::Sum,
+        NetUnit::Counter,
+        NetUnit::Resolver,
+    ];
+
+    /// Dense index matching [`NetUnit::ALL`].
+    pub const fn index(self) -> usize {
+        match self {
+            NetUnit::Broadcast => 0,
+            NetUnit::Logic => 1,
+            NetUnit::MaxMin => 2,
+            NetUnit::Sum => 3,
+            NetUnit::Counter => 4,
+            NetUnit::Resolver => 5,
+        }
+    }
+
+    /// Stable machine-readable name (used in trace serialization).
+    pub const fn label(self) -> &'static str {
+        match self {
+            NetUnit::Broadcast => "broadcast",
+            NetUnit::Logic => "logic",
+            NetUnit::MaxMin => "maxmin",
+            NetUnit::Sum => "sum",
+            NetUnit::Counter => "counter",
+            NetUnit::Resolver => "resolver",
+        }
+    }
+
+    /// The unit by its [`label`](NetUnit::label).
+    pub fn from_label(s: &str) -> Option<NetUnit> {
+        NetUnit::ALL.into_iter().find(|u| u.label() == s)
+    }
+
+    /// Which reduction tree executes a value reduction.
+    pub const fn for_reduce(op: ReduceOp) -> NetUnit {
+        match op {
+            ReduceOp::And | ReduceOp::Or => NetUnit::Logic,
+            ReduceOp::Max | ReduceOp::Min | ReduceOp::MaxU | ReduceOp::MinU => NetUnit::MaxMin,
+            ReduceOp::Sum => NetUnit::Sum,
+        }
+    }
+}
+
+impl fmt::Display for NetUnit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_match_all_order() {
+        for (i, u) in NetUnit::ALL.into_iter().enumerate() {
+            assert_eq!(u.index(), i);
+        }
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for u in NetUnit::ALL {
+            assert_eq!(NetUnit::from_label(u.label()), Some(u));
+        }
+        assert_eq!(NetUnit::from_label("warp-drive"), None);
+    }
+
+    #[test]
+    fn reduce_ops_map_to_units() {
+        assert_eq!(NetUnit::for_reduce(ReduceOp::Sum), NetUnit::Sum);
+        assert_eq!(NetUnit::for_reduce(ReduceOp::And), NetUnit::Logic);
+        assert_eq!(NetUnit::for_reduce(ReduceOp::MinU), NetUnit::MaxMin);
+    }
+}

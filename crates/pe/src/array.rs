@@ -173,15 +173,7 @@ impl PeArray {
     }
 
     /// Parallel ALU operation: `pd = pa op src` in active PEs.
-    pub fn alu(
-        &mut self,
-        thread: usize,
-        op: AluOp,
-        pd: PReg,
-        pa: PReg,
-        src: Src,
-        active: &[bool],
-    ) {
+    pub fn alu(&mut self, thread: usize, op: AluOp, pd: PReg, pa: PReg, src: Src, active: &[bool]) {
         let w = self.width();
         self.apply(|i, pe| {
             if active[i] {
@@ -438,7 +430,7 @@ mod tests {
     #[test]
     fn alu_masked() {
         let mut a = small();
-        a.pidx(0, p(1), &vec![true; 8]);
+        a.pidx(0, p(1), &[true; 8]);
         // add 10 only where index >= 4
         let active: Vec<bool> = (0..8).map(|i| i >= 4).collect();
         a.alu(0, AluOp::Add, p(2), p(1), Src::Imm(Word(10)), &active);
@@ -455,19 +447,16 @@ mod tests {
     #[test]
     fn cmp_writes_flags() {
         let mut a = small();
-        a.pidx(0, p(1), &vec![true; 8]);
-        a.cmp(0, CmpOp::Lt, pf(1), p(1), Src::Scalar(Word(3)), &vec![true; 8]);
-        assert_eq!(
-            a.flag_column(0, 1),
-            vec![true, true, true, false, false, false, false, false]
-        );
+        a.pidx(0, p(1), &[true; 8]);
+        a.cmp(0, CmpOp::Lt, pf(1), p(1), Src::Scalar(Word(3)), &[true; 8]);
+        assert_eq!(a.flag_column(0, 1), vec![true, true, true, false, false, false, false, false]);
     }
 
     #[test]
     fn threads_have_separate_registers() {
         let mut a = small();
-        a.movs(0, p(5), Word(111), &vec![true; 8]);
-        a.movs(1, p(5), Word(222), &vec![true; 8]);
+        a.movs(0, p(5), Word(111), &[true; 8]);
+        a.movs(1, p(5), Word(222), &[true; 8]);
         assert_eq!(a.gpr(3, 0, 5), Word(111));
         assert_eq!(a.gpr(3, 1, 5), Word(222));
     }
@@ -475,10 +464,10 @@ mod tests {
     #[test]
     fn load_store_round_trip() {
         let mut a = small();
-        a.pidx(0, p(1), &vec![true; 8]);
-        a.alu(0, AluOp::Mul, p(2), p(1), Src::Imm(Word(3)), &vec![true; 8]);
-        a.store(0, p(2), p(1), 4, &vec![true; 8]).unwrap(); // lmem[i+4] = 3i
-        a.load(0, p(3), p(1), 4, &vec![true; 8]).unwrap();
+        a.pidx(0, p(1), &[true; 8]);
+        a.alu(0, AluOp::Mul, p(2), p(1), Src::Imm(Word(3)), &[true; 8]);
+        a.store(0, p(2), p(1), 4, &[true; 8]).unwrap(); // lmem[i+4] = 3i
+        a.load(0, p(3), p(1), 4, &[true; 8]).unwrap();
         for i in 0..8u32 {
             assert_eq!(a.gpr(i as usize, 0, 3).to_u32(), 3 * i);
         }
@@ -487,9 +476,9 @@ mod tests {
     #[test]
     fn store_fault_reports_lowest_pe() {
         let mut a = small();
-        a.pidx(0, p(1), &vec![true; 8]);
+        a.pidx(0, p(1), &[true; 8]);
         // address = idx + 30 → PEs 2.. fault (capacity 32)
-        let e = a.store(0, p(1), p(1), 30, &vec![true; 8]).unwrap_err();
+        let e = a.store(0, p(1), p(1), 30, &[true; 8]).unwrap_err();
         assert_eq!(e.pe, 2);
         assert!(e.fault.is_store);
         assert_eq!(e.fault.addr, 32);
@@ -498,7 +487,7 @@ mod tests {
     #[test]
     fn masked_pes_cannot_fault() {
         let mut a = small();
-        a.pidx(0, p(1), &vec![true; 8]);
+        a.pidx(0, p(1), &[true; 8]);
         let active: Vec<bool> = (0..8).map(|i| i < 2).collect();
         a.store(0, p(1), p(1), 30, &active).unwrap();
     }
@@ -536,8 +525,8 @@ mod tests {
     #[test]
     fn clear_thread_resets_state() {
         let mut a = small();
-        a.movs(0, p(4), Word(9), &vec![true; 8]);
-        a.cmp(0, CmpOp::Eq, pf(2), p(4), Src::Imm(Word(9)), &vec![true; 8]);
+        a.movs(0, p(4), Word(9), &[true; 8]);
+        a.cmp(0, CmpOp::Eq, pf(2), p(4), Src::Imm(Word(9)), &[true; 8]);
         a.clear_thread(0);
         assert_eq!(a.gpr(0, 0, 4), Word::ZERO);
         assert!(!a.flag(0, 0, 2));
@@ -592,9 +581,6 @@ mod tests {
         let vals = vec![true; 8];
         let active: Vec<bool> = (0..8).map(|i| i % 2 == 0).collect();
         a.write_flag_column(0, pf(3), &vals, &active);
-        assert_eq!(
-            a.flag_column(0, 3),
-            vec![true, false, true, false, true, false, true, false]
-        );
+        assert_eq!(a.flag_column(0, 3), vec![true, false, true, false, true, false, true, false]);
     }
 }

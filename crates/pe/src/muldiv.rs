@@ -125,10 +125,7 @@ mod tests {
     #[test]
     fn defaults() {
         assert_eq!(MultiplierKind::default_sequential(8), MultiplierKind::Sequential { cycles: 8 });
-        assert_eq!(
-            DividerConfig::default_sequential(8),
-            DividerConfig::Sequential { cycles: 10 }
-        );
+        assert_eq!(DividerConfig::default_sequential(8), DividerConfig::Sequential { cycles: 10 });
         assert_eq!(MultiplierKind::DEFAULT_PIPELINED, MultiplierKind::Pipelined { latency: 3 });
     }
 

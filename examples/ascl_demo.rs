@@ -56,8 +56,7 @@ fn main() {
     assert_eq!(vals[0], scores.iter().filter(|&&s| s >= 60).count() as i64);
     assert_eq!(vals[1], *scores.iter().max().unwrap());
     assert_eq!(vals[2], scores.iter().sum::<i64>() / 16);
-    let curved: Vec<i64> =
-        scores.iter().map(|&s| if s < 60 { s + 15 } else { s }).collect();
+    let curved: Vec<i64> = scores.iter().map(|&s| if s < 60 { s + 15 } else { s }).collect();
     assert_eq!(vals[4], curved.iter().filter(|&&s| s >= 60).count() as i64);
     println!("verified against host computation");
 }

@@ -24,7 +24,11 @@ fn main() {
         let r = search::run(cfg, &records, query).expect("search runs");
         println!(
             "key {query:>2}: {} matches, first value {:?} at PE {:?} ({} cycles, IPC {:.2})",
-            r.matches, r.first_value, r.first_index, r.stats.cycles, r.stats.ipc()
+            r.matches,
+            r.first_value,
+            r.first_index,
+            r.stats.cycles,
+            r.stats.ipc()
         );
     }
 
@@ -34,8 +38,7 @@ fn main() {
     println!("\n--- single thread vs fine-grain multithreading (same total work) ---");
     let single = {
         let program = asc::asm::assemble(&micro::unrolled_chain(15 * 40, 8)).unwrap();
-        let mut m =
-            asc::core::Machine::with_program(cfg.single_threaded(), &program).unwrap();
+        let mut m = asc::core::Machine::with_program(cfg.single_threaded(), &program).unwrap();
         m.run(10_000_000).unwrap()
     };
     let multi = {
@@ -52,8 +55,5 @@ fn main() {
                 + s.stalls_for(StallReason::BroadcastReductionHazard),
         );
     }
-    println!(
-        "speedup from multithreading: {:.2}x",
-        single.cycles as f64 / multi.cycles as f64
-    );
+    println!("speedup from multithreading: {:.2}x", single.cycles as f64 / multi.cycles as f64);
 }

@@ -36,12 +36,17 @@ fn main() {
     println!("  pixels > 15: {}  (the bright band)", stats.above_threshold);
     println!("  simulated cycles: {}", stats.stats.cycles);
 
-    let (hist, hstats) =
-        image::histogram::run(cfg, &pixels[..256].to_vec(), 9, 27).expect("histogram runs");
+    let (hist, hstats) = image::histogram::run(cfg, &pixels[..256], 9, 27).expect("histogram runs");
     assert_eq!(hist, image::histogram::reference(&pixels[..256], 9, 27));
     println!("\nhistogram of the first row block (9 bins over [0,27)):");
     for (b, count) in hist.iter().enumerate() {
-        println!("  [{:>2}..{:>2})  {:>3}  {}", b * 3, (b + 1) * 3, count, "#".repeat(*count as usize / 2));
+        println!(
+            "  [{:>2}..{:>2})  {:>3}  {}",
+            b * 3,
+            (b + 1) * 3,
+            count,
+            "#".repeat(*count as usize / 2)
+        );
     }
     println!("  histogram cycles: {}", hstats.cycles);
 }

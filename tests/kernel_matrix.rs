@@ -5,7 +5,9 @@
 
 use asc::core::MachineConfig;
 use asc::isa::Width;
-use asc::kernels::{batch, hull, mst, prefix, search, select, sort, stencil, string_match, tracker};
+use asc::kernels::{
+    batch, hull, mst, prefix, search, select, sort, stencil, string_match, tracker,
+};
 
 fn configs() -> Vec<(String, MachineConfig)> {
     vec![
@@ -63,9 +65,8 @@ fn sort_correct_on_every_config() {
 
 #[test]
 fn hull_correct_on_every_config() {
-    let points: Vec<(i64, i64)> = (0..30)
-        .map(|i| (((i * 17) % 41) as i64 - 20, ((i * 29) % 37) as i64 - 18))
-        .collect();
+    let points: Vec<(i64, i64)> =
+        (0..30).map(|i| (((i * 17) % 41) as i64 - 20, ((i * 29) % 37) as i64 - 18)).collect();
     let expect = hull::reference(&points);
     for (name, cfg) in configs() {
         let r = hull::run(cfg, &points).unwrap();
@@ -129,11 +130,9 @@ fn timing_configs_change_cycles_not_results() {
     // equal, cycle counts very different
     let g = mst::random_graph(32, 60, 9);
     let fast = mst::run(MachineConfig::new(64), &g).unwrap();
-    let slow = mst::run(
-        MachineConfig::new(64).without_forwarding().single_threaded().with_arity(2),
-        &g,
-    )
-    .unwrap();
+    let slow =
+        mst::run(MachineConfig::new(64).without_forwarding().single_threaded().with_arity(2), &g)
+            .unwrap();
     assert_eq!(fast.total_weight, slow.total_weight);
     assert!(slow.stats.cycles > fast.stats.cycles);
 }

@@ -22,10 +22,7 @@ fn micro_cfg(p: usize) -> MachineConfig {
 /// the scalar EX stage to the parallel B1 stage."
 #[test]
 fn claim_broadcast_hazards_forwarded() {
-    let stats = cycles(
-        MachineConfig::prototype(),
-        "sub s1, s2, s3\npadds p1, p2, s1\nhalt\n",
-    );
+    let stats = cycles(MachineConfig::prototype(), "sub s1, s2, s3\npadds p1, p2, s1\nhalt\n");
     assert_eq!(stats.stalls_for(StallReason::BroadcastHazard), 0);
 }
 
@@ -37,11 +34,7 @@ fn claim_reduction_stall_is_b_plus_r() {
         let cfg = micro_cfg(p).single_threaded();
         let t = cfg.timing();
         let stats = cycles(cfg, "rmax s1, p2\nsub s3, s1, s1\nhalt\n");
-        assert_eq!(
-            stats.stalls_for(StallReason::ReductionHazard),
-            t.b + t.r,
-            "p = {p}"
-        );
+        assert_eq!(stats.stalls_for(StallReason::ReductionHazard), t.b + t.r, "p = {p}");
     }
 }
 
