@@ -17,6 +17,9 @@ echo "==> cargo test"
 cargo test --workspace -q
 
 echo "==> cargo test --features proptest (property tests)"
-cargo test -p asc-core -p asc-asm --features proptest -q
+cargo test -p asc-core -p asc-asm -p asc-pe --features proptest -q
+
+echo "==> cargo bench --no-run (benches compile)"
+cargo bench --workspace --no-run
 
 echo "==> ci.sh: all green"

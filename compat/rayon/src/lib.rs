@@ -39,6 +39,22 @@ pub mod prelude {
             self.iter_mut()
         }
     }
+
+    /// `par_chunks_mut()` on slices (serial stand-in). Real rayon yields
+    /// the same chunks in the same order (its `ChunksMut` is an
+    /// `IndexedParallelIterator`), so `enumerate` keeps chunk index `i`
+    /// aligned with element range `i*size..(i+1)*size` on both
+    /// implementations.
+    pub trait ParallelSliceMut<T> {
+        /// Mutable fixed-size chunks; serial `std::slice::ChunksMut` here.
+        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(size)
+        }
+    }
 }
 
 /// Serial stand-in for `rayon::join`: runs `a` then `b`.
@@ -66,6 +82,17 @@ mod tests {
         let v = [10u32, 25, 7, 99];
         let min_odd = v.par_iter().filter_map(|x| (x % 2 == 1).then_some(*x)).min();
         assert_eq!(min_odd, Some(7));
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_slice_in_order() {
+        let mut v: Vec<u32> = (0..10).collect();
+        v.par_chunks_mut(4).enumerate().for_each(|(ci, chunk)| {
+            for x in chunk.iter_mut() {
+                *x += 100 * ci as u32;
+            }
+        });
+        assert_eq!(v, [0, 1, 2, 3, 104, 105, 106, 107, 208, 209]);
     }
 
     #[test]

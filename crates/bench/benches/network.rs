@@ -6,13 +6,14 @@ use std::hint::black_box;
 
 use asc_isa::{ReduceOp, Width, Word};
 use asc_network::{MultipleResponseResolver, Network, NetworkConfig};
+use asc_pe::ActiveMask;
 
 fn bench_reductions(c: &mut Criterion) {
     let mut g = c.benchmark_group("network_reduce");
     for p in [1024usize, 65536] {
         let net = Network::new(NetworkConfig::new(p, 4));
         let values: Vec<Word> = (0..p).map(|i| Word::new(i as u32 & 0xffff, Width::W16)).collect();
-        let active = vec![true; p];
+        let active = ActiveMask::all(p);
         for op in [ReduceOp::Sum, ReduceOp::Max, ReduceOp::Or] {
             g.bench_with_input(BenchmarkId::new(format!("{op}"), p), &p, |b, _| {
                 b.iter(|| black_box(net.reduce(op, &values, &active, Width::W16)))
@@ -26,9 +27,16 @@ fn bench_resolver(c: &mut Criterion) {
     let mut g = c.benchmark_group("network_mrr");
     for p in [1024usize, 65536] {
         let flags: Vec<bool> = (0..p).map(|i| i % 97 == 3).collect();
-        let active = vec![true; p];
-        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, _| {
-            b.iter(|| black_box(MultipleResponseResolver::resolve(&flags, &active)))
+        let packed = ActiveMask::from_bools(&flags).words().to_vec();
+        let active = ActiveMask::all(p);
+        // the bitplane fast path the executor uses
+        g.bench_with_input(BenchmarkId::new("bitplane", p), &p, |b, _| {
+            b.iter(|| black_box(MultipleResponseResolver::first_responder(&packed, &active)))
+        });
+        // the one-hot parallel-prefix specification, for comparison
+        let active_bools = vec![true; p];
+        g.bench_with_input(BenchmarkId::new("prefix", p), &p, |b, _| {
+            b.iter(|| black_box(MultipleResponseResolver::resolve(&flags, &active_bools)))
         });
     }
     g.finish();

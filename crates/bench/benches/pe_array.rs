@@ -1,0 +1,54 @@
+//! Criterion benchmarks of the PE-array datapath hot paths: the sort
+//! kernel at 4096 PEs (masked ALU/compare + reductions every step) and a
+//! response-count microbench at 2¹⁴ PEs (the associative some/none test
+//! issued back to back). These are the workloads the structure-of-arrays
+//! PE array is optimised for; run them before and after datapath changes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use asc_core::{Machine, MachineConfig};
+use asc_kernels::sort;
+
+/// Sort 256 values on a 4096-PE array: every associative step runs its
+/// masked compares and reductions across all 4096 lanes.
+fn bench_sort_4096(c: &mut Criterion) {
+    let values: Vec<i64> = (0..256).map(|i| ((i * 37) % 199) - 99).collect();
+    c.bench_function("pe_array/sort_4096", |b| {
+        b.iter(|| {
+            black_box(
+                sort::run(MachineConfig::new(4096).single_threaded(), &values).unwrap().sorted,
+            )
+        })
+    });
+}
+
+/// 2048 back-to-back `rcount` instructions over a 2¹⁴-PE array with half
+/// the PEs responding — the response counter's instruction-issue hot path.
+fn bench_rcount_16k(c: &mut Criterion) {
+    let src = format!(
+        "
+        li     s5, 256
+        li     s6, 8192
+        pidx   p1
+        pcles  pf1, p1, s6
+loop:   {rcounts}
+        addi   s5, s5, -1
+        cne    f1, s5, s0
+        bt     f1, loop
+        halt
+        ",
+        rcounts = "rcount s2, pf1\n".repeat(8),
+    );
+    let program = asc_asm::assemble(&src).expect("rcount microbench assembles");
+    let cfg = MachineConfig::new(1 << 14).single_threaded();
+    c.bench_function("pe_array/rcount_16384", |b| {
+        b.iter(|| {
+            let mut m = Machine::with_program(cfg, &program).unwrap();
+            black_box(m.run(50_000_000).unwrap().cycles)
+        })
+    });
+}
+
+criterion_group!(benches, bench_sort_4096, bench_rcount_16k);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! PE-count scaling sweep: run the associative-search kernel at every
+//! power-of-two array size from 2⁴ to 2¹⁶ and record simulator throughput
+//! (simulated instructions per wall-clock second) for each size.
+//!
+//! Unlike the criterion benches this target writes a machine-readable
+//! report, `BENCH_pe_scaling.json` at the repository root, so successive
+//! PRs accumulate a perf trajectory (see `docs/performance.md` for the
+//! schema). Run with `cargo bench --bench pe_scaling`.
+
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use asc_core::MachineConfig;
+use asc_kernels::search;
+
+/// One measured point of the sweep.
+struct Point {
+    num_pes: usize,
+    /// Simulated instructions issued per kernel run.
+    instructions: u64,
+    /// Simulated cycles per kernel run.
+    cycles: u64,
+    /// Wall-clock seconds per kernel run (best of the measured runs).
+    seconds: f64,
+}
+
+impl Point {
+    fn instr_per_sec(&self) -> f64 {
+        self.instructions as f64 / self.seconds
+    }
+}
+
+/// Time one full `search::run` (assemble + distribute + simulate) at the
+/// given array size, returning the best-of-`runs` wall time.
+fn measure(num_pes: usize, runs: usize) -> Point {
+    let records: Vec<(i64, i64)> = (0..num_pes as i64).map(|i| ((i * 7) % 1024, i)).collect();
+    let cfg = MachineConfig::new(num_pes).single_threaded();
+    let mut best = f64::INFINITY;
+    let mut stats = None;
+    for _ in 0..runs {
+        let t = Instant::now();
+        let r = search::run(cfg, &records, 3).unwrap();
+        let dt = t.elapsed().as_secs_f64();
+        black_box(r.matches);
+        if dt < best {
+            best = dt;
+        }
+        stats = Some((r.stats.issued, r.stats.cycles));
+    }
+    let (instructions, cycles) = stats.unwrap();
+    Point { num_pes, instructions, cycles, seconds: best }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        println!("pe_scaling: bench");
+        return;
+    }
+    let smoke = args.iter().any(|a| a == "--test");
+    let sizes: Vec<usize> =
+        if smoke { vec![16, 64] } else { (4..=16).map(|e| 1usize << e).collect() };
+
+    let mut points = Vec::new();
+    println!("{:>8} {:>14} {:>12} {:>16}", "num_pes", "instr/run", "wall (ms)", "instr/sec");
+    for &p in &sizes {
+        // more repeats at small sizes where a single run is microseconds
+        let runs = (1 << 22) / p.max(1);
+        let pt = measure(p, runs.clamp(3, 2048));
+        println!(
+            "{:>8} {:>14} {:>12.3} {:>16.0}",
+            pt.num_pes,
+            pt.instructions,
+            pt.seconds * 1e3,
+            pt.instr_per_sec()
+        );
+        points.push(pt);
+    }
+
+    if smoke {
+        println!("pe_scaling: ok (smoke, report not written)");
+        return;
+    }
+
+    // versioned, machine-readable report at the repository root
+    let mut json = String::from("{\n  \"schema\": \"mtasc.pe_scaling.v1\",\n");
+    json.push_str("  \"kernel\": \"associative_search\",\n  \"points\": [\n");
+    for (i, pt) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"num_pes\": {}, \"instructions\": {}, \"cycles\": {}, \
+             \"wall_seconds\": {:.9}, \"instr_per_sec\": {:.1}}}{}\n",
+            pt.num_pes,
+            pt.instructions,
+            pt.cycles,
+            pt.seconds,
+            pt.instr_per_sec(),
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let out = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pe_scaling.json");
+    std::fs::write(&out, json).expect("write BENCH_pe_scaling.json");
+    println!("wrote {}", out.display());
+}

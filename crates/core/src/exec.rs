@@ -174,115 +174,118 @@ impl Machine {
 
             // ------------------------------------------------- parallel
             PAlu { op, pd, pa, pb, mask } => {
-                let active = self.array.active(thread, mask);
-                self.array.alu(thread, op, pd, pa, Src::Reg(pb), &active);
+                self.array.fill_active(thread, mask, &mut self.amask);
+                self.array.alu(thread, op, pd, pa, Src::Reg(pb), &self.amask);
                 Ok(Effect::Next)
             }
             PAluS { op, pd, pa, sb, mask } => {
-                let active = self.array.active(thread, mask);
+                self.array.fill_active(thread, mask, &mut self.amask);
                 let v = self.sregs.read(thread, sb.index());
-                self.array.alu(thread, op, pd, pa, Src::Scalar(v), &active);
+                self.array.alu(thread, op, pd, pa, Src::Scalar(v), &self.amask);
                 Ok(Effect::Next)
             }
             PAluImm { op, pd, pa, imm, mask } => {
-                let active = self.array.active(thread, mask);
+                self.array.fill_active(thread, mask, &mut self.amask);
                 let v = Word::from_i64(imm as i64, w);
-                self.array.alu(thread, op, pd, pa, Src::Imm(v), &active);
+                self.array.alu(thread, op, pd, pa, Src::Imm(v), &self.amask);
                 Ok(Effect::Next)
             }
             PCmp { op, fd, pa, pb, mask } => {
-                let active = self.array.active(thread, mask);
-                self.array.cmp(thread, op, fd, pa, Src::Reg(pb), &active);
+                self.array.fill_active(thread, mask, &mut self.amask);
+                self.array.cmp(thread, op, fd, pa, Src::Reg(pb), &self.amask);
                 Ok(Effect::Next)
             }
             PCmpS { op, fd, pa, sb, mask } => {
-                let active = self.array.active(thread, mask);
+                self.array.fill_active(thread, mask, &mut self.amask);
                 let v = self.sregs.read(thread, sb.index());
-                self.array.cmp(thread, op, fd, pa, Src::Scalar(v), &active);
+                self.array.cmp(thread, op, fd, pa, Src::Scalar(v), &self.amask);
                 Ok(Effect::Next)
             }
             PCmpImm { op, fd, pa, imm, mask } => {
-                let active = self.array.active(thread, mask);
+                self.array.fill_active(thread, mask, &mut self.amask);
                 let v = Word::from_i64(imm as i64, w);
-                self.array.cmp(thread, op, fd, pa, Src::Imm(v), &active);
+                self.array.cmp(thread, op, fd, pa, Src::Imm(v), &self.amask);
                 Ok(Effect::Next)
             }
             PFlagOp { op, fd, fa, fb, mask } => {
-                let active = self.array.active(thread, mask);
-                self.array.flag_op(thread, op, fd, fa, fb, &active);
+                self.array.fill_active(thread, mask, &mut self.amask);
+                self.array.flag_op(thread, op, fd, fa, fb, &self.amask);
                 Ok(Effect::Next)
             }
             Plw { pd, base, off, mask } => {
-                let active = self.array.active(thread, mask);
+                self.array.fill_active(thread, mask, &mut self.amask);
                 self.array
-                    .load(thread, pd, base, off as i32, &active)
+                    .load(thread, pd, base, off as i32, &self.amask)
                     .map_err(|fault| RunError::PeMemoryFault { thread, pc, fault })?;
                 Ok(Effect::Next)
             }
             Psw { ps, base, off, mask } => {
-                let active = self.array.active(thread, mask);
+                self.array.fill_active(thread, mask, &mut self.amask);
                 self.array
-                    .store(thread, ps, base, off as i32, &active)
+                    .store(thread, ps, base, off as i32, &self.amask)
                     .map_err(|fault| RunError::PeMemoryFault { thread, pc, fault })?;
                 Ok(Effect::Next)
             }
             Pidx { pd, mask } => {
-                let active = self.array.active(thread, mask);
-                self.array.pidx(thread, pd, &active);
+                self.array.fill_active(thread, mask, &mut self.amask);
+                self.array.pidx(thread, pd, &self.amask);
                 Ok(Effect::Next)
             }
             PMovS { pd, sa, mask } => {
-                let active = self.array.active(thread, mask);
+                self.array.fill_active(thread, mask, &mut self.amask);
                 let v = self.sregs.read(thread, sa.index());
-                self.array.movs(thread, pd, v, &active);
+                self.array.movs(thread, pd, v, &self.amask);
                 Ok(Effect::Next)
             }
             PShift { pd, pa, dist, mask } => {
-                let active = self.array.active(thread, mask);
-                self.array.shift(thread, pd, pa, dist as i32, &active);
+                self.array.fill_active(thread, mask, &mut self.amask);
+                self.array.shift(thread, pd, pa, dist as i32, &self.amask);
                 Ok(Effect::Next)
             }
 
             // ------------------------------------------------- reductions
+            // All reduction arms read the register/flag planes in place —
+            // no column snapshots, no allocation.
             Reduce { op, sd, pa, mask } => {
-                let active = self.array.active(thread, mask);
-                let values = self.array.gpr_column(thread, pa.index());
-                let v = self.net.reduce(op, &values, &active, w);
+                self.array.fill_active(thread, mask, &mut self.amask);
+                let values = self.array.gpr_plane(thread, pa.index());
+                let v = self.net.reduce(op, values, &self.amask, w);
                 self.sregs.write(thread, sd.index(), v);
                 self.emit_net_reduce(thread, asc_network::NetUnit::for_reduce(op));
                 Ok(Effect::Next)
             }
             RCount { sd, fa, mask } => {
-                let active = self.array.active(thread, mask);
-                let flags = self.array.flag_column(thread, fa.index());
-                let v = self.net.count_responders(&flags, &active, w);
+                self.array.fill_active(thread, mask, &mut self.amask);
+                let flags = self.array.flag_plane(thread, fa.index());
+                let v = self.net.count_responders(flags, &self.amask, w);
                 self.sregs.write(thread, sd.index(), v);
                 self.emit_net_reduce(thread, asc_network::NetUnit::Counter);
                 Ok(Effect::Next)
             }
             RFlag { op, fd, fa, mask } => {
-                let active = self.array.active(thread, mask);
-                let flags = self.array.flag_column(thread, fa.index());
-                let v = self.net.reduce_flags(op, &flags, &active);
+                self.array.fill_active(thread, mask, &mut self.amask);
+                let flags = self.array.flag_plane(thread, fa.index());
+                let v = self.net.reduce_flags(op, flags, &self.amask);
                 self.sflags.write(thread, fd.index(), v);
                 self.emit_net_reduce(thread, asc_network::NetUnit::Logic);
                 Ok(Effect::Next)
             }
             PFirst { fd, fa, mask } => {
-                let active = self.array.active(thread, mask);
-                let flags = self.array.flag_column(thread, fa.index());
-                let one_hot = self.net.first_responder(&flags, &active);
-                self.array.write_flag_column(thread, fd, &one_hot, &active);
+                self.array.fill_active(thread, mask, &mut self.amask);
+                let hit = self
+                    .net
+                    .first_responder(self.array.flag_plane(thread, fa.index()), &self.amask);
+                self.array.write_first_responder(thread, fd, hit, &self.amask);
                 self.emit_net_reduce(thread, asc_network::NetUnit::Resolver);
                 Ok(Effect::Next)
             }
             RGet { sd, pa, fa, mask } => {
-                let active = self.array.active(thread, mask);
-                let flags = self.array.flag_column(thread, fa.index());
-                let values = self.array.gpr_column(thread, pa.index());
-                let v = asc_network::MultipleResponseResolver::first_index(&flags, &active)
-                    .map(|i| values[i])
-                    .unwrap_or(Word::ZERO);
+                self.array.fill_active(thread, mask, &mut self.amask);
+                let hit = self
+                    .net
+                    .first_responder(self.array.flag_plane(thread, fa.index()), &self.amask);
+                let v =
+                    hit.map(|i| self.array.gpr_plane(thread, pa.index())[i]).unwrap_or(Word::ZERO);
                 self.sregs.write(thread, sd.index(), v);
                 self.emit_net_reduce(thread, asc_network::NetUnit::Resolver);
                 Ok(Effect::Next)

@@ -89,6 +89,10 @@ pub struct Machine {
     pub(crate) sflags: FlagFile,
     pub(crate) smem: LocalMemory,
     pub(crate) array: PeArray,
+    /// Reusable packed active mask: filled from the instruction's mask
+    /// field at issue, so masked execution allocates nothing per
+    /// instruction.
+    pub(crate) amask: asc_pe::ActiveMask,
     pub(crate) net: Network,
     pub(crate) threads: ThreadTable,
     score: Scoreboard,
@@ -128,6 +132,7 @@ impl Machine {
             sflags: FlagFile::new(cfg.threads, asc_isa::NUM_FLAGS),
             smem: LocalMemory::new(cfg.smem_words),
             array: PeArray::new(cfg.array()),
+            amask: asc_pe::ActiveMask::new(cfg.num_pes),
             net: Network::new(cfg.network()),
             threads: ThreadTable::new(cfg.threads),
             score: Scoreboard::new(cfg.threads),

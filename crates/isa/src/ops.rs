@@ -175,6 +175,22 @@ impl FlagOp {
             FlagOp::Set | FlagOp::Clr => 0,
         }
     }
+
+    /// Apply the flag operation to 64 lanes at once, one flag per bit —
+    /// the word-parallel form used by packed flag bitplanes (bit `i` of
+    /// the result is `apply(bit i of a, bit i of b)`).
+    pub const fn apply_word(self, a: u64, b: u64) -> u64 {
+        match self {
+            FlagOp::And => a & b,
+            FlagOp::Or => a | b,
+            FlagOp::Xor => a ^ b,
+            FlagOp::AndNot => a & !b,
+            FlagOp::Not => !a,
+            FlagOp::Mov => a,
+            FlagOp::Set => !0,
+            FlagOp::Clr => 0,
+        }
+    }
 }
 
 op_enum!(
@@ -286,6 +302,22 @@ mod tests {
         assert_eq!(FlagOp::Set.arity(), 0);
         assert_eq!(FlagOp::Not.arity(), 1);
         assert_eq!(FlagOp::Xor.arity(), 2);
+    }
+
+    #[test]
+    fn flag_op_word_form_matches_boolean_form() {
+        // every (op, a-bit, b-bit) combination agrees with the scalar form
+        let a = 0b0011u64;
+        let b = 0b0101u64;
+        for &op in FlagOp::ALL {
+            let word = op.apply_word(a, b);
+            for lane in 0..4 {
+                let expect = op.apply(a >> lane & 1 == 1, b >> lane & 1 == 1);
+                assert_eq!(word >> lane & 1 == 1, expect, "{op:?} lane {lane}");
+            }
+            // lanes far above the inputs' set bits behave like (false, false)
+            assert_eq!(word >> 63 & 1 == 1, op.apply(false, false), "{op:?} lane 63");
+        }
     }
 
     #[test]

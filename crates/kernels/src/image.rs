@@ -86,7 +86,7 @@ pub fn run(cfg: MachineConfig, pixels: &[i64], threshold: i64) -> Result<ImageSt
         for j in 0..valid_pes {
             let strip: Vec<i64> =
                 (0..per_pe).map(|i| pixels.get(j * per_pe + i).copied().unwrap_or(0)).collect();
-            mach.array_mut().lmem_mut(j).load_slice(0, &to_words(&strip, w)).unwrap();
+            mach.array_mut().lmem_load_slice(j, 0, &to_words(&strip, w)).unwrap();
         }
     })?;
     Ok(ImageStats {

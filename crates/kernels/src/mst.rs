@@ -73,7 +73,7 @@ pub fn run(cfg: MachineConfig, weights: &[Vec<i64>]) -> Result<MstResult, RunErr
     let (m, stats) = run_kernel(cfg, &program(n), |m| {
         for (j, row) in weights.iter().enumerate() {
             assert_eq!(row.len(), n, "square matrix required");
-            m.array_mut().lmem_mut(j).load_slice(0, &to_words(row, w)).unwrap();
+            m.array_mut().lmem_load_slice(j, 0, &to_words(row, w)).unwrap();
         }
     })?;
     Ok(MstResult { total_weight: m.sreg(0, 5).to_u32() as u64, stats })

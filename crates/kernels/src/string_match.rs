@@ -75,7 +75,7 @@ pub fn run(cfg: MachineConfig, text: &[u8], pattern: &[u8]) -> Result<MatchResul
         for j in 0..n {
             let window: Vec<i64> =
                 (0..m).map(|i| text.get(j + i).map(|&c| c as i64).unwrap_or(-1)).collect();
-            mach.array_mut().lmem_mut(j).load_slice(0, &to_words(&window, w)).unwrap();
+            mach.array_mut().lmem_load_slice(j, 0, &to_words(&window, w)).unwrap();
         }
     })?;
     let count = machine.sreg(0, 1).to_u32();

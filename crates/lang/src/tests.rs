@@ -289,7 +289,7 @@ fn mst_written_in_ascl_matches_kernel_reference() {
     let mut m = Machine::with_program(MachineConfig::new(16), &program).unwrap();
     for (j, row) in graph.iter().enumerate() {
         let words: Vec<Word> = row.iter().map(|&v| Word::from_i64(v, Width::W16)).collect();
-        m.array_mut().lmem_mut(j).load_slice(0, &words).unwrap();
+        m.array_mut().lmem_load_slice(j, 0, &words).unwrap();
     }
     m.run(10_000_000).unwrap();
     let total = m.smem().read(crate::OUT_BASE).unwrap().to_u32() as u64;

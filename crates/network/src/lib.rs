@@ -44,6 +44,7 @@ pub use tree::{reduction_latency, tree_depth, DelayLine, PipelinedUnit};
 pub use unit::NetUnit;
 
 use asc_isa::{ReduceOp, Width, Word};
+use asc_pe::ActiveMask;
 
 /// Geometry and latency of the whole broadcast/reduction network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,12 +96,14 @@ impl Network {
         self.cfg
     }
 
-    /// Reduce a per-PE value over the active set with the given operation.
-    /// Inactive PEs contribute the operation's identity element, exactly as
-    /// the hardware feeds identity values into the tree leaves.
-    pub fn reduce(&self, op: ReduceOp, values: &[Word], active: &[bool], w: Width) -> Word {
+    /// Reduce a per-PE value (a register plane) over the active set with
+    /// the given operation. Inactive PEs contribute the operation's
+    /// identity element, exactly as the hardware feeds identity values into
+    /// the tree leaves. Reads the plane in place; the saturating sum keeps
+    /// the canonical tree association order.
+    pub fn reduce(&self, op: ReduceOp, values: &[Word], active: &ActiveMask, w: Width) -> Word {
         debug_assert_eq!(values.len(), self.cfg.num_pes);
-        debug_assert_eq!(active.len(), self.cfg.num_pes);
+        debug_assert_eq!(active.lanes(), self.cfg.num_pes);
         match op {
             ReduceOp::And | ReduceOp::Or => LogicUnit::reduce(op, values, active, w),
             ReduceOp::Max | ReduceOp::Min | ReduceOp::MaxU | ReduceOp::MinU => {
@@ -110,19 +113,28 @@ impl Network {
         }
     }
 
-    /// Responder detection: OR (any) / AND (all) over a flag per PE.
-    pub fn reduce_flags(&self, op: asc_isa::FlagReduceOp, flags: &[bool], active: &[bool]) -> bool {
+    /// Responder detection: OR (any) / AND (all) over a packed flag
+    /// bitplane, 64 PEs per word.
+    pub fn reduce_flags(
+        &self,
+        op: asc_isa::FlagReduceOp,
+        flags: &[u64],
+        active: &ActiveMask,
+    ) -> bool {
         LogicUnit::reduce_flags(op, flags, active)
     }
 
-    /// Exact responder count, saturating at the word width.
-    pub fn count_responders(&self, flags: &[bool], active: &[bool], w: Width) -> Word {
+    /// Exact responder count from the packed bitplane, saturating at the
+    /// word width.
+    pub fn count_responders(&self, flags: &[u64], active: &ActiveMask, w: Width) -> Word {
         ResponseCounter::count(flags, active, w)
     }
 
-    /// Multiple response resolution: one-hot first responder.
-    pub fn first_responder(&self, flags: &[bool], active: &[bool]) -> Vec<bool> {
-        MultipleResponseResolver::resolve(flags, active)
+    /// Multiple response resolution: index of the first responder, if any.
+    /// (The hardware's one-hot parallel output is materialized by the PE
+    /// array only when an instruction stores it to a flag plane.)
+    pub fn first_responder(&self, flags: &[u64], active: &ActiveMask) -> Option<usize> {
+        MultipleResponseResolver::first_responder(flags, active)
     }
 }
 

@@ -3,10 +3,15 @@
 //! inverters before and after the tree" — AND is computed as
 //! `~(OR(~x))` by De Morgan. The functional model here implements both the
 //! direct reduction and the De Morgan path and the tests check they agree.
+//!
+//! Integer reduction reads a register plane directly (leaves produced on
+//! demand by [`tree_reduce_with`] — no temporary leaf vector); flag
+//! reduction operates word-parallel on packed bitplanes, 64 PEs per `u64`.
 
 use asc_isa::{FlagReduceOp, ReduceOp, Width, Word};
+use asc_pe::ActiveMask;
 
-use crate::tree::tree_reduce;
+use crate::tree::tree_reduce_with;
 
 /// Functional model of the logic reduction unit.
 pub struct LogicUnit;
@@ -17,31 +22,40 @@ impl LogicUnit {
     ///
     /// # Panics
     /// Panics if `op` is not `And` or `Or`.
-    pub fn reduce(op: ReduceOp, values: &[Word], active: &[bool], w: Width) -> Word {
+    pub fn reduce(op: ReduceOp, values: &[Word], active: &ActiveMask, w: Width) -> Word {
         assert!(matches!(op, ReduceOp::And | ReduceOp::Or), "logic unit only does AND/OR");
+        debug_assert_eq!(values.len(), active.lanes());
         let id = op.identity(w);
-        let leaves: Vec<Word> =
-            values.iter().zip(active).map(|(&v, &a)| if a { v } else { id }).collect();
+        let n = values.len();
         match op {
-            ReduceOp::Or => tree_reduce(&leaves, id, |a, b| a.or(b)),
+            ReduceOp::Or => {
+                let leaf = |i: usize| if active.is_active(i) { values[i] } else { id };
+                tree_reduce_with(n, id, &leaf, &|a, b| a.or(b))
+            }
             ReduceOp::And => {
                 // hardware path: invert, OR-tree, invert
-                let inverted: Vec<Word> =
-                    leaves.iter().map(|v| Word::new(!v.to_u32(), w)).collect();
-                let ored = tree_reduce(&inverted, Word::ZERO, |a, b| a.or(b));
+                let leaf = |i: usize| {
+                    let v = if active.is_active(i) { values[i] } else { id };
+                    Word::new(!v.to_u32(), w)
+                };
+                let ored = tree_reduce_with(n, Word::ZERO, &leaf, &|a, b| a.or(b));
                 Word::new(!ored.to_u32(), w)
             }
             _ => unreachable!(),
         }
     }
 
-    /// Flag reduction: responder detection. `Any` = OR, `All` = AND over the
-    /// active set.
-    pub fn reduce_flags(op: FlagReduceOp, flags: &[bool], active: &[bool]) -> bool {
-        let id = op.identity();
-        let leaves: Vec<bool> =
-            flags.iter().zip(active).map(|(&f, &a)| if a { f } else { id }).collect();
-        tree_reduce(&leaves, id, |a, b| op.combine(a, b))
+    /// Flag reduction: responder detection over a packed bitplane. `Any` is
+    /// a nonzero test of `flags & active`; `All` asks whether any *active*
+    /// PE has the flag clear. Both are word-parallel and short-circuit —
+    /// the tail invariant (mask bits beyond the last PE are zero) makes
+    /// the partial last word fall out for free.
+    pub fn reduce_flags(op: FlagReduceOp, flags: &[u64], active: &ActiveMask) -> bool {
+        debug_assert_eq!(flags.len(), active.words().len());
+        match op {
+            FlagReduceOp::Any => flags.iter().zip(active.words()).any(|(&f, &a)| f & a != 0),
+            FlagReduceOp::All => flags.iter().zip(active.words()).all(|(&f, &a)| !f & a == 0),
+        }
     }
 }
 
@@ -54,10 +68,14 @@ mod tests {
         Word::new(v, Width::W8)
     }
 
+    fn pack(flags: &[bool]) -> Vec<u64> {
+        ActiveMask::from_bools(flags).words().to_vec()
+    }
+
     #[test]
     fn and_or_basic() {
         let vals = [w8(0b1100), w8(0b1010), w8(0b1111)];
-        let all = [true, true, true];
+        let all = ActiveMask::all(3);
         assert_eq!(LogicUnit::reduce(ReduceOp::And, &vals, &all, Width::W8), w8(0b1000));
         assert_eq!(LogicUnit::reduce(ReduceOp::Or, &vals, &all, Width::W8), w8(0b1111));
     }
@@ -65,32 +83,39 @@ mod tests {
     #[test]
     fn inactive_pes_are_transparent() {
         let vals = [w8(0x0f), w8(0xf0)];
-        assert_eq!(LogicUnit::reduce(ReduceOp::And, &vals, &[true, false], Width::W8), w8(0x0f));
-        assert_eq!(LogicUnit::reduce(ReduceOp::Or, &vals, &[false, true], Width::W8), w8(0xf0));
+        let first = ActiveMask::from_bools(&[true, false]);
+        let second = ActiveMask::from_bools(&[false, true]);
+        assert_eq!(LogicUnit::reduce(ReduceOp::And, &vals, &first, Width::W8), w8(0x0f));
+        assert_eq!(LogicUnit::reduce(ReduceOp::Or, &vals, &second, Width::W8), w8(0xf0));
     }
 
     #[test]
     fn empty_active_set_yields_identity() {
         let vals = [w8(1), w8(2)];
-        assert_eq!(LogicUnit::reduce(ReduceOp::And, &vals, &[false, false], Width::W8), w8(0xff));
-        assert_eq!(LogicUnit::reduce(ReduceOp::Or, &vals, &[false, false], Width::W8), w8(0));
+        let none = ActiveMask::new(2);
+        assert_eq!(LogicUnit::reduce(ReduceOp::And, &vals, &none, Width::W8), w8(0xff));
+        assert_eq!(LogicUnit::reduce(ReduceOp::Or, &vals, &none, Width::W8), w8(0));
     }
 
     #[test]
     fn flag_reduction() {
-        assert!(LogicUnit::reduce_flags(FlagReduceOp::Any, &[false, true, false], &[true; 3]));
-        assert!(!LogicUnit::reduce_flags(FlagReduceOp::Any, &[false, true], &[true, false]));
-        assert!(LogicUnit::reduce_flags(FlagReduceOp::All, &[true, false], &[true, false]));
-        assert!(!LogicUnit::reduce_flags(FlagReduceOp::All, &[true, false], &[true, true]));
+        let all3 = ActiveMask::all(3);
+        assert!(LogicUnit::reduce_flags(FlagReduceOp::Any, &pack(&[false, true, false]), &all3));
+        let first = ActiveMask::from_bools(&[true, false]);
+        assert!(!LogicUnit::reduce_flags(FlagReduceOp::Any, &pack(&[false, true]), &first));
+        assert!(LogicUnit::reduce_flags(FlagReduceOp::All, &pack(&[true, false]), &first));
+        let both = ActiveMask::all(2);
+        assert!(!LogicUnit::reduce_flags(FlagReduceOp::All, &pack(&[true, false]), &both));
         // empty active set
-        assert!(!LogicUnit::reduce_flags(FlagReduceOp::Any, &[true], &[false]));
-        assert!(LogicUnit::reduce_flags(FlagReduceOp::All, &[false], &[false]));
+        let none = ActiveMask::new(1);
+        assert!(!LogicUnit::reduce_flags(FlagReduceOp::Any, &pack(&[true]), &none));
+        assert!(LogicUnit::reduce_flags(FlagReduceOp::All, &pack(&[false]), &none));
     }
 
     #[test]
     #[should_panic]
     fn rejects_non_logic_op() {
-        LogicUnit::reduce(ReduceOp::Sum, &[], &[], Width::W8);
+        LogicUnit::reduce(ReduceOp::Sum, &[], &ActiveMask::new(0), Width::W8);
     }
 
     proptest! {
@@ -104,19 +129,37 @@ mod tests {
             for w in Width::ALL {
                 let n = vals.len().min(actives.len());
                 let words: Vec<Word> = vals[..n].iter().map(|&v| Word::new(v, w)).collect();
-                let act = &actives[..n];
-                let and = LogicUnit::reduce(ReduceOp::And, &words, act, w);
-                let or = LogicUnit::reduce(ReduceOp::Or, &words, act, w);
+                let act = ActiveMask::from_bools(&actives[..n]);
+                let and = LogicUnit::reduce(ReduceOp::And, &words, &act, w);
+                let or = LogicUnit::reduce(ReduceOp::Or, &words, &act, w);
                 let mut fand = w.mask();
                 let mut for_ = 0u32;
                 for i in 0..n {
-                    if act[i] {
+                    if actives[i] {
                         fand &= words[i].to_u32();
                         for_ |= words[i].to_u32();
                     }
                 }
                 prop_assert_eq!(and.to_u32(), fand);
                 prop_assert_eq!(or.to_u32(), for_);
+            }
+        }
+
+        /// Word-parallel flag reduction equals the per-PE tree reduction it
+        /// replaced.
+        #[test]
+        fn flags_match_sequential(
+            flags in proptest::collection::vec(any::<bool>(), 0..200),
+            actives in proptest::collection::vec(any::<bool>(), 0..200),
+        ) {
+            let n = flags.len().min(actives.len());
+            let mask = ActiveMask::from_bools(&actives[..n]);
+            let packed = pack(&flags[..n]);
+            for op in [FlagReduceOp::Any, FlagReduceOp::All] {
+                let expect = (0..n)
+                    .map(|i| if actives[i] { flags[i] } else { op.identity() })
+                    .fold(op.identity(), |a, b| op.combine(a, b));
+                prop_assert_eq!(LogicUnit::reduce_flags(op, &packed, &mask), expect);
             }
         }
     }

@@ -7,26 +7,28 @@
 //! a cross-check.
 
 use asc_isa::{ReduceOp, Width, Word};
+use asc_pe::ActiveMask;
 
-use crate::tree::tree_reduce;
+use crate::tree::tree_reduce_with;
 
 /// Functional model of the max/min reduction unit.
 pub struct MaxMinUnit;
 
 impl MaxMinUnit {
-    /// Tree reduction for `Max`/`Min`/`MaxU`/`MinU` over the active set.
+    /// Tree reduction for `Max`/`Min`/`MaxU`/`MinU` over the active set,
+    /// reading the register plane in place (no leaf vector).
     ///
     /// # Panics
     /// Panics if `op` is not a max/min operation.
-    pub fn reduce(op: ReduceOp, values: &[Word], active: &[bool], w: Width) -> Word {
+    pub fn reduce(op: ReduceOp, values: &[Word], active: &ActiveMask, w: Width) -> Word {
         assert!(
             matches!(op, ReduceOp::Max | ReduceOp::Min | ReduceOp::MaxU | ReduceOp::MinU),
             "max/min unit got {op:?}"
         );
+        debug_assert_eq!(values.len(), active.lanes());
         let id = op.identity(w);
-        let leaves: Vec<Word> =
-            values.iter().zip(active).map(|(&v, &a)| if a { v } else { id }).collect();
-        tree_reduce(&leaves, id, |a, b| op.combine(a, b, w))
+        let leaf = |i: usize| if active.is_active(i) { values[i] } else { id };
+        tree_reduce_with(values.len(), id, &leaf, &|a, b| op.combine(a, b, w))
     }
 
     /// The Falkoff bit-serial maximum: examine one bit per step from the
@@ -78,7 +80,7 @@ mod tests {
     fn signed_vs_unsigned() {
         let w = Width::W8;
         let vals = words(&[-1, 3, 100, -128], w);
-        let all = [true; 4];
+        let all = ActiveMask::all(4);
         assert_eq!(MaxMinUnit::reduce(ReduceOp::Max, &vals, &all, w).to_i64(w), 100);
         assert_eq!(MaxMinUnit::reduce(ReduceOp::Min, &vals, &all, w).to_i64(w), -128);
         // unsigned: -1 is 0xff, the largest
@@ -90,7 +92,7 @@ mod tests {
     fn respects_active_mask() {
         let w = Width::W8;
         let vals = words(&[100, 50, 75], w);
-        let act = [false, true, true];
+        let act = ActiveMask::from_bools(&[false, true, true]);
         assert_eq!(MaxMinUnit::reduce(ReduceOp::Max, &vals, &act, w).to_i64(w), 75);
     }
 
@@ -98,8 +100,9 @@ mod tests {
     fn empty_set_gives_identity() {
         let w = Width::W8;
         let vals = words(&[1], w);
-        assert_eq!(MaxMinUnit::reduce(ReduceOp::Max, &vals, &[false], w).to_i64(w), w.smin());
-        assert_eq!(MaxMinUnit::reduce(ReduceOp::Min, &vals, &[false], w).to_i64(w), w.smax());
+        let none = ActiveMask::new(1);
+        assert_eq!(MaxMinUnit::reduce(ReduceOp::Max, &vals, &none, w).to_i64(w), w.smin());
+        assert_eq!(MaxMinUnit::reduce(ReduceOp::Min, &vals, &none, w).to_i64(w), w.smax());
     }
 
     #[test]
@@ -125,10 +128,11 @@ mod tests {
                 let n = raw.len().min(actives.len());
                 let vals: Vec<Word> = raw[..n].iter().map(|&v| Word::new(v, w)).collect();
                 let act = &actives[..n];
+                let mask = ActiveMask::from_bools(act);
                 if act.iter().any(|&a| a) {
-                    let tree_u = MaxMinUnit::reduce(ReduceOp::MaxU, &vals, act, w);
+                    let tree_u = MaxMinUnit::reduce(ReduceOp::MaxU, &vals, &mask, w);
                     prop_assert_eq!(MaxMinUnit::falkoff_max(&vals, act, w), Some(tree_u));
-                    let tree_s = MaxMinUnit::reduce(ReduceOp::Max, &vals, act, w);
+                    let tree_s = MaxMinUnit::reduce(ReduceOp::Max, &vals, &mask, w);
                     prop_assert_eq!(MaxMinUnit::falkoff_max_signed(&vals, act, w), Some(tree_s));
                 } else {
                     prop_assert_eq!(MaxMinUnit::falkoff_max(&vals, act, w), None);
@@ -145,7 +149,7 @@ mod tests {
         ) {
             let w = Width::W16;
             let vals: Vec<Word> = raw.iter().map(|&v| Word::new(v, w)).collect();
-            let act = vec![true; vals.len()];
+            let act = ActiveMask::all(vals.len());
             let tree = MaxMinUnit::reduce(ReduceOp::Max, &vals, &act, w);
             let fold = vals.iter().fold(Word::from_i64(w.smin(), w), |a, &b| a.max_signed(b, w));
             prop_assert_eq!(tree, fold);

@@ -11,10 +11,25 @@
 //! prefix-OR, then `out[i] = in[i] & !prefix[i-1]`). The property tests
 //! prove them equivalent.
 
+use asc_pe::ActiveMask;
+
 /// Functional model of the multiple response resolver.
 pub struct MultipleResponseResolver;
 
 impl MultipleResponseResolver {
+    /// Bitplane fast path: index of the first responder under the mask,
+    /// straight from the packed flag plane. A word-level scan finds the
+    /// first nonzero `flags & active` word; `trailing_zeros` picks the
+    /// lowest-numbered PE within it. This is the path the executor uses —
+    /// the one-hot output vector of the hardware is reconstructed by the
+    /// PE array when (and only when) an instruction stores it.
+    pub fn first_responder(flags: &[u64], active: &ActiveMask) -> Option<usize> {
+        debug_assert_eq!(flags.len(), active.words().len());
+        flags.iter().zip(active.words()).enumerate().find_map(|(wi, (&f, &a))| {
+            let r = f & a;
+            (r != 0).then(|| wi * 64 + r.trailing_zeros() as usize)
+        })
+    }
     /// Parallel-prefix implementation, as the hardware computes it.
     pub fn resolve(flags: &[bool], active: &[bool]) -> Vec<bool> {
         let n = flags.len();
@@ -105,6 +120,22 @@ mod tests {
             prop_assert_eq!(
                 MultipleResponseResolver::resolve(&flags[..n], &active[..n]),
                 MultipleResponseResolver::resolve_naive(&flags[..n], &active[..n])
+            );
+        }
+
+        /// The bitplane fast path finds the same PE as the linear-scan
+        /// specification over the boolean vectors.
+        #[test]
+        fn bitplane_path_equals_first_index(
+            flags in proptest::collection::vec(any::<bool>(), 0..200),
+            active in proptest::collection::vec(any::<bool>(), 0..200),
+        ) {
+            let n = flags.len().min(active.len());
+            let packed = ActiveMask::from_bools(&flags[..n]).words().to_vec();
+            let mask = ActiveMask::from_bools(&active[..n]);
+            prop_assert_eq!(
+                MultipleResponseResolver::first_responder(&packed, &mask),
+                MultipleResponseResolver::first_index(&flags[..n], &active[..n])
             );
         }
 

@@ -4,29 +4,36 @@
 //! computing the sum, the result saturates to the largest or smallest
 //! representable value — at *every* tree node, which makes the operation
 //! non-associative; the result is defined by the canonical tree order of
-//! [`crate::tree::tree_reduce`].
+//! [`crate::tree::tree_reduce`], which [`crate::tree::tree_reduce_with`]
+//! reproduces without materializing the leaves.
 
 use asc_isa::{ReduceOp, Width, Word};
+use asc_pe::ActiveMask;
 
-use crate::tree::tree_reduce;
+use crate::tree::tree_reduce_with;
 
 /// Functional model of the saturating sum reduction unit.
 pub struct SumUnit;
 
 impl SumUnit {
     /// Saturating signed sum over the active set (inactive PEs contribute
-    /// zero).
-    pub fn reduce(values: &[Word], active: &[bool], w: Width) -> Word {
-        let leaves: Vec<Word> =
-            values.iter().zip(active).map(|(&v, &a)| if a { v } else { Word::ZERO }).collect();
-        tree_reduce(&leaves, Word::ZERO, |a, b| a.saturating_add_signed(b, w))
+    /// zero), reading the register plane in place.
+    pub fn reduce(values: &[Word], active: &ActiveMask, w: Width) -> Word {
+        debug_assert_eq!(values.len(), active.lanes());
+        let leaf = |i: usize| if active.is_active(i) { values[i] } else { Word::ZERO };
+        tree_reduce_with(values.len(), Word::ZERO, &leaf, &|a, b| a.saturating_add_signed(b, w))
     }
 
     /// Reference: the exact (unbounded) signed sum, clamped once at the
     /// end. Differs from [`SumUnit::reduce`] only when intermediate nodes
     /// saturate; the tests characterize exactly when the two agree.
-    pub fn exact_clamped(values: &[Word], active: &[bool], w: Width) -> Word {
-        let s: i64 = values.iter().zip(active).filter(|(_, &a)| a).map(|(v, _)| v.to_i64(w)).sum();
+    pub fn exact_clamped(values: &[Word], active: &ActiveMask, w: Width) -> Word {
+        let s: i64 = values
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| active.is_active(*i))
+            .map(|(_, v)| v.to_i64(w))
+            .sum();
         Word::from_i64(s.clamp(w.smin(), w.smax()), w)
     }
 
@@ -49,7 +56,7 @@ mod tests {
     fn small_sums_are_exact() {
         let w = Width::W8;
         let vals = words(&[1, 2, 3, 4, 5], w);
-        let act = [true; 5];
+        let act = ActiveMask::all(5);
         assert_eq!(SumUnit::reduce(&vals, &act, w).to_i64(w), 15);
         assert_eq!(SumUnit::exact_clamped(&vals, &act, w).to_i64(w), 15);
     }
@@ -57,18 +64,20 @@ mod tests {
     #[test]
     fn saturates_positive_and_negative() {
         let w = Width::W8;
+        let all = ActiveMask::all(3);
         let vals = words(&[100, 100, 100], w);
-        assert_eq!(SumUnit::reduce(&vals, &[true; 3], w).to_i64(w), 127);
+        assert_eq!(SumUnit::reduce(&vals, &all, w).to_i64(w), 127);
         let vals = words(&[-100, -100, -100], w);
-        assert_eq!(SumUnit::reduce(&vals, &[true; 3], w).to_i64(w), -128);
+        assert_eq!(SumUnit::reduce(&vals, &all, w).to_i64(w), -128);
     }
 
     #[test]
     fn inactive_pes_contribute_zero() {
         let w = Width::W16;
         let vals = words(&[1000, 2000, 3000], w);
-        assert_eq!(SumUnit::reduce(&vals, &[true, false, true], w).to_i64(w), 4000);
-        assert_eq!(SumUnit::reduce(&vals, &[false; 3], w).to_i64(w), 0);
+        let some = ActiveMask::from_bools(&[true, false, true]);
+        assert_eq!(SumUnit::reduce(&vals, &some, w).to_i64(w), 4000);
+        assert_eq!(SumUnit::reduce(&vals, &ActiveMask::new(3), w).to_i64(w), 0);
     }
 
     #[test]
@@ -78,8 +87,9 @@ mod tests {
         // This documents the hardware's node-by-node saturation semantics.
         let w = Width::W8;
         let vals = words(&[100, 100, -100, 0], w);
-        assert_eq!(SumUnit::reduce(&vals, &[true; 4], w).to_i64(w), 27);
-        assert_eq!(SumUnit::exact_clamped(&vals, &[true; 4], w).to_i64(w), 100);
+        let all = ActiveMask::all(4);
+        assert_eq!(SumUnit::reduce(&vals, &all, w).to_i64(w), 27);
+        assert_eq!(SumUnit::exact_clamped(&vals, &all, w).to_i64(w), 100);
     }
 
     proptest! {
@@ -91,7 +101,7 @@ mod tests {
         ) {
             let w = Width::W8;
             let vals = words(&raw, w);
-            let act = vec![true; vals.len()];
+            let act = ActiveMask::all(vals.len());
             prop_assert_eq!(
                 SumUnit::reduce(&vals, &act, w),
                 SumUnit::exact_clamped(&vals, &act, w)
@@ -106,7 +116,7 @@ mod tests {
         ) {
             let w = Width::W8;
             let vals = words(&raw, w);
-            let act = vec![true; vals.len()];
+            let act = ActiveMask::all(vals.len());
             let abs_sum: i64 = raw.iter().map(|v| v.abs()).sum();
             prop_assume!(abs_sum <= 127);
             prop_assert_eq!(

@@ -46,6 +46,49 @@ pub fn tree_reduce<T: Copy>(values: &[T], identity: T, combine: impl Fn(T, T) ->
     level[0]
 }
 
+/// Allocation-free variant of [`tree_reduce`]: reduces the `n` leaves
+/// produced by `leaf(0..n)` in **exactly the same association order** as
+/// `tree_reduce` over a materialized slice, without building the leaf
+/// vector or any intermediate levels.
+///
+/// The equivalence rests on one observation about the level-order tree:
+/// the root combines the subtree over the first `s` leaves with the
+/// subtree over the rest, where `s` is the largest power of two strictly
+/// less than `n` (for `n` an exact power of two, the halves). The
+/// recursion applies that split at every node.
+pub fn tree_reduce_with<T: Copy>(
+    n: usize,
+    identity: T,
+    leaf: &impl Fn(usize) -> T,
+    combine: &impl Fn(T, T) -> T,
+) -> T {
+    fn go<T: Copy>(
+        start: usize,
+        len: usize,
+        leaf: &impl Fn(usize) -> T,
+        combine: &impl Fn(T, T) -> T,
+    ) -> T {
+        match len {
+            1 => leaf(start),
+            2 => combine(leaf(start), leaf(start + 1)),
+            _ => {
+                // the boundary of the root's left subtree: half of len
+                // rounded up to a power of two (= largest power of two
+                // strictly below len, except exact powers, which halve)
+                let split = len.next_power_of_two() >> 1;
+                combine(
+                    go(start, split, leaf, combine),
+                    go(start + split, len - split, leaf, combine),
+                )
+            }
+        }
+    }
+    if n == 0 {
+        return identity;
+    }
+    go(0, n, leaf, combine)
+}
+
 /// A fixed-latency, fully pipelined delay line: the structural model of a
 /// pipelined tree. One value may enter per cycle ([`DelayLine::tick`]); it
 /// emerges `latency` ticks later. With `latency == 0` the input appears at
@@ -163,6 +206,32 @@ mod tests {
             Box::leak(format!("({a}{b})").into_boxed_str())
         });
         assert_eq!(order, "(((ab)(cd))e)");
+    }
+
+    #[test]
+    fn tree_reduce_with_matches_tree_reduce_association() {
+        // The allocation-free recursion must reproduce the level-order
+        // association exactly (the saturating sum is non-associative, so
+        // any deviation is a behavioral change).
+        let combine = |a: &'static str, b: &'static str| -> &'static str {
+            Box::leak(format!("({a}{b})").into_boxed_str())
+        };
+        let names = ["a", "b", "c", "d", "e", "f", "g", "h", "i"];
+        for n in 0..=names.len() {
+            let by_slice = tree_reduce(&names[..n], "", combine);
+            let by_leaf = tree_reduce_with(n, "", &|i| names[i], &combine);
+            assert_eq!(by_slice, by_leaf, "n={n}");
+        }
+        // and for a larger, non-associative numeric combine
+        let sat = |a: i64, b: i64| (a + b).clamp(-100, 100);
+        for n in [31usize, 32, 33, 100, 1000] {
+            let leaves: Vec<i64> = (0..n as i64).map(|i| i * 7 % 23 - 11).collect();
+            assert_eq!(
+                tree_reduce(&leaves, 0, sat),
+                tree_reduce_with(n, 0, &|i| leaves[i], &sat),
+                "n={n}"
+            );
+        }
     }
 
     #[test]

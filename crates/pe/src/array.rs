@@ -1,20 +1,45 @@
 //! The PE array: whole-array functional operations used by the instruction
 //! executors in `asc-core`.
 //!
-//! Every parallel operation takes the issuing *thread* (register files are
-//! split per thread) and an *active* predicate derived from the
-//! instruction's mask flag. Inactive PEs are completely unaffected — the
-//! defining semantics of associative masked execution.
+//! ## Structure-of-arrays layout
 //!
-//! For large arrays (the scaling experiments run up to 2¹⁶ PEs) the
-//! per-PE loop runs under Rayon; below [`ArrayConfig::parallel_threshold`]
-//! it runs serially, and both paths produce identical results.
+//! The array stores architectural state as contiguous *planes* spanning all
+//! PEs rather than as one struct per PE:
+//!
+//! * **GPRs** — one `Vec<Word>` with the plane for `(thread, reg)` at
+//!   `(thread * gprs + reg) * num_pes ..`, so a masked ALU operation is a
+//!   tight loop over three contiguous slices and a reduction reads its
+//!   input as a single slice ([`PeArray::gpr_plane`]).
+//! * **Flags** — packed `u64` bitplanes ([`crate::bitmask`]), one bit per
+//!   PE, so flag logic runs word-parallel (64 PEs per operation) and
+//!   responder tests are population counts.
+//! * **Local memory** — one flat buffer in *column-major* order
+//!   (`addr * num_pes + pe`), so host scatter/gather of a column is a
+//!   `memcpy` and uniform-address accesses stream contiguously. The
+//!   trade-off is that one PE's memory is strided; host bulk loads go
+//!   through [`PeArray::lmem_load_slice`].
+//!
+//! GPR plane 0 of every thread is kept all-zero (writes to register 0 are
+//! skipped), which makes the hardwired-zero register free on the read side.
+//!
+//! Every parallel operation takes the issuing *thread* (register files are
+//! split per thread) and an [`ActiveMask`] derived from the instruction's
+//! mask flag. Inactive PEs are completely unaffected — the defining
+//! semantics of associative masked execution. Dense mask words take a
+//! branch-free 64-lane loop; sparse words a trailing-zeros scan.
+//!
+//! For large arrays (the scaling experiments run up to 2¹⁶ PEs) the lane
+//! loops run under Rayon via `par_chunks_mut` (64 lanes per chunk, so chunk
+//! index = mask word index); below [`ArrayConfig::parallel_threshold`] they
+//! run serially, and both paths produce identical results. Stores stay
+//! serial: their writes scatter through local memory, which defeats safe
+//! chunking.
 
 use asc_isa::{AluOp, CmpOp, FlagOp, Mask, PFlag, PReg, Width, Word};
 use rayon::prelude::*;
 
-use crate::memory::{LocalMemory, MemFault};
-use crate::regfile::{FlagFile, RegFile};
+use crate::bitmask::{for_each_set, words_for, ActiveMask, BITS_PER_WORD};
+use crate::memory::MemFault;
 
 /// Geometry of the PE array.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,30 +105,78 @@ impl std::fmt::Display for PeFault {
 
 impl std::error::Error for PeFault {}
 
-/// One processing element's architectural state.
-#[derive(Debug, Clone)]
-struct Pe {
-    lmem: LocalMemory,
-    gprs: RegFile,
-    flags: FlagFile,
+/// Run `f` for every active lane, lowest first. Dense words (all 64 lanes
+/// active) take the branch-free range loop; sparse words the
+/// trailing-zeros scan; zero words cost one test per 64 PEs.
+#[inline]
+fn for_each_lane(active: &ActiveMask, mut f: impl FnMut(usize)) {
+    for (wi, &mw) in active.words().iter().enumerate() {
+        if mw == 0 {
+            continue;
+        }
+        let base = wi * BITS_PER_WORD;
+        if mw == u64::MAX {
+            for lane in base..base + BITS_PER_WORD {
+                f(lane);
+            }
+        } else {
+            for_each_set(mw, base, &mut f);
+        }
+    }
 }
 
-/// The PE array.
+/// Like [`for_each_lane`] but stops at the first fault, attributing it to
+/// the lane (the serial early-stop fault policy).
+#[inline]
+fn try_for_each_lane(
+    active: &ActiveMask,
+    mut f: impl FnMut(usize) -> Result<(), MemFault>,
+) -> Result<(), PeFault> {
+    for (wi, &mw) in active.words().iter().enumerate() {
+        if mw == 0 {
+            continue;
+        }
+        let base = wi * BITS_PER_WORD;
+        let mut m = mw;
+        while m != 0 {
+            let lane = base + m.trailing_zeros() as usize;
+            f(lane).map_err(|fault| PeFault { pe: lane, fault })?;
+            m &= m - 1;
+        }
+    }
+    Ok(())
+}
+
+/// The PE array (structure-of-arrays storage; see the module docs).
 #[derive(Debug, Clone)]
 pub struct PeArray {
     cfg: ArrayConfig,
-    pes: Vec<Pe>,
+    /// One `num_pes`-word plane per (thread, reg); plane 0 of each thread
+    /// is kept all-zero (hardwired zero register).
+    gprs: Vec<Word>,
+    /// One packed bitplane per (thread, flag), `words_per_plane` words
+    /// each, tail bits always zero.
+    flags: Vec<u64>,
+    /// Local memory, column-major: `lmem[addr * num_pes + pe]`.
+    lmem: Vec<Word>,
+    /// Reusable source latches for operations whose destination plane may
+    /// alias a source plane (no per-instruction allocation).
+    scratch_a: Vec<Word>,
+    scratch_b: Vec<Word>,
 }
 
 impl PeArray {
     /// Allocate a zeroed array.
     pub fn new(cfg: ArrayConfig) -> PeArray {
-        let pe = Pe {
-            lmem: LocalMemory::new(cfg.lmem_words),
-            gprs: RegFile::new(cfg.threads, cfg.gprs),
-            flags: FlagFile::new(cfg.threads, cfg.flags),
-        };
-        PeArray { cfg, pes: vec![pe; cfg.num_pes] }
+        let n = cfg.num_pes;
+        PeArray {
+            gprs: vec![Word::ZERO; cfg.threads * cfg.gprs * n],
+            flags: vec![0; cfg.threads * cfg.flags * words_for(n)],
+            lmem: vec![Word::ZERO; cfg.lmem_words * n],
+            scratch_a: vec![Word::ZERO; n],
+            scratch_b: vec![Word::ZERO; n],
+            cfg,
+        }
     }
 
     /// Array geometry.
@@ -120,72 +193,123 @@ impl PeArray {
         self.cfg.width
     }
 
-    /// The active vector for a thread and mask: `active[i]` is true iff PE
-    /// `i` participates.
-    pub fn active(&self, thread: usize, mask: Mask) -> Vec<bool> {
+    /// `u64` words per flag bitplane.
+    fn words_per_plane(&self) -> usize {
+        words_for(self.cfg.num_pes)
+    }
+
+    #[inline]
+    fn gpr_base(&self, thread: usize, reg: usize) -> usize {
+        debug_assert!(thread < self.cfg.threads && reg < self.cfg.gprs);
+        (thread * self.cfg.gprs + reg) * self.cfg.num_pes
+    }
+
+    #[inline]
+    fn flag_base(&self, thread: usize, flag: usize) -> usize {
+        debug_assert!(thread < self.cfg.threads && flag < self.cfg.flags);
+        (thread * self.cfg.flags + flag) * self.words_per_plane()
+    }
+
+    fn parallel(&self) -> bool {
+        self.cfg.num_pes >= self.cfg.parallel_threshold
+    }
+
+    /// Fill `out` with the active set for a thread and mask, without
+    /// allocating: all PEs, or the PEs whose mask flag is set.
+    pub fn fill_active(&self, thread: usize, mask: Mask, out: &mut ActiveMask) {
+        debug_assert_eq!(out.lanes(), self.cfg.num_pes);
         match mask {
-            Mask::All => vec![true; self.cfg.num_pes],
-            Mask::Flag(f) => self.flag_column(thread, f.index()),
+            Mask::All => out.set_all(),
+            Mask::Flag(f) => out.copy_from_plane(self.flag_plane(thread, f.index())),
         }
     }
 
-    fn apply<F>(&mut self, f: F)
-    where
-        F: Fn(usize, &mut Pe) + Sync + Send,
-    {
-        if self.pes.len() >= self.cfg.parallel_threshold {
-            self.pes.par_iter_mut().enumerate().for_each(|(i, pe)| f(i, pe));
-        } else {
-            for (i, pe) in self.pes.iter_mut().enumerate() {
-                f(i, pe);
-            }
-        }
+    /// Latch the `(thread, reg)` GPR plane into `scratch_a`.
+    fn latch_a(&mut self, thread: usize, reg: usize) {
+        let base = self.gpr_base(thread, reg);
+        self.scratch_a.copy_from_slice(&self.gprs[base..base + self.cfg.num_pes]);
     }
 
-    fn try_apply<F>(&mut self, f: F) -> Result<(), PeFault>
-    where
-        F: Fn(usize, &mut Pe) -> Result<(), MemFault> + Sync + Send,
-    {
-        if self.pes.len() >= self.cfg.parallel_threshold {
-            let fault = self
-                .pes
-                .par_iter_mut()
-                .enumerate()
-                .filter_map(|(i, pe)| f(i, pe).err().map(|fault| PeFault { pe: i, fault }))
-                .min_by_key(|pf| pf.pe);
-            match fault {
-                Some(pf) => Err(pf),
-                None => Ok(()),
-            }
-        } else {
-            for (i, pe) in self.pes.iter_mut().enumerate() {
-                f(i, pe).map_err(|fault| PeFault { pe: i, fault })?;
-            }
-            Ok(())
-        }
-    }
-
-    fn src_value(pe: &Pe, thread: usize, src: Src) -> Word {
-        match src {
-            Src::Reg(r) => pe.gprs.read(thread, r.index()),
-            Src::Scalar(v) | Src::Imm(v) => v,
-        }
+    /// Latch the `(thread, reg)` GPR plane into `scratch_b`.
+    fn latch_b(&mut self, thread: usize, reg: usize) {
+        let base = self.gpr_base(thread, reg);
+        self.scratch_b.copy_from_slice(&self.gprs[base..base + self.cfg.num_pes]);
     }
 
     /// Parallel ALU operation: `pd = pa op src` in active PEs.
-    pub fn alu(&mut self, thread: usize, op: AluOp, pd: PReg, pa: PReg, src: Src, active: &[bool]) {
+    pub fn alu(
+        &mut self,
+        thread: usize,
+        op: AluOp,
+        pd: PReg,
+        pa: PReg,
+        src: Src,
+        active: &ActiveMask,
+    ) {
+        if pd.index() == 0 {
+            return; // writes to the zero register have no effect
+        }
         let w = self.width();
-        self.apply(|i, pe| {
-            if active[i] {
-                let a = pe.gprs.read(thread, pa.index());
-                let b = Self::src_value(pe, thread, src);
-                pe.gprs.write(thread, pd.index(), op.apply(a, b, w));
-            }
-        });
+        let n = self.cfg.num_pes;
+        if self.parallel() {
+            // latch sources so the destination plane may alias them
+            self.latch_a(thread, pa.index());
+            let b_reg = match src {
+                Src::Reg(pb) => {
+                    self.latch_b(thread, pb.index());
+                    true
+                }
+                Src::Scalar(_) | Src::Imm(_) => false,
+            };
+            let scalar = match src {
+                Src::Scalar(v) | Src::Imm(v) => v,
+                Src::Reg(_) => Word::ZERO,
+            };
+            let dst_base = self.gpr_base(thread, pd.index());
+            let (sa, sb) = (&self.scratch_a, &self.scratch_b);
+            let dst = &mut self.gprs[dst_base..dst_base + n];
+            let mask_words = active.words();
+            dst.par_chunks_mut(BITS_PER_WORD).enumerate().for_each(|(wi, chunk)| {
+                let mw = mask_words[wi];
+                if mw == 0 {
+                    return;
+                }
+                let base = wi * BITS_PER_WORD;
+                let len = chunk.len();
+                let mut lane_op = |lane: usize| {
+                    let b = if b_reg { sb[lane] } else { scalar };
+                    chunk[lane - base] = op.apply(sa[lane], b, w);
+                };
+                if mw == u64::MAX {
+                    for lane in base..base + len {
+                        lane_op(lane);
+                    }
+                } else {
+                    for_each_set(mw, base, lane_op);
+                }
+            });
+        } else {
+            let pa_base = self.gpr_base(thread, pa.index());
+            let pd_base = self.gpr_base(thread, pd.index());
+            let (b_base, scalar) = match src {
+                Src::Reg(pb) => (Some(self.gpr_base(thread, pb.index())), Word::ZERO),
+                Src::Scalar(v) | Src::Imm(v) => (None, v),
+            };
+            let gprs = &mut self.gprs;
+            for_each_lane(active, |lane| {
+                let a = gprs[pa_base + lane];
+                let b = match b_base {
+                    Some(bb) => gprs[bb + lane],
+                    None => scalar,
+                };
+                gprs[pd_base + lane] = op.apply(a, b, w);
+            });
+        }
     }
 
     /// Parallel comparison (associative search): `fd = pa cmp src` in
-    /// active PEs.
+    /// active PEs. Results are merged into the destination bitplane word by
+    /// word, so inactive lanes keep their bits.
     pub fn cmp(
         &mut self,
         thread: usize,
@@ -193,19 +317,57 @@ impl PeArray {
         fd: PFlag,
         pa: PReg,
         src: Src,
-        active: &[bool],
+        active: &ActiveMask,
     ) {
         let w = self.width();
-        self.apply(|i, pe| {
-            if active[i] {
-                let a = pe.gprs.read(thread, pa.index());
-                let b = Self::src_value(pe, thread, src);
-                pe.flags.write(thread, fd.index(), op.apply(a, b, w));
+        let n = self.cfg.num_pes;
+        let pa_base = self.gpr_base(thread, pa.index());
+        let (b_base, scalar) = match src {
+            Src::Reg(pb) => (Some(self.gpr_base(thread, pb.index())), Word::ZERO),
+            Src::Scalar(v) | Src::Imm(v) => (None, v),
+        };
+        let fd_base = self.flag_base(thread, fd.index());
+        let wpp = self.words_per_plane();
+        let (gprs, flags) = (&self.gprs, &mut self.flags);
+        let dst = &mut flags[fd_base..fd_base + wpp];
+        let mask_words = active.words();
+
+        let word_op = |wi: usize, dw: &mut u64| {
+            let mw = mask_words[wi];
+            if mw == 0 {
+                return;
             }
-        });
+            let base = wi * BITS_PER_WORD;
+            let mut res = 0u64;
+            let mut lane_op = |lane: usize| {
+                let a = gprs[pa_base + lane];
+                let b = match b_base {
+                    Some(bb) => gprs[bb + lane],
+                    None => scalar,
+                };
+                res |= u64::from(op.apply(a, b, w)) << (lane - base);
+            };
+            if mw == u64::MAX {
+                for lane in base..base + BITS_PER_WORD {
+                    lane_op(lane);
+                }
+            } else {
+                for_each_set(mw, base, lane_op);
+            }
+            *dw = (*dw & !mw) | (res & mw);
+        };
+
+        if n >= self.cfg.parallel_threshold {
+            dst.par_iter_mut().enumerate().for_each(|(wi, dw)| word_op(wi, dw));
+        } else {
+            for (wi, dw) in dst.iter_mut().enumerate() {
+                word_op(wi, dw);
+            }
+        }
     }
 
-    /// Parallel flag logic: `fd = fa op fb` in active PEs.
+    /// Parallel flag logic: `fd = fa op fb` in active PEs — word-parallel,
+    /// 64 PEs per `u64` operation.
     pub fn flag_op(
         &mut self,
         thread: usize,
@@ -213,15 +375,24 @@ impl PeArray {
         fd: PFlag,
         fa: PFlag,
         fb: PFlag,
-        active: &[bool],
+        active: &ActiveMask,
     ) {
-        self.apply(|i, pe| {
-            if active[i] {
-                let a = pe.flags.read(thread, fa.index());
-                let b = pe.flags.read(thread, fb.index());
-                pe.flags.write(thread, fd.index(), op.apply(a, b));
+        let a_base = self.flag_base(thread, fa.index());
+        let b_base = self.flag_base(thread, fb.index());
+        let d_base = self.flag_base(thread, fd.index());
+        let wpp = self.words_per_plane();
+        for wi in 0..wpp {
+            let mw = active.words()[wi];
+            if mw == 0 {
+                continue;
             }
-        });
+            // read before write: fd may alias fa or fb
+            let a = self.flags[a_base + wi];
+            let b = self.flags[b_base + wi];
+            let d = &mut self.flags[d_base + wi];
+            // the mask's zero tail bits keep the plane's tail invariant
+            *d = (*d & !mw) | (op.apply_word(a, b) & mw);
+        }
     }
 
     /// Effective address: unsigned base register plus sign-extended offset,
@@ -231,176 +402,422 @@ impl PeArray {
         base.to_u32() as i64 + off as i64
     }
 
+    /// Bounds-check an effective address against local memory capacity.
+    #[inline]
+    fn check_addr(ea: i64, capacity: usize, is_store: bool) -> Result<usize, MemFault> {
+        if (0..capacity as i64).contains(&ea) {
+            Ok(ea as usize)
+        } else {
+            Err(MemFault { addr: ea as u32, capacity: capacity as u32, is_store })
+        }
+    }
+
     /// Parallel load: `pd = lmem[pa + off]` in active PEs.
+    ///
+    /// Fault policy matches the legacy array-of-structures paths: below the
+    /// parallel threshold the lane loop stops at the first faulting PE;
+    /// at/above it every non-faulting lane completes and the lowest
+    /// faulting PE is reported.
     pub fn load(
         &mut self,
         thread: usize,
         pd: PReg,
         base: PReg,
         off: i32,
-        active: &[bool],
+        active: &ActiveMask,
     ) -> Result<(), PeFault> {
-        self.try_apply(|i, pe| {
-            if active[i] {
-                let b = pe.gprs.read(thread, base.index());
-                let ea = Self::effective_addr(b, off);
-                let addr = u32::try_from(ea).map_err(|_| MemFault {
-                    addr: ea as u32,
-                    capacity: pe.lmem.capacity() as u32,
-                    is_store: false,
-                })?;
-                let v = pe.lmem.read(addr)?;
-                pe.gprs.write(thread, pd.index(), v);
+        let n = self.cfg.num_pes;
+        let cap = self.cfg.lmem_words;
+        let base_b = self.gpr_base(thread, base.index());
+
+        if pd.index() == 0 {
+            // the result is discarded, but faults still surface
+            let gprs = &self.gprs;
+            return try_for_each_lane(active, |lane| {
+                let ea = Self::effective_addr(gprs[base_b + lane], off);
+                Self::check_addr(ea, cap, false).map(|_| ())
+            });
+        }
+
+        if self.parallel() {
+            self.latch_a(thread, base.index()); // pd may alias the base reg
+            let dst_base = self.gpr_base(thread, pd.index());
+            let (sa, lmem) = (&self.scratch_a, &self.lmem);
+            let dst = &mut self.gprs[dst_base..dst_base + n];
+            let mask_words = active.words();
+            let fault = dst
+                .par_chunks_mut(BITS_PER_WORD)
+                .enumerate()
+                .filter_map(|(wi, chunk)| {
+                    let mw = mask_words[wi];
+                    if mw == 0 {
+                        return None;
+                    }
+                    let base = wi * BITS_PER_WORD;
+                    let len = chunk.len();
+                    let mut fault: Option<PeFault> = None;
+                    let mut lane_op = |lane: usize| {
+                        let ea = Self::effective_addr(sa[lane], off);
+                        match Self::check_addr(ea, cap, false) {
+                            Ok(addr) => chunk[lane - base] = lmem[addr * n + lane],
+                            Err(f) if fault.is_none() => {
+                                fault = Some(PeFault { pe: lane, fault: f })
+                            }
+                            Err(_) => {}
+                        }
+                    };
+                    if mw == u64::MAX {
+                        for lane in base..base + len {
+                            lane_op(lane);
+                        }
+                    } else {
+                        for_each_set(mw, base, lane_op);
+                    }
+                    fault
+                })
+                .min_by_key(|pf| pf.pe);
+            match fault {
+                Some(pf) => Err(pf),
+                None => Ok(()),
             }
-            Ok(())
-        })
+        } else {
+            let dst_base = self.gpr_base(thread, pd.index());
+            let (gprs, lmem) = (&mut self.gprs, &self.lmem);
+            try_for_each_lane(active, |lane| {
+                let ea = Self::effective_addr(gprs[base_b + lane], off);
+                let addr = Self::check_addr(ea, cap, false)?;
+                gprs[dst_base + lane] = lmem[addr * n + lane];
+                Ok(())
+            })
+        }
     }
 
-    /// Parallel store: `lmem[pa + off] = ps` in active PEs.
+    /// Parallel store: `lmem[pa + off] = ps` in active PEs. The writes
+    /// scatter through the column-major buffer, so the lane loop is always
+    /// serial; the fault policy still matches the legacy paths (early stop
+    /// below the parallel threshold, apply-all with lowest-PE fault at or
+    /// above it).
     pub fn store(
         &mut self,
         thread: usize,
         ps: PReg,
         base: PReg,
         off: i32,
-        active: &[bool],
+        active: &ActiveMask,
     ) -> Result<(), PeFault> {
-        self.try_apply(|i, pe| {
-            if active[i] {
-                let b = pe.gprs.read(thread, base.index());
-                let ea = Self::effective_addr(b, off);
-                let addr = u32::try_from(ea).map_err(|_| MemFault {
-                    addr: ea as u32,
-                    capacity: pe.lmem.capacity() as u32,
-                    is_store: true,
-                })?;
-                let v = pe.gprs.read(thread, ps.index());
-                pe.lmem.write(addr, v)?;
+        let n = self.cfg.num_pes;
+        let cap = self.cfg.lmem_words;
+        let base_b = self.gpr_base(thread, base.index());
+        let ps_base = self.gpr_base(thread, ps.index());
+        let parallel = self.parallel();
+        let (gprs, lmem) = (&self.gprs, &mut self.lmem);
+        if parallel {
+            let mut fault: Option<PeFault> = None;
+            for_each_lane(active, |lane| {
+                let ea = Self::effective_addr(gprs[base_b + lane], off);
+                match Self::check_addr(ea, cap, true) {
+                    Ok(addr) => lmem[addr * n + lane] = gprs[ps_base + lane],
+                    Err(f) if fault.is_none() => fault = Some(PeFault { pe: lane, fault: f }),
+                    Err(_) => {}
+                }
+            });
+            match fault {
+                Some(pf) => Err(pf),
+                None => Ok(()),
             }
-            Ok(())
-        })
+        } else {
+            try_for_each_lane(active, |lane| {
+                let ea = Self::effective_addr(gprs[base_b + lane], off);
+                let addr = Self::check_addr(ea, cap, true)?;
+                lmem[addr * n + lane] = gprs[ps_base + lane];
+                Ok(())
+            })
+        }
     }
 
     /// Write each PE's index (truncated to the width) into `pd`.
-    pub fn pidx(&mut self, thread: usize, pd: PReg, active: &[bool]) {
+    pub fn pidx(&mut self, thread: usize, pd: PReg, active: &ActiveMask) {
+        if pd.index() == 0 {
+            return;
+        }
         let w = self.width();
-        self.apply(|i, pe| {
-            if active[i] {
-                pe.gprs.write(thread, pd.index(), Word::new(i as u32, w));
+        let n = self.cfg.num_pes;
+        let dst_base = self.gpr_base(thread, pd.index());
+        let dst = &mut self.gprs[dst_base..dst_base + n];
+        let mask_words = active.words();
+        let word_op = |wi: usize, chunk: &mut [Word]| {
+            let mw = mask_words[wi];
+            if mw == 0 {
+                return;
             }
-        });
+            let base = wi * BITS_PER_WORD;
+            let len = chunk.len();
+            let mut lane_op = |lane: usize| chunk[lane - base] = Word::new(lane as u32, w);
+            if mw == u64::MAX {
+                for lane in base..base + len {
+                    lane_op(lane);
+                }
+            } else {
+                for_each_set(mw, base, lane_op);
+            }
+        };
+        if n >= self.cfg.parallel_threshold {
+            dst.par_chunks_mut(BITS_PER_WORD).enumerate().for_each(|(wi, chunk)| {
+                word_op(wi, chunk);
+            });
+        } else {
+            for (wi, chunk) in dst.chunks_mut(BITS_PER_WORD).enumerate() {
+                word_op(wi, chunk);
+            }
+        }
     }
 
     /// Inter-PE shift through the interconnection network:
     /// `pd[i] = pa[i - dist]` for active PEs, zero shifted in at the
     /// boundary. The column is latched before any write, so `pd == pa` is
     /// well defined.
-    pub fn shift(&mut self, thread: usize, pd: PReg, pa: PReg, dist: i32, active: &[bool]) {
-        let col = self.gpr_column(thread, pa.index());
-        let n = col.len() as i64;
-        self.apply(|i, pe| {
-            if active[i] {
-                let src = i as i64 - dist as i64;
-                let v = if (0..n).contains(&src) { col[src as usize] } else { Word::ZERO };
-                pe.gprs.write(thread, pd.index(), v);
+    pub fn shift(&mut self, thread: usize, pd: PReg, pa: PReg, dist: i32, active: &ActiveMask) {
+        if pd.index() == 0 {
+            return;
+        }
+        let n = self.cfg.num_pes;
+        self.latch_a(thread, pa.index());
+        let dst_base = self.gpr_base(thread, pd.index());
+        let sa = &self.scratch_a;
+        let dst = &mut self.gprs[dst_base..dst_base + n];
+        let mask_words = active.words();
+        let word_op = |wi: usize, chunk: &mut [Word]| {
+            let mw = mask_words[wi];
+            if mw == 0 {
+                return;
             }
-        });
+            let base = wi * BITS_PER_WORD;
+            let len = chunk.len();
+            let mut lane_op = |lane: usize| {
+                let src = lane as i64 - dist as i64;
+                chunk[lane - base] =
+                    if (0..n as i64).contains(&src) { sa[src as usize] } else { Word::ZERO };
+            };
+            if mw == u64::MAX {
+                for lane in base..base + len {
+                    lane_op(lane);
+                }
+            } else {
+                for_each_set(mw, base, lane_op);
+            }
+        };
+        if n >= self.cfg.parallel_threshold {
+            dst.par_chunks_mut(BITS_PER_WORD).enumerate().for_each(|(wi, chunk)| {
+                word_op(wi, chunk);
+            });
+        } else {
+            for (wi, chunk) in dst.chunks_mut(BITS_PER_WORD).enumerate() {
+                word_op(wi, chunk);
+            }
+        }
     }
 
     /// Broadcast a scalar into `pd` of active PEs.
-    pub fn movs(&mut self, thread: usize, pd: PReg, value: Word, active: &[bool]) {
-        self.apply(|i, pe| {
-            if active[i] {
-                pe.gprs.write(thread, pd.index(), value);
+    pub fn movs(&mut self, thread: usize, pd: PReg, value: Word, active: &ActiveMask) {
+        if pd.index() == 0 {
+            return;
+        }
+        let n = self.cfg.num_pes;
+        let dst_base = self.gpr_base(thread, pd.index());
+        let dst = &mut self.gprs[dst_base..dst_base + n];
+        let mask_words = active.words();
+        let word_op = |wi: usize, chunk: &mut [Word]| {
+            let mw = mask_words[wi];
+            if mw == 0 {
+                return;
             }
-        });
+            if mw == u64::MAX {
+                chunk.fill(value);
+            } else {
+                let base = wi * BITS_PER_WORD;
+                for_each_set(mw, base, |lane| chunk[lane - base] = value);
+            }
+        };
+        if n >= self.cfg.parallel_threshold {
+            dst.par_chunks_mut(BITS_PER_WORD).enumerate().for_each(|(wi, chunk)| {
+                word_op(wi, chunk);
+            });
+        } else {
+            for (wi, chunk) in dst.chunks_mut(BITS_PER_WORD).enumerate() {
+                word_op(wi, chunk);
+            }
+        }
     }
 
-    /// Write a whole flag column (the multiple response resolver's parallel
-    /// result). Only active PEs are updated.
+    /// Write a whole flag column (e.g. a resolver result computed as
+    /// per-PE booleans). Only active PEs are updated.
     pub fn write_flag_column(
         &mut self,
         thread: usize,
         fd: PFlag,
         values: &[bool],
-        active: &[bool],
+        active: &ActiveMask,
     ) {
-        self.apply(|i, pe| {
-            if active[i] {
-                pe.flags.write(thread, fd.index(), values[i]);
+        debug_assert_eq!(values.len(), self.cfg.num_pes);
+        let d_base = self.flag_base(thread, fd.index());
+        for wi in 0..self.words_per_plane() {
+            let mw = active.words()[wi];
+            if mw == 0 {
+                continue;
             }
-        });
+            let base = wi * BITS_PER_WORD;
+            let mut bits = 0u64;
+            for_each_set(mw, base, |lane| bits |= u64::from(values[lane]) << (lane - base));
+            let d = &mut self.flags[d_base + wi];
+            *d = (*d & !mw) | bits;
+        }
     }
 
-    /// Snapshot a GPR across all PEs (input to the reduction network).
+    /// Write the multiple response resolver's one-hot result: clear `fd`
+    /// in every active PE, then set it in the winning PE (if any). The
+    /// winner must be active.
+    pub fn write_first_responder(
+        &mut self,
+        thread: usize,
+        fd: PFlag,
+        winner: Option<usize>,
+        active: &ActiveMask,
+    ) {
+        let d_base = self.flag_base(thread, fd.index());
+        for wi in 0..self.words_per_plane() {
+            let mw = active.words()[wi];
+            if mw != 0 {
+                self.flags[d_base + wi] &= !mw;
+            }
+        }
+        if let Some(pe) = winner {
+            debug_assert!(active.is_active(pe), "resolver winner must be active");
+            self.flags[d_base + pe / BITS_PER_WORD] |= 1u64 << (pe % BITS_PER_WORD);
+        }
+    }
+
+    /// A GPR plane across all PEs, as a contiguous slice (input to the
+    /// reduction network).
+    pub fn gpr_plane(&self, thread: usize, reg: usize) -> &[Word] {
+        let base = self.gpr_base(thread, reg);
+        &self.gprs[base..base + self.cfg.num_pes]
+    }
+
+    /// A flag bitplane across all PEs (input to the responder units); one
+    /// bit per PE, tail bits zero.
+    pub fn flag_plane(&self, thread: usize, flag: usize) -> &[u64] {
+        let base = self.flag_base(thread, flag);
+        &self.flags[base..base + self.words_per_plane()]
+    }
+
+    /// Snapshot a GPR across all PEs (host/test convenience; allocates —
+    /// the executor uses [`PeArray::gpr_plane`]).
     pub fn gpr_column(&self, thread: usize, reg: usize) -> Vec<Word> {
-        self.pes.iter().map(|pe| pe.gprs.read(thread, reg)).collect()
+        self.gpr_plane(thread, reg).to_vec()
     }
 
-    /// Snapshot a flag across all PEs.
+    /// Snapshot a flag across all PEs (host/test convenience; allocates —
+    /// the executor uses [`PeArray::flag_plane`]).
     pub fn flag_column(&self, thread: usize, reg: usize) -> Vec<bool> {
-        self.pes.iter().map(|pe| pe.flags.read(thread, reg)).collect()
+        let plane = self.flag_plane(thread, reg);
+        (0..self.cfg.num_pes)
+            .map(|i| plane[i / BITS_PER_WORD] >> (i % BITS_PER_WORD) & 1 == 1)
+            .collect()
     }
 
     /// Clear one thread's registers and flags in every PE (thread
     /// allocation).
     pub fn clear_thread(&mut self, thread: usize) {
-        self.apply(|_, pe| {
-            pe.gprs.clear_thread(thread);
-            pe.flags.clear_thread(thread);
-        });
+        let g = thread * self.cfg.gprs * self.cfg.num_pes;
+        self.gprs[g..g + self.cfg.gprs * self.cfg.num_pes].fill(Word::ZERO);
+        let wpp = self.words_per_plane();
+        let f = thread * self.cfg.flags * wpp;
+        self.flags[f..f + self.cfg.flags * wpp].fill(0);
     }
 
     // ---------------------------------------------------------- host API
 
-    /// Host access to one PE's local memory.
-    pub fn lmem(&self, pe: usize) -> &LocalMemory {
-        &self.pes[pe].lmem
-    }
-
-    /// Host mutable access to one PE's local memory (data distribution —
-    /// the simulator's stand-in for off-chip memory traffic).
-    pub fn lmem_mut(&mut self, pe: usize) -> &mut LocalMemory {
-        &mut self.pes[pe].lmem
-    }
-
     /// Host read of one PE's GPR.
     pub fn gpr(&self, pe: usize, thread: usize, reg: usize) -> Word {
-        self.pes[pe].gprs.read(thread, reg)
+        self.gprs[self.gpr_base(thread, reg) + pe]
     }
 
-    /// Host write of one PE's GPR.
+    /// Host write of one PE's GPR (writes to register 0 are ignored).
     pub fn set_gpr(&mut self, pe: usize, thread: usize, reg: usize, v: Word) {
-        self.pes[pe].gprs.write(thread, reg, v);
+        if reg != 0 {
+            let base = self.gpr_base(thread, reg);
+            self.gprs[base + pe] = v;
+        }
     }
 
     /// Host read of one PE's flag.
     pub fn flag(&self, pe: usize, thread: usize, reg: usize) -> bool {
-        self.pes[pe].flags.read(thread, reg)
+        self.flag_plane(thread, reg)[pe / BITS_PER_WORD] >> (pe % BITS_PER_WORD) & 1 == 1
     }
 
     /// Host write of one PE's flag.
     pub fn set_flag(&mut self, pe: usize, thread: usize, reg: usize, v: bool) {
-        self.pes[pe].flags.write(thread, reg, v);
+        let base = self.flag_base(thread, reg);
+        let (w, b) = (pe / BITS_PER_WORD, 1u64 << (pe % BITS_PER_WORD));
+        if v {
+            self.flags[base + w] |= b;
+        } else {
+            self.flags[base + w] &= !b;
+        }
+    }
+
+    /// Host read of one PE's local memory word.
+    pub fn lmem_word(&self, pe: usize, addr: u32) -> Result<Word, PeFault> {
+        Self::check_addr(addr as i64, self.cfg.lmem_words, false)
+            .map(|a| self.lmem[a * self.cfg.num_pes + pe])
+            .map_err(|fault| PeFault { pe, fault })
+    }
+
+    /// Host bulk load into one PE's local memory starting at `base` (data
+    /// distribution — the simulator's stand-in for off-chip memory
+    /// traffic). The column-major layout makes this a strided write.
+    pub fn lmem_load_slice(
+        &mut self,
+        pe: usize,
+        base: usize,
+        data: &[Word],
+    ) -> Result<(), PeFault> {
+        let end = base + data.len();
+        if end > self.cfg.lmem_words {
+            return Err(PeFault {
+                pe,
+                fault: MemFault {
+                    addr: end as u32 - 1,
+                    capacity: self.cfg.lmem_words as u32,
+                    is_store: true,
+                },
+            });
+        }
+        let n = self.cfg.num_pes;
+        for (k, &v) in data.iter().enumerate() {
+            self.lmem[(base + k) * n + pe] = v;
+        }
+        Ok(())
     }
 
     /// Distribute one value per PE into local memory at `addr` (column
-    /// layout: `lmem[addr]` of PE `i` = `data[i]`).
+    /// layout: `lmem[addr]` of PE `i` = `data[i]`). Contiguous in the
+    /// column-major buffer.
     pub fn scatter_column(&mut self, addr: u32, data: &[Word]) -> Result<(), PeFault> {
-        assert_eq!(data.len(), self.cfg.num_pes, "one value per PE");
-        for (i, pe) in self.pes.iter_mut().enumerate() {
-            pe.lmem.write(addr, data[i]).map_err(|fault| PeFault { pe: i, fault })?;
-        }
+        let n = self.cfg.num_pes;
+        assert_eq!(data.len(), n, "one value per PE");
+        let a = Self::check_addr(addr as i64, self.cfg.lmem_words, true)
+            .map_err(|fault| PeFault { pe: 0, fault })?;
+        self.lmem[a * n..(a + 1) * n].copy_from_slice(data);
         Ok(())
     }
 
     /// Gather `lmem[addr]` from every PE.
     pub fn gather_column(&self, addr: u32) -> Result<Vec<Word>, PeFault> {
-        self.pes
-            .iter()
-            .enumerate()
-            .map(|(i, pe)| pe.lmem.read(addr).map_err(|fault| PeFault { pe: i, fault }))
-            .collect()
+        let n = self.cfg.num_pes;
+        let a = Self::check_addr(addr as i64, self.cfg.lmem_words, false)
+            .map_err(|fault| PeFault { pe: 0, fault })?;
+        Ok(self.lmem[a * n..(a + 1) * n].to_vec())
     }
 }
 
@@ -426,13 +843,17 @@ mod tests {
     fn pf(i: u8) -> PFlag {
         PFlag::from_index(i)
     }
+    fn every(n: usize, f: impl Fn(usize) -> bool) -> ActiveMask {
+        ActiveMask::from_bools(&(0..n).map(f).collect::<Vec<_>>())
+    }
 
     #[test]
     fn alu_masked() {
         let mut a = small();
-        a.pidx(0, p(1), &[true; 8]);
+        let all = ActiveMask::all(8);
+        a.pidx(0, p(1), &all);
         // add 10 only where index >= 4
-        let active: Vec<bool> = (0..8).map(|i| i >= 4).collect();
+        let active = every(8, |i| i >= 4);
         a.alu(0, AluOp::Add, p(2), p(1), Src::Imm(Word(10)), &active);
         for i in 0..8 {
             let got = a.gpr(i, 0, 2).to_u32();
@@ -447,38 +868,58 @@ mod tests {
     #[test]
     fn cmp_writes_flags() {
         let mut a = small();
-        a.pidx(0, p(1), &[true; 8]);
-        a.cmp(0, CmpOp::Lt, pf(1), p(1), Src::Scalar(Word(3)), &[true; 8]);
+        let all = ActiveMask::all(8);
+        a.pidx(0, p(1), &all);
+        a.cmp(0, CmpOp::Lt, pf(1), p(1), Src::Scalar(Word(3)), &all);
         assert_eq!(a.flag_column(0, 1), vec![true, true, true, false, false, false, false, false]);
     }
 
     #[test]
     fn threads_have_separate_registers() {
         let mut a = small();
-        a.movs(0, p(5), Word(111), &[true; 8]);
-        a.movs(1, p(5), Word(222), &[true; 8]);
+        let all = ActiveMask::all(8);
+        a.movs(0, p(5), Word(111), &all);
+        a.movs(1, p(5), Word(222), &all);
         assert_eq!(a.gpr(3, 0, 5), Word(111));
         assert_eq!(a.gpr(3, 1, 5), Word(222));
     }
 
     #[test]
+    fn zero_register_reads_zero_and_ignores_writes() {
+        let mut a = small();
+        let all = ActiveMask::all(8);
+        a.movs(0, p(0), Word(7), &all);
+        a.pidx(0, p(0), &all);
+        a.alu(0, AluOp::Add, p(0), p(0), Src::Imm(Word(1)), &all);
+        assert!(a.gpr_plane(0, 0).iter().all(|&w| w == Word::ZERO));
+        // reading p0 as a source yields zero
+        a.alu(0, AluOp::Add, p(2), p(0), Src::Imm(Word(5)), &all);
+        assert_eq!(a.gpr(3, 0, 2), Word(5));
+        a.set_gpr(4, 0, 0, Word(9));
+        assert_eq!(a.gpr(4, 0, 0), Word::ZERO);
+    }
+
+    #[test]
     fn load_store_round_trip() {
         let mut a = small();
-        a.pidx(0, p(1), &[true; 8]);
-        a.alu(0, AluOp::Mul, p(2), p(1), Src::Imm(Word(3)), &[true; 8]);
-        a.store(0, p(2), p(1), 4, &[true; 8]).unwrap(); // lmem[i+4] = 3i
-        a.load(0, p(3), p(1), 4, &[true; 8]).unwrap();
+        let all = ActiveMask::all(8);
+        a.pidx(0, p(1), &all);
+        a.alu(0, AluOp::Mul, p(2), p(1), Src::Imm(Word(3)), &all);
+        a.store(0, p(2), p(1), 4, &all).unwrap(); // lmem[i+4] = 3i
+        a.load(0, p(3), p(1), 4, &all).unwrap();
         for i in 0..8u32 {
             assert_eq!(a.gpr(i as usize, 0, 3).to_u32(), 3 * i);
+            assert_eq!(a.lmem_word(i as usize, i + 4).unwrap().to_u32(), 3 * i);
         }
     }
 
     #[test]
     fn store_fault_reports_lowest_pe() {
         let mut a = small();
-        a.pidx(0, p(1), &[true; 8]);
+        let all = ActiveMask::all(8);
+        a.pidx(0, p(1), &all);
         // address = idx + 30 → PEs 2.. fault (capacity 32)
-        let e = a.store(0, p(1), p(1), 30, &[true; 8]).unwrap_err();
+        let e = a.store(0, p(1), p(1), 30, &all).unwrap_err();
         assert_eq!(e.pe, 2);
         assert!(e.fault.is_store);
         assert_eq!(e.fault.addr, 32);
@@ -487,9 +928,20 @@ mod tests {
     #[test]
     fn masked_pes_cannot_fault() {
         let mut a = small();
-        a.pidx(0, p(1), &[true; 8]);
-        let active: Vec<bool> = (0..8).map(|i| i < 2).collect();
+        let all = ActiveMask::all(8);
+        a.pidx(0, p(1), &all);
+        let active = every(8, |i| i < 2);
         a.store(0, p(1), p(1), 30, &active).unwrap();
+    }
+
+    #[test]
+    fn load_to_zero_register_still_faults() {
+        let mut a = small();
+        let all = ActiveMask::all(8);
+        a.pidx(0, p(1), &all);
+        let e = a.load(0, p(0), p(1), 30, &all).unwrap_err();
+        assert_eq!(e.pe, 2);
+        assert!(!e.fault.is_store);
     }
 
     #[test]
@@ -499,6 +951,17 @@ mod tests {
         a.scatter_column(7, &data).unwrap();
         assert_eq!(a.gather_column(7).unwrap(), data);
         assert!(a.scatter_column(32, &data).is_err());
+    }
+
+    #[test]
+    fn lmem_load_slice_is_per_pe() {
+        let mut a = small();
+        a.lmem_load_slice(3, 2, &[Word(7), Word(8)]).unwrap();
+        assert_eq!(a.lmem_word(3, 2).unwrap(), Word(7));
+        assert_eq!(a.lmem_word(3, 3).unwrap(), Word(8));
+        assert_eq!(a.lmem_word(2, 2).unwrap(), Word::ZERO, "other PEs untouched");
+        assert!(a.lmem_load_slice(0, 31, &[Word(0); 2]).is_err());
+        assert!(a.lmem_word(0, 32).is_err());
     }
 
     #[test]
@@ -513,11 +976,13 @@ mod tests {
                 width: Width::W8,
                 parallel_threshold: threshold,
             });
-            let all = vec![true; 100];
+            let all = ActiveMask::all(100);
             a.pidx(0, p(1), &all);
             a.alu(0, AluOp::Mul, p(2), p(1), Src::Reg(p(1)), &all);
             a.cmp(0, CmpOp::LtU, pf(1), p(2), Src::Imm(Word(50)), &all);
-            (a.gpr_column(0, 2), a.flag_column(0, 1))
+            a.store(0, p(2), p(0), 3, &all).unwrap();
+            a.load(0, p(3), p(0), 3, &all).unwrap();
+            (a.gpr_column(0, 2), a.flag_column(0, 1), a.gpr_column(0, 3))
         };
         assert_eq!(mk(usize::MAX), mk(1));
     }
@@ -525,17 +990,20 @@ mod tests {
     #[test]
     fn clear_thread_resets_state() {
         let mut a = small();
-        a.movs(0, p(4), Word(9), &[true; 8]);
-        a.cmp(0, CmpOp::Eq, pf(2), p(4), Src::Imm(Word(9)), &[true; 8]);
+        let all = ActiveMask::all(8);
+        a.movs(0, p(4), Word(9), &all);
+        a.movs(1, p(4), Word(8), &all);
+        a.cmp(0, CmpOp::Eq, pf(2), p(4), Src::Imm(Word(9)), &all);
         a.clear_thread(0);
         assert_eq!(a.gpr(0, 0, 4), Word::ZERO);
         assert!(!a.flag(0, 0, 2));
+        assert_eq!(a.gpr(0, 1, 4), Word(8), "other threads keep their state");
     }
 
     #[test]
     fn shift_moves_values_between_pes() {
         let mut a = small();
-        let all = vec![true; 8];
+        let all = ActiveMask::all(8);
         a.pidx(0, p(1), &all);
         // shift right by one: pd[i] = pa[i-1]
         a.shift(0, p(2), p(1), 1, &all);
@@ -554,7 +1022,7 @@ mod tests {
     #[test]
     fn shift_in_place_is_well_defined() {
         let mut a = small();
-        let all = vec![true; 8];
+        let all = ActiveMask::all(8);
         a.pidx(0, p(1), &all);
         a.shift(0, p(1), p(1), 1, &all);
         assert_eq!(
@@ -567,20 +1035,79 @@ mod tests {
     #[test]
     fn shift_respects_mask() {
         let mut a = small();
-        let all = vec![true; 8];
+        let all = ActiveMask::all(8);
         a.pidx(0, p(1), &all);
-        let active: Vec<bool> = (0..8).map(|i| i % 2 == 0).collect();
+        let active = every(8, |i| i % 2 == 0);
         a.shift(0, p(2), p(1), 1, &active);
         let col: Vec<u32> = a.gpr_column(0, 2).iter().map(|w| w.to_u32()).collect();
         assert_eq!(col, vec![0, 0, 1, 0, 3, 0, 5, 0]);
     }
 
     #[test]
+    fn in_place_alu_aliasing() {
+        let mut a = small();
+        let all = ActiveMask::all(8);
+        a.pidx(0, p(1), &all);
+        a.alu(0, AluOp::Add, p(1), p(1), Src::Reg(p(1)), &all); // p1 = p1 + p1
+        let col: Vec<u32> = a.gpr_column(0, 1).iter().map(|w| w.to_u32()).collect();
+        assert_eq!(col, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+    }
+
+    #[test]
+    fn flag_op_word_parallel_respects_mask() {
+        let mut a = small();
+        let all = ActiveMask::all(8);
+        a.pidx(0, p(1), &all);
+        a.cmp(0, CmpOp::Lt, pf(1), p(1), Src::Scalar(Word(4)), &all); // 1111_0000 (lanes 0-3)
+        a.cmp(0, CmpOp::Lt, pf(2), p(1), Src::Scalar(Word(2)), &all); // lanes 0-1
+                                                                      // fd = fa andn fb only where index is even
+        let active = every(8, |i| i % 2 == 0);
+        a.flag_op(0, FlagOp::AndNot, pf(3), pf(1), pf(2), &active);
+        assert_eq!(
+            a.flag_column(0, 3),
+            vec![false, false, true, false, false, false, false, false]
+        );
+        // in-place: fd == fa
+        a.flag_op(0, FlagOp::Not, pf(1), pf(1), pf(1), &all);
+        assert_eq!(a.flag_column(0, 1), vec![false, false, false, false, true, true, true, true]);
+    }
+
+    #[test]
     fn write_flag_column_respects_mask() {
         let mut a = small();
         let vals = vec![true; 8];
-        let active: Vec<bool> = (0..8).map(|i| i % 2 == 0).collect();
+        let active = every(8, |i| i % 2 == 0);
         a.write_flag_column(0, pf(3), &vals, &active);
         assert_eq!(a.flag_column(0, 3), vec![true, false, true, false, true, false, true, false]);
+    }
+
+    #[test]
+    fn write_first_responder_is_one_hot_over_active() {
+        let mut a = small();
+        let all = ActiveMask::all(8);
+        // start with fd set everywhere
+        a.flag_op(0, FlagOp::Set, pf(4), pf(4), pf(4), &all);
+        let active = every(8, |i| i >= 2);
+        a.write_first_responder(0, pf(4), Some(5), &active);
+        assert_eq!(
+            a.flag_column(0, 4),
+            vec![true, true, false, false, false, true, false, false],
+            "inactive lanes keep old bits; active lanes cleared except winner"
+        );
+        a.write_first_responder(0, pf(4), None, &all);
+        assert_eq!(a.flag_column(0, 4), vec![false; 8]);
+    }
+
+    #[test]
+    fn fill_active_matches_flag_plane() {
+        let mut a = small();
+        let all = ActiveMask::all(8);
+        a.pidx(0, p(1), &all);
+        a.cmp(0, CmpOp::Lt, pf(2), p(1), Src::Scalar(Word(5)), &all);
+        let mut m = ActiveMask::new(8);
+        a.fill_active(0, Mask::Flag(pf(2)), &mut m);
+        assert_eq!(m.to_bools(), a.flag_column(0, 2));
+        a.fill_active(0, Mask::All, &mut m);
+        assert_eq!(m.count(), 8);
     }
 }

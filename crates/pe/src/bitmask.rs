@@ -1,0 +1,241 @@
+//! Packed one-bit-per-PE planes: the representation of the flag file and
+//! of the active mask in the structure-of-arrays PE array.
+//!
+//! A *plane* is a `[u64]` with PE `i`'s bit at `plane[i / 64] & (1 << (i %
+//! 64))`. Every plane maintains the **tail invariant**: bits at lane
+//! indices `>= lanes` are zero, so whole-word operations (population
+//! count, any/all tests, word-parallel flag logic) need no special casing
+//! of the last word.
+//!
+//! [`ActiveMask`] is the reusable mask buffer the instruction executor
+//! fills once per masked instruction — replacing the per-instruction
+//! `Vec<bool>` allocation of the old array-of-structures datapath. Dense
+//! mask words (`u64::MAX`) drive branch-free 64-lane loops; sparse words
+//! are walked with trailing-zeros iteration, so fully-masked-off regions
+//! cost one word test per 64 PEs.
+
+/// Lanes per plane word.
+pub const BITS_PER_WORD: usize = 64;
+
+/// Number of `u64` words needed for a plane of `lanes` bits.
+#[inline]
+pub const fn words_for(lanes: usize) -> usize {
+    lanes.div_ceil(BITS_PER_WORD)
+}
+
+/// Mask selecting the valid bits of the *last* word of a `lanes`-bit
+/// plane (all ones when the plane ends on a word boundary).
+#[inline]
+pub const fn tail_mask(lanes: usize) -> u64 {
+    if lanes.is_multiple_of(BITS_PER_WORD) {
+        u64::MAX
+    } else {
+        (1u64 << (lanes % BITS_PER_WORD)) - 1
+    }
+}
+
+/// Call `f(lane)` for every set bit of `word`, lowest first, with `base`
+/// added to each bit index — the trailing-zeros scan used to skip
+/// inactive PEs without testing them individually.
+#[inline]
+pub fn for_each_set(word: u64, base: usize, mut f: impl FnMut(usize)) {
+    let mut m = word;
+    while m != 0 {
+        f(base + m.trailing_zeros() as usize);
+        m &= m - 1;
+    }
+}
+
+/// The set of PEs participating in a masked instruction, as a packed
+/// bitset. One lives in the machine and is refilled in place for every
+/// masked instruction; none of the fill or query operations allocate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActiveMask {
+    words: Vec<u64>,
+    lanes: usize,
+}
+
+impl ActiveMask {
+    /// An all-inactive mask over `lanes` PEs.
+    pub fn new(lanes: usize) -> ActiveMask {
+        ActiveMask { words: vec![0; words_for(lanes)], lanes }
+    }
+
+    /// An all-active mask over `lanes` PEs.
+    pub fn all(lanes: usize) -> ActiveMask {
+        let mut m = ActiveMask::new(lanes);
+        m.set_all();
+        m
+    }
+
+    /// Build from a `bool` per lane (host/test convenience).
+    pub fn from_bools(active: &[bool]) -> ActiveMask {
+        let mut m = ActiveMask::new(active.len());
+        for (i, &a) in active.iter().enumerate() {
+            if a {
+                m.words[i / BITS_PER_WORD] |= 1u64 << (i % BITS_PER_WORD);
+            }
+        }
+        m
+    }
+
+    /// Number of lanes (PEs) the mask covers.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// The packed words, one bit per lane (tail bits zero).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Make every lane active.
+    pub fn set_all(&mut self) {
+        self.words.fill(u64::MAX);
+        if let Some(last) = self.words.last_mut() {
+            *last &= tail_mask(self.lanes);
+        }
+    }
+
+    /// Make every lane inactive.
+    pub fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Refill from a flag plane of the same geometry (the `?pf` masked
+    /// execution path: the mask *is* the flag bitplane, copied so the
+    /// instruction may overwrite the flag it is masked by).
+    pub fn copy_from_plane(&mut self, plane: &[u64]) {
+        debug_assert_eq!(plane.len(), self.words.len());
+        self.words.copy_from_slice(plane);
+    }
+
+    /// Set or clear one lane.
+    pub fn set(&mut self, lane: usize, active: bool) {
+        debug_assert!(lane < self.lanes);
+        let (w, b) = (lane / BITS_PER_WORD, 1u64 << (lane % BITS_PER_WORD));
+        if active {
+            self.words[w] |= b;
+        } else {
+            self.words[w] &= !b;
+        }
+    }
+
+    /// Is `lane` active?
+    #[inline]
+    pub fn is_active(&self, lane: usize) -> bool {
+        debug_assert!(lane < self.lanes);
+        self.words[lane / BITS_PER_WORD] >> (lane % BITS_PER_WORD) & 1 == 1
+    }
+
+    /// Number of active lanes.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Is any lane active?
+    pub fn any(&self) -> bool {
+        self.words.iter().any(|&w| w != 0)
+    }
+
+    /// Iterate the active lane indices, lowest first.
+    pub fn iter(&self) -> SetLanes<'_> {
+        SetLanes { words: &self.words, next_word: 0, current: 0, base: 0 }
+    }
+
+    /// Expand to one `bool` per lane (host/test convenience).
+    pub fn to_bools(&self) -> Vec<bool> {
+        (0..self.lanes).map(|i| self.is_active(i)).collect()
+    }
+}
+
+/// Iterator over the set lanes of an [`ActiveMask`] (trailing-zeros scan).
+pub struct SetLanes<'a> {
+    words: &'a [u64],
+    next_word: usize,
+    current: u64,
+    base: usize,
+}
+
+impl Iterator for SetLanes<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            if self.next_word >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.next_word];
+            self.base = self.next_word * BITS_PER_WORD;
+            self.next_word += 1;
+        }
+        let lane = self.base + self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(lane)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry() {
+        assert_eq!(words_for(0), 0);
+        assert_eq!(words_for(1), 1);
+        assert_eq!(words_for(64), 1);
+        assert_eq!(words_for(65), 2);
+        assert_eq!(tail_mask(64), u64::MAX);
+        assert_eq!(tail_mask(65), 1);
+        assert_eq!(tail_mask(3), 0b111);
+    }
+
+    #[test]
+    fn all_respects_tail_invariant() {
+        let m = ActiveMask::all(70);
+        assert_eq!(m.count(), 70);
+        assert_eq!(m.words()[1], 0b11_1111, "bits past lane 69 must be zero");
+        assert!(m.any());
+        assert!(!ActiveMask::new(70).any());
+    }
+
+    #[test]
+    fn from_bools_round_trip() {
+        let bools: Vec<bool> = (0..130).map(|i| i % 3 == 0).collect();
+        let m = ActiveMask::from_bools(&bools);
+        assert_eq!(m.to_bools(), bools);
+        assert_eq!(m.count(), bools.iter().filter(|&&b| b).count());
+        let lanes: Vec<usize> = m.iter().collect();
+        let expect: Vec<usize> = (0..130).filter(|i| i % 3 == 0).collect();
+        assert_eq!(lanes, expect);
+    }
+
+    #[test]
+    fn set_and_clear() {
+        let mut m = ActiveMask::new(100);
+        m.set(0, true);
+        m.set(99, true);
+        assert!(m.is_active(0) && m.is_active(99) && !m.is_active(50));
+        m.set(0, false);
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![99]);
+        m.clear_all();
+        assert_eq!(m.count(), 0);
+    }
+
+    #[test]
+    fn for_each_set_visits_in_order() {
+        let mut seen = Vec::new();
+        for_each_set(0b1001_0110, 64, |i| seen.push(i));
+        assert_eq!(seen, vec![65, 66, 68, 71]);
+        for_each_set(0, 0, |_| panic!("no bits set"));
+    }
+
+    #[test]
+    fn copy_from_plane_matches() {
+        let mut m = ActiveMask::new(128);
+        m.copy_from_plane(&[u64::MAX, 0b1]);
+        assert_eq!(m.count(), 65);
+        assert!(m.is_active(64));
+        assert!(!m.is_active(65));
+    }
+}

@@ -18,15 +18,22 @@
 //!
 //! This crate implements the functional state and the structural occupancy
 //! model of the sequential units; pipeline timing lives in `asc-core`.
-//! Whole-array operations go through [`PeArray`], which transparently uses
+//! Whole-array operations go through [`PeArray`], which stores state as
+//! structure-of-arrays planes (see `array`), drives masked execution with
+//! the packed [`ActiveMask`] bitset (see `bitmask`), and transparently uses
 //! Rayon for large arrays (the scaling experiments run up to 2¹⁶ PEs).
 
 pub mod array;
+pub mod bitmask;
 pub mod memory;
 pub mod muldiv;
 pub mod regfile;
 
+#[cfg(all(test, feature = "proptest"))]
+mod proptests;
+
 pub use array::{ArrayConfig, PeArray, PeFault, Src};
+pub use bitmask::ActiveMask;
 pub use memory::{LocalMemory, MemFault};
 pub use muldiv::{DividerConfig, MultiplierKind, SequentialUnit};
 pub use regfile::{FlagFile, RegFile};

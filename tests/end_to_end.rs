@@ -57,7 +57,7 @@ fn network_units_agree_with_machine_reductions() {
     m.run(10_000).unwrap();
 
     let net = Network::new(NetworkConfig::new(32, 4));
-    let active = vec![true; 32];
+    let active = asc::pe::ActiveMask::all(32);
     assert_eq!(m.sreg(0, 1), net.reduce(ReduceOp::Sum, &data, &active, Width::W16));
     assert_eq!(m.sreg(0, 2), net.reduce(ReduceOp::MaxU, &data, &active, Width::W16));
 }
