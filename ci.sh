@@ -22,4 +22,11 @@ cargo test -p asc-core -p asc-asm -p asc-pe --features proptest -q
 echo "==> cargo bench --no-run (benches compile)"
 cargo bench --workspace --no-run
 
+echo "==> kernel bench smoke-compare (quick mode, vs BENCH_kernels.json)"
+# Best-of-2 wall times against the committed baseline; fails on any kernel
+# more than MTASC_BENCH_TOLERANCE percent slower (default 25). Regenerate
+# the baseline with: cargo bench -p asc-bench --bench kernels -- --save-baseline
+MTASC_BENCH_RUNS="${MTASC_BENCH_RUNS:-2}" \
+    cargo bench -p asc-bench --bench kernels -- --compare-baseline
+
 echo "==> ci.sh: all green"

@@ -55,6 +55,23 @@ pub mod prelude {
             self.chunks_mut(size)
         }
     }
+
+    /// `into_par_iter()` on owned collections/ranges (serial stand-in).
+    /// Real rayon implements this for `Range<usize>`; the block-fusion
+    /// engine drives its tile loop through it.
+    pub trait IntoParallelIterator {
+        /// The serial iterator standing in for the parallel one.
+        type Iter;
+        /// By-value iteration; the std iterator here.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Iter = std::ops::Range<usize>;
+        fn into_par_iter(self) -> std::ops::Range<usize> {
+            self
+        }
+    }
 }
 
 /// Serial stand-in for `rayon::join`: runs `a` then `b`.

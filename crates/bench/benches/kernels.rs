@@ -1,11 +1,27 @@
 //! Criterion benchmarks of the associative kernel suite (experiment E12's
 //! workloads): end-to-end assemble + distribute + simulate.
+//!
+//! Besides the criterion micro-benches, this target maintains the
+//! committed wall-time baseline `BENCH_kernels.json` (schema
+//! `mtasc.kernels.v1`): five representative kernels at p = 4096 PEs,
+//! which is exactly the default `parallel_threshold`, so the baseline
+//! exercises the tiled + rayon execution path.
+//!
+//! - `cargo bench --bench kernels -- --save-baseline` re-measures and
+//!   rewrites `BENCH_kernels.json` at the repository root.
+//! - `cargo bench --bench kernels -- --compare-baseline` re-measures and
+//!   fails (non-zero exit) if any kernel regressed by more than
+//!   `MTASC_BENCH_TOLERANCE` percent (default 25) against the committed
+//!   file. CI runs this as a smoke gate; `MTASC_BENCH_RUNS` trims the
+//!   best-of-k repeat count for quick runs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
 
-use asc_core::MachineConfig;
-use asc_kernels::{hull, image, iterate, mst, search, select, string_match, tracker};
+use asc_core::{MachineConfig, Stats};
+use asc_kernels::{hull, image, iterate, mst, search, select, sort, string_match, tracker};
 
 fn bench_search(c: &mut Criterion) {
     let records: Vec<(i64, i64)> = (0..256).map(|i| ((i * 7) % 32, i)).collect();
@@ -82,4 +98,169 @@ criterion_group!(
     bench_hull,
     bench_tracker
 );
-criterion_main!(benches);
+
+// ------------------------------------------------------------- baseline
+
+/// PE count of every baseline kernel: the paper's "large array" point and
+/// the default `parallel_threshold`, so the tiled rayon path is on.
+const BASELINE_PES: usize = 4096;
+
+/// Schema tag written into (and expected from) `BENCH_kernels.json`.
+const BASELINE_SCHEMA: &str = "mtasc.kernels.v1";
+
+/// A named baseline workload: one end-to-end kernel run at p = 4096.
+type Workload = (&'static str, Box<dyn Fn() -> Stats>);
+
+/// The committed baseline report at the repository root.
+fn baseline_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_kernels.json")
+}
+
+/// Best-of-k repeats per kernel (`MTASC_BENCH_RUNS`, default 3).
+fn baseline_runs() -> usize {
+    std::env::var("MTASC_BENCH_RUNS").ok().and_then(|v| v.parse().ok()).unwrap_or(3).max(1)
+}
+
+/// Allowed slowdown in percent before `--compare-baseline` fails
+/// (`MTASC_BENCH_TOLERANCE`, default 25).
+fn baseline_tolerance() -> f64 {
+    std::env::var("MTASC_BENCH_TOLERANCE").ok().and_then(|v| v.parse().ok()).unwrap_or(25.0)
+}
+
+/// The five baseline workloads, sized so every kernel spends its time in
+/// the PE array (sort and mst are bounded by their O(n) scalar loops, so
+/// their inputs are smaller than the full array).
+fn baseline_suite() -> Vec<Workload> {
+    let cfg = MachineConfig::new(BASELINE_PES);
+    let values: Vec<i64> = (0..512).map(|i| (i * 37 + 11) % 1000 - 500).collect();
+    let records: Vec<(i64, i64)> = (0..BASELINE_PES as i64).map(|i| ((i * 7) % 1024, i)).collect();
+    let pixels: Vec<i64> = (0..BASELINE_PES as i64 * 8).map(|i| (i * 13) % 256).collect();
+    let graph = mst::random_graph(192, 100, 7);
+    let text: Vec<u8> = (0..BASELINE_PES).map(|i| b"abcab"[i % 5]).collect();
+    vec![
+        ("sort", Box::new(move || sort::run(cfg, &values).unwrap().stats)),
+        ("search", Box::new(move || search::run(cfg, &records, 3).unwrap().stats)),
+        ("image", Box::new(move || image::run(cfg, &pixels, 128).unwrap().stats)),
+        ("mst", Box::new(move || mst::run(cfg, &graph).unwrap().stats)),
+        ("string_match", Box::new(move || string_match::run(cfg, &text, b"abcab").unwrap().stats)),
+    ]
+}
+
+/// One measured baseline point.
+struct Measured {
+    name: &'static str,
+    instructions: u64,
+    cycles: u64,
+    seconds: f64,
+}
+
+/// Run the whole suite, best-of-`runs` wall time per kernel.
+fn measure_suite(runs: usize) -> Vec<Measured> {
+    baseline_suite()
+        .into_iter()
+        .map(|(name, f)| {
+            let mut best = f64::INFINITY;
+            let mut stats = Stats::default();
+            for _ in 0..runs {
+                let t = Instant::now();
+                stats = black_box(f());
+                best = best.min(t.elapsed().as_secs_f64());
+            }
+            println!(
+                "{name:<14} {:>10} instr {:>10} cycles {:>10.3} ms",
+                stats.issued,
+                stats.cycles,
+                best * 1e3
+            );
+            Measured { name, instructions: stats.issued, cycles: stats.cycles, seconds: best }
+        })
+        .collect()
+}
+
+/// Rewrite `BENCH_kernels.json` from a fresh measurement.
+fn save_baseline() {
+    let points = measure_suite(baseline_runs().max(5));
+    let mut json = format!("{{\n  \"schema\": \"{BASELINE_SCHEMA}\",\n");
+    json.push_str(&format!("  \"num_pes\": {BASELINE_PES},\n  \"kernels\": [\n"));
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"instructions\": {}, \"cycles\": {}, \
+             \"wall_seconds\": {:.9}, \"instr_per_sec\": {:.1}}}{}\n",
+            p.name,
+            p.instructions,
+            p.cycles,
+            p.seconds,
+            p.instructions as f64 / p.seconds,
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let out = baseline_path();
+    std::fs::write(&out, json).expect("write BENCH_kernels.json");
+    println!("wrote {}", out.display());
+}
+
+/// Pull `(name, wall_seconds)` pairs out of the committed baseline. The
+/// file is written one kernel per line by `save_baseline`, so a line
+/// scanner is enough — no JSON dependency needed.
+fn parse_baseline(json: &str) -> Vec<(String, f64)> {
+    assert!(json.contains(BASELINE_SCHEMA), "BENCH_kernels.json has an unexpected schema");
+    json.lines()
+        .filter_map(|line| {
+            let name = line.split("\"name\": \"").nth(1)?.split('"').next()?.to_string();
+            let secs = line.split("\"wall_seconds\": ").nth(1)?;
+            let end = secs
+                .find(|c: char| !(c.is_ascii_digit() || ".eE+-".contains(c)))
+                .unwrap_or(secs.len());
+            Some((name, secs[..end].parse().ok()?))
+        })
+        .collect()
+}
+
+/// Re-measure and fail loudly on any per-kernel slowdown beyond the
+/// tolerance. Speedups are reported but never fail.
+fn compare_baseline() {
+    let path = baseline_path();
+    let json = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read {}: {e} (run --save-baseline first)", path.display()));
+    let baseline = parse_baseline(&json);
+    assert!(!baseline.is_empty(), "no kernels parsed from {}", path.display());
+
+    let tolerance = baseline_tolerance();
+    let points = measure_suite(baseline_runs());
+    let mut failures = Vec::new();
+    for p in &points {
+        let Some((_, old)) = baseline.iter().find(|(n, _)| n == p.name) else {
+            println!("{:<14} not in baseline (new kernel?), skipping", p.name);
+            continue;
+        };
+        let ratio = p.seconds / old;
+        let verdict = if ratio > 1.0 + tolerance / 100.0 { "REGRESSED" } else { "ok" };
+        println!(
+            "{:<14} baseline {:>9.3} ms, now {:>9.3} ms ({:+.1}%) {verdict}",
+            p.name,
+            old * 1e3,
+            p.seconds * 1e3,
+            (ratio - 1.0) * 100.0
+        );
+        if verdict == "REGRESSED" {
+            failures.push(p.name);
+        }
+    }
+    if !failures.is_empty() {
+        eprintln!("kernel bench regression (>{tolerance}% slower): {failures:?}");
+        std::process::exit(1);
+    }
+    println!("kernel baseline comparison passed (tolerance {tolerance}%)");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--save-baseline") {
+        save_baseline();
+    } else if args.iter().any(|a| a == "--compare-baseline") {
+        compare_baseline();
+    } else {
+        benches();
+    }
+}

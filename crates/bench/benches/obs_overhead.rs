@@ -10,17 +10,58 @@
 //! per-iteration times printed for `no_sink` should be indistinguishable
 //! from the pre-observability simulator, and attaching a ring sink should
 //! cost only the event construction itself).
+//!
+//! Beyond timing, the binary *asserts* the stronger form of the contract
+//! before benchmarking: with no sink attached, the steady-state issue
+//! path performs **zero heap allocations**. A counting global allocator
+//! watches `alloc`/`realloc`/`alloc_zeroed` while the sort kernel is
+//! stepped to completion; any allocation fails the run.
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::RefCell;
 use std::hint::black_box;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 
 use asc_asm::{assemble, Program};
 use asc_core::obs::{RingBufferSink, SinkHandle};
 use asc_core::{Machine, MachineConfig};
 use asc_isa::Word;
+
+/// Global allocator that counts every allocation so the no-sink issue
+/// path can be checked for allocation-freedom, not just speed.
+struct CountingAlloc;
+
+/// Number of `alloc`/`realloc`/`alloc_zeroed` calls since program start.
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation to `System` unchanged; the counter
+// update has no allocation of its own.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
 
 /// Problem size: values to sort, one per PE.
 const N: usize = 64;
@@ -81,5 +122,43 @@ fn bench_obs_overhead(c: &mut Criterion) {
     g.finish();
 }
 
+/// Assert the "no sink attached" path never touches the heap: build and
+/// seed the machine (allocating freely), then snapshot the allocation
+/// counter and step to completion. `Machine::run` is avoided because it
+/// clones `Stats` (which owns vectors) on return; `step` is exactly the
+/// per-cycle path the benchmark times.
+fn assert_no_sink_steps_are_allocation_free() {
+    let program = assemble(&sort_source(N)).expect("sort kernel assembles");
+    let cfg = MachineConfig::new(N);
+    let values: Vec<Word> =
+        (0..N as i64).map(|i| Word::from_i64((i * 37) % 101, cfg.width)).collect();
+    let mut m = Machine::with_program(cfg, &program).unwrap();
+    m.array_mut().scatter_column(0, &values).unwrap();
+
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    let mut steps: u64 = 0;
+    while !m.finished() {
+        m.step().unwrap();
+        steps += 1;
+        assert!(steps <= 1_000_000, "sort kernel failed to halt");
+    }
+    let after = ALLOC_CALLS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "no-sink issue path allocated {} time(s) over {steps} steps",
+        after - before
+    );
+    println!("no-sink allocation check: 0 allocations over {steps} steps");
+}
+
 criterion_group!(benches, bench_obs_overhead);
-criterion_main!(benches);
+
+fn main() {
+    // Under `--list` only bench names may be printed; the assertion runs
+    // in every other mode (including `--test` smoke runs in CI).
+    if !std::env::args().any(|a| a == "--list") {
+        assert_no_sink_steps_are_allocation_free();
+    }
+    benches();
+}

@@ -59,6 +59,10 @@ pub struct MachineOpts {
     pub report: Option<String>,
     /// Stream trace events (JSON-Lines) to this path during `run`.
     pub trace_json: Option<String>,
+    /// Block-fusion engine enabled (`--no-fuse` clears it).
+    pub fusion: bool,
+    /// Print block-fusion statistics after `run`.
+    pub fusion_stats: bool,
 }
 
 impl Default for MachineOpts {
@@ -73,6 +77,8 @@ impl Default for MachineOpts {
             trace: false,
             report: None,
             trace_json: None,
+            fusion: true,
+            fusion_stats: false,
         }
     }
 }
@@ -86,6 +92,9 @@ impl MachineOpts {
             .with_width(self.width);
         if !self.forwarding {
             cfg = cfg.without_forwarding();
+        }
+        if !self.fusion {
+            cfg = cfg.without_fusion();
         }
         cfg
     }
@@ -117,6 +126,8 @@ impl MachineOpts {
                     }
                 }
                 "--no-forwarding" => opts.forwarding = false,
+                "--no-fuse" => opts.fusion = false,
+                "--fusion-stats" => opts.fusion_stats = true,
                 "--trace" => opts.trace = true,
                 "--report" => opts.report = Some(take(&mut it)?),
                 "--trace-json" => opts.trace_json = Some(take(&mut it)?),
@@ -152,6 +163,9 @@ OPTIONS:
   --width 8|16|32  datapath width             (default 16)
   --max-cycles N   simulation cycle budget
   --no-forwarding  disable forwarding paths (ablation)
+  --no-fuse        disable the block-fusion engine (identical results,
+                   instruction-major execution — for cross-checking)
+  --fusion-stats   print block-fusion statistics after the run
   --trace          print the stage-by-cycle pipeline diagram
   --report F       write a JSON run report to F
   --trace-json F   stream trace events (JSON-Lines) to F
@@ -233,6 +247,25 @@ pub fn cmd_run(source: &str, opts: MachineOpts) -> Result<String, CliError> {
         cfg.num_pes, cfg.threads, t.b, t.r
     );
     out.push_str(&stats.report());
+    if opts.fusion_stats {
+        let fs = m.fusion_stats();
+        let _ = writeln!(out, "\nblock fusion:");
+        let _ = writeln!(
+            out,
+            "  static:  {} blocks covering {} instructions (mean length {:.2})",
+            fs.static_blocks,
+            fs.static_fused_instrs,
+            fs.mean_block_len()
+        );
+        let _ = writeln!(
+            out,
+            "  dynamic: {} blocks executed, {} of {} issued instructions fused ({:.1}%)",
+            fs.blocks_executed,
+            fs.instrs_fused,
+            stats.issued,
+            100.0 * fs.fused_fraction(stats.issued)
+        );
+    }
     let _ = writeln!(out, "\nscalar registers (thread 0):");
     for r in 1..16 {
         let v = m.sreg(0, r);
@@ -343,6 +376,42 @@ mod tests {
         assert!(opts.trace);
         assert!(!opts.forwarding);
         assert_eq!(args, vec!["run", "x.asc"]);
+    }
+
+    #[test]
+    fn parse_fusion_flags() {
+        let mut args: Vec<String> =
+            ["run", "x.asc", "--no-fuse", "--fusion-stats"].iter().map(|s| s.to_string()).collect();
+        let opts = MachineOpts::parse(&mut args).unwrap();
+        assert!(!opts.fusion);
+        assert!(opts.fusion_stats);
+        assert!(!opts.config().fusion);
+        assert!(MachineOpts::default().config().fusion, "fusion is the default");
+    }
+
+    #[test]
+    fn fusion_stats_are_printed_and_identical_without_fusion() {
+        let src = "pidx p1\npaddi p2, p1, 3\npclti pf1, p2, 4\nrcount s1, pf1\nhalt\n";
+        let fused =
+            cmd_run(src, MachineOpts { fusion_stats: true, ..MachineOpts::default() }).unwrap();
+        assert!(fused.contains("block fusion:"), "{fused}");
+        assert!(fused.contains("1 blocks executed"), "{fused}");
+        let unfused = cmd_run(
+            src,
+            MachineOpts { fusion: false, fusion_stats: true, ..MachineOpts::default() },
+        )
+        .unwrap();
+        assert!(unfused.contains("0 blocks executed"), "{unfused}");
+        // identical run output apart from the fusion block
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| {
+                    !l.contains("fusion") && !l.contains("static") && !l.contains("dynamic")
+                })
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&fused), strip(&unfused));
     }
 
     #[test]

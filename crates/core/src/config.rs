@@ -70,6 +70,12 @@ pub struct MachineConfig {
     pub fetch: FetchModel,
     /// PE-loop Rayon threshold (see [`ArrayConfig::parallel_threshold`]).
     pub parallel_threshold: usize,
+    /// Execute fusible parallel basic blocks tile-by-tile (the block
+    /// fusion engine). Purely an execution strategy: cycle counts, stats,
+    /// and architectural results are bit-identical either way. Disable
+    /// (`mtasc run --no-fuse`) only to cross-check or to time the
+    /// instruction-major executor.
+    pub fusion: bool,
 }
 
 impl MachineConfig {
@@ -91,6 +97,7 @@ impl MachineConfig {
             forwarding: true,
             fetch: FetchModel::Ideal,
             parallel_threshold: 4096,
+            fusion: true,
         }
     }
 
@@ -146,6 +153,15 @@ impl MachineConfig {
     pub fn with_fetch_buffers(mut self, buffer_depth: usize) -> MachineConfig {
         assert!(buffer_depth >= 1);
         self.fetch = FetchModel::Finite { buffer_depth };
+        self
+    }
+
+    /// Disable the block-fusion engine: execute every parallel
+    /// instruction as a full-array sweep at issue (the escape hatch
+    /// behind `mtasc run --no-fuse`; results and timing are identical,
+    /// only slower at scale).
+    pub fn without_fusion(mut self) -> MachineConfig {
+        self.fusion = false;
         self
     }
 

@@ -1,0 +1,299 @@
+//! The block-fusion execution engine: tiled, cache-resident execution of
+//! *fusible parallel basic blocks*.
+//!
+//! ## What fuses
+//!
+//! A fusible block is a maximal straight-line run of parallel-class
+//! instructions whose lane `l` results depend only on lane `l`'s own
+//! state (see [`asc_isa::Instr::is_fusible`]): parallel ALU/compare with
+//! register or immediate operands, flag logic, local loads/stores, and
+//! `pidx`. Anything else ends a block — scalar register reads/writes
+//! (`palus`, `pmovs`, …, which sample the scalar unit), network broadcast
+//! or reduction operations, cross-lane shifts, control flow, and
+//! inter-thread transfers. Blocks are discovered once per program load by
+//! [`FusionPlan::build`] and cached keyed by entry PC (the plan *is* the
+//! per-`(program, pc)` cache; loading a new program invalidates it by
+//! rebuilding).
+//!
+//! ## How a block executes
+//!
+//! The instruction-major executor sweeps all `p` lanes once per
+//! instruction, so between two dependent instructions a large array's
+//! register planes are evicted from cache. The fusion engine inverts the
+//! loop nest: when the *first* instruction of a block issues, the whole
+//! block is applied **tile by tile** — all of the block's instructions run
+//! over one 64-PE [`asc_pe::TileWindow`] before advancing to the next
+//! tile — so a tile's working set (a handful of 64-word register slices
+//! and one word per flag plane) stays resident across the block. Lane
+//! locality of fusible instructions makes tile-major order bit-identical
+//! to instruction-major order. In the parallel regime the rayon path
+//! distributes *tiles* (not one instruction's lanes) over workers;
+//! distinct tiles touch disjoint memory, so no synchronization is needed.
+//!
+//! ## Timing is unchanged
+//!
+//! Only architectural effects are batched. Every instruction of the block
+//! still issues one per cycle through the scheduler and scoreboard —
+//! hazards, structural stalls, statistics, and trace events are computed
+//! exactly as before; the issue path merely skips `execute_instr` for
+//! instructions whose effects were pre-applied ("ghost issues", counted
+//! down by `Machine::fused_remaining`). Cycle counts, [`crate::Stats`],
+//! and traces are bit-identical with fusion on or off.
+//!
+//! Fusion is gated conservatively so the batching can never be observed:
+//! blocks only fuse while exactly one thread is live, and only when a
+//! worst-case bound on the block's issue span fits inside the run's cycle
+//! budget (so a [`crate::RunError::CycleLimit`] abort cannot land between
+//! a block's pre-execution and its last ghost issue).
+//!
+//! ## Memory faults
+//!
+//! A faulting `plw`/`psw` lane reports the same error identity as the
+//! instruction-major executor — lowest faulting PE of the *earliest*
+//! faulting instruction, at that instruction's PC — but the sweep still
+//! applies all non-faulting lanes of the whole block first. On the error
+//! path (and only there) the partial architectural state left behind may
+//! differ from the unfused executor's; successful runs are bit-identical.
+
+use asc_isa::{DecodeError, Instr};
+use asc_pe::{ActiveMask, PeFault, ThreadTiles};
+use rayon::prelude::*;
+
+use crate::config::MachineConfig;
+use crate::error::RunError;
+use crate::exec::exec_instr_tile;
+use crate::machine::Machine;
+
+/// Shortest run worth fusing: a single instruction gains nothing from
+/// tile-major order (it *is* one sweep either way).
+pub(crate) const MIN_BLOCK_LEN: u32 = 2;
+
+/// The fusible-block plan for a loaded program: for every PC, the length
+/// of the fusible run starting there (0 or 1 where nothing fuses).
+#[derive(Debug, Clone)]
+pub(crate) struct FusionPlan {
+    /// `run_len[pc]` = number of consecutive fusible instructions at `pc`.
+    run_len: Vec<u32>,
+    /// Static count of maximal blocks of length ≥ [`MIN_BLOCK_LEN`].
+    static_blocks: u64,
+    /// Static count of instructions covered by those blocks.
+    static_fused_instrs: u64,
+    /// Longest block (sizes `Machine::fusion_buf`).
+    max_block_len: u32,
+}
+
+impl FusionPlan {
+    /// Scan the decoded instruction stream and record every fusible run.
+    ///
+    /// An instruction that would trap on this machine (`mul`/`div` with
+    /// the unit absent) is excluded from fusion at plan time, so the
+    /// [`RunError::MissingUnit`] error still fires at that instruction's
+    /// own issue, not a block's entry.
+    pub(crate) fn build(imem: &[Result<Instr, DecodeError>], cfg: &MachineConfig) -> FusionPlan {
+        let n = imem.len();
+        let mut run_len = vec![0u32; n];
+        // Backward scan: run_len[pc] = 1 + run_len[pc + 1] where fusible.
+        for pc in (0..n).rev() {
+            let fusible = match &imem[pc] {
+                Ok(i) => {
+                    i.is_fusible()
+                        && !(i.uses_multiplier() && cfg.multiplier == asc_pe::MultiplierKind::None)
+                        && !(i.uses_divider() && cfg.divider == asc_pe::DividerConfig::None)
+                }
+                Err(_) => false,
+            };
+            if fusible {
+                run_len[pc] = 1 + run_len.get(pc + 1).copied().unwrap_or(0);
+            }
+        }
+        // Walk maximal runs for the static stats.
+        let (mut static_blocks, mut static_fused_instrs, mut max_block_len) = (0, 0, 0);
+        let mut pc = 0;
+        while pc < n {
+            let len = run_len[pc];
+            if len >= MIN_BLOCK_LEN {
+                static_blocks += 1;
+                static_fused_instrs += len as u64;
+                max_block_len = max_block_len.max(len);
+            }
+            pc += len.max(1) as usize;
+        }
+        FusionPlan { run_len, static_blocks, static_fused_instrs, max_block_len }
+    }
+
+    /// Length of the fusible run starting at `pc` (0 if none).
+    pub(crate) fn run_len_at(&self, pc: u32) -> u32 {
+        self.run_len.get(pc as usize).copied().unwrap_or(0)
+    }
+
+    pub(crate) fn max_block_len(&self) -> u32 {
+        self.max_block_len
+    }
+
+    pub(crate) fn static_blocks(&self) -> u64 {
+        self.static_blocks
+    }
+
+    pub(crate) fn static_fused_instrs(&self) -> u64 {
+        self.static_fused_instrs
+    }
+}
+
+/// Block-fusion counters, reported by [`Machine::fusion_stats`] and
+/// printed by `mtasc run --fusion-stats`. Kept outside [`crate::Stats`]
+/// so the statistics report stays bit-identical with fusion on or off.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FusionStats {
+    /// Fusible blocks in the loaded program (static).
+    pub static_blocks: u64,
+    /// Instructions covered by those blocks (static).
+    pub static_fused_instrs: u64,
+    /// Blocks executed by the tiled engine (dynamic).
+    pub blocks_executed: u64,
+    /// Dynamic instructions whose effects ran through the tiled engine.
+    pub instrs_fused: u64,
+}
+
+impl FusionStats {
+    /// Mean static block length (0 when the program has no blocks).
+    pub fn mean_block_len(&self) -> f64 {
+        if self.static_blocks == 0 {
+            0.0
+        } else {
+            self.static_fused_instrs as f64 / self.static_blocks as f64
+        }
+    }
+
+    /// Fraction of `issued` dynamic instructions executed fused.
+    pub fn fused_fraction(&self, issued: u64) -> f64 {
+        if issued == 0 {
+            0.0
+        } else {
+            self.instrs_fused as f64 / issued as f64
+        }
+    }
+}
+
+/// Run `block` over every tile of `tiles`: all instructions over one tile
+/// before the next. Returns the fault to attribute, chosen as the lowest
+/// `(instruction index, PE)` across the sweep — the same identity the
+/// instruction-major executor would have stopped at.
+fn run_block_tiles(
+    block: &[Instr],
+    tiles: &mut ThreadTiles<'_>,
+    all: &ActiveMask,
+    parallel: bool,
+) -> Option<(u32, PeFault)> {
+    let nt = tiles.num_tiles();
+    let raw = tiles.raw();
+    let per_tile = |tile: usize| -> Option<(u32, PeFault)> {
+        // SAFETY: every invocation names a distinct tile index, and the
+        // iteration below visits each tile exactly once.
+        let mut win = unsafe { raw.window(tile) };
+        let mut first: Option<(u32, PeFault)> = None;
+        for (k, i) in block.iter().enumerate() {
+            if let Some(f) = exec_instr_tile(i, &mut win, all) {
+                if first.is_none() {
+                    first = Some((k as u32, f));
+                }
+            }
+        }
+        first
+    };
+    if parallel {
+        (0..nt).into_par_iter().filter_map(per_tile).min_by_key(|&(k, f)| (k, f.pe))
+    } else {
+        (0..nt).filter_map(per_tile).min_by_key(|&(k, f)| (k, f.pe))
+    }
+}
+
+impl Machine {
+    /// Should the block starting at `(tid, pc)` be pre-executed now?
+    /// Returns its length if every fusion gate passes.
+    pub(crate) fn fusible_block_len(&self, pc: u32) -> Option<u32> {
+        let plan = self.fusion_plan.as_ref()?;
+        let len = plan.run_len_at(pc);
+        if len < MIN_BLOCK_LEN {
+            return None;
+        }
+        // A second live thread could issue into the middle of the block
+        // and observe (or disturb) its batched effects out of order.
+        if self.threads.live_count() != 1 {
+            return None;
+        }
+        // Fuel gate: even if every remaining issue of the block stalls
+        // for the worst possible hazard span, the block must finish
+        // issuing inside the run's cycle budget, so a CycleLimit abort
+        // can never land with a block half-credited. `fuse_horizon` is 0
+        // outside `Machine::run`, so bare `step()` loops never fuse.
+        let span = (len as u64).saturating_mul(self.worst_issue_gap());
+        if self.cycle.saturating_add(span) > self.fuse_horizon {
+            return None;
+        }
+        Some(len)
+    }
+
+    /// Conservative upper bound on the cycles between two consecutive
+    /// issues of the same thread's straight-line code: worst RAW wait
+    /// (produce depth of the slowest unit past the broadcast and
+    /// reduction trees) plus slack for structural waits.
+    fn worst_issue_gap(&self) -> u64 {
+        let mul = match self.timing.multiplier {
+            asc_pe::MultiplierKind::None => 0,
+            asc_pe::MultiplierKind::Pipelined { latency } => latency,
+            asc_pe::MultiplierKind::Sequential { cycles } => cycles,
+        };
+        let div = match self.timing.divider {
+            asc_pe::DividerConfig::None => 0,
+            asc_pe::DividerConfig::Sequential { cycles } => cycles,
+        };
+        self.timing.b + self.timing.r + 2 * (mul + div) + 8
+    }
+
+    /// Pre-execute the fusible block `[pc, pc + len)` for `tid`,
+    /// tile-by-tile. Called at the issue of the block's first
+    /// instruction; the remaining `len - 1` issues are ghosts (timing
+    /// only).
+    pub(crate) fn execute_block(&mut self, tid: usize, pc: u32, len: u32) -> Result<(), RunError> {
+        let mut block = std::mem::take(&mut self.fusion_buf);
+        block.clear();
+        for k in 0..len {
+            let i = self.imem[(pc + k) as usize]
+                .as_ref()
+                .copied()
+                .expect("fusion plan only covers decodable instructions");
+            debug_assert!(
+                i.is_fusible() && !asc_network::NetUnit::class_uses_reduction(i.class()),
+                "fused block may not span network or scalar operations: {i:?}"
+            );
+            block.push(i);
+        }
+        // One all-active fill serves the whole block: fusible masks are
+        // either `Mask::All` (this mask, read per tile) or a flag plane
+        // (read per tile at execution order, preserving self-masking
+        // semantics).
+        self.array.fill_active(tid, asc_isa::Mask::All, &mut self.amask);
+        let parallel = self.cfg.num_pes >= self.cfg.parallel_threshold;
+        let fault = {
+            let mut tiles = self.array.thread_tiles(tid);
+            run_block_tiles(&block, &mut tiles, &self.amask, parallel)
+        };
+        self.fusion_dyn.blocks_executed += 1;
+        self.fusion_dyn.instrs_fused += len as u64;
+        self.fusion_buf = block;
+        match fault {
+            None => Ok(()),
+            Some((k, fault)) => Err(RunError::PeMemoryFault { thread: tid, pc: pc + k, fault }),
+        }
+    }
+
+    /// Block-fusion counters for the loaded program and the run so far.
+    pub fn fusion_stats(&self) -> FusionStats {
+        let mut s = self.fusion_dyn;
+        if let Some(plan) = &self.fusion_plan {
+            s.static_blocks = plan.static_blocks();
+            s.static_fused_instrs = plan.static_fused_instrs();
+        }
+        s
+    }
+}

@@ -41,11 +41,13 @@ pub mod threads;
 pub mod timing;
 
 mod exec;
+mod fusion;
 mod machine;
 
 pub use config::{FetchModel, MachineConfig, SchedPolicy};
 pub use emulator::Emulator;
 pub use error::RunError;
+pub use fusion::FusionStats;
 pub use machine::{IssueRecord, Machine, Step};
 pub use obs::{RingBufferSink, RunReport, SinkHandle, TraceEvent, TraceSink};
 pub use stats::{StallReason, Stats};

@@ -84,7 +84,7 @@ struct Blocked {
 pub struct Machine {
     pub(crate) cfg: MachineConfig,
     pub(crate) timing: Timing,
-    imem: Vec<Result<Instr, DecodeError>>,
+    pub(crate) imem: Vec<Result<Instr, DecodeError>>,
     pub(crate) sregs: RegFile,
     pub(crate) sflags: FlagFile,
     pub(crate) smem: LocalMemory,
@@ -100,7 +100,7 @@ pub struct Machine {
     div_scalar: SequentialUnit,
     mul_parallel: SequentialUnit,
     div_parallel: SequentialUnit,
-    cycle: u64,
+    pub(crate) cycle: u64,
     halted: bool,
     rotate: usize,
     current: usize,
@@ -118,6 +118,20 @@ pub struct Machine {
     bcast_inflight: VecDeque<u64>,
     /// Completion cycles of in-flight reduction-tree operations.
     red_inflight: VecDeque<u64>,
+    /// Fusible-block plan for the loaded program (`None` with fusion
+    /// disabled); rebuilt — i.e. the block cache is invalidated — on every
+    /// program load.
+    pub(crate) fusion_plan: Option<crate::fusion::FusionPlan>,
+    /// Dynamic block-fusion counters (static ones live in the plan).
+    pub(crate) fusion_dyn: crate::fusion::FusionStats,
+    /// Ghost issues remaining per thread: how many upcoming instructions
+    /// of this thread already had their effects applied by a fused block.
+    pub(crate) fused_remaining: Vec<u32>,
+    /// Reusable block-instruction buffer (no allocation per block).
+    pub(crate) fusion_buf: Vec<Instr>,
+    /// Cycle budget of the current `run()` call; fusion's fuel gate.
+    /// Zero outside `run`, so bare `step()` loops never fuse.
+    pub(crate) fuse_horizon: u64,
 }
 
 impl Machine {
@@ -125,8 +139,14 @@ impl Machine {
     /// [`Machine::load_program`] before running.
     pub fn new(cfg: MachineConfig) -> Machine {
         assert!(cfg.threads >= 1);
+        let timing = cfg.timing();
+        // An in-flight broadcast spans b cycles and one may start per
+        // cycle; a reduction additionally spans b + 1 + r. Pre-sizing the
+        // queues keeps the issue path allocation-free.
+        let bcast_cap = timing.b as usize + 2;
+        let red_cap = (timing.b + 1 + timing.r) as usize + 2;
         Machine {
-            timing: cfg.timing(),
+            timing,
             imem: Vec::new(),
             sregs: RegFile::new(cfg.threads, asc_isa::NUM_GPRS),
             sflags: FlagFile::new(cfg.threads, asc_isa::NUM_FLAGS),
@@ -150,8 +170,13 @@ impl Machine {
             stats: Stats::new(cfg.threads),
             trace: None,
             sink: None,
-            bcast_inflight: VecDeque::new(),
-            red_inflight: VecDeque::new(),
+            bcast_inflight: VecDeque::with_capacity(bcast_cap),
+            red_inflight: VecDeque::with_capacity(red_cap),
+            fusion_plan: None,
+            fusion_dyn: crate::fusion::FusionStats::default(),
+            fused_remaining: vec![0; cfg.threads],
+            fusion_buf: Vec::new(),
+            fuse_horizon: 0,
             cfg,
         }
     }
@@ -179,6 +204,15 @@ impl Machine {
             });
         }
         self.imem = words.iter().map(|&w| decode(w)).collect();
+        // (Re)build the fusible-block plan — the per-(program, entry PC)
+        // block cache — and drop any state from a previous program.
+        self.fusion_plan =
+            self.cfg.fusion.then(|| crate::fusion::FusionPlan::build(&self.imem, &self.cfg));
+        self.fusion_dyn = crate::fusion::FusionStats::default();
+        self.fused_remaining.iter_mut().for_each(|r| *r = 0);
+        self.fusion_buf.clear();
+        let cap = self.fusion_plan.as_ref().map_or(0, |p| p.max_block_len()) as usize;
+        self.fusion_buf.reserve(cap);
         Ok(())
     }
 
@@ -281,6 +315,8 @@ impl Machine {
     pub(crate) fn spawn_thread(&mut self, target: u32) -> Option<usize> {
         let tid = self.threads.alloc(target, self.cycle + 2)?;
         self.ibuf[tid] = 0;
+        debug_assert_eq!(self.fused_remaining[tid], 0, "freed threads have no ghost issues");
+        self.fused_remaining[tid] = 0;
         self.sregs.clear_thread(tid);
         self.sflags.clear_thread(tid);
         self.array.clear_thread(tid);
@@ -354,8 +390,9 @@ impl Machine {
     fn step_fine(&mut self) -> Result<Step, RunError> {
         let mut first_block: Option<Blocked> = None;
         let mut min_earliest = u64::MAX;
-        let order: Vec<usize> = self.threads.rotation(self.rotate).collect();
-        for tid in order {
+        let n = self.threads.len();
+        for k in 0..n {
+            let tid = (self.rotate + k) % n;
             match self.thread_ready(tid)? {
                 Ok(instr) => {
                     self.issue(tid, instr)?;
@@ -605,7 +642,22 @@ impl Machine {
         }
         self.track_net_depth(class);
 
-        let effect = self.execute_instr(tid, pc, &instr)?;
+        // Block fusion: at the first instruction of a fusible block the
+        // whole block's architectural effects are applied tile-by-tile;
+        // the block's remaining instructions are "ghost issues" — they
+        // still pass through the scheduler, scoreboard, stats and trace
+        // one per cycle (timing is untouched), but skip execution. Every
+        // fused instruction falls through, so the effect is always Next.
+        let effect = if self.fused_remaining[tid] > 0 {
+            self.fused_remaining[tid] -= 1;
+            Effect::Next
+        } else if let Some(len) = self.fusible_block_len(pc) {
+            self.execute_block(tid, pc, len)?;
+            self.fused_remaining[tid] = len - 1;
+            Effect::Next
+        } else {
+            self.execute_instr(tid, pc, &instr)?
+        };
 
         self.stats.record_issue(tid, class);
         if let Some(trace) = &mut self.trace {
@@ -735,6 +787,7 @@ impl Machine {
     /// Run until the program halts, every thread exits, or `max_cycles`
     /// elapse. Returns the final statistics.
     pub fn run(&mut self, max_cycles: u64) -> Result<Stats, RunError> {
+        self.fuse_horizon = max_cycles;
         while !self.finished() {
             if self.cycle >= max_cycles {
                 return Err(RunError::CycleLimit { limit: max_cycles });

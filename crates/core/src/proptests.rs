@@ -254,3 +254,91 @@ fn fast_forward_matches_closed_form() {
         assert_eq!(stats.cycles, t.b + t.r + 6, "p = {p}");
     }
 }
+
+/// Compare every architecturally visible bit of two machines that ran the
+/// same program: registers, flags, local and scalar memory, cycle count,
+/// and the full statistics report.
+fn assert_machines_identical(a: &Machine, b: &Machine, label: &str) {
+    assert_eq!(a.cycle(), b.cycle(), "{label}: cycle count");
+    assert_eq!(a.stats(), b.stats(), "{label}: statistics");
+    let p = a.config().num_pes;
+    for t in 0..a.config().threads {
+        for r in 0..asc_isa::NUM_GPRS {
+            assert_eq!(a.sreg(t, r), b.sreg(t, r), "{label}: t{t} s{r}");
+        }
+        for f in 0..asc_isa::NUM_FLAGS {
+            assert_eq!(a.sflag(t, f), b.sflag(t, f), "{label}: t{t} f{f}");
+        }
+        for pe in 0..p {
+            for r in 0..asc_isa::NUM_GPRS {
+                assert_eq!(
+                    a.array().gpr(pe, t, r),
+                    b.array().gpr(pe, t, r),
+                    "{label}: t{t} PE{pe} p{r}"
+                );
+            }
+            for f in 0..asc_isa::NUM_FLAGS {
+                assert_eq!(
+                    a.array().flag(pe, t, f),
+                    b.array().flag(pe, t, f),
+                    "{label}: t{t} PE{pe} pf{f}"
+                );
+            }
+        }
+    }
+    for pe in 0..p {
+        for addr in 0..a.config().lmem_words as u32 {
+            assert_eq!(
+                a.array().lmem_word(pe, addr).unwrap(),
+                b.array().lmem_word(pe, addr).unwrap(),
+                "{label}: PE{pe} lmem[{addr}]"
+            );
+        }
+    }
+    for addr in 0..a.config().smem_words as u32 {
+        assert_eq!(a.smem().read(addr), b.smem().read(addr), "{label}: smem[{addr}]");
+    }
+}
+
+proptest! {
+    /// Block fusion is architecturally invisible: a random straight-line
+    /// program leaves bit-identical machine state, cycle counts, and
+    /// statistics with the fusion engine on or off — in the serial
+    /// execution regime and in the rayon-over-tiles regime (forced via
+    /// `parallel_threshold`, with a short tail tile).
+    #[test]
+    fn fusion_is_bit_identical(seed in any::<u64>(), force_parallel in any::<bool>()) {
+        use asc_isa::gen::random_straightline_instr;
+        use asc_isa::Instr;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut words = Vec::new();
+        for _ in 0..60 {
+            let mut i = random_straightline_instr(&mut rng);
+            // W8 base registers hold at most 255; a non-negative offset
+            // below 256 keeps every access within the 512-word local
+            // memory (and 128 within scalar memory), so runs never fault.
+            match &mut i {
+                Instr::Lw { off, .. } | Instr::Sw { off, .. } => *off = off.rem_euclid(128),
+                Instr::Plw { off, .. } | Instr::Psw { off, .. } => *off = off.rem_euclid(127),
+                _ => {}
+            }
+            words.push(asc_isa::encode(&i));
+        }
+        words.push(asc_isa::encode(&Instr::Halt));
+
+        let mut cfg = MachineConfig::new(if force_parallel { 100 } else { 8 })
+            .with_width(Width::W8);
+        if force_parallel {
+            cfg.parallel_threshold = 1;
+        }
+        let mut fused = Machine::new(cfg);
+        fused.load_words(&words).unwrap();
+        fused.run(10_000_000).unwrap();
+        let mut unfused = Machine::new(cfg.without_fusion());
+        unfused.load_words(&words).unwrap();
+        unfused.run(10_000_000).unwrap();
+
+        assert_machines_identical(&fused, &unfused, &format!("seed {seed}"));
+        prop_assert_eq!(unfused.fusion_stats().instrs_fused, 0);
+    }
+}

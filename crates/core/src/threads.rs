@@ -91,6 +91,14 @@ impl ThreadTable {
         self.rows.iter().any(|t| t.state != ThreadState::Free)
     }
 
+    /// Number of live (runnable or waiting) contexts. The block-fusion
+    /// engine only fuses while exactly one thread is live: a second live
+    /// thread could interleave issues into the middle of a block and
+    /// observe (or disturb) its batched effects out of order.
+    pub fn live_count(&self) -> usize {
+        self.rows.iter().filter(|t| t.state != ThreadState::Free).count()
+    }
+
     /// True if at least one thread is runnable (not free, not join-blocked).
     pub fn any_runnable(&self) -> bool {
         self.rows.iter().any(|t| t.state == ThreadState::Runnable)

@@ -77,6 +77,85 @@ impl Operand {
     }
 }
 
+/// A fixed-capacity operand list, returned by [`Instr::reads`] and
+/// [`Instr::writes`]. The scheduler interrogates operands on every issue
+/// *attempt* (including stalled ones), so the list lives on the stack —
+/// no instruction names more than four register operands (two sources, a
+/// store-data/base pair, plus the activity mask flag).
+///
+/// It dereferences to `&[Operand]` and compares equal to a
+/// `Vec<Operand>` with the same contents, so call sites read like the
+/// `Vec`-returning API it replaces.
+#[derive(Debug, Clone, Copy)]
+pub struct OperandList {
+    ops: [Operand; 4],
+    len: u8,
+}
+
+impl OperandList {
+    const fn new() -> OperandList {
+        OperandList { ops: [Operand { class: RegClass::SGpr, index: 0 }; 4], len: 0 }
+    }
+
+    /// Append an operand, silently dropping hardwired zero GPRs (they are
+    /// never a real dependency).
+    fn push(&mut self, op: Operand) {
+        if op.is_zero_gpr() {
+            return;
+        }
+        self.ops[self.len as usize] = op;
+        self.len += 1;
+    }
+
+    /// The operands as a slice.
+    pub fn as_slice(&self) -> &[Operand] {
+        &self.ops[..self.len as usize]
+    }
+}
+
+impl std::ops::Deref for OperandList {
+    type Target = [Operand];
+    fn deref(&self) -> &[Operand] {
+        self.as_slice()
+    }
+}
+
+impl IntoIterator for OperandList {
+    type Item = Operand;
+    type IntoIter = std::iter::Take<std::array::IntoIter<Operand, 4>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.ops.into_iter().take(self.len as usize)
+    }
+}
+
+impl<'a> IntoIterator for &'a OperandList {
+    type Item = &'a Operand;
+    type IntoIter = std::slice::Iter<'a, Operand>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl PartialEq for OperandList {
+    fn eq(&self, other: &OperandList) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for OperandList {}
+
+impl PartialEq<Vec<Operand>> for OperandList {
+    fn eq(&self, other: &Vec<Operand>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<OperandList> for Vec<Operand> {
+    fn eq(&self, other: &OperandList) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
 /// A fully decoded MTASC instruction.
 ///
 /// Immediates are stored sign-extended. Branch offsets are in instruction
@@ -246,6 +325,30 @@ impl Instr {
         matches!(self, Instr::Plw { .. } | Instr::Psw { .. })
     }
 
+    /// True if this instruction may join a *fusible parallel basic
+    /// block* — a straight-line run the block-fusion engine executes
+    /// tile-by-tile. The predicate admits exactly the lane-local
+    /// PARALLEL-class forms: each active PE's result depends only on that
+    /// PE's own registers, flag bits, and local-memory column. Everything
+    /// that couples lanes or touches scalar state ends a block: scalar
+    /// and control-flow instructions, thread management, reductions (the
+    /// reduction network), scalar-operand broadcasts (`PAluS`, `PCmpS`,
+    /// `PMovS` read the scalar register file at B1), and the inter-PE
+    /// shift network.
+    pub fn is_fusible(&self) -> bool {
+        matches!(
+            self,
+            Instr::PAlu { .. }
+                | Instr::PAluImm { .. }
+                | Instr::PCmp { .. }
+                | Instr::PCmpImm { .. }
+                | Instr::PFlagOp { .. }
+                | Instr::Plw { .. }
+                | Instr::Psw { .. }
+                | Instr::Pidx { .. }
+        )
+    }
+
     /// The mask field, for parallel/reduction instructions.
     pub fn mask(&self) -> Option<Mask> {
         use Instr::*;
@@ -274,9 +377,9 @@ impl Instr {
     /// Registers read by this instruction, including the activity mask.
     /// Hardwired zero registers are filtered out (they are never a
     /// dependency).
-    pub fn reads(&self) -> Vec<Operand> {
+    pub fn reads(&self) -> OperandList {
         use Instr::*;
-        let mut v: Vec<Operand> = Vec::with_capacity(3);
+        let mut v = OperandList::new();
         match *self {
             Nop | Halt | Li { .. } | Lui { .. } | J { .. } | Jal { .. } | TExit | TId { .. } => {}
             SAlu { ra, rb, .. } => {
@@ -355,15 +458,14 @@ impl Instr {
         if let Some(Mask::Flag(f)) = self.mask() {
             v.push(Operand::pf(f));
         }
-        v.retain(|o| !o.is_zero_gpr());
         v
     }
 
     /// Registers written by this instruction. Writes to the hardwired zero
     /// registers are filtered out.
-    pub fn writes(&self) -> Vec<Operand> {
+    pub fn writes(&self) -> OperandList {
         use Instr::*;
-        let mut v: Vec<Operand> = Vec::with_capacity(1);
+        let mut v = OperandList::new();
         match *self {
             SAlu { rd, .. }
             | SAluImm { rd, .. }
@@ -404,7 +506,6 @@ impl Instr {
             | TPut { .. }
             | Psw { .. } => {}
         }
-        v.retain(|o| !o.is_zero_gpr());
         v
     }
 

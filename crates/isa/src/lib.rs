@@ -39,7 +39,7 @@ mod opcode;
 
 pub use decode::{decode, DecodeError};
 pub use encode::encode;
-pub use instr::{Instr, InstrClass, Operand, RegClass};
+pub use instr::{Instr, InstrClass, Operand, OperandList, RegClass};
 pub use ops::{AluOp, CmpOp, FlagOp, FlagReduceOp, ReduceOp};
 pub use reg::{Mask, PFlag, PReg, SFlag, SReg};
 pub use word::{Width, Word};

@@ -63,6 +63,7 @@ impl fmt::Display for Width {
 /// as a parameter (it is a machine-wide configuration constant, and storing
 /// it per value would double the memory footprint of the PE array).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+#[repr(transparent)]
 pub struct Word(pub u32);
 
 impl Word {

@@ -22,6 +22,14 @@ fn obs_enabled() -> bool {
     std::env::var("MTASC_KERNEL_OBS").is_ok_and(|v| !v.is_empty() && v != "0")
 }
 
+/// `MTASC_NO_FUSE=1` disables the block-fusion engine for every kernel
+/// run through this harness — the blunt-instrument form of
+/// `mtasc run --no-fuse`, used by the differential tests and for timing
+/// the instruction-major executor from the benches.
+fn fusion_disabled() -> bool {
+    std::env::var("MTASC_NO_FUSE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
 /// Render the top-5 stall reasons of a run, largest first (empty string if
 /// the run never stalled).
 pub fn stall_summary(stats: &Stats) -> String {
@@ -55,6 +63,7 @@ pub fn run_kernel(
     setup: impl FnOnce(&mut Machine),
 ) -> Result<(Machine, Stats), RunError> {
     let program = assemble_kernel(src);
+    let cfg = if fusion_disabled() { cfg.without_fusion() } else { cfg };
     let mut m = Machine::with_program(cfg, &program)?;
     let ring = if obs_enabled() {
         let ring = Rc::new(RefCell::new(RingBufferSink::new(OBS_RING_CAPACITY)));

@@ -4,14 +4,13 @@
 //! `~(OR(~x))` by De Morgan. The functional model here implements both the
 //! direct reduction and the De Morgan path and the tests check they agree.
 //!
-//! Integer reduction reads a register plane directly (leaves produced on
-//! demand by [`tree_reduce_with`] — no temporary leaf vector); flag
+//! Integer reduction walks only the set bits of the packed active mask
+//! (AND/OR are associative and commutative, so the fold equals the
+//! hardware tree — no temporary leaf vector, no identity traffic); flag
 //! reduction operates word-parallel on packed bitplanes, 64 PEs per `u64`.
 
 use asc_isa::{FlagReduceOp, ReduceOp, Width, Word};
 use asc_pe::ActiveMask;
-
-use crate::tree::tree_reduce_with;
 
 /// Functional model of the logic reduction unit.
 pub struct LogicUnit;
@@ -25,24 +24,37 @@ impl LogicUnit {
     pub fn reduce(op: ReduceOp, values: &[Word], active: &ActiveMask, w: Width) -> Word {
         assert!(matches!(op, ReduceOp::And | ReduceOp::Or), "logic unit only does AND/OR");
         debug_assert_eq!(values.len(), active.lanes());
+        // Bitwise AND/OR are associative and commutative, so the
+        // hardware's tree order (AND being the OR tree with inverted
+        // inputs and output) folds to the same word as a linear walk over
+        // the set bits of the packed active mask — which skips 64
+        // inactive lanes per word test instead of feeding the tree
+        // identity leaves.
         let id = op.identity(w);
-        let n = values.len();
-        match op {
-            ReduceOp::Or => {
-                let leaf = |i: usize| if active.is_active(i) { values[i] } else { id };
-                tree_reduce_with(n, id, &leaf, &|a, b| a.or(b))
-            }
-            ReduceOp::And => {
-                // hardware path: invert, OR-tree, invert
-                let leaf = |i: usize| {
-                    let v = if active.is_active(i) { values[i] } else { id };
-                    Word::new(!v.to_u32(), w)
-                };
-                let ored = tree_reduce_with(n, Word::ZERO, &leaf, &|a, b| a.or(b));
-                Word::new(!ored.to_u32(), w)
-            }
+        let combine = |a: Word, b: Word| match op {
+            ReduceOp::Or => a.or(b),
+            ReduceOp::And => Word::new(a.to_u32() & b.to_u32(), w),
             _ => unreachable!(),
+        };
+        let mut acc = id;
+        for (wi, &mw) in active.words().iter().enumerate() {
+            if mw == 0 {
+                continue;
+            }
+            let base = wi * 64;
+            if mw == u64::MAX {
+                for &v in &values[base..base + 64] {
+                    acc = combine(acc, v);
+                }
+            } else {
+                let mut m = mw;
+                while m != 0 {
+                    acc = combine(acc, values[base + m.trailing_zeros() as usize]);
+                    m &= m - 1;
+                }
+            }
         }
+        acc
     }
 
     /// Flag reduction: responder detection over a packed bitplane. `Any` is

@@ -9,8 +9,6 @@
 use asc_isa::{ReduceOp, Width, Word};
 use asc_pe::ActiveMask;
 
-use crate::tree::tree_reduce_with;
-
 /// Functional model of the max/min reduction unit.
 pub struct MaxMinUnit;
 
@@ -26,9 +24,31 @@ impl MaxMinUnit {
             "max/min unit got {op:?}"
         );
         debug_assert_eq!(values.len(), active.lanes());
+        // Min/max are associative *and* commutative, so the canonical tree
+        // order of the hardware produces the same word as a linear fold —
+        // which lets the functional model walk only the set bits of the
+        // packed active mask (64 inactive lanes cost one word test)
+        // instead of feeding 2n-1 tree nodes identity values.
         let id = op.identity(w);
-        let leaf = |i: usize| if active.is_active(i) { values[i] } else { id };
-        tree_reduce_with(values.len(), id, &leaf, &|a, b| op.combine(a, b, w))
+        let mut acc = id;
+        for (wi, &mw) in active.words().iter().enumerate() {
+            if mw == 0 {
+                continue;
+            }
+            let base = wi * 64;
+            if mw == u64::MAX {
+                for &v in &values[base..base + 64] {
+                    acc = op.combine(acc, v, w);
+                }
+            } else {
+                let mut m = mw;
+                while m != 0 {
+                    acc = op.combine(acc, values[base + m.trailing_zeros() as usize], w);
+                    m &= m - 1;
+                }
+            }
+        }
+        acc
     }
 
     /// The Falkoff bit-serial maximum: examine one bit per step from the

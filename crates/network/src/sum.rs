@@ -10,18 +10,23 @@
 use asc_isa::{ReduceOp, Width, Word};
 use asc_pe::ActiveMask;
 
-use crate::tree::tree_reduce_with;
+use crate::tree::tree_reduce_masked;
 
 /// Functional model of the saturating sum reduction unit.
 pub struct SumUnit;
 
 impl SumUnit {
     /// Saturating signed sum over the active set (inactive PEs contribute
-    /// zero), reading the register plane in place.
+    /// zero), reading the register plane in place. The saturating add is
+    /// non-associative, so the canonical tree order must be preserved —
+    /// the mask-pruned tree keeps it exactly (adding the zero identity
+    /// never changes a value or saturates, so eliding inactive leaves is
+    /// an identity transformation on the node values).
     pub fn reduce(values: &[Word], active: &ActiveMask, w: Width) -> Word {
         debug_assert_eq!(values.len(), active.lanes());
-        let leaf = |i: usize| if active.is_active(i) { values[i] } else { Word::ZERO };
-        tree_reduce_with(values.len(), Word::ZERO, &leaf, &|a, b| a.saturating_add_signed(b, w))
+        tree_reduce_masked(values.len(), Word::ZERO, active.words(), &|i| values[i], &|a, b| {
+            a.saturating_add_signed(b, w)
+        })
     }
 
     /// Reference: the exact (unbounded) signed sum, clamped once at the
@@ -123,6 +128,29 @@ mod tests {
                 SumUnit::reduce(&vals, &act, w).to_i64(w),
                 raw.iter().sum::<i64>()
             );
+        }
+
+        /// The mask-pruned tree must match the identity-padded canonical
+        /// tree on every mask — including masks spanning several packed
+        /// words and values whose intermediate nodes saturate, where any
+        /// deviation from the canonical association order would show.
+        #[test]
+        fn masked_tree_matches_identity_padded_tree(
+            raw in proptest::collection::vec(-128i64..=127, 1..200),
+            actives in proptest::collection::vec(any::<bool>(), 200),
+        ) {
+            let w = Width::W8;
+            let n = raw.len();
+            let vals = words(&raw, w);
+            let act = ActiveMask::from_bools(&actives[..n]);
+            let leaf = |i: usize| if act.is_active(i) { vals[i] } else { Word::ZERO };
+            let reference = crate::tree::tree_reduce_with(
+                n,
+                Word::ZERO,
+                &leaf,
+                &|a, b| a.saturating_add_signed(b, w),
+            );
+            prop_assert_eq!(SumUnit::reduce(&vals, &act, w), reference);
         }
     }
 }

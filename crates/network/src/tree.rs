@@ -89,6 +89,73 @@ pub fn tree_reduce_with<T: Copy>(
     go(0, n, leaf, combine)
 }
 
+/// True if any bit of `mask` is set in lane range `[start, end)`.
+/// `mask` is packed 64 lanes per word, bit `i % 64` of word `i / 64`.
+#[inline]
+fn any_set(mask: &[u64], start: usize, end: usize) -> bool {
+    let w0 = start / 64;
+    let w1 = (end - 1) / 64;
+    let lo = u64::MAX << (start % 64);
+    let hi = u64::MAX >> (63 - (end - 1) % 64);
+    if w0 == w1 {
+        mask[w0] & lo & hi != 0
+    } else {
+        mask[w0] & lo != 0 || mask[w1] & hi != 0 || mask[w0 + 1..w1].iter().any(|&m| m != 0)
+    }
+}
+
+/// Mask-pruned [`tree_reduce_with`]: the same association order with the
+/// inactive leaves *eliminated* rather than materialized as identity
+/// values. Exact whenever `combine(x, id) == combine(id, x) == x` — true
+/// of every reduction unit's (combine, identity) pair, including the
+/// non-associative saturating sum (adding zero never changes a value or
+/// saturates) — because eliding an identity operand leaves the other
+/// subtree's value unchanged at that node. Subtrees containing no active
+/// leaf are skipped after a packed-word test, so the cost scales with the
+/// number of *active* lanes, not the array size: the associative kernels
+/// spend most of their reductions over small responder sets carved out of
+/// a large array, where the full `2n - 1`-node walk of the identity-padded
+/// tree is almost entirely identity traffic.
+///
+/// `mask` is the packed active set (64 lanes per `u64`, tail bits zero);
+/// `leaf` is only ever invoked for active lane indices.
+pub fn tree_reduce_masked<T: Copy>(
+    n: usize,
+    identity: T,
+    mask: &[u64],
+    leaf: &impl Fn(usize) -> T,
+    combine: &impl Fn(T, T) -> T,
+) -> T {
+    fn go<T: Copy>(
+        start: usize,
+        len: usize,
+        mask: &[u64],
+        leaf: &impl Fn(usize) -> T,
+        combine: &impl Fn(T, T) -> T,
+    ) -> T {
+        // invariant: [start, start + len) holds at least one active leaf
+        if len == 1 {
+            return leaf(start);
+        }
+        let split = len.next_power_of_two() >> 1;
+        let left = any_set(mask, start, start + split);
+        let right = any_set(mask, start + split, start + len);
+        match (left, right) {
+            (true, true) => combine(
+                go(start, split, mask, leaf, combine),
+                go(start + split, len - split, mask, leaf, combine),
+            ),
+            (true, false) => go(start, split, mask, leaf, combine),
+            (false, true) => go(start + split, len - split, mask, leaf, combine),
+            (false, false) => unreachable!("range invariant violated"),
+        }
+    }
+    if n == 0 || !any_set(mask, 0, n) {
+        return identity;
+    }
+    go(0, n, mask, leaf, combine)
+}
+
 /// A fixed-latency, fully pipelined delay line: the structural model of a
 /// pipelined tree. One value may enter per cycle ([`DelayLine::tick`]); it
 /// emerges `latency` ticks later. With `latency == 0` the input appears at

@@ -63,6 +63,16 @@ impl NetUnit {
         NetUnit::ALL.into_iter().find(|u| u.label() == s)
     }
 
+    /// True if an instruction of this class occupies a *reduction* tree
+    /// (data flowing PE-array → control unit). Fused parallel basic
+    /// blocks must never contain such an instruction — the block-fusion
+    /// engine in `asc-core` asserts this against every block it forms:
+    /// a reduction's scalar result couples all lanes and would make
+    /// tile-major execution order observable.
+    pub const fn class_uses_reduction(class: asc_isa::InstrClass) -> bool {
+        matches!(class, asc_isa::InstrClass::Reduction)
+    }
+
     /// Which reduction tree executes a value reduction.
     pub const fn for_reduce(op: ReduceOp) -> NetUnit {
         match op {

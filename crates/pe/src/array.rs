@@ -147,6 +147,48 @@ fn try_for_each_lane(
     Ok(())
 }
 
+/// Keep glibc's mmap threshold fixed so the multi-megabyte planes of a
+/// large array stay mmap-backed. By default the threshold adapts upward
+/// when a mmap'd block is freed, after which same-sized allocations come
+/// from the sbrk heap — where `calloc` must memset the whole plane
+/// instead of handing out untouched zero pages. Simulations that build a
+/// machine per run (the kernel suite, the benches) hit that path on
+/// every construction; pinning the threshold keeps plane allocation
+/// proportional to the memory actually touched.
+#[cfg(all(target_os = "linux", target_env = "gnu"))]
+fn pin_mmap_threshold() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        const M_MMAP_THRESHOLD: i32 = -3;
+        unsafe extern "C" {
+            fn mallopt(param: i32, value: i32) -> i32;
+        }
+        // SAFETY: mallopt is async-signal-unsafe but thread-safe; it only
+        // tweaks allocator parameters.
+        unsafe {
+            mallopt(M_MMAP_THRESHOLD, 1 << 20);
+        }
+    });
+}
+
+#[cfg(not(all(target_os = "linux", target_env = "gnu")))]
+fn pin_mmap_threshold() {}
+
+/// Allocate `n` zero words via the `vec![0u32; n]` zero-value
+/// specialization, which maps to `alloc_zeroed` — the large register and
+/// local-memory planes of a big array come from untouched zero pages
+/// instead of an explicit clearing pass, making machine construction
+/// cheap for short kernel runs that only ever touch a few planes.
+fn zeroed_words(n: usize) -> Vec<Word> {
+    let mut raw = std::mem::ManuallyDrop::new(vec![0u32; n]);
+    let (ptr, len, cap) = (raw.as_mut_ptr(), raw.len(), raw.capacity());
+    // SAFETY: `Word` is `#[repr(transparent)]` over `u32`, so the
+    // allocation's layout, length, and capacity are identical, and the
+    // all-zero bit pattern is a valid `Word` (`Word::ZERO`).
+    unsafe { Vec::from_raw_parts(ptr as *mut Word, len, cap) }
+}
+
 /// The PE array (structure-of-arrays storage; see the module docs).
 #[derive(Debug, Clone)]
 pub struct PeArray {
@@ -168,13 +210,14 @@ pub struct PeArray {
 impl PeArray {
     /// Allocate a zeroed array.
     pub fn new(cfg: ArrayConfig) -> PeArray {
+        pin_mmap_threshold();
         let n = cfg.num_pes;
         PeArray {
-            gprs: vec![Word::ZERO; cfg.threads * cfg.gprs * n],
+            gprs: zeroed_words(cfg.threads * cfg.gprs * n),
             flags: vec![0; cfg.threads * cfg.flags * words_for(n)],
-            lmem: vec![Word::ZERO; cfg.lmem_words * n],
-            scratch_a: vec![Word::ZERO; n],
-            scratch_b: vec![Word::ZERO; n],
+            lmem: zeroed_words(cfg.lmem_words * n),
+            scratch_a: zeroed_words(n),
+            scratch_b: zeroed_words(n),
             cfg,
         }
     }
@@ -694,6 +737,25 @@ impl PeArray {
             debug_assert!(active.is_active(pe), "resolver winner must be active");
             self.flags[d_base + pe / BITS_PER_WORD] |= 1u64 << (pe % BITS_PER_WORD);
         }
+    }
+
+    /// A mutable tile-wise view of one thread's registers, flags, and
+    /// local memory — the substrate of fused-block execution (see
+    /// [`crate::tiles`]). Borrows only that thread's plane regions, so the
+    /// view cannot observe or disturb other threads' state.
+    pub fn thread_tiles(&mut self, thread: usize) -> crate::tiles::ThreadTiles<'_> {
+        let n = self.cfg.num_pes;
+        let wpp = self.words_per_plane();
+        let g = self.gpr_base(thread, 0);
+        let f = self.flag_base(thread, 0);
+        crate::tiles::ThreadTiles::new(
+            &mut self.gprs[g..g + self.cfg.gprs * n],
+            &mut self.flags[f..f + self.cfg.flags * wpp],
+            &mut self.lmem,
+            n,
+            self.cfg.lmem_words,
+            self.cfg.width,
+        )
     }
 
     /// A GPR plane across all PEs, as a contiguous slice (input to the

@@ -138,6 +138,15 @@ impl ActiveMask {
         self.words.iter().any(|&w| w != 0)
     }
 
+    /// The mask word covering one 64-lane *tile* (tile `t` = lanes
+    /// `64t..64t+64`) — the tile-scoped view used by fused-block
+    /// execution, where a block's instructions are applied one tile at a
+    /// time. Tail bits are zero by the plane invariant.
+    #[inline]
+    pub fn tile_word(&self, tile: usize) -> u64 {
+        self.words[tile]
+    }
+
     /// Iterate the active lane indices, lowest first.
     pub fn iter(&self) -> SetLanes<'_> {
         SetLanes { words: &self.words, next_word: 0, current: 0, base: 0 }

@@ -28,6 +28,7 @@ pub mod bitmask;
 pub mod memory;
 pub mod muldiv;
 pub mod regfile;
+pub mod tiles;
 
 #[cfg(all(test, feature = "proptest"))]
 mod proptests;
@@ -37,3 +38,4 @@ pub use bitmask::ActiveMask;
 pub use memory::{LocalMemory, MemFault};
 pub use muldiv::{DividerConfig, MultiplierKind, SequentialUnit};
 pub use regfile::{FlagFile, RegFile};
+pub use tiles::{RawTiles, ThreadTiles, TileWindow, TILE_LANES};
