@@ -13,6 +13,16 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --release --workspace
 
+echo "==> cargo doc (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+echo "==> mtasc lint (deny warnings: examples + kernel corpus)"
+# The committed corpus must stay lint-clean; see docs/static-analysis.md.
+for prog in examples/programs/*; do
+    ./target/release/mtasc lint "$prog" --deny warnings
+done
+./target/release/mtasc lint --kernels --deny warnings
+
 echo "==> cargo test"
 cargo test --workspace -q
 

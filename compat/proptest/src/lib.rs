@@ -225,7 +225,7 @@ fn parse_repeat_bound(pattern: &str) -> Option<usize> {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Length specification for [`vec`]: an exact `usize`, `a..b`, or
+    /// Length specification for [`vec()`](fn@vec): an exact `usize`, `a..b`, or
     /// `a..=b`.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
@@ -257,7 +257,7 @@ pub mod collection {
         VecStrategy { element, size: size.into() }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`](fn@vec).
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,

@@ -1,6 +1,8 @@
-//! Assembler error reporting. Errors carry the 1-based source line; the
-//! assembler collects *all* errors in a file rather than stopping at the
-//! first.
+//! Assembler error reporting. Errors carry the 1-based source line plus a
+//! column/byte span; the assembler collects *all* errors in a file rather
+//! than stopping at the first. [`render_errors_with_source`] points a
+//! caret run at the offending token; the excerpt renderer
+//! ([`source_excerpt`]) is shared with `asc-verify`'s lint output.
 
 use std::fmt;
 
@@ -49,18 +51,29 @@ impl fmt::Display for AsmErrorKind {
     }
 }
 
-/// An assembler diagnostic: kind plus source line.
+/// An assembler diagnostic: kind plus source position. `col`/`len` locate
+/// the offending token within the line (1-based byte column; `col == 0`
+/// means the position is unknown and renderers fall back to line-only
+/// output).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AsmError {
     /// 1-based source line.
     pub line: u32,
+    /// 1-based byte column of the offending token (0 = unknown).
+    pub col: u32,
+    /// Length of the offending token in bytes.
+    pub len: u32,
     /// The diagnostic.
     pub kind: AsmErrorKind,
 }
 
 impl fmt::Display for AsmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.kind)
+        if self.col > 0 {
+            write!(f, "line {}:{}: {}", self.line, self.col, self.kind)
+        } else {
+            write!(f, "line {}: {}", self.line, self.kind)
+        }
     }
 }
 
@@ -74,4 +87,45 @@ pub fn render_errors(errors: &[AsmError]) -> String {
         out.push('\n');
     }
     out
+}
+
+/// Render a batch of errors against their source text, with a caret run
+/// (`^^^`) under each offending token:
+///
+/// ```text
+/// error: unknown mnemonic `addd`
+///   |
+/// 3 |         addd s1, s2, s3
+///   |         ^^^^
+/// ```
+pub fn render_errors_with_source(src: &str, errors: &[AsmError]) -> String {
+    let lines: Vec<&str> = src.lines().collect();
+    let mut out = String::new();
+    for e in errors {
+        out.push_str(&format!("error: {}\n", e.kind));
+        match lines.get(e.line.wrapping_sub(1) as usize) {
+            Some(text) if e.line > 0 => {
+                out.push_str(&source_excerpt(text, e.line, e.col, e.len));
+            }
+            _ => out.push_str(&format!("  (line {})\n", e.line)),
+        }
+    }
+    out
+}
+
+/// A three-line source excerpt with a caret run under the span starting
+/// at 1-based byte column `col` (length `len` bytes, rendered as at least
+/// one caret; `col == 0` points at the start of the line). Tabs in the
+/// source line are preserved in the caret line's padding so the carets
+/// stay aligned under any tab width.
+pub fn source_excerpt(line_text: &str, line_no: u32, col: u32, len: u32) -> String {
+    let num = line_no.to_string();
+    let gutter = " ".repeat(num.len());
+    let pad: String = line_text
+        .bytes()
+        .take(col.saturating_sub(1) as usize)
+        .map(|b| if b == b'\t' { '\t' } else { ' ' })
+        .collect();
+    let carets = "^".repeat(len.max(1) as usize);
+    format!("{gutter} |\n{num} | {line_text}\n{gutter} | {pad}{carets}\n")
 }

@@ -12,7 +12,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, Vec<AsmError>> {
     for (lineno, line) in src.lines().enumerate() {
         let line_no = lineno as u32 + 1;
         lex_line(line, line_no, &mut toks, &mut errors);
-        toks.push(Spanned { tok: Tok::Newline, line: line_no });
+        toks.push(Spanned { tok: Tok::Newline, line: line_no, col: line.len() as u32 + 1, len: 0 });
     }
     if errors.is_empty() {
         Ok(toks)
@@ -24,7 +24,11 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, Vec<AsmError>> {
 fn lex_line(line: &str, line_no: u32, toks: &mut Vec<Spanned>, errors: &mut Vec<AsmError>) {
     let bytes = line.as_bytes();
     let mut i = 0;
-    let push = |toks: &mut Vec<Spanned>, tok: Tok| toks.push(Spanned { tok, line: line_no });
+    // `start..end` is the token's byte range within the line; columns are
+    // 1-based.
+    let push = |toks: &mut Vec<Spanned>, tok: Tok, start: usize, end: usize| {
+        toks.push(Spanned { tok, line: line_no, col: start as u32 + 1, len: (end - start) as u32 })
+    };
     while i < bytes.len() {
         let c = bytes[i] as char;
         match c {
@@ -32,23 +36,23 @@ fn lex_line(line: &str, line_no: u32, toks: &mut Vec<Spanned>, errors: &mut Vec<
             ';' | '#' => return,
             '/' if bytes.get(i + 1) == Some(&b'/') => return,
             ',' => {
-                push(toks, Tok::Comma);
+                push(toks, Tok::Comma, i, i + 1);
                 i += 1;
             }
             ':' => {
-                push(toks, Tok::Colon);
+                push(toks, Tok::Colon, i, i + 1);
                 i += 1;
             }
             '(' => {
-                push(toks, Tok::LParen);
+                push(toks, Tok::LParen, i, i + 1);
                 i += 1;
             }
             ')' => {
-                push(toks, Tok::RParen);
+                push(toks, Tok::RParen, i, i + 1);
                 i += 1;
             }
             '?' => {
-                push(toks, Tok::Question);
+                push(toks, Tok::Question, i, i + 1);
                 i += 1;
             }
             '.' => {
@@ -57,7 +61,7 @@ fn lex_line(line: &str, line_no: u32, toks: &mut Vec<Spanned>, errors: &mut Vec<
                 while i < bytes.len() && is_ident_char(bytes[i] as char) {
                     i += 1;
                 }
-                push(toks, Tok::Directive(line[start..i].to_ascii_lowercase()));
+                push(toks, Tok::Directive(line[start..i].to_ascii_lowercase()), start, i);
             }
             '-' | '0'..='9' => {
                 let start = i;
@@ -69,9 +73,11 @@ fn lex_line(line: &str, line_no: u32, toks: &mut Vec<Spanned>, errors: &mut Vec<
                 }
                 let text = &line[start..i];
                 match parse_int(text) {
-                    Some(v) => push(toks, Tok::Int(v)),
+                    Some(v) => push(toks, Tok::Int(v), start, i),
                     None => errors.push(AsmError {
                         line: line_no,
+                        col: start as u32 + 1,
+                        len: (i - start) as u32,
                         kind: AsmErrorKind::BadInt(text.to_string()),
                     }),
                 }
@@ -81,10 +87,15 @@ fn lex_line(line: &str, line_no: u32, toks: &mut Vec<Spanned>, errors: &mut Vec<
                 while i < bytes.len() && is_ident_char(bytes[i] as char) {
                     i += 1;
                 }
-                push(toks, Tok::Ident(line[start..i].to_string()));
+                push(toks, Tok::Ident(line[start..i].to_string()), start, i);
             }
             other => {
-                errors.push(AsmError { line: line_no, kind: AsmErrorKind::BadChar(other) });
+                errors.push(AsmError {
+                    line: line_no,
+                    col: i as u32 + 1,
+                    len: other.len_utf8() as u32,
+                    kind: AsmErrorKind::BadChar(other),
+                });
                 i += other.len_utf8();
             }
         }

@@ -38,9 +38,10 @@ mod program;
 mod token;
 
 pub use disasm::disassemble;
-pub use error::{render_errors, AsmError, AsmErrorKind};
+pub use error::{render_errors, render_errors_with_source, source_excerpt, AsmError, AsmErrorKind};
 pub use parser::assemble;
 pub use program::Program;
+pub use token::SrcSpan;
 
 #[cfg(all(test, feature = "proptest"))]
 mod proptests;

@@ -12,7 +12,7 @@ use asc_isa::{
 use crate::error::{AsmError, AsmErrorKind};
 use crate::lexer::lex;
 use crate::program::Program;
-use crate::token::{Spanned, Tok};
+use crate::token::{Spanned, SrcSpan, Tok};
 
 /// Assemble MTASC source text into a [`Program`]. All diagnostics in the
 /// file are collected and returned together.
@@ -35,9 +35,11 @@ pub fn assemble(src: &str) -> Result<Program, Vec<AsmError>> {
     // ---- pass 2: full parse ----
     let mut instrs = Vec::new();
     let mut line_map = Vec::new();
+    let mut span_map = Vec::new();
     for line in &lines {
         let mut c = Cursor::new(line, &symbols, &mut errors);
         c.skip_labels_and_equ();
+        let mspan = c.cur_srcspan();
         if let Some(mnemonic) = c.opt_ident() {
             let line_no = c.line();
             let before = c.errors.len();
@@ -46,23 +48,20 @@ pub fn assemble(src: &str) -> Result<Program, Vec<AsmError>> {
                     c.end_of_operands();
                     if c.errors.len() == before {
                         instrs.push(i);
-                        line_map.push(line_no);
                     } else {
                         // keep addresses consistent despite the error
                         instrs.push(Instr::Nop);
-                        line_map.push(line_no);
                     }
                 }
-                None => {
-                    instrs.push(Instr::Nop);
-                    line_map.push(line_no);
-                }
+                None => instrs.push(Instr::Nop),
             }
+            line_map.push(line_no);
+            span_map.push(mspan);
         }
     }
 
     if errors.is_empty() {
-        Ok(Program { instrs, symbols, lines: line_map })
+        Ok(Program { instrs, symbols, lines: line_map, spans: span_map })
     } else {
         Err(errors)
     }
@@ -118,9 +117,39 @@ impl<'a> Cursor<'a> {
         t
     }
 
+    /// Span of the token at the cursor (or the last token of the line
+    /// once everything is consumed).
+    fn cur_srcspan(&self) -> SrcSpan {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map(|t| SrcSpan { line: t.line, col: t.col, len: t.len })
+            .unwrap_or_default()
+    }
+
+    /// Span of the most recently consumed token — where an error raised
+    /// just after a `next()` points.
+    fn prev_srcspan(&self) -> SrcSpan {
+        let idx = self.pos.min(self.toks.len()).saturating_sub(1);
+        self.toks
+            .get(idx)
+            .map(|t| SrcSpan { line: t.line, col: t.col, len: t.len })
+            .unwrap_or_default()
+    }
+
+    /// Report an error at the most recently consumed token (most errors
+    /// are raised right after `next()` returned something unexpected).
     fn err(&mut self, kind: AsmErrorKind) {
         let line = self.line();
-        self.errors.push(AsmError { line, kind });
+        let span = self.prev_srcspan();
+        self.errors.push(AsmError { line, col: span.col, len: span.len, kind });
+    }
+
+    /// Report an error at the *current* (unconsumed) token.
+    fn err_here(&mut self, kind: AsmErrorKind) {
+        let line = self.line();
+        let span = self.cur_srcspan();
+        self.errors.push(AsmError { line, col: span.col, len: span.len, kind });
     }
 
     fn bad(&mut self, msg: impl Into<String>) {
@@ -171,7 +200,7 @@ impl<'a> Cursor<'a> {
                     return;
                 }
                 (Some(Tok::Directive(d)), _) => {
-                    self.err(AsmErrorKind::UnknownMnemonic(d));
+                    self.err_here(AsmErrorKind::UnknownMnemonic(d));
                     return;
                 }
                 (Some(_), _) => {
@@ -397,7 +426,7 @@ impl<'a> Cursor<'a> {
     fn end_of_operands(&mut self) {
         if let Some(t) = self.peek() {
             let msg = format!("unexpected {t} after operands");
-            self.bad(msg);
+            self.err_here(AsmErrorKind::BadOperands(msg));
         }
     }
 }

@@ -4,6 +4,8 @@ use std::collections::HashMap;
 
 use asc_isa::{encode, Instr};
 
+use crate::token::SrcSpan;
+
 /// The output of [`crate::assemble`]: decoded instructions, their machine
 /// words, the symbol table, and a source map.
 #[derive(Debug, Clone, Default)]
@@ -15,6 +17,10 @@ pub struct Program {
     /// 1-based source line of each instruction (for traces and
     /// diagnostics).
     pub lines: Vec<u32>,
+    /// Source span of each instruction's mnemonic token, parallel to
+    /// `instrs` — lets diagnostic renderers (assembler and `asc-verify`)
+    /// point a caret at the instruction. Empty for hand-built programs.
+    pub spans: Vec<SrcSpan>,
 }
 
 impl Program {

@@ -239,3 +239,44 @@ fn words_encode_correctly() {
     assert_eq!(words[0], 0x00_000000);
     assert_eq!(words[1], 0x01_000000);
 }
+
+#[test]
+fn errors_carry_column_spans() {
+    // `addd` starts at byte 8 → column 9, length 4.
+    let errs = assemble("nop\n        addd s1, s2, s3\n").unwrap_err();
+    assert_eq!(errs.len(), 1);
+    assert_eq!((errs[0].line, errs[0].col, errs[0].len), (2, 9, 4));
+    assert!(matches!(errs[0].kind, AsmErrorKind::UnknownMnemonic(_)));
+    assert_eq!(errs[0].to_string(), "line 2:9: unknown mnemonic `addd`");
+
+    // The out-of-range literal itself is the span.
+    let errs = assemble("li s1, 99999\n").unwrap_err();
+    assert_eq!((errs[0].line, errs[0].col, errs[0].len), (1, 8, 5));
+}
+
+#[test]
+fn caret_excerpt_points_at_the_token() {
+    let src = "nop\n        addd s1, s2, s3\n";
+    let errs = assemble(src).unwrap_err();
+    let text = crate::render_errors_with_source(src, &errs);
+    assert_eq!(
+        text,
+        "error: unknown mnemonic `addd`\n\
+         \x20 |\n\
+         2 |         addd s1, s2, s3\n\
+         \x20 |         ^^^^\n"
+    );
+}
+
+#[test]
+fn program_spans_cover_every_instruction() {
+    let src = "start:  li s1, 10\n\
+               \n\
+               \taddi s2, s1, -3\n\
+               halt\n";
+    let prog = assemble(src).unwrap();
+    assert_eq!(prog.spans.len(), prog.instrs.len());
+    assert_eq!(prog.spans[0], crate::SrcSpan { line: 1, col: 9, len: 2 });
+    assert_eq!(prog.spans[1], crate::SrcSpan { line: 3, col: 2, len: 4 });
+    assert_eq!(prog.spans[2], crate::SrcSpan { line: 4, col: 1, len: 4 });
+}

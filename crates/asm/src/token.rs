@@ -42,11 +42,29 @@ impl fmt::Display for Tok {
     }
 }
 
-/// A token plus its source line (1-based).
+/// A byte span within one source line: 1-based line and column plus a
+/// length in bytes. `col == 0` means "position unknown" (renderers fall
+/// back to line-only output). Shared by assembler diagnostics and the
+/// `asc-verify` lint renderer, so both point into source the same way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SrcSpan {
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based byte column of the first byte (0 = unknown).
+    pub col: u32,
+    /// Length of the span in bytes (0 = point/unknown; render one caret).
+    pub len: u32,
+}
+
+/// A token plus its source position (1-based line/column, byte length).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Spanned {
     /// The token.
     pub tok: Tok,
     /// 1-based source line.
     pub line: u32,
+    /// 1-based byte column where the token starts.
+    pub col: u32,
+    /// Token length in bytes.
+    pub len: u32,
 }

@@ -152,6 +152,9 @@ USAGE:
   mtasc run <prog.asc|.ascl> [options]  assemble/compile and simulate
   mtasc asm <prog.asc|.ascl>            assemble to hex words (stdout)
   mtasc lower <prog.ascl>               compile ASCL to assembly (stdout)
+  mtasc lint <prog.asc|.ascl> [lint options]
+                                        static analysis: errors, warnings,
+                                        performance notes (exit 1 on findings)
   mtasc disasm <prog.hex>               disassemble hex words (stdout)
   mtasc stats <report.json>             summarize a saved run report
   mtasc info [options]                  machine geometry + FPGA resources
@@ -169,6 +172,13 @@ OPTIONS:
   --trace          print the stage-by-cycle pipeline diagram
   --report F       write a JSON run report to F
   --trace-json F   stream trace events (JSON-Lines) to F
+
+LINT OPTIONS:
+  --json           emit the mtasc.lint.v1 JSON report instead of text
+  --deny warnings  treat warnings as fatal (notes never fail a program)
+  --explain CODE   print the long-form explanation of a diagnostic code
+  --kernels        lint every program in the asc-kernels corpus instead
+                   of a file
 ";
 
 /// Dispatch a command line (without argv\[0\]); returns the text to print.
@@ -202,6 +212,47 @@ pub fn dispatch(mut args: Vec<String>) -> Result<String, CliError> {
             let text = std::fs::read_to_string(&path)
                 .map_err(|e| CliError::Failure(format!("{path}: {e}")))?;
             cmd_disasm(&text)
+        }
+        "lint" => {
+            let mut lint = LintOpts::default();
+            let mut path = None;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--json" => lint.json = true,
+                    "--kernels" => lint.kernels = true,
+                    "--deny" => {
+                        let what = it
+                            .next()
+                            .ok_or_else(|| CliError::Usage("--deny needs a value".into()))?;
+                        if what != "warnings" {
+                            return Err(CliError::Usage(format!(
+                                "--deny only knows `warnings`, got `{what}`"
+                            )));
+                        }
+                        lint.deny_warnings = true;
+                    }
+                    "--explain" => {
+                        let code = it
+                            .next()
+                            .ok_or_else(|| CliError::Usage("--explain needs a code".into()))?;
+                        return cmd_explain(&code);
+                    }
+                    other if !other.starts_with('-') && path.is_none() => {
+                        path = Some(a);
+                    }
+                    other => return Err(CliError::Usage(format!("unknown lint option `{other}`"))),
+                }
+            }
+            if lint.kernels {
+                return cmd_lint_kernels(&opts.config(), &lint);
+            }
+            let path = path.ok_or_else(|| {
+                CliError::Usage("lint needs a file (or --kernels / --explain CODE)".into())
+            })?;
+            let src = std::fs::read_to_string(&path)
+                .map_err(|e| CliError::Failure(format!("{path}: {e}")))?;
+            let src = lower_if_ascl(&path, &src)?;
+            cmd_lint(&src, &path, &opts.config(), &lint)
         }
         "stats" => {
             let path = it.next().ok_or_else(|| CliError::Usage("stats needs a file".into()))?;
@@ -329,6 +380,98 @@ pub fn cmd_disasm(text: &str) -> Result<String, CliError> {
         }
     }
     Ok(out)
+}
+
+/// Parsed `mtasc lint` flags.
+#[derive(Debug, Clone, Default)]
+pub struct LintOpts {
+    /// Emit the `mtasc.lint.v1` JSON report instead of text.
+    pub json: bool,
+    /// Treat warnings as fatal (notes never fail a program).
+    pub deny_warnings: bool,
+    /// Lint the asc-kernels corpus instead of a file.
+    pub kernels: bool,
+}
+
+/// `mtasc lint <file>`: assemble and statically analyze one program.
+/// Returns `Err(CliError::Failure)` carrying the rendered report when the
+/// program is not clean, so the findings are printed *and* the exit code
+/// is 1.
+pub fn cmd_lint(
+    source: &str,
+    path: &str,
+    cfg: &MachineConfig,
+    opts: &LintOpts,
+) -> Result<String, CliError> {
+    let program = asc_asm::assemble(source)
+        .map_err(|errs| CliError::Failure(asc_asm::render_errors_with_source(source, &errs)))?;
+    let report = asc_verify::analyze(&program, cfg);
+    let out = if opts.json {
+        report.to_json().to_pretty() + "\n"
+    } else {
+        report.render(Some(source), path)
+    };
+    if report.is_clean(opts.deny_warnings) {
+        Ok(out)
+    } else {
+        Err(CliError::Failure(out.trim_end().to_string()))
+    }
+}
+
+/// `mtasc lint --kernels`: lint every program in the asc-kernels corpus.
+/// One status line per kernel; findings (if any) printed underneath.
+pub fn cmd_lint_kernels(cfg: &MachineConfig, opts: &LintOpts) -> Result<String, CliError> {
+    let mut out = String::new();
+    let mut dirty = 0usize;
+    for (name, src) in asc_kernels::harness::corpus() {
+        let program = asc_asm::assemble(&src).map_err(|errs| {
+            CliError::Failure(format!(
+                "kernel `{name}` failed to assemble:\n{}",
+                asc_asm::render_errors_with_source(&src, &errs)
+            ))
+        })?;
+        let report = asc_verify::analyze(&program, cfg);
+        let clean = report.is_clean(opts.deny_warnings);
+        let _ = writeln!(
+            out,
+            "{name}: {} ({} instructions, {} errors, {} warnings, {} notes)",
+            if clean { "ok" } else { "FAIL" },
+            report.program_len,
+            report.error_count(),
+            report.warning_count(),
+            report.note_count()
+        );
+        if !clean {
+            dirty += 1;
+            for line in report.render(Some(&src), &name).lines() {
+                let _ = writeln!(out, "  {line}");
+            }
+        }
+    }
+    if dirty == 0 {
+        Ok(out)
+    } else {
+        let _ = write!(out, "{dirty} kernel(s) failed lint");
+        Err(CliError::Failure(out))
+    }
+}
+
+/// `mtasc lint --explain CODE`: the long-form description of a
+/// diagnostic code from the [`asc_verify::CODES`] catalog.
+pub fn cmd_explain(code: &str) -> Result<String, CliError> {
+    let info = asc_verify::explain(code).ok_or_else(|| {
+        CliError::Failure(format!(
+            "unknown diagnostic code `{code}` (codes run E0001–E3002, W0001–W4002, N5001–N5003; \
+             see docs/static-analysis.md)"
+        ))
+    })?;
+    Ok(format!(
+        "{}[{}]: {}\n\n{}\n",
+        info.severity.label(),
+        info.code,
+        info.summary,
+        info.explanation
+    ))
 }
 
 /// `mtasc info`: geometry, figures, resource model.
@@ -518,6 +661,98 @@ mod tests {
         assert!(out.contains("120"), "{out}"); // sum 0..=15
         let asm = dispatch(vec!["lower".into(), f.to_string_lossy().into_owned()]).unwrap();
         assert!(asm.contains("rsum"));
+    }
+
+    #[test]
+    fn lint_clean_program_passes() {
+        let out = cmd_lint(
+            "pidx p1\nrsum s1, p1\nhalt\n",
+            "x.asc",
+            &MachineOpts::default().config(),
+            &LintOpts::default(),
+        )
+        .unwrap();
+        assert!(out.contains("clean: no findings"), "{out}");
+    }
+
+    #[test]
+    fn lint_flags_real_bugs_with_exit_failure() {
+        let e = cmd_lint(
+            "li s1, 2000\nlw s2, 0(s1)\nhalt\n",
+            "x.asc",
+            &MachineOpts::default().config(),
+            &LintOpts::default(),
+        )
+        .unwrap_err();
+        let CliError::Failure(msg) = e else { panic!("expected failure") };
+        assert!(msg.contains("error[E2002]"), "{msg}");
+        assert!(msg.contains("x.asc:2"), "caret location present: {msg}");
+    }
+
+    #[test]
+    fn lint_deny_warnings_promotes_warnings_to_failure() {
+        let src = "add s1, s2, s3\nhalt\n"; // s2/s3 never written
+        let cfg = MachineOpts::default().config();
+        assert!(cmd_lint(src, "x.asc", &cfg, &LintOpts::default()).is_ok());
+        let opts = LintOpts { deny_warnings: true, ..LintOpts::default() };
+        let e = cmd_lint(src, "x.asc", &cfg, &opts).unwrap_err();
+        assert!(e.to_string().contains("W1001"), "{e}");
+    }
+
+    #[test]
+    fn lint_json_output_parses() {
+        let opts = LintOpts { json: true, ..LintOpts::default() };
+        let out = cmd_lint("halt\n", "x.asc", &MachineOpts::default().config(), &opts).unwrap();
+        let v = asc_core::obs::Json::parse(&out).unwrap();
+        assert_eq!(v.get("schema").and_then(|s| s.as_str()), Some("mtasc.lint.v1"));
+    }
+
+    #[test]
+    fn lint_explain_and_unknown_code() {
+        let out = cmd_explain("E2002").unwrap();
+        assert!(out.contains("error[E2002]"), "{out}");
+        let out = cmd_explain("w1001").unwrap();
+        assert!(out.contains("warning[W1001]"), "case-insensitive: {out}");
+        assert!(matches!(cmd_explain("Z1234"), Err(CliError::Failure(_))));
+    }
+
+    #[test]
+    fn lint_kernel_corpus_is_clean_under_deny_warnings() {
+        let opts = LintOpts { deny_warnings: true, ..LintOpts::default() };
+        let out = cmd_lint_kernels(&MachineOpts::default().config(), &opts).unwrap();
+        assert!(out.lines().count() >= 15, "whole corpus linted:\n{out}");
+        assert!(!out.contains("FAIL"), "{out}");
+    }
+
+    #[test]
+    fn lint_dispatch_parses_flags() {
+        let dir = std::env::temp_dir().join("mtasc_lint_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let f = dir.join("clean.asc");
+        std::fs::write(&f, "pidx p1\nrsum s1, p1\nhalt\n").unwrap();
+        let path = f.to_string_lossy().into_owned();
+        assert!(dispatch(vec!["lint".into(), path.clone()]).is_ok());
+        assert!(dispatch(vec!["lint".into(), path.clone(), "--json".into()]).is_ok());
+        assert!(matches!(
+            dispatch(vec!["lint".into(), path.clone(), "--deny".into(), "errors".into()]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            dispatch(vec!["lint".into(), path, "--bogus".into()]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(dispatch(vec!["lint".into()]), Err(CliError::Usage(_))));
+        let out = dispatch(vec!["lint".into(), "--explain".into(), "N5003".into()]).unwrap();
+        assert!(out.contains("note[N5003]"));
+    }
+
+    #[test]
+    fn lint_lowers_ascl_first() {
+        let dir = std::env::temp_dir().join("mtasc_lint_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let f = dir.join("demo.ascl");
+        std::fs::write(&f, "par x; x = index(); out(sum(x));").unwrap();
+        assert!(dispatch(vec!["lint".into(), f.to_string_lossy().into_owned()]).is_ok());
     }
 
     #[test]

@@ -2,7 +2,11 @@
 
 use asc_isa::Width;
 use asc_network::NetworkConfig;
-use asc_pe::{ArrayConfig, DividerConfig, MultiplierKind};
+use asc_pe::ArrayConfig;
+// Re-exported: these are the types of `MachineConfig`'s public
+// `multiplier`/`divider` fields, so consumers (e.g. `asc-verify`) can name
+// them without depending on `asc-pe` directly.
+pub use asc_pe::{DividerConfig, MultiplierKind};
 
 use crate::timing::Timing;
 

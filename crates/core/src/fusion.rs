@@ -66,7 +66,123 @@ use crate::machine::Machine;
 
 /// Shortest run worth fusing: a single instruction gains nothing from
 /// tile-major order (it *is* one sweep either way).
-pub(crate) const MIN_BLOCK_LEN: u32 = 2;
+pub const MIN_BLOCK_LEN: u32 = 2;
+
+/// Why an instruction cannot join a fusible parallel basic block — the
+/// answer to "why did this block cut here?". Produced by [`cut_reason`]
+/// and [`fusible_runs`]; consumed by `asc-verify`'s fusion diagnostics
+/// and anything else that wants to explain a [`FusionStats`] number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CutReason {
+    /// Control flow: the thread's next fetch depends on this instruction.
+    ControlFlow,
+    /// A scalar-class instruction (control-unit datapath, including
+    /// thread management): it does not run on the PE array at all.
+    Scalar,
+    /// A reduction-class instruction: couples all lanes through the
+    /// reduction network.
+    Reduction,
+    /// A parallel instruction with a broadcast scalar operand
+    /// (`palus`/`pcmps`/`pmovs`): samples the scalar register file at B1.
+    ScalarBroadcast,
+    /// The inter-PE shift network: lane `l` reads lane `l - dist`.
+    CrossLaneShift,
+    /// `mul`-family instruction on a machine with no multiplier — kept
+    /// out of blocks so [`RunError::MissingUnit`] fires at its own issue.
+    MissingMultiplier,
+    /// `div`/`rem` on a machine with no divider (same trap rule).
+    MissingDivider,
+    /// The word at this address does not decode; execution would fault.
+    Undecodable,
+    /// The run reaches the end of instruction memory.
+    EndOfProgram,
+}
+
+impl std::fmt::Display for CutReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CutReason::ControlFlow => "control flow",
+            CutReason::Scalar => "scalar-class instruction",
+            CutReason::Reduction => "reduction-network operation",
+            CutReason::ScalarBroadcast => "broadcast scalar operand",
+            CutReason::CrossLaneShift => "cross-lane shift network",
+            CutReason::MissingMultiplier => "multiplier absent on this machine",
+            CutReason::MissingDivider => "divider absent on this machine",
+            CutReason::Undecodable => "undecodable word",
+            CutReason::EndOfProgram => "end of program",
+        })
+    }
+}
+
+/// Why `i` cannot join a fusible block on a machine configured as `cfg`
+/// (`None` means it fuses). This is the same predicate
+/// `FusionPlan::build` applies, factored out so diagnostics can explain
+/// every boundary the plan introduces.
+pub fn cut_reason(i: &Instr, cfg: &MachineConfig) -> Option<CutReason> {
+    use asc_isa::InstrClass;
+    if i.is_fusible() {
+        if i.uses_multiplier() && cfg.multiplier == asc_pe::MultiplierKind::None {
+            return Some(CutReason::MissingMultiplier);
+        }
+        if i.uses_divider() && cfg.divider == asc_pe::DividerConfig::None {
+            return Some(CutReason::MissingDivider);
+        }
+        return None;
+    }
+    Some(match i.class() {
+        InstrClass::Scalar if i.is_branch() => CutReason::ControlFlow,
+        InstrClass::Scalar => CutReason::Scalar,
+        InstrClass::Reduction => CutReason::Reduction,
+        InstrClass::Parallel => match i {
+            Instr::PAluS { .. } | Instr::PCmpS { .. } | Instr::PMovS { .. } => {
+                CutReason::ScalarBroadcast
+            }
+            Instr::PShift { .. } => CutReason::CrossLaneShift,
+            _ => CutReason::Scalar,
+        },
+    })
+}
+
+/// One maximal fusible run of length ≥ [`MIN_BLOCK_LEN`] and the reason
+/// it ends, as reported by [`fusible_runs`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FusibleRun {
+    /// First instruction address of the run.
+    pub start: u32,
+    /// Number of fused instructions.
+    pub len: u32,
+    /// Address of the instruction that ended the run (`None` when the
+    /// run ends because the program does).
+    pub cut_pc: Option<u32>,
+    /// Why the run ends there.
+    pub cut: CutReason,
+}
+
+/// Every maximal fusible block the `FusionPlan` would build for this
+/// instruction stream, each annotated with the boundary that ends it.
+/// Runs shorter than [`MIN_BLOCK_LEN`] are not blocks and are skipped.
+pub fn fusible_runs(imem: &[Result<Instr, DecodeError>], cfg: &MachineConfig) -> Vec<FusibleRun> {
+    let plan = FusionPlan::build(imem, cfg);
+    let mut out = Vec::new();
+    let mut pc = 0usize;
+    while pc < imem.len() {
+        let len = plan.run_len_at(pc as u32);
+        if len >= MIN_BLOCK_LEN {
+            let next = pc + len as usize;
+            let (cut_pc, cut) = match imem.get(next) {
+                None => (None, CutReason::EndOfProgram),
+                Some(Err(_)) => (Some(next as u32), CutReason::Undecodable),
+                Some(Ok(i)) => (
+                    Some(next as u32),
+                    cut_reason(i, cfg).expect("instruction after a maximal run must cut"),
+                ),
+            };
+            out.push(FusibleRun { start: pc as u32, len, cut_pc, cut });
+        }
+        pc += len.max(1) as usize;
+    }
+    out
+}
 
 /// The fusible-block plan for a loaded program: for every PC, the length
 /// of the fusible run starting there (0 or 1 where nothing fuses).
@@ -95,11 +211,7 @@ impl FusionPlan {
         // Backward scan: run_len[pc] = 1 + run_len[pc + 1] where fusible.
         for pc in (0..n).rev() {
             let fusible = match &imem[pc] {
-                Ok(i) => {
-                    i.is_fusible()
-                        && !(i.uses_multiplier() && cfg.multiplier == asc_pe::MultiplierKind::None)
-                        && !(i.uses_divider() && cfg.divider == asc_pe::DividerConfig::None)
-                }
+                Ok(i) => cut_reason(i, cfg).is_none(),
                 Err(_) => false,
             };
             if fusible {

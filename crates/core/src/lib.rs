@@ -47,7 +47,7 @@ mod machine;
 pub use config::{FetchModel, MachineConfig, SchedPolicy};
 pub use emulator::Emulator;
 pub use error::RunError;
-pub use fusion::FusionStats;
+pub use fusion::{cut_reason, fusible_runs, CutReason, FusibleRun, FusionStats, MIN_BLOCK_LEN};
 pub use machine::{IssueRecord, Machine, Step};
 pub use obs::{RingBufferSink, RunReport, SinkHandle, TraceEvent, TraceSink};
 pub use stats::{StallReason, Stats};

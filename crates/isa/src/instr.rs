@@ -374,10 +374,16 @@ impl Instr {
         }
     }
 
-    /// Registers read by this instruction, including the activity mask.
-    /// Hardwired zero registers are filtered out (they are never a
-    /// dependency).
-    pub fn reads(&self) -> OperandList {
+    /// Registers read by this instruction — the canonical *use* set,
+    /// including the activity-mask flag. Hardwired zero registers are
+    /// filtered out (they are never a dependency).
+    ///
+    /// This is the single source of truth for operand extraction: the
+    /// machine's scheduler/scoreboard and the `asc-verify` static
+    /// analyzer both consume it, so a hazard the simulator would stall on
+    /// and a dependency the linter reasons about can never disagree.
+    /// [`Instr::reads`] is the same list under its historical name.
+    pub fn uses(&self) -> OperandList {
         use Instr::*;
         let mut v = OperandList::new();
         match *self {
@@ -461,9 +467,13 @@ impl Instr {
         v
     }
 
-    /// Registers written by this instruction. Writes to the hardwired zero
-    /// registers are filtered out.
-    pub fn writes(&self) -> OperandList {
+    /// Registers written by this instruction — the canonical *def* set.
+    /// Writes to the hardwired zero registers are filtered out.
+    ///
+    /// Like [`Instr::uses`], this is the one operand-extraction match in
+    /// the workspace; [`Instr::writes`] is the same list under its
+    /// historical name.
+    pub fn defs(&self) -> OperandList {
         use Instr::*;
         let mut v = OperandList::new();
         match *self {
@@ -507,6 +517,18 @@ impl Instr {
             | Psw { .. } => {}
         }
         v
+    }
+
+    /// Registers read by this instruction (scheduler-facing name for
+    /// [`Instr::uses`]).
+    pub fn reads(&self) -> OperandList {
+        self.uses()
+    }
+
+    /// Registers written by this instruction (scheduler-facing name for
+    /// [`Instr::defs`]).
+    pub fn writes(&self) -> OperandList {
+        self.defs()
     }
 
     /// True if execution uses the multiplier functional unit.
@@ -610,6 +632,29 @@ mod tests {
         let d = Instr::SAluImm { op: AluOp::Rem, rd: s(1), ra: s(2), imm: 3 };
         assert!(d.uses_divider());
         assert!(!Instr::Nop.uses_multiplier());
+    }
+
+    /// `defs()`/`uses()` are the scoreboard's operand extraction — the
+    /// scheduler calls them through the `writes()`/`reads()` names. Fuzz
+    /// every instruction form and check the two APIs agree exactly and
+    /// uphold the invariants the scoreboard depends on: the mask flag is
+    /// a use, zero GPRs never appear, and no def is class-less.
+    #[test]
+    fn defs_uses_agree_with_scoreboard_extraction() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(41);
+        for _ in 0..20_000 {
+            let i = crate::gen::random_instr(&mut rng);
+            assert_eq!(i.uses(), i.reads(), "{i:?}");
+            assert_eq!(i.defs(), i.writes(), "{i:?}");
+            for op in i.uses().iter().chain(i.defs().iter()) {
+                assert!(!op.is_zero_gpr(), "zero GPR leaked from {i:?}");
+            }
+            if let Some(Mask::Flag(f)) = i.mask() {
+                assert!(i.uses().contains(&Operand::pf(f)), "mask flag missing from uses: {i:?}");
+            }
+        }
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub struct BatchResult {
 /// `workers` threads, each answering a contiguous slice of `q` queries.
 /// With `workers == 0` the main thread answers everything itself (the
 /// single-threaded baseline, same instruction mix).
-fn program(q: usize, workers: usize) -> String {
+pub(crate) fn program(q: usize, workers: usize) -> String {
     let per = q.checked_div(workers).unwrap_or(q);
     assert!(workers == 0 || q.is_multiple_of(workers), "query count divisible by workers");
     if workers == 0 {
@@ -40,7 +40,6 @@ main:   plw    p2, 0(p0)       ; keys
 qloop:  ceq    f1, s7, s6
         bt     f1, done
         lw     s2, {qb}(s7)
-        pfclr  pf1
         pceqs  pf1, p2, s2
         rcount s8, pf1
         sw     s8, {rb}(s7)
@@ -86,7 +85,6 @@ done:   halt
 qloop:  ceq    f1, s7, s6
         bt     f1, wdone
         lw     s2, {qb}(s7)
-        pfclr  pf1
         pceqs  pf1, p2, s2
         rcount s8, pf1
         sw     s8, {rb}(s7)

@@ -94,6 +94,36 @@ pub fn run_kernel(
     Ok((m, stats))
 }
 
+/// Every program this crate can emit, as `(name, source)` pairs at
+/// representative sizes — the lint corpus behind `mtasc lint --kernels`
+/// and the CI gate that keeps the kernel suite clean under
+/// `--deny warnings`. Parameterized generators are instantiated at the
+/// sizes the tests and experiments use on the 16-PE prototype.
+pub fn corpus() -> Vec<(String, String)> {
+    vec![
+        ("search".into(), crate::search::program()),
+        ("select(n=16)".into(), crate::select::program(16)),
+        ("iterate".into(), crate::iterate::program()),
+        ("mst(n=8)".into(), crate::mst::program(8)),
+        ("string_match(n=16,m=4)".into(), crate::string_match::program(16, 4)),
+        ("string_match_shift(n=16,m=4)".into(), crate::string_match::shift_program(16, 4)),
+        ("image_stats(per_pe=4,valid=16)".into(), crate::image::stats_program(4, 16)),
+        ("sort(n=16)".into(), crate::sort::program(16)),
+        ("hull(n=16)".into(), crate::hull::program(16)),
+        ("tracker".into(), crate::tracker::program()),
+        ("batch(q=4,workers=4)".into(), crate::batch::program(4, 4)),
+        ("prefix(n=16)".into(), crate::prefix::program(16)),
+        ("stencil(n=16,passes=2)".into(), crate::stencil::program(16, 2)),
+        ("micro/reduction_chain(8)".into(), crate::micro::reduction_chain(8)),
+        ("micro/mt_reduction_fleet(4,8)".into(), crate::micro::mt_reduction_fleet(4, 8)),
+        ("micro/unrolled_chain(8,4)".into(), crate::micro::unrolled_chain(8, 4)),
+        ("micro/unrolled_fleet(4,8,4)".into(), crate::micro::unrolled_fleet(4, 8, 4)),
+        ("micro/mixed_fleet(4,8)".into(), crate::micro::mixed_fleet(4, 8)),
+        ("micro/independent_reductions(8)".into(), crate::micro::independent_reductions(8)),
+        ("micro/mixed_workload(8)".into(), crate::micro::mixed_workload(8)),
+    ]
+}
+
 /// Convert host values into machine words at the machine's width,
 /// panicking if a value does not fit (kernel inputs must be
 /// representable).

@@ -30,7 +30,7 @@ pub struct HullResult {
 /// The kernel. Layout: x in `lmem[0]`, y in `lmem[1]`; segment stack at
 /// `smem[64..]` (two words per entry); hull membership accumulates in
 /// `pf7`.
-fn program(n: usize) -> String {
+pub(crate) fn program(n: usize) -> String {
     format!(
         "
         .equ STACK, 64
@@ -84,11 +84,9 @@ loop:   ceqi   f1, s1, 0
         lw     s7, 65(s14)     ; Q index
 
         ; fetch P and Q coordinates associatively (search by index)
-        pfclr  pf2
         pceqs  pf2, p1, s6
         rget   s2, p2, pf2     ; px
         rget   s3, p3, pf2     ; py
-        pfclr  pf2
         pceqs  pf2, p1, s7
         rget   s4, p2, pf2     ; qx
         rget   s5, p3, pf2     ; qy

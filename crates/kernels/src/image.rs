@@ -28,7 +28,7 @@ pub struct ImageStats {
 
 /// `pixels_per_pe` pixels at `lmem[0..]` in each of `valid_pes` PEs;
 /// threshold in `smem\[0\]`; running threshold count in `smem\[1\]`.
-fn stats_program(pixels_per_pe: usize, valid_pes: usize) -> String {
+pub(crate) fn stats_program(pixels_per_pe: usize, valid_pes: usize) -> String {
     format!(
         "
         li     s6, {last_pe}

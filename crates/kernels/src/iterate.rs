@@ -24,7 +24,7 @@ pub struct IterateResult {
     pub stats: Stats,
 }
 
-fn program() -> String {
+pub(crate) fn program() -> String {
     "
         lw     s1, 0(s0)       ; key
         plw    p2, 0(p0)       ; keys

@@ -16,6 +16,7 @@ pub fn reduction_chain(iters: u32) -> String {
     format!(
         "
         li    s6, {iters}
+        li    s7, 0
         pidx  p1
 wloop:  padds p2, p1, s7    ; waits on the previous rsum
         rsum  s7, p2
@@ -80,6 +81,7 @@ pub fn unrolled_chain(iters: u32, unroll: u32) -> String {
     format!(
         "
         li    s6, {iters}
+        li    s7, 0
         pidx  p1
 wloop:
 {body}        addi  s6, s6, -1
@@ -192,6 +194,7 @@ pub fn mixed_workload(iters: u32) -> String {
     format!(
         "
         li    s6, {iters}
+        li    s5, 0
         pidx  p1
         pli   p2, 1
 wloop:  paddi p2, p2, 3

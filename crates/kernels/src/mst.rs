@@ -22,7 +22,7 @@ pub struct MstResult {
 }
 
 /// Adjacency-row layout: PE `j` holds `w(j, u)` at `lmem[u]` for all `u`.
-fn program(n: usize) -> String {
+pub(crate) fn program(n: usize) -> String {
     format!(
         "
         .equ N, {n}
@@ -32,7 +32,6 @@ fn program(n: usize) -> String {
         pcles  pf6, p1, s7     ; valid vertices
         pmovs  p3, s6
         plw    p2, 0(p3) ?pf6  ; dist = w(j, root)
-        pfclr  pf1
         pceqs  pf1, p1, s6     ; in-tree = {{root}}
         pfmov  pf2, pf1
         pfnot  pf2, pf2        ; candidates = not in-tree
@@ -47,7 +46,6 @@ step:   ceq    f1, s3, s7
         pfirst pf4, pf3
         rget   s2, p1, pf4     ; new vertex v
         add    s5, s5, s1      ; accumulate weight
-        pfclr  pf5
         pceqs  pf5, p1, s2
         pfor   pf1, pf1, pf5   ; tree += v
         pfandn pf2, pf2, pf5   ; candidates -= v

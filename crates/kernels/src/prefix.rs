@@ -20,7 +20,7 @@ pub struct PrefixResult {
 /// Unrolled Hillis–Steele: ⌈log₂ n⌉ shift+add steps. The `pshift`
 /// immediate is 8 bits, so distances above 127 are realized as a chain of
 /// shorter shifts.
-fn program(n: usize) -> String {
+pub(crate) fn program(n: usize) -> String {
     let mut body = String::new();
     let mut d = 1usize;
     while d < n {

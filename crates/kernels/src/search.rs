@@ -23,7 +23,7 @@ pub struct SearchResult {
 }
 
 /// The kernel program: key arrives in scalar memory slot 0.
-fn program() -> String {
+pub(crate) fn program() -> String {
     "
         lw     s1, 0(s0)       ; query key
         plw    p2, 0(p0)       ; keys

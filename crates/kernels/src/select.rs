@@ -21,7 +21,7 @@ pub struct SelectResult {
     pub stats: Stats,
 }
 
-fn program(n_valid: usize) -> String {
+pub(crate) fn program(n_valid: usize) -> String {
     format!(
         "
         li     s7, {max_idx}

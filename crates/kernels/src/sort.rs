@@ -19,7 +19,7 @@ pub struct SortResult {
     pub stats: Stats,
 }
 
-fn program(n: usize) -> String {
+pub(crate) fn program(n: usize) -> String {
     format!(
         "
         li     s6, {last}

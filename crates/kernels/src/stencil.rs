@@ -17,7 +17,7 @@ pub struct StencilResult {
     pub stats: Stats,
 }
 
-fn program(n: usize, passes: u32) -> String {
+pub(crate) fn program(n: usize, passes: u32) -> String {
     let mut body = String::new();
     for _ in 0..passes {
         body.push_str(
@@ -25,7 +25,6 @@ fn program(n: usize, passes: u32) -> String {
         pshift p4, p2, -1
         padd   p2, p2, p3
         padd   p2, p2, p4
-        pfclr  pf2
         pfnot  pf2, pf1        ; zero out the padding lanes again
         pli    p2, 0 ?pf2
 ",

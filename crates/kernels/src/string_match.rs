@@ -23,7 +23,7 @@ pub struct MatchResult {
 
 /// Pattern lives in scalar memory `[0..m)`; window length m, valid
 /// starting positions `0..=n-m`.
-fn program(n: usize, m: usize) -> String {
+pub(crate) fn program(n: usize, m: usize) -> String {
     format!(
         "
         li     s6, {last_start}
@@ -87,7 +87,7 @@ pub fn run(cfg: MachineConfig, text: &[u8], pattern: &[u8]) -> Result<MatchResul
 /// local memory holds exactly one word). The text is shifted left one PE
 /// per pattern step, so `match[i] = AND_k (text[i+k] == pattern[k])` with
 /// O(m) steps and O(1) memory per PE. Requires the `pshift` extension.
-fn shift_program(n: usize, m: usize) -> String {
+pub(crate) fn shift_program(n: usize, m: usize) -> String {
     format!(
         "
         li     s6, {last_start}

@@ -48,7 +48,7 @@ pub struct TrackerResult {
 const REPORT_BASE: i64 = 16;
 
 /// Per-PE state: `p2` = x, `p3` = y, `p4` = hits, `pf1` = live.
-fn program() -> String {
+pub(crate) fn program() -> String {
     format!(
         "
         lw     s1, 0(s0)       ; report count
@@ -56,6 +56,9 @@ fn program() -> String {
         li     s10, 0          ; dropped count
         pidx   p1
         pfclr  pf1             ; no live tracks
+        pli    p2, 0           ; track x
+        pli    p3, 0           ; track y
+        pli    p4, 0           ; hit count
 
 rloop:  ceq    f1, s2, s1
         bt     f1, done
@@ -86,8 +89,7 @@ rloop:  ceq    f1, s2, s1
         paddi  p4, p4, 1 ?pf4     ; hits += 1
         j      next
 
-newtrk: pfclr  pf5
-        pfnot  pf5, pf1           ; free PEs
+newtrk: pfnot  pf5, pf1           ; free PEs
         rany   f3, pf5
         bf     f3, drop           ; table full
         pfirst pf6, pf5           ; allocate the first free PE

@@ -1,0 +1,154 @@
+//! Backward liveness over the flag register files (W4002).
+//!
+//! Flags are the natural target for dead-store detection in an
+//! associative ISA: a comparison that nobody branches on, masks with, or
+//! reduces is almost always a typoed flag number or a leftover search.
+//! General-purpose registers are deliberately *not* checked — long-lived
+//! values in registers at `halt` are how MTASC programs return results.
+//!
+//! The CFG here is the *unfolded* one (both arms of every conditional
+//! branch), which only over-approximates liveness — a safe direction for
+//! a warning pass. Every flag is treated as live at `halt`/`texit`: the
+//! host (or the joining parent) can read flags after the program stops,
+//! so "still set at the end" is a result, not a dead store. Only stores
+//! provably overwritten before any use are reported.
+
+use asc_isa::{Instr, Mask, Operand, RegClass, NUM_FLAGS};
+
+use crate::diag::{Diagnostic, Severity};
+use crate::flow::Input;
+
+/// Bit layout of the liveness set: bits 0..8 scalar flags, 8..16 parallel
+/// flags.
+fn flag_bit(op: Operand) -> Option<u16> {
+    match op.class {
+        RegClass::SFlag => Some(1 << op.index),
+        RegClass::PFlag => Some(1 << (op.index as u16 + NUM_FLAGS as u16)),
+        _ => None,
+    }
+}
+
+/// A flag def only *kills* (fully overwrites) its register when it is a
+/// scalar write or a parallel write under the all-PEs mask; a masked
+/// parallel write merges with the old value, so the old value stays live
+/// through it.
+fn kills(instr: &Instr) -> bool {
+    match instr.mask() {
+        None | Some(Mask::All) => true,
+        Some(Mask::Flag(_)) => false,
+    }
+}
+
+/// Compute W4002 diagnostics: flag values computed but never used.
+pub(crate) fn run(input: &Input, reachable: &[bool]) -> Vec<Diagnostic> {
+    let len = input.imem.len();
+    // Conservative successor lists (no constant folding).
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); len];
+    // Everything-is-live sinks: program/thread end (flags are readable
+    // results there) and indirect jumps with no candidate targets.
+    let mut all_live = vec![false; len];
+    for (pc, slot) in input.imem.iter().enumerate() {
+        let Ok(instr) = slot else { continue };
+        let push = |t: i64, v: &mut Vec<usize>| {
+            if (0..len as i64).contains(&t) {
+                v.push(t as usize);
+            }
+        };
+        match *instr {
+            Instr::Halt | Instr::TExit => all_live[pc] = true,
+            Instr::J { target } | Instr::Jal { target, .. } => {
+                push(target as i64, &mut succs[pc]);
+            }
+            Instr::Bt { off, .. } | Instr::Bf { off, .. } => {
+                push(pc as i64 + 1, &mut succs[pc]);
+                push(pc as i64 + 1 + off as i64, &mut succs[pc]);
+            }
+            Instr::Jr { .. } => {
+                let cands: &[u32] =
+                    if !input.jal_returns.is_empty() { &input.jal_returns } else { &input.labels };
+                if cands.is_empty() {
+                    // No idea where this goes: treat every flag as live.
+                    all_live[pc] = true;
+                } else {
+                    for &c in cands {
+                        push(c as i64, &mut succs[pc]);
+                    }
+                }
+            }
+            _ => push(pc as i64 + 1, &mut succs[pc]),
+        }
+    }
+
+    // Backward fixpoint on live-in sets.
+    let mut live_in: Vec<u16> = vec![0; len];
+    let mut changed = true;
+    let mut rounds = 0usize;
+    while changed && rounds < 4 * NUM_FLAGS * 2 + 8 {
+        changed = false;
+        rounds += 1;
+        for pc in (0..len).rev() {
+            let Ok(instr) = &input.imem[pc] else { continue };
+            let mut out: u16 = if all_live[pc] { u16::MAX } else { 0 };
+            for &s in &succs[pc] {
+                out |= live_in[s];
+            }
+            let mut inn = out;
+            if kills(instr) {
+                for d in instr.defs() {
+                    if let Some(bit) = flag_bit(d) {
+                        inn &= !bit;
+                    }
+                }
+            }
+            for u in instr.uses() {
+                if let Some(bit) = flag_bit(u) {
+                    inn |= bit;
+                }
+            }
+            if inn != live_in[pc] {
+                live_in[pc] = inn;
+                changed = true;
+            }
+        }
+    }
+
+    let mut diags = Vec::new();
+    for pc in 0..len {
+        if !reachable[pc] {
+            continue;
+        }
+        let Ok(instr) = &input.imem[pc] else { continue };
+        if !kills(instr) {
+            continue;
+        }
+        let mut out: u16 = if all_live[pc] { u16::MAX } else { 0 };
+        for &s in &succs[pc] {
+            out |= live_in[s];
+        }
+        for d in instr.defs() {
+            let Some(bit) = flag_bit(d) else { continue };
+            if out & bit == 0 {
+                let name = match d.class {
+                    RegClass::SFlag => format!("f{}", d.index),
+                    _ => format!("pf{}", d.index),
+                };
+                diags.push(
+                    Diagnostic::new(
+                        Severity::Warning,
+                        "W4002",
+                        pc as u32,
+                        format!(
+                            "`{}` computes {name}, but the value is overwritten before any use",
+                            asc_asm::disassemble(instr)
+                        ),
+                    )
+                    .with_note(
+                        "no instruction reads it as an operand, branch condition, or \
+                                activity mask before the next full write to the same flag",
+                    ),
+                );
+            }
+        }
+    }
+    diags
+}

@@ -1,0 +1,1253 @@
+//! The forward dataflow engine: abstract interpretation of a program over
+//! a small constant lattice, one fixpoint per thread entry point, followed
+//! by a scan that emits findings and a must-reach walk that decides which
+//! definite-fault findings are provable errors.
+//!
+//! The abstract domains mirror the machine's real start-of-thread state
+//! (every register file is zeroed when a context is allocated), and all
+//! constant folding goes through the ISA's own [`AluOp::apply`] /
+//! [`CmpOp::apply`] / [`FlagOp::apply`] so a folded value can never
+//! disagree with the simulator.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use asc_asm::disassemble;
+use asc_core::config::{DividerConfig, MultiplierKind};
+use asc_core::MachineConfig;
+use asc_isa::{
+    AluOp, DecodeError, FlagOp, Instr, Mask, Operand, PReg, RegClass, SReg, Width, Word, NUM_FLAGS,
+    NUM_GPRS,
+};
+
+use crate::diag::{Diagnostic, Severity};
+
+/// Abstract value of a scalar general-purpose register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SVal {
+    /// Unknown.
+    Top,
+    /// Known machine word on every path.
+    Const(Word),
+    /// A thread handle produced by the `tspawn` at `spawn_pc`.
+    Handle {
+        spawn_pc: u32,
+        /// The thread has been joined on some path (context released).
+        released: bool,
+        /// The handle escaped (stored to memory or sent via `tput`), so
+        /// overwriting this register does not lose it.
+        escaped: bool,
+    },
+}
+
+impl SVal {
+    fn join(self, other: SVal) -> SVal {
+        use SVal::*;
+        match (self, other) {
+            (a, b) if a == b => a,
+            (Const(_), Const(_)) => Top,
+            (
+                Handle { spawn_pc: a, released: ra, escaped: ea },
+                Handle { spawn_pc: b, released: rb, escaped: eb },
+            ) if a == b => Handle { spawn_pc: a, released: ra || rb, escaped: ea || eb },
+            _ => Top,
+        }
+    }
+}
+
+/// Abstract value of a parallel register: either unknown or the same known
+/// word in every PE lane (what `pli` and broadcast moves produce).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PVal {
+    Top,
+    Uniform(Word),
+}
+
+impl PVal {
+    fn join(self, other: PVal) -> PVal {
+        if self == other {
+            self
+        } else {
+            PVal::Top
+        }
+    }
+}
+
+/// Tri-state abstract boolean for scalar flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FVal {
+    False,
+    True,
+    Top,
+}
+
+impl FVal {
+    fn join(self, other: FVal) -> FVal {
+        if self == other {
+            self
+        } else {
+            FVal::Top
+        }
+    }
+
+    fn from_bool(b: bool) -> FVal {
+        if b {
+            FVal::True
+        } else {
+            FVal::False
+        }
+    }
+
+    fn known(self) -> Option<bool> {
+        match self {
+            FVal::False => Some(false),
+            FVal::True => Some(true),
+            FVal::Top => None,
+        }
+    }
+
+    /// Possible concrete values.
+    fn candidates(self) -> &'static [bool] {
+        match self {
+            FVal::False => &[false],
+            FVal::True => &[true],
+            FVal::Top => &[false, true],
+        }
+    }
+}
+
+/// Apply a flag operation over tri-state inputs: fold only when every
+/// combination of possible inputs yields the same output.
+fn fold_flag_op(op: FlagOp, a: FVal, b: FVal) -> FVal {
+    let mut out: Option<bool> = None;
+    for &av in a.candidates() {
+        for &bv in b.candidates() {
+            let r = op.apply(av, bv);
+            match out {
+                None => out = Some(r),
+                Some(prev) if prev == r => {}
+                Some(_) => return FVal::Top,
+            }
+        }
+    }
+    out.map(FVal::from_bool).unwrap_or(FVal::Top)
+}
+
+/// Abstract machine state at an instruction boundary, per thread context.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct AbsState {
+    pub s: [SVal; NUM_GPRS],
+    pub p: [PVal; NUM_GPRS],
+    pub sf: [FVal; NUM_FLAGS],
+    /// Bit `f` set: parallel flag `pf f` is false in every lane on every
+    /// path (a *must* property; the initial all-cleared state sets all
+    /// bits).
+    pub pf_zero: u8,
+    /// Initialization bitsets: `must` = written on every path, `may` =
+    /// written on some path. Bit = register index.
+    pub s_must: u16,
+    pub s_may: u16,
+    pub p_must: u16,
+    pub p_may: u16,
+    pub sf_must: u8,
+    pub sf_may: u8,
+    pub pf_must: u8,
+    pub pf_may: u8,
+}
+
+impl AbsState {
+    /// State of a freshly allocated thread: all registers zeroed, all
+    /// flags false, nothing considered initialized (reads return zero but
+    /// are flagged as uninitialized-read smells).
+    fn at_thread_start() -> AbsState {
+        AbsState {
+            s: [SVal::Const(Word::ZERO); NUM_GPRS],
+            p: [PVal::Uniform(Word::ZERO); NUM_GPRS],
+            sf: [FVal::False; NUM_FLAGS],
+            pf_zero: 0xff,
+            s_must: 1,
+            s_may: 1,
+            p_must: 1,
+            p_may: 1,
+            sf_must: 0,
+            sf_may: 0,
+            pf_must: 0,
+            pf_may: 0,
+        }
+    }
+
+    /// Entry state of a *spawned* context. Scalar GPRs are considered
+    /// initialized (and unknown): the parent passes arguments with `tput`
+    /// after the spawn, which a per-thread analysis cannot see.
+    fn at_spawn_entry() -> AbsState {
+        let mut st = AbsState::at_thread_start();
+        st.s = [SVal::Top; NUM_GPRS];
+        st.s[0] = SVal::Const(Word::ZERO);
+        st.s_must = u16::MAX;
+        st.s_may = u16::MAX;
+        st
+    }
+
+    fn join_from(&mut self, other: &AbsState) -> bool {
+        let before = self.clone();
+        for i in 0..NUM_GPRS {
+            self.s[i] = self.s[i].join(other.s[i]);
+            self.p[i] = self.p[i].join(other.p[i]);
+        }
+        for i in 0..NUM_FLAGS {
+            self.sf[i] = self.sf[i].join(other.sf[i]);
+        }
+        self.pf_zero &= other.pf_zero;
+        self.s_must &= other.s_must;
+        self.p_must &= other.p_must;
+        self.sf_must &= other.sf_must;
+        self.pf_must &= other.pf_must;
+        self.s_may |= other.s_may;
+        self.p_may |= other.p_may;
+        self.sf_may |= other.sf_may;
+        self.pf_may |= other.pf_may;
+        *self != before
+    }
+
+    fn sget(&self, r: SReg) -> SVal {
+        if r.index() == 0 {
+            SVal::Const(Word::ZERO)
+        } else {
+            self.s[r.index()]
+        }
+    }
+
+    fn sset(&mut self, r: SReg, v: SVal) {
+        if r.index() != 0 {
+            self.s[r.index()] = v;
+            self.s_must |= 1 << r.index();
+            self.s_may |= 1 << r.index();
+        }
+    }
+
+    fn pget(&self, r: PReg) -> PVal {
+        if r.index() == 0 {
+            PVal::Uniform(Word::ZERO)
+        } else {
+            self.p[r.index()]
+        }
+    }
+
+    /// Write a parallel register under `mask`. A masked write joins with
+    /// the old value (inactive lanes keep theirs) but still counts as
+    /// initializing — kernels routinely write under a responder mask and
+    /// read the merged value back under the same mask.
+    fn pset(&mut self, r: PReg, v: PVal, mask: Mask) {
+        if r.index() == 0 {
+            return;
+        }
+        self.p[r.index()] = match mask {
+            Mask::All => v,
+            Mask::Flag(_) => self.p[r.index()].join(v),
+        };
+        self.p_must |= 1 << r.index();
+        self.p_may |= 1 << r.index();
+    }
+
+    /// Record that a parallel register was textually assigned without
+    /// changing its tracked value — the statically-masked-out write case.
+    /// The uninitialized-read lint is about registers the program never
+    /// assigns; a write whose mask happens to fold to empty on this path
+    /// still shows programmer intent, and the matching read is masked out
+    /// on the same path anyway.
+    fn pmark(&mut self, r: PReg) {
+        self.p_must |= 1 << r.index();
+        self.p_may |= 1 << r.index();
+    }
+
+    fn sfset(&mut self, f: asc_isa::SFlag, v: FVal) {
+        self.sf[f.index()] = v;
+        self.sf_must |= 1 << f.index();
+        self.sf_may |= 1 << f.index();
+    }
+
+    fn pf_is_zero(&self, f: asc_isa::PFlag) -> bool {
+        self.pf_zero & (1 << f.index()) != 0
+    }
+
+    /// Mark every register holding a handle from `spawn_pc` as released
+    /// (joined) or escaped.
+    fn mark_handles(&mut self, spawn_pc: u32, release: bool, escape: bool) {
+        for v in self.s.iter_mut() {
+            if let SVal::Handle { spawn_pc: p, released, escaped } = v {
+                if *p == spawn_pc {
+                    *released |= release;
+                    *escaped |= escape;
+                }
+            }
+        }
+    }
+}
+
+/// Control-flow shape of one instruction, with branch conditions folded
+/// through the abstract state where possible.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Flow {
+    /// `halt` / `texit` (or an undecodable word): execution of this thread
+    /// stops here as far as the CFG is concerned.
+    Stop,
+    /// Fall through to `pc + 1`.
+    Fall,
+    /// Unconditional transfer to an absolute address (may be out of
+    /// range; stored as i64 so negative relative targets survive).
+    Jump(i64),
+    /// Conditional branch: fall through or go to `taken`. `known` is the
+    /// folded condition, when the flag's value is a path-invariant.
+    Branch { taken: i64, known: Option<bool> },
+    /// `jr` through an unknown register: candidate return addresses.
+    Indirect(Vec<u32>),
+}
+
+/// Everything the passes need about the program being analyzed.
+pub(crate) struct Input<'a> {
+    pub imem: &'a [Result<Instr, DecodeError>],
+    pub cfg: &'a MachineConfig,
+    /// `jal` return addresses (candidate `jr` targets).
+    pub jal_returns: Vec<u32>,
+    /// Label addresses (fallback `jr` targets for jump tables).
+    pub labels: Vec<u32>,
+    /// True if any `tspawn` appears anywhere in the program.
+    pub has_spawn: bool,
+}
+
+impl<'a> Input<'a> {
+    pub fn new(
+        imem: &'a [Result<Instr, DecodeError>],
+        cfg: &'a MachineConfig,
+        labels: Vec<u32>,
+    ) -> Input<'a> {
+        let len = imem.len() as u32;
+        let mut jal_returns = Vec::new();
+        let mut has_spawn = false;
+        for (pc, slot) in imem.iter().enumerate() {
+            match slot {
+                Ok(Instr::Jal { .. }) if (pc as u32) + 1 < len => jal_returns.push(pc as u32 + 1),
+                Ok(Instr::TSpawn { .. }) => has_spawn = true,
+                _ => {}
+            }
+        }
+        let labels = labels.into_iter().filter(|&l| l < len).collect();
+        Input { imem, cfg, jal_returns, labels, has_spawn }
+    }
+
+    pub fn len(&self) -> u32 {
+        self.imem.len() as u32
+    }
+
+    fn width(&self) -> Width {
+        self.cfg.width
+    }
+}
+
+/// Compute the control-flow shape of the instruction at `pc` given its
+/// entry state.
+pub(crate) fn flow_of(pc: u32, instr: &Instr, st: &AbsState, input: &Input) -> Flow {
+    let rel = |off: i16| pc as i64 + 1 + off as i64;
+    match *instr {
+        Instr::Halt | Instr::TExit => Flow::Stop,
+        Instr::J { target } | Instr::Jal { target, .. } => Flow::Jump(target as i64),
+        Instr::Bt { fa, off } => Flow::Branch { taken: rel(off), known: st.sf[fa.index()].known() },
+        Instr::Bf { fa, off } => {
+            Flow::Branch { taken: rel(off), known: st.sf[fa.index()].known().map(|b| !b) }
+        }
+        Instr::Jr { ra } => match st.sget(ra) {
+            SVal::Const(c) => Flow::Jump(c.to_u32() as i64),
+            _ => {
+                let cands = if !input.jal_returns.is_empty() {
+                    input.jal_returns.clone()
+                } else {
+                    input.labels.clone()
+                };
+                Flow::Indirect(cands)
+            }
+        },
+        _ => Flow::Fall,
+    }
+}
+
+/// In-range CFG successors of the instruction (out-of-range edges are
+/// reported by the scan, not followed).
+fn successors(pc: u32, flow: &Flow, len: u32) -> Vec<u32> {
+    let mut out = Vec::new();
+    let mut push = |t: i64| {
+        if (0..len as i64).contains(&t) {
+            out.push(t as u32);
+        }
+    };
+    match flow {
+        Flow::Stop => {}
+        Flow::Fall => push(pc as i64 + 1),
+        Flow::Jump(t) => push(*t),
+        Flow::Branch { taken, known } => match known {
+            Some(true) => push(*taken),
+            Some(false) => push(pc as i64 + 1),
+            None => {
+                push(pc as i64 + 1);
+                push(*taken);
+            }
+        },
+        Flow::Indirect(cands) => {
+            for &c in cands {
+                push(c as i64);
+            }
+        }
+    }
+    out
+}
+
+/// Transfer function: abstract effect of one instruction.
+pub(crate) fn transfer(
+    pc: u32,
+    instr: &Instr,
+    st: &AbsState,
+    input: &Input,
+    is_main: bool,
+) -> AbsState {
+    let w = input.width();
+    let mut out = st.clone();
+    let fold2 = |a: SVal, b: SVal, op: AluOp| -> SVal {
+        match (a, b) {
+            (SVal::Const(x), SVal::Const(y)) => SVal::Const(op.apply(x, y, w)),
+            // `mov` expands to `add rd, ra, r0`: adding zero to a handle
+            // copies the handle (and its lifecycle state) rather than
+            // degrading it to Top.
+            (h @ SVal::Handle { .. }, SVal::Const(z))
+            | (SVal::Const(z), h @ SVal::Handle { .. })
+                if op == AluOp::Add && z == Word::ZERO =>
+            {
+                h
+            }
+            _ => SVal::Top,
+        }
+    };
+    match *instr {
+        Instr::Nop | Instr::Halt | Instr::TExit => {}
+        Instr::SAlu { op, rd, ra, rb } => {
+            let v = fold2(st.sget(ra), st.sget(rb), op);
+            out.sset(rd, v);
+        }
+        Instr::SAluImm { op, rd, ra, imm } => {
+            let v = fold2(st.sget(ra), SVal::Const(Word::from_i64(imm as i64, w)), op);
+            out.sset(rd, v);
+        }
+        Instr::SCmp { op, fd, ra, rb } => {
+            let v = match (st.sget(ra), st.sget(rb)) {
+                (SVal::Const(a), SVal::Const(b)) => FVal::from_bool(op.apply(a, b, w)),
+                _ => FVal::Top,
+            };
+            out.sfset(fd, v);
+        }
+        Instr::SCmpImm { op, fd, ra, imm } => {
+            let v = match st.sget(ra) {
+                SVal::Const(a) => FVal::from_bool(op.apply(a, Word::from_i64(imm as i64, w), w)),
+                _ => FVal::Top,
+            };
+            out.sfset(fd, v);
+        }
+        Instr::SFlagOp { op, fd, fa, fb } => {
+            let v = fold_flag_op(op, st.sf[fa.index()], st.sf[fb.index()]);
+            out.sfset(fd, v);
+        }
+        Instr::Lw { rd, .. } => out.sset(rd, SVal::Top),
+        Instr::Sw { rs, .. } => {
+            // Storing a handle publishes it: another register (or a later
+            // load) may legitimately be the one that joins the thread.
+            if let SVal::Handle { spawn_pc, .. } = st.sget(rs) {
+                out.mark_handles(spawn_pc, false, true);
+            }
+        }
+        Instr::Li { rd, imm } => out.sset(rd, SVal::Const(Word::from_i64(imm as i64, w))),
+        Instr::Lui { rd, imm } => {
+            out.sset(rd, SVal::Const(Word::new((imm as u32) << (w.bits() / 2), w)));
+        }
+        Instr::Bt { .. } | Instr::Bf { .. } | Instr::J { .. } | Instr::Jr { .. } => {}
+        Instr::Jal { rd, .. } => out.sset(rd, SVal::Const(Word::new(pc + 1, w))),
+        Instr::TSpawn { rd, .. } => {
+            out.sset(rd, SVal::Handle { spawn_pc: pc, released: false, escaped: false });
+        }
+        Instr::TJoin { ra } => {
+            if let SVal::Handle { spawn_pc, .. } = st.sget(ra) {
+                out.mark_handles(spawn_pc, true, false);
+            }
+        }
+        Instr::TGet { rd, .. } => out.sset(rd, SVal::Top),
+        Instr::TPut { rb, .. } => {
+            if let SVal::Handle { spawn_pc, .. } = st.sget(rb) {
+                out.mark_handles(spawn_pc, false, true);
+            }
+        }
+        Instr::TId { rd } => {
+            // The boot thread is hardware context 0; spawned contexts get
+            // whatever id was free.
+            let v = if is_main { SVal::Const(Word::ZERO) } else { SVal::Top };
+            out.sset(rd, v);
+        }
+        Instr::PAlu { op, pd, pa, pb, mask } => {
+            if !masked_out(st, mask) {
+                let v = match (st.pget(pa), st.pget(pb)) {
+                    (PVal::Uniform(a), PVal::Uniform(b)) => PVal::Uniform(op.apply(a, b, w)),
+                    _ => PVal::Top,
+                };
+                out.pset(pd, v, mask);
+            } else {
+                out.pmark(pd);
+            }
+        }
+        Instr::PAluS { op, pd, pa, sb, mask } => {
+            if !masked_out(st, mask) {
+                let v = match (st.pget(pa), st.sget(sb)) {
+                    (PVal::Uniform(a), SVal::Const(b)) => PVal::Uniform(op.apply(a, b, w)),
+                    _ => PVal::Top,
+                };
+                out.pset(pd, v, mask);
+            } else {
+                out.pmark(pd);
+            }
+        }
+        Instr::PAluImm { op, pd, pa, imm, mask } => {
+            if !masked_out(st, mask) {
+                let v = match st.pget(pa) {
+                    PVal::Uniform(a) => {
+                        PVal::Uniform(op.apply(a, Word::from_i64(imm as i64, w), w))
+                    }
+                    PVal::Top => PVal::Top,
+                };
+                out.pset(pd, v, mask);
+            } else {
+                out.pmark(pd);
+            }
+        }
+        Instr::PCmp { op, fd, pa, pb, mask } => {
+            let wf = match (st.pget(pa), st.pget(pb)) {
+                (PVal::Uniform(a), PVal::Uniform(b)) => !op.apply(a, b, w),
+                _ => false,
+            };
+            pflag_write(&mut out, st, fd, wf, mask);
+        }
+        Instr::PCmpS { op, fd, pa, sb, mask } => {
+            let wf = match (st.pget(pa), st.sget(sb)) {
+                (PVal::Uniform(a), SVal::Const(b)) => !op.apply(a, b, w),
+                _ => false,
+            };
+            pflag_write(&mut out, st, fd, wf, mask);
+        }
+        Instr::PCmpImm { op, fd, pa, imm, mask } => {
+            let wf = match st.pget(pa) {
+                PVal::Uniform(a) => !op.apply(a, Word::from_i64(imm as i64, w), w),
+                PVal::Top => false,
+            };
+            pflag_write(&mut out, st, fd, wf, mask);
+        }
+        Instr::PFlagOp { op, fd, fa, fb, mask } => {
+            let a = if st.pf_is_zero(fa) { FVal::False } else { FVal::Top };
+            let b = if st.pf_is_zero(fb) { FVal::False } else { FVal::Top };
+            let wf = fold_flag_op(op, a, b) == FVal::False;
+            pflag_write(&mut out, st, fd, wf, mask);
+        }
+        Instr::Plw { pd, mask, .. } => {
+            if !masked_out(st, mask) {
+                out.pset(pd, PVal::Top, mask);
+            } else {
+                out.pmark(pd);
+            }
+        }
+        Instr::Psw { .. } => {}
+        Instr::Pidx { pd, mask } => {
+            if !masked_out(st, mask) {
+                out.pset(pd, PVal::Top, mask);
+            } else {
+                out.pmark(pd);
+            }
+        }
+        Instr::PMovS { pd, sa, mask } => {
+            if !masked_out(st, mask) {
+                let v = match st.sget(sa) {
+                    SVal::Const(c) => PVal::Uniform(c),
+                    _ => PVal::Top,
+                };
+                out.pset(pd, v, mask);
+            } else {
+                out.pmark(pd);
+            }
+        }
+        Instr::PShift { pd, mask, .. } => {
+            if !masked_out(st, mask) {
+                out.pset(pd, PVal::Top, mask);
+            } else {
+                out.pmark(pd);
+            }
+        }
+        Instr::Reduce { sd, .. } | Instr::RCount { sd, .. } | Instr::RGet { sd, .. } => {
+            out.sset(sd, SVal::Top);
+        }
+        Instr::RFlag { fd, .. } => out.sfset(fd, FVal::Top),
+        Instr::PFirst { fd, fa, mask } => {
+            let wf = st.pf_is_zero(fa);
+            pflag_write(&mut out, st, fd, wf, mask);
+        }
+    }
+    out
+}
+
+/// True if the instruction's mask is statically known empty (the write is
+/// a no-op).
+fn masked_out(st: &AbsState, mask: Mask) -> bool {
+    matches!(mask, Mask::Flag(f) if st.pf_is_zero(f))
+}
+
+/// Update pf-zero tracking (and init bits) for a parallel-flag write.
+/// `writes_false` = the written value is provably false in every written
+/// lane.
+fn pflag_write(
+    out: &mut AbsState,
+    st: &AbsState,
+    fd: asc_isa::PFlag,
+    writes_false: bool,
+    mask: Mask,
+) {
+    let bit = 1u8 << fd.index();
+    if masked_out(st, mask) {
+        // Value untouched, but the flag counts as textually assigned (see
+        // `AbsState::pmark`).
+        out.pf_must |= bit;
+        out.pf_may |= bit;
+        return;
+    }
+    let zero = match mask {
+        Mask::All => writes_false,
+        Mask::Flag(_) => writes_false && st.pf_is_zero(fd),
+    };
+    if zero {
+        out.pf_zero |= bit;
+    } else {
+        out.pf_zero &= !bit;
+    }
+    out.pf_must |= bit;
+    out.pf_may |= bit;
+}
+
+/// One thread context: an entry pc plus whether it is the boot thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct Context {
+    pub entry: u32,
+    pub is_main: bool,
+}
+
+/// Result of one context's fixpoint: converged entry-state per reachable
+/// pc.
+pub(crate) struct ContextStates {
+    pub ctx: Context,
+    pub states: BTreeMap<u32, AbsState>,
+}
+
+/// Run the forward fixpoint for one context.
+pub(crate) fn fixpoint(ctx: Context, input: &Input) -> ContextStates {
+    let entry_state =
+        if ctx.is_main { AbsState::at_thread_start() } else { AbsState::at_spawn_entry() };
+    let mut states: BTreeMap<u32, AbsState> = BTreeMap::new();
+    let mut work: Vec<u32> = Vec::new();
+    if ctx.entry < input.len() {
+        states.insert(ctx.entry, entry_state);
+        work.push(ctx.entry);
+    }
+    // Safety valve: the lattice is finite so this converges, but cap the
+    // work anyway so a bug can never hang the linter.
+    let mut budget = (input.len() as usize + 1) * 256;
+    while let Some(pc) = work.pop() {
+        if budget == 0 {
+            break;
+        }
+        budget -= 1;
+        let st = states[&pc].clone();
+        let Ok(instr) = &input.imem[pc as usize] else { continue };
+        let out = transfer(pc, instr, &st, input, ctx.is_main);
+        let flow = flow_of(pc, instr, &st, input);
+        for succ in successors(pc, &flow, input.len()) {
+            match states.get_mut(&succ) {
+                Some(existing) => {
+                    if existing.join_from(&out) {
+                        work.push(succ);
+                    }
+                }
+                None => {
+                    states.insert(succ, out.clone());
+                    work.push(succ);
+                }
+            }
+        }
+    }
+    ContextStates { ctx, states }
+}
+
+/// Discover all thread contexts: the boot thread plus every statically
+/// resolvable `tspawn` target, iterated until no new entry appears.
+pub(crate) fn discover_contexts(input: &Input) -> Vec<ContextStates> {
+    let mut done: BTreeSet<Context> = BTreeSet::new();
+    let mut queue: Vec<Context> = vec![Context { entry: 0, is_main: true }];
+    let mut out = Vec::new();
+    while let Some(ctx) = queue.pop() {
+        if !done.insert(ctx) {
+            continue;
+        }
+        let cs = fixpoint(ctx, input);
+        for (&pc, st) in &cs.states {
+            if let Ok(Instr::TSpawn { ra, .. }) = &input.imem[pc as usize] {
+                if let SVal::Const(c) = st.sget(*ra) {
+                    let target = c.to_u32();
+                    if target < input.len() {
+                        let cand = Context { entry: target, is_main: false };
+                        if !done.contains(&cand) {
+                            queue.push(cand);
+                        }
+                    }
+                }
+            }
+        }
+        out.push(cs);
+    }
+    out
+}
+
+/// A finding before severity assignment: `definite` marks findings whose
+/// instruction *will fault* whenever it executes (eligible for Error
+/// status if on the boot thread's must-path).
+pub(crate) struct RawFinding {
+    pub pc: u32,
+    /// (error code, warning code); warning-only findings repeat the code.
+    pub codes: (&'static str, &'static str),
+    pub definite: bool,
+    pub message: String,
+    pub notes: Vec<String>,
+}
+
+impl RawFinding {
+    fn warn(pc: u32, code: &'static str, message: String) -> RawFinding {
+        RawFinding { pc, codes: (code, code), definite: false, message, notes: Vec::new() }
+    }
+
+    fn fault(
+        pc: u32,
+        codes: (&'static str, &'static str),
+        definite: bool,
+        message: String,
+    ) -> RawFinding {
+        RawFinding { pc, codes, definite, message, notes: Vec::new() }
+    }
+
+    fn with_note(mut self, note: impl Into<String>) -> RawFinding {
+        self.notes.push(note.into());
+        self
+    }
+}
+
+/// Scan one context's converged states, emitting raw findings.
+pub(crate) fn scan(cs: &ContextStates, input: &Input) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    for (&pc, st) in &cs.states {
+        match &input.imem[pc as usize] {
+            Ok(instr) => scan_instr(pc, instr, st, input, cs.ctx, &mut out),
+            Err(cause) => out.push(RawFinding::fault(
+                pc,
+                ("E0005", "W0005"),
+                true,
+                format!("instruction word does not decode: {cause}"),
+            )),
+        }
+    }
+    out
+}
+
+fn scan_instr(
+    pc: u32,
+    instr: &Instr,
+    st: &AbsState,
+    input: &Input,
+    ctx: Context,
+    out: &mut Vec<RawFinding>,
+) {
+    let len = input.len();
+    let text = disassemble(instr);
+
+    // --- uninitialized reads (the mask flag is checked by W4001 instead) --
+    let mask_flag = instr.mask().and_then(|m| m.flag());
+    let mut seen_ops: Vec<Operand> = Vec::new();
+    for op in instr.uses() {
+        if Some(op) == mask_flag.map(Operand::pf) {
+            continue;
+        }
+        if seen_ops.contains(&op) {
+            continue;
+        }
+        seen_ops.push(op);
+        let idx = op.index as usize;
+        let (must, may) = match op.class {
+            RegClass::SGpr => (st.s_must >> idx & 1, st.s_may >> idx & 1),
+            RegClass::PGpr => (st.p_must >> idx & 1, st.p_may >> idx & 1),
+            RegClass::SFlag => ((st.sf_must >> idx & 1) as u16, (st.sf_may >> idx & 1) as u16),
+            RegClass::PFlag => ((st.pf_must >> idx & 1) as u16, (st.pf_may >> idx & 1) as u16),
+        };
+        if must == 0 {
+            let name = op_name(op);
+            if may == 0 {
+                out.push(
+                    RawFinding::warn(
+                        pc,
+                        "W1001",
+                        format!("`{text}` reads {name}, which is never initialized"),
+                    )
+                    .with_note(
+                        "registers read as zero until written; this is almost always a \
+                                missing write or a typoed register number",
+                    ),
+                );
+            } else {
+                out.push(RawFinding::warn(
+                    pc,
+                    "W1002",
+                    format!(
+                        "`{text}` reads {name}, which is uninitialized on some paths to this point"
+                    ),
+                ));
+            }
+        }
+    }
+
+    // --- empty-mask lint ---------------------------------------------------
+    if let Some(f) = mask_flag {
+        if st.pf_is_zero(f) {
+            out.push(
+                RawFinding::warn(
+                    pc,
+                    "W4001",
+                    format!("mask ?pf{} is always false here; `{text}` has no effect", f.index()),
+                )
+                .with_note(
+                    "parallel flags start all-false and nothing on any path to this \
+                            instruction sets this one",
+                ),
+            );
+            // A statically disabled instruction cannot fault or misuse
+            // anything else; skip the remaining checks.
+            return;
+        }
+    }
+
+    // --- missing functional units -----------------------------------------
+    if instr.uses_multiplier() && matches!(input.cfg.multiplier, MultiplierKind::None) {
+        out.push(
+            RawFinding::fault(
+                pc,
+                ("E0003", "W0003"),
+                true,
+                format!("`{text}` needs a multiplier but this machine has none"),
+            )
+            .with_note(
+                "the paper's base prototype omits the multiplier; configure one with \
+                        MachineConfig::with_multiplier or drop the instruction",
+            ),
+        );
+    }
+    if instr.uses_divider() && matches!(input.cfg.divider, DividerConfig::None) {
+        out.push(RawFinding::fault(
+            pc,
+            ("E0003", "W0003"),
+            true,
+            format!("`{text}` needs a divider but this machine has none"),
+        ));
+    }
+
+    // --- control flow ------------------------------------------------------
+    let flow = flow_of(pc, instr, st, input);
+    match &flow {
+        Flow::Fall => {
+            if pc + 1 == len {
+                out.push(
+                    RawFinding::fault(
+                        pc,
+                        ("E0001", "W0001"),
+                        true,
+                        "execution runs off the end of the program here".to_string(),
+                    )
+                    .with_note(
+                        "instruction memory holds exactly the program; the next fetch \
+                                faults with PcOutOfRange — end the path with `halt`, `texit`, \
+                                or a jump",
+                    ),
+                );
+            }
+        }
+        Flow::Jump(t) => {
+            if !(0..len as i64).contains(t) {
+                out.push(RawFinding::fault(
+                    pc,
+                    ("E0002", "W0002"),
+                    true,
+                    format!("`{text}` transfers control to pc {t}, outside the program (0..{len})"),
+                ));
+            }
+        }
+        Flow::Branch { taken, known } => {
+            if !(0..len as i64).contains(taken) {
+                out.push(RawFinding::fault(
+                    pc,
+                    ("E0002", "W0002"),
+                    *known == Some(true),
+                    format!("`{text}` branches to pc {taken}, outside the program (0..{len})"),
+                ));
+            }
+            if pc + 1 == len && *known != Some(true) {
+                out.push(RawFinding::fault(
+                    pc,
+                    ("E0001", "W0001"),
+                    *known == Some(false),
+                    "the fall-through path of this branch runs off the end of the program"
+                        .to_string(),
+                ));
+            }
+        }
+        Flow::Stop | Flow::Indirect(_) => {}
+    }
+
+    // --- memory bounds ------------------------------------------------------
+    match *instr {
+        Instr::Lw { base, off, .. } | Instr::Sw { base, off, .. } => {
+            if let SVal::Const(b) = st.sget(base) {
+                let ea = b.to_u32() as i64 + off as i64;
+                let words = input.cfg.smem_words as i64;
+                if !(0..words).contains(&ea) {
+                    out.push(RawFinding::fault(
+                        pc,
+                        ("E2002", "W2002"),
+                        true,
+                        format!("`{text}` accesses scalar memory word {ea}, outside 0..{words}"),
+                    ));
+                }
+            }
+        }
+        Instr::Plw { base, off, mask, .. } | Instr::Psw { base, off, mask, .. } => {
+            if let PVal::Uniform(b) = st.pget(base) {
+                let ea = b.to_u32() as i64 + off as i64;
+                let words = input.cfg.lmem_words as i64;
+                if !(0..words).contains(&ea) {
+                    // Masked lanes do not fault, so only an all-PEs access
+                    // faults for certain.
+                    let definite = mask == Mask::All;
+                    out.push(RawFinding::fault(
+                        pc,
+                        ("E2001", "W2001"),
+                        definite,
+                        format!(
+                            "`{text}` accesses local-memory word {ea} in every lane, outside \
+                             0..{words}"
+                        ),
+                    ));
+                }
+            }
+        }
+        _ => {}
+    }
+
+    // --- thread lifecycle ---------------------------------------------------
+    let threads = input.cfg.threads as u32;
+    let tid_operand = match *instr {
+        Instr::TJoin { ra } => Some(ra),
+        Instr::TGet { ta, .. } => Some(ta),
+        Instr::TPut { ta, .. } => Some(ta),
+        _ => None,
+    };
+    if let Some(ta) = tid_operand {
+        match st.sget(ta) {
+            SVal::Const(c) => {
+                let tid = c.to_u32();
+                if tid >= threads {
+                    out.push(RawFinding::fault(
+                        pc,
+                        ("E3002", "W3002"),
+                        true,
+                        format!(
+                            "`{text}` uses thread id {tid}; this machine has {threads} contexts"
+                        ),
+                    ));
+                } else if matches!(instr, Instr::TJoin { .. }) && ctx.is_main && tid == 0 {
+                    out.push(
+                        RawFinding::fault(
+                            pc,
+                            ("E3001", "E3001"),
+                            true,
+                            "thread 0 joins itself; a thread can never observe its own exit"
+                                .to_string(),
+                        )
+                        .with_note("the machine faults with InvalidThread on self-join"),
+                    );
+                } else if !input.has_spawn {
+                    out.push(RawFinding::warn(
+                        pc,
+                        "W3004",
+                        format!(
+                            "`{text}` targets thread {tid}, but the program never spawns a thread"
+                        ),
+                    ));
+                }
+            }
+            SVal::Handle { released: true, spawn_pc, .. } => {
+                out.push(
+                    RawFinding::warn(
+                        pc,
+                        "W3003",
+                        format!("`{text}` uses a thread handle that may already have been joined"),
+                    )
+                    .with_note(format!(
+                        "the handle comes from the tspawn at pc {spawn_pc}; after a join the \
+                         context is released and the id can be re-allocated"
+                    )),
+                );
+            }
+            _ => {
+                if !input.has_spawn {
+                    out.push(RawFinding::warn(
+                        pc,
+                        "W3004",
+                        format!("`{text}` names a thread, but the program never spawns one"),
+                    ));
+                }
+            }
+        }
+    }
+    if let Instr::TSpawn { ra, .. } = *instr {
+        if let SVal::Const(c) = st.sget(ra) {
+            let target = c.to_u32();
+            if target >= len {
+                out.push(RawFinding::warn(
+                    pc,
+                    "W3006",
+                    format!(
+                        "`{text}` spawns a thread at pc {target}, outside the program (0..{len})"
+                    ),
+                ));
+            }
+        }
+    }
+
+    // --- live-handle overwrite ---------------------------------------------
+    for d in instr.defs() {
+        if d.class != RegClass::SGpr {
+            continue;
+        }
+        let dreg = SReg::from_index(d.index);
+        if let SVal::Handle { spawn_pc, released: false, escaped: false } = st.sget(dreg) {
+            let another_copy = (0..NUM_GPRS).any(|i| {
+                i != d.index as usize
+                    && matches!(st.s[i],
+                        SVal::Handle { spawn_pc: p, released: false, .. } if p == spawn_pc)
+            });
+            if !another_copy {
+                out.push(
+                    RawFinding::warn(
+                        pc,
+                        "W3005",
+                        format!(
+                            "`{text}` overwrites the only live handle of the thread spawned at \
+                             pc {spawn_pc}"
+                        ),
+                    )
+                    .with_note(
+                        "the thread can no longer be joined or communicated with; join \
+                                it first or keep a copy of the handle",
+                    ),
+                );
+            }
+        }
+    }
+}
+
+fn op_name(op: Operand) -> String {
+    match op.class {
+        RegClass::SGpr => format!("s{}", op.index),
+        RegClass::SFlag => format!("f{}", op.index),
+        RegClass::PGpr => format!("p{}", op.index),
+        RegClass::PFlag => format!("pf{}", op.index),
+    }
+}
+
+/// The boot thread's *must-execute* prefix: walk from pc 0 following only
+/// edges that are taken on every execution, stopping at anything
+/// uncertain. Used to promote definite-fault findings to errors — every
+/// pc in the returned set executes on every run of the program (up to the
+/// first definite fault, where the walk also stops).
+pub(crate) fn must_reach(
+    main: &ContextStates,
+    input: &Input,
+    definite_faults: &BTreeSet<u32>,
+) -> BTreeSet<u32> {
+    let mut seen = BTreeSet::new();
+    let mut pc: i64 = 0;
+    let len = input.len() as i64;
+    loop {
+        if !(0..len).contains(&pc) || !seen.insert(pc as u32) {
+            break;
+        }
+        let pc32 = pc as u32;
+        let Some(st) = main.states.get(&pc32) else { break };
+        let Ok(instr) = &input.imem[pc as usize] else { break };
+        if definite_faults.contains(&pc32) {
+            break;
+        }
+        // A spawned thread runs concurrently and can halt the whole
+        // machine before the boot thread reaches a later pc, so nothing
+        // after a tspawn is provably executed.
+        if matches!(instr, Instr::TSpawn { .. }) {
+            break;
+        }
+        match flow_of(pc32, instr, st, input) {
+            Flow::Stop | Flow::Indirect(_) => break,
+            Flow::Fall => pc += 1,
+            Flow::Jump(t) => pc = t,
+            Flow::Branch { taken, known } => match known {
+                Some(true) => pc = taken,
+                Some(false) => pc += 1,
+                None => break,
+            },
+        }
+    }
+    seen
+}
+
+/// Run the full forward-analysis pipeline: contexts, scans, must-reach,
+/// severity assignment, plus the unreachable-code sweep. Returns
+/// diagnostics without source info (the caller attaches line/span) and
+/// the per-pc reachability vector for the later passes.
+pub(crate) fn run(input: &Input) -> (Vec<Diagnostic>, Vec<bool>) {
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    if input.len() as usize > input.cfg.imem_words {
+        diags.push(Diagnostic::new(
+            Severity::Error,
+            "E0004",
+            0,
+            format!(
+                "program has {} instructions but instruction memory holds {}",
+                input.len(),
+                input.cfg.imem_words
+            ),
+        ));
+        return (diags, vec![false; input.len() as usize]);
+    }
+    let contexts = discover_contexts(input);
+    let main = contexts.iter().find(|c| c.ctx.is_main).expect("boot context always analyzed");
+
+    // Scan every context; findings from the boot thread first so
+    // deduplication keeps the copy that may carry Error severity.
+    let mut raw: Vec<(Context, RawFinding)> = Vec::new();
+    for cs in
+        contexts.iter().filter(|c| c.ctx.is_main).chain(contexts.iter().filter(|c| !c.ctx.is_main))
+    {
+        for f in scan(cs, input) {
+            raw.push((cs.ctx, f));
+        }
+    }
+
+    let definite_faults: BTreeSet<u32> = raw
+        .iter()
+        .filter(|(ctx, f)| ctx.is_main && f.definite && f.codes.0.starts_with('E'))
+        .map(|(_, f)| f.pc)
+        .collect();
+    let must = must_reach(main, input, &definite_faults);
+
+    let mut emitted: BTreeSet<(&'static str, u32, String)> = BTreeSet::new();
+    for (ctx, f) in raw {
+        let is_error =
+            f.definite && ctx.is_main && must.contains(&f.pc) && f.codes.0.starts_with('E');
+        let (severity, code) =
+            if is_error { (Severity::Error, f.codes.0) } else { (Severity::Warning, f.codes.1) };
+        if !emitted.insert((code, f.pc, f.message.clone())) {
+            continue;
+        }
+        let mut d = Diagnostic::new(severity, code, f.pc, f.message);
+        d.notes = f.notes;
+        diags.push(d);
+    }
+
+    // --- unreachable-code sweep (one diagnostic per run) -------------------
+    let mut reachable = vec![false; input.len() as usize];
+    for cs in &contexts {
+        for &pc in cs.states.keys() {
+            reachable[pc as usize] = true;
+        }
+    }
+    // A tspawn whose target register does not constant-fold can start a
+    // thread at any label (worker entry stubs reached through an
+    // incremented function-pointer register are the common shape), so
+    // unreachability cannot be claimed for label-rooted code. Fold the
+    // conservative label-rooted closure into the reachability map used by
+    // W0006 and the later passes.
+    let unknown_spawn = contexts.iter().any(|cs| {
+        cs.states.iter().any(|(&pc, st)| {
+            matches!(&input.imem[pc as usize], Ok(Instr::TSpawn { ra, .. })
+                if !matches!(st.sget(*ra), SVal::Const(_)))
+        })
+    });
+    if unknown_spawn {
+        let mut seen = vec![false; input.len() as usize];
+        let mut work: Vec<u32> =
+            input.labels.iter().copied().filter(|&l| l < input.len()).collect();
+        while let Some(pc) = work.pop() {
+            if seen[pc as usize] {
+                continue;
+            }
+            seen[pc as usize] = true;
+            if let Ok(instr) = &input.imem[pc as usize] {
+                work.extend(conservative_successors(pc, instr, input));
+            }
+        }
+        for (r, s) in reachable.iter_mut().zip(&seen) {
+            *r |= s;
+        }
+    }
+    let mut pc = 0usize;
+    while pc < reachable.len() {
+        if reachable[pc] {
+            pc += 1;
+            continue;
+        }
+        let start = pc;
+        while pc < reachable.len() && !reachable[pc] {
+            pc += 1;
+        }
+        let n = pc - start;
+        let msg = if n == 1 {
+            "unreachable instruction".to_string()
+        } else {
+            format!("unreachable code ({n} instructions, pc {start}..{pc})")
+        };
+        diags.push(Diagnostic::new(Severity::Warning, "W0006", start as u32, msg).with_note(
+            "no path from the boot thread or any statically resolved tspawn target reaches here",
+        ));
+    }
+
+    (diags, reachable)
+}
+
+/// Successors on the *unfolded* CFG — no constant propagation, both arms
+/// of every conditional. Used where over-approximating reachability is
+/// the safe direction (the unknown-spawn closure above).
+fn conservative_successors(pc: u32, instr: &Instr, input: &Input) -> Vec<u32> {
+    let mut ts: Vec<i64> = Vec::new();
+    match *instr {
+        Instr::Halt | Instr::TExit => {}
+        Instr::J { target } | Instr::Jal { target, .. } => ts.push(target as i64),
+        Instr::Bt { off, .. } | Instr::Bf { off, .. } => {
+            ts.push(pc as i64 + 1);
+            ts.push(pc as i64 + 1 + off as i64);
+        }
+        Instr::Jr { .. } => {
+            let cands: &[u32] =
+                if !input.jal_returns.is_empty() { &input.jal_returns } else { &input.labels };
+            ts.extend(cands.iter().map(|&c| c as i64));
+        }
+        _ => ts.push(pc as i64 + 1),
+    }
+    ts.into_iter().filter(|&t| (0..input.len() as i64).contains(&t)).map(|t| t as u32).collect()
+}

@@ -1,0 +1,65 @@
+//! Machine-readable lint output: the `mtasc.lint.v1` schema.
+//!
+//! ```json
+//! {
+//!   "schema": "mtasc.lint.v1",
+//!   "program": { "len": 7 },
+//!   "diagnostics": [
+//!     { "severity": "error", "code": "E2002", "pc": 3, "line": 12,
+//!       "col": 9, "message": "...", "notes": ["..."] }
+//!   ],
+//!   "summary": { "errors": 1, "warnings": 0, "notes": 2 }
+//! }
+//! ```
+//!
+//! `line`/`col` are present only when the program carries a source map
+//! (assembled programs do; raw word streams don't). The encoder reuses
+//! the observability layer's [`Json`] value type, so reports parse with
+//! the same strict parser the run-report round-trip tests use.
+
+use asc_core::obs::Json;
+
+use crate::LintReport;
+
+/// Encode a report as a `mtasc.lint.v1` JSON value.
+pub(crate) fn to_json(report: &LintReport) -> Json {
+    let diags: Vec<Json> = report
+        .diagnostics
+        .iter()
+        .map(|d| {
+            let mut obj = vec![
+                ("severity".to_string(), Json::str(d.severity.label())),
+                ("code".to_string(), Json::str(d.code)),
+                ("pc".to_string(), Json::U64(d.pc as u64)),
+            ];
+            if d.line > 0 {
+                obj.push(("line".to_string(), Json::U64(d.line as u64)));
+            }
+            if d.span.col > 0 {
+                obj.push(("col".to_string(), Json::U64(d.span.col as u64)));
+            }
+            obj.push(("message".to_string(), Json::str(d.message.clone())));
+            obj.push((
+                "notes".to_string(),
+                Json::Arr(d.notes.iter().map(|n| Json::str(n.clone())).collect()),
+            ));
+            Json::Obj(obj)
+        })
+        .collect();
+    Json::Obj(vec![
+        ("schema".to_string(), Json::str("mtasc.lint.v1")),
+        (
+            "program".to_string(),
+            Json::Obj(vec![("len".to_string(), Json::U64(report.program_len as u64))]),
+        ),
+        ("diagnostics".to_string(), Json::Arr(diags)),
+        (
+            "summary".to_string(),
+            Json::Obj(vec![
+                ("errors".to_string(), Json::U64(report.error_count() as u64)),
+                ("warnings".to_string(), Json::U64(report.warning_count() as u64)),
+                ("notes".to_string(), Json::U64(report.note_count() as u64)),
+            ]),
+        ),
+    ])
+}

@@ -1,0 +1,152 @@
+#![warn(missing_docs)]
+
+//! # asc-verify — static analyzer and lint pipeline for MTASC programs
+//!
+//! Analyzes an assembled [`asc_asm::Program`] (or a raw instruction-word
+//! stream) **without executing it**, against a concrete
+//! [`MachineConfig`] — bounds, latencies, and unit availability all come
+//! from the same configuration the simulator would run with. The
+//! pipeline:
+//!
+//! 1. **Control flow** — a per-thread CFG from branches/jumps/halts, with
+//!    `tspawn` targets analyzed as separate thread entry points;
+//!    off-the-end execution, out-of-range targets, unreachable code.
+//! 2. **Forward dataflow** — constant propagation through the ISA's own
+//!    `apply` semantics, driving: uninitialized-read detection for all
+//!    four register files, static memory-bounds checks for `lw`/`sw`/
+//!    `plw`/`psw`, thread-lifecycle checks (self-join, bad thread ids,
+//!    use-after-join, leaked handles), and mask-emptiness lints.
+//! 3. **Backward liveness** — dead flag stores.
+//! 4. **Performance notes** — a symbolic scoreboard walk predicting RAW
+//!    and structural stalls from the machine's [`asc_core::Timing`]
+//!    model, and an explanation for every block-fusion cut.
+//!
+//! The severity contract: an **error** is a proven runtime fault (the
+//! differential tests execute every error-flagged program and check
+//! `Machine::run` really fails); a **warning** is a suspected bug; a
+//! **note** is informational and never affects exit status.
+//!
+//! ```
+//! use asc_core::MachineConfig;
+//!
+//! let program = asc_asm::assemble(
+//!     "        li   s1, 2000\n         lw   s2, 0(s1)\n         halt\n",
+//! )
+//! .unwrap();
+//! let report = asc_verify::analyze(&program, &MachineConfig::prototype());
+//! assert_eq!(report.error_count(), 1); // E2002: 2000 >= smem_words
+//! ```
+//!
+//! Entry points: [`analyze`], [`analyze_words`], [`LintReport`], and the
+//! code catalog ([`CODES`], [`explain`]) behind `mtasc lint --explain`.
+
+use asc_asm::Program;
+use asc_core::obs::Json;
+use asc_core::MachineConfig;
+use asc_isa::{decode, DecodeError, Instr};
+
+mod deadstore;
+mod diag;
+mod flow;
+mod json;
+mod notes;
+mod render;
+
+pub use diag::{explain, CodeInfo, Diagnostic, Severity, CODES};
+
+/// The result of analyzing one program: all findings, sorted by severity
+/// then program counter.
+#[derive(Debug, Clone)]
+pub struct LintReport {
+    /// All findings, errors first, each group in pc order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of instructions analyzed.
+    pub program_len: u32,
+}
+
+impl LintReport {
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warning_count(&self) -> usize {
+        self.count(Severity::Warning)
+    }
+
+    /// Number of notes.
+    pub fn note_count(&self) -> usize {
+        self.count(Severity::Note)
+    }
+
+    fn count(&self, s: Severity) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == s).count()
+    }
+
+    /// Lint verdict: clean means no errors — and, under `deny_warnings`,
+    /// no warnings either. Notes never fail a program.
+    pub fn is_clean(&self, deny_warnings: bool) -> bool {
+        self.error_count() == 0 && (!deny_warnings || self.warning_count() == 0)
+    }
+
+    /// Encode as a `mtasc.lint.v1` JSON value.
+    pub fn to_json(&self) -> Json {
+        json::to_json(self)
+    }
+
+    /// Human-readable rendering. `source` (the assembly text) enables
+    /// caret excerpts; `path` labels the `-->` location lines.
+    pub fn render(&self, source: Option<&str>, path: &str) -> String {
+        render::render(self, source, path)
+    }
+}
+
+/// Analyze an assembled program against a machine configuration.
+pub fn analyze(program: &Program, cfg: &MachineConfig) -> LintReport {
+    let imem: Vec<Result<Instr, DecodeError>> = program.instrs.iter().map(|i| Ok(*i)).collect();
+    let len = imem.len() as u32;
+    let labels: Vec<u32> = program
+        .symbols
+        .values()
+        .filter(|&&v| v >= 0 && (v as u32) < len)
+        .map(|&v| v as u32)
+        .collect();
+    let mut report = analyze_imem(&imem, cfg, labels);
+    for d in &mut report.diagnostics {
+        if let Some(&line) = program.lines.get(d.pc as usize) {
+            d.line = line;
+        }
+        if let Some(&span) = program.spans.get(d.pc as usize) {
+            d.span = span;
+        }
+    }
+    report
+}
+
+/// Analyze a raw instruction-word stream (no source map; undecodable
+/// words become `E0005`/`W0005` findings instead of panics).
+pub fn analyze_words(words: &[u32], cfg: &MachineConfig) -> LintReport {
+    let imem: Vec<Result<Instr, DecodeError>> = words.iter().map(|&w| decode(w)).collect();
+    analyze_imem(&imem, cfg, Vec::new())
+}
+
+fn analyze_imem(
+    imem: &[Result<Instr, DecodeError>],
+    cfg: &MachineConfig,
+    labels: Vec<u32>,
+) -> LintReport {
+    let input = flow::Input::new(imem, cfg, labels);
+    let (mut diags, reachable) = flow::run(&input);
+    let oversized = diags.iter().any(|d| d.code == "E0004");
+    if !oversized {
+        diags.extend(deadstore::run(&input, &reachable));
+        diags.extend(notes::hazards(&input));
+        diags.extend(notes::fusion_cuts(&input));
+    }
+    diags.sort_by(|a, b| (a.severity, a.pc, a.code).cmp(&(b.severity, b.pc, b.code)));
+    LintReport { diagnostics: diags, program_len: imem.len() as u32 }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,60 @@
+//! Human-readable rendering of a lint report, in the style of the
+//! assembler's own error output: severity-tagged headline, source
+//! location with a caret excerpt (when the source is available), and
+//! indented context notes.
+
+use asc_asm::source_excerpt;
+
+use crate::{Diagnostic, LintReport};
+
+/// Render the whole report. `source` enables caret excerpts; `path` is
+/// the display name used in `-->` location lines (e.g. the input file).
+pub(crate) fn render(report: &LintReport, source: Option<&str>, path: &str) -> String {
+    let mut out = String::new();
+    let lines: Vec<&str> = source.map(|s| s.lines().collect()).unwrap_or_default();
+    for d in &report.diagnostics {
+        render_one(&mut out, d, &lines, path);
+    }
+    let (e, w, n) = (report.error_count(), report.warning_count(), report.note_count());
+    if report.diagnostics.is_empty() {
+        out.push_str("clean: no findings\n");
+    } else {
+        out.push_str(&format!(
+            "{e} error{}, {w} warning{}, {n} note{}\n",
+            plural(e),
+            plural(w),
+            plural(n)
+        ));
+    }
+    out
+}
+
+fn render_one(out: &mut String, d: &Diagnostic, lines: &[&str], path: &str) {
+    out.push_str(&format!("{}[{}]: {}\n", d.severity, d.code, d.message));
+    if d.line > 0 {
+        if d.span.col > 0 {
+            out.push_str(&format!("  --> {path}:{}:{} (pc {})\n", d.line, d.span.col, d.pc));
+        } else {
+            out.push_str(&format!("  --> {path}:{} (pc {})\n", d.line, d.pc));
+        }
+        if let Some(text) = lines.get(d.line as usize - 1) {
+            if d.span.col > 0 {
+                out.push_str(&source_excerpt(text, d.line, d.span.col, d.span.len));
+            }
+        }
+    } else {
+        out.push_str(&format!("  --> pc {}\n", d.pc));
+    }
+    for note in &d.notes {
+        out.push_str(&format!("  = note: {note}\n"));
+    }
+    out.push('\n');
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}

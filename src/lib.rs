@@ -45,6 +45,9 @@
 //!   hull, prefix sums.
 //! * [`lang`] — ASCL, a small associative language (`where`/`elsewhere`
 //!   masking, reductions) compiling to MTASC assembly.
+//! * [`verify`] — static analyzer and lint pipeline (`mtasc lint`):
+//!   uninitialized reads, memory bounds, thread lifecycle, dead stores,
+//!   stall and fusion-cut diagnostics.
 //!
 //! See `DESIGN.md` for the architecture inventory and `EXPERIMENTS.md`
 //! for the paper-versus-measured record of every table and figure.
@@ -57,6 +60,7 @@ pub use asc_kernels as kernels;
 pub use asc_lang as lang;
 pub use asc_network as network;
 pub use asc_pe as pe;
+pub use asc_verify as verify;
 
 /// Crate version (workspace-wide).
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

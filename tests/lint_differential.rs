@@ -1,0 +1,169 @@
+//! Differential validation of the lint pipeline against the machine
+//! itself — the severity contract enforced by execution:
+//!
+//! * every **error**-severity finding corresponds to a real runtime
+//!   fault: each error-flagged fixture actually fails `Machine::run`,
+//! * programs that execute cleanly never carry error findings (no false
+//!   errors), checked over the lint fixtures and fuzzed random programs,
+//! * the uninitialized-read pass agrees with a straight-line oracle
+//!   built from the ISA's own `Instr::uses()`/`defs()` operand lists.
+
+use std::collections::HashSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use asc::core::{Machine, MachineConfig};
+use asc::isa::gen::random_straightline_instr;
+use asc::isa::{Instr, Operand, RegClass, Width};
+use asc::verify::Severity;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn fixtures() -> Vec<PathBuf> {
+    let mut v: Vec<PathBuf> =
+        fs::read_dir(Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/lint"))
+            .expect("fixture dir")
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|e| e == "asc"))
+            .collect();
+    v.sort();
+    v
+}
+
+/// Every fixture the analyzer flags with an error really faults when
+/// executed; every fixture it passes as error-free runs to completion.
+/// This is the teeth behind "error = proven runtime fault".
+#[test]
+fn error_findings_match_runtime_faults_on_fixtures() {
+    let cfg = MachineConfig::prototype();
+    for path in fixtures() {
+        let src = fs::read_to_string(&path).unwrap();
+        let program = asc::asm::assemble(&src).unwrap();
+        let report = asc::verify::analyze(&program, &cfg);
+        let mut machine = Machine::with_program(cfg, &program).unwrap();
+        let outcome = machine.run(10_000_000);
+        if report.error_count() > 0 {
+            assert!(
+                outcome.is_err(),
+                "{path:?}: lint reports {} error(s) but the machine ran clean",
+                report.error_count()
+            );
+        } else {
+            assert!(
+                outcome.is_ok(),
+                "{path:?}: lint reports no errors but the machine faulted: {:?}",
+                outcome.unwrap_err()
+            );
+        }
+    }
+}
+
+/// Generate a random straight-line program whose memory accesses cannot
+/// fault on a W8 machine (same clamping as `tests/differential.rs`).
+fn random_program(rng: &mut StdRng, len: usize) -> Vec<Instr> {
+    let mut instrs = Vec::with_capacity(len + 1);
+    for _ in 0..len {
+        let mut i = random_straightline_instr(rng);
+        match &mut i {
+            Instr::Lw { off, .. } | Instr::Sw { off, .. } => *off = off.rem_euclid(128),
+            Instr::Plw { off, .. } | Instr::Psw { off, .. } => *off = off.rem_euclid(127),
+            _ => {}
+        }
+        instrs.push(i);
+    }
+    instrs.push(Instr::Halt);
+    instrs
+}
+
+/// Straight-line oracle for the uninitialized-read pass: walk the
+/// program in order tracking which registers have been textually
+/// assigned (via `Instr::defs()`), and predict a W1001 for every use of
+/// a register not yet written (via `Instr::uses()`, excluding the
+/// activity-mask flag, which W4001 owns). Returns the expected number of
+/// W1001 findings per pc.
+fn uninit_oracle(instrs: &[Instr]) -> Vec<usize> {
+    // one init bitmask per register class; bit 0 of the GPR files is the
+    // hardwired zero register (never reported, and `uses()` filters it)
+    let mut init = [1u16, 1, 0, 0]; // SGpr, PGpr, SFlag, PFlag
+    let class_idx = |c: RegClass| match c {
+        RegClass::SGpr => 0,
+        RegClass::PGpr => 1,
+        RegClass::SFlag => 2,
+        RegClass::PFlag => 3,
+    };
+    let mut expected = vec![0usize; instrs.len()];
+    for (pc, instr) in instrs.iter().enumerate() {
+        let mask_op = instr.mask().and_then(|m| m.flag()).map(Operand::pf);
+        let mut seen: HashSet<Operand> = HashSet::new();
+        for op in instr.uses() {
+            if Some(op) == mask_op || !seen.insert(op) {
+                continue;
+            }
+            if init[class_idx(op.class)] >> op.index & 1 == 0 {
+                expected[pc] += 1;
+            }
+        }
+        for op in instr.defs() {
+            init[class_idx(op.class)] |= 1 << op.index;
+        }
+    }
+    expected
+}
+
+proptest! {
+    /// Fuzz: random straight-line programs execute without faulting, so
+    /// the analyzer must not report a single error-severity finding on
+    /// them — errors are proven faults, and there is nothing to prove.
+    #[test]
+    fn no_false_errors_on_random_programs(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let len = rng.random_range(10..60);
+        let instrs = random_program(&mut rng, len);
+        let words: Vec<u32> = instrs.iter().map(asc::isa::encode).collect();
+        let cfg = MachineConfig::new(8).with_width(Width::W8).single_threaded();
+
+        let mut machine = Machine::new(cfg);
+        machine.load_words(&words).unwrap();
+        machine.run(10_000_000).unwrap();
+
+        let report = asc::verify::analyze_words(&words, &cfg);
+        for d in &report.diagnostics {
+            prop_assert!(
+                d.severity != Severity::Error,
+                "false error {} at pc {} on a program that ran clean: {}",
+                d.code, d.pc, d.message
+            );
+        }
+    }
+
+    /// Fuzz: the dataflow pass's W1001 findings agree exactly, per
+    /// instruction, with the program-order oracle. Straight-line code has
+    /// a single path, so the maybe-uninitialized refinement (W1002) must
+    /// never fire.
+    #[test]
+    fn uninit_pass_matches_straightline_oracle(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let len = rng.random_range(5..40);
+        let instrs = random_program(&mut rng, len);
+        let words: Vec<u32> = instrs.iter().map(asc::isa::encode).collect();
+        let cfg = MachineConfig::new(8).with_width(Width::W8).single_threaded();
+
+        let report = asc::verify::analyze_words(&words, &cfg);
+        let mut got = vec![0usize; instrs.len()];
+        for d in &report.diagnostics {
+            prop_assert!(d.code != "W1002", "W1002 on single-path code at pc {}", d.pc);
+            if d.code == "W1001" {
+                got[d.pc as usize] += 1;
+            }
+        }
+        let expected = uninit_oracle(&instrs);
+        for pc in 0..instrs.len() {
+            prop_assert_eq!(
+                got[pc], expected[pc],
+                "W1001 count at pc {} (`{}`): analyzer {} vs oracle {}",
+                pc, asc::asm::disassemble(&instrs[pc]), got[pc], expected[pc]
+            );
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Golden-file tests for the lint pipeline: every fixture under
+//! `tests/fixtures/lint/` is analyzed against the FPGA prototype
+//! configuration and its human-readable and `mtasc.lint.v1` JSON output
+//! must match the checked-in `.expected.txt` / `.expected.json` files
+//! byte for byte.
+//!
+//! After an intentional diagnostics change, regenerate the goldens with
+//! `UPDATE_LINT_GOLDEN=1 cargo test --test lint_golden` and review the
+//! diff.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use asc::core::MachineConfig;
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/lint")
+}
+
+fn fixtures() -> Vec<PathBuf> {
+    let mut v: Vec<PathBuf> = fs::read_dir(fixture_dir())
+        .expect("fixture dir")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "asc"))
+        .collect();
+    v.sort();
+    assert!(v.len() >= 6, "at least one fixture per diagnostic family");
+    v
+}
+
+fn check(path: &Path, ext: &str, actual: &str) {
+    let golden = path.with_extension(ext);
+    if std::env::var("UPDATE_LINT_GOLDEN").is_ok() {
+        fs::write(&golden, actual).unwrap();
+        return;
+    }
+    let expected = fs::read_to_string(&golden)
+        .unwrap_or_else(|_| panic!("missing golden {golden:?}; run with UPDATE_LINT_GOLDEN=1"));
+    assert_eq!(
+        actual, expected,
+        "lint output for {path:?} diverged from {golden:?}; \
+         regenerate with UPDATE_LINT_GOLDEN=1 if intentional"
+    );
+}
+
+#[test]
+fn fixture_output_matches_goldens() {
+    let cfg = MachineConfig::prototype();
+    for path in fixtures() {
+        let src = fs::read_to_string(&path).unwrap();
+        let program = asc::asm::assemble(&src)
+            .unwrap_or_else(|e| panic!("{path:?}: {}", asc::asm::render_errors(&e)));
+        let report = asc::verify::analyze(&program, &cfg);
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        check(&path, "expected.txt", &report.render(Some(&src), &name));
+        check(&path, "expected.json", &(report.to_json().to_pretty() + "\n"));
+    }
+}
+
+#[test]
+fn fixtures_cover_every_diagnostic_family() {
+    let cfg = MachineConfig::prototype();
+    let mut seen: Vec<char> = Vec::new();
+    for path in fixtures() {
+        let src = fs::read_to_string(&path).unwrap();
+        let program = asc::asm::assemble(&src).unwrap();
+        for d in asc::verify::analyze(&program, &cfg).diagnostics {
+            // family = leading digit of the numeric part (W1001 -> '1')
+            let fam = d.code.as_bytes()[1] as char;
+            if !seen.contains(&fam) {
+                seen.push(fam);
+            }
+        }
+    }
+    for fam in ['0', '1', '2', '3', '4', '5'] {
+        assert!(seen.contains(&fam), "no fixture triggers diagnostic family {fam} (have {seen:?})");
+    }
+}
+
+#[test]
+fn json_goldens_parse_and_round_trip() {
+    for path in fixtures() {
+        let golden = path.with_extension("expected.json");
+        let Ok(text) = fs::read_to_string(&golden) else { continue };
+        let v = asc::core::obs::Json::parse(&text).unwrap();
+        assert_eq!(v.get("schema").and_then(|s| s.as_str()), Some("mtasc.lint.v1"));
+        // pretty-printing the parsed value reproduces the golden exactly
+        assert_eq!(v.to_pretty() + "\n", text, "{golden:?} not canonical");
+    }
+}
