@@ -23,6 +23,33 @@ for prog in examples/programs/*; do
 done
 ./target/release/mtasc lint --kernels --deny warnings
 
+echo "==> mtasc stats validate (committed BENCH_*.json schemas)"
+./target/release/mtasc stats validate BENCH_*.json
+
+echo "==> mtasc profile + stats diff smoke (sort kernel, fail-on-regress)"
+# Profile one kernel (conservation is asserted by the profiler's tests;
+# here we check the CLI surface end to end), then diff the profile
+# against itself — any regression past 0% would be a determinism bug.
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+cat > "$SMOKE_DIR/smoke.asc" <<'ASC'
+        li    s2, 5
+        li    s3, 0
+        pidx  p1
+loop:   paddi p1, p1, 1
+        rsum  s1, p1
+        add   s4, s4, s1
+        addi  s3, s3, 1
+        ceq   f1, s3, s2
+        bf    f1, loop
+        halt
+ASC
+./target/release/mtasc profile "$SMOKE_DIR/smoke.asc" --json "$SMOKE_DIR/a.json" \
+    | grep -q "conservation: exact"
+./target/release/mtasc profile "$SMOKE_DIR/smoke.asc" --json "$SMOKE_DIR/b.json" > /dev/null
+./target/release/mtasc stats validate "$SMOKE_DIR/a.json"
+./target/release/mtasc stats diff "$SMOKE_DIR/a.json" "$SMOKE_DIR/b.json" --fail-on-regress 0
+
 echo "==> cargo test"
 cargo test --workspace -q
 

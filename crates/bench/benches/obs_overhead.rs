@@ -96,12 +96,27 @@ done:   halt
     )
 }
 
-/// One full simulated run; `traced` attaches a ring sink first.
-fn run_sort(program: &Program, values: &[Word], traced: bool) -> u64 {
+/// What observability is attached to a benchmarked run.
+#[derive(Clone, Copy)]
+enum Mode {
+    /// Nothing attached: the baseline issue path.
+    Bare,
+    /// Ring-buffer trace sink (event construction + ring push).
+    RingSink,
+    /// Cycle-attribution profiler (pre-sized counter rows, no events).
+    Profiler,
+}
+
+/// One full simulated run under the given observability mode.
+fn run_sort(program: &Program, values: &[Word], mode: Mode) -> u64 {
     let mut m = Machine::with_program(MachineConfig::new(N), program).unwrap();
-    if traced {
-        let ring = Rc::new(RefCell::new(RingBufferSink::new(RING_CAPACITY)));
-        m.attach_sink(SinkHandle::shared(ring));
+    match mode {
+        Mode::Bare => {}
+        Mode::RingSink => {
+            let ring = Rc::new(RefCell::new(RingBufferSink::new(RING_CAPACITY)));
+            m.attach_sink(SinkHandle::shared(ring));
+        }
+        Mode::Profiler => m.attach_profiler(),
     }
     m.array_mut().scatter_column(0, values).unwrap();
     m.run(1_000_000).unwrap().cycles
@@ -114,42 +129,53 @@ fn bench_obs_overhead(c: &mut Criterion) {
         (0..N as i64).map(|i| Word::from_i64((i * 37) % 101, cfg.width)).collect();
 
     let mut g = c.benchmark_group("obs_overhead");
-    for (label, traced) in [("no_sink", false), ("ring_sink", true)] {
-        g.bench_with_input(BenchmarkId::from_parameter(label), &traced, |b, &traced| {
-            b.iter(|| black_box(run_sort(&program, &values, traced)))
+    for (label, mode) in
+        [("no_sink", Mode::Bare), ("ring_sink", Mode::RingSink), ("profiler", Mode::Profiler)]
+    {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, &mode| {
+            b.iter(|| black_box(run_sort(&program, &values, mode)))
         });
     }
     g.finish();
 }
 
-/// Assert the "no sink attached" path never touches the heap: build and
-/// seed the machine (allocating freely), then snapshot the allocation
-/// counter and step to completion. `Machine::run` is avoided because it
-/// clones `Stats` (which owns vectors) on return; `step` is exactly the
-/// per-cycle path the benchmark times.
-fn assert_no_sink_steps_are_allocation_free() {
+/// Assert the detached paths never touch the heap: build and seed the
+/// machine (allocating freely), then snapshot the allocation counter and
+/// step to completion. `Machine::run` is avoided because it clones
+/// `Stats` (which owns vectors) on return; `step` is exactly the
+/// per-cycle path the benchmark times. Checked twice:
+///
+/// 1. nothing attached — the profiler-off, sink-off baseline;
+/// 2. profiler attached — its rows are pre-sized at attach time, so the
+///    steady-state recording path must also be allocation-free.
+fn assert_detached_and_profiled_steps_are_allocation_free() {
     let program = assemble(&sort_source(N)).expect("sort kernel assembles");
     let cfg = MachineConfig::new(N);
     let values: Vec<Word> =
         (0..N as i64).map(|i| Word::from_i64((i * 37) % 101, cfg.width)).collect();
-    let mut m = Machine::with_program(cfg, &program).unwrap();
-    m.array_mut().scatter_column(0, &values).unwrap();
+    for (label, profiled) in [("no-sink", false), ("profiler-on", true)] {
+        let mut m = Machine::with_program(cfg, &program).unwrap();
+        if profiled {
+            m.attach_profiler();
+        }
+        m.array_mut().scatter_column(0, &values).unwrap();
 
-    let before = ALLOC_CALLS.load(Ordering::Relaxed);
-    let mut steps: u64 = 0;
-    while !m.finished() {
-        m.step().unwrap();
-        steps += 1;
-        assert!(steps <= 1_000_000, "sort kernel failed to halt");
+        let before = ALLOC_CALLS.load(Ordering::Relaxed);
+        let mut steps: u64 = 0;
+        while !m.finished() {
+            m.step().unwrap();
+            steps += 1;
+            assert!(steps <= 1_000_000, "sort kernel failed to halt");
+        }
+        let after = ALLOC_CALLS.load(Ordering::Relaxed);
+        assert_eq!(
+            after - before,
+            0,
+            "{label} issue path allocated {} time(s) over {steps} steps",
+            after - before
+        );
+        println!("{label} allocation check: 0 allocations over {steps} steps");
     }
-    let after = ALLOC_CALLS.load(Ordering::Relaxed);
-    assert_eq!(
-        after - before,
-        0,
-        "no-sink issue path allocated {} time(s) over {steps} steps",
-        after - before
-    );
-    println!("no-sink allocation check: 0 allocations over {steps} steps");
 }
 
 criterion_group!(benches, bench_obs_overhead);
@@ -158,7 +184,7 @@ fn main() {
     // Under `--list` only bench names may be printed; the assertion runs
     // in every other mode (including `--test` smoke runs in CI).
     if !std::env::args().any(|a| a == "--list") {
-        assert_no_sink_steps_are_allocation_free();
+        assert_detached_and_profiled_steps_are_allocation_free();
     }
     benches();
 }

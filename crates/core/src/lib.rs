@@ -49,7 +49,7 @@ pub use emulator::Emulator;
 pub use error::RunError;
 pub use fusion::{cut_reason, fusible_runs, CutReason, FusibleRun, FusionStats, MIN_BLOCK_LEN};
 pub use machine::{IssueRecord, Machine, Step};
-pub use obs::{RingBufferSink, RunReport, SinkHandle, TraceEvent, TraceSink};
+pub use obs::{Profile, RingBufferSink, RunReport, SinkHandle, TraceEvent, TraceSink};
 pub use stats::{StallReason, Stats};
 pub use timing::Timing;
 

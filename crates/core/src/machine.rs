@@ -29,8 +29,9 @@ use asc_pe::{
 use crate::config::{FetchModel, MachineConfig, SchedPolicy};
 use crate::error::RunError;
 use crate::exec::Effect;
+use crate::obs::profile::Profile;
 use crate::obs::{SeqUnit, SinkHandle, ThreadTransition, TraceEvent};
-use crate::scoreboard::Scoreboard;
+use crate::scoreboard::{Scoreboard, NO_PRODUCER_PC};
 use crate::stats::{StallReason, Stats};
 use crate::threads::{ThreadState, ThreadTable};
 use crate::timing::Timing;
@@ -77,6 +78,13 @@ struct Blocked {
     /// Earliest cycle at which the thread might issue (`u64::MAX` for
     /// event-driven waits like joins).
     earliest: u64,
+    /// The blocked thread (profiler attribution).
+    thread: usize,
+    /// PC of the instruction that could not issue.
+    pc: u32,
+    /// PC of the in-flight producer being waited on
+    /// ([`NO_PRODUCER_PC`] when the wait has no register producer).
+    waiting_on: u32,
 }
 
 /// The simulated Multithreaded ASC Processor.
@@ -113,6 +121,9 @@ pub struct Machine {
     trace: Option<Vec<IssueRecord>>,
     /// Attached observability sink (shared by clones of this machine).
     sink: Option<SinkHandle>,
+    /// Attached cycle-attribution profiler (boxed: the row table is large
+    /// and the common case is "not attached").
+    profiler: Option<Box<Profile>>,
     /// Completion cycles of in-flight broadcast-tree operations (queue
     /// depth sampling).
     bcast_inflight: VecDeque<u64>,
@@ -170,6 +181,7 @@ impl Machine {
             stats: Stats::new(cfg.threads),
             trace: None,
             sink: None,
+            profiler: None,
             bcast_inflight: VecDeque::with_capacity(bcast_cap),
             red_inflight: VecDeque::with_capacity(red_cap),
             fusion_plan: None,
@@ -213,6 +225,11 @@ impl Machine {
         self.fusion_buf.clear();
         let cap = self.fusion_plan.as_ref().map_or(0, |p| p.max_block_len()) as usize;
         self.fusion_buf.reserve(cap);
+        // re-shape the profiler's row table for the new program (pre-sized
+        // here so the record path never allocates)
+        if let Some(p) = &mut self.profiler {
+            p.reset(self.cfg.threads, self.imem.len());
+        }
         Ok(())
     }
 
@@ -241,6 +258,27 @@ impl Machine {
     /// The attached sink, if any.
     pub fn sink(&self) -> Option<&SinkHandle> {
         self.sink.as_ref()
+    }
+
+    /// Attach a cycle-attribution profiler: every subsequent cycle is
+    /// charged to a `(thread, pc, stall-reason)` triple (see
+    /// [`crate::obs::profile`]). The row table is sized for the loaded
+    /// program immediately, so the hot record path never allocates. With
+    /// no profiler attached each hook costs one `Option` check.
+    pub fn attach_profiler(&mut self) {
+        self.profiler = Some(Box::new(Profile::new(self.cfg.threads, self.imem.len())));
+    }
+
+    /// The attached profiler's current attribution, if any. Finalized
+    /// (drain charged, conservation exact) only after [`Machine::run`]
+    /// returns.
+    pub fn profile(&self) -> Option<&Profile> {
+        self.profiler.as_deref()
+    }
+
+    /// Detach and return the profiler.
+    pub fn take_profile(&mut self) -> Option<Profile> {
+        self.profiler.take().map(|b| *b)
     }
 
     /// Machine configuration.
@@ -435,8 +473,19 @@ impl Machine {
                         self.stats.thread_switches += 1;
                         let row = self.threads.get_mut(next);
                         row.next_issue = row.next_issue.max(self.cycle + penalty);
+                        let next_pc = row.pc;
                         self.bubble[next] = StallReason::SwitchPenalty;
                         self.stats.record_stall(StallReason::SwitchPenalty, 1);
+                        if let Some(p) = &mut self.profiler {
+                            // the switch cycle is the incoming thread's cost
+                            p.record_stall(
+                                next,
+                                next_pc,
+                                StallReason::SwitchPenalty,
+                                1,
+                                NO_PRODUCER_PC,
+                            );
+                        }
                         if let Some(sink) = &self.sink {
                             sink.emit(&TraceEvent::Stall {
                                 cycle: self.cycle,
@@ -478,6 +527,12 @@ impl Machine {
         };
         let reason = block.map(|b| b.reason).unwrap_or(StallReason::NoThread);
         self.stats.record_stall(reason, delta);
+        if let Some(p) = &mut self.profiler {
+            match block {
+                Some(b) => p.record_stall(b.thread, b.pc, reason, delta, b.waiting_on),
+                None => p.record_unattributed(reason, delta),
+            }
+        }
         if let Some(sink) = &self.sink {
             sink.emit(&TraceEvent::Stall { cycle: self.cycle, reason, cycles: delta });
         }
@@ -489,20 +544,27 @@ impl Machine {
     /// instruction, or why not.
     fn thread_ready(&mut self, tid: usize) -> Result<Result<Instr, Blocked>, RunError> {
         let row = *self.threads.get(tid);
+        let blocked = |reason, earliest, waiting_on| Blocked {
+            reason,
+            earliest,
+            thread: tid,
+            pc: row.pc,
+            waiting_on,
+        };
         match row.state {
             ThreadState::Free => {
-                return Ok(Err(Blocked { reason: StallReason::NoThread, earliest: u64::MAX }))
+                return Ok(Err(blocked(StallReason::NoThread, u64::MAX, NO_PRODUCER_PC)))
             }
             ThreadState::WaitingJoin(_) => {
-                return Ok(Err(Blocked { reason: StallReason::WaitJoin, earliest: u64::MAX }))
+                return Ok(Err(blocked(StallReason::WaitJoin, u64::MAX, NO_PRODUCER_PC)))
             }
             ThreadState::Runnable => {}
         }
         if row.next_issue > self.cycle {
-            return Ok(Err(Blocked { reason: self.bubble[tid], earliest: row.next_issue }));
+            return Ok(Err(blocked(self.bubble[tid], row.next_issue, NO_PRODUCER_PC)));
         }
         if matches!(self.cfg.fetch, FetchModel::Finite { .. }) && self.ibuf[tid] == 0 {
-            return Ok(Err(Blocked { reason: StallReason::FetchEmpty, earliest: self.cycle + 1 }));
+            return Ok(Err(blocked(StallReason::FetchEmpty, self.cycle + 1, NO_PRODUCER_PC)));
         }
         let pc = row.pc;
         let instr = self.fetch(tid, pc)?;
@@ -528,7 +590,7 @@ impl Machine {
                 let producer = self.score.producer_class(tid, op);
                 let reason = classify_hazard(producer, class, op);
                 let earliest = self.cycle + (available - consume);
-                let b = Blocked { reason, earliest };
+                let b = blocked(reason, earliest, self.score.producer_pc(tid, op));
                 worst = Some(match worst {
                     Some(prev) if prev.earliest >= b.earliest => prev,
                     _ => b,
@@ -545,22 +607,29 @@ impl Machine {
             let pending = self.score.ready_time(tid, op);
             let mine = self.cycle + self.timing.produce_offset(&instr) + 1;
             if pending > mine {
-                return Ok(Err(Blocked {
-                    reason: StallReason::DataHazard,
-                    earliest: self.cycle + (pending - mine),
-                }));
+                return Ok(Err(blocked(
+                    StallReason::DataHazard,
+                    self.cycle + (pending - mine),
+                    self.score.producer_pc(tid, op),
+                )));
             }
         }
 
         // Structural hazards on the sequential multiplier/divider.
-        if let Some(blocked) = self.structural_block(&instr, class) {
-            return Ok(Err(blocked));
+        if let Some(b) = self.structural_block(tid, pc, &instr, class) {
+            return Ok(Err(b));
         }
 
         Ok(Ok(instr))
     }
 
-    fn structural_block(&self, instr: &Instr, class: InstrClass) -> Option<Blocked> {
+    fn structural_block(
+        &self,
+        tid: usize,
+        pc: u32,
+        instr: &Instr,
+        class: InstrClass,
+    ) -> Option<Blocked> {
         let ex = self.cycle + self.timing.ex_start(class);
         let unit = self.sequential_unit(instr, class)?;
         if unit.is_free(ex) {
@@ -574,6 +643,9 @@ impl Machine {
                     .free_at()
                     .saturating_sub(self.timing.ex_start(class))
                     .max(self.cycle + 1),
+                thread: tid,
+                pc,
+                waiting_on: NO_PRODUCER_PC,
             })
         }
     }
@@ -660,6 +732,14 @@ impl Machine {
         };
 
         self.stats.record_issue(tid, class);
+        if let Some(p) = &mut self.profiler {
+            // ghost issues of fused blocks pass through here too, so fused
+            // and unfused runs attribute identically
+            p.record_issue(tid, pc);
+            if class != InstrClass::Scalar {
+                p.record_net(tid, pc);
+            }
+        }
         if let Some(trace) = &mut self.trace {
             trace.push(IssueRecord { cycle: self.cycle, thread: tid, pc, instr });
         }
@@ -667,7 +747,7 @@ impl Machine {
         // store "available from": the cycle after the result is produced
         let available = self.cycle + self.timing.produce_offset(&instr) + 1;
         for op in instr.writes() {
-            self.score.record_write(tid, op, available, class);
+            self.score.record_write(tid, op, available, class, pc);
         }
         let retire = self.cycle + self.timing.retire_offset(&instr);
         self.stats.last_writeback = self.stats.last_writeback.max(retire);
@@ -773,7 +853,10 @@ impl Machine {
 
     /// Emit a reduction-unit network event (called by the executor's
     /// reduction arms, which know which tree the operation uses).
-    pub(crate) fn emit_net_reduce(&mut self, thread: usize, unit: NetUnit) {
+    pub(crate) fn emit_net_reduce(&mut self, thread: usize, pc: u32, unit: NetUnit) {
+        if let Some(p) = &mut self.profiler {
+            p.record_net(thread, pc);
+        }
         if let Some(sink) = &self.sink {
             sink.emit(&TraceEvent::NetOp {
                 cycle: self.cycle,
@@ -796,6 +879,9 @@ impl Machine {
         }
         // pipeline drain: cycles counted to the last writeback
         self.stats.cycles = self.stats.last_writeback.max(self.cycle) + 1;
+        if let Some(p) = &mut self.profiler {
+            p.finalize(self.stats.cycles);
+        }
         if let Some(sink) = &self.sink {
             // best-effort flush; file-backed sinks latch their own errors
             let _ = sink.flush();

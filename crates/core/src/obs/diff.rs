@@ -1,0 +1,284 @@
+//! Cross-run regression diffing of metric registries.
+//!
+//! [`diff_registries`] compares the counters and gauges of two runs —
+//! two [`RunReport`](super::RunReport)s, two
+//! [`Profile`](super::Profile)s (via `Profile::summary_registry`), or any
+//! other [`Registry`] pair — into per-metric [`DiffEntry`]s with absolute
+//! and relative deltas. [`RegressionCheck`] turns the deltas into a CI
+//! gate: each metric carries a *direction* (higher-is-worse for cycles
+//! and stalls, higher-is-better for IPC and utilizations, neutral
+//! otherwise), and any directed metric moving the wrong way by more than
+//! the threshold fails the check (`mtasc stats diff --fail-on-regress`).
+
+use super::metrics::{MetricValue, Registry};
+
+/// Which way a metric is allowed to move without being a regression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// An increase is a regression (cycles, stalls).
+    HigherIsWorse,
+    /// A decrease is a regression (IPC, utilization).
+    HigherIsBetter,
+    /// No regression semantics (issue counts, geometry).
+    Neutral,
+}
+
+/// Regression direction of a metric name. The taxonomy is curated: cycle
+/// and stall counts regress upward, rates and utilizations regress
+/// downward, and everything else (issue mix, queue depths, geometry) is
+/// neutral — a change there is information, not a failure.
+pub fn direction_of(name: &str) -> Direction {
+    if name == "cycles"
+        || name == "stall_cycles"
+        || name == "drain_cycles"
+        || name == "last_writeback"
+        || name == "thread_switches"
+        || name.starts_with("stall.")
+    {
+        Direction::HigherIsWorse
+    } else if name == "ipc" || name.starts_with("util.") || name.starts_with("occupancy.util.") {
+        Direction::HigherIsBetter
+    } else {
+        Direction::Neutral
+    }
+}
+
+/// One metric's change between run A and run B.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffEntry {
+    /// Metric name.
+    pub name: String,
+    /// Value in run A (the baseline).
+    pub a: f64,
+    /// Value in run B (the candidate).
+    pub b: f64,
+    /// `b - a`.
+    pub delta: f64,
+    /// Relative change in percent (`None` when `a` is 0 and `b` isn't —
+    /// growth from zero has no finite percentage).
+    pub pct: Option<f64>,
+    /// Regression direction of this metric.
+    pub direction: Direction,
+}
+
+impl DiffEntry {
+    /// True if the metric moved at all.
+    pub fn changed(&self) -> bool {
+        self.a != self.b
+    }
+
+    /// The wrong-way relative movement of a directed metric, in percent
+    /// (0 for neutral metrics, improvements, and unchanged values;
+    /// `f64::INFINITY` for growth of a higher-is-worse metric from 0).
+    pub fn regression_pct(&self) -> f64 {
+        let worse = match self.direction {
+            Direction::HigherIsWorse => self.delta > 0.0,
+            Direction::HigherIsBetter => self.delta < 0.0,
+            Direction::Neutral => false,
+        };
+        if !worse {
+            return 0.0;
+        }
+        match self.pct {
+            Some(p) => p.abs(),
+            None => f64::INFINITY,
+        }
+    }
+
+    /// Render as a fixed-width table line.
+    pub fn render(&self) -> String {
+        let pct = match self.pct {
+            Some(p) => format!("{p:+.1}%"),
+            None if self.delta == 0.0 => "0.0%".to_string(),
+            None => "new".to_string(),
+        };
+        let marker = match self.direction {
+            _ if self.regression_pct() == 0.0 && self.changed() => "  (improved)",
+            _ if self.regression_pct() > 0.0 => "  (REGRESSED)",
+            _ => "",
+        };
+        format!(
+            "  {:<34} {:>14} -> {:<14} {:>8}{}",
+            self.name,
+            num(self.a),
+            num(self.b),
+            pct,
+            marker
+        )
+    }
+}
+
+fn num(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+fn numeric(v: &MetricValue) -> Option<f64> {
+    match v {
+        MetricValue::Counter(c) => Some(*c as f64),
+        MetricValue::Gauge(g) => Some(*g),
+        MetricValue::Histogram(_) => None, // distributions don't diff to one number
+    }
+}
+
+/// Diff the counters and gauges of two registries over the union of their
+/// names (A's registration order first, then names only in B). Metrics
+/// absent from one side default to 0.
+pub fn diff_registries(a: &Registry, b: &Registry) -> Vec<DiffEntry> {
+    let mut names: Vec<&str> = Vec::new();
+    for (n, v) in a.iter().chain(b.iter()) {
+        if numeric(v).is_some() && !names.contains(&n) {
+            names.push(n);
+        }
+    }
+    names
+        .into_iter()
+        .map(|name| {
+            let va = a.get(name).and_then(numeric).unwrap_or(0.0);
+            let vb = b.get(name).and_then(numeric).unwrap_or(0.0);
+            let delta = vb - va;
+            let pct = if va != 0.0 {
+                Some(100.0 * delta / va)
+            } else if delta == 0.0 {
+                Some(0.0)
+            } else {
+                None
+            };
+            DiffEntry {
+                name: name.to_string(),
+                a: va,
+                b: vb,
+                delta,
+                pct,
+                direction: direction_of(name),
+            }
+        })
+        .collect()
+}
+
+/// A `--fail-on-regress` gate over a diff.
+#[derive(Debug, Clone, Copy)]
+pub struct RegressionCheck {
+    /// Maximum tolerated wrong-way movement, in percent.
+    pub threshold_pct: f64,
+}
+
+impl RegressionCheck {
+    /// The entries whose wrong-way movement exceeds the threshold.
+    pub fn regressions<'a>(&self, entries: &'a [DiffEntry]) -> Vec<&'a DiffEntry> {
+        entries.iter().filter(|e| e.regression_pct() > self.threshold_pct).collect()
+    }
+}
+
+/// Render a diff as text: changed metrics first (sorted by |relative
+/// change|, largest first), then a one-line summary. With `all` set,
+/// unchanged metrics are listed too.
+pub fn render_diff(entries: &[DiffEntry], all: bool) -> String {
+    let mut changed: Vec<&DiffEntry> = entries.iter().filter(|e| e.changed()).collect();
+    changed.sort_by(|x, y| {
+        let kx = x.pct.map_or(f64::INFINITY, f64::abs);
+        let ky = y.pct.map_or(f64::INFINITY, f64::abs);
+        ky.partial_cmp(&kx).unwrap_or(std::cmp::Ordering::Equal).then(x.name.cmp(&y.name))
+    });
+    let mut out = String::new();
+    if changed.is_empty() {
+        out.push_str("no metric changes\n");
+    } else {
+        out.push_str(&format!("{} metric(s) changed:\n", changed.len()));
+        for e in &changed {
+            out.push_str(&e.render());
+            out.push('\n');
+        }
+    }
+    if all {
+        let unchanged: Vec<&DiffEntry> = entries.iter().filter(|e| !e.changed()).collect();
+        if !unchanged.is_empty() {
+            out.push_str(&format!("{} metric(s) unchanged:\n", unchanged.len()));
+            for e in unchanged {
+                out.push_str(&e.render());
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reg(cycles: u64, ipc: f64) -> Registry {
+        let mut r = Registry::new();
+        r.counter_add("cycles", cycles);
+        r.counter_add("stall.data hazard", cycles / 10);
+        r.gauge_set("ipc", ipc);
+        r.counter_add("issued", 100);
+        r
+    }
+
+    #[test]
+    fn deltas_and_percentages() {
+        let d = diff_registries(&reg(100, 0.5), &reg(120, 0.4));
+        let cycles = d.iter().find(|e| e.name == "cycles").unwrap();
+        assert_eq!((cycles.a, cycles.b, cycles.delta), (100.0, 120.0, 20.0));
+        assert_eq!(cycles.pct, Some(20.0));
+        assert_eq!(cycles.direction, Direction::HigherIsWorse);
+        assert_eq!(cycles.regression_pct(), 20.0);
+        let ipc = d.iter().find(|e| e.name == "ipc").unwrap();
+        assert_eq!(ipc.direction, Direction::HigherIsBetter);
+        assert!((ipc.regression_pct() - 20.0).abs() < 1e-9, "0.5 -> 0.4 is -20%");
+        let issued = d.iter().find(|e| e.name == "issued").unwrap();
+        assert_eq!(issued.direction, Direction::Neutral);
+        assert!(!issued.changed());
+        assert_eq!(issued.regression_pct(), 0.0);
+    }
+
+    #[test]
+    fn improvements_never_regress() {
+        let d = diff_registries(&reg(120, 0.4), &reg(100, 0.5));
+        assert!(d.iter().all(|e| e.regression_pct() == 0.0));
+        let gate = RegressionCheck { threshold_pct: 0.0 };
+        assert!(gate.regressions(&d).is_empty());
+    }
+
+    #[test]
+    fn threshold_gates() {
+        let d = diff_registries(&reg(100, 0.5), &reg(104, 0.5));
+        assert!(RegressionCheck { threshold_pct: 5.0 }.regressions(&d).is_empty());
+        let hits = RegressionCheck { threshold_pct: 2.0 }.regressions(&d);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].name, "cycles");
+    }
+
+    #[test]
+    fn growth_from_zero_is_infinite_regression() {
+        let mut a = Registry::new();
+        a.counter_add("stall.join wait", 0);
+        let mut b = Registry::new();
+        b.counter_add("stall.join wait", 7);
+        let d = diff_registries(&a, &b);
+        assert_eq!(d[0].pct, None);
+        assert_eq!(d[0].regression_pct(), f64::INFINITY);
+        assert!(!RegressionCheck { threshold_pct: 1e9 }.regressions(&d).is_empty());
+    }
+
+    #[test]
+    fn union_of_names_and_render() {
+        let mut a = Registry::new();
+        a.counter_add("only_a", 5);
+        let mut b = Registry::new();
+        b.counter_add("only_b", 3);
+        let d = diff_registries(&a, &b);
+        assert_eq!(d.len(), 2);
+        assert_eq!((d[0].a, d[0].b), (5.0, 0.0));
+        assert_eq!((d[1].a, d[1].b), (0.0, 3.0));
+        let text = render_diff(&d, false);
+        assert!(text.contains("2 metric(s) changed"));
+        let full = render_diff(&diff_registries(&reg(10, 1.0), &reg(10, 1.0)), true);
+        assert!(full.contains("no metric changes"));
+        assert!(full.contains("unchanged"));
+    }
+}

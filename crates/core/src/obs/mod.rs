@@ -42,14 +42,22 @@
 //! }
 //! ```
 
+pub mod chrome;
+pub mod diff;
 pub mod event;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod report;
 pub mod trace;
 
+pub use chrome::{chrome_trace, chrome_trace_text};
+pub use diff::{diff_registries, render_diff, DiffEntry, Direction, RegressionCheck};
 pub use event::{SeqUnit, ThreadTransition, TraceEvent};
 pub use json::{Json, JsonError};
 pub use metrics::{Histogram, MetricValue, Registry};
+pub use profile::{BlockMap, HotSite, Profile, ProfileRow, StallSummary, PROFILE_SCHEMA};
 pub use report::{MachineMeta, RunReport, REPORT_SCHEMA};
-pub use trace::{parse_json_lines, JsonLinesSink, RingBufferSink, SinkHandle, TraceSink};
+pub use trace::{
+    parse_json_lines, JsonLinesSink, MemorySink, RingBufferSink, SinkHandle, TraceSink,
+};

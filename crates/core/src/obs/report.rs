@@ -46,6 +46,11 @@ pub struct RunReport {
     /// analytic per-stage occupancy counters added by
     /// [`RunReport::from_machine`]).
     pub metrics: Registry,
+    /// Events the attached trace sink discarded (ring eviction or writes
+    /// after an I/O error). Non-zero means the recorded trace is lossy.
+    pub trace_dropped: u64,
+    /// Write errors the attached trace sink absorbed.
+    pub trace_errors: u64,
 }
 
 impl RunReport {
@@ -99,7 +104,11 @@ impl RunReport {
                     .gauge_set(&format!("occupancy.util.{stage}"), n as f64 / stats.cycles as f64);
             }
         }
-        RunReport { machine, totals: stats, metrics }
+        let (trace_dropped, trace_errors) = match m.sink() {
+            Some(sink) => (sink.dropped_events(), sink.write_errors()),
+            None => (0, 0),
+        };
+        RunReport { machine, totals: stats, metrics, trace_dropped, trace_errors }
     }
 
     /// Serialize to a JSON value.
@@ -148,6 +157,8 @@ impl RunReport {
             ("schema".into(), Json::str(REPORT_SCHEMA)),
             ("machine".into(), machine),
             ("totals".into(), totals),
+            ("trace_dropped".into(), Json::U64(self.trace_dropped)),
+            ("trace_errors".into(), Json::U64(self.trace_errors)),
             ("metrics".into(), self.metrics.to_json()),
         ])
     }
@@ -219,7 +230,10 @@ impl RunReport {
         if let Some(h) = metrics.histogram("queue_depth.reduction") {
             totals.reduction_depth = h.clone();
         }
-        Some(RunReport { machine, totals, metrics })
+        // absent in pre-PR-5 reports; default to "not lossy"
+        let trace_dropped = v.get("trace_dropped").and_then(Json::as_u64).unwrap_or(0);
+        let trace_errors = v.get("trace_errors").and_then(Json::as_u64).unwrap_or(0);
+        Some(RunReport { machine, totals, metrics, trace_dropped, trace_errors })
     }
 
     /// Render a human-readable summary (the `mtasc stats` view).
@@ -276,6 +290,12 @@ impl RunReport {
             .collect();
         if !utils.is_empty() {
             out.push_str(&format!("issue-slot utilization: {}\n", utils.join(", ")));
+        }
+        if self.trace_dropped > 0 || self.trace_errors > 0 {
+            out.push_str(&format!(
+                "warning: trace is lossy ({} events dropped, {} write errors)\n",
+                self.trace_dropped, self.trace_errors
+            ));
         }
         out
     }
@@ -350,6 +370,29 @@ loop:   paddi p1, p1, 1
         assert!(text.starts_with("machine: 16 PEs"));
         assert!(text.contains("top stall reasons:"));
         assert!(text.contains("issue-slot utilization:"));
+    }
+
+    #[test]
+    fn trace_lossiness_is_surfaced() {
+        use crate::obs::{RingBufferSink, SinkHandle};
+        let program = asc_asm::assemble(PROGRAM).unwrap();
+        let mut m = Machine::with_program(MachineConfig::new(16), &program).unwrap();
+        m.attach_sink(SinkHandle::new(RingBufferSink::new(1)));
+        m.run(100_000).unwrap();
+        let report = RunReport::from_machine(&m);
+        assert!(report.trace_dropped > 0, "1-slot ring must have dropped events");
+        assert_eq!(report.trace_errors, 0);
+        assert!(report.to_text().contains("warning: trace is lossy"));
+        // the lossiness fields survive the JSON round trip
+        let back = RunReport::parse(&report.to_json().to_pretty()).unwrap();
+        assert_eq!(back.trace_dropped, report.trace_dropped);
+        // pre-PR reports without the fields still parse (default 0)
+        let mut v = report.to_json();
+        if let Json::Obj(entries) = &mut v {
+            entries.retain(|(k, _)| k != "trace_dropped" && k != "trace_errors");
+        }
+        let old = RunReport::from_json(&v).expect("schema-compatible");
+        assert_eq!((old.trace_dropped, old.trace_errors), (0, 0));
     }
 
     #[test]

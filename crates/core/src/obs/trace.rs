@@ -20,6 +20,18 @@ pub trait TraceSink {
     fn flush_sink(&mut self) -> io::Result<()> {
         Ok(())
     }
+
+    /// Events this sink discarded (ring eviction, post-error writes).
+    /// A non-zero value means the recorded trace is lossy.
+    fn dropped_events(&self) -> u64 {
+        0
+    }
+
+    /// Write errors the sink has absorbed (file-backed sinks latch the
+    /// first error and silently drop everything after it).
+    fn write_errors(&self) -> u64 {
+        0
+    }
 }
 
 /// A bounded in-memory sink: keeps the last `capacity` events and counts
@@ -68,6 +80,51 @@ impl TraceSink for RingBufferSink {
         }
         self.events.push_back(*event);
     }
+
+    fn dropped_events(&self) -> u64 {
+        self.dropped
+    }
+}
+
+/// An unbounded in-memory sink: keeps every event (Chrome-trace export
+/// needs the whole stream, not a ring's tail). Prefer [`RingBufferSink`]
+/// when only the recent window matters — this one grows with the run.
+#[derive(Debug, Clone, Default)]
+pub struct MemorySink {
+    events: Vec<TraceEvent>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// All recorded events, in emission order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Consume the sink, returning the events.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&mut self, event: &TraceEvent) {
+        self.events.push(*event);
+    }
 }
 
 /// A sink writing one compact JSON object per line (JSON-Lines) to any
@@ -77,6 +134,7 @@ impl TraceSink for RingBufferSink {
 pub struct JsonLinesSink<W: Write> {
     writer: W,
     written: u64,
+    dropped: u64,
     error: Option<io::Error>,
 }
 
@@ -90,7 +148,7 @@ impl JsonLinesSink<io::BufWriter<std::fs::File>> {
 impl<W: Write> JsonLinesSink<W> {
     /// Wrap a writer.
     pub fn new(writer: W) -> JsonLinesSink<W> {
-        JsonLinesSink { writer, written: 0, error: None }
+        JsonLinesSink { writer, written: 0, dropped: 0, error: None }
     }
 
     /// Lines successfully written.
@@ -115,17 +173,29 @@ impl<W: Write> JsonLinesSink<W> {
 impl<W: Write> TraceSink for JsonLinesSink<W> {
     fn record(&mut self, event: &TraceEvent) {
         if self.error.is_some() {
+            self.dropped += 1;
             return;
         }
         let line = event.to_json().to_compact();
         match self.writer.write_all(line.as_bytes()).and_then(|()| self.writer.write_all(b"\n")) {
             Ok(()) => self.written += 1,
-            Err(e) => self.error = Some(e),
+            Err(e) => {
+                self.error = Some(e);
+                self.dropped += 1;
+            }
         }
     }
 
     fn flush_sink(&mut self) -> io::Result<()> {
         self.writer.flush()
+    }
+
+    fn dropped_events(&self) -> u64 {
+        self.dropped
+    }
+
+    fn write_errors(&self) -> u64 {
+        u64::from(self.error.is_some())
     }
 }
 
@@ -186,6 +256,16 @@ impl SinkHandle {
     pub fn flush(&self) -> io::Result<()> {
         self.0.borrow_mut().flush_sink()
     }
+
+    /// Events the underlying sink discarded (lossy trace when non-zero).
+    pub fn dropped_events(&self) -> u64 {
+        self.0.borrow().dropped_events()
+    }
+
+    /// Write errors the underlying sink absorbed.
+    pub fn write_errors(&self) -> u64 {
+        self.0.borrow().write_errors()
+    }
 }
 
 #[cfg(test)]
@@ -224,6 +304,61 @@ mod tests {
         assert_eq!(parse_json_lines("{\"ev\":\"nope\",\"cycle\":1}"), Err(1));
         let good = samples()[0].to_json().to_compact();
         assert_eq!(parse_json_lines(&format!("{good}\n\nnot json")), Err(3));
+    }
+
+    #[test]
+    fn memory_sink_keeps_everything() {
+        let mut sink = MemorySink::new();
+        assert!(sink.is_empty());
+        for ev in samples() {
+            sink.record(&ev);
+        }
+        assert_eq!(sink.len(), samples().len());
+        assert_eq!(sink.dropped_events(), 0);
+        assert_eq!(sink.events(), samples());
+        assert_eq!(sink.into_events(), samples());
+    }
+
+    #[test]
+    fn lossiness_is_visible_through_the_handle() {
+        let ring = SinkHandle::new(RingBufferSink::new(1));
+        for ev in samples() {
+            ring.emit(&ev);
+        }
+        assert_eq!(ring.dropped_events(), samples().len() as u64 - 1);
+        assert_eq!(ring.write_errors(), 0);
+    }
+
+    /// A writer that fails after `ok` successful writes.
+    struct FailingWriter {
+        ok: usize,
+    }
+
+    impl Write for FailingWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.ok == 0 {
+                return Err(io::Error::other("disk full"));
+            }
+            self.ok -= 1;
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn json_lines_counts_post_error_drops() {
+        // each record is two writes (line + newline); allow exactly one
+        // event through, then fail
+        let mut sink = JsonLinesSink::new(FailingWriter { ok: 2 });
+        for ev in samples() {
+            sink.record(&ev);
+        }
+        assert_eq!(sink.written(), 1);
+        assert!(sink.error().is_some());
+        assert_eq!(sink.write_errors(), 1);
+        assert_eq!(sink.dropped_events(), samples().len() as u64 - 1);
     }
 
     #[test]

@@ -341,4 +341,67 @@ proptest! {
         assert_machines_identical(&fused, &unfused, &format!("seed {seed}"));
         prop_assert_eq!(unfused.fusion_stats().instrs_fused, 0);
     }
+
+    /// The cycle-attribution profiler conserves cycles exactly on random
+    /// programs (1–8 threads, straight-line bodies behind spawn/join
+    /// scaffolding), and block fusion is invisible to it: the fused and
+    /// unfused profiles are bit-for-bit identical — ghost-issued fused
+    /// instructions attribute exactly like their unfused execution.
+    #[test]
+    fn profiles_conserve_and_fusion_is_invisible(seed in any::<u64>(), threads in 1usize..=8) {
+        use asc_isa::gen::random_straightline_instr;
+        use asc_isa::Instr;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut body = String::new();
+        for _ in 0..24 {
+            let mut i = random_straightline_instr(&mut rng);
+            // same bounds argument as `fusion_is_bit_identical`: W8 bases
+            // stay under 256, so these offsets keep every access in range
+            match &mut i {
+                Instr::Lw { off, .. } | Instr::Sw { off, .. } => *off = off.rem_euclid(128),
+                Instr::Plw { off, .. } | Instr::Psw { off, .. } => *off = off.rem_euclid(127),
+                _ => {}
+            }
+            body.push_str("        ");
+            body.push_str(&asc_asm::disassemble(&i));
+            body.push('\n');
+        }
+        let src = if threads == 1 {
+            format!("{body}        halt\n")
+        } else {
+            // spawn `threads - 1` workers into distinct handle registers
+            // (registers, not shared memory, so random worker stores
+            // cannot clobber the join handles), each running the body
+            let mut main = String::from("        li   s1, worker\n");
+            for w in 0..threads - 1 {
+                main.push_str(&format!("        tspawn s{}, s1\n", w + 2));
+            }
+            for w in 0..threads - 1 {
+                main.push_str(&format!("        tjoin s{}\n", w + 2));
+            }
+            main.push_str("        halt\nworker:\n");
+            format!("{main}{body}        texit\n")
+        };
+        let program = asc_asm::assemble(&src).unwrap();
+        let cfg = MachineConfig::new(8).with_width(Width::W8).with_threads(8);
+
+        let mut run = |fusion: bool| {
+            let cfg = if fusion { cfg } else { cfg.without_fusion() };
+            let mut m = Machine::with_program(cfg, &program).unwrap();
+            m.attach_profiler();
+            m.run(10_000_000).unwrap();
+            let cycles = m.stats().cycles;
+            (m.take_profile().unwrap(), cycles)
+        };
+        let (fused, fused_cycles) = run(true);
+        let (unfused, unfused_cycles) = run(false);
+
+        prop_assert_eq!(fused.attributed_cycles(), fused_cycles,
+            "fused conservation (seed {}, {} threads)", seed, threads);
+        prop_assert_eq!(unfused.attributed_cycles(), unfused_cycles,
+            "unfused conservation (seed {}, {} threads)", seed, threads);
+        prop_assert_eq!(fused_cycles, unfused_cycles, "cycle counts agree");
+        prop_assert!(fused == unfused,
+            "profiles bit-identical (seed {}, {} threads)", seed, threads);
+    }
 }

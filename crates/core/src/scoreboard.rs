@@ -19,15 +19,20 @@ fn file_index(class: RegClass) -> usize {
     }
 }
 
+/// Sentinel "no in-flight producer" PC (cycle-0-ready entries).
+pub const NO_PRODUCER_PC: u32 = u32::MAX;
+
 #[derive(Debug, Clone, Copy)]
 struct Entry {
     ready: u64,
     producer: InstrClass,
+    /// PC of the in-flight writer (profiler "waiting on" attribution).
+    producer_pc: u32,
 }
 
 impl Default for Entry {
     fn default() -> Self {
-        Entry { ready: 0, producer: InstrClass::Scalar }
+        Entry { ready: 0, producer: InstrClass::Scalar, producer_pc: NO_PRODUCER_PC }
     }
 }
 
@@ -54,10 +59,24 @@ impl Scoreboard {
         self.entries[thread][file_index(op.class)][op.index as usize].producer
     }
 
+    /// PC of the latest in-flight writer of `op` ([`NO_PRODUCER_PC`] when
+    /// nothing has written it since the thread context was cleared).
+    pub fn producer_pc(&self, thread: usize, op: Operand) -> u32 {
+        self.entries[thread][file_index(op.class)][op.index as usize].producer_pc
+    }
+
     /// Record that `op` of `thread` will be produced (forward-ready) at the
-    /// end of `ready`, by an instruction of class `producer`.
-    pub fn record_write(&mut self, thread: usize, op: Operand, ready: u64, producer: InstrClass) {
-        self.entries[thread][file_index(op.class)][op.index as usize] = Entry { ready, producer };
+    /// end of `ready`, by an instruction of class `producer` at `pc`.
+    pub fn record_write(
+        &mut self,
+        thread: usize,
+        op: Operand,
+        ready: u64,
+        producer: InstrClass,
+        pc: u32,
+    ) {
+        self.entries[thread][file_index(op.class)][op.index as usize] =
+            Entry { ready, producer, producer_pc: pc };
     }
 
     /// Clear a thread's entries (context reallocation).
@@ -83,11 +102,14 @@ mod tests {
         let mut sb = Scoreboard::new(2);
         let s1 = Operand::s(SReg::from_index(1));
         let p1 = Operand::p(PReg::from_index(1));
-        sb.record_write(0, s1, 10, InstrClass::Reduction);
-        sb.record_write(1, s1, 20, InstrClass::Scalar);
-        sb.record_write(0, p1, 30, InstrClass::Parallel);
+        sb.record_write(0, s1, 10, InstrClass::Reduction, 7);
+        sb.record_write(1, s1, 20, InstrClass::Scalar, 8);
+        sb.record_write(0, p1, 30, InstrClass::Parallel, 9);
         assert_eq!(sb.ready_time(0, s1), 10);
         assert_eq!(sb.producer_class(0, s1), InstrClass::Reduction);
+        assert_eq!(sb.producer_pc(0, s1), 7);
+        assert_eq!(sb.producer_pc(0, p1), 9);
+        assert_eq!(sb.producer_pc(1, p1), NO_PRODUCER_PC);
         assert_eq!(sb.ready_time(1, s1), 20);
         assert_eq!(sb.ready_time(0, p1), 30);
         // same index, different file
@@ -100,8 +122,8 @@ mod tests {
         let s1 = Operand::s(SReg::from_index(1));
         let p1 = Operand::p(PReg::from_index(1));
         assert_eq!(sb.pending_writes(0, 0), 0);
-        sb.record_write(0, s1, 10, InstrClass::Reduction);
-        sb.record_write(0, p1, 5, InstrClass::Parallel);
+        sb.record_write(0, s1, 10, InstrClass::Reduction, 7);
+        sb.record_write(0, p1, 5, InstrClass::Parallel, 2);
         assert_eq!(sb.pending_writes(0, 0), 2);
         assert_eq!(sb.pending_writes(0, 5), 1, "p1 produced at end of 5");
         assert_eq!(sb.pending_writes(0, 10), 0);
@@ -112,9 +134,10 @@ mod tests {
     fn clear_thread_resets() {
         let mut sb = Scoreboard::new(2);
         let s1 = Operand::s(SReg::from_index(1));
-        sb.record_write(0, s1, 99, InstrClass::Reduction);
+        sb.record_write(0, s1, 99, InstrClass::Reduction, 3);
         sb.clear_thread(0);
         assert_eq!(sb.ready_time(0, s1), 0);
         assert_eq!(sb.producer_class(0, s1), InstrClass::Scalar);
+        assert_eq!(sb.producer_pc(0, s1), NO_PRODUCER_PC);
     }
 }

@@ -1,22 +1,16 @@
 //! Shared kernel-running scaffolding.
 //!
-//! Set `MTASC_KERNEL_OBS=1` to attach a ring-buffer trace sink to every
-//! kernel run and print a top-5 stall-reason summary to stderr after each
-//! kernel — a quick way to see where a kernel's issue slots go without
-//! modifying its code.
-
-use std::cell::RefCell;
-use std::rc::Rc;
+//! Set `MTASC_KERNEL_OBS=1` to attach the cycle-attribution profiler to
+//! every kernel run and print a top-5 stall-reason summary (with the
+//! hottest site of each) to stderr after each kernel — a quick way to see
+//! where a kernel's issue slots go without modifying its code.
 
 use asc_asm::{assemble, render_errors, Program};
-use asc_core::obs::{RingBufferSink, SinkHandle};
-use asc_core::{Machine, MachineConfig, RunError, StallReason, Stats};
+use asc_core::obs::Profile;
+use asc_core::{Machine, MachineConfig, RunError, Stats};
 use asc_isa::{Width, Word};
 
 use crate::MAX_CYCLES;
-
-/// Ring capacity used when `MTASC_KERNEL_OBS` tracing is on.
-const OBS_RING_CAPACITY: usize = 65_536;
 
 fn obs_enabled() -> bool {
     std::env::var("MTASC_KERNEL_OBS").is_ok_and(|v| !v.is_empty() && v != "0")
@@ -30,19 +24,23 @@ fn fusion_disabled() -> bool {
     std::env::var("MTASC_NO_FUSE").is_ok_and(|v| !v.is_empty() && v != "0")
 }
 
-/// Render the top-5 stall reasons of a run, largest first (empty string if
-/// the run never stalled).
-pub fn stall_summary(stats: &Stats) -> String {
-    let mut ranked: Vec<(StallReason, u64)> = StallReason::ALL
-        .iter()
-        .map(|&r| (r, stats.stalls_for(r)))
-        .filter(|&(_, n)| n > 0)
-        .collect();
-    ranked.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+/// Render the top-5 stall reasons of a profiled run, largest first, each
+/// with its hottest (thread, pc) site (empty string if the run never
+/// stalled).
+pub fn stall_summary(profile: &Profile) -> String {
+    let cycles = profile.total_cycles();
     let mut out = String::new();
-    for (reason, n) in ranked.iter().take(5) {
-        let pct = if stats.cycles == 0 { 0.0 } else { 100.0 * *n as f64 / stats.cycles as f64 };
-        out.push_str(&format!("  {:<26} {n:>8} cycles ({pct:>5.1}%)\n", reason.label()));
+    for s in profile.top_stalls(5) {
+        let pct = if cycles == 0 { 0.0 } else { 100.0 * s.cycles as f64 / cycles as f64 };
+        let site = match s.hottest {
+            Some(h) => format!("  hottest t{} pc {} ({} cycles)", h.thread, h.pc, h.cycles),
+            None => String::new(),
+        };
+        out.push_str(&format!(
+            "  {:<26} {:>8} cycles ({pct:>5.1}%){site}\n",
+            s.reason.label(),
+            s.cycles
+        ));
     }
     out
 }
@@ -65,26 +63,22 @@ pub fn run_kernel(
     let program = assemble_kernel(src);
     let cfg = if fusion_disabled() { cfg.without_fusion() } else { cfg };
     let mut m = Machine::with_program(cfg, &program)?;
-    let ring = if obs_enabled() {
-        let ring = Rc::new(RefCell::new(RingBufferSink::new(OBS_RING_CAPACITY)));
-        m.attach_sink(SinkHandle::shared(ring.clone()));
-        Some(ring)
-    } else {
-        None
-    };
+    if obs_enabled() {
+        m.attach_profiler();
+    }
     setup(&mut m);
     let stats = m.run(MAX_CYCLES)?;
-    if let Some(ring) = ring {
-        let ring = ring.borrow();
+    if let Some(profile) = m.profile() {
         eprintln!(
-            "[kernel obs] {} cycles, {} issued, IPC {:.3}; {} events traced ({} dropped)",
+            "[kernel obs] {} cycles, {} issued, IPC {:.3}; {} attributed + {} drain (conservation: {})",
             stats.cycles,
             stats.issued,
             stats.ipc(),
-            ring.len(),
-            ring.dropped()
+            profile.attributed_cycles() - profile.drain_cycles(),
+            profile.drain_cycles(),
+            if profile.attributed_cycles() == stats.cycles { "exact" } else { "VIOLATED" }
         );
-        let summary = stall_summary(&stats);
+        let summary = stall_summary(profile);
         if summary.is_empty() {
             eprintln!("[kernel obs] no stall cycles");
         } else {
@@ -170,19 +164,22 @@ mod tests {
     }
 
     #[test]
-    fn stall_summary_ranks_and_caps_at_five() {
-        let mut s = Stats::new(1);
-        s.cycles = 1000;
-        for (i, reason) in StallReason::ALL.iter().enumerate() {
-            s.record_stall(*reason, (i as u64 + 1) * 10);
-        }
-        let text = stall_summary(&s);
-        assert_eq!(text.lines().count(), 5, "top five only:\n{text}");
-        let first = text.lines().next().unwrap();
-        assert!(first.contains(StallReason::ALL[9].label()), "largest stall first:\n{text}");
-        assert!(first.contains("100 cycles"));
-        assert!(first.contains("10.0%"));
-        assert!(stall_summary(&Stats::new(1)).is_empty());
+    fn stall_summary_comes_from_the_profiler() {
+        // a reduction chain stalls on every consumer; the profiled summary
+        // must rank reduction hazards first and point at a hot site
+        let program = assemble_kernel(&crate::micro::reduction_chain(8));
+        let mut m = Machine::with_program(MachineConfig::new(16), &program).unwrap();
+        m.attach_profiler();
+        m.run(MAX_CYCLES).unwrap();
+        let profile = m.profile().expect("profiler attached");
+        assert_eq!(profile.attributed_cycles(), m.stats().cycles, "conservation");
+        let text = stall_summary(profile);
+        assert!(!text.is_empty());
+        assert!(text.lines().count() <= 5, "top five only:\n{text}");
+        assert!(text.contains("hazard"), "{text}");
+        assert!(text.contains("hottest t0 pc "), "hot site attributed:\n{text}");
+        // an empty profile renders nothing
+        assert!(stall_summary(&Profile::new(1, 0)).is_empty());
     }
 
     #[test]
