@@ -44,17 +44,56 @@ loop:   paddi p1, p1, 1
         bf    f1, loop
         halt
 ASC
-./target/release/mtasc profile "$SMOKE_DIR/smoke.asc" --json "$SMOKE_DIR/a.json" \
+./target/release/mtasc profile "$SMOKE_DIR/smoke.asc" --json "$SMOKE_DIR/a.json" --no-record \
     | grep -q "conservation: exact"
-./target/release/mtasc profile "$SMOKE_DIR/smoke.asc" --json "$SMOKE_DIR/b.json" > /dev/null
+./target/release/mtasc profile "$SMOKE_DIR/smoke.asc" --json "$SMOKE_DIR/b.json" --no-record \
+    > /dev/null
 ./target/release/mtasc stats validate "$SMOKE_DIR/a.json"
 ./target/release/mtasc stats diff "$SMOKE_DIR/a.json" "$SMOKE_DIR/b.json" --fail-on-regress 0
+# stdin (`-`) on one side feeds the same diff engine
+./target/release/mtasc stats diff - "$SMOKE_DIR/b.json" --fail-on-regress 0 \
+    < "$SMOKE_DIR/a.json" > /dev/null
+
+echo "==> mtasc runs (registry end to end: record, list, show, diff, gc, export)"
+RUNS_DIR="$SMOKE_DIR/runs"
+MTASC="./target/release/mtasc"
+# two recorded runs: a baseline and a deliberately slower one (forwarding
+# off) so the registry diff has a real regression to catch
+"$MTASC" run "$SMOKE_DIR/smoke.asc" --runs-dir "$RUNS_DIR" --progress-every 2 \
+    2> "$SMOKE_DIR/heartbeats.jsonl" | grep -q "recorded run "
+grep -q '"schema":"mtasc.progress.v1"' "$SMOKE_DIR/heartbeats.jsonl"
+"$MTASC" run "$SMOKE_DIR/smoke.asc" --no-forwarding --runs-dir "$RUNS_DIR" > /dev/null
+FAST_ID="$("$MTASC" runs list --runs-dir "$RUNS_DIR" --limit 1 --offset 1 \
+    | sed -n '2p' | cut -d' ' -f1)"
+SLOW_ID="$("$MTASC" runs list --runs-dir "$RUNS_DIR" --limit 1 \
+    | sed -n '2p' | cut -d' ' -f1)"
+# list paginates: one row per page, two runs total
+test "$("$MTASC" runs list --runs-dir "$RUNS_DIR" | wc -l)" -ge 3
+test "$FAST_ID" != "$SLOW_ID"
+"$MTASC" runs show "$FAST_ID" --runs-dir "$RUNS_DIR" | grep -q "status   ok"
+# recorded artifacts and manifests satisfy their schemas
+"$MTASC" stats validate "$RUNS_DIR/$FAST_ID/report.json" "$RUNS_DIR/$FAST_ID/run_meta.json"
+# the injected regression must trip the gate (exit 1, and only 1)
+set +e
+"$MTASC" runs diff "$FAST_ID" "$SLOW_ID" --fail-on-regress 0 --runs-dir "$RUNS_DIR" > /dev/null 2>&1
+DIFF_EXIT=$?
+set -e
+test "$DIFF_EXIT" -eq 1
+# heartbeats recorded into the registry replay through runs watch
+"$MTASC" runs watch "$FAST_ID" --no-follow --runs-dir "$RUNS_DIR" | grep -q "cycle"
+# prometheus export sees both runs
+"$MTASC" runs export --prometheus --runs-dir "$RUNS_DIR" \
+    | grep -q 'mtasc_runs_total{status="ok"} 2'
+# gc keeps the newest run and prunes the other
+"$MTASC" runs gc --keep 1 --runs-dir "$RUNS_DIR" | grep -q "pruned 1"
+"$MTASC" runs list --runs-dir "$RUNS_DIR" | grep -q "$SLOW_ID"
+! "$MTASC" runs list --runs-dir "$RUNS_DIR" | grep -q "$FAST_ID"
 
 echo "==> cargo test"
 cargo test --workspace -q
 
 echo "==> cargo test --features proptest (property tests)"
-cargo test -p asc-core -p asc-asm -p asc-pe --features proptest -q
+cargo test -p asc-core -p asc-asm -p asc-pe -p asc-obs-store --features proptest -q
 
 echo "==> cargo bench --no-run (benches compile)"
 cargo bench --workspace --no-run

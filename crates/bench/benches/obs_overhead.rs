@@ -26,7 +26,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use criterion::{criterion_group, BenchmarkId, Criterion};
 
 use asc_asm::{assemble, Program};
-use asc_core::obs::{RingBufferSink, SinkHandle};
+use asc_core::obs::{ProgressSampler, RingBufferSink, SinkHandle};
 use asc_core::{Machine, MachineConfig};
 use asc_isa::Word;
 
@@ -105,6 +105,9 @@ enum Mode {
     RingSink,
     /// Cycle-attribution profiler (pre-sized counter rows, no events).
     Profiler,
+    /// Progress sampler snapshotting every cycle into its bounded ring
+    /// (the `mtasc run --progress` machinery, minus the I/O sink).
+    Progress,
 }
 
 /// One full simulated run under the given observability mode.
@@ -117,6 +120,7 @@ fn run_sort(program: &Program, values: &[Word], mode: Mode) -> u64 {
             m.attach_sink(SinkHandle::shared(ring));
         }
         Mode::Profiler => m.attach_profiler(),
+        Mode::Progress => m.attach_progress(ProgressSampler::new(1, RING_CAPACITY)),
     }
     m.array_mut().scatter_column(0, values).unwrap();
     m.run(1_000_000).unwrap().cycles
@@ -129,9 +133,12 @@ fn bench_obs_overhead(c: &mut Criterion) {
         (0..N as i64).map(|i| Word::from_i64((i * 37) % 101, cfg.width)).collect();
 
     let mut g = c.benchmark_group("obs_overhead");
-    for (label, mode) in
-        [("no_sink", Mode::Bare), ("ring_sink", Mode::RingSink), ("profiler", Mode::Profiler)]
-    {
+    for (label, mode) in [
+        ("no_sink", Mode::Bare),
+        ("ring_sink", Mode::RingSink),
+        ("profiler", Mode::Profiler),
+        ("progress", Mode::Progress),
+    ] {
         g.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, &mode| {
             b.iter(|| black_box(run_sort(&program, &values, mode)))
         });
@@ -147,16 +154,25 @@ fn bench_obs_overhead(c: &mut Criterion) {
 ///
 /// 1. nothing attached — the profiler-off, sink-off baseline;
 /// 2. profiler attached — its rows are pre-sized at attach time, so the
-///    steady-state recording path must also be allocation-free.
+///    steady-state recording path must also be allocation-free;
+/// 3. progress sampler attached at cadence 1 (a sample EVERY cycle, the
+///    worst case) — its ring is pre-sized and samples are `Copy`, so
+///    sampling must never touch the heap either. The I/O sink the CLI
+///    attaches is deliberately absent: the contract covers the issue
+///    path, not heartbeat serialization.
 fn assert_detached_and_profiled_steps_are_allocation_free() {
     let program = assemble(&sort_source(N)).expect("sort kernel assembles");
     let cfg = MachineConfig::new(N);
     let values: Vec<Word> =
         (0..N as i64).map(|i| Word::from_i64((i * 37) % 101, cfg.width)).collect();
-    for (label, profiled) in [("no-sink", false), ("profiler-on", true)] {
+    for (label, mode) in
+        [("no-sink", Mode::Bare), ("profiler-on", Mode::Profiler), ("progress-on", Mode::Progress)]
+    {
         let mut m = Machine::with_program(cfg, &program).unwrap();
-        if profiled {
-            m.attach_profiler();
+        match mode {
+            Mode::Bare | Mode::RingSink => {}
+            Mode::Profiler => m.attach_profiler(),
+            Mode::Progress => m.attach_progress(ProgressSampler::new(1, RING_CAPACITY)),
         }
         m.array_mut().scatter_column(0, &values).unwrap();
 

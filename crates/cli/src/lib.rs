@@ -16,17 +16,23 @@
 use std::fmt::Write as _;
 
 use std::cell::RefCell;
+use std::path::{Path, PathBuf};
 use std::rc::Rc;
 
 use asc_core::obs::{
     chrome_trace, chrome_trace_text, diff_registries, parse_json_lines, render_diff, Json,
-    JsonLinesSink, MemorySink, Profile, Registry, RegressionCheck, RunReport, SinkHandle,
-    PROFILE_SCHEMA, REPORT_SCHEMA,
+    JsonLinesProgress, JsonLinesSink, MemorySink, Profile, ProgressHandle, ProgressSample,
+    ProgressSampler, ProgressSink, Registry, RegressionCheck, RunReport, SinkHandle,
+    PROFILE_SCHEMA, PROGRESS_SCHEMA, REPORT_SCHEMA,
 };
 use asc_core::pipeline::{control_unit_organization, hazard_diagram, pipeline_organization};
 use asc_core::{Machine, MachineConfig};
 use asc_fpga::{ClockModel, Device, FpgaConfig, ResourceReport};
 use asc_isa::Width;
+use asc_obs_store::{
+    config_fingerprint, list_to_json, program_hash, render_list, Resolve, RunHandle, RunMeta,
+    RunStatus, RunStore, HEARTBEAT_FILE, META_FILE, RUN_META_SCHEMA,
+};
 
 /// Errors surfaced to the user with exit code 1/2.
 #[derive(Debug)]
@@ -73,7 +79,30 @@ pub struct MachineOpts {
     pub fusion: bool,
     /// Print block-fusion statistics after `run`.
     pub fusion_stats: bool,
+    /// Record this invocation into the run registry. Defaults to `false`
+    /// for direct library construction (tests stay hermetic) and `true`
+    /// on the real command line ([`MachineOpts::parse`]); `--no-record`
+    /// opts out there.
+    pub record: bool,
+    /// Registry root override (`--runs-dir`); falls back to
+    /// `$MTASC_RUNS_DIR`, then `.mtasc/runs`.
+    pub runs_dir: Option<String>,
+    /// Stream `mtasc.progress.v1` heartbeats to stderr every this many
+    /// cycles during `run` (0 = off; `--progress` picks the default
+    /// cadence, `--progress-every N` an explicit one).
+    pub progress_every: u64,
+    /// Display name for the registry manifest (the source path; set by
+    /// `dispatch`).
+    pub name: Option<String>,
 }
+
+/// Cadence of `--progress` when no explicit `--progress-every` is given,
+/// and of the heartbeat artifact recorded into the registry.
+pub const DEFAULT_PROGRESS_EVERY: u64 = 4096;
+
+/// Bound on the in-memory progress ring (the heartbeat file holds the
+/// full stream; the ring only feeds end-of-run summaries).
+const PROGRESS_RING: usize = 1024;
 
 impl Default for MachineOpts {
     fn default() -> Self {
@@ -90,6 +119,10 @@ impl Default for MachineOpts {
             trace_chrome: None,
             fusion: true,
             fusion_stats: false,
+            record: false,
+            runs_dir: None,
+            progress_every: 0,
+            name: None,
         }
     }
 }
@@ -112,7 +145,8 @@ impl MachineOpts {
 
     /// Consume recognized flags from `args`, leaving positional arguments.
     pub fn parse(args: &mut Vec<String>) -> Result<MachineOpts, CliError> {
-        let mut opts = MachineOpts::default();
+        // the real command line records by default; --no-record opts out
+        let mut opts = MachineOpts { record: true, ..MachineOpts::default() };
         let mut rest = Vec::new();
         let mut it = args.drain(..);
         while let Some(a) = it.next() {
@@ -137,6 +171,16 @@ impl MachineOpts {
                     }
                 }
                 "--no-forwarding" => opts.forwarding = false,
+                "--no-record" => opts.record = false,
+                "--runs-dir" => opts.runs_dir = Some(take(&mut it)?),
+                "--progress" => {
+                    if opts.progress_every == 0 {
+                        opts.progress_every = DEFAULT_PROGRESS_EVERY;
+                    }
+                }
+                "--progress-every" => {
+                    opts.progress_every = (parse_num(&take(&mut it)?)? as u64).max(1)
+                }
                 "--no-fuse" => opts.fusion = false,
                 "--fusion-stats" => opts.fusion_stats = true,
                 "--trace" => opts.trace = true,
@@ -177,11 +221,29 @@ USAGE:
   mtasc stats <report.json>             summarize a saved run report
   mtasc stats diff <a.json> <b.json> [--fail-on-regress PCT] [--all]
                                         per-metric deltas between two run
-                                        reports or profiles (exit 1 when a
-                                        directed metric regresses past PCT)
+                                        reports or profiles; `-` reads one
+                                        side from stdin.
+                                        exit codes: 0 ok / 1 regression
+                                        (or failure) / 2 usage error
   mtasc stats validate <files...>       check saved JSON artifacts against
                                         their declared schemas
+  mtasc runs list [--status S] [--limit N] [--offset N] [--json]
+                                        recorded runs, newest first
+  mtasc runs show <id> [--top N]        one run's manifest + recorded
+                                        hot-spot table (ids may be unique
+                                        prefixes)
+  mtasc runs diff <a> <b> [--fail-on-regress PCT] [--all]
+                                        stats diff over two recorded runs
+                                        (registry ids or artifact paths)
+  mtasc runs watch <id> [--no-follow] [--poll-ms N]
+                                        tail a run's live progress
+                                        heartbeats (mtasc.progress.v1)
+  mtasc runs gc --keep N                prune all but the newest N runs
+  mtasc runs export --prometheus [--out F]
+                                        registry metrics in Prometheus
+                                        text exposition format
   mtasc info [options]                  machine geometry + FPGA resources
+  mtasc --version                       tool version + emitted schemas
 
 OPTIONS:
   --pes N          processing elements        (default 16)
@@ -197,6 +259,12 @@ OPTIONS:
   --report F       write a JSON run report to F
   --trace-json F   stream trace events (JSON-Lines) to F
   --trace-chrome F write a Chrome trace_event JSON trace to F (Perfetto)
+  --progress       stream mtasc.progress.v1 heartbeats to stderr during run
+  --progress-every N
+                   heartbeat cadence in cycles (default 4096; implies
+                   --progress)
+  --no-record      do not record this invocation into the run registry
+  --runs-dir DIR   registry root (default $MTASC_RUNS_DIR or .mtasc/runs)
 
 LINT OPTIONS:
   --json           emit the mtasc.lint.v1 JSON report instead of text
@@ -208,15 +276,17 @@ LINT OPTIONS:
 
 /// Dispatch a command line (without argv\[0\]); returns the text to print.
 pub fn dispatch(mut args: Vec<String>) -> Result<String, CliError> {
-    let opts = MachineOpts::parse(&mut args)?;
+    let mut opts = MachineOpts::parse(&mut args)?;
     let mut it = args.into_iter();
     let cmd = it.next().ok_or_else(|| CliError::Usage(USAGE.into()))?;
     match cmd.as_str() {
+        "--version" | "-V" | "version" => Ok(version_text()),
         "run" => {
             let path = it.next().ok_or_else(|| CliError::Usage("run needs a file".into()))?;
             let src = std::fs::read_to_string(&path)
                 .map_err(|e| CliError::Failure(format!("{path}: {e}")))?;
             let src = lower_if_ascl(&path, &src)?;
+            opts.name = Some(path);
             cmd_run(&src, opts)
         }
         "asm" => {
@@ -306,6 +376,7 @@ pub fn dispatch(mut args: Vec<String>) -> Result<String, CliError> {
             let src = std::fs::read_to_string(&path)
                 .map_err(|e| CliError::Failure(format!("{path}: {e}")))?;
             let src = lower_if_ascl(&path, &src)?;
+            opts.name = Some(path);
             cmd_profile(&src, opts, top, json_out.as_deref())
         }
         "trace" => {
@@ -353,7 +424,10 @@ pub fn dispatch(mut args: Vec<String>) -> Result<String, CliError> {
                                 })?);
                             }
                             "--all" => all = true,
-                            other if !other.starts_with('-') => files.push(a.clone()),
+                            // `-` is stdin, not an option
+                            other if other == "-" || !other.starts_with('-') => {
+                                files.push(a.clone())
+                            }
                             other => {
                                 return Err(CliError::Usage(format!(
                                     "unknown diff option `{other}`"
@@ -363,6 +437,11 @@ pub fn dispatch(mut args: Vec<String>) -> Result<String, CliError> {
                     }
                     if files.len() != 2 {
                         return Err(CliError::Usage("stats diff needs exactly two files".into()));
+                    }
+                    if files[0] == "-" && files[1] == "-" {
+                        return Err(CliError::Usage(
+                            "stats diff can read stdin (`-`) on only one side".into(),
+                        ));
                     }
                     cmd_stats_diff(&files[0], &files[1], fail_on, all)
                 }
@@ -380,9 +459,196 @@ pub fn dispatch(mut args: Vec<String>) -> Result<String, CliError> {
                 }
             }
         }
+        "runs" => {
+            let sub = it.next().ok_or_else(|| {
+                CliError::Usage("runs needs a subcommand (list/show/diff/watch/gc/export)".into())
+            })?;
+            // opened lazily per branch, after argument validation — a
+            // usage error must not create the registry directory
+            let store = || open_store(&opts);
+            match sub.as_str() {
+                "list" => {
+                    let mut status = None;
+                    let mut limit = None;
+                    let mut offset = 0usize;
+                    let mut json = false;
+                    while let Some(a) = it.next() {
+                        match a.as_str() {
+                            "--status" => {
+                                let s = it.next().ok_or_else(|| {
+                                    CliError::Usage("--status needs running|ok|fault".into())
+                                })?;
+                                status = Some(RunStatus::from_label(&s).ok_or_else(|| {
+                                    CliError::Usage(format!(
+                                        "--status must be running, ok or fault, got `{s}`"
+                                    ))
+                                })?);
+                            }
+                            "--limit" => {
+                                limit =
+                                    Some(parse_num(&it.next().ok_or_else(|| {
+                                        CliError::Usage("--limit needs N".into())
+                                    })?)?)
+                            }
+                            "--offset" => {
+                                offset =
+                                    parse_num(&it.next().ok_or_else(|| {
+                                        CliError::Usage("--offset needs N".into())
+                                    })?)?
+                            }
+                            "--json" => json = true,
+                            other => {
+                                return Err(CliError::Usage(format!(
+                                    "unknown runs list option `{other}`"
+                                )))
+                            }
+                        }
+                    }
+                    cmd_runs_list(&store()?, status, limit, offset, json)
+                }
+                "show" => {
+                    let mut top = 10usize;
+                    let mut id = None;
+                    while let Some(a) = it.next() {
+                        match a.as_str() {
+                            "--top" => {
+                                top = parse_num(
+                                    &it.next()
+                                        .ok_or_else(|| CliError::Usage("--top needs N".into()))?,
+                                )?
+                            }
+                            other if !other.starts_with('-') && id.is_none() => id = Some(a),
+                            other => {
+                                return Err(CliError::Usage(format!(
+                                    "unknown runs show option `{other}`"
+                                )))
+                            }
+                        }
+                    }
+                    let id =
+                        id.ok_or_else(|| CliError::Usage("runs show needs a run id".into()))?;
+                    cmd_runs_show(&store()?, &id, top)
+                }
+                "diff" => {
+                    let mut fail_on = None;
+                    let mut all = false;
+                    let mut refs = Vec::new();
+                    while let Some(a) = it.next() {
+                        match a.as_str() {
+                            "--fail-on-regress" => {
+                                let v = it.next().ok_or_else(|| {
+                                    CliError::Usage("--fail-on-regress needs a percentage".into())
+                                })?;
+                                fail_on = Some(v.parse::<f64>().map_err(|_| {
+                                    CliError::Usage(format!("not a percentage: {v}"))
+                                })?);
+                            }
+                            "--all" => all = true,
+                            other if !other.starts_with('-') => refs.push(a.clone()),
+                            other => {
+                                return Err(CliError::Usage(format!(
+                                    "unknown runs diff option `{other}`"
+                                )))
+                            }
+                        }
+                    }
+                    if refs.len() != 2 {
+                        return Err(CliError::Usage(
+                            "runs diff needs exactly two run ids or artifact paths".into(),
+                        ));
+                    }
+                    let store = store()?;
+                    let a = resolve_diffable(&store, &refs[0])?;
+                    let b = resolve_diffable(&store, &refs[1])?;
+                    cmd_stats_diff(&a, &b, fail_on, all)
+                }
+                "watch" => {
+                    let mut follow = true;
+                    let mut poll_ms = 200u64;
+                    let mut id = None;
+                    while let Some(a) = it.next() {
+                        match a.as_str() {
+                            "--no-follow" => follow = false,
+                            "--poll-ms" => {
+                                poll_ms =
+                                    parse_num(&it.next().ok_or_else(|| {
+                                        CliError::Usage("--poll-ms needs N".into())
+                                    })?)? as u64
+                            }
+                            other if !other.starts_with('-') && id.is_none() => id = Some(a),
+                            other => {
+                                return Err(CliError::Usage(format!(
+                                    "unknown runs watch option `{other}`"
+                                )))
+                            }
+                        }
+                    }
+                    let id =
+                        id.ok_or_else(|| CliError::Usage("runs watch needs a run id".into()))?;
+                    cmd_runs_watch(&store()?, &id, follow, poll_ms)
+                }
+                "gc" => {
+                    let mut keep = None;
+                    while let Some(a) = it.next() {
+                        match a.as_str() {
+                            "--keep" => {
+                                keep =
+                                    Some(parse_num(&it.next().ok_or_else(|| {
+                                        CliError::Usage("--keep needs N".into())
+                                    })?)?)
+                            }
+                            other => {
+                                return Err(CliError::Usage(format!(
+                                    "unknown runs gc option `{other}`"
+                                )))
+                            }
+                        }
+                    }
+                    let keep =
+                        keep.ok_or_else(|| CliError::Usage("runs gc needs --keep N".into()))?;
+                    cmd_runs_gc(&store()?, keep)
+                }
+                "export" => {
+                    let mut prometheus = false;
+                    let mut out_path = None;
+                    while let Some(a) = it.next() {
+                        match a.as_str() {
+                            "--prometheus" => prometheus = true,
+                            "--out" => {
+                                out_path =
+                                    Some(it.next().ok_or_else(|| {
+                                        CliError::Usage("--out needs a file".into())
+                                    })?)
+                            }
+                            other => {
+                                return Err(CliError::Usage(format!(
+                                    "unknown runs export option `{other}`"
+                                )))
+                            }
+                        }
+                    }
+                    if !prometheus {
+                        return Err(CliError::Usage(
+                            "runs export needs a format flag (--prometheus)".into(),
+                        ));
+                    }
+                    cmd_runs_export_prometheus(&store()?, out_path.as_deref())
+                }
+                other => Err(CliError::Usage(format!("unknown runs subcommand `{other}`"))),
+            }
+        }
         "info" => Ok(cmd_info(opts)),
         other => Err(CliError::Usage(format!("unknown command `{other}`\n\n{USAGE}"))),
     }
+}
+
+/// `mtasc --version`: crate version plus every schema this tool emits.
+pub fn version_text() -> String {
+    format!(
+        "mtasc {}\nschemas: {REPORT_SCHEMA}, {PROFILE_SCHEMA}, mtasc.lint.v1, \
+         {RUN_META_SCHEMA}, {PROGRESS_SCHEMA}\n",
+        env!("CARGO_PKG_VERSION")
+    )
 }
 
 /// Compile `.ascl` sources down to assembly; pass `.asc` through.
@@ -394,6 +660,87 @@ fn lower_if_ascl(path: &str, src: &str) -> Result<String, CliError> {
     }
 }
 
+/// Open the run registry honouring `--runs-dir` (then `$MTASC_RUNS_DIR`,
+/// then `.mtasc/runs`).
+fn open_store(opts: &MachineOpts) -> Result<RunStore, CliError> {
+    let root = match &opts.runs_dir {
+        Some(dir) => PathBuf::from(dir),
+        None => RunStore::default_root(),
+    };
+    RunStore::open(&root)
+        .map_err(|e| CliError::Failure(format!("run registry {}: {e}", root.display())))
+}
+
+/// Record a `running` manifest for this invocation, unless recording is
+/// disabled (`--no-record`, or direct library callers).
+fn begin_record(
+    kind: &str,
+    opts: &MachineOpts,
+    source: &str,
+    m: &Machine,
+) -> Result<Option<RunHandle>, CliError> {
+    if !opts.record {
+        return Ok(None);
+    }
+    let store = open_store(opts)?;
+    let machine = RunReport::from_machine(m).machine;
+    let name = opts.name.as_deref().unwrap_or("<memory>");
+    let meta =
+        RunMeta::begin(kind, name, program_hash(source), config_fingerprint(&machine), machine.pes);
+    let handle = store.begin(meta).map_err(|e| CliError::Failure(format!("run registry: {e}")))?;
+    Ok(Some(handle))
+}
+
+/// Fan one progress stream out to several sinks (heartbeat file + stderr).
+struct TeeProgress(Vec<ProgressHandle>);
+
+impl ProgressSink for TeeProgress {
+    fn on_sample(&mut self, sample: &ProgressSample) {
+        for h in &self.0 {
+            h.emit(sample);
+        }
+    }
+
+    fn flush_progress(&mut self) -> std::io::Result<()> {
+        for h in &self.0 {
+            h.flush()?;
+        }
+        Ok(())
+    }
+}
+
+/// Attach a [`ProgressSampler`] when heartbeats are wanted: always when
+/// recording (the registry's `progress.jsonl` artifact feeds `runs
+/// watch`), and to stderr when `--progress[-every]` asks for a live
+/// stream.
+fn attach_progress(
+    m: &mut Machine,
+    opts: &MachineOpts,
+    rec: Option<&RunHandle>,
+) -> Result<bool, CliError> {
+    let mut sinks = Vec::new();
+    if let Some(rec) = rec {
+        let path = rec.artifact_path(HEARTBEAT_FILE);
+        let sink = JsonLinesProgress::create(&path.display().to_string())
+            .map_err(|e| CliError::Failure(format!("{}: {e}", path.display())))?;
+        sinks.push(ProgressHandle::new(sink));
+    }
+    if opts.progress_every > 0 {
+        sinks.push(ProgressHandle::new(JsonLinesProgress::new(std::io::stderr())));
+    }
+    if sinks.is_empty() {
+        return Ok(false);
+    }
+    let every = if opts.progress_every > 0 { opts.progress_every } else { DEFAULT_PROGRESS_EVERY };
+    let handle = if sinks.len() == 1 {
+        sinks.pop().expect("one sink")
+    } else {
+        ProgressHandle::new(TeeProgress(sinks))
+    };
+    m.attach_progress(ProgressSampler::new(every, PROGRESS_RING).with_sink(handle));
+    Ok(true)
+}
+
 /// `mtasc run`: assemble, simulate, report.
 pub fn cmd_run(source: &str, opts: MachineOpts) -> Result<String, CliError> {
     let program = asc_asm::assemble(source)
@@ -401,6 +748,8 @@ pub fn cmd_run(source: &str, opts: MachineOpts) -> Result<String, CliError> {
     let cfg = opts.config();
     let mut m =
         Machine::with_program(cfg, &program).map_err(|e| CliError::Failure(e.to_string()))?;
+    let mut rec = begin_record("run", &opts, source, &m)?;
+    let sampled = attach_progress(&mut m, &opts, rec.as_ref())?;
     if opts.trace {
         m.enable_trace();
     }
@@ -419,7 +768,17 @@ pub fn cmd_run(source: &str, opts: MachineOpts) -> Result<String, CliError> {
         }
         None
     };
-    let stats = m.run(opts.max_cycles).map_err(|e| CliError::Failure(e.to_string()))?;
+    let stats = match m.run(opts.max_cycles) {
+        Ok(stats) => stats,
+        Err(e) => {
+            // the manifest keeps the fault: a crashed run stays visible
+            // (and diagnosable) in `mtasc runs list --status fault`
+            if let Some(rec) = rec.take() {
+                let _ = rec.finish_fault(&e.to_string(), m.cycle(), m.stats().issued);
+            }
+            return Err(CliError::Failure(e.to_string()));
+        }
+    };
     let mut out = String::new();
     let t = m.timing();
     let _ = writeln!(
@@ -494,6 +853,20 @@ pub fn cmd_run(source: &str, opts: MachineOpts) -> Result<String, CliError> {
             );
         }
     }
+    if let Some(mut rec) = rec {
+        let report = RunReport::from_machine(&m);
+        let path = rec.artifact_path("report.json");
+        std::fs::write(&path, report.to_json().to_pretty())
+            .map_err(|e| CliError::Failure(format!("{}: {e}", path.display())))?;
+        rec.add_artifact("report.json");
+        if sampled {
+            rec.add_artifact(HEARTBEAT_FILE);
+        }
+        let meta = rec
+            .finish_ok(stats.cycles, stats.issued)
+            .map_err(|e| CliError::Failure(format!("run registry: {e}")))?;
+        let _ = writeln!(out, "\nrecorded run {}", meta.id);
+    }
     Ok(out)
 }
 
@@ -511,8 +884,18 @@ pub fn cmd_profile(
     let cfg = opts.config();
     let mut m =
         Machine::with_program(cfg, &program).map_err(|e| CliError::Failure(e.to_string()))?;
+    let mut rec = begin_record("profile", &opts, source, &m)?;
+    let sampled = attach_progress(&mut m, &opts, rec.as_ref())?;
     m.attach_profiler();
-    m.run(opts.max_cycles).map_err(|e| CliError::Failure(e.to_string()))?;
+    let stats = match m.run(opts.max_cycles) {
+        Ok(stats) => stats,
+        Err(e) => {
+            if let Some(rec) = rec.take() {
+                let _ = rec.finish_fault(&e.to_string(), m.cycle(), m.stats().issued);
+            }
+            return Err(CliError::Failure(e.to_string()));
+        }
+    };
     let profile = m.take_profile().expect("profiler was attached");
     let mut out = String::new();
     let t = m.timing();
@@ -526,6 +909,19 @@ pub fn cmd_profile(
         std::fs::write(path, profile.to_json().to_pretty())
             .map_err(|e| CliError::Failure(format!("{path}: {e}")))?;
         let _ = writeln!(out, "\nprofile written to {path}");
+    }
+    if let Some(mut rec) = rec {
+        let path = rec.artifact_path("profile.json");
+        std::fs::write(&path, profile.to_json().to_pretty())
+            .map_err(|e| CliError::Failure(format!("{}: {e}", path.display())))?;
+        rec.add_artifact("profile.json");
+        if sampled {
+            rec.add_artifact(HEARTBEAT_FILE);
+        }
+        let meta = rec
+            .finish_ok(stats.cycles, stats.issued)
+            .map_err(|e| CliError::Failure(format!("run registry: {e}")))?;
+        let _ = writeln!(out, "\nrecorded run {}", meta.id);
     }
     Ok(out)
 }
@@ -550,13 +946,215 @@ pub fn cmd_trace_convert(
     }
 }
 
+/// Read a whole input, treating `-` as standard input.
+fn read_input(path: &str) -> Result<String, CliError> {
+    if path == "-" {
+        let mut text = String::new();
+        std::io::Read::read_to_string(&mut std::io::stdin(), &mut text)
+            .map_err(|e| CliError::Failure(format!("<stdin>: {e}")))?;
+        Ok(text)
+    } else {
+        std::fs::read_to_string(path).map_err(|e| CliError::Failure(format!("{path}: {e}")))
+    }
+}
+
+/// How an input path is reported in diagnostics (`-` → `<stdin>`).
+fn display_name(path: &str) -> &str {
+    if path == "-" {
+        "<stdin>"
+    } else {
+        path
+    }
+}
+
+/// Resolve one `runs` query to exactly one manifest, or explain why not.
+fn resolve_one(store: &RunStore, query: &str) -> Result<RunMeta, CliError> {
+    match store.find(query).map_err(|e| CliError::Failure(format!("run registry: {e}")))? {
+        Resolve::One(meta) => Ok(*meta),
+        Resolve::Ambiguous(ids) => Err(CliError::Failure(format!(
+            "run id `{query}` is ambiguous; it matches: {}",
+            ids.join(", ")
+        ))),
+        Resolve::NotFound => Err(CliError::Failure(format!(
+            "no run matching `{query}` in {}",
+            store.root().display()
+        ))),
+    }
+}
+
+/// Turn a `runs diff` operand into a diffable artifact path: existing
+/// paths (and `-` for stdin) pass through, anything else resolves in the
+/// registry, preferring the recorded run report over the profile.
+fn resolve_diffable(store: &RunStore, operand: &str) -> Result<String, CliError> {
+    if operand == "-" || Path::new(operand).is_file() {
+        return Ok(operand.to_string());
+    }
+    let meta = resolve_one(store, operand)?;
+    let dir = store.run_dir(&meta.id);
+    for name in ["report.json", "profile.json"] {
+        let p = dir.join(name);
+        if p.is_file() {
+            return Ok(p.display().to_string());
+        }
+    }
+    Err(CliError::Failure(format!(
+        "run {} recorded no diffable artifact (report.json / profile.json)",
+        meta.id
+    )))
+}
+
+/// `mtasc runs list`: paginated, status-filtered registry listing.
+pub fn cmd_runs_list(
+    store: &RunStore,
+    status: Option<RunStatus>,
+    limit: Option<usize>,
+    offset: usize,
+    json: bool,
+) -> Result<String, CliError> {
+    let (mut metas, skipped) =
+        store.list().map_err(|e| CliError::Failure(format!("run registry: {e}")))?;
+    if let Some(status) = status {
+        metas.retain(|m| m.status == status);
+    }
+    let total = metas.len();
+    let metas: Vec<RunMeta> =
+        metas.into_iter().skip(offset).take(limit.unwrap_or(usize::MAX)).collect();
+    if json {
+        return Ok(list_to_json(&metas).to_pretty() + "\n");
+    }
+    let mut out = render_list(&metas);
+    if metas.len() < total {
+        let _ = writeln!(out, "({} of {} runs shown)", metas.len(), total);
+    }
+    if skipped > 0 {
+        let _ = writeln!(out, "warning: skipped {skipped} malformed index line(s)");
+    }
+    Ok(out)
+}
+
+/// `mtasc runs show`: manifest plus whatever recorded tables the run has
+/// (profile hot spots, or the run report's counters).
+pub fn cmd_runs_show(store: &RunStore, id: &str, top: usize) -> Result<String, CliError> {
+    let meta = resolve_one(store, id)?;
+    let dir = store.run_dir(&meta.id);
+    let mut out = meta.to_text();
+    let profile_path = dir.join("profile.json");
+    let report_path = dir.join("report.json");
+    if profile_path.is_file() {
+        let text = std::fs::read_to_string(&profile_path)
+            .map_err(|e| CliError::Failure(format!("{}: {e}", profile_path.display())))?;
+        let profile = Profile::parse(&text)
+            .map_err(|e| CliError::Failure(format!("{}: {e}", profile_path.display())))?;
+        out.push('\n');
+        out.push_str(&profile.render_table(None, None, top));
+    } else if report_path.is_file() {
+        let text = std::fs::read_to_string(&report_path)
+            .map_err(|e| CliError::Failure(format!("{}: {e}", report_path.display())))?;
+        let v = Json::parse(&text)
+            .map_err(|e| CliError::Failure(format!("{}: {e}", report_path.display())))?;
+        let report = RunReport::from_json(&v).ok_or_else(|| {
+            CliError::Failure(format!("{}: malformed run report", report_path.display()))
+        })?;
+        out.push('\n');
+        out.push_str(&report.totals.report());
+    }
+    Ok(out)
+}
+
+/// `mtasc runs gc`: keep the newest N runs, prune the rest.
+pub fn cmd_runs_gc(store: &RunStore, keep: usize) -> Result<String, CliError> {
+    let removed = store.gc(keep).map_err(|e| CliError::Failure(format!("run registry: {e}")))?;
+    if removed.is_empty() {
+        return Ok(format!("nothing to prune (keeping up to {keep})\n"));
+    }
+    let mut out = format!("pruned {} run(s):\n", removed.len());
+    for id in &removed {
+        let _ = writeln!(out, "  {id}");
+    }
+    Ok(out)
+}
+
+/// `mtasc runs export --prometheus`: text exposition format.
+pub fn cmd_runs_export_prometheus(
+    store: &RunStore,
+    out_path: Option<&str>,
+) -> Result<String, CliError> {
+    let text = store.prometheus().map_err(|e| CliError::Failure(format!("run registry: {e}")))?;
+    match out_path {
+        Some(path) => {
+            std::fs::write(path, &text).map_err(|e| CliError::Failure(format!("{path}: {e}")))?;
+            Ok(format!("prometheus metrics written to {path}\n"))
+        }
+        None => Ok(text),
+    }
+}
+
+/// `mtasc runs watch`: render a run's recorded heartbeats; with follow
+/// (the default) keep tailing the file until the final sample lands.
+pub fn cmd_runs_watch(
+    store: &RunStore,
+    id: &str,
+    follow: bool,
+    poll_ms: u64,
+) -> Result<String, CliError> {
+    let meta = resolve_one(store, id)?;
+    let dir = store.run_dir(&meta.id);
+    let path = dir.join(HEARTBEAT_FILE);
+    if !follow {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| CliError::Failure(format!("{}: {e}", path.display())))?;
+        let samples = parse_heartbeats(&text, &path)?;
+        let mut out = format!("run {} ({} {})\n", meta.id, meta.kind, meta.name);
+        for s in &samples {
+            out.push_str(&s.render());
+            out.push('\n');
+        }
+        return Ok(out);
+    }
+    println!("watching run {} ({} {})", meta.id, meta.kind, meta.name);
+    let mut seen = 0usize;
+    loop {
+        let text = std::fs::read_to_string(&path).unwrap_or_default();
+        let samples = parse_heartbeats(&text, &path)?;
+        for s in &samples[seen.min(samples.len())..] {
+            println!("{}", s.render());
+        }
+        seen = samples.len();
+        if samples.last().is_some_and(|s| s.final_sample) {
+            break;
+        }
+        // a run that died without a final heartbeat still terminates the
+        // watch once its manifest leaves the `running` state
+        if let Ok(text) = std::fs::read_to_string(dir.join(META_FILE)) {
+            if RunMeta::parse(&text).is_ok_and(|m| m.status != RunStatus::Running) {
+                break;
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(poll_ms.max(10)));
+    }
+    let final_meta = resolve_one(store, &meta.id)?;
+    Ok(format!("run {} finished: {}\n", final_meta.id, final_meta.status))
+}
+
+/// Parse heartbeat JSON-Lines, ignoring a torn (unterminated) final line
+/// — the writer may be mid-append while we read.
+fn parse_heartbeats(text: &str, path: &Path) -> Result<Vec<ProgressSample>, CliError> {
+    let complete = match text.rfind('\n') {
+        Some(i) => &text[..=i],
+        None => "",
+    };
+    ProgressSample::parse_lines(complete).map_err(|line| {
+        CliError::Failure(format!("{}: malformed heartbeat on line {line}", path.display()))
+    })
+}
+
 /// Load the metrics registry out of a saved JSON artifact: a
 /// `mtasc.run_report.v1` document contributes its full registry, a
 /// `mtasc.profile.v1` document its summary registry. Returns the artifact
 /// kind alongside so mixed-kind diffs can be rejected.
 fn load_registry(path: &str) -> Result<(&'static str, Registry), CliError> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| CliError::Failure(format!("{path}: {e}")))?;
+    let text = read_input(path)?;
+    let path = display_name(path);
     let v = Json::parse(&text).map_err(|e| CliError::Failure(format!("{path}: {e}")))?;
     match v.get("schema").and_then(Json::as_str) {
         Some(REPORT_SCHEMA) => {
@@ -586,6 +1184,7 @@ pub fn cmd_stats_diff(
 ) -> Result<String, CliError> {
     let (kind_a, reg_a) = load_registry(a_path)?;
     let (kind_b, reg_b) = load_registry(b_path)?;
+    let (a_path, b_path) = (display_name(a_path), display_name(b_path));
     if kind_a != kind_b {
         return Err(CliError::Failure(format!(
             "cannot diff a {kind_a} ({a_path}) against a {kind_b} ({b_path})"
@@ -667,6 +1266,9 @@ fn validate_one(path: &str) -> Result<String, String> {
         }
         PROFILE_SCHEMA => {
             Profile::from_json(&v).ok_or("malformed profile")?;
+        }
+        RUN_META_SCHEMA => {
+            RunMeta::from_json(&v).ok_or("malformed run manifest")?;
         }
         "mtasc.kernels.v1" => {
             v.get("num_pes").and_then(Json::as_u64).ok_or("missing `num_pes`")?;
@@ -998,12 +1600,18 @@ mod tests {
         let f = dir.join("prog.asc");
         std::fs::write(&f, "pidx p1\nrsum s1, p1\nhalt\n").unwrap();
         let path = f.to_string_lossy().into_owned();
-        let out =
-            dispatch(vec!["profile".into(), path.clone(), "--top".into(), "3".into()]).unwrap();
+        let out = dispatch(vec![
+            "profile".into(),
+            path.clone(),
+            "--top".into(),
+            "3".into(),
+            "--no-record".into(),
+        ])
+        .unwrap();
         assert!(out.contains("cycles:"), "{out}");
         assert!(matches!(dispatch(vec!["profile".into()]), Err(CliError::Usage(_))));
         assert!(matches!(
-            dispatch(vec!["profile".into(), path, "--bogus".into()]),
+            dispatch(vec!["profile".into(), path, "--bogus".into(), "--no-record".into()]),
             Err(CliError::Usage(_))
         ));
     }
@@ -1216,7 +1824,9 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let f = dir.join("demo.ascl");
         std::fs::write(&f, "par x; x = index(); out(sum(x));").unwrap();
-        let out = dispatch(vec!["run".into(), f.to_string_lossy().into_owned()]).unwrap();
+        let out =
+            dispatch(vec!["run".into(), f.to_string_lossy().into_owned(), "--no-record".into()])
+                .unwrap();
         assert!(out.contains("120"), "{out}"); // sum 0..=15
         let asm = dispatch(vec!["lower".into(), f.to_string_lossy().into_owned()]).unwrap();
         assert!(asm.contains("rsum"));
@@ -1326,5 +1936,172 @@ mod tests {
     fn dispatch_usage() {
         assert!(matches!(dispatch(vec![]), Err(CliError::Usage(_))));
         assert!(matches!(dispatch(vec!["bogus".into()]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn version_prints_crate_version_and_schemas() {
+        let out = dispatch(vec!["--version".into()]).unwrap();
+        assert!(out.contains(env!("CARGO_PKG_VERSION")), "{out}");
+        for schema in [
+            "mtasc.run_report.v1",
+            "mtasc.profile.v1",
+            "mtasc.lint.v1",
+            "mtasc.run_meta.v1",
+            "mtasc.progress.v1",
+        ] {
+            assert!(out.contains(schema), "missing {schema} in: {out}");
+        }
+        assert_eq!(dispatch(vec!["-V".into()]).unwrap(), out);
+    }
+
+    #[test]
+    fn stats_diff_rejects_stdin_on_both_sides() {
+        let e = dispatch(vec!["stats".into(), "diff".into(), "-".into(), "-".into()]);
+        assert!(matches!(e, Err(CliError::Usage(_))), "{e:?}");
+    }
+
+    /// Scratch registry root for one test, removed on drop.
+    struct TempRuns(std::path::PathBuf);
+
+    impl TempRuns {
+        fn new(tag: &str) -> TempRuns {
+            let dir = std::env::temp_dir().join(format!("mtasc_runs_{tag}_{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            TempRuns(dir)
+        }
+
+        fn arg(&self) -> String {
+            self.0.to_string_lossy().into_owned()
+        }
+    }
+
+    impl Drop for TempRuns {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn record_one(tmp: &TempRuns, cmd: &str, extra: &[&str]) -> String {
+        let dir = std::env::temp_dir().join("mtasc_registry_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let f = dir.join("prog.asc");
+        std::fs::write(&f, "pidx p1\nrsum s1, p1\nhalt\n").unwrap();
+        let mut args =
+            vec![cmd.to_string(), f.to_string_lossy().into_owned(), "--runs-dir".into(), tmp.arg()];
+        args.extend(extra.iter().map(|s| s.to_string()));
+        let out = dispatch(args).unwrap();
+        let id = out
+            .lines()
+            .find_map(|l| l.strip_prefix("recorded run "))
+            .unwrap_or_else(|| panic!("no recorded-run line in: {out}"));
+        assert!(asc_obs_store::is_ulid(id), "{id}");
+        id.to_string()
+    }
+
+    #[test]
+    fn run_records_and_runs_subcommands_round_trip() {
+        let tmp = TempRuns::new("e2e");
+        let a = record_one(&tmp, "run", &[]);
+        let b = record_one(&tmp, "profile", &[]);
+        let runs = |rest: &[&str]| {
+            let mut args = vec!["runs".to_string()];
+            args.push(rest[0].to_string());
+            args.extend(["--runs-dir".to_string(), tmp.arg()]);
+            args.extend(rest[1..].iter().map(|s| s.to_string()));
+            dispatch(args)
+        };
+
+        // list: both runs, newest first; pagination and status filter
+        let out = runs(&["list"]).unwrap();
+        assert!(out.contains(&a) && out.contains(&b), "{out}");
+        assert!(out.find(&b).unwrap() < out.find(&a).unwrap(), "newest first: {out}");
+        let page = runs(&["list", "--limit", "1", "--offset", "1"]).unwrap();
+        assert!(page.contains(&a) && !page.contains(&b), "{page}");
+        assert!(page.contains("(1 of 2 runs shown)"), "{page}");
+        assert!(runs(&["list", "--status", "fault"]).unwrap().lines().count() <= 1);
+        let json = runs(&["list", "--json"]).unwrap();
+        let v = Json::parse(&json).unwrap();
+        assert_eq!(v.as_arr().unwrap().len(), 2);
+
+        // show: profile run renders the recorded hot-spot table
+        let shown = runs(&["show", &b]).unwrap();
+        assert!(shown.contains("status   ok"), "{shown}");
+        assert!(shown.contains("cycles"), "{shown}");
+        // unique prefix resolves too
+        assert!(runs(&["show", &b[..10]]).is_ok());
+
+        // diff: same-kind artifacts via registry ids
+        let diffed = runs(&["diff", &a, &a]).unwrap();
+        assert!(diffed.contains("diff"), "{diffed}");
+        // mixed kinds (run report vs profile) are rejected
+        assert!(matches!(runs(&["diff", &a, &b]), Err(CliError::Failure(_))));
+
+        // export: prometheus text exposition
+        let prom = runs(&["export", "--prometheus"]).unwrap();
+        assert!(prom.contains("mtasc_runs_total{status=\"ok\"} 2"), "{prom}");
+        assert!(prom.contains("mtasc_run_ipc"), "{prom}");
+
+        // gc: keep newest, prune the older run
+        let pruned = runs(&["gc", "--keep", "1"]).unwrap();
+        assert!(pruned.contains(&a), "{pruned}");
+        let left = runs(&["list"]).unwrap();
+        assert!(left.contains(&b) && !left.contains(&a), "{left}");
+    }
+
+    #[test]
+    fn watch_no_follow_renders_recorded_heartbeats() {
+        let tmp = TempRuns::new("watch");
+        let id = record_one(&tmp, "run", &["--progress-every", "1"]);
+        let out = dispatch(vec![
+            "runs".into(),
+            "watch".into(),
+            id.clone(),
+            "--no-follow".into(),
+            "--runs-dir".into(),
+            tmp.arg(),
+        ])
+        .unwrap();
+        assert!(out.contains(&id), "{out}");
+        assert!(out.contains("cycle"), "heartbeats rendered: {out}");
+    }
+
+    #[test]
+    fn faulting_run_is_recorded_with_fault_status() {
+        let tmp = TempRuns::new("fault");
+        let dir = std::env::temp_dir().join("mtasc_registry_fault");
+        std::fs::create_dir_all(&dir).unwrap();
+        let f = dir.join("spin.asc");
+        // unbounded loop + tiny cycle budget => BudgetExhausted fault
+        std::fs::write(&f, "loop:\n  addi s1, s1, 1\n  b loop\n").unwrap();
+        let e = dispatch(vec![
+            "run".into(),
+            f.to_string_lossy().into_owned(),
+            "--max-cycles".into(),
+            "64".into(),
+            "--runs-dir".into(),
+            tmp.arg(),
+        ]);
+        assert!(matches!(e, Err(CliError::Failure(_))), "{e:?}");
+        let out = dispatch(vec![
+            "runs".into(),
+            "list".into(),
+            "--status".into(),
+            "fault".into(),
+            "--runs-dir".into(),
+            tmp.arg(),
+        ])
+        .unwrap();
+        assert!(out.contains("fault"), "{out}");
+    }
+
+    #[test]
+    fn stats_diff_reads_stdin_dash_only_via_paths() {
+        // `-` on one side is accepted at the parse layer; reading stdin in
+        // a unit test would hang, so the stdin path itself is pinned by
+        // the exit-code integration test. Here: a path diffed against a
+        // missing file still errors as Failure, not Usage.
+        let e = cmd_stats_diff("/nonexistent/a.json", "/nonexistent/b.json", None, false);
+        assert!(matches!(e, Err(CliError::Failure(_))));
     }
 }

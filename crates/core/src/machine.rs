@@ -30,6 +30,7 @@ use crate::config::{FetchModel, MachineConfig, SchedPolicy};
 use crate::error::RunError;
 use crate::exec::Effect;
 use crate::obs::profile::Profile;
+use crate::obs::progress::{ProgressSample, ProgressSampler};
 use crate::obs::{SeqUnit, SinkHandle, ThreadTransition, TraceEvent};
 use crate::scoreboard::{Scoreboard, NO_PRODUCER_PC};
 use crate::stats::{StallReason, Stats};
@@ -124,6 +125,9 @@ pub struct Machine {
     /// Attached cycle-attribution profiler (boxed: the row table is large
     /// and the common case is "not attached").
     profiler: Option<Box<Profile>>,
+    /// Attached progress sampler (boxed for the same reason; the ring is
+    /// pre-sized so the sampling path never allocates).
+    progress: Option<Box<ProgressSampler>>,
     /// Completion cycles of in-flight broadcast-tree operations (queue
     /// depth sampling).
     bcast_inflight: VecDeque<u64>,
@@ -182,6 +186,7 @@ impl Machine {
             trace: None,
             sink: None,
             profiler: None,
+            progress: None,
             bcast_inflight: VecDeque::with_capacity(bcast_cap),
             red_inflight: VecDeque::with_capacity(red_cap),
             fusion_plan: None,
@@ -279,6 +284,43 @@ impl Machine {
     /// Detach and return the profiler.
     pub fn take_profile(&mut self) -> Option<Profile> {
         self.profiler.take().map(|b| *b)
+    }
+
+    /// Attach a progress sampler: the run counters are snapshotted into
+    /// the sampler's bounded ring (and streamed to its sink, if any)
+    /// every `sampler.every()` cycles, plus once after the pipeline
+    /// drains (the *final* sample, whose cycle equals `Stats::cycles`).
+    /// With no sampler attached the hook costs one `Option` check per
+    /// step; with one attached but no sample due, one extra compare.
+    pub fn attach_progress(&mut self, sampler: ProgressSampler) {
+        self.progress = Some(Box::new(sampler));
+    }
+
+    /// The attached progress sampler, if any.
+    pub fn progress(&self) -> Option<&ProgressSampler> {
+        self.progress.as_deref()
+    }
+
+    /// Detach and return the progress sampler.
+    pub fn take_progress(&mut self) -> Option<ProgressSampler> {
+        self.progress.take().map(|b| *b)
+    }
+
+    /// Snapshot the run counters into the attached sampler (caller
+    /// checked attachment). Allocation-free: the sample is `Copy` and the
+    /// ring is pre-sized.
+    fn sample_progress(&mut self, cycle: u64, final_sample: bool) {
+        let sample = ProgressSample {
+            cycle,
+            issued: self.stats.issued,
+            stall_cycles: self.stats.stall_cycles,
+            stalls: self.stats.stalls,
+            live_threads: self.threads.live_count() as u32,
+            final_sample,
+        };
+        if let Some(p) = &mut self.progress {
+            p.push(sample);
+        }
     }
 
     /// Machine configuration.
@@ -399,10 +441,16 @@ impl Machine {
             self.fetch_cycle(buffer_depth);
         }
 
-        match self.cfg.sched {
+        let step = match self.cfg.sched {
             SchedPolicy::FineGrain => self.step_fine(),
             SchedPolicy::CoarseGrain { switch_penalty } => self.step_coarse(switch_penalty),
+        }?;
+        // live telemetry: stall fast-forwarding can jump past the mark, so
+        // the sample lands at the first step boundary at-or-after it
+        if self.progress.as_ref().is_some_and(|p| p.due(self.cycle)) {
+            self.sample_progress(self.cycle, false);
         }
+        Ok(step)
     }
 
     /// One cycle of the shared fetch unit: fill one instruction into the
@@ -881,6 +929,12 @@ impl Machine {
         self.stats.cycles = self.stats.last_writeback.max(self.cycle) + 1;
         if let Some(p) = &mut self.profiler {
             p.finalize(self.stats.cycles);
+        }
+        if self.progress.is_some() {
+            // the final sample: end-of-run totals, stamped post-drain
+            self.sample_progress(self.stats.cycles, true);
+            // best-effort flush, like the trace sink below
+            let _ = self.progress.as_ref().unwrap().flush();
         }
         if let Some(sink) = &self.sink {
             // best-effort flush; file-backed sinks latch their own errors

@@ -48,6 +48,7 @@ pub mod event;
 pub mod json;
 pub mod metrics;
 pub mod profile;
+pub mod progress;
 pub mod report;
 pub mod trace;
 
@@ -57,6 +58,10 @@ pub use event::{SeqUnit, ThreadTransition, TraceEvent};
 pub use json::{Json, JsonError};
 pub use metrics::{Histogram, MetricValue, Registry};
 pub use profile::{BlockMap, HotSite, Profile, ProfileRow, StallSummary, PROFILE_SCHEMA};
+pub use progress::{
+    JsonLinesProgress, ProgressHandle, ProgressSample, ProgressSampler, ProgressSink,
+    PROGRESS_SCHEMA,
+};
 pub use report::{MachineMeta, RunReport, REPORT_SCHEMA};
 pub use trace::{
     parse_json_lines, JsonLinesSink, MemorySink, RingBufferSink, SinkHandle, TraceSink,

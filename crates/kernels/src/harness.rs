@@ -3,12 +3,15 @@
 //! Set `MTASC_KERNEL_OBS=1` to attach the cycle-attribution profiler to
 //! every kernel run and print a top-5 stall-reason summary (with the
 //! hottest site of each) to stderr after each kernel — a quick way to see
-//! where a kernel's issue slots go without modifying its code.
+//! where a kernel's issue slots go without modifying its code. Observed
+//! runs are also recorded into the persistent run registry (honouring
+//! `$MTASC_RUNS_DIR`), and the summary prints the registry run id.
 
 use asc_asm::{assemble, render_errors, Program};
-use asc_core::obs::Profile;
+use asc_core::obs::{Profile, RunReport};
 use asc_core::{Machine, MachineConfig, RunError, Stats};
 use asc_isa::{Width, Word};
+use asc_obs_store::{config_fingerprint, program_hash, RunHandle, RunMeta, RunStore};
 
 use crate::MAX_CYCLES;
 
@@ -63,11 +66,21 @@ pub fn run_kernel(
     let program = assemble_kernel(src);
     let cfg = if fusion_disabled() { cfg.without_fusion() } else { cfg };
     let mut m = Machine::with_program(cfg, &program)?;
+    let mut rec = None;
     if obs_enabled() {
         m.attach_profiler();
+        rec = begin_obs_record(src, &m);
     }
     setup(&mut m);
-    let stats = m.run(MAX_CYCLES)?;
+    let stats = match m.run(MAX_CYCLES) {
+        Ok(stats) => stats,
+        Err(e) => {
+            if let Some(rec) = rec {
+                let _ = rec.finish_fault(&e.to_string(), m.cycle(), m.stats().issued);
+            }
+            return Err(e);
+        }
+    };
     if let Some(profile) = m.profile() {
         eprintln!(
             "[kernel obs] {} cycles, {} issued, IPC {:.3}; {} attributed + {} drain (conservation: {})",
@@ -85,7 +98,38 @@ pub fn run_kernel(
             eprintln!("[kernel obs] top stall reasons:\n{}", summary.trim_end_matches('\n'));
         }
     }
+    if let Some(mut rec) = rec {
+        if let Some(profile) = m.profile() {
+            let path = rec.artifact_path("profile.json");
+            if std::fs::write(&path, profile.to_json().to_pretty()).is_ok() {
+                rec.add_artifact("profile.json");
+            }
+        }
+        if let Ok(meta) = rec.finish_ok(stats.cycles, stats.issued) {
+            eprintln!("[kernel obs] recorded run {}", meta.id);
+        }
+    }
     Ok((m, stats))
+}
+
+/// Record an observed kernel run into the registry (at the default,
+/// `$MTASC_RUNS_DIR`-honouring root). Failures are swallowed:
+/// observability must never break a kernel test run.
+fn begin_obs_record(src: &str, m: &Machine) -> Option<RunHandle> {
+    begin_obs_record_at(RunStore::default_root(), src, m)
+}
+
+fn begin_obs_record_at(root: std::path::PathBuf, src: &str, m: &Machine) -> Option<RunHandle> {
+    let store = RunStore::open(root).ok()?;
+    let machine = RunReport::from_machine(m).machine;
+    let meta = RunMeta::begin(
+        "kernel",
+        "<kernel>",
+        program_hash(src),
+        config_fingerprint(&machine),
+        machine.pes,
+    );
+    store.begin(meta).ok()
 }
 
 /// Every program this crate can emit, as `(name, source)` pairs at
@@ -186,5 +230,34 @@ mod tests {
     #[should_panic]
     fn pad_rejects_too_many() {
         pad_to(vec![1, 2, 3], 2, 0);
+    }
+
+    #[test]
+    fn observed_kernel_runs_record_into_the_registry() {
+        // exercises the obs recording path directly — toggling the
+        // MTASC_KERNEL_OBS / MTASC_RUNS_DIR env here would race with
+        // parallel tests, so the registry root is passed explicitly
+        let root = std::env::temp_dir().join(format!("mtasc_kernel_obs_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let src = crate::micro::reduction_chain(4);
+        let program = assemble_kernel(&src);
+        let mut m = Machine::with_program(MachineConfig::new(16), &program).unwrap();
+        m.attach_profiler();
+        let mut rec = begin_obs_record_at(root.clone(), &src, &m).expect("registry opens");
+        let stats = m.run(MAX_CYCLES).unwrap();
+        let profile = m.profile().unwrap();
+        std::fs::write(rec.artifact_path("profile.json"), profile.to_json().to_pretty()).unwrap();
+        rec.add_artifact("profile.json");
+        let meta = rec.finish_ok(stats.cycles, stats.issued).unwrap();
+        assert!(asc_obs_store::is_ulid(&meta.id));
+        assert_eq!(meta.kind, "kernel");
+        assert!(meta.config.contains("pes=16"), "{}", meta.config);
+        let store = RunStore::open(&root).unwrap();
+        let (listed, skipped) = store.list().unwrap();
+        assert_eq!(skipped, 0);
+        assert_eq!(listed.len(), 1);
+        assert_eq!(listed[0].cycles, stats.cycles);
+        assert_eq!(listed[0].artifacts, vec!["profile.json".to_string()]);
+        let _ = std::fs::remove_dir_all(&root);
     }
 }

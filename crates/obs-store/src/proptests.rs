@@ -1,0 +1,104 @@
+//! Property tests: the registry's wire formats round-trip losslessly —
+//! `mtasc.run_meta.v1` manifests (through both the pretty run-dir form
+//! and the compact index form) and `mtasc.progress.v1` heartbeat lines.
+
+use asc_core::obs::{Json, ProgressSample};
+use proptest::prelude::*;
+
+use crate::{ulid_at, RunMeta, RunStatus};
+
+/// splitmix64 — a tiny deterministic generator so these tests need no
+/// rand dependency; each call advances the state.
+fn next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A string exercising JSON escaping paths.
+fn gnarly_string(state: &mut u64) -> String {
+    const POOL: [&str; 8] =
+        ["kernel", "a/b.asc", "q\"uote", "back\\slash", "tab\there", "new\nline", "uni £🦀", ""];
+    POOL[(next(state) % POOL.len() as u64) as usize].to_string()
+}
+
+fn arbitrary_meta(state: &mut u64) -> RunMeta {
+    let status = RunStatus::ALL[(next(state) % 3) as usize];
+    let finished = status != RunStatus::Running;
+    RunMeta {
+        id: ulid_at(next(state) & ((1 << 48) - 1), next(state) as u128),
+        kind: ["run", "profile", "kernel"][(next(state) % 3) as usize].into(),
+        name: gnarly_string(state),
+        program_hash: format!("fnv1a64:{:016x}", next(state)),
+        config: gnarly_string(state),
+        pes: next(state) % 65_537,
+        started_unix_ms: next(state),
+        finished_unix_ms: finished.then(|| next(state)),
+        status,
+        fault: (status == RunStatus::Fault).then(|| gnarly_string(state)),
+        cycles: next(state),
+        issued: next(state),
+        artifacts: (0..next(state) % 4).map(|_| gnarly_string(state)).collect(),
+    }
+}
+
+fn arbitrary_sample(state: &mut u64) -> ProgressSample {
+    let mut stalls = [0u64; 10];
+    for s in stalls.iter_mut() {
+        // mix zeros in: zero-valued reasons are elided on the wire
+        *s = if next(state) % 2 == 0 { 0 } else { next(state) };
+    }
+    ProgressSample {
+        cycle: next(state),
+        issued: next(state),
+        stall_cycles: next(state),
+        stalls,
+        live_threads: (next(state) % 4096) as u32,
+        final_sample: next(state) % 2 == 0,
+    }
+}
+
+proptest! {
+    /// A manifest survives JSON round-trips through both renderings.
+    #[test]
+    fn run_meta_round_trips(seed in any::<u64>()) {
+        let mut state = seed;
+        for _ in 0..16 {
+            let meta = arbitrary_meta(&mut state);
+            let compact = RunMeta::parse(&meta.to_json().to_compact()).unwrap();
+            prop_assert_eq!(&compact, &meta);
+            let pretty = RunMeta::parse(&meta.to_json().to_pretty()).unwrap();
+            prop_assert_eq!(&pretty, &meta);
+        }
+    }
+
+    /// A heartbeat sample survives the JSON-Lines round-trip, including
+    /// elided zero stall reasons.
+    #[test]
+    fn progress_round_trips(seed in any::<u64>()) {
+        let mut state = seed;
+        let samples: Vec<ProgressSample> =
+            (0..16).map(|_| arbitrary_sample(&mut state)).collect();
+        let text: String = samples
+            .iter()
+            .map(|s| s.to_json().to_compact() + "\n")
+            .collect();
+        let back = ProgressSample::parse_lines(&text).unwrap();
+        prop_assert_eq!(back, samples);
+    }
+
+    /// Wrong-schema documents are rejected, never mis-parsed.
+    #[test]
+    fn run_meta_rejects_other_schemas(seed in any::<u64>()) {
+        let mut state = seed;
+        let meta = arbitrary_meta(&mut state);
+        let mut v = meta.to_json();
+        if let Json::Obj(pairs) = &mut v {
+            pairs[0].1 = Json::str("mtasc.run_report.v1");
+        }
+        prop_assert!(RunMeta::from_json(&v).is_none());
+        prop_assert!(ProgressSample::from_json(&v).is_none());
+    }
+}

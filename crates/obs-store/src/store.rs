@@ -1,0 +1,484 @@
+//! The on-disk registry: a root directory (default `.mtasc/runs`)
+//! holding one subdirectory per run — manifest plus whatever artifacts
+//! the invocation wrote (report, profile, trace, heartbeat) — and an
+//! append-only `index.jsonl` of manifests.
+//!
+//! The index is written twice per run: a `running` line at begin and a
+//! final line at finish; readers deduplicate by id, **last line wins**.
+//! A crash between the two leaves an honest `running` entry behind —
+//! `runs list` shows it, `runs gc` reaps it. `gc` compacts the index.
+
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+use asc_core::obs::Json;
+
+use crate::meta::{RunMeta, RunStatus};
+use crate::ulid::{ulid, unix_ms};
+
+/// Name of the index file under the registry root.
+pub const INDEX_FILE: &str = "index.jsonl";
+
+/// Name of the manifest file inside each run directory.
+pub const META_FILE: &str = "run_meta.json";
+
+/// Name of the live heartbeat artifact (`mtasc.progress.v1` JSON-Lines).
+pub const HEARTBEAT_FILE: &str = "progress.jsonl";
+
+/// Result of resolving a user-supplied run reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Resolve {
+    /// Exactly one run matched.
+    One(Box<RunMeta>),
+    /// The prefix matched several runs (their ids, newest first).
+    Ambiguous(Vec<String>),
+    /// Nothing matched.
+    NotFound,
+}
+
+/// A run registry rooted at a directory.
+#[derive(Debug, Clone)]
+pub struct RunStore {
+    root: PathBuf,
+}
+
+impl RunStore {
+    /// Open (creating if needed) a registry at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<RunStore> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(RunStore { root })
+    }
+
+    /// The conventional registry location: `$MTASC_RUNS_DIR` if set,
+    /// else `.mtasc/runs` under the current directory.
+    pub fn default_root() -> PathBuf {
+        match std::env::var_os("MTASC_RUNS_DIR") {
+            Some(dir) if !dir.is_empty() => PathBuf::from(dir),
+            _ => PathBuf::from(".mtasc").join("runs"),
+        }
+    }
+
+    /// The registry root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The directory of a run id (not necessarily existing).
+    pub fn run_dir(&self, id: &str) -> PathBuf {
+        self.root.join(id)
+    }
+
+    /// Begin recording a run: stamp id and start time (unless the caller
+    /// pre-set them — tests and golden fixtures do, for determinism),
+    /// create the run directory, write the manifest, and index the
+    /// `running` entry.
+    pub fn begin(&self, mut meta: RunMeta) -> io::Result<RunHandle> {
+        if meta.id.is_empty() {
+            meta.id = ulid();
+        }
+        if meta.started_unix_ms == 0 {
+            meta.started_unix_ms = unix_ms();
+        }
+        fs::create_dir_all(self.run_dir(&meta.id))?;
+        self.write_entry(&meta)?;
+        Ok(RunHandle { store: self.clone(), meta })
+    }
+
+    /// Record a manifest as-is (both index and run-dir manifest) —
+    /// the single-shot form of begin/finish used when the run already
+    /// happened.
+    pub fn record(&self, meta: &RunMeta) -> io::Result<()> {
+        assert!(!meta.id.is_empty(), "record() requires a stamped id");
+        fs::create_dir_all(self.run_dir(&meta.id))?;
+        self.write_entry(meta)
+    }
+
+    /// Write the run-dir manifest and append the index line.
+    fn write_entry(&self, meta: &RunMeta) -> io::Result<()> {
+        fs::write(self.run_dir(&meta.id).join(META_FILE), meta.to_json().to_pretty())?;
+        let mut index =
+            fs::OpenOptions::new().create(true).append(true).open(self.root.join(INDEX_FILE))?;
+        writeln!(index, "{}", meta.to_json().to_compact())
+    }
+
+    /// All recorded runs, newest first (ids are ULIDs, so id order is
+    /// creation order). Returns the manifests and how many malformed
+    /// index lines were skipped (e.g. a torn write from a crashed run).
+    pub fn list(&self) -> io::Result<(Vec<RunMeta>, usize)> {
+        let text = match fs::read_to_string(self.root.join(INDEX_FILE)) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok((Vec::new(), 0)),
+            Err(e) => return Err(e),
+        };
+        let mut metas: Vec<RunMeta> = Vec::new();
+        let mut skipped = 0;
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            match Json::parse(line).ok().as_ref().and_then(RunMeta::from_json) {
+                Some(meta) => {
+                    // last line wins: finish supersedes begin
+                    match metas.iter_mut().find(|m| m.id == meta.id) {
+                        Some(slot) => *slot = meta,
+                        None => metas.push(meta),
+                    }
+                }
+                None => skipped += 1,
+            }
+        }
+        metas.sort_by(|a, b| b.id.cmp(&a.id));
+        Ok((metas, skipped))
+    }
+
+    /// Resolve a user-supplied run reference: an exact id, or a unique
+    /// id prefix (case-insensitive, 4+ characters recommended).
+    pub fn find(&self, query: &str) -> io::Result<Resolve> {
+        let (metas, _) = self.list()?;
+        if let Some(m) = metas.iter().find(|m| m.id == query) {
+            return Ok(Resolve::One(Box::new(m.clone())));
+        }
+        let q = query.to_ascii_uppercase();
+        let hits: Vec<&RunMeta> =
+            metas.iter().filter(|m| m.id.to_ascii_uppercase().starts_with(&q)).collect();
+        Ok(match hits.as_slice() {
+            [] => Resolve::NotFound,
+            [one] => Resolve::One(Box::new((*one).clone())),
+            many => Resolve::Ambiguous(many.iter().map(|m| m.id.clone()).collect()),
+        })
+    }
+
+    /// Keep the newest `keep` runs; delete every older run's directory
+    /// and compact the index to the survivors. Returns the removed ids,
+    /// oldest first.
+    pub fn gc(&self, keep: usize) -> io::Result<Vec<String>> {
+        let (metas, _) = self.list()?;
+        let (kept, removed) = metas.split_at(keep.min(metas.len()));
+        let mut removed_ids: Vec<String> = removed.iter().map(|m| m.id.clone()).collect();
+        removed_ids.reverse();
+        for id in &removed_ids {
+            let dir = self.run_dir(id);
+            if dir.exists() {
+                fs::remove_dir_all(&dir)?;
+            }
+        }
+        // compact: rewrite the index with the survivors, oldest first so
+        // future appends keep chronological file order
+        let mut out = String::new();
+        for meta in kept.iter().rev() {
+            out.push_str(&meta.to_json().to_compact());
+            out.push('\n');
+        }
+        fs::write(self.root.join(INDEX_FILE), out)?;
+        Ok(removed_ids)
+    }
+
+    /// Render the registry in Prometheus text exposition format:
+    /// run counts by status plus per-run cycle/issue/IPC gauges for
+    /// finished runs.
+    pub fn prometheus(&self) -> io::Result<String> {
+        let (metas, _) = self.list()?;
+        Ok(prometheus_text(&metas))
+    }
+}
+
+/// A run being recorded: the directory is on disk, the index says
+/// `running`; call one of the `finish_*` methods when the run ends.
+#[derive(Debug)]
+pub struct RunHandle {
+    store: RunStore,
+    meta: RunMeta,
+}
+
+impl RunHandle {
+    /// The run's registry id.
+    pub fn id(&self) -> &str {
+        &self.meta.id
+    }
+
+    /// The run's directory (exists).
+    pub fn dir(&self) -> PathBuf {
+        self.store.run_dir(&self.meta.id)
+    }
+
+    /// Path for an artifact inside the run directory.
+    pub fn artifact_path(&self, name: &str) -> PathBuf {
+        self.dir().join(name)
+    }
+
+    /// Register an artifact file the caller wrote into the run
+    /// directory (deduplicated; recorded at finish).
+    pub fn add_artifact(&mut self, name: &str) {
+        if !self.meta.artifacts.iter().any(|a| a == name) {
+            self.meta.artifacts.push(name.to_string());
+        }
+    }
+
+    /// The manifest as recorded so far.
+    pub fn meta(&self) -> &RunMeta {
+        &self.meta
+    }
+
+    /// Finish cleanly with the run's totals.
+    pub fn finish_ok(mut self, cycles: u64, issued: u64) -> io::Result<RunMeta> {
+        self.meta.status = RunStatus::Ok;
+        self.meta.cycles = cycles;
+        self.meta.issued = issued;
+        self.finish()
+    }
+
+    /// Finish with a fault description (partial totals are kept).
+    pub fn finish_fault(mut self, fault: &str, cycles: u64, issued: u64) -> io::Result<RunMeta> {
+        self.meta.status = RunStatus::Fault;
+        self.meta.fault = Some(fault.to_string());
+        self.meta.cycles = cycles;
+        self.meta.issued = issued;
+        self.finish()
+    }
+
+    fn finish(mut self) -> io::Result<RunMeta> {
+        if self.meta.finished_unix_ms.is_none() {
+            self.meta.finished_unix_ms = Some(unix_ms().max(self.meta.started_unix_ms));
+        }
+        self.store.write_entry(&self.meta)?;
+        Ok(self.meta)
+    }
+}
+
+/// The `runs list --json` document: an array of manifests (each a
+/// `mtasc.run_meta.v1` object), newest first.
+pub fn list_to_json(metas: &[RunMeta]) -> Json {
+    Json::Arr(metas.iter().map(RunMeta::to_json).collect())
+}
+
+/// Column rendering for `mtasc runs list`.
+pub fn render_list(metas: &[RunMeta]) -> String {
+    let mut out = String::from(
+        "ID                          STATUS   KIND     CYCLES     ISSUED  IPC    NAME\n",
+    );
+    for m in metas {
+        out.push_str(&format!(
+            "{:<26}  {:<7}  {:<7}  {:>9}  {:>9}  {:<5}  {}\n",
+            m.id,
+            m.status.label(),
+            m.kind,
+            if m.status == RunStatus::Running { "-".to_string() } else { m.cycles.to_string() },
+            if m.status == RunStatus::Running { "-".to_string() } else { m.issued.to_string() },
+            if m.status == RunStatus::Running {
+                "-".to_string()
+            } else {
+                format!("{:.3}", m.ipc())
+            },
+            m.name
+        ));
+    }
+    out
+}
+
+/// Prometheus text exposition of a manifest list.
+pub fn prometheus_text(metas: &[RunMeta]) -> String {
+    let mut out = String::new();
+    out.push_str("# HELP mtasc_runs_total Recorded runs in the registry, by status.\n");
+    out.push_str("# TYPE mtasc_runs_total gauge\n");
+    for status in RunStatus::ALL {
+        let n = metas.iter().filter(|m| m.status == status).count();
+        out.push_str(&format!("mtasc_runs_total{{status=\"{}\"}} {n}\n", status.label()));
+    }
+    let finished: Vec<&RunMeta> = metas.iter().filter(|m| m.status != RunStatus::Running).collect();
+    for (metric, help) in [
+        ("mtasc_run_cycles", "Total cycles of a finished run."),
+        ("mtasc_run_issued", "Instructions issued by a finished run."),
+        ("mtasc_run_ipc", "Issued per cycle of a finished run."),
+    ] {
+        out.push_str(&format!("# HELP {metric} {help}\n# TYPE {metric} gauge\n"));
+        for m in &finished {
+            let value = match metric {
+                "mtasc_run_cycles" => m.cycles.to_string(),
+                "mtasc_run_issued" => m.issued.to_string(),
+                _ => format!("{:.6}", m.ipc()),
+            };
+            out.push_str(&format!(
+                "{metric}{{id=\"{}\",kind=\"{}\",name=\"{}\",status=\"{}\"}} {value}\n",
+                escape_label(&m.id),
+                escape_label(&m.kind),
+                escape_label(&m.name),
+                m.status.label(),
+            ));
+        }
+    }
+    out
+}
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::program_hash;
+    use crate::ulid::ulid_at;
+
+    fn tmp_store(tag: &str) -> RunStore {
+        let dir =
+            std::env::temp_dir().join(format!("mtasc-obs-store-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        RunStore::open(dir).unwrap()
+    }
+
+    fn begin_meta(name: &str) -> RunMeta {
+        RunMeta::begin("run", name, program_hash(name), "pes=16 w16 fine-grain".into(), 16)
+    }
+
+    #[test]
+    fn begin_finish_list_round_trip() {
+        let store = tmp_store("round-trip");
+        let h = store.begin(begin_meta("a.asc")).unwrap();
+        let id_a = h.id().to_string();
+        assert!(store.run_dir(&id_a).join(META_FILE).exists());
+
+        // while running, list shows the running entry
+        let (metas, skipped) = store.list().unwrap();
+        assert_eq!(skipped, 0);
+        assert_eq!(metas.len(), 1);
+        assert_eq!(metas[0].status, RunStatus::Running);
+
+        let finished = h.finish_ok(1000, 400).unwrap();
+        assert_eq!(finished.status, RunStatus::Ok);
+        let (metas, _) = store.list().unwrap();
+        assert_eq!(metas.len(), 1, "finish supersedes begin (last line wins)");
+        assert_eq!(metas[0].cycles, 1000);
+        assert!(metas[0].finished_unix_ms.is_some());
+
+        // a second, faulted run lists first (newest first)
+        let h2 = store.begin(begin_meta("b.asc")).unwrap();
+        let id_b = h2.id().to_string();
+        h2.finish_fault("cycle limit", 50, 10).unwrap();
+        let (metas, _) = store.list().unwrap();
+        assert_eq!(metas.len(), 2);
+        assert_eq!(metas[0].id, id_b);
+        assert_eq!(metas[0].status, RunStatus::Fault);
+        assert_eq!(metas[0].fault.as_deref(), Some("cycle limit"));
+        assert_eq!(metas[1].id, id_a);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn find_resolves_exact_prefix_and_ambiguity() {
+        let store = tmp_store("find");
+        let mut a = begin_meta("a.asc");
+        a.id = ulid_at(1000, 1);
+        let mut b = begin_meta("b.asc");
+        b.id = ulid_at(1000, 2);
+        store.record(&a).unwrap();
+        store.record(&b).unwrap();
+
+        assert!(matches!(store.find(&a.id).unwrap(), Resolve::One(m) if m.id == a.id));
+        // the two ids differ only in the last character
+        let shared = &a.id[..25];
+        assert!(matches!(store.find(shared).unwrap(), Resolve::Ambiguous(ids) if ids.len() == 2));
+        assert!(matches!(store.find(&a.id.to_lowercase()).unwrap(), Resolve::One(_)));
+        assert_eq!(store.find("01ZZZZ").unwrap(), Resolve::NotFound);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn gc_keeps_the_newest_and_compacts() {
+        let store = tmp_store("gc");
+        let mut ids = Vec::new();
+        for i in 0..4u64 {
+            let mut m = begin_meta(&format!("k{i}.asc"));
+            m.id = ulid_at(1000 + i, 7);
+            store.record(&m).unwrap();
+            ids.push(m.id);
+        }
+        let removed = store.gc(1).unwrap();
+        assert_eq!(removed, ids[..3].to_vec(), "oldest three removed, oldest first");
+        for id in &removed {
+            assert!(!store.run_dir(id).exists());
+        }
+        let (metas, _) = store.list().unwrap();
+        assert_eq!(metas.len(), 1);
+        assert_eq!(metas[0].id, ids[3]);
+        // index was compacted to one line
+        let index = fs::read_to_string(store.root().join(INDEX_FILE)).unwrap();
+        assert_eq!(index.lines().count(), 1);
+        // gc with nothing to remove is a no-op
+        assert!(store.gc(5).unwrap().is_empty());
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn malformed_index_lines_are_skipped_not_fatal() {
+        let store = tmp_store("torn");
+        let mut m = begin_meta("a.asc");
+        m.id = ulid_at(1, 1);
+        store.record(&m).unwrap();
+        // simulate a torn append from a crashed writer
+        let mut f =
+            fs::OpenOptions::new().append(true).open(store.root().join(INDEX_FILE)).unwrap();
+        writeln!(f, "{{\"schema\":\"mtasc.run_me").unwrap();
+        drop(f);
+        let (metas, skipped) = store.list().unwrap();
+        assert_eq!(metas.len(), 1);
+        assert_eq!(skipped, 1);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn empty_registry_lists_empty() {
+        let store = tmp_store("empty");
+        let (metas, skipped) = store.list().unwrap();
+        assert!(metas.is_empty());
+        assert_eq!(skipped, 0);
+        assert_eq!(store.find("anything").unwrap(), Resolve::NotFound);
+        assert!(store.gc(3).unwrap().is_empty());
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let store = tmp_store("prom");
+        let mut ok = begin_meta("a.asc");
+        ok.id = ulid_at(1, 1);
+        ok.status = RunStatus::Ok;
+        ok.cycles = 100;
+        ok.issued = 50;
+        ok.finished_unix_ms = Some(2);
+        let mut running = begin_meta("weird\"name\\x.asc");
+        running.id = ulid_at(2, 2);
+        store.record(&ok).unwrap();
+        store.record(&running).unwrap();
+        let text = store.prometheus().unwrap();
+        assert!(text.contains("# TYPE mtasc_runs_total gauge"));
+        assert!(text.contains("mtasc_runs_total{status=\"ok\"} 1"), "{text}");
+        assert!(text.contains("mtasc_runs_total{status=\"running\"} 1"), "{text}");
+        assert!(text.contains(&format!("mtasc_run_cycles{{id=\"{}\"", ok.id)), "{text}");
+        assert!(text.contains("mtasc_run_ipc"), "{text}");
+        assert!(text.contains("0.500000"), "{text}");
+        // running runs contribute no per-run series; labels are escaped
+        assert!(!text.contains("weird\"name"), "{text}");
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn list_renderings() {
+        let mut ok = begin_meta("a.asc");
+        ok.id = ulid_at(1, 1);
+        ok.status = RunStatus::Ok;
+        ok.cycles = 100;
+        ok.issued = 50;
+        ok.finished_unix_ms = Some(2);
+        let mut running = begin_meta("b.asc");
+        running.id = ulid_at(2, 2);
+        let metas = [running.clone(), ok.clone()];
+        let table = render_list(&metas);
+        assert!(table.starts_with("ID "), "{table}");
+        assert_eq!(table.lines().count(), 3);
+        assert!(table.contains("0.500"), "{table}");
+        assert!(table.lines().nth(1).unwrap().contains('-'), "running rows show dashes");
+        let json = list_to_json(&metas);
+        assert_eq!(json.as_arr().unwrap().len(), 2);
+        assert_eq!(RunMeta::from_json(&json.as_arr().unwrap()[1]).unwrap(), ok);
+    }
+}

@@ -1,0 +1,162 @@
+//! ULID run identifiers: 48 bits of millisecond timestamp + 80 bits of
+//! randomness, rendered as 26 Crockford base32 characters. Lexicographic
+//! order equals creation order (the registry index and `runs list` sort
+//! by id), ids are filesystem-safe, and the timestamp is recoverable for
+//! display. Hand-rolled — the build environment has no crate registry —
+//! with the spec's *monotonic* generator: ids minted within one
+//! millisecond increment the random field, so same-process ids never
+//! tie or go backwards.
+
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Crockford base32 (no I, L, O, U).
+const ALPHABET: &[u8; 32] = b"0123456789ABCDEFGHJKMNPQRSTVWXYZ";
+
+/// Length of a rendered ULID.
+pub const ULID_LEN: usize = 26;
+
+static LAST: Mutex<(u64, u128)> = Mutex::new((0, 0));
+
+/// Mint a fresh, process-monotonic ULID at the current wall-clock time.
+pub fn ulid() -> String {
+    let ms = unix_ms();
+    let mut last = LAST.lock().unwrap();
+    if ms > last.0 {
+        *last = (ms, entropy80());
+    } else {
+        // same millisecond (or clock went backwards): keep the stored
+        // timestamp and bump the random field, per the monotonic spec
+        last.1 = (last.1 + 1) & ((1u128 << 80) - 1);
+    }
+    ulid_at(last.0, last.1)
+}
+
+/// Render the ULID for a given timestamp and 80-bit random field
+/// (deterministic; tests and golden fixtures use this directly).
+pub fn ulid_at(unix_ms: u64, rand80: u128) -> String {
+    let v: u128 = ((unix_ms as u128 & ((1 << 48) - 1)) << 80) | (rand80 & ((1 << 80) - 1));
+    let mut out = String::with_capacity(ULID_LEN);
+    for i in 0..ULID_LEN {
+        let shift = 5 * (ULID_LEN - 1 - i);
+        out.push(ALPHABET[((v >> shift) & 31) as usize] as char);
+    }
+    out
+}
+
+/// Recover the millisecond timestamp from a ULID (`None` if malformed).
+pub fn ulid_ms(id: &str) -> Option<u64> {
+    if id.len() != ULID_LEN {
+        return None;
+    }
+    let mut v: u128 = 0;
+    for c in id.bytes() {
+        v = (v << 5) | decode_char(c)? as u128;
+    }
+    Some((v >> 80) as u64)
+}
+
+/// True if `id` is a syntactically valid ULID.
+pub fn is_ulid(id: &str) -> bool {
+    ulid_ms(id).is_some()
+}
+
+fn decode_char(c: u8) -> Option<u8> {
+    // Crockford decoding folds case and the easily-confused letters
+    let c = c.to_ascii_uppercase();
+    let c = match c {
+        b'I' | b'L' => b'1',
+        b'O' => b'0',
+        _ => c,
+    };
+    ALPHABET.iter().position(|&a| a == c).map(|p| p as u8)
+}
+
+/// Current wall-clock time as Unix milliseconds.
+pub fn unix_ms() -> u64 {
+    SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_millis() as u64).unwrap_or(0)
+}
+
+/// Render a Unix-milliseconds timestamp as UTC `YYYY-MM-DD HH:MM:SS`
+/// (civil-date arithmetic, no locale).
+pub fn format_unix_ms(ms: u64) -> String {
+    let secs = ms / 1000;
+    let (h, m, s) = ((secs / 3600) % 24, (secs / 60) % 60, secs % 60);
+    let days = (secs / 86_400) as i64;
+    let (y, mo, d) = civil_from_days(days);
+    format!("{y:04}-{mo:02}-{d:02} {h:02}:{m:02}:{s:02}")
+}
+
+/// Days-since-epoch → (year, month, day), Howard Hinnant's algorithm.
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// 80 bits of per-call entropy from the standard library's randomly
+/// keyed SipHash (two independently keyed hashers), mixed with a
+/// process-wide counter — not cryptographic, but collision-safe for run
+/// ids.
+fn entropy80() -> u128 {
+    use std::collections::hash_map::RandomState;
+    use std::hash::{BuildHasher, Hasher};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let mut lo = RandomState::new().build_hasher();
+    lo.write_u64(n);
+    lo.write_u64(std::process::id() as u64);
+    let mut hi = RandomState::new().build_hasher();
+    hi.write_u64(!n);
+    ((hi.finish() as u128) << 64 | lo.finish() as u128) & ((1 << 80) - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_the_timestamp() {
+        let id = ulid_at(1_700_000_000_123, 42);
+        assert_eq!(id.len(), ULID_LEN);
+        assert_eq!(ulid_ms(&id), Some(1_700_000_000_123));
+        assert!(is_ulid(&id));
+        assert!(!is_ulid("not-a-ulid"));
+        assert!(!is_ulid(""));
+    }
+
+    #[test]
+    fn sorts_by_time_then_mint_order() {
+        let a = ulid_at(1000, 5);
+        let b = ulid_at(1000, 6);
+        let c = ulid_at(1001, 0);
+        assert!(a < b && b < c);
+        // live ids are strictly increasing even within one millisecond
+        let ids: Vec<String> = (0..100).map(|_| ulid()).collect();
+        for w in ids.windows(2) {
+            assert!(w[0] < w[1], "{} !< {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn decoding_folds_confusable_characters() {
+        let id = ulid_at(123_456, 789);
+        let folded: String = id.to_lowercase().replace('1', "l").replace('0', "O");
+        assert_eq!(ulid_ms(&folded), Some(123_456));
+    }
+
+    #[test]
+    fn formats_timestamps() {
+        // 2023-11-14T22:13:20Z
+        assert_eq!(format_unix_ms(1_700_000_000_000), "2023-11-14 22:13:20");
+        assert_eq!(format_unix_ms(0), "1970-01-01 00:00:00");
+    }
+}

@@ -48,6 +48,8 @@
 //! * [`verify`] — static analyzer and lint pipeline (`mtasc lint`):
 //!   uninitialized reads, memory bounds, thread lifecycle, dead stores,
 //!   stall and fusion-cut diagnostics.
+//! * [`obs_store`] — persistent run registry behind `mtasc runs`:
+//!   per-run manifests, artifacts, heartbeats, Prometheus export.
 //!
 //! See `DESIGN.md` for the architecture inventory and `EXPERIMENTS.md`
 //! for the paper-versus-measured record of every table and figure.
@@ -59,6 +61,7 @@ pub use asc_isa as isa;
 pub use asc_kernels as kernels;
 pub use asc_lang as lang;
 pub use asc_network as network;
+pub use asc_obs_store as obs_store;
 pub use asc_pe as pe;
 pub use asc_verify as verify;
 

@@ -1,0 +1,115 @@
+//! Golden-file test for `mtasc runs list --json`: a registry populated
+//! with fixed, pre-stamped manifests must render exactly the checked-in
+//! `tests/fixtures/runs/list.expected.json`, pinning the
+//! `mtasc.run_meta.v1` wire format (field names, elision rules, ordering)
+//! against accidental drift.
+//!
+//! After an intentional schema change, regenerate with
+//! `UPDATE_RUNS_GOLDEN=1 cargo test --test runs_golden` and review the
+//! diff.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use asc::obs_store::{ulid_at, RunMeta, RunStatus, RunStore};
+
+fn golden_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/runs/list.expected.json")
+}
+
+/// Three fixed manifests covering every status, with deterministic ids
+/// (fixed timestamp + fixed entropy) and deterministic clocks.
+fn fixture_metas() -> Vec<RunMeta> {
+    let base_ms: u64 = 1_700_000_000_000; // 2023-11-14T22:13:20Z
+    let mut ok = RunMeta::begin(
+        "run",
+        "kernels/sort.asc",
+        "fnv1a64:00000000deadbeef".into(),
+        "pes=16 threads=16 arity=4 w16 b=2 r=4 rr".into(),
+        16,
+    );
+    ok.id = ulid_at(base_ms, 1);
+    ok.started_unix_ms = base_ms;
+    ok.finished_unix_ms = Some(base_ms + 1_500);
+    ok.status = RunStatus::Ok;
+    ok.cycles = 1_024;
+    ok.issued = 768;
+    ok.artifacts = vec!["report.json".into(), "progress.jsonl".into()];
+
+    let mut fault = RunMeta::begin(
+        "profile",
+        "spin.asc",
+        "fnv1a64:0000000000c0ffee".into(),
+        "pes=64 threads=8 arity=4 w32 b=3 r=5 rr".into(),
+        64,
+    );
+    fault.id = ulid_at(base_ms + 60_000, 2);
+    fault.started_unix_ms = base_ms + 60_000;
+    fault.finished_unix_ms = Some(base_ms + 61_000);
+    fault.status = RunStatus::Fault;
+    fault.fault = Some("cycle budget exhausted".into());
+    fault.cycles = 500_000;
+    fault.issued = 125_000;
+
+    let mut running = RunMeta::begin(
+        "kernel",
+        "<kernel>",
+        "fnv1a64:0000000012345678".into(),
+        "pes=16 threads=16 arity=4 w16 b=2 r=4 rr".into(),
+        16,
+    );
+    running.id = ulid_at(base_ms + 120_000, 3);
+    running.started_unix_ms = base_ms + 120_000;
+
+    vec![ok, fault, running]
+}
+
+#[test]
+fn runs_list_json_matches_golden() {
+    let root = std::env::temp_dir().join(format!("mtasc_runs_golden_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    let store = RunStore::open(&root).unwrap();
+    for meta in fixture_metas() {
+        store.record(&meta).unwrap();
+    }
+    let actual =
+        asc_cli::cmd_runs_list(&store, None, None, 0, true).expect("runs list --json renders");
+    let _ = fs::remove_dir_all(&root);
+
+    let golden = golden_path();
+    if std::env::var("UPDATE_RUNS_GOLDEN").is_ok() {
+        fs::create_dir_all(golden.parent().unwrap()).unwrap();
+        fs::write(&golden, &actual).unwrap();
+        return;
+    }
+    let expected = fs::read_to_string(&golden)
+        .unwrap_or_else(|_| panic!("missing golden {golden:?}; run with UPDATE_RUNS_GOLDEN=1"));
+    assert_eq!(
+        actual, expected,
+        "runs list --json diverged from {golden:?}; \
+         regenerate with UPDATE_RUNS_GOLDEN=1 if intentional"
+    );
+}
+
+#[test]
+fn golden_parses_and_round_trips() {
+    if std::env::var("UPDATE_RUNS_GOLDEN").is_ok() {
+        // regeneration mode: the sibling test may still be writing the file
+        return;
+    }
+    let text = fs::read_to_string(golden_path()).expect("golden checked in");
+    let v = asc::core::obs::Json::parse(&text).unwrap();
+    let arr = v.as_arr().expect("a JSON array of manifests");
+    assert_eq!(arr.len(), 3);
+    for m in arr {
+        assert_eq!(m.get("schema").and_then(|s| s.as_str()), Some("mtasc.run_meta.v1"));
+        let meta = RunMeta::from_json(m).expect("manifest parses");
+        assert_eq!(meta.to_json().to_compact(), m.to_compact(), "lossless round-trip");
+    }
+    // the newest run sorts first in the listing
+    let ids: Vec<&str> =
+        arr.iter().map(|m| m.get("id").and_then(|s| s.as_str()).unwrap()).collect();
+    let mut sorted = ids.clone();
+    sorted.sort_by(|a, b| b.cmp(a));
+    assert_eq!(ids, sorted, "newest first");
+}
