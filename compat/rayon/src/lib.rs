@@ -74,6 +74,14 @@ pub mod prelude {
     }
 }
 
+/// Number of worker threads in the global pool. The stand-in executes
+/// everything on the calling thread, so the pool size is 1 — callers use
+/// this (as they would with real rayon) to skip parallel dispatch when it
+/// cannot win.
+pub fn current_num_threads() -> usize {
+    1
+}
+
 /// Serial stand-in for `rayon::join`: runs `a` then `b`.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where

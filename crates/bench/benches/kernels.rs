@@ -13,7 +13,7 @@
 //!   fails (non-zero exit) if any kernel regressed by more than
 //!   `MTASC_BENCH_TOLERANCE` percent (default 25) against the committed
 //!   file. CI runs this as a smoke gate; `MTASC_BENCH_RUNS` trims the
-//!   best-of-k repeat count for quick runs.
+//!   median-of-N repeat count for quick runs.
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -116,9 +116,23 @@ fn baseline_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_kernels.json")
 }
 
-/// Best-of-k repeats per kernel (`MTASC_BENCH_RUNS`, default 3).
+/// Repeats per kernel (`MTASC_BENCH_RUNS`, default 5); the reported wall
+/// time is the median of the repeats, so one scheduler hiccup cannot
+/// shift a baseline or trip the regression gate.
 fn baseline_runs() -> usize {
-    std::env::var("MTASC_BENCH_RUNS").ok().and_then(|v| v.parse().ok()).unwrap_or(3).max(1)
+    std::env::var("MTASC_BENCH_RUNS").ok().and_then(|v| v.parse().ok()).unwrap_or(5).max(1)
+}
+
+/// Median of the collected wall times (non-empty; even counts take the
+/// mean of the two middle samples).
+fn median(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let n = samples.len();
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+    }
 }
 
 /// Allowed slowdown in percent before `--compare-baseline` fails
@@ -151,35 +165,37 @@ struct Measured {
     name: &'static str,
     instructions: u64,
     cycles: u64,
+    /// Median wall time over the repeats.
     seconds: f64,
 }
 
-/// Run the whole suite, best-of-`runs` wall time per kernel.
+/// Run the whole suite, median-of-`runs` wall time per kernel.
 fn measure_suite(runs: usize) -> Vec<Measured> {
     baseline_suite()
         .into_iter()
         .map(|(name, f)| {
-            let mut best = f64::INFINITY;
+            let mut samples = Vec::with_capacity(runs);
             let mut stats = Stats::default();
             for _ in 0..runs {
                 let t = Instant::now();
                 stats = black_box(f());
-                best = best.min(t.elapsed().as_secs_f64());
+                samples.push(t.elapsed().as_secs_f64());
             }
+            let med = median(samples);
             println!(
                 "{name:<14} {:>10} instr {:>10} cycles {:>10.3} ms",
                 stats.issued,
                 stats.cycles,
-                best * 1e3
+                med * 1e3
             );
-            Measured { name, instructions: stats.issued, cycles: stats.cycles, seconds: best }
+            Measured { name, instructions: stats.issued, cycles: stats.cycles, seconds: med }
         })
         .collect()
 }
 
 /// Rewrite `BENCH_kernels.json` from a fresh measurement.
 fn save_baseline() {
-    let points = measure_suite(baseline_runs().max(5));
+    let points = measure_suite(baseline_runs());
     let mut json = format!("{{\n  \"schema\": \"{BASELINE_SCHEMA}\",\n");
     json.push_str(&format!("  \"num_pes\": {BASELINE_PES},\n  \"kernels\": [\n"));
     for (i, p) in points.iter().enumerate() {

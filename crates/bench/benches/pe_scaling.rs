@@ -1,5 +1,5 @@
 //! PE-count scaling sweep: run the associative-search kernel at every
-//! power-of-two array size from 2⁴ to 2¹⁶ and record simulator throughput
+//! power-of-two array size from 2⁴ to 2¹⁸ and record simulator throughput
 //! (simulated instructions per wall-clock second) for each size.
 //!
 //! Unlike the criterion benches this target writes a machine-readable
@@ -21,7 +21,7 @@ struct Point {
     instructions: u64,
     /// Simulated cycles per kernel run.
     cycles: u64,
-    /// Wall-clock seconds per kernel run (best of the measured runs).
+    /// Wall-clock seconds per kernel run (median of the measured runs).
     seconds: f64,
 }
 
@@ -31,25 +31,38 @@ impl Point {
     }
 }
 
+/// Median of the collected wall times (non-empty; even counts take the
+/// mean of the two middle samples).
+fn median(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let n = samples.len();
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+    }
+}
+
 /// Time one full `search::run` (assemble + distribute + simulate) at the
-/// given array size, returning the best-of-`runs` wall time.
+/// given array size, returning the median-of-`runs` wall time.
 fn measure(num_pes: usize, runs: usize) -> Point {
-    let records: Vec<(i64, i64)> = (0..num_pes as i64).map(|i| ((i * 7) % 1024, i)).collect();
+    // The value payload wraps at the 16-bit datapath width so the sweep
+    // can grow past 2^16 PEs (the payload is opaque to the kernel — only
+    // the keys drive the search).
+    let records: Vec<(i64, i64)> =
+        (0..num_pes as i64).map(|i| ((i * 7) % 1024, i & 0xffff)).collect();
     let cfg = MachineConfig::new(num_pes).single_threaded();
-    let mut best = f64::INFINITY;
+    let mut samples = Vec::with_capacity(runs);
     let mut stats = None;
     for _ in 0..runs {
         let t = Instant::now();
         let r = search::run(cfg, &records, 3).unwrap();
-        let dt = t.elapsed().as_secs_f64();
+        samples.push(t.elapsed().as_secs_f64());
         black_box(r.matches);
-        if dt < best {
-            best = dt;
-        }
         stats = Some((r.stats.issued, r.stats.cycles));
     }
     let (instructions, cycles) = stats.unwrap();
-    Point { num_pes, instructions, cycles, seconds: best }
+    Point { num_pes, instructions, cycles, seconds: median(samples) }
 }
 
 fn main() {
@@ -60,14 +73,15 @@ fn main() {
     }
     let smoke = args.iter().any(|a| a == "--test");
     let sizes: Vec<usize> =
-        if smoke { vec![16, 64] } else { (4..=16).map(|e| 1usize << e).collect() };
+        if smoke { vec![16, 64] } else { (4..=18).map(|e| 1usize << e).collect() };
 
     let mut points = Vec::new();
     println!("{:>8} {:>14} {:>12} {:>16}", "num_pes", "instr/run", "wall (ms)", "instr/sec");
     for &p in &sizes {
-        // more repeats at small sizes where a single run is microseconds
+        // more repeats at small sizes where a single run is microseconds;
+        // never fewer than 5, so the median has something to work with
         let runs = (1 << 22) / p.max(1);
-        let pt = measure(p, runs.clamp(3, 2048));
+        let pt = measure(p, runs.clamp(5, 2048));
         println!(
             "{:>8} {:>14} {:>12.3} {:>16.0}",
             pt.num_pes,

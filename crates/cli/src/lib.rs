@@ -77,6 +77,9 @@ pub struct MachineOpts {
     pub trace_chrome: Option<String>,
     /// Block-fusion engine enabled (`--no-fuse` clears it).
     pub fusion: bool,
+    /// SIMD dispatch enabled (`--no-simd` clears it; `MTASC_NO_SIMD`
+    /// overrides either way).
+    pub simd: bool,
     /// Print block-fusion statistics after `run`.
     pub fusion_stats: bool,
     /// Record this invocation into the run registry. Defaults to `false`
@@ -118,6 +121,7 @@ impl Default for MachineOpts {
             trace_json: None,
             trace_chrome: None,
             fusion: true,
+            simd: true,
             fusion_stats: false,
             record: false,
             runs_dir: None,
@@ -139,6 +143,9 @@ impl MachineOpts {
         }
         if !self.fusion {
             cfg = cfg.without_fusion();
+        }
+        if !self.simd {
+            cfg = cfg.without_simd();
         }
         cfg
     }
@@ -182,6 +189,7 @@ impl MachineOpts {
                     opts.progress_every = (parse_num(&take(&mut it)?)? as u64).max(1)
                 }
                 "--no-fuse" => opts.fusion = false,
+                "--no-simd" => opts.simd = false,
                 "--fusion-stats" => opts.fusion_stats = true,
                 "--trace" => opts.trace = true,
                 "--report" => opts.report = Some(take(&mut it)?),
@@ -221,8 +229,9 @@ USAGE:
   mtasc stats <report.json>             summarize a saved run report
   mtasc stats diff <a.json> <b.json> [--fail-on-regress PCT] [--all]
                                         per-metric deltas between two run
-                                        reports or profiles; `-` reads one
-                                        side from stdin.
+                                        reports, profiles, or benchmark
+                                        tables (BENCH_*.json); `-` reads
+                                        one side from stdin.
                                         exit codes: 0 ok / 1 regression
                                         (or failure) / 2 usage error
   mtasc stats validate <files...>       check saved JSON artifacts against
@@ -254,7 +263,9 @@ OPTIONS:
   --no-forwarding  disable forwarding paths (ablation)
   --no-fuse        disable the block-fusion engine (identical results,
                    instruction-major execution — for cross-checking)
-  --fusion-stats   print block-fusion statistics after the run
+  --no-simd        force the scalar reference loops instead of AVX2/AVX-512
+                   kernels (identical results; MTASC_NO_SIMD=1 also works)
+  --fusion-stats   print block-fusion and kernel-compilation statistics
   --trace          print the stage-by-cycle pipeline diagram
   --report F       write a JSON run report to F
   --trace-json F   stream trace events (JSON-Lines) to F
@@ -805,6 +816,14 @@ pub fn cmd_run(source: &str, opts: MachineOpts) -> Result<String, CliError> {
             stats.issued,
             100.0 * fs.fused_fraction(stats.issued)
         );
+        let _ = writeln!(
+            out,
+            "  compile: {} kernel ops ({} SIMD-bound at {}), {} tile chain dispatches",
+            fs.compiled_ops,
+            fs.simd_ops,
+            m.simd_level().label(),
+            fs.tile_chains
+        );
     }
     let _ = writeln!(out, "\nscalar registers (thread 0):");
     for r in 1..16 {
@@ -1150,8 +1169,10 @@ fn parse_heartbeats(text: &str, path: &Path) -> Result<Vec<ProgressSample>, CliE
 
 /// Load the metrics registry out of a saved JSON artifact: a
 /// `mtasc.run_report.v1` document contributes its full registry, a
-/// `mtasc.profile.v1` document its summary registry. Returns the artifact
-/// kind alongside so mixed-kind diffs can be rejected.
+/// `mtasc.profile.v1` document its summary registry, and the benchmark
+/// tables (`mtasc.kernels.v1` / `mtasc.pe_scaling.v1`) lower each entry
+/// into per-kernel/per-size wall-time and throughput metrics. Returns the
+/// artifact kind alongside so mixed-kind diffs can be rejected.
 fn load_registry(path: &str) -> Result<(&'static str, Registry), CliError> {
     let text = read_input(path)?;
     let path = display_name(path);
@@ -1167,11 +1188,58 @@ fn load_registry(path: &str) -> Result<(&'static str, Registry), CliError> {
                 .ok_or_else(|| CliError::Failure(format!("{path}: malformed profile")))?;
             Ok(("profile", profile.summary_registry()))
         }
+        Some("mtasc.kernels.v1") => {
+            let reg = bench_registry(&v, "kernels", "name", "kernel")
+                .map_err(|e| CliError::Failure(format!("{path}: {e}")))?;
+            Ok(("kernel bench table", reg))
+        }
+        Some("mtasc.pe_scaling.v1") => {
+            let reg = bench_registry(&v, "points", "num_pes", "pes")
+                .map_err(|e| CliError::Failure(format!("{path}: {e}")))?;
+            Ok(("pe-scaling sweep", reg))
+        }
         Some(other) => {
             Err(CliError::Failure(format!("{path}: schema `{other}` has no metrics to diff")))
         }
         None => Err(CliError::Failure(format!("{path}: missing `schema` field"))),
     }
+}
+
+/// Lower one benchmark table into a metrics registry: each entry of the
+/// `rows` array (keyed by `key`) becomes `{prefix}.{key}.wall_ms` /
+/// `.instr_per_sec` gauges (which `direction_of` knows how to gate) plus
+/// neutral `.instructions` / `.cycles` counters. Kernel tables also get a
+/// `geomean.wall_ms` gauge — the suite-wide speedup summary that CI's
+/// `--fail-on-regress` and speedup checks key off.
+fn bench_registry(v: &Json, rows: &str, key: &str, prefix: &str) -> Result<Registry, String> {
+    let entries = v.get(rows).and_then(Json::as_arr).ok_or(format!("missing `{rows}` array"))?;
+    let mut reg = Registry::new();
+    let mut log_sum = 0.0;
+    for (i, e) in entries.iter().enumerate() {
+        let label = match e.get(key) {
+            Some(Json::U64(n)) => n.to_string(),
+            Some(k) => k.as_str().ok_or(format!("{rows}[{i}]: bad `{key}`"))?.to_string(),
+            None => return Err(format!("{rows}[{i}]: missing `{key}`")),
+        };
+        let f64_field = |field: &str| {
+            e.get(field).and_then(Json::as_f64).ok_or(format!("{rows}[{i}]: missing `{field}`"))
+        };
+        let wall_ms = f64_field("wall_seconds")? * 1e3;
+        reg.gauge_set(&format!("{prefix}.{label}.wall_ms"), wall_ms);
+        reg.gauge_set(&format!("{prefix}.{label}.instr_per_sec"), f64_field("instr_per_sec")?);
+        for counter in ["instructions", "cycles"] {
+            let n = e
+                .get(counter)
+                .and_then(Json::as_u64)
+                .ok_or(format!("{rows}[{i}]: missing `{counter}`"))?;
+            reg.counter_add(&format!("{prefix}.{label}.{counter}"), n);
+        }
+        log_sum += wall_ms.ln();
+    }
+    if prefix == "kernel" && !entries.is_empty() {
+        reg.gauge_set("geomean.wall_ms", (log_sum / entries.len() as f64).exp());
+    }
+    Ok(reg)
 }
 
 /// `mtasc stats diff`: per-metric deltas between two saved artifacts,
@@ -1479,13 +1547,19 @@ mod tests {
 
     #[test]
     fn parse_fusion_flags() {
-        let mut args: Vec<String> =
-            ["run", "x.asc", "--no-fuse", "--fusion-stats"].iter().map(|s| s.to_string()).collect();
+        let mut args: Vec<String> = ["run", "x.asc", "--no-fuse", "--no-simd", "--fusion-stats"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let opts = MachineOpts::parse(&mut args).unwrap();
         assert!(!opts.fusion);
+        assert!(!opts.simd);
         assert!(opts.fusion_stats);
         assert!(!opts.config().fusion);
+        assert!(!opts.config().simd);
+        assert_eq!(opts.config().simd_level(), asc_core::SimdLevel::Scalar);
         assert!(MachineOpts::default().config().fusion, "fusion is the default");
+        assert!(MachineOpts::default().config().simd, "SIMD dispatch is the default");
     }
 
     #[test]
@@ -1505,12 +1579,21 @@ mod tests {
         let strip = |s: &str| {
             s.lines()
                 .filter(|l| {
-                    !l.contains("fusion") && !l.contains("static") && !l.contains("dynamic")
+                    !l.contains("fusion")
+                        && !l.contains("static")
+                        && !l.contains("dynamic")
+                        && !l.contains("compile")
                 })
                 .collect::<Vec<_>>()
                 .join("\n")
         };
         assert_eq!(strip(&fused), strip(&unfused));
+        // and the scalar-kernel escape hatch changes nothing either
+        let no_simd =
+            cmd_run(src, MachineOpts { simd: false, fusion_stats: true, ..MachineOpts::default() })
+                .unwrap();
+        assert!(no_simd.contains("0 SIMD-bound at scalar"), "{no_simd}");
+        assert_eq!(strip(&fused), strip(&no_simd));
     }
 
     #[test]
@@ -1731,6 +1814,68 @@ mod tests {
         assert!(out.contains("profile diff"), "{out}");
         assert!(out.contains("regression gate: ok"), "{out}");
         let e = cmd_stats_diff(&p, &r, None, false).unwrap_err();
+        assert!(e.to_string().contains("cannot diff"), "{e}");
+    }
+
+    #[test]
+    fn stats_diff_gates_bench_tables() {
+        let dir = std::env::temp_dir().join("mtasc_bench_diff_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let kernels = |wall_sort: f64, wall_search: f64| {
+            format!(
+                r#"{{"schema":"mtasc.kernels.v1","num_pes":4096,"kernels":[
+                    {{"name":"sort","instructions":100,"cycles":200,
+                      "wall_seconds":{wall_sort},"instr_per_sec":{}}},
+                    {{"name":"search","instructions":50,"cycles":80,
+                      "wall_seconds":{wall_search},"instr_per_sec":{}}}]}}"#,
+                100.0 / wall_sort,
+                50.0 / wall_search
+            )
+        };
+        let (a, b, c) = (dir.join("a.json"), dir.join("b.json"), dir.join("c.json"));
+        std::fs::write(&a, kernels(0.002, 0.0001)).unwrap();
+        std::fs::write(&b, kernels(0.001, 0.00008)).unwrap();
+        std::fs::write(&c, kernels(0.004, 0.0001)).unwrap();
+        let (a, b, c) = (
+            a.to_string_lossy().into_owned(),
+            b.to_string_lossy().into_owned(),
+            c.to_string_lossy().into_owned(),
+        );
+        // a -> b is a pure speedup: the gate passes and the geomean summary
+        // metric is present in the rendered table
+        let out = cmd_stats_diff(&a, &b, Some(0.0), false).unwrap();
+        assert!(out.contains("kernel bench table diff"), "{out}");
+        assert!(out.contains("kernel.sort.wall_ms"), "{out}");
+        assert!(out.contains("geomean.wall_ms"), "{out}");
+        assert!(out.contains("regression gate: ok"), "{out}");
+        // a -> c doubles sort's wall time: the gate must trip on it
+        let e = cmd_stats_diff(&a, &c, Some(25.0), false).unwrap_err();
+        assert!(e.to_string().contains("kernel.sort.wall_ms"), "{e}");
+        // pe-scaling sweeps diff too, and a sweep extended with new sizes
+        // must not regress (the new points have no baseline)
+        let sweep = |extra: &str| {
+            format!(
+                r#"{{"schema":"mtasc.pe_scaling.v1","kernel":"associative_search","points":[
+                    {{"num_pes":16,"instructions":10,"cycles":20,
+                      "wall_seconds":0.001,"instr_per_sec":10000.0}}{extra}]}}"#
+            )
+        };
+        let (s1, s2) = (dir.join("s1.json"), dir.join("s2.json"));
+        std::fs::write(&s1, sweep("")).unwrap();
+        std::fs::write(
+            &s2,
+            sweep(
+                r#",{"num_pes":262144,"instructions":99,"cycles":120,
+                   "wall_seconds":0.5,"instr_per_sec":198.0}"#,
+            ),
+        )
+        .unwrap();
+        let out =
+            cmd_stats_diff(&s1.to_string_lossy(), &s2.to_string_lossy(), Some(0.0), false).unwrap();
+        assert!(out.contains("pe-scaling sweep diff"), "{out}");
+        assert!(out.contains("regression gate: ok"), "{out}");
+        // mixed bench kinds are rejected like any other kind mismatch
+        let e = cmd_stats_diff(&a, &s1.to_string_lossy(), None, false).unwrap_err();
         assert!(e.to_string().contains("cannot diff"), "{e}");
     }
 

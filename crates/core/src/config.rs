@@ -80,6 +80,12 @@ pub struct MachineConfig {
     /// (`mtasc run --no-fuse`) only to cross-check or to time the
     /// instruction-major executor.
     pub fusion: bool,
+    /// Use the host's vector units (AVX2/AVX-512, probed once at machine
+    /// construction) for dense plane sweeps and compiled block kernels.
+    /// Purely an execution strategy — results, cycle counts and stats are
+    /// bit-identical at every tier. Disable (`mtasc run --no-simd`, or
+    /// `MTASC_NO_SIMD=1`) to cross-check or to time the scalar loops.
+    pub simd: bool,
 }
 
 impl MachineConfig {
@@ -102,6 +108,7 @@ impl MachineConfig {
             fetch: FetchModel::Ideal,
             parallel_threshold: 4096,
             fusion: true,
+            simd: true,
         }
     }
 
@@ -169,6 +176,26 @@ impl MachineConfig {
         self
     }
 
+    /// Force the scalar reference loops: no vector kernels anywhere (the
+    /// escape hatch behind `mtasc run --no-simd`; results and timing are
+    /// identical, only slower on wide arrays).
+    pub fn without_simd(mut self) -> MachineConfig {
+        self.simd = false;
+        self
+    }
+
+    /// The SIMD dispatch tier this machine will execute at: the host's
+    /// best compiled-in tier, or [`asc_pe::SimdLevel::Scalar`] when vector
+    /// execution is disabled by config or by `MTASC_NO_SIMD`. Resolved
+    /// here once so the PE array and the block compiler always agree.
+    pub fn simd_level(&self) -> asc_pe::SimdLevel {
+        if self.simd {
+            asc_pe::SimdLevel::detect()
+        } else {
+            asc_pe::SimdLevel::Scalar
+        }
+    }
+
     /// Set the datapath width.
     pub fn with_width(mut self, width: Width) -> MachineConfig {
         self.width = width;
@@ -190,6 +217,7 @@ impl MachineConfig {
             lmem_words: self.lmem_words,
             width: self.width,
             parallel_threshold: self.parallel_threshold,
+            simd: self.simd_level(),
         }
     }
 

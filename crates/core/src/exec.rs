@@ -5,15 +5,14 @@
 //! effects at issue preserves exact register/memory semantics while timing
 //! is accounted separately.
 //!
-//! Two executors share this file: the instruction-major arms of
-//! [`Machine::execute_instr`] (one full-array sweep per instruction), and
-//! the *per-tile kernels* at the bottom, which apply one fusible
-//! instruction to one 64-PE [`TileWindow`] — the inner loop of the
-//! block-fusion engine (`crate::fusion`), which runs a whole basic block
-//! over one tile before advancing to the next.
+//! This file holds the instruction-major executor (one full-array sweep
+//! per instruction). Fusible basic blocks bypass it entirely: the block
+//! compiler (`crate::compile`) lowers them to specialized per-tile
+//! kernel chains at program load, and the fusion engine
+//! (`crate::fusion`) runs those chains tile-by-tile.
 
-use asc_isa::{Instr, Mask, Word};
-use asc_pe::{ActiveMask, PeFault, Src, TileWindow, TILE_LANES};
+use asc_isa::{Instr, Word};
+use asc_pe::Src;
 
 use crate::error::RunError;
 use crate::machine::Machine;
@@ -328,191 +327,4 @@ impl Machine {
 /// Branch target: relative to the instruction after the branch.
 fn rel_target(pc: u32, off: i16) -> u32 {
     (pc as i64 + 1 + off as i64) as u32
-}
-
-// ===================================================================
-// Per-tile kernels (the block-fusion inner loop)
-// ===================================================================
-
-/// The mask word governing `i` on this tile.
-///
-/// Latched *before* the instruction's writes are applied — an instruction
-/// that overwrites its own mask flag must see the pre-write mask, exactly
-/// as the instruction-major executor's `fill_active` plane copy does.
-/// `Mask::All` reads the machine's all-active [`ActiveMask`] (filled once
-/// per block) through its tile-scoped word view.
-#[inline]
-fn tile_mask_word(mask: Mask, win: &TileWindow<'_>, all: &ActiveMask) -> u64 {
-    match mask {
-        Mask::All => all.tile_word(win.tile()),
-        Mask::Flag(f) => win.flag_word(f.index()),
-    }
-}
-
-/// Write `f(lane)` to every masked lane of `dst`. The dense fast path
-/// mirrors the array executor's `mw == u64::MAX` loop; the sparse path
-/// walks set bits.
-#[inline]
-fn apply_masked(mw: u64, dst: &mut [Word], mut f: impl FnMut(usize) -> Word) {
-    if mw == u64::MAX {
-        for (j, d) in dst.iter_mut().enumerate() {
-            *d = f(j);
-        }
-    } else {
-        let mut m = mw;
-        while m != 0 {
-            let j = m.trailing_zeros() as usize;
-            dst[j] = f(j);
-            m &= m - 1;
-        }
-    }
-}
-
-/// Visit every masked lane in ascending order.
-#[inline]
-fn for_each_masked(mw: u64, mut f: impl FnMut(usize)) {
-    let mut m = mw;
-    while m != 0 {
-        f(m.trailing_zeros() as usize);
-        m &= m - 1;
-    }
-}
-
-/// Apply one fusible instruction to one tile.
-///
-/// Semantically identical to the matching [`Machine::execute_instr`] arm
-/// restricted to the window's lanes: sources are latched before the
-/// destination is written (so `pd` may alias `pa`/`pb`, and a compare may
-/// target its own mask flag), writes to GPR 0 are skipped, and flag
-/// writes preserve the bitplane tail invariant via
-/// [`TileWindow::set_flag_word`].
-///
-/// Memory faults do not stop the sweep: non-faulting lanes still apply,
-/// and the *lowest-lane* fault of this (instruction, tile) is returned so
-/// the fusion engine can attribute the run's error to the same (pc, PE)
-/// as the unfused executor would (see `crate::fusion` for the policy).
-pub(crate) fn exec_instr_tile(
-    i: &Instr,
-    win: &mut TileWindow<'_>,
-    all: &ActiveMask,
-) -> Option<PeFault> {
-    let w = win.width();
-    use Instr::*;
-    match *i {
-        PAlu { op, pd, pa, pb, mask } => {
-            let mw = tile_mask_word(mask, win, all);
-            if mw != 0 && pd.index() != 0 {
-                let (mut a, mut b) = ([Word::ZERO; TILE_LANES], [Word::ZERO; TILE_LANES]);
-                win.copy_gprs(pa.index(), &mut a);
-                win.copy_gprs(pb.index(), &mut b);
-                apply_masked(mw, win.gpr_mut(pd.index()), |j| op.apply(a[j], b[j], w));
-            }
-            None
-        }
-        PAluImm { op, pd, pa, imm, mask } => {
-            let mw = tile_mask_word(mask, win, all);
-            if mw != 0 && pd.index() != 0 {
-                let mut a = [Word::ZERO; TILE_LANES];
-                win.copy_gprs(pa.index(), &mut a);
-                let b = Word::from_i64(imm as i64, w);
-                apply_masked(mw, win.gpr_mut(pd.index()), |j| op.apply(a[j], b, w));
-            }
-            None
-        }
-        PCmp { op, fd, pa, pb, mask } => {
-            let mw = tile_mask_word(mask, win, all);
-            if mw != 0 {
-                let (mut a, mut b) = ([Word::ZERO; TILE_LANES], [Word::ZERO; TILE_LANES]);
-                win.copy_gprs(pa.index(), &mut a);
-                win.copy_gprs(pb.index(), &mut b);
-                let mut res = 0u64;
-                for_each_masked(mw, |j| res |= u64::from(op.apply(a[j], b[j], w)) << j);
-                let old = win.flag_word(fd.index());
-                win.set_flag_word(fd.index(), (old & !mw) | res);
-            }
-            None
-        }
-        PCmpImm { op, fd, pa, imm, mask } => {
-            let mw = tile_mask_word(mask, win, all);
-            if mw != 0 {
-                let mut a = [Word::ZERO; TILE_LANES];
-                win.copy_gprs(pa.index(), &mut a);
-                let b = Word::from_i64(imm as i64, w);
-                let mut res = 0u64;
-                for_each_masked(mw, |j| res |= u64::from(op.apply(a[j], b, w)) << j);
-                let old = win.flag_word(fd.index());
-                win.set_flag_word(fd.index(), (old & !mw) | res);
-            }
-            None
-        }
-        PFlagOp { op, fd, fa, fb, mask } => {
-            let mw = tile_mask_word(mask, win, all);
-            if mw != 0 {
-                let a = win.flag_word(fa.index());
-                let b = win.flag_word(fb.index());
-                let old = win.flag_word(fd.index());
-                win.set_flag_word(fd.index(), (old & !mw) | (op.apply_word(a, b) & mw));
-            }
-            None
-        }
-        Plw { pd, base, off, mask } => {
-            let mw = tile_mask_word(mask, win, all);
-            if mw == 0 {
-                return None;
-            }
-            let mut bb = [Word::ZERO; TILE_LANES];
-            win.copy_gprs(base.index(), &mut bb);
-            // Load into a lane-indexed latch first: faulting lanes never
-            // write the destination, and the destination plane may alias
-            // the base register.
-            let mut vals = [Word::ZERO; TILE_LANES];
-            let mut ok = 0u64;
-            let mut fault: Option<PeFault> = None;
-            for_each_masked(mw, |j| match win.lmem_checked_read(bb[j], off as i32, j) {
-                Ok(v) => {
-                    vals[j] = v;
-                    ok |= 1 << j;
-                }
-                Err(f) => {
-                    if fault.is_none() {
-                        fault = Some(PeFault { pe: win.base() + j, fault: f });
-                    }
-                }
-            });
-            if pd.index() != 0 {
-                apply_masked(ok, win.gpr_mut(pd.index()), |j| vals[j]);
-            }
-            fault
-        }
-        Psw { ps, base, off, mask } => {
-            let mw = tile_mask_word(mask, win, all);
-            if mw == 0 {
-                return None;
-            }
-            let (mut pv, mut bb) = ([Word::ZERO; TILE_LANES], [Word::ZERO; TILE_LANES]);
-            win.copy_gprs(ps.index(), &mut pv);
-            win.copy_gprs(base.index(), &mut bb);
-            let mut fault: Option<PeFault> = None;
-            let mut m = mw;
-            while m != 0 {
-                let j = m.trailing_zeros() as usize;
-                m &= m - 1;
-                if let Err(f) = win.lmem_checked_write(bb[j], off as i32, j, pv[j]) {
-                    if fault.is_none() {
-                        fault = Some(PeFault { pe: win.base() + j, fault: f });
-                    }
-                }
-            }
-            fault
-        }
-        Pidx { pd, mask } => {
-            let mw = tile_mask_word(mask, win, all);
-            if mw != 0 && pd.index() != 0 {
-                let base = win.base();
-                apply_masked(mw, win.gpr_mut(pd.index()), |j| Word::new((base + j) as u32, w));
-            }
-            None
-        }
-        _ => unreachable!("non-fusible instruction reached the tile executor: {i:?}"),
-    }
 }

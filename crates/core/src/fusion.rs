@@ -56,12 +56,10 @@
 //! differ from the unfused executor's; successful runs are bit-identical.
 
 use asc_isa::{DecodeError, Instr};
-use asc_pe::{ActiveMask, PeFault, ThreadTiles};
-use rayon::prelude::*;
 
+use crate::compile::{run_chain_tiles, CompiledOp};
 use crate::config::MachineConfig;
 use crate::error::RunError;
-use crate::exec::exec_instr_tile;
 use crate::machine::Machine;
 
 /// Shortest run worth fusing: a single instruction gains nothing from
@@ -190,16 +188,29 @@ pub fn fusible_runs(imem: &[Result<Instr, DecodeError>], cfg: &MachineConfig) ->
 pub(crate) struct FusionPlan {
     /// `run_len[pc]` = number of consecutive fusible instructions at `pc`.
     run_len: Vec<u32>,
+    /// Every maximal block's compiled chain, concatenated in program
+    /// order. A suffix run (a jump into the middle of a block) is a
+    /// sub-slice of its maximal block's chain, so one compilation covers
+    /// every entry point.
+    ops: Vec<CompiledOp>,
+    /// Per PC: index into `ops` of this instruction's compiled form
+    /// (`NO_CHAIN` where the PC is not covered by a block).
+    chain_start: Vec<u32>,
     /// Static count of maximal blocks of length ≥ [`MIN_BLOCK_LEN`].
     static_blocks: u64,
     /// Static count of instructions covered by those blocks.
     static_fused_instrs: u64,
-    /// Longest block (sizes `Machine::fusion_buf`).
-    max_block_len: u32,
+    /// Of the compiled ops, how many bound a vector (SIMD) kernel.
+    simd_ops: u64,
 }
 
+/// `chain_start` sentinel: this PC has no compiled op.
+const NO_CHAIN: u32 = u32::MAX;
+
 impl FusionPlan {
-    /// Scan the decoded instruction stream and record every fusible run.
+    /// Scan the decoded instruction stream, record every fusible run, and
+    /// lower each maximal block to a compiled kernel chain specialized
+    /// for this machine's width and SIMD tier (see [`crate::compile`]).
     ///
     /// An instruction that would trap on this machine (`mul`/`div` with
     /// the unit absent) is excluded from fusion at plan time, so the
@@ -207,6 +218,7 @@ impl FusionPlan {
     /// own issue, not a block's entry.
     pub(crate) fn build(imem: &[Result<Instr, DecodeError>], cfg: &MachineConfig) -> FusionPlan {
         let n = imem.len();
+        let level = cfg.simd_level();
         let mut run_len = vec![0u32; n];
         // Backward scan: run_len[pc] = 1 + run_len[pc + 1] where fusible.
         for pc in (0..n).rev() {
@@ -218,19 +230,29 @@ impl FusionPlan {
                 run_len[pc] = 1 + run_len.get(pc + 1).copied().unwrap_or(0);
             }
         }
-        // Walk maximal runs for the static stats.
-        let (mut static_blocks, mut static_fused_instrs, mut max_block_len) = (0, 0, 0);
+        // Walk maximal runs: static stats, and one compiled chain per
+        // block (suffix entry points share the block's chain tail).
+        let mut ops = Vec::new();
+        let mut chain_start = vec![NO_CHAIN; n];
+        let (mut static_blocks, mut static_fused_instrs, mut simd_ops) = (0, 0, 0);
         let mut pc = 0;
         while pc < n {
             let len = run_len[pc];
             if len >= MIN_BLOCK_LEN {
                 static_blocks += 1;
                 static_fused_instrs += len as u64;
-                max_block_len = max_block_len.max(len);
+                for k in 0..len as usize {
+                    let i = imem[pc + k]
+                        .as_ref()
+                        .expect("fusible runs only cover decodable instructions");
+                    chain_start[pc + k] = ops.len() as u32;
+                    ops.push(CompiledOp::compile(i, cfg.width, level));
+                    simd_ops += u64::from(CompiledOp::vectorizes(i, level));
+                }
             }
             pc += len.max(1) as usize;
         }
-        FusionPlan { run_len, static_blocks, static_fused_instrs, max_block_len }
+        FusionPlan { run_len, ops, chain_start, static_blocks, static_fused_instrs, simd_ops }
     }
 
     /// Length of the fusible run starting at `pc` (0 if none).
@@ -238,8 +260,13 @@ impl FusionPlan {
         self.run_len.get(pc as usize).copied().unwrap_or(0)
     }
 
-    pub(crate) fn max_block_len(&self) -> u32 {
-        self.max_block_len
+    /// The compiled chain for the run `[pc, pc + len)`. Only valid for
+    /// `len <= run_len_at(pc)` — the gate `Machine::fusible_block_len`
+    /// checks before execution.
+    pub(crate) fn chain(&self, pc: u32, len: u32) -> &[CompiledOp] {
+        let s = self.chain_start[pc as usize];
+        debug_assert_ne!(s, NO_CHAIN, "no compiled chain at pc {pc}");
+        &self.ops[s as usize..s as usize + len as usize]
     }
 
     pub(crate) fn static_blocks(&self) -> u64 {
@@ -248,6 +275,10 @@ impl FusionPlan {
 
     pub(crate) fn static_fused_instrs(&self) -> u64 {
         self.static_fused_instrs
+    }
+
+    pub(crate) fn simd_ops(&self) -> u64 {
+        self.simd_ops
     }
 }
 
@@ -260,10 +291,19 @@ pub struct FusionStats {
     pub static_blocks: u64,
     /// Instructions covered by those blocks (static).
     pub static_fused_instrs: u64,
+    /// Compiled kernel ops materialized by the block compiler (static;
+    /// one per instruction of every maximal block).
+    pub compiled_ops: u64,
+    /// Of the compiled ops, how many bound a vector (SIMD) kernel rather
+    /// than the scalar reference loop (static).
+    pub simd_ops: u64,
     /// Blocks executed by the tiled engine (dynamic).
     pub blocks_executed: u64,
     /// Dynamic instructions whose effects ran through the tiled engine.
     pub instrs_fused: u64,
+    /// Per-tile compiled-chain dispatches (dynamic: one per block × tile
+    /// swept by the engine).
+    pub tile_chains: u64,
 }
 
 impl FusionStats {
@@ -283,39 +323,6 @@ impl FusionStats {
         } else {
             self.instrs_fused as f64 / issued as f64
         }
-    }
-}
-
-/// Run `block` over every tile of `tiles`: all instructions over one tile
-/// before the next. Returns the fault to attribute, chosen as the lowest
-/// `(instruction index, PE)` across the sweep — the same identity the
-/// instruction-major executor would have stopped at.
-fn run_block_tiles(
-    block: &[Instr],
-    tiles: &mut ThreadTiles<'_>,
-    all: &ActiveMask,
-    parallel: bool,
-) -> Option<(u32, PeFault)> {
-    let nt = tiles.num_tiles();
-    let raw = tiles.raw();
-    let per_tile = |tile: usize| -> Option<(u32, PeFault)> {
-        // SAFETY: every invocation names a distinct tile index, and the
-        // iteration below visits each tile exactly once.
-        let mut win = unsafe { raw.window(tile) };
-        let mut first: Option<(u32, PeFault)> = None;
-        for (k, i) in block.iter().enumerate() {
-            if let Some(f) = exec_instr_tile(i, &mut win, all) {
-                if first.is_none() {
-                    first = Some((k as u32, f));
-                }
-            }
-        }
-        first
-    };
-    if parallel {
-        (0..nt).into_par_iter().filter_map(per_tile).min_by_key(|&(k, f)| (k, f.pe))
-    } else {
-        (0..nt).filter_map(per_tile).min_by_key(|&(k, f)| (k, f.pe))
     }
 }
 
@@ -362,37 +369,30 @@ impl Machine {
         self.timing.b + self.timing.r + 2 * (mul + div) + 8
     }
 
-    /// Pre-execute the fusible block `[pc, pc + len)` for `tid`,
-    /// tile-by-tile. Called at the issue of the block's first
-    /// instruction; the remaining `len - 1` issues are ghosts (timing
-    /// only).
+    /// Pre-execute the fusible block `[pc, pc + len)` for `tid` through
+    /// its compiled kernel chain, tile-by-tile. Called at the issue of
+    /// the block's first instruction; the remaining `len - 1` issues are
+    /// ghosts (timing only).
     pub(crate) fn execute_block(&mut self, tid: usize, pc: u32, len: u32) -> Result<(), RunError> {
-        let mut block = std::mem::take(&mut self.fusion_buf);
-        block.clear();
-        for k in 0..len {
-            let i = self.imem[(pc + k) as usize]
-                .as_ref()
-                .copied()
-                .expect("fusion plan only covers decodable instructions");
-            debug_assert!(
-                i.is_fusible() && !asc_network::NetUnit::class_uses_reduction(i.class()),
-                "fused block may not span network or scalar operations: {i:?}"
-            );
-            block.push(i);
-        }
+        // The plan is moved out for the duration of the sweep so the
+        // chain borrow cannot conflict with the array borrow (no
+        // allocation — `Option::take`).
+        let plan = self.fusion_plan.take().expect("execute_block requires a fusion plan");
         // One all-active fill serves the whole block: fusible masks are
         // either `Mask::All` (this mask, read per tile) or a flag plane
         // (read per tile at execution order, preserving self-masking
         // semantics).
         self.array.fill_active(tid, asc_isa::Mask::All, &mut self.amask);
         let parallel = self.cfg.num_pes >= self.cfg.parallel_threshold;
+        let chain = plan.chain(pc, len);
         let fault = {
             let mut tiles = self.array.thread_tiles(tid);
-            run_block_tiles(&block, &mut tiles, &self.amask, parallel)
+            self.fusion_dyn.tile_chains += tiles.num_tiles() as u64;
+            run_chain_tiles(chain, &mut tiles, &self.amask, parallel)
         };
         self.fusion_dyn.blocks_executed += 1;
         self.fusion_dyn.instrs_fused += len as u64;
-        self.fusion_buf = block;
+        self.fusion_plan = Some(plan);
         match fault {
             None => Ok(()),
             Some((k, fault)) => Err(RunError::PeMemoryFault { thread: tid, pc: pc + k, fault }),
@@ -405,7 +405,15 @@ impl Machine {
         if let Some(plan) = &self.fusion_plan {
             s.static_blocks = plan.static_blocks();
             s.static_fused_instrs = plan.static_fused_instrs();
+            s.compiled_ops = plan.static_fused_instrs();
+            s.simd_ops = plan.simd_ops();
         }
         s
+    }
+
+    /// The SIMD dispatch tier this machine's plane sweeps and compiled
+    /// block kernels execute at (resolved once at construction).
+    pub fn simd_level(&self) -> asc_pe::SimdLevel {
+        self.array.config().simd
     }
 }

@@ -40,10 +40,14 @@ pub mod stats;
 pub mod threads;
 pub mod timing;
 
+mod compile;
 mod exec;
 mod fusion;
 mod machine;
 
+// Re-exported: `MachineConfig::simd_level` / `Machine::simd_level` return
+// it, so consumers can name the tier without depending on `asc-pe`.
+pub use asc_pe::SimdLevel;
 pub use config::{FetchModel, MachineConfig, SchedPolicy};
 pub use emulator::Emulator;
 pub use error::RunError;

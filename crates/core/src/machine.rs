@@ -142,8 +142,6 @@ pub struct Machine {
     /// Ghost issues remaining per thread: how many upcoming instructions
     /// of this thread already had their effects applied by a fused block.
     pub(crate) fused_remaining: Vec<u32>,
-    /// Reusable block-instruction buffer (no allocation per block).
-    pub(crate) fusion_buf: Vec<Instr>,
     /// Cycle budget of the current `run()` call; fusion's fuel gate.
     /// Zero outside `run`, so bare `step()` loops never fuse.
     pub(crate) fuse_horizon: u64,
@@ -192,7 +190,6 @@ impl Machine {
             fusion_plan: None,
             fusion_dyn: crate::fusion::FusionStats::default(),
             fused_remaining: vec![0; cfg.threads],
-            fusion_buf: Vec::new(),
             fuse_horizon: 0,
             cfg,
         }
@@ -222,14 +219,12 @@ impl Machine {
         }
         self.imem = words.iter().map(|&w| decode(w)).collect();
         // (Re)build the fusible-block plan — the per-(program, entry PC)
-        // block cache — and drop any state from a previous program.
+        // cache of compiled kernel chains — and drop any state from a
+        // previous program.
         self.fusion_plan =
             self.cfg.fusion.then(|| crate::fusion::FusionPlan::build(&self.imem, &self.cfg));
         self.fusion_dyn = crate::fusion::FusionStats::default();
         self.fused_remaining.iter_mut().for_each(|r| *r = 0);
-        self.fusion_buf.clear();
-        let cap = self.fusion_plan.as_ref().map_or(0, |p| p.max_block_len()) as usize;
-        self.fusion_buf.reserve(cap);
         // re-shape the profiler's row table for the new program (pre-sized
         // here so the record path never allocates)
         if let Some(p) = &mut self.profiler {
@@ -457,30 +452,36 @@ impl Machine {
     /// buffer of the next live thread with space (round-robin).
     fn fetch_cycle(&mut self, depth: usize) {
         let n = self.threads.len();
-        for k in 0..n {
-            let tid = (self.fetch_rotate + k) % n;
+        let mut pick = None;
+        for tid in self.threads.rotation_live(self.fetch_rotate) {
             let row = self.threads.get(tid);
-            if row.state == ThreadState::Free || self.ibuf[tid] >= depth {
+            if self.ibuf[tid] >= depth {
                 continue;
             }
             // don't fetch past the end of the program
             if (row.pc as usize + self.ibuf[tid]) >= self.imem.len() {
                 continue;
             }
+            pick = Some(tid);
+            break;
+        }
+        if let Some(tid) = pick {
             self.ibuf[tid] += 1;
             self.fetch_rotate = (tid + 1) % n;
-            return;
         }
     }
 
     fn step_fine(&mut self) -> Result<Step, RunError> {
         let mut first_block: Option<Blocked> = None;
         let mut min_earliest = u64::MAX;
-        let n = self.threads.len();
-        for k in 0..n {
-            let tid = (self.rotate + k) % n;
+        // scan only the live contexts: a free slot can never issue, and
+        // its NoThread block would contribute neither a first_block nor a
+        // finite wake-up time
+        let mut scan = self.threads.rotation_live(self.rotate);
+        while let Some(tid) = scan.next() {
             match self.thread_ready(tid)? {
                 Ok(instr) => {
+                    drop(scan);
                     self.issue(tid, instr)?;
                     self.rotate = (tid + 1) % self.threads.len();
                     return Ok(Step::Issued { thread: tid });
@@ -493,6 +494,7 @@ impl Machine {
                 }
             }
         }
+        drop(scan);
         self.consume_stall(first_block, min_earliest)
     }
 
@@ -590,7 +592,7 @@ impl Machine {
 
     /// Can `tid` issue at the current cycle? Returns the decoded
     /// instruction, or why not.
-    fn thread_ready(&mut self, tid: usize) -> Result<Result<Instr, Blocked>, RunError> {
+    fn thread_ready(&self, tid: usize) -> Result<Result<Instr, Blocked>, RunError> {
         let row = *self.threads.get(tid);
         let blocked = |reason, earliest, waiting_on| Blocked {
             reason,

@@ -26,7 +26,9 @@ pub enum Direction {
 /// Regression direction of a metric name. The taxonomy is curated: cycle
 /// and stall counts regress upward, rates and utilizations regress
 /// downward, and everything else (issue mix, queue depths, geometry) is
-/// neutral — a change there is information, not a failure.
+/// neutral — a change there is information, not a failure. Wall-time and
+/// throughput metrics (the benchmark tables lowered by
+/// `mtasc stats diff`) carry the obvious directions.
 pub fn direction_of(name: &str) -> Direction {
     if name == "cycles"
         || name == "stall_cycles"
@@ -34,9 +36,14 @@ pub fn direction_of(name: &str) -> Direction {
         || name == "last_writeback"
         || name == "thread_switches"
         || name.starts_with("stall.")
+        || name.ends_with(".wall_ms")
     {
         Direction::HigherIsWorse
-    } else if name == "ipc" || name.starts_with("util.") || name.starts_with("occupancy.util.") {
+    } else if name == "ipc"
+        || name.starts_with("util.")
+        || name.starts_with("occupancy.util.")
+        || name.ends_with(".instr_per_sec")
+    {
         Direction::HigherIsBetter
     } else {
         Direction::Neutral
@@ -126,7 +133,10 @@ fn numeric(v: &MetricValue) -> Option<f64> {
 
 /// Diff the counters and gauges of two registries over the union of their
 /// names (A's registration order first, then names only in B). Metrics
-/// absent from one side default to 0.
+/// absent from one side default to 0; a metric that does not exist in the
+/// baseline at all (as opposed to existing with value 0) has no
+/// regression semantics — it is new information, not a wrong-way move —
+/// so its direction is forced to [`Direction::Neutral`].
 pub fn diff_registries(a: &Registry, b: &Registry) -> Vec<DiffEntry> {
     let mut names: Vec<&str> = Vec::new();
     for (n, v) in a.iter().chain(b.iter()) {
@@ -137,6 +147,7 @@ pub fn diff_registries(a: &Registry, b: &Registry) -> Vec<DiffEntry> {
     names
         .into_iter()
         .map(|name| {
+            let in_a = a.get(name).is_some();
             let va = a.get(name).and_then(numeric).unwrap_or(0.0);
             let vb = b.get(name).and_then(numeric).unwrap_or(0.0);
             let delta = vb - va;
@@ -153,7 +164,7 @@ pub fn diff_registries(a: &Registry, b: &Registry) -> Vec<DiffEntry> {
                 b: vb,
                 delta,
                 pct,
-                direction: direction_of(name),
+                direction: if in_a { direction_of(name) } else { Direction::Neutral },
             }
         })
         .collect()
@@ -263,6 +274,30 @@ mod tests {
         assert_eq!(d[0].pct, None);
         assert_eq!(d[0].regression_pct(), f64::INFINITY);
         assert!(!RegressionCheck { threshold_pct: 1e9 }.regressions(&d).is_empty());
+    }
+
+    #[test]
+    fn bench_metrics_have_directions() {
+        assert_eq!(direction_of("kernel.sort.wall_ms"), Direction::HigherIsWorse);
+        assert_eq!(direction_of("pes.4096.wall_ms"), Direction::HigherIsWorse);
+        assert_eq!(direction_of("kernel.sort.instr_per_sec"), Direction::HigherIsBetter);
+        assert_eq!(direction_of("kernel.sort.cycles"), Direction::Neutral);
+        assert_eq!(direction_of("kernel.sort.instructions"), Direction::Neutral);
+    }
+
+    #[test]
+    fn metrics_new_in_b_never_regress() {
+        // a sweep extended to larger sizes: the new points exist only in
+        // B, and must not read as infinite wall-time regressions
+        let mut a = Registry::new();
+        a.gauge_set("pes.4096.wall_ms", 1.0);
+        let mut b = Registry::new();
+        b.gauge_set("pes.4096.wall_ms", 0.9);
+        b.gauge_set("pes.262144.wall_ms", 50.0);
+        let d = diff_registries(&a, &b);
+        let new_point = d.iter().find(|e| e.name == "pes.262144.wall_ms").unwrap();
+        assert_eq!(new_point.direction, Direction::Neutral);
+        assert!(RegressionCheck { threshold_pct: 0.0 }.regressions(&d).is_empty());
     }
 
     #[test]

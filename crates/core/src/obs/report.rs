@@ -33,6 +33,11 @@ pub struct MachineMeta {
     pub r: u64,
     /// Scheduler policy ("fine-grain" or "coarse-grain(penalty)").
     pub sched: String,
+    /// Host SIMD dispatch tier the dense-word plane ops ran at
+    /// ("scalar", "avx2", or "avx512"). Purely an execution-strategy
+    /// record — results are bit-identical across tiers — but wall-time
+    /// comparisons between runs are only fair within a tier.
+    pub simd: String,
 }
 
 /// A complete, serializable account of one simulation run.
@@ -72,6 +77,7 @@ impl RunReport {
             b: timing.b,
             r: timing.r,
             sched,
+            simd: m.simd_level().label().to_string(),
         };
         let stats = m.stats().clone();
         let mut metrics = stats.to_registry();
@@ -122,6 +128,7 @@ impl RunReport {
             ("b".into(), Json::U64(m.b)),
             ("r".into(), Json::U64(m.r)),
             ("sched".into(), Json::str(&m.sched)),
+            ("simd".into(), Json::str(&m.simd)),
         ]);
         let s = &self.totals;
         let totals = Json::Obj(vec![
@@ -186,6 +193,8 @@ impl RunReport {
             b: m.get("b")?.as_u64()?,
             r: m.get("r")?.as_u64()?,
             sched: m.get("sched")?.as_str()?.to_string(),
+            // absent in pre-SIMD reports, which all ran scalar
+            simd: m.get("simd").and_then(Json::as_str).unwrap_or("scalar").to_string(),
         };
         let metrics = Registry::from_json(v.get("metrics")?)?;
         let t = v.get("totals")?;
@@ -241,8 +250,8 @@ impl RunReport {
         let m = &self.machine;
         let s = &self.totals;
         let mut out = format!(
-            "machine: {} PEs, {} threads, {}-ary broadcast (b={}, r={}), {}-bit, {}\n",
-            m.pes, m.threads, m.arity, m.b, m.r, m.width_bits, m.sched
+            "machine: {} PEs, {} threads, {}-ary broadcast (b={}, r={}), {}-bit, {}, simd {}\n",
+            m.pes, m.threads, m.arity, m.b, m.r, m.width_bits, m.sched, m.simd
         );
         out.push_str(&s.report());
         let mut ranked: Vec<(StallReason, u64)> = StallReason::ALL
@@ -343,6 +352,24 @@ loop:   paddi p1, p1, 1
         assert_eq!(report.machine.b, 2);
         assert_eq!(report.machine.r, 4);
         assert_eq!(report.machine.sched, "fine-grain");
+        assert!(
+            ["scalar", "avx2", "avx512"].contains(&report.machine.simd.as_str()),
+            "{}",
+            report.machine.simd
+        );
+        // pre-SIMD reports carry no `simd` key; they all ran scalar
+        let mut v = report.to_json();
+        if let Json::Obj(entries) = &mut v {
+            for (k, val) in entries.iter_mut() {
+                if k == "machine" {
+                    if let Json::Obj(machine) = val {
+                        machine.retain(|(k, _)| k != "simd");
+                    }
+                }
+            }
+        }
+        let old = RunReport::from_json(&v).expect("schema-compatible");
+        assert_eq!(old.machine.simd, "scalar");
     }
 
     #[test]

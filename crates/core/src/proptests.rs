@@ -301,9 +301,11 @@ fn assert_machines_identical(a: &Machine, b: &Machine, label: &str) {
 }
 
 proptest! {
-    /// Block fusion is architecturally invisible: a random straight-line
-    /// program leaves bit-identical machine state, cycle counts, and
-    /// statistics with the fusion engine on or off — in the serial
+    /// Block fusion and SIMD dispatch are architecturally invisible: a
+    /// random straight-line program leaves bit-identical machine state,
+    /// cycle counts, and statistics across every (fusion × SIMD)
+    /// combination — compiled SIMD kernels, compiled scalar kernels, and
+    /// the instruction-major executor at both tiers — in the serial
     /// execution regime and in the rayon-over-tiles regime (forced via
     /// `parallel_threshold`, with a short tail tile).
     #[test]
@@ -331,15 +333,30 @@ proptest! {
         if force_parallel {
             cfg.parallel_threshold = 1;
         }
-        let mut fused = Machine::new(cfg);
-        fused.load_words(&words).unwrap();
-        fused.run(10_000_000).unwrap();
-        let mut unfused = Machine::new(cfg.without_fusion());
-        unfused.load_words(&words).unwrap();
-        unfused.run(10_000_000).unwrap();
+        let run = |cfg: MachineConfig| {
+            let mut m = Machine::new(cfg);
+            m.load_words(&words).unwrap();
+            m.run(10_000_000).unwrap();
+            m
+        };
+        let fused = run(cfg);
+        let unfused = run(cfg.without_fusion());
+        let fused_scalar = run(cfg.without_simd());
+        let unfused_scalar = run(cfg.without_fusion().without_simd());
 
-        assert_machines_identical(&fused, &unfused, &format!("seed {seed}"));
+        assert_machines_identical(&fused, &unfused, &format!("seed {seed} fused vs unfused"));
+        assert_machines_identical(
+            &fused,
+            &fused_scalar,
+            &format!("seed {seed} fused simd vs fused scalar"),
+        );
+        assert_machines_identical(
+            &fused,
+            &unfused_scalar,
+            &format!("seed {seed} fused simd vs unfused scalar"),
+        );
         prop_assert_eq!(unfused.fusion_stats().instrs_fused, 0);
+        prop_assert_eq!(fused_scalar.fusion_stats().simd_ops, 0);
     }
 
     /// The cycle-attribution profiler conserves cycles exactly on random

@@ -30,6 +30,13 @@ pub struct Thread {
 #[derive(Debug, Clone)]
 pub struct ThreadTable {
     rows: Vec<Thread>,
+    /// Ids of the non-[`ThreadState::Free`] contexts, ascending. Contexts
+    /// only enter and leave liveness through [`ThreadTable::alloc`] and
+    /// [`ThreadTable::release`], so the list stays exact; the scheduler
+    /// and fetch unit scan it instead of every context slot (most of the
+    /// 16 slots are free in single-threaded programs, and the scan runs
+    /// every simulated cycle).
+    live: Vec<usize>,
 }
 
 impl ThreadTable {
@@ -39,7 +46,7 @@ impl ThreadTable {
         assert!(n >= 1);
         let mut rows = vec![Thread { state: ThreadState::Free, pc: 0, next_issue: 0 }; n];
         rows[0].state = ThreadState::Runnable;
-        ThreadTable { rows }
+        ThreadTable { rows, live: vec![0] }
     }
 
     /// Number of contexts.
@@ -69,6 +76,8 @@ impl ThreadTable {
     pub fn alloc(&mut self, pc: u32, ready_at: u64) -> Option<usize> {
         let tid = self.rows.iter().position(|t| t.state == ThreadState::Free)?;
         self.rows[tid] = Thread { state: ThreadState::Runnable, pc, next_issue: ready_at };
+        let at = self.live.partition_point(|&t| t < tid);
+        self.live.insert(at, tid);
         Some(tid)
     }
 
@@ -76,6 +85,9 @@ impl ThreadTable {
     /// the threads that were woken (so the caller can trace the wakeups).
     pub fn release(&mut self, tid: usize) -> Vec<usize> {
         self.rows[tid].state = ThreadState::Free;
+        if let Ok(at) = self.live.binary_search(&tid) {
+            self.live.remove(at);
+        }
         let mut woken = Vec::new();
         for (i, row) in self.rows.iter_mut().enumerate() {
             if row.state == ThreadState::WaitingJoin(tid) {
@@ -88,7 +100,7 @@ impl ThreadTable {
 
     /// True if any context is runnable or waiting.
     pub fn any_live(&self) -> bool {
-        self.rows.iter().any(|t| t.state != ThreadState::Free)
+        !self.live.is_empty()
     }
 
     /// Number of live (runnable or waiting) contexts. The block-fusion
@@ -96,18 +108,27 @@ impl ThreadTable {
     /// thread could interleave issues into the middle of a block and
     /// observe (or disturb) its batched effects out of order.
     pub fn live_count(&self) -> usize {
-        self.rows.iter().filter(|t| t.state != ThreadState::Free).count()
+        self.live.len()
     }
 
     /// True if at least one thread is runnable (not free, not join-blocked).
     pub fn any_runnable(&self) -> bool {
-        self.rows.iter().any(|t| t.state == ThreadState::Runnable)
+        self.live.iter().any(|&t| self.rows[t].state == ThreadState::Runnable)
     }
 
     /// Iterate thread ids in rotating-priority order starting at `from`.
     pub fn rotation(&self, from: usize) -> impl Iterator<Item = usize> + '_ {
         let n = self.rows.len();
         (0..n).map(move |i| (from + i) % n)
+    }
+
+    /// Iterate the *live* thread ids in rotating-priority order starting
+    /// at `from` — the same ids [`ThreadTable::rotation`] would visit,
+    /// minus the free slots, which can neither issue nor fetch. This is
+    /// what the per-cycle scheduler/fetch scans walk.
+    pub fn rotation_live(&self, from: usize) -> impl Iterator<Item = usize> + '_ {
+        let split = self.live.partition_point(|&t| t < from);
+        self.live[split..].iter().chain(&self.live[..split]).copied()
     }
 }
 

@@ -29,26 +29,42 @@ impl MaxMinUnit {
         // which lets the functional model walk only the set bits of the
         // packed active mask (64 inactive lanes cost one word test)
         // instead of feeding 2n-1 tree nodes identity values.
-        let id = op.identity(w);
-        let mut acc = id;
+        //
+        // The fold itself runs in an order-isomorphic unsigned key domain:
+        // flipping the sign bit of a w-bit word maps signed order onto
+        // unsigned order, after which every variant is a plain `u32`
+        // min/max — branchless, no per-element op dispatch, and the
+        // full-word chunks autovectorize. Ties are exact duplicates
+        // (stored words are width-truncated), so the mapped fold returns
+        // the identical word `ReduceOp::combine` would.
+        let signed = matches!(op, ReduceOp::Max | ReduceOp::Min);
+        let maximize = matches!(op, ReduceOp::Max | ReduceOp::MaxU);
+        let flip = if signed { 1u32 << (w.bits() - 1) } else { 0 };
+        let fold = |acc: u32, v: Word| {
+            let key = v.0 ^ flip;
+            if maximize {
+                acc.max(key)
+            } else {
+                acc.min(key)
+            }
+        };
+        let mut acc = op.identity(w).0 ^ flip;
         for (wi, &mw) in active.words().iter().enumerate() {
             if mw == 0 {
                 continue;
             }
             let base = wi * 64;
             if mw == u64::MAX {
-                for &v in &values[base..base + 64] {
-                    acc = op.combine(acc, v, w);
-                }
+                acc = values[base..base + 64].iter().fold(acc, |a, &v| fold(a, v));
             } else {
                 let mut m = mw;
                 while m != 0 {
-                    acc = op.combine(acc, values[base + m.trailing_zeros() as usize], w);
+                    acc = fold(acc, values[base + m.trailing_zeros() as usize]);
                     m &= m - 1;
                 }
             }
         }
-        acc
+        Word(acc ^ flip)
     }
 
     /// The Falkoff bit-serial maximum: examine one bit per step from the

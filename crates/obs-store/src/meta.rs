@@ -57,7 +57,8 @@ pub struct RunMeta {
     pub name: String,
     /// FNV-1a/64 of the program source, `fnv1a64:` + 16 hex digits.
     pub program_hash: String,
-    /// Config fingerprint, e.g. `pes=16 threads=16 arity=4 w16 fine-grain`.
+    /// Config fingerprint, e.g.
+    /// `pes=16 threads=16 arity=4 w16 b=2 r=4 fine-grain simd=avx2`.
     pub config: String,
     /// PE count (also inside `config`; first-class for list columns).
     pub pes: u64,
@@ -224,11 +225,14 @@ pub fn program_hash(source: &str) -> String {
     format!("fnv1a64:{h:016x}")
 }
 
-/// The registry's one-line config fingerprint for a machine geometry.
+/// The registry's one-line config fingerprint for a machine geometry,
+/// including the host SIMD dispatch tier the run executed at — two runs
+/// with the same geometry but different tiers are not comparable on wall
+/// time, so the tier is part of the machine-config identity.
 pub fn config_fingerprint(meta: &MachineMeta) -> String {
     format!(
-        "pes={} threads={} arity={} w{} b={} r={} {}",
-        meta.pes, meta.threads, meta.arity, meta.width_bits, meta.b, meta.r, meta.sched
+        "pes={} threads={} arity={} w{} b={} r={} {} simd={}",
+        meta.pes, meta.threads, meta.arity, meta.width_bits, meta.b, meta.r, meta.sched, meta.simd
     )
 }
 
@@ -242,7 +246,7 @@ mod tests {
             kind: "run".into(),
             name: "prog.asc".into(),
             program_hash: program_hash("halt"),
-            config: "pes=16 threads=16 arity=4 w16 b=2 r=4 fine-grain".into(),
+            config: "pes=16 threads=16 arity=4 w16 b=2 r=4 fine-grain simd=avx2".into(),
             pes: 16,
             started_unix_ms: 1_700_000_000_000,
             finished_unix_ms: (status != RunStatus::Running).then_some(1_700_000_001_500),
@@ -256,6 +260,24 @@ mod tests {
                 vec!["report.json".into(), "progress.jsonl".into()]
             },
         }
+    }
+
+    #[test]
+    fn fingerprint_includes_simd_tier() {
+        let meta = MachineMeta {
+            pes: 16,
+            threads: 16,
+            arity: 4,
+            width_bits: 16,
+            b: 2,
+            r: 4,
+            sched: "fine-grain".into(),
+            simd: "avx512".into(),
+        };
+        assert_eq!(
+            config_fingerprint(&meta),
+            "pes=16 threads=16 arity=4 w16 b=2 r=4 fine-grain simd=avx512"
+        );
     }
 
     #[test]

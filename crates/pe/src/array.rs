@@ -28,18 +28,20 @@
 //! semantics of associative masked execution. Dense mask words take a
 //! branch-free 64-lane loop; sparse words a trailing-zeros scan.
 //!
-//! For large arrays (the scaling experiments run up to 2¹⁶ PEs) the lane
+//! For large arrays (the scaling experiments run up to 2¹⁸ PEs) the lane
 //! loops run under Rayon via `par_chunks_mut` (64 lanes per chunk, so chunk
-//! index = mask word index); below [`ArrayConfig::parallel_threshold`] they
-//! run serially, and both paths produce identical results. Stores stay
-//! serial: their writes scatter through local memory, which defeats safe
-//! chunking.
+//! index = mask word index); below [`ArrayConfig::parallel_threshold`] —
+//! or whenever the Rayon pool has a single worker, where a dispatch is
+//! pure overhead — they run serially, and both paths produce identical
+//! results. Stores stay serial: their writes scatter through local
+//! memory, which defeats safe chunking.
 
 use asc_isa::{AluOp, CmpOp, FlagOp, Mask, PFlag, PReg, Width, Word};
 use rayon::prelude::*;
 
 use crate::bitmask::{for_each_set, words_for, ActiveMask, BITS_PER_WORD};
 use crate::memory::MemFault;
+use crate::simd::{self, chunk_mask, SimdLevel};
 
 /// Geometry of the PE array.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,6 +60,9 @@ pub struct ArrayConfig {
     pub width: Width,
     /// Use Rayon when `num_pes` is at least this large.
     pub parallel_threshold: usize,
+    /// SIMD tier for the dense lane loops (see [`crate::simd`]); resolved
+    /// once at construction and never re-probed.
+    pub simd: SimdLevel,
 }
 
 impl ArrayConfig {
@@ -72,6 +77,7 @@ impl ArrayConfig {
             lmem_words: 512,
             width: Width::W16,
             parallel_threshold: 4096,
+            simd: SimdLevel::detect(),
         }
     }
 }
@@ -123,6 +129,17 @@ fn for_each_lane(active: &ActiveMask, mut f: impl FnMut(usize)) {
             for_each_set(mw, base, &mut f);
         }
     }
+}
+
+/// Lowest active lane, if any.
+#[inline]
+fn first_active(active: &ActiveMask) -> Option<usize> {
+    active
+        .words()
+        .iter()
+        .enumerate()
+        .find(|(_, &w)| w != 0)
+        .map(|(wi, &w)| wi * BITS_PER_WORD + w.trailing_zeros() as usize)
 }
 
 /// Like [`for_each_lane`] but stops at the first fault, attributing it to
@@ -205,6 +222,11 @@ pub struct PeArray {
     /// alias a source plane (no per-instruction allocation).
     scratch_a: Vec<Word>,
     scratch_b: Vec<Word>,
+    /// Whether the rayon path is worth taking at all, resolved once at
+    /// construction (like the SIMD tier): a one-worker pool makes every
+    /// `par_iter` dispatch pure coordination overhead — microseconds per
+    /// plane op on a single-core host — for byte-identical results.
+    pool_parallel: bool,
 }
 
 impl PeArray {
@@ -218,6 +240,7 @@ impl PeArray {
             lmem: zeroed_words(cfg.lmem_words * n),
             scratch_a: zeroed_words(n),
             scratch_b: zeroed_words(n),
+            pool_parallel: rayon::current_num_threads() > 1,
             cfg,
         }
     }
@@ -254,7 +277,7 @@ impl PeArray {
     }
 
     fn parallel(&self) -> bool {
-        self.cfg.num_pes >= self.cfg.parallel_threshold
+        self.pool_parallel && self.cfg.num_pes >= self.cfg.parallel_threshold
     }
 
     /// Fill `out` with the active set for a thread and mask, without
@@ -280,6 +303,10 @@ impl PeArray {
     }
 
     /// Parallel ALU operation: `pd = pa op src` in active PEs.
+    ///
+    /// The op's chunk kernel is selected once (monomorphized per op and
+    /// SIMD tier, see [`crate::simd`]) and applied 64 lanes at a time;
+    /// sources are latched first so the destination plane may alias them.
     pub fn alu(
         &mut self,
         thread: usize,
@@ -294,59 +321,48 @@ impl PeArray {
         }
         let w = self.width();
         let n = self.cfg.num_pes;
-        if self.parallel() {
-            // latch sources so the destination plane may alias them
-            self.latch_a(thread, pa.index());
-            let b_reg = match src {
-                Src::Reg(pb) => {
-                    self.latch_b(thread, pb.index());
-                    true
-                }
-                Src::Scalar(_) | Src::Imm(_) => false,
-            };
-            let scalar = match src {
-                Src::Scalar(v) | Src::Imm(v) => v,
-                Src::Reg(_) => Word::ZERO,
-            };
-            let dst_base = self.gpr_base(thread, pd.index());
-            let (sa, sb) = (&self.scratch_a, &self.scratch_b);
-            let dst = &mut self.gprs[dst_base..dst_base + n];
-            let mask_words = active.words();
+        let parallel = self.parallel();
+        self.latch_a(thread, pa.index());
+        let scalar = match src {
+            Src::Reg(pb) => {
+                self.latch_b(thread, pb.index());
+                None
+            }
+            Src::Scalar(v) | Src::Imm(v) => Some(v),
+        };
+        #[derive(Clone, Copy)]
+        enum Kern {
+            Rr(simd::AluRrKernel),
+            Rs(simd::AluRsKernel, Word),
+        }
+        let kern = match scalar {
+            None => Kern::Rr(simd::select_alu_rr(self.cfg.simd, op)),
+            Some(s) => Kern::Rs(simd::select_alu_rs(self.cfg.simd, op), s),
+        };
+        let dst_base = self.gpr_base(thread, pd.index());
+        let (sa, sb) = (&self.scratch_a, &self.scratch_b);
+        let dst = &mut self.gprs[dst_base..dst_base + n];
+        let mask_words = active.words();
+        let chunk_op = |wi: usize, chunk: &mut [Word]| {
+            let mw = mask_words[wi];
+            if mw == 0 {
+                return;
+            }
+            let base = wi * BITS_PER_WORD;
+            let a = &sa[base..base + chunk.len()];
+            match kern {
+                Kern::Rr(f) => f(chunk, a, &sb[base..base + chunk.len()], w, mw),
+                Kern::Rs(f, s) => f(chunk, a, s, w, mw),
+            }
+        };
+        if parallel {
             dst.par_chunks_mut(BITS_PER_WORD).enumerate().for_each(|(wi, chunk)| {
-                let mw = mask_words[wi];
-                if mw == 0 {
-                    return;
-                }
-                let base = wi * BITS_PER_WORD;
-                let len = chunk.len();
-                let mut lane_op = |lane: usize| {
-                    let b = if b_reg { sb[lane] } else { scalar };
-                    chunk[lane - base] = op.apply(sa[lane], b, w);
-                };
-                if mw == u64::MAX {
-                    for lane in base..base + len {
-                        lane_op(lane);
-                    }
-                } else {
-                    for_each_set(mw, base, lane_op);
-                }
+                chunk_op(wi, chunk);
             });
         } else {
-            let pa_base = self.gpr_base(thread, pa.index());
-            let pd_base = self.gpr_base(thread, pd.index());
-            let (b_base, scalar) = match src {
-                Src::Reg(pb) => (Some(self.gpr_base(thread, pb.index())), Word::ZERO),
-                Src::Scalar(v) | Src::Imm(v) => (None, v),
-            };
-            let gprs = &mut self.gprs;
-            for_each_lane(active, |lane| {
-                let a = gprs[pa_base + lane];
-                let b = match b_base {
-                    Some(bb) => gprs[bb + lane],
-                    None => scalar,
-                };
-                gprs[pd_base + lane] = op.apply(a, b, w);
-            });
+            for (wi, chunk) in dst.chunks_mut(BITS_PER_WORD).enumerate() {
+                chunk_op(wi, chunk);
+            }
         }
     }
 
@@ -369,38 +385,43 @@ impl PeArray {
             Src::Reg(pb) => (Some(self.gpr_base(thread, pb.index())), Word::ZERO),
             Src::Scalar(v) | Src::Imm(v) => (None, v),
         };
+        #[derive(Clone, Copy)]
+        enum Kern {
+            Rr(simd::CmpRrKernel),
+            Rs(simd::CmpRsKernel, Word),
+        }
+        let kern = match b_base {
+            Some(_) => Kern::Rr(simd::select_cmp_rr(self.cfg.simd, op)),
+            None => Kern::Rs(simd::select_cmp_rs(self.cfg.simd, op), scalar),
+        };
         let fd_base = self.flag_base(thread, fd.index());
         let wpp = self.words_per_plane();
         let (gprs, flags) = (&self.gprs, &mut self.flags);
+        let a_plane = &gprs[pa_base..pa_base + n];
+        let b_plane = b_base.map(|bb| &gprs[bb..bb + n]);
         let dst = &mut flags[fd_base..fd_base + wpp];
         let mask_words = active.words();
 
+        // inactive lanes may be computed (compares are side-effect free);
+        // the merge under the mask word keeps their flag bits
         let word_op = |wi: usize, dw: &mut u64| {
             let mw = mask_words[wi];
             if mw == 0 {
                 return;
             }
             let base = wi * BITS_PER_WORD;
-            let mut res = 0u64;
-            let mut lane_op = |lane: usize| {
-                let a = gprs[pa_base + lane];
-                let b = match b_base {
-                    Some(bb) => gprs[bb + lane],
-                    None => scalar,
-                };
-                res |= u64::from(op.apply(a, b, w)) << (lane - base);
-            };
-            if mw == u64::MAX {
-                for lane in base..base + BITS_PER_WORD {
-                    lane_op(lane);
+            let len = BITS_PER_WORD.min(n - base);
+            let a = &a_plane[base..base + len];
+            let res = match kern {
+                Kern::Rr(f) => {
+                    f(a, &b_plane.expect("rr kernel has a b plane")[base..base + len], w)
                 }
-            } else {
-                for_each_set(mw, base, lane_op);
-            }
+                Kern::Rs(f, s) => f(a, s, w),
+            };
             *dw = (*dw & !mw) | (res & mw);
         };
 
-        if n >= self.cfg.parallel_threshold {
+        if self.pool_parallel && n >= self.cfg.parallel_threshold {
             dst.par_iter_mut().enumerate().for_each(|(wi, dw)| word_op(wi, dw));
         } else {
             for (wi, dw) in dst.iter_mut().enumerate() {
@@ -469,6 +490,12 @@ impl PeArray {
         off: i32,
         active: &ActiveMask,
     ) -> Result<(), PeFault> {
+        if base.index() == 0 {
+            // the base register is hardwired zero: every lane reads the
+            // same address, which in the column-major buffer is one
+            // contiguous row — bounds-check once, then bulk-copy
+            return self.load_uniform(thread, pd, off, active);
+        }
         let n = self.cfg.num_pes;
         let cap = self.cfg.lmem_words;
         let base_b = self.gpr_base(thread, base.index());
@@ -548,6 +575,9 @@ impl PeArray {
         off: i32,
         active: &ActiveMask,
     ) -> Result<(), PeFault> {
+        if base.index() == 0 {
+            return self.store_uniform(thread, ps, off, active);
+        }
         let n = self.cfg.num_pes;
         let cap = self.cfg.lmem_words;
         let base_b = self.gpr_base(thread, base.index());
@@ -578,6 +608,79 @@ impl PeArray {
         }
     }
 
+    /// Uniform-address load (`base` = the zero register): one bounds
+    /// check, then a masked row copy. The fault policy degenerates to the
+    /// same answer on both the serial and parallel paths: all active
+    /// lanes fault together, so the lowest active PE is reported.
+    fn load_uniform(
+        &mut self,
+        thread: usize,
+        pd: PReg,
+        off: i32,
+        active: &ActiveMask,
+    ) -> Result<(), PeFault> {
+        let Some(first) = first_active(active) else {
+            return Ok(()); // no active lane, no access, no fault
+        };
+        let addr = Self::check_addr(off as i64, self.cfg.lmem_words, false)
+            .map_err(|fault| PeFault { pe: first, fault })?;
+        if pd.index() == 0 {
+            return Ok(());
+        }
+        let n = self.cfg.num_pes;
+        let dst_base = self.gpr_base(thread, pd.index());
+        let (lmem, gprs) = (&self.lmem, &mut self.gprs);
+        let row = &lmem[addr * n..(addr + 1) * n];
+        let dst = &mut gprs[dst_base..dst_base + n];
+        for (wi, chunk) in dst.chunks_mut(BITS_PER_WORD).enumerate() {
+            let mw = active.words()[wi];
+            if mw == 0 {
+                continue;
+            }
+            let base = wi * BITS_PER_WORD;
+            if mw == chunk_mask(chunk.len()) {
+                chunk.copy_from_slice(&row[base..base + chunk.len()]);
+            } else {
+                for_each_set(mw, base, |lane| chunk[lane - base] = row[lane]);
+            }
+        }
+        Ok(())
+    }
+
+    /// Uniform-address store (`base` = the zero register): one bounds
+    /// check, then a masked copy into the contiguous row.
+    fn store_uniform(
+        &mut self,
+        thread: usize,
+        ps: PReg,
+        off: i32,
+        active: &ActiveMask,
+    ) -> Result<(), PeFault> {
+        let Some(first) = first_active(active) else {
+            return Ok(());
+        };
+        let addr = Self::check_addr(off as i64, self.cfg.lmem_words, true)
+            .map_err(|fault| PeFault { pe: first, fault })?;
+        let n = self.cfg.num_pes;
+        let ps_base = self.gpr_base(thread, ps.index());
+        let (gprs, lmem) = (&self.gprs, &mut self.lmem);
+        let src = &gprs[ps_base..ps_base + n];
+        let row = &mut lmem[addr * n..(addr + 1) * n];
+        for (wi, chunk) in row.chunks_mut(BITS_PER_WORD).enumerate() {
+            let mw = active.words()[wi];
+            if mw == 0 {
+                continue;
+            }
+            let base = wi * BITS_PER_WORD;
+            if mw == chunk_mask(chunk.len()) {
+                chunk.copy_from_slice(&src[base..base + chunk.len()]);
+            } else {
+                for_each_set(mw, base, |lane| chunk[lane - base] = src[lane]);
+            }
+        }
+        Ok(())
+    }
+
     /// Write each PE's index (truncated to the width) into `pd`.
     pub fn pidx(&mut self, thread: usize, pd: PReg, active: &ActiveMask) {
         if pd.index() == 0 {
@@ -604,7 +707,7 @@ impl PeArray {
                 for_each_set(mw, base, lane_op);
             }
         };
-        if n >= self.cfg.parallel_threshold {
+        if self.pool_parallel && n >= self.cfg.parallel_threshold {
             dst.par_chunks_mut(BITS_PER_WORD).enumerate().for_each(|(wi, chunk)| {
                 word_op(wi, chunk);
             });
@@ -649,7 +752,7 @@ impl PeArray {
                 for_each_set(mw, base, lane_op);
             }
         };
-        if n >= self.cfg.parallel_threshold {
+        if self.pool_parallel && n >= self.cfg.parallel_threshold {
             dst.par_chunks_mut(BITS_PER_WORD).enumerate().for_each(|(wi, chunk)| {
                 word_op(wi, chunk);
             });
@@ -681,7 +784,7 @@ impl PeArray {
                 for_each_set(mw, base, |lane| chunk[lane - base] = value);
             }
         };
-        if n >= self.cfg.parallel_threshold {
+        if self.pool_parallel && n >= self.cfg.parallel_threshold {
             dst.par_chunks_mut(BITS_PER_WORD).enumerate().for_each(|(wi, chunk)| {
                 word_op(wi, chunk);
             });
@@ -896,6 +999,7 @@ mod tests {
             lmem_words: 32,
             width: Width::W16,
             parallel_threshold: 4096,
+            simd: SimdLevel::detect(),
         })
     }
 
@@ -1037,7 +1141,12 @@ mod tests {
                 lmem_words: 8,
                 width: Width::W8,
                 parallel_threshold: threshold,
+                simd: SimdLevel::detect(),
             });
+            // The serial rayon stand-in reports a one-worker pool, which
+            // normally disables the par branches; force them on so this
+            // test keeps comparing both code paths.
+            a.pool_parallel = true;
             let all = ActiveMask::all(100);
             a.pidx(0, p(1), &all);
             a.alu(0, AluOp::Mul, p(2), p(1), Src::Reg(p(1)), &all);

@@ -1,0 +1,755 @@
+//! Runtime-dispatched SIMD kernels for the dense inner loops.
+//!
+//! Every plane operation ultimately reduces to one of four *chunk
+//! primitives* over at most 64 lanes (one [`crate::bitmask`] mask word):
+//! an ALU op against a register plane or a broadcast scalar, or a compare
+//! against the same two operand forms. This module provides those
+//! primitives as **monomorphized function pointers** — the operation is a
+//! const generic, so selecting a kernel once per instruction (or once per
+//! compiled block) hoists the op dispatch entirely out of the lane loop —
+//! in three tiers:
+//!
+//! * **Scalar** — the portable reference loops, built on the exact
+//!   [`asc_isa::Word`] semantics. Always available; the other tiers must
+//!   be bit-identical to it (the `proptest` feature checks this).
+//! * **AVX2** — 8 × `u32` lanes per vector. `Word` is
+//!   `#[repr(transparent)]` over `u32` with all bits above the datapath
+//!   width zero, so a plane chunk is loadable as packed 32-bit lanes;
+//!   width-dependent ops mask with `Width::mask` or sign-extend via a
+//!   shift pair. Partially-masked groups blend through `vpblendvb`.
+//! * **AVX-512F** — 16 × `u32` lanes with native `__mmask16` masked
+//!   stores and compares.
+//!
+//! `Mulh`/`Div`/`Rem` stay scalar at every tier (no 32-lane division in
+//! either ISA extension); the vector kernels fall through to the scalar
+//! loop for them, so the selector is total over [`AluOp`].
+//!
+//! The tier is resolved **once per machine construction** by
+//! [`SimdLevel::detect`] (hardware probe + the `MTASC_NO_SIMD` escape
+//! hatch) and carried in [`crate::ArrayConfig`]; nothing here reads
+//! global mutable state. Building with `--cfg mtasc_force_scalar` (the
+//! CI portability check) compiles the intrinsics out entirely and the
+//! selectors degrade to the scalar tier.
+//!
+//! ### Kernel contract
+//!
+//! All slices have equal length `n ≤ 64`; `mw` is the active-lane bitmask
+//! for the chunk and its bits at or above `n` must be zero (the
+//! [`crate::ActiveMask`] tail invariant). ALU kernels leave `dst` lanes
+//! with a clear mask bit untouched and may read all `n` lanes of the
+//! sources; compare kernels return a result bit per lane and may compute
+//! inactive lanes (callers merge under `mw`). Reading `dst` before
+//! writing is allowed, so `dst` may alias neither source — callers latch
+//! sources first (the arrays already do, for in-place plane ops).
+
+use asc_isa::{AluOp, CmpOp, Width, Word};
+
+/// Is the x86 SIMD code path compiled in at all?
+#[cfg(all(target_arch = "x86_64", not(mtasc_force_scalar)))]
+const HAVE_X86_SIMD: bool = true;
+#[cfg(not(all(target_arch = "x86_64", not(mtasc_force_scalar))))]
+const HAVE_X86_SIMD: bool = false;
+
+/// SIMD dispatch tier for the dense lane loops, resolved once at machine
+/// construction and carried by value (no global mutable state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SimdLevel {
+    /// Portable scalar loops (the reference semantics).
+    Scalar,
+    /// 256-bit AVX2 kernels, 8 lanes per vector.
+    Avx2,
+    /// 512-bit AVX-512F kernels, 16 lanes per vector.
+    Avx512,
+}
+
+/// `MTASC_NO_SIMD=1` forces the scalar tier everywhere a machine is
+/// built afterwards — the blunt-instrument form of `mtasc run --no-simd`,
+/// used by the differential tests and CI to time the scalar lane loops.
+pub fn simd_disabled() -> bool {
+    std::env::var("MTASC_NO_SIMD").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+impl SimdLevel {
+    /// Probe the host: the widest tier the CPU supports, `Scalar` when
+    /// the build has no SIMD path or `MTASC_NO_SIMD` is set. The feature
+    /// probe itself is cached by the standard library; the environment is
+    /// read fresh on every call so tests can toggle it per machine.
+    pub fn detect() -> SimdLevel {
+        if simd_disabled() {
+            return SimdLevel::Scalar;
+        }
+        Self::detect_hw()
+    }
+
+    /// The hardware tier, ignoring the environment override.
+    pub fn detect_hw() -> SimdLevel {
+        #[cfg(all(target_arch = "x86_64", not(mtasc_force_scalar)))]
+        {
+            if std::arch::is_x86_feature_detected!("avx512f") {
+                return SimdLevel::Avx512;
+            }
+            if std::arch::is_x86_feature_detected!("avx2") {
+                return SimdLevel::Avx2;
+            }
+        }
+        SimdLevel::Scalar
+    }
+
+    /// All tiers the host can actually run, widest last (for differential
+    /// tests that force each available tier).
+    pub fn available() -> Vec<SimdLevel> {
+        let mut tiers = vec![SimdLevel::Scalar];
+        let hw = Self::detect_hw();
+        if hw >= SimdLevel::Avx2 {
+            tiers.push(SimdLevel::Avx2);
+        }
+        if hw >= SimdLevel::Avx512 {
+            tiers.push(SimdLevel::Avx512);
+        }
+        tiers
+    }
+
+    /// Vector kernels active (anything above scalar)?
+    pub fn is_simd(self) -> bool {
+        self != SimdLevel::Scalar
+    }
+
+    /// Short label for fingerprints and stats (`scalar`/`avx2`/`avx512`).
+    pub fn label(self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Avx2 => "avx2",
+            SimdLevel::Avx512 => "avx512",
+        }
+    }
+
+    /// True while the build carries the x86 kernels (false under
+    /// `--cfg mtasc_force_scalar` or on other architectures).
+    pub const fn compiled_in() -> bool {
+        HAVE_X86_SIMD
+    }
+}
+
+/// ALU chunk primitive against a register plane: `dst = a op b` under
+/// `mw`.
+pub type AluRrKernel = fn(dst: &mut [Word], a: &[Word], b: &[Word], w: Width, mw: u64);
+/// ALU chunk primitive against a broadcast scalar: `dst = a op s` under
+/// `mw`.
+pub type AluRsKernel = fn(dst: &mut [Word], a: &[Word], s: Word, w: Width, mw: u64);
+/// Compare chunk primitive against a register plane; bit `i` of the
+/// result is `a[i] cmp b[i]` (only meaningful under the caller's mask).
+pub type CmpRrKernel = fn(a: &[Word], b: &[Word], w: Width) -> u64;
+/// Compare chunk primitive against a broadcast scalar.
+pub type CmpRsKernel = fn(a: &[Word], s: Word, w: Width) -> u64;
+
+/// Ops the vector tiers fall through to the scalar loop for.
+const fn scalar_only(op_code: u8) -> bool {
+    matches!(
+        op_code,
+        code if code == AluOp::Mulh.code()
+            || code == AluOp::Div.code()
+            || code == AluOp::Rem.code()
+    )
+}
+
+/// Whether `op` lowers to a vector body at the SIMD tiers. The iterative
+/// ops (`mulh`/`div`/`rem`) stay on the scalar reference loop at every
+/// tier; everything else vectorizes.
+pub fn alu_vectorizes(op: AluOp) -> bool {
+    !scalar_only(op.code())
+}
+
+#[inline(always)]
+fn op_of<const OP: u8>() -> AluOp {
+    AluOp::from_code(OP).expect("kernel instantiated with a valid ALU op code")
+}
+
+#[inline(always)]
+fn cmp_of<const OP: u8>() -> CmpOp {
+    CmpOp::from_code(OP).expect("kernel instantiated with a valid compare op code")
+}
+
+/// The dense-chunk mask: all `n` lanes active.
+#[inline(always)]
+pub fn chunk_mask(n: usize) -> u64 {
+    debug_assert!(n <= 64);
+    if n >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+// --------------------------------------------------------------- scalar
+
+/// Scalar ALU lanes `[from..n)` under `mw`; the shared reference loop and
+/// the vector kernels' tail/fallback. `RS` selects the broadcast form (b
+/// is ignored and may be empty).
+#[inline(always)]
+#[allow(clippy::too_many_arguments)] // mirrors the vector kernels' signature
+fn alu_lanes<const RS: bool>(
+    op: AluOp,
+    dst: &mut [Word],
+    a: &[Word],
+    b: &[Word],
+    s: Word,
+    w: Width,
+    mw: u64,
+    from: usize,
+) {
+    let n = dst.len();
+    debug_assert!(n <= 64 && a.len() == n && (RS || b.len() == n));
+    if from >= n {
+        return;
+    }
+    let rest = mw & (u64::MAX << from);
+    if rest == chunk_mask(n) & (u64::MAX << from) {
+        for i in from..n {
+            let rhs = if RS { s } else { b[i] };
+            dst[i] = op.apply(a[i], rhs, w);
+        }
+    } else {
+        let mut m = rest;
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            let rhs = if RS { s } else { b[i] };
+            dst[i] = op.apply(a[i], rhs, w);
+            m &= m - 1;
+        }
+    }
+}
+
+/// Scalar compare lanes `[from..)`, returning result bits positioned at
+/// their lane index.
+#[inline(always)]
+fn cmp_lanes<const RS: bool>(
+    op: CmpOp,
+    a: &[Word],
+    b: &[Word],
+    s: Word,
+    w: Width,
+    from: usize,
+) -> u64 {
+    let mut res = 0u64;
+    for i in from..a.len() {
+        let rhs = if RS { s } else { b[i] };
+        res |= u64::from(op.apply(a[i], rhs, w)) << i;
+    }
+    res
+}
+
+fn alu_rr_scalar<const OP: u8>(dst: &mut [Word], a: &[Word], b: &[Word], w: Width, mw: u64) {
+    alu_lanes::<false>(op_of::<OP>(), dst, a, b, Word::ZERO, w, mw, 0);
+}
+
+fn alu_rs_scalar<const OP: u8>(dst: &mut [Word], a: &[Word], s: Word, w: Width, mw: u64) {
+    alu_lanes::<true>(op_of::<OP>(), dst, a, &[], s, w, mw, 0);
+}
+
+fn cmp_rr_scalar<const OP: u8>(a: &[Word], b: &[Word], w: Width) -> u64 {
+    cmp_lanes::<false>(cmp_of::<OP>(), a, b, Word::ZERO, w, 0)
+}
+
+fn cmp_rs_scalar<const OP: u8>(a: &[Word], s: Word, w: Width) -> u64 {
+    cmp_lanes::<true>(cmp_of::<OP>(), a, &[], s, w, 0)
+}
+
+/// Monomorphize `$f` over every [`AluOp`] code.
+macro_rules! alu_table {
+    ($op:expr, $f:ident) => {{
+        use asc_isa::AluOp::*;
+        match $op {
+            Add => $f::<0>,
+            Sub => $f::<1>,
+            And => $f::<2>,
+            Or => $f::<3>,
+            Xor => $f::<4>,
+            Nor => $f::<5>,
+            Sll => $f::<6>,
+            Srl => $f::<7>,
+            Sra => $f::<8>,
+            Mul => $f::<9>,
+            Mulh => $f::<10>,
+            Div => $f::<11>,
+            Rem => $f::<12>,
+            Min => $f::<13>,
+            Max => $f::<14>,
+            MinU => $f::<15>,
+            MaxU => $f::<16>,
+        }
+    }};
+}
+
+/// Monomorphize `$f` over every [`CmpOp`] code.
+macro_rules! cmp_table {
+    ($op:expr, $f:ident) => {{
+        use asc_isa::CmpOp::*;
+        match $op {
+            Eq => $f::<0>,
+            Ne => $f::<1>,
+            Lt => $f::<2>,
+            Le => $f::<3>,
+            LtU => $f::<4>,
+            LeU => $f::<5>,
+        }
+    }};
+}
+
+// ------------------------------------------------------------ selectors
+
+/// The register-register ALU kernel for a tier and op.
+pub fn select_alu_rr(level: SimdLevel, op: AluOp) -> AluRrKernel {
+    #[cfg(all(target_arch = "x86_64", not(mtasc_force_scalar)))]
+    match level {
+        SimdLevel::Avx2 => return x86::select_alu_rr_avx2(op),
+        SimdLevel::Avx512 => return x86::select_alu_rr_avx512(op),
+        SimdLevel::Scalar => {}
+    }
+    let _ = level;
+    alu_table!(op, alu_rr_scalar)
+}
+
+/// The register-scalar (broadcast/immediate) ALU kernel for a tier and
+/// op.
+pub fn select_alu_rs(level: SimdLevel, op: AluOp) -> AluRsKernel {
+    #[cfg(all(target_arch = "x86_64", not(mtasc_force_scalar)))]
+    match level {
+        SimdLevel::Avx2 => return x86::select_alu_rs_avx2(op),
+        SimdLevel::Avx512 => return x86::select_alu_rs_avx512(op),
+        SimdLevel::Scalar => {}
+    }
+    let _ = level;
+    alu_table!(op, alu_rs_scalar)
+}
+
+/// The register-register compare kernel for a tier and op.
+pub fn select_cmp_rr(level: SimdLevel, op: CmpOp) -> CmpRrKernel {
+    #[cfg(all(target_arch = "x86_64", not(mtasc_force_scalar)))]
+    match level {
+        SimdLevel::Avx2 => return x86::select_cmp_rr_avx2(op),
+        SimdLevel::Avx512 => return x86::select_cmp_rr_avx512(op),
+        SimdLevel::Scalar => {}
+    }
+    let _ = level;
+    cmp_table!(op, cmp_rr_scalar)
+}
+
+/// The register-scalar compare kernel for a tier and op.
+pub fn select_cmp_rs(level: SimdLevel, op: CmpOp) -> CmpRsKernel {
+    #[cfg(all(target_arch = "x86_64", not(mtasc_force_scalar)))]
+    match level {
+        SimdLevel::Avx2 => return x86::select_cmp_rs_avx2(op),
+        SimdLevel::Avx512 => return x86::select_cmp_rs_avx512(op),
+        SimdLevel::Scalar => {}
+    }
+    let _ = level;
+    cmp_table!(op, cmp_rs_scalar)
+}
+
+// ------------------------------------------------------------------ x86
+
+#[cfg(all(target_arch = "x86_64", not(mtasc_force_scalar)))]
+mod x86 {
+    use std::arch::x86_64::*;
+
+    use super::*;
+
+    /// Word slices load as packed 32-bit lanes (`Word` is
+    /// `#[repr(transparent)]` over `u32`).
+    #[inline(always)]
+    fn lanes_ptr(s: &[Word]) -> *const i32 {
+        s.as_ptr() as *const i32
+    }
+
+    // ------------------------------------------------------------- AVX2
+
+    /// Sign-extend each lane from the datapath width to 32 bits.
+    #[inline(always)]
+    unsafe fn sext256(a: __m256i, bits: u32) -> __m256i {
+        let sh = _mm_cvtsi32_si128(32 - bits as i32);
+        unsafe { _mm256_sra_epi32(_mm256_sll_epi32(a, sh), sh) }
+    }
+
+    /// Flip the sign bit: maps unsigned order onto signed compare.
+    #[inline(always)]
+    unsafe fn uflip256(a: __m256i) -> __m256i {
+        unsafe { _mm256_xor_si256(a, _mm256_set1_epi32(i32::MIN)) }
+    }
+
+    /// One vector ALU op on 8 lanes; `vm` is the width mask, `bits` the
+    /// datapath width. `OP` is constant, so the match folds away at
+    /// monomorphization.
+    #[inline(always)]
+    unsafe fn v_alu256<const OP: u8>(a: __m256i, b: __m256i, vm: __m256i, bits: u32) -> __m256i {
+        unsafe {
+            let shamt = || _mm256_and_si256(b, _mm256_set1_epi32(bits as i32 - 1));
+            match OP {
+                0 => _mm256_and_si256(_mm256_add_epi32(a, b), vm),
+                1 => _mm256_and_si256(_mm256_sub_epi32(a, b), vm),
+                2 => _mm256_and_si256(a, b),
+                3 => _mm256_or_si256(a, b),
+                4 => _mm256_xor_si256(a, b),
+                // operands have no bits above the width, so NOT-in-width
+                // is XOR with the width mask
+                5 => _mm256_xor_si256(_mm256_or_si256(a, b), vm),
+                6 => _mm256_and_si256(_mm256_sllv_epi32(a, shamt()), vm),
+                7 => _mm256_srlv_epi32(a, shamt()),
+                8 => _mm256_and_si256(_mm256_srav_epi32(sext256(a, bits), shamt()), vm),
+                9 => _mm256_and_si256(_mm256_mullo_epi32(a, b), vm),
+                // min/max pick one of the operands, so masking the
+                // sign-extended winner recovers its original encoding
+                13 => _mm256_and_si256(_mm256_min_epi32(sext256(a, bits), sext256(b, bits)), vm),
+                14 => _mm256_and_si256(_mm256_max_epi32(sext256(a, bits), sext256(b, bits)), vm),
+                15 => _mm256_min_epu32(a, b),
+                16 => _mm256_max_epu32(a, b),
+                _ => unreachable!("scalar-only op reached the vector path"),
+            }
+        }
+    }
+
+    /// Blend `new` over `keep` for the lanes set in the 8-bit group mask.
+    #[inline(always)]
+    unsafe fn blend256(keep: __m256i, new: __m256i, gm: u32) -> __m256i {
+        unsafe {
+            let sel = _mm256_set_epi32(128, 64, 32, 16, 8, 4, 2, 1);
+            let hit = _mm256_cmpeq_epi32(_mm256_and_si256(_mm256_set1_epi32(gm as i32), sel), sel);
+            _mm256_blendv_epi8(keep, new, hit)
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn alu_avx2<const OP: u8, const RS: bool>(
+        dst: &mut [Word],
+        a: &[Word],
+        b: &[Word],
+        s: Word,
+        w: Width,
+        mw: u64,
+    ) {
+        if scalar_only(OP) {
+            return alu_lanes::<RS>(op_of::<OP>(), dst, a, b, s, w, mw, 0);
+        }
+        let n = dst.len();
+        let bits = w.bits();
+        unsafe {
+            let vm = _mm256_set1_epi32(w.mask() as i32);
+            let vs = _mm256_set1_epi32(s.to_u32() as i32);
+            let groups = n / 8;
+            for g in 0..groups {
+                let gm = (mw >> (g * 8)) as u32 & 0xff;
+                if gm == 0 {
+                    continue;
+                }
+                let va = _mm256_loadu_si256(lanes_ptr(a).add(g * 8) as *const __m256i);
+                let vb = if RS {
+                    vs
+                } else {
+                    _mm256_loadu_si256(lanes_ptr(b).add(g * 8) as *const __m256i)
+                };
+                let vr = v_alu256::<OP>(va, vb, vm, bits);
+                let pd = dst.as_mut_ptr().add(g * 8) as *mut __m256i;
+                if gm == 0xff {
+                    _mm256_storeu_si256(pd, vr);
+                } else {
+                    _mm256_storeu_si256(pd, blend256(_mm256_loadu_si256(pd), vr, gm));
+                }
+            }
+            alu_lanes::<RS>(op_of::<OP>(), dst, a, b, s, w, mw, groups * 8);
+        }
+    }
+
+    /// One vector compare on 8 lanes, as an 8-bit result mask.
+    #[inline(always)]
+    unsafe fn v_cmp256<const OP: u8>(a: __m256i, b: __m256i, bits: u32) -> u32 {
+        unsafe {
+            let mm = |v| _mm256_movemask_ps(_mm256_castsi256_ps(v)) as u32;
+            match OP {
+                0 => mm(_mm256_cmpeq_epi32(a, b)),
+                1 => mm(_mm256_cmpeq_epi32(a, b)) ^ 0xff,
+                2 => mm(_mm256_cmpgt_epi32(sext256(b, bits), sext256(a, bits))),
+                3 => mm(_mm256_cmpgt_epi32(sext256(a, bits), sext256(b, bits))) ^ 0xff,
+                4 => mm(_mm256_cmpgt_epi32(uflip256(b), uflip256(a))),
+                5 => mm(_mm256_cmpgt_epi32(uflip256(a), uflip256(b))) ^ 0xff,
+                _ => unreachable!("invalid compare code"),
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn cmp_avx2<const OP: u8, const RS: bool>(
+        a: &[Word],
+        b: &[Word],
+        s: Word,
+        w: Width,
+    ) -> u64 {
+        let n = a.len();
+        let bits = w.bits();
+        let mut res = 0u64;
+        unsafe {
+            let vs = _mm256_set1_epi32(s.to_u32() as i32);
+            let groups = n / 8;
+            for g in 0..groups {
+                let va = _mm256_loadu_si256(lanes_ptr(a).add(g * 8) as *const __m256i);
+                let vb = if RS {
+                    vs
+                } else {
+                    _mm256_loadu_si256(lanes_ptr(b).add(g * 8) as *const __m256i)
+                };
+                res |= (v_cmp256::<OP>(va, vb, bits) as u64) << (g * 8);
+            }
+            res | cmp_lanes::<RS>(cmp_of::<OP>(), a, b, s, w, groups * 8)
+        }
+    }
+
+    // ---------------------------------------------------------- AVX-512
+
+    /// Sign-extend each lane from the datapath width to 32 bits.
+    #[inline(always)]
+    unsafe fn sext512(a: __m512i, bits: u32) -> __m512i {
+        let sh = _mm_cvtsi32_si128(32 - bits as i32);
+        unsafe { _mm512_sra_epi32(_mm512_sll_epi32(a, sh), sh) }
+    }
+
+    /// One vector ALU op on 16 lanes.
+    #[inline(always)]
+    unsafe fn v_alu512<const OP: u8>(a: __m512i, b: __m512i, vm: __m512i, bits: u32) -> __m512i {
+        unsafe {
+            let shamt = || _mm512_and_si512(b, _mm512_set1_epi32(bits as i32 - 1));
+            match OP {
+                0 => _mm512_and_si512(_mm512_add_epi32(a, b), vm),
+                1 => _mm512_and_si512(_mm512_sub_epi32(a, b), vm),
+                2 => _mm512_and_si512(a, b),
+                3 => _mm512_or_si512(a, b),
+                4 => _mm512_xor_si512(a, b),
+                5 => _mm512_xor_si512(_mm512_or_si512(a, b), vm),
+                6 => _mm512_and_si512(_mm512_sllv_epi32(a, shamt()), vm),
+                7 => _mm512_srlv_epi32(a, shamt()),
+                8 => _mm512_and_si512(_mm512_srav_epi32(sext512(a, bits), shamt()), vm),
+                9 => _mm512_and_si512(_mm512_mullo_epi32(a, b), vm),
+                13 => _mm512_and_si512(_mm512_min_epi32(sext512(a, bits), sext512(b, bits)), vm),
+                14 => _mm512_and_si512(_mm512_max_epi32(sext512(a, bits), sext512(b, bits)), vm),
+                15 => _mm512_min_epu32(a, b),
+                16 => _mm512_max_epu32(a, b),
+                _ => unreachable!("scalar-only op reached the vector path"),
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx512f")]
+    unsafe fn alu_avx512_impl<const OP: u8, const RS: bool>(
+        dst: &mut [Word],
+        a: &[Word],
+        b: &[Word],
+        s: Word,
+        w: Width,
+        mw: u64,
+    ) {
+        if scalar_only(OP) {
+            return alu_lanes::<RS>(op_of::<OP>(), dst, a, b, s, w, mw, 0);
+        }
+        let n = dst.len();
+        let bits = w.bits();
+        unsafe {
+            let vm = _mm512_set1_epi32(w.mask() as i32);
+            let vs = _mm512_set1_epi32(s.to_u32() as i32);
+            let groups = n / 16;
+            for g in 0..groups {
+                let k = (mw >> (g * 16)) as u16;
+                if k == 0 {
+                    continue;
+                }
+                let va = _mm512_loadu_epi32(lanes_ptr(a).add(g * 16));
+                let vb = if RS { vs } else { _mm512_loadu_epi32(lanes_ptr(b).add(g * 16)) };
+                let vr = v_alu512::<OP>(va, vb, vm, bits);
+                _mm512_mask_storeu_epi32(dst.as_mut_ptr().add(g * 16) as *mut i32, k, vr);
+            }
+            alu_lanes::<RS>(op_of::<OP>(), dst, a, b, s, w, mw, groups * 16);
+        }
+    }
+
+    /// One vector compare on 16 lanes, as a 16-bit result mask.
+    #[inline(always)]
+    unsafe fn v_cmp512<const OP: u8>(a: __m512i, b: __m512i, bits: u32) -> u16 {
+        unsafe {
+            match OP {
+                0 => _mm512_cmpeq_epi32_mask(a, b),
+                1 => _mm512_cmpneq_epi32_mask(a, b),
+                2 => _mm512_cmplt_epi32_mask(sext512(a, bits), sext512(b, bits)),
+                3 => _mm512_cmple_epi32_mask(sext512(a, bits), sext512(b, bits)),
+                4 => _mm512_cmplt_epu32_mask(a, b),
+                5 => _mm512_cmple_epu32_mask(a, b),
+                _ => unreachable!("invalid compare code"),
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx512f")]
+    unsafe fn cmp_avx512_impl<const OP: u8, const RS: bool>(
+        a: &[Word],
+        b: &[Word],
+        s: Word,
+        w: Width,
+    ) -> u64 {
+        let n = a.len();
+        let bits = w.bits();
+        let mut res = 0u64;
+        unsafe {
+            let vs = _mm512_set1_epi32(s.to_u32() as i32);
+            let groups = n / 16;
+            for g in 0..groups {
+                let va = _mm512_loadu_epi32(lanes_ptr(a).add(g * 16));
+                let vb = if RS { vs } else { _mm512_loadu_epi32(lanes_ptr(b).add(g * 16)) };
+                res |= (v_cmp512::<OP>(va, vb, bits) as u64) << (g * 16);
+            }
+            res | cmp_lanes::<RS>(cmp_of::<OP>(), a, b, s, w, groups * 16)
+        }
+    }
+
+    // --------------------------------------------- safe kernel entries
+    //
+    // SAFETY (all of these): the selectors only hand out AVX2/AVX-512
+    // entries for a [`SimdLevel`] produced by [`SimdLevel::detect`], which
+    // probed the feature at runtime.
+
+    fn alu_rr_avx2<const OP: u8>(dst: &mut [Word], a: &[Word], b: &[Word], w: Width, mw: u64) {
+        unsafe { alu_avx2::<OP, false>(dst, a, b, Word::ZERO, w, mw) }
+    }
+
+    fn alu_rs_avx2<const OP: u8>(dst: &mut [Word], a: &[Word], s: Word, w: Width, mw: u64) {
+        unsafe { alu_avx2::<OP, true>(dst, a, &[], s, w, mw) }
+    }
+
+    fn cmp_rr_avx2<const OP: u8>(a: &[Word], b: &[Word], w: Width) -> u64 {
+        unsafe { cmp_avx2::<OP, false>(a, b, Word::ZERO, w) }
+    }
+
+    fn cmp_rs_avx2<const OP: u8>(a: &[Word], s: Word, w: Width) -> u64 {
+        unsafe { cmp_avx2::<OP, true>(a, &[], s, w) }
+    }
+
+    fn alu_rr_avx512<const OP: u8>(dst: &mut [Word], a: &[Word], b: &[Word], w: Width, mw: u64) {
+        unsafe { alu_avx512_impl::<OP, false>(dst, a, b, Word::ZERO, w, mw) }
+    }
+
+    fn alu_rs_avx512<const OP: u8>(dst: &mut [Word], a: &[Word], s: Word, w: Width, mw: u64) {
+        unsafe { alu_avx512_impl::<OP, true>(dst, a, &[], s, w, mw) }
+    }
+
+    fn cmp_rr_avx512<const OP: u8>(a: &[Word], b: &[Word], w: Width) -> u64 {
+        unsafe { cmp_avx512_impl::<OP, false>(a, b, Word::ZERO, w) }
+    }
+
+    fn cmp_rs_avx512<const OP: u8>(a: &[Word], s: Word, w: Width) -> u64 {
+        unsafe { cmp_avx512_impl::<OP, true>(a, &[], s, w) }
+    }
+
+    // --------------------------------------- per-tier dispatch tables
+
+    pub(super) fn select_alu_rr_avx2(op: AluOp) -> AluRrKernel {
+        alu_table!(op, alu_rr_avx2)
+    }
+    pub(super) fn select_alu_rs_avx2(op: AluOp) -> AluRsKernel {
+        alu_table!(op, alu_rs_avx2)
+    }
+    pub(super) fn select_cmp_rr_avx2(op: CmpOp) -> CmpRrKernel {
+        cmp_table!(op, cmp_rr_avx2)
+    }
+    pub(super) fn select_cmp_rs_avx2(op: CmpOp) -> CmpRsKernel {
+        cmp_table!(op, cmp_rs_avx2)
+    }
+    pub(super) fn select_alu_rr_avx512(op: AluOp) -> AluRrKernel {
+        alu_table!(op, alu_rr_avx512)
+    }
+    pub(super) fn select_alu_rs_avx512(op: AluOp) -> AluRsKernel {
+        alu_table!(op, alu_rs_avx512)
+    }
+    pub(super) fn select_cmp_rr_avx512(op: CmpOp) -> CmpRrKernel {
+        cmp_table!(op, cmp_rr_avx512)
+    }
+    pub(super) fn select_cmp_rs_avx512(op: CmpOp) -> CmpRsKernel {
+        cmp_table!(op, cmp_rs_avx512)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic but irregular lane values covering sign bits, the
+    /// width mask boundary, and shift-relevant low bits.
+    fn sample_plane(w: Width, salt: u32, n: usize) -> Vec<Word> {
+        (0..n as u32)
+            .map(|i| {
+                let v = i.wrapping_mul(0x9e37_79b9).wrapping_add(salt).rotate_left((i + salt) % 31);
+                Word::new(v & w.mask(), w)
+            })
+            .collect()
+    }
+
+    fn check_level(level: SimdLevel) {
+        for &w in &[Width::W8, Width::W16, Width::W32] {
+            for &n in &[64usize, 37, 8, 5, 1] {
+                let a = sample_plane(w, 1, n);
+                let b = sample_plane(w, 0x55, n);
+                let s = Word::new(0x2f & w.mask(), w);
+                // an irregular mask plus the dense mask
+                for mw in [chunk_mask(n), chunk_mask(n) & 0x5f3a_c6e9_1b4d_8872] {
+                    for &op in AluOp::ALL {
+                        let mut want = sample_plane(w, 9, n);
+                        let mut got = want.clone();
+                        alu_lanes::<false>(op, &mut want, &a, &b, Word::ZERO, w, mw, 0);
+                        select_alu_rr(level, op)(&mut got, &a, &b, w, mw);
+                        assert_eq!(got, want, "{level:?} {op} rr {w} n={n} mw={mw:#x}");
+                        let mut want_s = sample_plane(w, 9, n);
+                        let mut got_s = want_s.clone();
+                        alu_lanes::<true>(op, &mut want_s, &a, &[], s, w, mw, 0);
+                        select_alu_rs(level, op)(&mut got_s, &a, s, w, mw);
+                        assert_eq!(got_s, want_s, "{level:?} {op} rs {w} n={n} mw={mw:#x}");
+                    }
+                    for &op in CmpOp::ALL {
+                        let want = cmp_lanes::<false>(op, &a, &b, Word::ZERO, w, 0) & mw;
+                        let got = select_cmp_rr(level, op)(&a, &b, w) & mw;
+                        assert_eq!(got, want, "{level:?} {op} rr {w} n={n}");
+                        let want_s = cmp_lanes::<true>(op, &a, &[], s, w, 0) & mw;
+                        let got_s = select_cmp_rs(level, op)(&a, s, w) & mw;
+                        assert_eq!(got_s, want_s, "{level:?} {op} rs {w} n={n}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_available_tier_matches_the_scalar_reference() {
+        for level in SimdLevel::available() {
+            check_level(level);
+        }
+    }
+
+    #[test]
+    fn detect_honours_the_env_escape_hatch() {
+        // detect() == hw tier unless MTASC_NO_SIMD is set in this process;
+        // the env-forced path is covered end to end by ci.sh
+        if !simd_disabled() {
+            assert_eq!(SimdLevel::detect(), SimdLevel::detect_hw());
+        } else {
+            assert_eq!(SimdLevel::detect(), SimdLevel::Scalar);
+        }
+    }
+
+    #[test]
+    fn labels_and_order() {
+        assert!(SimdLevel::Scalar < SimdLevel::Avx2 && SimdLevel::Avx2 < SimdLevel::Avx512);
+        assert_eq!(SimdLevel::Scalar.label(), "scalar");
+        assert_eq!(SimdLevel::Avx2.label(), "avx2");
+        assert_eq!(SimdLevel::Avx512.label(), "avx512");
+        assert!(!SimdLevel::Scalar.is_simd() && SimdLevel::Avx2.is_simd());
+    }
+
+    #[test]
+    fn chunk_mask_tail() {
+        assert_eq!(chunk_mask(64), u64::MAX);
+        assert_eq!(chunk_mask(5), 0b11111);
+        assert_eq!(chunk_mask(0), 0);
+    }
+}

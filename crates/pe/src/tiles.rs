@@ -271,6 +271,46 @@ impl TileWindow<'_> {
         Ok(())
     }
 
+    /// This tile's lanes of the local-memory row at `addr` (one word per
+    /// lane, same address in every column). Callers must have
+    /// bounds-checked `addr` via [`TileWindow::lmem_addr`].
+    #[inline]
+    pub fn lmem_row(&self, addr: usize) -> &[Word] {
+        debug_assert!(addr < self.raw.lmem_words);
+        // SAFETY: `addr` is in range and the slice is confined to this
+        // tile's lanes of the row.
+        unsafe {
+            std::slice::from_raw_parts(
+                self.raw.lmem.add(addr * self.raw.num_pes + self.base),
+                self.lanes,
+            )
+        }
+    }
+
+    /// Mutable row access; same contract as [`TileWindow::lmem_row`].
+    /// Local memory is lane-local, so distinct tiles' rows are disjoint.
+    #[inline]
+    pub fn lmem_row_mut(&mut self, addr: usize) -> &mut [Word] {
+        debug_assert!(addr < self.raw.lmem_words);
+        // SAFETY: `addr` is in range, the slice is confined to this
+        // tile's lanes, and `&mut self` makes this the only live view.
+        unsafe {
+            std::slice::from_raw_parts_mut(
+                self.raw.lmem.add(addr * self.raw.num_pes + self.base),
+                self.lanes,
+            )
+        }
+    }
+
+    /// Resolve and bounds-check a lane-uniform effective address (the
+    /// whole tile reads/writes the same row). Fault identity matches the
+    /// per-lane accessors: unsigned base plus sign-extended offset at
+    /// full precision.
+    #[inline]
+    pub fn lmem_addr(&self, base: Word, off: i32, is_store: bool) -> Result<usize, MemFault> {
+        self.check_addr(base, off, is_store)
+    }
+
     #[inline]
     fn check_addr(&self, base: Word, off: i32, is_store: bool) -> Result<usize, MemFault> {
         let ea = base.to_u32() as i64 + off as i64;
@@ -297,6 +337,7 @@ mod tests {
             lmem_words: 32,
             width: Width::W16,
             parallel_threshold: 4096,
+            simd: crate::simd::SimdLevel::detect(),
         })
     }
 
