@@ -47,6 +47,34 @@ echo "==> SIMD speedup gates (committed baselines/ pre-SIMD vs BENCH_*.json)"
 ./target/release/mtasc stats diff baselines/BENCH_pe_scaling.pre_simd.json BENCH_pe_scaling.json \
     --fail-on-regress 0 > /dev/null
 
+echo "==> scale-out gates (committed pe-scaling sweep: segmentation wins)"
+# The pre_scaleout file is the sweep measured at the commit before the
+# core-affine segmentation work. The diff proves the committed 2^18-2^20
+# points regressed nowhere, and the awk pass proves that at every point
+# from 2^16 up — including the 2^20 point this PR adds — the default
+# multi-segment execution beats the forced monolithic build
+# (wall_seconds < wall_seconds_1seg), from the committed report alone.
+./target/release/mtasc stats diff baselines/BENCH_pe_scaling.pre_scaleout.json BENCH_pe_scaling.json \
+    --fail-on-regress 0 > /dev/null
+awk '
+    function num(key,    s) {
+        if (match($0, "\"" key "\": *[0-9.eE+-]+")) {
+            s = substr($0, RSTART, RLENGTH); sub(/.*: */, "", s); return s + 0
+        }
+        return -1
+    }
+    /"num_pes"/ {
+        n = num("num_pes"); w = num("wall_seconds"); w1 = num("wall_seconds_1seg")
+        if (n >= 262144) top++
+        if (n >= 65536 && w >= w1) {
+            printf "no multi-segment win at %d PEs: %g >= %g\n", n, w, w1; bad = 1
+        }
+    }
+    END {
+        if (top < 3) { print "2^18-2^20 sweep points missing"; bad = 1 }
+        exit bad
+    }' BENCH_pe_scaling.json
+
 echo "==> mtasc profile + stats diff smoke (sort kernel, fail-on-regress)"
 # Profile one kernel (conservation is asserted by the profiler's tests;
 # here we check the CLI surface end to end), then diff the profile
@@ -122,6 +150,22 @@ echo "==> fusion differential suite at the scalar dispatch tier"
 # is proven on both sides of the runtime CPU dispatch.
 MTASC_NO_SIMD=1 cargo test -p asc-core --features proptest -q fusion
 
+echo "==> fusion + SIMD differential suites under forced multi-segment execution"
+# MTASC_SEGMENTS=4 shards every machine in the suites into four
+# core-affine segments, so fused-vs-unfused and SIMD-vs-scalar
+# bit-identity — and the sharded-vs-monolithic proptest itself — are
+# proven on the two-level reduction path, not just the monolithic one.
+MTASC_SEGMENTS=4 cargo test -p asc-core --features proptest -q fusion
+MTASC_SEGMENTS=4 cargo test -p asc-core --features proptest -q proptests
+MTASC_SEGMENTS=4 MTASC_NO_SIMD=1 cargo test -p asc-core --features proptest -q fusion
+
+echo "==> sparse 2^20-PE construction budget"
+# Lazily-materialized planes: a million-PE machine must construct in
+# microseconds (budget 500ms for slow CI hosts) with zero bytes
+# committed until the first write. Run in release so the budget
+# measures the allocator, not debug-mode overhead.
+cargo test --release -p asc-pe -q sparse_million_pe_array_constructs_cheaply
+
 echo "==> portability check (intrinsics compiled out)"
 # --cfg mtasc_force_scalar removes the x86 intrinsics at compile time;
 # the PE crate must still build cleanly (the non-x86 fallback path).
@@ -131,12 +175,16 @@ echo "==> cargo bench --no-run (benches compile)"
 cargo bench --workspace --no-run
 
 echo "==> kernel bench smoke-compare (quick mode, vs BENCH_kernels.json)"
-# Median-of-2 wall times against the committed baseline; fails on any
-# kernel more than MTASC_BENCH_TOLERANCE percent slower (default here 75:
-# the committed numbers are medians from a quiet machine, and the sub-ms
-# kernels see large relative noise under CI load). Regenerate the baseline
-# with: cargo bench -p asc-bench --bench kernels -- --save-baseline
-MTASC_BENCH_RUNS="${MTASC_BENCH_RUNS:-2}" MTASC_BENCH_TOLERANCE="${MTASC_BENCH_TOLERANCE:-75}" \
+# Median-of-5 wall times against the committed baseline; fails on any
+# kernel more than MTASC_BENCH_TOLERANCE percent slower (default here
+# 150). This is a catastrophic-regression smoke guard, not the precision
+# gate — the committed numbers are medians from a quiet machine, and the
+# sub-ms kernels measured right after the full test suite has saturated
+# the host can swing 2-3x on loaded single-core CI runners; the
+# deterministic perf gates are the committed-file `stats diff` checks
+# above. Regenerate the baseline with:
+# cargo bench -p asc-bench --bench kernels -- --save-baseline
+MTASC_BENCH_RUNS="${MTASC_BENCH_RUNS:-5}" MTASC_BENCH_TOLERANCE="${MTASC_BENCH_TOLERANCE:-150}" \
     cargo bench -p asc-bench --bench kernels -- --compare-baseline
 
 echo "==> kernel bench smoke-compare at the scalar dispatch tier"
@@ -144,7 +192,7 @@ echo "==> kernel bench smoke-compare at the scalar dispatch tier"
 # the full suite end to end. The committed baseline was measured at the
 # detected tier, so the tolerance only guards against catastrophic
 # scalar-path regressions, not the expected SIMD-vs-scalar gap.
-MTASC_NO_SIMD=1 MTASC_BENCH_RUNS=2 MTASC_BENCH_TOLERANCE=400 \
+MTASC_NO_SIMD=1 MTASC_BENCH_RUNS=5 MTASC_BENCH_TOLERANCE=400 \
     cargo bench -p asc-bench --bench kernels -- --compare-baseline
 
 echo "==> ci.sh: all green"

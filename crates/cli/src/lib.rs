@@ -80,6 +80,10 @@ pub struct MachineOpts {
     /// SIMD dispatch enabled (`--no-simd` clears it; `MTASC_NO_SIMD`
     /// overrides either way).
     pub simd: bool,
+    /// Requested segment count for the core-affine PE-array sharding
+    /// (`--segments N`; 0 = automatic, 1 = monolithic; `MTASC_SEGMENTS`
+    /// overrides either way). Bit-identical results at every count.
+    pub segments: usize,
     /// Print block-fusion statistics after `run`.
     pub fusion_stats: bool,
     /// Record this invocation into the run registry. Defaults to `false`
@@ -122,6 +126,7 @@ impl Default for MachineOpts {
             trace_chrome: None,
             fusion: true,
             simd: true,
+            segments: 0,
             fusion_stats: false,
             record: false,
             runs_dir: None,
@@ -147,7 +152,7 @@ impl MachineOpts {
         if !self.simd {
             cfg = cfg.without_simd();
         }
-        cfg
+        cfg.with_segments(self.segments)
     }
 
     /// Consume recognized flags from `args`, leaving positional arguments.
@@ -190,6 +195,7 @@ impl MachineOpts {
                 }
                 "--no-fuse" => opts.fusion = false,
                 "--no-simd" => opts.simd = false,
+                "--segments" => opts.segments = parse_num(&take(&mut it)?)?,
                 "--fusion-stats" => opts.fusion_stats = true,
                 "--trace" => opts.trace = true,
                 "--report" => opts.report = Some(take(&mut it)?),
@@ -265,6 +271,9 @@ OPTIONS:
                    instruction-major execution — for cross-checking)
   --no-simd        force the scalar reference loops instead of AVX2/AVX-512
                    kernels (identical results; MTASC_NO_SIMD=1 also works)
+  --segments N     core-affine PE-array segments (0 = auto, one per 4096
+                   lanes; 1 = monolithic; identical results at every
+                   count; MTASC_SEGMENTS=N also works)
   --fusion-stats   print block-fusion and kernel-compilation statistics
   --trace          print the stage-by-cycle pipeline diagram
   --report F       write a JSON run report to F
@@ -653,12 +662,25 @@ pub fn dispatch(mut args: Vec<String>) -> Result<String, CliError> {
     }
 }
 
-/// `mtasc --version`: crate version plus every schema this tool emits.
+/// `mtasc --version`: crate version, every schema this tool emits, and
+/// the resolved execution strategy (host SIMD tier, segment slicing,
+/// Rayon threshold — all after their env overrides), so a pasted version
+/// line pins down how wall times were produced.
 pub fn version_text() -> String {
+    let cfg = MachineConfig::new(MachineOpts::default().pes);
+    let segments = match cfg.effective_segments() {
+        0 => "auto".to_string(),
+        n => n.to_string(),
+    };
     format!(
         "mtasc {}\nschemas: {REPORT_SCHEMA}, {PROFILE_SCHEMA}, mtasc.lint.v1, \
-         {RUN_META_SCHEMA}, {PROGRESS_SCHEMA}\n",
-        env!("CARGO_PKG_VERSION")
+         {RUN_META_SCHEMA}, {PROGRESS_SCHEMA}\n\
+         execution: simd {} (MTASC_NO_SIMD), segments {} (MTASC_SEGMENTS), \
+         par-threshold {} (MTASC_PAR_THRESHOLD)\n",
+        env!("CARGO_PKG_VERSION"),
+        cfg.simd_level().label(),
+        segments,
+        cfg.effective_parallel_threshold(),
     )
 }
 
@@ -1234,6 +1256,15 @@ fn bench_registry(v: &Json, rows: &str, key: &str, prefix: &str) -> Result<Regis
                 .ok_or(format!("{rows}[{i}]: missing `{counter}`"))?;
             reg.counter_add(&format!("{prefix}.{label}.{counter}"), n);
         }
+        // scale-out sweep extras, when present. `wall_ms_1seg` must NOT
+        // end in `.wall_ms`: the monolithic reference is context, not a
+        // gated latency, so it stays Neutral under `--fail-on-regress`.
+        if let Some(w1) = e.get("wall_seconds_1seg").and_then(Json::as_f64) {
+            reg.gauge_set(&format!("{prefix}.{label}.wall_ms_1seg"), w1 * 1e3);
+        }
+        if let Some(bpp) = e.get("bytes_per_pe").and_then(Json::as_f64) {
+            reg.gauge_set(&format!("{prefix}.{label}.bytes_per_pe"), bpp);
+        }
         log_sum += wall_ms.ln();
     }
     if prefix == "kernel" && !entries.is_empty() {
@@ -1358,6 +1389,17 @@ fn validate_one(path: &str) -> Result<String, String> {
                     &["num_pes", "instructions", "cycles", "wall_seconds", "instr_per_sec"],
                 )
                 .map_err(|e| format!("points[{i}]: {e}"))?;
+                // optional fields added by the scale-out sweep: typed when
+                // present, absent in pre-segmentation tables
+                for field in
+                    ["segments", "queries", "wall_seconds_1seg", "committed_bytes", "bytes_per_pe"]
+                {
+                    if let Some(val) = p.get(field) {
+                        if val.as_u64().is_none() && val.as_f64().is_none() {
+                            return Err(format!("points[{i}]: field `{field}` has the wrong type"));
+                        }
+                    }
+                }
             }
         }
         other => return Err(format!("unknown schema `{other}`")),
@@ -1560,6 +1602,26 @@ mod tests {
         assert_eq!(opts.config().simd_level(), asc_core::SimdLevel::Scalar);
         assert!(MachineOpts::default().config().fusion, "fusion is the default");
         assert!(MachineOpts::default().config().simd, "SIMD dispatch is the default");
+    }
+
+    #[test]
+    fn parse_segments_flag() {
+        let mut args: Vec<String> =
+            ["run", "x.asc", "--segments", "4"].iter().map(|s| s.to_string()).collect();
+        let opts = MachineOpts::parse(&mut args).unwrap();
+        assert_eq!(opts.segments, 4);
+        assert_eq!(opts.config().segments, 4);
+        assert_eq!(MachineOpts::default().config().segments, 0, "auto slicing is the default");
+    }
+
+    #[test]
+    fn version_surfaces_execution_strategy() {
+        let text = version_text();
+        assert!(text.contains(REPORT_SCHEMA), "{text}");
+        assert!(text.contains("execution: simd "), "{text}");
+        assert!(text.contains("segments "), "{text}");
+        assert!(text.contains("MTASC_SEGMENTS"), "{text}");
+        assert!(text.contains("MTASC_PAR_THRESHOLD"), "{text}");
     }
 
     #[test]
@@ -1916,6 +1978,28 @@ mod tests {
         std::fs::write(&unknown, r#"{"schema":"mtasc.nope.v9"}"#).unwrap();
         let e = cmd_stats_validate(&[unknown.to_string_lossy().into_owned()]).unwrap_err();
         assert!(e.to_string().contains("unknown schema"), "{e}");
+        // the scale-out sweep fields are optional but typed when present
+        let sweep = dir.join("sweep.json");
+        std::fs::write(
+            &sweep,
+            r#"{"schema":"mtasc.pe_scaling.v1","kernel":"query_latency","points":[
+                {"num_pes":65536,"instructions":10,"cycles":20,"wall_seconds":0.5,
+                 "instr_per_sec":20.0,"segments":16,"queries":32,
+                 "wall_seconds_1seg":0.7,"committed_bytes":1048576,"bytes_per_pe":16.0}]}"#,
+        )
+        .unwrap();
+        let out = cmd_stats_validate(&[sweep.to_string_lossy().into_owned()]).unwrap();
+        assert!(out.contains("ok (mtasc.pe_scaling.v1)"), "{out}");
+        let bad_sweep = dir.join("bad_sweep.json");
+        std::fs::write(
+            &bad_sweep,
+            r#"{"schema":"mtasc.pe_scaling.v1","kernel":"query_latency","points":[
+                {"num_pes":65536,"instructions":10,"cycles":20,"wall_seconds":0.5,
+                 "instr_per_sec":20.0,"segments":"sixteen"}]}"#,
+        )
+        .unwrap();
+        let e = cmd_stats_validate(&[bad_sweep.to_string_lossy().into_owned()]).unwrap_err();
+        assert!(e.to_string().contains("`segments` has the wrong type"), "{e}");
     }
 
     #[test]

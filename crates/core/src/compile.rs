@@ -30,8 +30,27 @@ use asc_pe::simd::{
     select_alu_rr, select_alu_rs, select_cmp_rr, select_cmp_rs, AluRrKernel, AluRsKernel,
     CmpRrKernel, CmpRsKernel, SimdLevel,
 };
-use asc_pe::{ActiveMask, PeFault, ThreadTiles, TileWindow, TILE_LANES};
+use asc_pe::{ActiveMask, PeFault, SegmentGeometry, ThreadTiles, TileWindow, TILE_LANES};
 use rayon::prelude::*;
+
+/// What a compiled op writes — recorded at compile time so the fusion
+/// engine can mark plane commitment (lazy-materialization telemetry)
+/// without decoding anything at execution time. `LmemRows` is the
+/// per-lane-addressed store, whose rows are only known at runtime; the
+/// commit map treats it as "whole local memory" (conservative).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DstKind {
+    /// No architectural plane write (nop / scalar slot).
+    None,
+    /// A GPR plane of the issuing thread.
+    Gpr(u8),
+    /// A flag bitplane of the issuing thread.
+    Flag(u8),
+    /// One statically known local-memory row (uniform store).
+    LmemRow(i32),
+    /// Per-lane-addressed local-memory rows.
+    LmemRows,
+}
 
 /// Tile executor of one compiled op: applies the op to one 64-PE window
 /// and reports the lowest faulting lane, if any.
@@ -71,6 +90,8 @@ pub(crate) struct CompiledOp {
     /// overwrite its own mask flag; later tiles must still see the
     /// pre-write word on *their* tile, which per-tile resolution gives).
     mask: Mask,
+    /// The plane this op writes (commit-map telemetry).
+    dst: DstKind,
 }
 
 /// Placeholder for an unused kernel slot — never invoked.
@@ -101,6 +122,7 @@ const NOP: CompiledOp = CompiledOp {
     imm: Word::ZERO,
     off: 0,
     mask: Mask::All,
+    dst: DstKind::None,
 };
 
 impl CompiledOp {
@@ -120,6 +142,7 @@ impl CompiledOp {
                     a: pa.index() as u8,
                     b: pb.index() as u8,
                     mask,
+                    dst: DstKind::Gpr(pd.index() as u8),
                     ..NOP
                 }
             }
@@ -134,6 +157,7 @@ impl CompiledOp {
                     a: pa.index() as u8,
                     imm: Word::from_i64(imm as i64, w),
                     mask,
+                    dst: DstKind::Gpr(pd.index() as u8),
                     ..NOP
                 }
             }
@@ -144,6 +168,7 @@ impl CompiledOp {
                 a: pa.index() as u8,
                 b: pb.index() as u8,
                 mask,
+                dst: DstKind::Flag(fd.index() as u8),
                 ..NOP
             },
             PCmpImm { op, fd, pa, imm, mask } => CompiledOp {
@@ -153,6 +178,7 @@ impl CompiledOp {
                 a: pa.index() as u8,
                 imm: Word::from_i64(imm as i64, w),
                 mask,
+                dst: DstKind::Flag(fd.index() as u8),
                 ..NOP
             },
             PFlagOp { op, fd, fa, fb, mask } => CompiledOp {
@@ -162,6 +188,7 @@ impl CompiledOp {
                 a: fa.index() as u8,
                 b: fb.index() as u8,
                 mask,
+                dst: DstKind::Flag(fd.index() as u8),
                 ..NOP
             },
             Plw { pd, base, off, mask } => CompiledOp {
@@ -172,6 +199,7 @@ impl CompiledOp {
                 a: base.index() as u8,
                 off: off as i32,
                 mask,
+                dst: if pd.index() == 0 { DstKind::None } else { DstKind::Gpr(pd.index() as u8) },
                 ..NOP
             },
             Psw { ps, base, off, mask } => CompiledOp {
@@ -180,16 +208,32 @@ impl CompiledOp {
                 b: base.index() as u8,
                 off: off as i32,
                 mask,
+                dst: if base.index() == 0 {
+                    DstKind::LmemRow(off as i32)
+                } else {
+                    DstKind::LmemRows
+                },
                 ..NOP
             },
             Pidx { pd, mask } => {
                 if pd.index() == 0 {
                     return NOP;
                 }
-                CompiledOp { run: k_idx, d: pd.index() as u8, mask, ..NOP }
+                CompiledOp {
+                    run: k_idx,
+                    d: pd.index() as u8,
+                    mask,
+                    dst: DstKind::Gpr(pd.index() as u8),
+                    ..NOP
+                }
             }
             _ => unreachable!("non-fusible instruction reached the block compiler: {i:?}"),
         }
+    }
+
+    /// The plane this op writes (commit-map telemetry).
+    pub(crate) fn dst(&self) -> DstKind {
+        self.dst
     }
 
     /// Whether this instruction compiles to a vector (non-scalar) kernel
@@ -423,13 +467,16 @@ fn k_idx(op: &CompiledOp, win: &mut TileWindow<'_>, all: &ActiveMask) -> Option<
 /// one tile before the next. Returns the fault to attribute, chosen as
 /// the lowest `(op index, PE)` across the sweep — the same identity the
 /// instruction-major executor would have stopped at. In the parallel
-/// regime tiles are distributed over rayon workers; distinct tiles touch
-/// disjoint memory.
+/// regime whole core-affine segments are distributed over rayon workers
+/// (tiles stay serial inside a segment, so each worker streams a
+/// contiguous slice of every touched plane); distinct tiles touch
+/// disjoint memory either way.
 pub(crate) fn run_chain_tiles(
     chain: &[CompiledOp],
     tiles: &mut ThreadTiles<'_>,
     all: &ActiveMask,
     parallel: bool,
+    geo: SegmentGeometry,
 ) -> Option<(u32, PeFault)> {
     let nt = tiles.num_tiles();
     let raw = tiles.raw();
@@ -448,7 +495,13 @@ pub(crate) fn run_chain_tiles(
         first
     };
     if parallel {
-        (0..nt).into_par_iter().filter_map(per_tile).min_by_key(|&(k, f)| (k, f.pe))
+        debug_assert_eq!(geo.seg_tile_range(geo.count() - 1).end, nt);
+        let per_seg = |s: usize| -> Option<(u32, PeFault)> {
+            geo.seg_tile_range(s).filter_map(per_tile).min_by_key(|&(k, f)| (k, f.pe))
+        };
+        // The global minimum over (op index, PE) equals the minimum over
+        // the per-segment minima: same fault identity as the flat sweep.
+        (0..geo.count()).into_par_iter().filter_map(per_seg).min_by_key(|&(k, f)| (k, f.pe))
     } else {
         (0..nt).filter_map(per_tile).min_by_key(|&(k, f)| (k, f.pe))
     }

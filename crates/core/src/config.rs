@@ -10,6 +10,13 @@ pub use asc_pe::{DividerConfig, MultiplierKind};
 
 use crate::timing::Timing;
 
+/// Parse a non-negative integer from an environment variable, treating
+/// unset, empty and malformed values as "not overridden" (mirrors the
+/// `MTASC_NO_SIMD` convention of ignoring empty strings).
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok().filter(|v| !v.is_empty()).and_then(|v| v.parse().ok())
+}
+
 /// Scheduler policy of the decode/issue unit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SchedPolicy {
@@ -86,6 +93,12 @@ pub struct MachineConfig {
     /// bit-identical at every tier. Disable (`mtasc run --no-simd`, or
     /// `MTASC_NO_SIMD=1`) to cross-check or to time the scalar loops.
     pub simd: bool,
+    /// Requested segment count for the core-affine sharding of the PE
+    /// array (`0` = automatic, one segment per 4096 lanes; `1` = the
+    /// monolithic flat layout; overridable with `MTASC_SEGMENTS`). Purely
+    /// an execution strategy — results, cycle counts, stats and profiles
+    /// are bit-identical at every count; see [`asc_pe::SegmentGeometry`].
+    pub segments: usize,
 }
 
 impl MachineConfig {
@@ -109,6 +122,7 @@ impl MachineConfig {
             parallel_threshold: 4096,
             fusion: true,
             simd: true,
+            segments: 0,
         }
     }
 
@@ -202,9 +216,36 @@ impl MachineConfig {
         self
     }
 
+    /// Set the requested segment count (`0` = automatic, `1` =
+    /// monolithic).
+    pub fn with_segments(mut self, segments: usize) -> MachineConfig {
+        self.segments = segments;
+        self
+    }
+
+    /// The segment count after the `MTASC_SEGMENTS` override.
+    pub fn effective_segments(&self) -> usize {
+        env_usize("MTASC_SEGMENTS").unwrap_or(self.segments)
+    }
+
+    /// The Rayon dispatch threshold after the `MTASC_PAR_THRESHOLD`
+    /// override.
+    pub fn effective_parallel_threshold(&self) -> usize {
+        env_usize("MTASC_PAR_THRESHOLD").unwrap_or(self.parallel_threshold)
+    }
+
+    /// The resolved segment slicing this machine will execute with
+    /// (requested count, env override, rounding and capping applied).
+    /// Resolved here once so the PE array, the network and the block
+    /// compiler always agree.
+    pub fn segment_geometry(&self) -> asc_pe::SegmentGeometry {
+        asc_pe::SegmentGeometry::new(self.num_pes, self.effective_segments())
+    }
+
     /// Network geometry for this machine.
     pub fn network(&self) -> NetworkConfig {
         NetworkConfig::new(self.num_pes, self.broadcast_arity)
+            .with_segments(self.segment_geometry())
     }
 
     /// PE array geometry for this machine.
@@ -216,8 +257,9 @@ impl MachineConfig {
             flags: asc_isa::NUM_FLAGS,
             lmem_words: self.lmem_words,
             width: self.width,
-            parallel_threshold: self.parallel_threshold,
+            parallel_threshold: self.effective_parallel_threshold(),
             simd: self.simd_level(),
+            segments: self.segment_geometry(),
         }
     }
 
@@ -264,5 +306,19 @@ mod tests {
         let t = MachineConfig::new(1024).timing();
         assert_eq!(t.b, 5); // log4 1024
         assert_eq!(t.r, 10); // log2 1024
+    }
+
+    #[test]
+    fn segment_geometry_is_plumbed_everywhere() {
+        let c = MachineConfig::new(1 << 16).with_segments(4);
+        let geo = c.segment_geometry();
+        assert_eq!(geo.count(), 4);
+        assert_eq!(c.array().segments, geo);
+        assert_eq!(c.network().segments, geo);
+        // timing is segment-invariant: same b/r as the monolithic build
+        assert_eq!(c.timing(), MachineConfig::new(1 << 16).with_segments(1).timing());
+        // default requests the automatic slicing
+        assert_eq!(MachineConfig::new(16).segments, 0);
+        assert!(!MachineConfig::new(16).segment_geometry().is_segmented());
     }
 }

@@ -383,12 +383,24 @@ impl Machine {
         // (read per tile at execution order, preserving self-masking
         // semantics).
         self.array.fill_active(tid, asc_isa::Mask::All, &mut self.amask);
-        let parallel = self.cfg.num_pes >= self.cfg.parallel_threshold;
+        let geo = self.array.segments();
+        let parallel = self.cfg.num_pes >= self.array.config().parallel_threshold;
         let chain = plan.chain(pc, len);
+        // The chain writes planes through raw tile windows, bypassing the
+        // array's marking mutators — commit its destinations up front.
+        for op in chain {
+            match op.dst() {
+                crate::compile::DstKind::None => {}
+                crate::compile::DstKind::Gpr(r) => self.array.note_gpr_write(tid, r as usize),
+                crate::compile::DstKind::Flag(f) => self.array.note_flag_write(tid, f as usize),
+                crate::compile::DstKind::LmemRow(r) => self.array.note_lmem_write(Some(r as i64)),
+                crate::compile::DstKind::LmemRows => self.array.note_lmem_write(None),
+            }
+        }
         let fault = {
             let mut tiles = self.array.thread_tiles(tid);
             self.fusion_dyn.tile_chains += tiles.num_tiles() as u64;
-            run_chain_tiles(chain, &mut tiles, &self.amask, parallel)
+            run_chain_tiles(chain, &mut tiles, &self.amask, parallel, geo)
         };
         self.fusion_dyn.blocks_executed += 1;
         self.fusion_dyn.instrs_fused += len as u64;

@@ -38,6 +38,13 @@ pub struct MachineMeta {
     /// record — results are bit-identical across tiers — but wall-time
     /// comparisons between runs are only fair within a tier.
     pub simd: String,
+    /// Resolved segment count of the core-affine PE-array sharding
+    /// (after the `MTASC_SEGMENTS` override and geometry rounding).
+    /// Execution strategy only — results are bit-identical at every
+    /// count — but recorded so wall-time comparisons are fair.
+    pub segments: u64,
+    /// Resolved Rayon dispatch threshold (after `MTASC_PAR_THRESHOLD`).
+    pub par_threshold: u64,
 }
 
 /// A complete, serializable account of one simulation run.
@@ -78,6 +85,8 @@ impl RunReport {
             r: timing.r,
             sched,
             simd: m.simd_level().label().to_string(),
+            segments: cfg.segment_geometry().count() as u64,
+            par_threshold: cfg.effective_parallel_threshold() as u64,
         };
         let stats = m.stats().clone();
         let mut metrics = stats.to_registry();
@@ -129,6 +138,8 @@ impl RunReport {
             ("r".into(), Json::U64(m.r)),
             ("sched".into(), Json::str(&m.sched)),
             ("simd".into(), Json::str(&m.simd)),
+            ("segments".into(), Json::U64(m.segments)),
+            ("par_threshold".into(), Json::U64(m.par_threshold)),
         ]);
         let s = &self.totals;
         let totals = Json::Obj(vec![
@@ -195,6 +206,9 @@ impl RunReport {
             sched: m.get("sched")?.as_str()?.to_string(),
             // absent in pre-SIMD reports, which all ran scalar
             simd: m.get("simd").and_then(Json::as_str).unwrap_or("scalar").to_string(),
+            // absent in pre-segmentation reports, which were monolithic
+            segments: m.get("segments").and_then(Json::as_u64).unwrap_or(1),
+            par_threshold: m.get("par_threshold").and_then(Json::as_u64).unwrap_or(0),
         };
         let metrics = Registry::from_json(v.get("metrics")?)?;
         let t = v.get("totals")?;
@@ -250,8 +264,18 @@ impl RunReport {
         let m = &self.machine;
         let s = &self.totals;
         let mut out = format!(
-            "machine: {} PEs, {} threads, {}-ary broadcast (b={}, r={}), {}-bit, {}, simd {}\n",
-            m.pes, m.threads, m.arity, m.b, m.r, m.width_bits, m.sched, m.simd
+            "machine: {} PEs, {} threads, {}-ary broadcast (b={}, r={}), {}-bit, {}, simd {}, \
+             {} segment{}\n",
+            m.pes,
+            m.threads,
+            m.arity,
+            m.b,
+            m.r,
+            m.width_bits,
+            m.sched,
+            m.simd,
+            m.segments,
+            if m.segments == 1 { "" } else { "s" }
         );
         out.push_str(&s.report());
         let mut ranked: Vec<(StallReason, u64)> = StallReason::ALL
@@ -357,19 +381,26 @@ loop:   paddi p1, p1, 1
             "{}",
             report.machine.simd
         );
-        // pre-SIMD reports carry no `simd` key; they all ran scalar
+        assert!(report.machine.segments >= 1);
+        assert_eq!(report.machine.par_threshold, 4096);
+        // pre-SIMD / pre-segmentation reports carry no `simd`, `segments`
+        // or `par_threshold` keys; they all ran scalar and monolithic
         let mut v = report.to_json();
         if let Json::Obj(entries) = &mut v {
             for (k, val) in entries.iter_mut() {
                 if k == "machine" {
                     if let Json::Obj(machine) = val {
-                        machine.retain(|(k, _)| k != "simd");
+                        machine.retain(|(k, _)| {
+                            k != "simd" && k != "segments" && k != "par_threshold"
+                        });
                     }
                 }
             }
         }
         let old = RunReport::from_json(&v).expect("schema-compatible");
         assert_eq!(old.machine.simd, "scalar");
+        assert_eq!(old.machine.segments, 1);
+        assert_eq!(old.machine.par_threshold, 0);
     }
 
     #[test]

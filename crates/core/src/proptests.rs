@@ -300,6 +300,44 @@ fn assert_machines_identical(a: &Machine, b: &Machine, label: &str) {
     }
 }
 
+/// The saturating tree sum is order-sensitive, so the segmented reducer
+/// must reproduce the canonical flat association order exactly — pinned
+/// here across a segment boundary. 130 PEs span 3 tiles; values 100+100
+/// saturate to 127 inside the first segment before the -100 in the next
+/// tile and the 77 in the ragged tail are combined: ((100⊕100)⊕-100)⊕77
+/// = (127-100)+77 = 104, whereas the exact sum 177 would clamp to 127.
+#[test]
+fn saturating_sum_order_is_pinned_across_segment_boundaries() {
+    let w = Width::W8;
+    let mut cfg = MachineConfig::new(130).with_width(w);
+    cfg.lmem_words = 8;
+    let program = asc_asm::assemble(
+        "plw  p2, 0(p0)
+         rsum s1, p2
+         halt",
+    )
+    .unwrap();
+    let mut vals = vec![Word::ZERO; 130];
+    vals[62] = Word::from_i64(100, w);
+    vals[63] = Word::from_i64(100, w);
+    vals[64] = Word::from_i64(-100, w);
+    vals[128] = Word::from_i64(77, w);
+    let mut machines: Vec<Machine> = [1usize, 2, 3]
+        .iter()
+        .map(|&req| {
+            let mut m = Machine::with_program(cfg.with_segments(req), &program).unwrap();
+            m.array_mut().scatter_column(0, &vals).unwrap();
+            m.run(100_000).unwrap();
+            assert_eq!(m.sreg(0, 1).to_i64(w), 104, "{req} segments");
+            m
+        })
+        .collect();
+    let mono = machines.remove(0);
+    for (m, req) in machines.iter().zip([2, 3]) {
+        assert_machines_identical(&mono, m, &format!("{req} segments"));
+    }
+}
+
 proptest! {
     /// Block fusion and SIMD dispatch are architecturally invisible: a
     /// random straight-line program leaves bit-identical machine state,
@@ -359,6 +397,50 @@ proptest! {
         prop_assert_eq!(fused_scalar.fusion_stats().simd_ops, 0);
     }
 
+    /// Core-affine segmentation is architecturally invisible: the same
+    /// random straight-line program leaves bit-identical machine state,
+    /// cycle counts, statistics and cycle-attribution profiles at every
+    /// requested segment count — including counts that do not divide the
+    /// tile total, so the last segment is ragged.
+    #[test]
+    fn segmented_execution_is_bit_identical(seed in any::<u64>(), req in 0usize..=7) {
+        use asc_isa::gen::random_straightline_instr;
+        use asc_isa::Instr;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut words = Vec::new();
+        for _ in 0..60 {
+            let mut i = random_straightline_instr(&mut rng);
+            // same bounds argument as `fusion_is_bit_identical`
+            match &mut i {
+                Instr::Lw { off, .. } | Instr::Sw { off, .. } => *off = off.rem_euclid(128),
+                Instr::Plw { off, .. } | Instr::Psw { off, .. } => *off = off.rem_euclid(127),
+                _ => {}
+            }
+            words.push(asc_isa::encode(&i));
+        }
+        words.push(asc_isa::encode(&Instr::Halt));
+
+        // 320 PEs = 5 tiles: the requested counts resolve to 1, 2, 3 or 5
+        // segments, ragged whenever the split is uneven.
+        let cfg = MachineConfig::new(320).with_width(Width::W8);
+        let run = |cfg: MachineConfig| {
+            let mut m = Machine::new(cfg);
+            m.attach_profiler();
+            m.load_words(&words).unwrap();
+            m.run(10_000_000).unwrap();
+            m
+        };
+        let mut mono = run(cfg.with_segments(1));
+        let mut seg = run(cfg.with_segments(req));
+        assert_machines_identical(&mono, &seg, &format!("seed {seed} segments {req}"));
+        let cycles = seg.stats().cycles;
+        let seg_profile = seg.take_profile().unwrap();
+        prop_assert_eq!(seg_profile.attributed_cycles(), cycles,
+            "segmented profile conserves cycles (seed {}, segments {})", seed, req);
+        prop_assert!(seg_profile == mono.take_profile().unwrap(),
+            "profiles bit-identical across segment counts (seed {}, segments {})", seed, req);
+    }
+
     /// The cycle-attribution profiler conserves cycles exactly on random
     /// programs (1–8 threads, straight-line bodies behind spawn/join
     /// scaffolding), and block fusion is invisible to it: the fused and
@@ -402,7 +484,7 @@ proptest! {
         let program = asc_asm::assemble(&src).unwrap();
         let cfg = MachineConfig::new(8).with_width(Width::W8).with_threads(8);
 
-        let mut run = |fusion: bool| {
+        let run = |fusion: bool| {
             let cfg = if fusion { cfg } else { cfg.without_fusion() };
             let mut m = Machine::with_program(cfg, &program).unwrap();
             m.attach_profiler();

@@ -23,9 +23,20 @@ impl ResponseCounter {
     /// semantics — the prototype's PE counts never approach this).
     pub fn count(flags: &[u64], active: &ActiveMask, w: Width) -> Word {
         debug_assert_eq!(flags.len(), active.words().len());
-        let total: u64 =
-            flags.iter().zip(active.words()).map(|(&f, &a)| u64::from((f & a).count_ones())).sum();
+        let total = Self::count_tiles(flags, active, 0..flags.len());
         Word::new(total.min(w.mask() as u64) as u32, w)
+    }
+
+    /// Raw (unsaturated) responder count over the tiles in `tiles` — one
+    /// segment's partial in the two-level adder tree. The root sums the
+    /// partials in `u64` and saturates once, which is exactly what the
+    /// width-unconstrained internal tree of the hardware does.
+    pub fn count_tiles(flags: &[u64], active: &ActiveMask, tiles: std::ops::Range<usize>) -> u64 {
+        flags[tiles.clone()]
+            .iter()
+            .zip(&active.words()[tiles])
+            .map(|(&f, &a)| u64::from((f & a).count_ones()))
+            .sum()
     }
 
     /// The some/none binary test the ASC model minimally requires: any

@@ -22,8 +22,22 @@ impl LogicUnit {
     /// # Panics
     /// Panics if `op` is not `And` or `Or`.
     pub fn reduce(op: ReduceOp, values: &[Word], active: &ActiveMask, w: Width) -> Word {
-        assert!(matches!(op, ReduceOp::And | ReduceOp::Or), "logic unit only does AND/OR");
         debug_assert_eq!(values.len(), active.lanes());
+        Self::reduce_tiles(op, values, active, 0..active.words().len(), w)
+    }
+
+    /// [`LogicUnit::reduce`] restricted to the 64-lane tiles in `tiles` —
+    /// one segment's leaf reduction in the two-level tree. AND/OR are
+    /// associative, so segment partials combine with `ReduceOp::combine`
+    /// in any grouping.
+    pub fn reduce_tiles(
+        op: ReduceOp,
+        values: &[Word],
+        active: &ActiveMask,
+        tiles: std::ops::Range<usize>,
+        w: Width,
+    ) -> Word {
+        assert!(matches!(op, ReduceOp::And | ReduceOp::Or), "logic unit only does AND/OR");
         // Bitwise AND/OR are associative and commutative, so the
         // hardware's tree order (AND being the OR tree with inverted
         // inputs and output) folds to the same word as a linear walk over
@@ -37,7 +51,8 @@ impl LogicUnit {
             _ => unreachable!(),
         };
         let mut acc = id;
-        for (wi, &mw) in active.words().iter().enumerate() {
+        for wi in tiles {
+            let mw = active.words()[wi];
             if mw == 0 {
                 continue;
             }
@@ -64,9 +79,24 @@ impl LogicUnit {
     /// the partial last word fall out for free.
     pub fn reduce_flags(op: FlagReduceOp, flags: &[u64], active: &ActiveMask) -> bool {
         debug_assert_eq!(flags.len(), active.words().len());
+        Self::reduce_flags_tiles(op, flags, active, 0..flags.len())
+    }
+
+    /// [`LogicUnit::reduce_flags`] restricted to the tiles in `tiles`:
+    /// one segment's responder detection. A segment with no active lane
+    /// contributes the identity (`false` for `Any`, `true` for `All`), so
+    /// skipping unoccupied segments is exact.
+    pub fn reduce_flags_tiles(
+        op: FlagReduceOp,
+        flags: &[u64],
+        active: &ActiveMask,
+        tiles: std::ops::Range<usize>,
+    ) -> bool {
+        let f = &flags[tiles.clone()];
+        let a = &active.words()[tiles];
         match op {
-            FlagReduceOp::Any => flags.iter().zip(active.words()).any(|(&f, &a)| f & a != 0),
-            FlagReduceOp::All => flags.iter().zip(active.words()).all(|(&f, &a)| !f & a == 0),
+            FlagReduceOp::Any => f.iter().zip(a).any(|(&f, &a)| f & a != 0),
+            FlagReduceOp::All => f.iter().zip(a).all(|(&f, &a)| !f & a == 0),
         }
     }
 }

@@ -19,11 +19,25 @@ impl MaxMinUnit {
     /// # Panics
     /// Panics if `op` is not a max/min operation.
     pub fn reduce(op: ReduceOp, values: &[Word], active: &ActiveMask, w: Width) -> Word {
+        debug_assert_eq!(values.len(), active.lanes());
+        Self::reduce_tiles(op, values, active, 0..active.words().len(), w)
+    }
+
+    /// [`MaxMinUnit::reduce`] restricted to the 64-lane tiles in `tiles` —
+    /// one segment's leaf reduction in the two-level tree. Max/min are
+    /// associative, so segment partials combine with `ReduceOp::combine`
+    /// in any grouping.
+    pub fn reduce_tiles(
+        op: ReduceOp,
+        values: &[Word],
+        active: &ActiveMask,
+        tiles: std::ops::Range<usize>,
+        w: Width,
+    ) -> Word {
         assert!(
             matches!(op, ReduceOp::Max | ReduceOp::Min | ReduceOp::MaxU | ReduceOp::MinU),
             "max/min unit got {op:?}"
         );
-        debug_assert_eq!(values.len(), active.lanes());
         // Min/max are associative *and* commutative, so the canonical tree
         // order of the hardware produces the same word as a linear fold —
         // which lets the functional model walk only the set bits of the
@@ -49,7 +63,8 @@ impl MaxMinUnit {
             }
         };
         let mut acc = op.identity(w).0 ^ flip;
-        for (wi, &mw) in active.words().iter().enumerate() {
+        for wi in tiles {
+            let mw = active.words()[wi];
             if mw == 0 {
                 continue;
             }

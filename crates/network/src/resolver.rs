@@ -25,10 +25,25 @@ impl MultipleResponseResolver {
     /// PE array when (and only when) an instruction stores it.
     pub fn first_responder(flags: &[u64], active: &ActiveMask) -> Option<usize> {
         debug_assert_eq!(flags.len(), active.words().len());
-        flags.iter().zip(active.words()).enumerate().find_map(|(wi, (&f, &a))| {
-            let r = f & a;
-            (r != 0).then(|| wi * 64 + r.trailing_zeros() as usize)
-        })
+        Self::first_responder_tiles(flags, active, 0..flags.len())
+    }
+
+    /// [`MultipleResponseResolver::first_responder`] restricted to the
+    /// tiles in `tiles`: one segment's resolution. Because segments are
+    /// scanned in ascending order, the first segment with a responder
+    /// yields the global minimum PE index.
+    pub fn first_responder_tiles(
+        flags: &[u64],
+        active: &ActiveMask,
+        tiles: std::ops::Range<usize>,
+    ) -> Option<usize> {
+        let base = tiles.start;
+        flags[tiles.clone()].iter().zip(&active.words()[tiles]).enumerate().find_map(
+            |(wi, (&f, &a))| {
+                let r = f & a;
+                (r != 0).then(|| (base + wi) * 64 + r.trailing_zeros() as usize)
+            },
+        )
     }
     /// Parallel-prefix implementation, as the hardware computes it.
     pub fn resolve(flags: &[bool], active: &[bool]) -> Vec<bool> {

@@ -10,7 +10,7 @@
 use asc_isa::{ReduceOp, Width, Word};
 use asc_pe::ActiveMask;
 
-use crate::tree::tree_reduce_masked;
+use crate::tree::{tree_reduce_masked, tree_reduce_masked_range};
 
 /// Functional model of the saturating sum reduction unit.
 pub struct SumUnit;
@@ -27,6 +27,30 @@ impl SumUnit {
         tree_reduce_masked(values.len(), Word::ZERO, active.words(), &|i| values[i], &|a, b| {
             a.saturating_add_signed(b, w)
         })
+    }
+
+    /// One segment's leaf adder tree: the canonical masked tree over the
+    /// 64-lane tiles in `tiles` only. Because segment lengths are a power
+    /// of two, combining these partials with the canonical tree over the
+    /// segments reproduces [`SumUnit::reduce`] exactly — association
+    /// order, node-by-node saturation and all (see
+    /// [`crate::tree::tree_reduce_masked_range`]).
+    pub fn reduce_tiles(
+        values: &[Word],
+        active: &ActiveMask,
+        tiles: std::ops::Range<usize>,
+        w: Width,
+    ) -> Word {
+        let start = tiles.start * 64;
+        let end = values.len().min(tiles.end * 64);
+        tree_reduce_masked_range(
+            start,
+            end - start,
+            Word::ZERO,
+            active.words(),
+            &|i| values[i],
+            &|a, b| a.saturating_add_signed(b, w),
+        )
     }
 
     /// Reference: the exact (unbounded) signed sum, clamped once at the

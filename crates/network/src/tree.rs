@@ -126,34 +126,54 @@ pub fn tree_reduce_masked<T: Copy>(
     leaf: &impl Fn(usize) -> T,
     combine: &impl Fn(T, T) -> T,
 ) -> T {
-    fn go<T: Copy>(
-        start: usize,
-        len: usize,
-        mask: &[u64],
-        leaf: &impl Fn(usize) -> T,
-        combine: &impl Fn(T, T) -> T,
-    ) -> T {
-        // invariant: [start, start + len) holds at least one active leaf
-        if len == 1 {
-            return leaf(start);
-        }
-        let split = len.next_power_of_two() >> 1;
-        let left = any_set(mask, start, start + split);
-        let right = any_set(mask, start + split, start + len);
-        match (left, right) {
-            (true, true) => combine(
-                go(start, split, mask, leaf, combine),
-                go(start + split, len - split, mask, leaf, combine),
-            ),
-            (true, false) => go(start, split, mask, leaf, combine),
-            (false, true) => go(start + split, len - split, mask, leaf, combine),
-            (false, false) => unreachable!("range invariant violated"),
-        }
-    }
-    if n == 0 || !any_set(mask, 0, n) {
+    tree_reduce_masked_range(0, n, identity, mask, leaf, combine)
+}
+
+/// [`tree_reduce_masked`] over the leaf range `[start, start + len)` — the
+/// entry point of the two-level segmented tree. When `start` is a multiple
+/// of a power-of-two segment length `S` and `len <= S`, the recursion here
+/// is **identical** to the subtree the flat canonical tree builds over the
+/// same range (every flat-tree node covering more than `S` leaves splits
+/// at a multiple of `S`), so per-segment reductions combined by a canonical
+/// tree over the segment partials reproduce the flat result bit for bit —
+/// including the non-associative saturating sum.
+pub fn tree_reduce_masked_range<T: Copy>(
+    start: usize,
+    len: usize,
+    identity: T,
+    mask: &[u64],
+    leaf: &impl Fn(usize) -> T,
+    combine: &impl Fn(T, T) -> T,
+) -> T {
+    if len == 0 || !any_set(mask, start, start + len) {
         return identity;
     }
-    go(0, n, mask, leaf, combine)
+    go_masked(start, len, mask, leaf, combine)
+}
+
+fn go_masked<T: Copy>(
+    start: usize,
+    len: usize,
+    mask: &[u64],
+    leaf: &impl Fn(usize) -> T,
+    combine: &impl Fn(T, T) -> T,
+) -> T {
+    // invariant: [start, start + len) holds at least one active leaf
+    if len == 1 {
+        return leaf(start);
+    }
+    let split = len.next_power_of_two() >> 1;
+    let left = any_set(mask, start, start + split);
+    let right = any_set(mask, start + split, start + len);
+    match (left, right) {
+        (true, true) => combine(
+            go_masked(start, split, mask, leaf, combine),
+            go_masked(start + split, len - split, mask, leaf, combine),
+        ),
+        (true, false) => go_masked(start, split, mask, leaf, combine),
+        (false, true) => go_masked(start + split, len - split, mask, leaf, combine),
+        (false, false) => unreachable!("range invariant violated"),
+    }
 }
 
 /// A fixed-latency, fully pipelined delay line: the structural model of a
@@ -298,6 +318,54 @@ mod tests {
                 tree_reduce_with(n, 0, &|i| leaves[i], &sat),
                 "n={n}"
             );
+        }
+    }
+
+    #[test]
+    fn segmented_composition_matches_flat_tree() {
+        // Per-segment canonical trees joined by a canonical tree over the
+        // segment partials must equal the flat masked tree bit for bit —
+        // for a non-associative (saturating) combine, power-of-two segment
+        // lengths, ragged tails, and arbitrary masks. This is the
+        // correctness theorem behind the two-level reduction network.
+        let sat = |a: i64, b: i64| (a + b).clamp(-100, 100);
+        for n in [5usize, 64, 65, 127, 128, 300, 1000] {
+            let leaves: Vec<i64> = (0..n as i64).map(|i| i * 13 % 37 - 18).collect();
+            let mask: Vec<u64> = (0..n.div_ceil(64))
+                .map(|w| (w as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1)
+                .collect();
+            let flat = tree_reduce_masked(n, 0, &mask, &|i| leaves[i], &sat);
+            for s_tiles in [1usize, 2, 4] {
+                let s = s_tiles * 64;
+                let segs = n.div_ceil(s);
+                let partial = |si: usize| {
+                    let start = si * s;
+                    tree_reduce_masked_range(
+                        start,
+                        (n - start).min(s),
+                        0,
+                        &mask,
+                        &|i| leaves[i],
+                        &sat,
+                    )
+                };
+                // exact segment occupancy
+                let mut occ = vec![0u64; segs.div_ceil(64)];
+                for si in 0..segs {
+                    let start = si * s;
+                    if any_set(&mask, start, start + (n - start).min(s)) {
+                        occ[si / 64] |= 1 << (si % 64);
+                    }
+                }
+                let two_level = tree_reduce_masked(segs, 0, &occ, &partial, &sat);
+                assert_eq!(two_level, flat, "n={n} seg={s}");
+                // conservative occupancy (every bit set) must agree too:
+                // a spuriously "occupied" empty segment contributes the
+                // identity, which is neutral at every node.
+                let all = vec![u64::MAX; segs.div_ceil(64)];
+                let conservative = tree_reduce_masked(segs, 0, &all, &partial, &sat);
+                assert_eq!(conservative, flat, "n={n} seg={s} conservative");
+            }
         }
     }
 

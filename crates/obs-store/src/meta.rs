@@ -226,13 +226,25 @@ pub fn program_hash(source: &str) -> String {
 }
 
 /// The registry's one-line config fingerprint for a machine geometry,
-/// including the host SIMD dispatch tier the run executed at — two runs
-/// with the same geometry but different tiers are not comparable on wall
-/// time, so the tier is part of the machine-config identity.
+/// including the host execution strategy the run executed with — the
+/// SIMD dispatch tier, the resolved segment count and the Rayon dispatch
+/// threshold (both env-overridable via `MTASC_SEGMENTS` /
+/// `MTASC_PAR_THRESHOLD`). Two runs with the same geometry but different
+/// strategies are not comparable on wall time, so all three are part of
+/// the machine-config identity.
 pub fn config_fingerprint(meta: &MachineMeta) -> String {
     format!(
-        "pes={} threads={} arity={} w{} b={} r={} {} simd={}",
-        meta.pes, meta.threads, meta.arity, meta.width_bits, meta.b, meta.r, meta.sched, meta.simd
+        "pes={} threads={} arity={} w{} b={} r={} {} simd={} seg={} pt={}",
+        meta.pes,
+        meta.threads,
+        meta.arity,
+        meta.width_bits,
+        meta.b,
+        meta.r,
+        meta.sched,
+        meta.simd,
+        meta.segments,
+        meta.par_threshold
     )
 }
 
@@ -246,7 +258,8 @@ mod tests {
             kind: "run".into(),
             name: "prog.asc".into(),
             program_hash: program_hash("halt"),
-            config: "pes=16 threads=16 arity=4 w16 b=2 r=4 fine-grain simd=avx2".into(),
+            config: "pes=16 threads=16 arity=4 w16 b=2 r=4 fine-grain simd=avx2 seg=1 pt=4096"
+                .into(),
             pes: 16,
             started_unix_ms: 1_700_000_000_000,
             finished_unix_ms: (status != RunStatus::Running).then_some(1_700_000_001_500),
@@ -263,7 +276,7 @@ mod tests {
     }
 
     #[test]
-    fn fingerprint_includes_simd_tier() {
+    fn fingerprint_includes_execution_strategy() {
         let meta = MachineMeta {
             pes: 16,
             threads: 16,
@@ -273,10 +286,12 @@ mod tests {
             r: 4,
             sched: "fine-grain".into(),
             simd: "avx512".into(),
+            segments: 4,
+            par_threshold: 4096,
         };
         assert_eq!(
             config_fingerprint(&meta),
-            "pes=16 threads=16 arity=4 w16 b=2 r=4 fine-grain simd=avx512"
+            "pes=16 threads=16 arity=4 w16 b=2 r=4 fine-grain simd=avx512 seg=4 pt=4096"
         );
     }
 

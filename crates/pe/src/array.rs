@@ -41,6 +41,7 @@ use rayon::prelude::*;
 
 use crate::bitmask::{for_each_set, words_for, ActiveMask, BITS_PER_WORD};
 use crate::memory::MemFault;
+use crate::segments::SegmentGeometry;
 use crate::simd::{self, chunk_mask, SimdLevel};
 
 /// Geometry of the PE array.
@@ -63,6 +64,11 @@ pub struct ArrayConfig {
     /// SIMD tier for the dense lane loops (see [`crate::simd`]); resolved
     /// once at construction and never re-probed.
     pub simd: SimdLevel,
+    /// Core-affine slicing of the array (see [`crate::segments`]): the
+    /// granularity of Rayon dispatch, of lazy plane commitment, and of
+    /// the two-level reduction tree. Results are bit-identical at every
+    /// segment count.
+    pub segments: SegmentGeometry,
 }
 
 impl ArrayConfig {
@@ -78,6 +84,7 @@ impl ArrayConfig {
             width: Width::W16,
             parallel_threshold: 4096,
             simd: SimdLevel::detect(),
+            segments: SegmentGeometry::new(16, 0),
         }
     }
 }
@@ -206,6 +213,74 @@ fn zeroed_words(n: usize) -> Vec<Word> {
     unsafe { Vec::from_raw_parts(ptr as *mut Word, len, cap) }
 }
 
+/// Per-segment commitment tracking for the lazily materialized planes.
+///
+/// The planes themselves are zero-page-backed (`zeroed_words` +
+/// [`pin_mmap_threshold`]), so a 2²⁰-PE machine constructs in
+/// microseconds and physical pages appear only on first touch. This map
+/// records which (plane, segment) slices have been written, making the
+/// real footprint observable: [`PeArray::committed_bytes`] is the
+/// bytes-actually-touched figure the scaling bench reports per PE.
+/// All bitsets are preallocated at construction; marking a write is a
+/// couple of word ORs, so the instruction path stays allocation-free.
+#[derive(Debug, Clone)]
+struct CommitMap {
+    /// Segments per plane (the geometry's segment count).
+    seg_count: usize,
+    /// One bit per (gpr plane, segment): `thread * gprs + reg` major.
+    gpr: Vec<u64>,
+    /// One bit per (flag plane, segment): `thread * flags + flag` major.
+    flag: Vec<u64>,
+    /// One bit per (local-memory row, segment): row major.
+    lmem: Vec<u64>,
+}
+
+impl CommitMap {
+    fn new(cfg: &ArrayConfig) -> CommitMap {
+        let segs = cfg.segments.count();
+        CommitMap {
+            seg_count: segs,
+            gpr: vec![0; words_for(cfg.threads * cfg.gprs * segs)],
+            flag: vec![0; words_for(cfg.threads * cfg.flags * segs)],
+            lmem: vec![0; words_for(cfg.lmem_words * segs)],
+        }
+    }
+
+    #[inline]
+    fn mark(bits: &mut [u64], idx: usize) {
+        bits[idx / BITS_PER_WORD] |= 1u64 << (idx % BITS_PER_WORD);
+    }
+
+    #[inline]
+    fn is_marked(bits: &[u64], idx: usize) -> bool {
+        bits[idx / BITS_PER_WORD] >> (idx % BITS_PER_WORD) & 1 == 1
+    }
+
+    /// Mark every segment of one plane (dense plane-wide writes).
+    fn mark_plane(bits: &mut [u64], plane: usize, seg_count: usize) {
+        for s in 0..seg_count {
+            Self::mark(bits, plane * seg_count + s);
+        }
+    }
+
+    fn clear_plane(bits: &mut [u64], plane: usize, seg_count: usize) {
+        for s in 0..seg_count {
+            let idx = plane * seg_count + s;
+            bits[idx / BITS_PER_WORD] &= !(1u64 << (idx % BITS_PER_WORD));
+        }
+    }
+
+    /// Committed bytes of one plane kind, where segment `s` of a plane
+    /// holds `seg_bytes(s)` bytes.
+    fn plane_bytes(bits: &[u64], seg_count: usize, seg_bytes: impl Fn(usize) -> usize) -> usize {
+        let mut total = 0;
+        for (wi, &w) in bits.iter().enumerate() {
+            for_each_set(w, wi * BITS_PER_WORD, |idx| total += seg_bytes(idx % seg_count));
+        }
+        total
+    }
+}
+
 /// The PE array (structure-of-arrays storage; see the module docs).
 #[derive(Debug, Clone)]
 pub struct PeArray {
@@ -227,12 +302,18 @@ pub struct PeArray {
     /// `par_iter` dispatch pure coordination overhead — microseconds per
     /// plane op on a single-core host — for byte-identical results.
     pool_parallel: bool,
+    /// Which (plane, segment) slices have been written (telemetry for the
+    /// lazy zero-page-backed planes).
+    committed: CommitMap,
 }
 
 impl PeArray {
-    /// Allocate a zeroed array.
+    /// Allocate a zeroed array. The plane buffers are zero-page-backed:
+    /// construction cost is a handful of `mmap` reservations, independent
+    /// of `num_pes`, and segments materialize on first write.
     pub fn new(cfg: ArrayConfig) -> PeArray {
         pin_mmap_threshold();
+        debug_assert_eq!(cfg.segments.num_pes(), cfg.num_pes, "segment geometry mismatch");
         let n = cfg.num_pes;
         PeArray {
             gprs: zeroed_words(cfg.threads * cfg.gprs * n),
@@ -241,6 +322,7 @@ impl PeArray {
             scratch_a: zeroed_words(n),
             scratch_b: zeroed_words(n),
             pool_parallel: rayon::current_num_threads() > 1,
+            committed: CommitMap::new(&cfg),
             cfg,
         }
     }
@@ -253,6 +335,105 @@ impl PeArray {
     /// Number of PEs.
     pub fn num_pes(&self) -> usize {
         self.cfg.num_pes
+    }
+
+    /// The core-affine segment slicing.
+    pub fn segments(&self) -> SegmentGeometry {
+        self.cfg.segments
+    }
+
+    /// Bytes of plane storage actually committed (written at least once),
+    /// at segment granularity — the "only pay for what you touch" figure.
+    /// A freshly constructed array reports zero no matter how large it is.
+    pub fn committed_bytes(&self) -> usize {
+        let geo = self.cfg.segments;
+        let segs = self.committed.seg_count;
+        let word = std::mem::size_of::<Word>();
+        let gpr = CommitMap::plane_bytes(&self.committed.gpr, segs, |s| {
+            geo.seg_lane_range(s).len() * word
+        });
+        let flag = CommitMap::plane_bytes(&self.committed.flag, segs, |s| {
+            geo.seg_tile_range(s).len() * std::mem::size_of::<u64>()
+        });
+        let lmem = CommitMap::plane_bytes(&self.committed.lmem, segs, |s| {
+            geo.seg_lane_range(s).len() * word
+        });
+        gpr + flag + lmem
+    }
+
+    /// Total reserved (virtual) plane storage in bytes — the upper bound
+    /// [`PeArray::committed_bytes`] approaches as planes are touched.
+    pub fn footprint_bytes(&self) -> usize {
+        let word = std::mem::size_of::<Word>();
+        (self.gprs.len() + self.lmem.len() + self.scratch_a.len() + self.scratch_b.len()) * word
+            + self.flags.len() * std::mem::size_of::<u64>()
+    }
+
+    /// Telemetry hook for executors that write planes through raw tile
+    /// windows (the block-fusion engine): record a write of `reg`'s plane.
+    pub fn note_gpr_write(&mut self, thread: usize, reg: usize) {
+        if reg != 0 {
+            self.mark_gpr_plane(thread, reg);
+        }
+    }
+
+    /// Like [`PeArray::note_gpr_write`], for a flag bitplane.
+    pub fn note_flag_write(&mut self, thread: usize, flag: usize) {
+        self.mark_flag_plane(thread, flag);
+    }
+
+    /// Like [`PeArray::note_gpr_write`], for local memory: a statically
+    /// known row, or `None` for per-lane-addressed stores (conservatively
+    /// commits every row — the rows touched are only known at runtime).
+    pub fn note_lmem_write(&mut self, row: Option<i64>) {
+        match row {
+            Some(r) if (0..self.cfg.lmem_words as i64).contains(&r) => {
+                self.mark_lmem_row(r as usize);
+            }
+            Some(_) => {} // out of range: the store will fault, no commit
+            None => {
+                for r in 0..self.cfg.lmem_words {
+                    self.mark_lmem_row(r);
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn mark_gpr_plane(&mut self, thread: usize, reg: usize) {
+        let plane = thread * self.cfg.gprs + reg;
+        CommitMap::mark_plane(&mut self.committed.gpr, plane, self.committed.seg_count);
+    }
+
+    #[inline]
+    fn mark_gpr_lane(&mut self, thread: usize, reg: usize, lane: usize) {
+        let plane = thread * self.cfg.gprs + reg;
+        let s = lane / self.cfg.segments.lanes_per_seg();
+        CommitMap::mark(&mut self.committed.gpr, plane * self.committed.seg_count + s);
+    }
+
+    #[inline]
+    fn mark_flag_plane(&mut self, thread: usize, flag: usize) {
+        let plane = thread * self.cfg.flags + flag;
+        CommitMap::mark_plane(&mut self.committed.flag, plane, self.committed.seg_count);
+    }
+
+    #[inline]
+    fn mark_flag_lane(&mut self, thread: usize, flag: usize, lane: usize) {
+        let plane = thread * self.cfg.flags + flag;
+        let s = lane / self.cfg.segments.lanes_per_seg();
+        CommitMap::mark(&mut self.committed.flag, plane * self.committed.seg_count + s);
+    }
+
+    #[inline]
+    fn mark_lmem_row(&mut self, row: usize) {
+        CommitMap::mark_plane(&mut self.committed.lmem, row, self.committed.seg_count);
+    }
+
+    #[inline]
+    fn mark_lmem_word(&mut self, row: usize, lane: usize) {
+        let s = lane / self.cfg.segments.lanes_per_seg();
+        CommitMap::mark(&mut self.committed.lmem, row * self.committed.seg_count + s);
     }
 
     fn width(&self) -> Width {
@@ -339,6 +520,8 @@ impl PeArray {
             None => Kern::Rr(simd::select_alu_rr(self.cfg.simd, op)),
             Some(s) => Kern::Rs(simd::select_alu_rs(self.cfg.simd, op), s),
         };
+        self.mark_gpr_plane(thread, pd.index());
+        let seg_lanes = self.cfg.segments.lanes_per_seg();
         let dst_base = self.gpr_base(thread, pd.index());
         let (sa, sb) = (&self.scratch_a, &self.scratch_b);
         let dst = &mut self.gprs[dst_base..dst_base + n];
@@ -355,13 +538,22 @@ impl PeArray {
                 Kern::Rs(f, s) => f(chunk, a, s, w, mw),
             }
         };
+        // one segment per Rayon task; a fully-inactive segment costs one
+        // occupancy test instead of 64 mask-word tests
+        let seg_op = |si: usize, seg: &mut [Word]| {
+            let w0 = si * (seg_lanes / BITS_PER_WORD);
+            if !active.range_occupied(w0..w0 + seg.len().div_ceil(BITS_PER_WORD)) {
+                return;
+            }
+            for (wj, chunk) in seg.chunks_mut(BITS_PER_WORD).enumerate() {
+                chunk_op(w0 + wj, chunk);
+            }
+        };
         if parallel {
-            dst.par_chunks_mut(BITS_PER_WORD).enumerate().for_each(|(wi, chunk)| {
-                chunk_op(wi, chunk);
-            });
+            dst.par_chunks_mut(seg_lanes).enumerate().for_each(|(si, seg)| seg_op(si, seg));
         } else {
-            for (wi, chunk) in dst.chunks_mut(BITS_PER_WORD).enumerate() {
-                chunk_op(wi, chunk);
+            for (si, seg) in dst.chunks_mut(seg_lanes).enumerate() {
+                seg_op(si, seg);
             }
         }
     }
@@ -394,6 +586,9 @@ impl PeArray {
             Some(_) => Kern::Rr(simd::select_cmp_rr(self.cfg.simd, op)),
             None => Kern::Rs(simd::select_cmp_rs(self.cfg.simd, op), scalar),
         };
+        self.mark_flag_plane(thread, fd.index());
+        let parallel = self.parallel();
+        let tps = self.cfg.segments.tiles_per_seg();
         let fd_base = self.flag_base(thread, fd.index());
         let wpp = self.words_per_plane();
         let (gprs, flags) = (&self.gprs, &mut self.flags);
@@ -421,11 +616,20 @@ impl PeArray {
             *dw = (*dw & !mw) | (res & mw);
         };
 
-        if self.pool_parallel && n >= self.cfg.parallel_threshold {
-            dst.par_iter_mut().enumerate().for_each(|(wi, dw)| word_op(wi, dw));
+        let seg_op = |si: usize, words: &mut [u64]| {
+            let w0 = si * tps;
+            if !active.range_occupied(w0..w0 + words.len()) {
+                return;
+            }
+            for (wj, dw) in words.iter_mut().enumerate() {
+                word_op(w0 + wj, dw);
+            }
+        };
+        if parallel {
+            dst.par_chunks_mut(tps).enumerate().for_each(|(si, words)| seg_op(si, words));
         } else {
-            for (wi, dw) in dst.iter_mut().enumerate() {
-                word_op(wi, dw);
+            for (si, words) in dst.chunks_mut(tps).enumerate() {
+                seg_op(si, words);
             }
         }
     }
@@ -444,6 +648,7 @@ impl PeArray {
         let a_base = self.flag_base(thread, fa.index());
         let b_base = self.flag_base(thread, fb.index());
         let d_base = self.flag_base(thread, fd.index());
+        self.mark_flag_plane(thread, fd.index());
         let wpp = self.words_per_plane();
         for wi in 0..wpp {
             let mw = active.words()[wi];
@@ -509,39 +714,51 @@ impl PeArray {
             });
         }
 
+        self.mark_gpr_plane(thread, pd.index());
         if self.parallel() {
             self.latch_a(thread, base.index()); // pd may alias the base reg
+            let seg_lanes = self.cfg.segments.lanes_per_seg();
             let dst_base = self.gpr_base(thread, pd.index());
             let (sa, lmem) = (&self.scratch_a, &self.lmem);
             let dst = &mut self.gprs[dst_base..dst_base + n];
             let mask_words = active.words();
+            // one segment per task; within a segment the word loop runs
+            // in lane order, so the first fault seen is the segment's
+            // lowest-PE fault
             let fault = dst
-                .par_chunks_mut(BITS_PER_WORD)
+                .par_chunks_mut(seg_lanes)
                 .enumerate()
-                .filter_map(|(wi, chunk)| {
-                    let mw = mask_words[wi];
-                    if mw == 0 {
+                .filter_map(|(si, seg)| {
+                    let w0 = si * (seg_lanes / BITS_PER_WORD);
+                    if !active.range_occupied(w0..w0 + seg.len().div_ceil(BITS_PER_WORD)) {
                         return None;
                     }
-                    let base = wi * BITS_PER_WORD;
-                    let len = chunk.len();
                     let mut fault: Option<PeFault> = None;
-                    let mut lane_op = |lane: usize| {
-                        let ea = Self::effective_addr(sa[lane], off);
-                        match Self::check_addr(ea, cap, false) {
-                            Ok(addr) => chunk[lane - base] = lmem[addr * n + lane],
-                            Err(f) if fault.is_none() => {
-                                fault = Some(PeFault { pe: lane, fault: f })
+                    for (wj, chunk) in seg.chunks_mut(BITS_PER_WORD).enumerate() {
+                        let wi = w0 + wj;
+                        let mw = mask_words[wi];
+                        if mw == 0 {
+                            continue;
+                        }
+                        let base = wi * BITS_PER_WORD;
+                        let len = chunk.len();
+                        let mut lane_op = |lane: usize| {
+                            let ea = Self::effective_addr(sa[lane], off);
+                            match Self::check_addr(ea, cap, false) {
+                                Ok(addr) => chunk[lane - base] = lmem[addr * n + lane],
+                                Err(f) if fault.is_none() => {
+                                    fault = Some(PeFault { pe: lane, fault: f })
+                                }
+                                Err(_) => {}
                             }
-                            Err(_) => {}
+                        };
+                        if mw == u64::MAX {
+                            for lane in base..base + len {
+                                lane_op(lane);
+                            }
+                        } else {
+                            for_each_set(mw, base, lane_op);
                         }
-                    };
-                    if mw == u64::MAX {
-                        for lane in base..base + len {
-                            lane_op(lane);
-                        }
-                    } else {
-                        for_each_set(mw, base, lane_op);
                     }
                     fault
                 })
@@ -583,13 +800,19 @@ impl PeArray {
         let base_b = self.gpr_base(thread, base.index());
         let ps_base = self.gpr_base(thread, ps.index());
         let parallel = self.parallel();
+        let seg_lanes = self.cfg.segments.lanes_per_seg();
+        let seg_count = self.committed.seg_count;
+        let lmem_bits = &mut self.committed.lmem;
         let (gprs, lmem) = (&self.gprs, &mut self.lmem);
         if parallel {
             let mut fault: Option<PeFault> = None;
             for_each_lane(active, |lane| {
                 let ea = Self::effective_addr(gprs[base_b + lane], off);
                 match Self::check_addr(ea, cap, true) {
-                    Ok(addr) => lmem[addr * n + lane] = gprs[ps_base + lane],
+                    Ok(addr) => {
+                        lmem[addr * n + lane] = gprs[ps_base + lane];
+                        CommitMap::mark(lmem_bits, addr * seg_count + lane / seg_lanes);
+                    }
                     Err(f) if fault.is_none() => fault = Some(PeFault { pe: lane, fault: f }),
                     Err(_) => {}
                 }
@@ -603,6 +826,7 @@ impl PeArray {
                 let ea = Self::effective_addr(gprs[base_b + lane], off);
                 let addr = Self::check_addr(ea, cap, true)?;
                 lmem[addr * n + lane] = gprs[ps_base + lane];
+                CommitMap::mark(lmem_bits, addr * seg_count + lane / seg_lanes);
                 Ok(())
             })
         }
@@ -627,6 +851,7 @@ impl PeArray {
         if pd.index() == 0 {
             return Ok(());
         }
+        self.mark_gpr_plane(thread, pd.index());
         let n = self.cfg.num_pes;
         let dst_base = self.gpr_base(thread, pd.index());
         let (lmem, gprs) = (&self.lmem, &mut self.gprs);
@@ -661,6 +886,7 @@ impl PeArray {
         };
         let addr = Self::check_addr(off as i64, self.cfg.lmem_words, true)
             .map_err(|fault| PeFault { pe: first, fault })?;
+        self.mark_lmem_row(addr);
         let n = self.cfg.num_pes;
         let ps_base = self.gpr_base(thread, ps.index());
         let (gprs, lmem) = (&self.gprs, &mut self.lmem);
@@ -688,6 +914,8 @@ impl PeArray {
         }
         let w = self.width();
         let n = self.cfg.num_pes;
+        self.mark_gpr_plane(thread, pd.index());
+        let seg_lanes = self.cfg.segments.lanes_per_seg();
         let dst_base = self.gpr_base(thread, pd.index());
         let dst = &mut self.gprs[dst_base..dst_base + n];
         let mask_words = active.words();
@@ -707,13 +935,20 @@ impl PeArray {
                 for_each_set(mw, base, lane_op);
             }
         };
+        let seg_op = |si: usize, seg: &mut [Word]| {
+            let w0 = si * (seg_lanes / BITS_PER_WORD);
+            if !active.range_occupied(w0..w0 + seg.len().div_ceil(BITS_PER_WORD)) {
+                return;
+            }
+            for (wj, chunk) in seg.chunks_mut(BITS_PER_WORD).enumerate() {
+                word_op(w0 + wj, chunk);
+            }
+        };
         if self.pool_parallel && n >= self.cfg.parallel_threshold {
-            dst.par_chunks_mut(BITS_PER_WORD).enumerate().for_each(|(wi, chunk)| {
-                word_op(wi, chunk);
-            });
+            dst.par_chunks_mut(seg_lanes).enumerate().for_each(|(si, seg)| seg_op(si, seg));
         } else {
-            for (wi, chunk) in dst.chunks_mut(BITS_PER_WORD).enumerate() {
-                word_op(wi, chunk);
+            for (si, seg) in dst.chunks_mut(seg_lanes).enumerate() {
+                seg_op(si, seg);
             }
         }
     }
@@ -728,6 +963,8 @@ impl PeArray {
         }
         let n = self.cfg.num_pes;
         self.latch_a(thread, pa.index());
+        self.mark_gpr_plane(thread, pd.index());
+        let seg_lanes = self.cfg.segments.lanes_per_seg();
         let dst_base = self.gpr_base(thread, pd.index());
         let sa = &self.scratch_a;
         let dst = &mut self.gprs[dst_base..dst_base + n];
@@ -752,13 +989,20 @@ impl PeArray {
                 for_each_set(mw, base, lane_op);
             }
         };
+        let seg_op = |si: usize, seg: &mut [Word]| {
+            let w0 = si * (seg_lanes / BITS_PER_WORD);
+            if !active.range_occupied(w0..w0 + seg.len().div_ceil(BITS_PER_WORD)) {
+                return;
+            }
+            for (wj, chunk) in seg.chunks_mut(BITS_PER_WORD).enumerate() {
+                word_op(w0 + wj, chunk);
+            }
+        };
         if self.pool_parallel && n >= self.cfg.parallel_threshold {
-            dst.par_chunks_mut(BITS_PER_WORD).enumerate().for_each(|(wi, chunk)| {
-                word_op(wi, chunk);
-            });
+            dst.par_chunks_mut(seg_lanes).enumerate().for_each(|(si, seg)| seg_op(si, seg));
         } else {
-            for (wi, chunk) in dst.chunks_mut(BITS_PER_WORD).enumerate() {
-                word_op(wi, chunk);
+            for (si, seg) in dst.chunks_mut(seg_lanes).enumerate() {
+                seg_op(si, seg);
             }
         }
     }
@@ -769,6 +1013,8 @@ impl PeArray {
             return;
         }
         let n = self.cfg.num_pes;
+        self.mark_gpr_plane(thread, pd.index());
+        let seg_lanes = self.cfg.segments.lanes_per_seg();
         let dst_base = self.gpr_base(thread, pd.index());
         let dst = &mut self.gprs[dst_base..dst_base + n];
         let mask_words = active.words();
@@ -784,13 +1030,20 @@ impl PeArray {
                 for_each_set(mw, base, |lane| chunk[lane - base] = value);
             }
         };
+        let seg_op = |si: usize, seg: &mut [Word]| {
+            let w0 = si * (seg_lanes / BITS_PER_WORD);
+            if !active.range_occupied(w0..w0 + seg.len().div_ceil(BITS_PER_WORD)) {
+                return;
+            }
+            for (wj, chunk) in seg.chunks_mut(BITS_PER_WORD).enumerate() {
+                word_op(w0 + wj, chunk);
+            }
+        };
         if self.pool_parallel && n >= self.cfg.parallel_threshold {
-            dst.par_chunks_mut(BITS_PER_WORD).enumerate().for_each(|(wi, chunk)| {
-                word_op(wi, chunk);
-            });
+            dst.par_chunks_mut(seg_lanes).enumerate().for_each(|(si, seg)| seg_op(si, seg));
         } else {
-            for (wi, chunk) in dst.chunks_mut(BITS_PER_WORD).enumerate() {
-                word_op(wi, chunk);
+            for (si, seg) in dst.chunks_mut(seg_lanes).enumerate() {
+                seg_op(si, seg);
             }
         }
     }
@@ -806,6 +1059,7 @@ impl PeArray {
     ) {
         debug_assert_eq!(values.len(), self.cfg.num_pes);
         let d_base = self.flag_base(thread, fd.index());
+        self.mark_flag_plane(thread, fd.index());
         for wi in 0..self.words_per_plane() {
             let mw = active.words()[wi];
             if mw == 0 {
@@ -830,6 +1084,7 @@ impl PeArray {
         active: &ActiveMask,
     ) {
         let d_base = self.flag_base(thread, fd.index());
+        self.mark_flag_plane(thread, fd.index());
         for wi in 0..self.words_per_plane() {
             let mw = active.words()[wi];
             if mw != 0 {
@@ -893,11 +1148,33 @@ impl PeArray {
     /// Clear one thread's registers and flags in every PE (thread
     /// allocation).
     pub fn clear_thread(&mut self, thread: usize) {
-        let g = thread * self.cfg.gprs * self.cfg.num_pes;
-        self.gprs[g..g + self.cfg.gprs * self.cfg.num_pes].fill(Word::ZERO);
-        let wpp = self.words_per_plane();
-        let f = thread * self.cfg.flags * wpp;
-        self.flags[f..f + self.cfg.flags * wpp].fill(0);
+        // Only the committed segment slices can hold non-zero state, so a
+        // `tspawn` on a sparse machine stays proportional to what was
+        // actually touched, not to the reserved footprint.
+        let geo = self.cfg.segments;
+        let segs = self.committed.seg_count;
+        for reg in 0..self.cfg.gprs {
+            let plane = thread * self.cfg.gprs + reg;
+            let base = self.gpr_base(thread, reg);
+            for s in 0..segs {
+                if CommitMap::is_marked(&self.committed.gpr, plane * segs + s) {
+                    let r = geo.seg_lane_range(s);
+                    self.gprs[base + r.start..base + r.end].fill(Word::ZERO);
+                }
+            }
+            CommitMap::clear_plane(&mut self.committed.gpr, plane, segs);
+        }
+        for flag in 0..self.cfg.flags {
+            let plane = thread * self.cfg.flags + flag;
+            let base = self.flag_base(thread, flag);
+            for s in 0..segs {
+                if CommitMap::is_marked(&self.committed.flag, plane * segs + s) {
+                    let r = geo.seg_tile_range(s);
+                    self.flags[base + r.start..base + r.end].fill(0);
+                }
+            }
+            CommitMap::clear_plane(&mut self.committed.flag, plane, segs);
+        }
     }
 
     // ---------------------------------------------------------- host API
@@ -912,6 +1189,7 @@ impl PeArray {
         if reg != 0 {
             let base = self.gpr_base(thread, reg);
             self.gprs[base + pe] = v;
+            self.mark_gpr_lane(thread, reg, pe);
         }
     }
 
@@ -922,6 +1200,7 @@ impl PeArray {
 
     /// Host write of one PE's flag.
     pub fn set_flag(&mut self, pe: usize, thread: usize, reg: usize, v: bool) {
+        self.mark_flag_lane(thread, reg, pe);
         let base = self.flag_base(thread, reg);
         let (w, b) = (pe / BITS_PER_WORD, 1u64 << (pe % BITS_PER_WORD));
         if v {
@@ -961,6 +1240,7 @@ impl PeArray {
         let n = self.cfg.num_pes;
         for (k, &v) in data.iter().enumerate() {
             self.lmem[(base + k) * n + pe] = v;
+            self.mark_lmem_word(base + k, pe);
         }
         Ok(())
     }
@@ -974,6 +1254,7 @@ impl PeArray {
         let a = Self::check_addr(addr as i64, self.cfg.lmem_words, true)
             .map_err(|fault| PeFault { pe: 0, fault })?;
         self.lmem[a * n..(a + 1) * n].copy_from_slice(data);
+        self.mark_lmem_row(a);
         Ok(())
     }
 
@@ -1000,6 +1281,7 @@ mod tests {
             width: Width::W16,
             parallel_threshold: 4096,
             simd: SimdLevel::detect(),
+            segments: SegmentGeometry::new(8, 0),
         })
     }
 
@@ -1142,6 +1424,9 @@ mod tests {
                 width: Width::W8,
                 parallel_threshold: threshold,
                 simd: SimdLevel::detect(),
+                // Two ragged segments (64 + 36 lanes) so the par branches
+                // exercise a segment boundary too.
+                segments: SegmentGeometry::new(100, 2),
             });
             // The serial rayon stand-in reports a one-worker pool, which
             // normally disables the par branches; force them on so this
@@ -1267,6 +1552,72 @@ mod tests {
         );
         a.write_first_responder(0, pf(4), None, &all);
         assert_eq!(a.flag_column(0, 4), vec![false; 8]);
+    }
+
+    #[test]
+    fn commit_telemetry_tracks_first_touch() {
+        let mut a = PeArray::new(ArrayConfig {
+            num_pes: 100,
+            threads: 2,
+            gprs: 16,
+            flags: 8,
+            lmem_words: 8,
+            width: Width::W16,
+            parallel_threshold: 4096,
+            simd: SimdLevel::detect(),
+            segments: SegmentGeometry::new(100, 2), // 64 + 36 lanes
+        });
+        assert_eq!(a.committed_bytes(), 0, "a fresh array has touched nothing");
+        assert!(a.footprint_bytes() > 0);
+
+        // A host write into lane 70 commits only the ragged second
+        // segment (36 lanes) of that one plane.
+        a.set_gpr(70, 0, 3, Word(9));
+        assert_eq!(a.committed_bytes(), 36 * std::mem::size_of::<Word>());
+        // Touching the same slice again commits nothing new.
+        a.set_gpr(71, 0, 3, Word(9));
+        assert_eq!(a.committed_bytes(), 36 * std::mem::size_of::<Word>());
+
+        // A plane-wide ALU op commits both segments of its destination.
+        let all = ActiveMask::all(100);
+        a.pidx(0, p(1), &all);
+        let committed = a.committed_bytes();
+        assert_eq!(committed, (36 + 100) * std::mem::size_of::<Word>());
+        assert!(committed <= a.footprint_bytes());
+
+        // Flag planes commit in 64-lane tiles (one u64 per tile).
+        a.cmp(0, CmpOp::Lt, pf(2), p(1), Src::Scalar(Word(5)), &all);
+        assert_eq!(a.committed_bytes(), committed + 2 * std::mem::size_of::<u64>());
+    }
+
+    #[test]
+    fn sparse_million_pe_array_constructs_cheaply() {
+        let t0 = std::time::Instant::now();
+        let mut a = PeArray::new(ArrayConfig {
+            num_pes: 1 << 20,
+            threads: 1,
+            gprs: 16,
+            flags: 8,
+            lmem_words: 16,
+            width: Width::W32,
+            parallel_threshold: 4096,
+            simd: SimdLevel::detect(),
+            segments: SegmentGeometry::new(1 << 20, 0),
+        });
+        let built = t0.elapsed();
+        // Zero-page-backed planes: ~128 MB of virtual reservation must
+        // construct without faulting it in. The budget is generous (CI
+        // hosts vary); an eager memset of the planes costs well over it.
+        assert!(
+            built < std::time::Duration::from_millis(500),
+            "2^20-PE construction took {built:?}"
+        );
+        assert_eq!(a.committed_bytes(), 0);
+        assert_eq!(a.segments().count(), 256);
+
+        // Touch one lane: exactly one 4096-lane segment slice commits.
+        a.set_gpr(123_456, 0, 1, Word(1));
+        assert_eq!(a.committed_bytes(), 4096 * std::mem::size_of::<Word>());
     }
 
     #[test]

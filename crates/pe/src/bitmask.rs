@@ -17,6 +17,11 @@
 /// Lanes per plane word.
 pub const BITS_PER_WORD: usize = 64;
 
+/// Plane words summarized by one occupancy bit of an [`ActiveMask`]:
+/// 64 words = 4096 lanes, one auto-sized segment tile group (see
+/// [`crate::segments::AUTO_TILES_PER_SEG`]).
+pub const OCC_GROUP_WORDS: usize = 64;
+
 /// Number of `u64` words needed for a plane of `lanes` bits.
 #[inline]
 pub const fn words_for(lanes: usize) -> usize {
@@ -49,16 +54,51 @@ pub fn for_each_set(word: u64, base: usize, mut f: impl FnMut(usize)) {
 /// The set of PEs participating in a masked instruction, as a packed
 /// bitset. One lives in the machine and is refilled in place for every
 /// masked instruction; none of the fill or query operations allocate.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// The mask also keeps a conservative *occupancy summary*: one bit per
+/// [`OCC_GROUP_WORDS`]-word group, clear only when every word of the
+/// group is known zero. The two-level reduction tree and the segmented
+/// dispatch loops test a group bit instead of scanning 64 words, so
+/// fully-inactive segments cost one bit test. The summary is exact after
+/// the bulk fills ([`ActiveMask::set_all`], [`ActiveMask::clear_all`],
+/// [`ActiveMask::copy_from_plane`] — the executor's paths) and degrades
+/// conservatively (bit left set) when single lanes are cleared.
+#[derive(Debug, Clone)]
 pub struct ActiveMask {
     words: Vec<u64>,
+    occ: Vec<u64>,
     lanes: usize,
+    /// Conservative all-active cache: when `true`, `words` and `occ` are
+    /// known to hold the all-active pattern already, so the next
+    /// [`ActiveMask::set_all`] is a no-op instead of a full-plane sweep —
+    /// unmasked instructions in a row pay one word test, not O(lanes/64)
+    /// writes. `false` just means "unknown".
+    all: bool,
+}
+
+// the occupancy summary is a cache, not state: masks compare by lanes
+impl PartialEq for ActiveMask {
+    fn eq(&self, other: &ActiveMask) -> bool {
+        self.lanes == other.lanes && self.words == other.words
+    }
+}
+
+impl Eq for ActiveMask {}
+
+/// Occupancy words needed to summarize `nwords` plane words.
+fn occ_words_for(nwords: usize) -> usize {
+    words_for(nwords.div_ceil(OCC_GROUP_WORDS))
 }
 
 impl ActiveMask {
     /// An all-inactive mask over `lanes` PEs.
     pub fn new(lanes: usize) -> ActiveMask {
-        ActiveMask { words: vec![0; words_for(lanes)], lanes }
+        let nwords = words_for(lanes);
+        ActiveMask {
+            words: vec![0; nwords],
+            occ: vec![0; occ_words_for(nwords)],
+            lanes,
+            all: false,
+        }
     }
 
     /// An all-active mask over `lanes` PEs.
@@ -76,6 +116,7 @@ impl ActiveMask {
                 m.words[i / BITS_PER_WORD] |= 1u64 << (i % BITS_PER_WORD);
             }
         }
+        m.rebuild_occupancy();
         m
     }
 
@@ -91,34 +132,87 @@ impl ActiveMask {
 
     /// Make every lane active.
     pub fn set_all(&mut self) {
+        if self.all {
+            return;
+        }
         self.words.fill(u64::MAX);
         if let Some(last) = self.words.last_mut() {
             *last &= tail_mask(self.lanes);
         }
+        self.occ.fill(u64::MAX);
+        let groups = self.words.len().div_ceil(OCC_GROUP_WORDS);
+        if let Some(last) = self.occ.last_mut() {
+            *last &= tail_mask(groups.max(1));
+        }
+        self.all = true;
     }
 
     /// Make every lane inactive.
     pub fn clear_all(&mut self) {
         self.words.fill(0);
+        self.occ.fill(0);
+        self.all = false;
     }
 
     /// Refill from a flag plane of the same geometry (the `?pf` masked
     /// execution path: the mask *is* the flag bitplane, copied so the
-    /// instruction may overwrite the flag it is masked by).
+    /// instruction may overwrite the flag it is masked by). The occupancy
+    /// summary is folded in during the copy, so sparse masks become
+    /// segment-skippable at no extra pass.
     pub fn copy_from_plane(&mut self, plane: &[u64]) {
         debug_assert_eq!(plane.len(), self.words.len());
-        self.words.copy_from_slice(plane);
+        self.all = false;
+        self.occ.fill(0);
+        for (g, src) in plane.chunks(OCC_GROUP_WORDS).enumerate() {
+            let dst = &mut self.words[g * OCC_GROUP_WORDS..g * OCC_GROUP_WORDS + src.len()];
+            let mut any = 0u64;
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d = s;
+                any |= s;
+            }
+            if any != 0 {
+                self.occ[g / BITS_PER_WORD] |= 1u64 << (g % BITS_PER_WORD);
+            }
+        }
     }
 
-    /// Set or clear one lane.
+    /// Recompute the occupancy summary exactly from the words.
+    pub fn rebuild_occupancy(&mut self) {
+        self.occ.fill(0);
+        for (g, group) in self.words.chunks(OCC_GROUP_WORDS).enumerate() {
+            if group.iter().any(|&w| w != 0) {
+                self.occ[g / BITS_PER_WORD] |= 1u64 << (g % BITS_PER_WORD);
+            }
+        }
+    }
+
+    /// Set or clear one lane. Clearing leaves the occupancy summary
+    /// conservative (the group bit stays set).
     pub fn set(&mut self, lane: usize, active: bool) {
         debug_assert!(lane < self.lanes);
         let (w, b) = (lane / BITS_PER_WORD, 1u64 << (lane % BITS_PER_WORD));
         if active {
             self.words[w] |= b;
+            let g = w / OCC_GROUP_WORDS;
+            self.occ[g / BITS_PER_WORD] |= 1u64 << (g % BITS_PER_WORD);
         } else {
             self.words[w] &= !b;
+            self.all = false;
         }
+    }
+
+    /// Could any lane of plane words `range` be active? `false` is
+    /// definitive (every word in the range is zero); `true` may be
+    /// conservative. Resolution is [`OCC_GROUP_WORDS`] words, so ranges
+    /// sharing a group with active words report `true`.
+    #[inline]
+    pub fn range_occupied(&self, range: core::ops::Range<usize>) -> bool {
+        if range.is_empty() {
+            return false;
+        }
+        let g0 = range.start / OCC_GROUP_WORDS;
+        let g1 = (range.end - 1) / OCC_GROUP_WORDS;
+        (g0..=g1).any(|g| self.occ[g / BITS_PER_WORD] >> (g % BITS_PER_WORD) & 1 == 1)
     }
 
     /// Is `lane` active?
@@ -246,5 +340,75 @@ mod tests {
         assert_eq!(m.count(), 65);
         assert!(m.is_active(64));
         assert!(!m.is_active(65));
+    }
+
+    #[test]
+    fn occupancy_tracks_bulk_fills() {
+        // 3 groups of 64 words (4096 lanes each)
+        let lanes = 3 * OCC_GROUP_WORDS * BITS_PER_WORD;
+        let mut m = ActiveMask::new(lanes);
+        assert!(!m.range_occupied(0..m.words().len()));
+        let mut plane = vec![0u64; m.words().len()];
+        plane[OCC_GROUP_WORDS + 5] = 0b100; // one lane in group 1
+        m.copy_from_plane(&plane);
+        assert!(!m.range_occupied(0..OCC_GROUP_WORDS));
+        assert!(m.range_occupied(OCC_GROUP_WORDS..2 * OCC_GROUP_WORDS));
+        assert!(!m.range_occupied(2 * OCC_GROUP_WORDS..3 * OCC_GROUP_WORDS));
+        assert!(m.range_occupied(0..m.words().len()));
+        m.set_all();
+        assert!(m.range_occupied(0..OCC_GROUP_WORDS));
+        m.clear_all();
+        assert!(!m.range_occupied(0..m.words().len()));
+    }
+
+    #[test]
+    fn set_all_fast_path_stays_correct_after_mutation() {
+        let lanes = 130;
+        let mut m = ActiveMask::new(lanes);
+        m.set_all();
+        m.set_all(); // second call takes the cached fast path
+        let full = m.words().to_vec();
+        assert_eq!(m.count(), lanes);
+
+        // a single cleared lane must invalidate the cache so the next
+        // set_all restores every bit
+        m.set(129, false);
+        assert!(!m.is_active(129));
+        m.set_all();
+        assert_eq!(m.words(), &full[..]);
+        assert_eq!(m.count(), lanes);
+
+        // copy_from_plane invalidates too, even when the plane is dense
+        let plane = full.clone();
+        m.copy_from_plane(&plane);
+        m.set(0, false);
+        m.set_all();
+        assert_eq!(m.count(), lanes);
+
+        // clear_all invalidates
+        m.clear_all();
+        m.set_all();
+        assert_eq!(m.count(), lanes);
+    }
+
+    #[test]
+    fn occupancy_is_conservative_not_wrong() {
+        let lanes = 2 * OCC_GROUP_WORDS * BITS_PER_WORD;
+        let mut m = ActiveMask::new(lanes);
+        m.set(7000, true);
+        assert!(m.range_occupied(OCC_GROUP_WORDS..2 * OCC_GROUP_WORDS));
+        m.set(7000, false);
+        // conservative: the group bit may stay set after a clear...
+        assert_eq!(m.count(), 0);
+        // ...but a definitive "empty" answer must never be wrong
+        m.rebuild_occupancy();
+        assert!(!m.range_occupied(0..m.words().len()));
+        // equality ignores the occupancy cache
+        assert_eq!(ActiveMask::new(lanes), {
+            let mut c = ActiveMask::new(lanes);
+            c.set(3, true);
+            c.set(3, false);
+            c
+        });
     }
 }

@@ -28,6 +28,7 @@ pub mod bitmask;
 pub mod memory;
 pub mod muldiv;
 pub mod regfile;
+pub mod segments;
 pub mod simd;
 pub mod tiles;
 
@@ -39,6 +40,7 @@ pub use bitmask::ActiveMask;
 pub use memory::{LocalMemory, MemFault};
 pub use muldiv::{DividerConfig, MultiplierKind, SequentialUnit};
 pub use regfile::{FlagFile, RegFile};
+pub use segments::SegmentGeometry;
 pub use simd::{
     alu_vectorizes, select_alu_rr, select_alu_rs, select_cmp_rr, select_cmp_rs, simd_disabled,
     AluRrKernel, AluRsKernel, CmpRrKernel, CmpRsKernel, SimdLevel,

@@ -15,6 +15,7 @@ use crate::array::{ArrayConfig, PeArray, Src};
 use crate::bitmask::ActiveMask;
 use crate::memory::LocalMemory;
 use crate::regfile::{FlagFile, RegFile};
+use crate::segments::SegmentGeometry;
 use crate::simd::SimdLevel;
 
 const PES: usize = 70; // not a multiple of 64: exercises the tail word
@@ -31,6 +32,9 @@ fn cfg_at(width: Width, simd: SimdLevel, parallel_threshold: usize) -> ArrayConf
         width,
         parallel_threshold,
         simd,
+        // 70 PEs as two ragged segments keeps every differential run
+        // crossing a segment boundary.
+        segments: SegmentGeometry::new(PES, 2),
     }
 }
 

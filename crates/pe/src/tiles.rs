@@ -338,6 +338,7 @@ mod tests {
             width: Width::W16,
             parallel_threshold: 4096,
             simd: crate::simd::SimdLevel::detect(),
+            segments: crate::segments::SegmentGeometry::new(n, 0),
         })
     }
 
