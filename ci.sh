@@ -23,6 +23,17 @@ for prog in examples/programs/*; do
 done
 ./target/release/mtasc lint --kernels --deny warnings
 
+echo "==> inter-thread race gate (E6001 divergence + corpus schedule invariance)"
+# The family-6 severity contract enforced by execution: every
+# error-flagged race fixture must reach divergent architectural state
+# under perturbed legal schedules, and the kernel corpus must stay
+# race-clean *and* bit-identical across >=8 scheduler seeds — under the
+# default geometry, forced multi-segment execution, and the scalar
+# dispatch tier. See docs/static-analysis.md ("Inter-thread analysis").
+cargo test --test race_differential -q
+MTASC_SEGMENTS=4 cargo test --test race_differential -q
+MTASC_SEGMENTS=4 MTASC_NO_SIMD=1 cargo test --test race_differential -q
+
 echo "==> mtasc stats validate (committed BENCH_*.json schemas)"
 ./target/release/mtasc stats validate BENCH_*.json baselines/*.json
 
@@ -120,8 +131,11 @@ SLOW_ID="$("$MTASC" runs list --runs-dir "$RUNS_DIR" --limit 1 \
 test "$("$MTASC" runs list --runs-dir "$RUNS_DIR" | wc -l)" -ge 3
 test "$FAST_ID" != "$SLOW_ID"
 "$MTASC" runs show "$FAST_ID" --runs-dir "$RUNS_DIR" | grep -q "status   ok"
-# recorded artifacts and manifests satisfy their schemas
-"$MTASC" stats validate "$RUNS_DIR/$FAST_ID/report.json" "$RUNS_DIR/$FAST_ID/run_meta.json"
+# recorded artifacts and manifests satisfy their schemas — including a
+# lint report captured as a registry-style artifact (mtasc.lint.v1)
+"$MTASC" lint "$SMOKE_DIR/smoke.asc" --json > "$RUNS_DIR/$FAST_ID/lint.json"
+"$MTASC" stats validate "$RUNS_DIR/$FAST_ID/report.json" "$RUNS_DIR/$FAST_ID/run_meta.json" \
+    "$RUNS_DIR/$FAST_ID/lint.json"
 # the injected regression must trip the gate (exit 1, and only 1)
 set +e
 "$MTASC" runs diff "$FAST_ID" "$SLOW_ID" --fail-on-regress 0 --runs-dir "$RUNS_DIR" > /dev/null 2>&1
@@ -170,6 +184,17 @@ echo "==> portability check (intrinsics compiled out)"
 # --cfg mtasc_force_scalar removes the x86 intrinsics at compile time;
 # the PE crate must still build cleanly (the non-x86 fallback path).
 RUSTFLAGS="--cfg mtasc_force_scalar" cargo check -p asc-pe -q
+
+if [ "${MTASC_TSAN:-0}" = "1" ]; then
+    echo "==> ThreadSanitizer smoke (opt-in: MTASC_TSAN=1, needs nightly)"
+    # The rayon reduction path in asc-pe is the one place real OS threads
+    # share memory; run its tests under TSan with the parallel threshold
+    # forced low so the parallel path actually executes. Opt-in because
+    # -Zsanitizer=thread needs a nightly toolchain and -Zbuild-std.
+    RUSTFLAGS="-Zsanitizer=thread" MTASC_PAR_THRESHOLD=1 \
+        cargo +nightly test -p asc-pe -Zbuild-std \
+        --target "$(rustc -vV | sed -n 's/^host: //p')" -q
+fi
 
 echo "==> cargo bench --no-run (benches compile)"
 cargo bench --workspace --no-run

@@ -16,6 +16,7 @@
 use std::fmt::Write as _;
 
 use std::cell::RefCell;
+use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 use std::rc::Rc;
 
@@ -84,6 +85,11 @@ pub struct MachineOpts {
     /// (`--segments N`; 0 = automatic, 1 = monolithic; `MTASC_SEGMENTS`
     /// overrides either way). Bit-identical results at every count.
     pub segments: usize,
+    /// Schedule-perturbation seed (`--sched-seed N`; 0 = the exact
+    /// unperturbed rotating-priority baseline; `MTASC_SCHED_SEED`
+    /// overrides either way). Race-free programs reach the same
+    /// architectural state under every seed.
+    pub sched_seed: u64,
     /// Print block-fusion statistics after `run`.
     pub fusion_stats: bool,
     /// Record this invocation into the run registry. Defaults to `false`
@@ -127,6 +133,7 @@ impl Default for MachineOpts {
             fusion: true,
             simd: true,
             segments: 0,
+            sched_seed: 0,
             fusion_stats: false,
             record: false,
             runs_dir: None,
@@ -152,7 +159,7 @@ impl MachineOpts {
         if !self.simd {
             cfg = cfg.without_simd();
         }
-        cfg.with_segments(self.segments)
+        cfg.with_segments(self.segments).with_sched_seed(self.sched_seed)
     }
 
     /// Consume recognized flags from `args`, leaving positional arguments.
@@ -196,6 +203,7 @@ impl MachineOpts {
                 "--no-fuse" => opts.fusion = false,
                 "--no-simd" => opts.simd = false,
                 "--segments" => opts.segments = parse_num(&take(&mut it)?)?,
+                "--sched-seed" => opts.sched_seed = parse_num(&take(&mut it)?)? as u64,
                 "--fusion-stats" => opts.fusion_stats = true,
                 "--trace" => opts.trace = true,
                 "--report" => opts.report = Some(take(&mut it)?),
@@ -274,6 +282,10 @@ OPTIONS:
   --segments N     core-affine PE-array segments (0 = auto, one per 4096
                    lanes; 1 = monolithic; identical results at every
                    count; MTASC_SEGMENTS=N also works)
+  --sched-seed N   perturb the thread scheduler with seed N (0 = exact
+                   baseline; every seed is a legal schedule, so race-free
+                   programs reach identical architectural state;
+                   MTASC_SCHED_SEED=N also works)
   --fusion-stats   print block-fusion and kernel-compilation statistics
   --trace          print the stage-by-cycle pipeline diagram
   --report F       write a JSON run report to F
@@ -290,8 +302,13 @@ LINT OPTIONS:
   --json           emit the mtasc.lint.v1 JSON report instead of text
   --deny warnings  treat warnings as fatal (notes never fail a program)
   --explain CODE   print the long-form explanation of a diagnostic code
+                   (--explain all dumps the whole catalog)
   --kernels        lint every program in the asc-kernels corpus instead
                    of a file
+  --schedules N    additionally execute the program under N perturbed
+                   legal schedules (seeds 0..N) and fail if the final
+                   architectural state diverges — the dynamic check
+                   behind the E6001 severity contract
 ";
 
 /// Dispatch a command line (without argv\[0\]); returns the text to print.
@@ -351,6 +368,18 @@ pub fn dispatch(mut args: Vec<String>) -> Result<String, CliError> {
                             .next()
                             .ok_or_else(|| CliError::Usage("--explain needs a code".into()))?;
                         return cmd_explain(&code);
+                    }
+                    "--schedules" => {
+                        let n = it
+                            .next()
+                            .ok_or_else(|| CliError::Usage("--schedules needs a count".into()))?;
+                        let n = parse_num(&n)? as u64;
+                        if n < 2 {
+                            return Err(CliError::Usage(
+                                "--schedules needs at least 2 seeds to compare".into(),
+                            ));
+                        }
+                        lint.schedules = Some(n);
                     }
                     other if !other.starts_with('-') && path.is_none() => {
                         path = Some(a);
@@ -1369,6 +1398,53 @@ fn validate_one(path: &str) -> Result<String, String> {
         RUN_META_SCHEMA => {
             RunMeta::from_json(&v).ok_or("malformed run manifest")?;
         }
+        "mtasc.lint.v1" => {
+            v.get("program")
+                .and_then(|p| p.get("len"))
+                .and_then(Json::as_u64)
+                .ok_or("missing `program.len`")?;
+            let diags =
+                v.get("diagnostics").and_then(Json::as_arr).ok_or("missing `diagnostics`")?;
+            let mut counts = [0u64; 3]; // errors, warnings, notes
+            for (i, d) in diags.iter().enumerate() {
+                let sev = d
+                    .get("severity")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("diagnostics[{i}]: missing `severity`"))?;
+                let slot = match sev {
+                    "error" => 0,
+                    "warning" => 1,
+                    "note" => 2,
+                    other => return Err(format!("diagnostics[{i}]: unknown severity `{other}`")),
+                };
+                counts[slot] += 1;
+                let code = d
+                    .get("code")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("diagnostics[{i}]: missing `code`"))?;
+                if asc_verify::explain(code).is_none() {
+                    return Err(format!("diagnostics[{i}]: code `{code}` not in the catalog"));
+                }
+                d.get("pc")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("diagnostics[{i}]: missing `pc`"))?;
+                d.get("message")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("diagnostics[{i}]: missing `message`"))?;
+            }
+            let summary = v.get("summary").ok_or("missing `summary`")?;
+            for (field, expect) in ["errors", "warnings", "notes"].iter().zip(counts) {
+                let got = summary
+                    .get(field)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("summary: missing `{field}`"))?;
+                if got != expect {
+                    return Err(format!(
+                        "summary: `{field}` says {got} but the report lists {expect}"
+                    ));
+                }
+            }
+        }
         "mtasc.kernels.v1" => {
             v.get("num_pes").and_then(Json::as_u64).ok_or("missing `num_pes`")?;
             let kernels = v.get("kernels").and_then(Json::as_arr).ok_or("missing `kernels`")?;
@@ -1457,6 +1533,9 @@ pub struct LintOpts {
     pub deny_warnings: bool,
     /// Lint the asc-kernels corpus instead of a file.
     pub kernels: bool,
+    /// Additionally run the program under this many perturbed schedules
+    /// (seeds `0..N`) and fail on architectural-state divergence.
+    pub schedules: Option<u64>,
 }
 
 /// `mtasc lint <file>`: assemble and statically analyze one program.
@@ -1472,16 +1551,67 @@ pub fn cmd_lint(
     let program = asc_asm::assemble(source)
         .map_err(|errs| CliError::Failure(asc_asm::render_errors_with_source(source, &errs)))?;
     let report = asc_verify::analyze(&program, cfg);
-    let out = if opts.json {
+    let mut out = if opts.json {
         report.to_json().to_pretty() + "\n"
     } else {
         report.render(Some(source), path)
     };
-    if report.is_clean(opts.deny_warnings) {
+    let mut diverged = false;
+    if let Some(seeds) = opts.schedules {
+        let (section, div) = explore_schedules(&program, cfg, seeds);
+        diverged = div;
+        if !opts.json {
+            out.push_str(&section);
+        }
+    }
+    if report.is_clean(opts.deny_warnings) && !diverged {
         Ok(out)
     } else {
         Err(CliError::Failure(out.trim_end().to_string()))
     }
+}
+
+/// Cycle budget for one `--schedules` exploration run; programs a lint
+/// invocation looks at finish far below this, and a runaway program is
+/// reported as a fault outcome rather than hanging the lint.
+const SCHEDULE_BUDGET: u64 = 10_000_000;
+
+/// Execute the program under `seeds` perturbed legal schedules (seed 0
+/// is the unperturbed rotating-priority baseline) and compare the final
+/// architectural state digests. Returns the rendered section and whether
+/// the outcomes diverged.
+fn explore_schedules(
+    program: &asc_asm::Program,
+    cfg: &MachineConfig,
+    seeds: u64,
+) -> (String, bool) {
+    let mut outcomes: Vec<(u64, String)> = Vec::new();
+    for seed in 0..seeds {
+        let outcome = match Machine::with_program(cfg.with_sched_seed(seed), program) {
+            Ok(mut m) => match m.run(SCHEDULE_BUDGET) {
+                Ok(_) => format!("state digest {:#018x}", m.arch_digest()),
+                Err(e) => format!("fault: {e}"),
+            },
+            Err(e) => format!("load error: {e}"),
+        };
+        outcomes.push((seed, outcome));
+    }
+    let distinct: BTreeSet<&String> = outcomes.iter().map(|(_, o)| o).collect();
+    let diverged = distinct.len() > 1;
+    let mut section = format!("schedule exploration: {seeds} seeds\n");
+    for (seed, outcome) in &outcomes {
+        let _ = writeln!(section, "  seed {seed:>3}: {outcome}");
+    }
+    if diverged {
+        let _ = writeln!(
+            section,
+            "DIVERGENT: {} distinct outcomes — the schedule alone decides the result",
+            distinct.len()
+        );
+    } else {
+        let _ = writeln!(section, "schedule-invariant: all seeds agree");
+    }
+    (section, diverged)
 }
 
 /// `mtasc lint --kernels`: lint every program in the asc-kernels corpus.
@@ -1523,12 +1653,33 @@ pub fn cmd_lint_kernels(cfg: &MachineConfig, opts: &LintOpts) -> Result<String, 
 }
 
 /// `mtasc lint --explain CODE`: the long-form description of a
-/// diagnostic code from the [`asc_verify::CODES`] catalog.
+/// diagnostic code from the [`asc_verify::CODES`] catalog. `--explain
+/// all` dumps the whole catalog; an unknown code fails with a
+/// nearest-code hint.
 pub fn cmd_explain(code: &str) -> Result<String, CliError> {
+    if code.eq_ignore_ascii_case("all") {
+        let mut out = String::new();
+        for info in asc_verify::CODES {
+            let _ = writeln!(
+                out,
+                "{}[{}]: {}\n\n{}\n",
+                info.severity.label(),
+                info.code,
+                info.summary,
+                info.explanation
+            );
+        }
+        return Ok(out);
+    }
     let info = asc_verify::explain(code).ok_or_else(|| {
+        let nearest = asc_verify::CODES
+            .iter()
+            .min_by_key(|i| edit_distance(&code.to_ascii_uppercase(), i.code))
+            .map(|i| i.code)
+            .unwrap_or("E0001");
         CliError::Failure(format!(
-            "unknown diagnostic code `{code}` (codes run E0001–E3002, W0001–W4002, N5001–N5003; \
-             see docs/static-analysis.md)"
+            "unknown diagnostic code `{code}`; did you mean `{nearest}`? (`mtasc lint \
+             --explain all` lists the whole catalog; see docs/static-analysis.md)"
         ))
     })?;
     Ok(format!(
@@ -1538,6 +1689,23 @@ pub fn cmd_explain(code: &str) -> Result<String, CliError> {
         info.summary,
         info.explanation
     ))
+}
+
+/// Levenshtein distance, for the `--explain` nearest-code hint. Codes
+/// are 5 bytes, so the quadratic table is trivially small.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<u8>, Vec<u8>) = (a.bytes().collect(), b.bytes().collect());
+    let mut row: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut prev = row[0];
+        row[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cur = row[j + 1];
+            row[j + 1] = (prev + usize::from(ca != cb)).min(row[j] + 1).min(cur + 1);
+            prev = cur;
+        }
+    }
+    row[b.len()]
 }
 
 /// `mtasc info`: geometry, figures, resource model.
@@ -2142,6 +2310,104 @@ mod tests {
         assert!(matches!(dispatch(vec!["lint".into()]), Err(CliError::Usage(_))));
         let out = dispatch(vec!["lint".into(), "--explain".into(), "N5003".into()]).unwrap();
         assert!(out.contains("note[N5003]"));
+        assert!(matches!(
+            dispatch(vec!["lint".into(), "x.asc".into(), "--schedules".into(), "1".into()]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn explain_all_dumps_the_whole_catalog() {
+        let out = cmd_explain("all").unwrap();
+        for info in asc_verify::CODES {
+            assert!(out.contains(info.code), "missing {} in --explain all", info.code);
+        }
+    }
+
+    #[test]
+    fn explain_unknown_code_suggests_the_nearest() {
+        for typo in ["E6002", "W401", "w6001", "X9999"] {
+            let e = cmd_explain(typo).unwrap_err();
+            let msg = e.to_string();
+            let (_, rest) = msg.split_once("did you mean `").unwrap_or_else(|| panic!("{msg}"));
+            let suggested = rest.split('`').next().unwrap();
+            assert!(asc_verify::explain(suggested).is_some(), "{msg}");
+        }
+    }
+
+    #[test]
+    fn lint_schedules_proves_divergence_and_invariance() {
+        // The E6001 fixture shape: both threads definitely write word 100
+        // with different values; the parent writes often enough that the
+        // later-starting child's store lands first under some seeds.
+        let racy = "        li      s1, child
+                            tspawn  s2, s1
+                            li      s3, 1
+                            sw      s3, 100(s0)
+                            sw      s3, 100(s0)
+                            sw      s3, 100(s0)
+                            sw      s3, 100(s0)
+                            sw      s3, 100(s0)
+                            sw      s3, 100(s0)
+                            tjoin   s2
+                            halt
+            child:          li      s3, 2
+                            sw      s3, 100(s0)
+                            sw      s3, 100(s0)
+                            texit
+            ";
+        let opts = LintOpts { schedules: Some(16), ..LintOpts::default() };
+        let e = cmd_lint(racy, "racy.asc", &MachineOpts::default().config(), &opts).unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("E6001"), "{msg}");
+        assert!(msg.contains("DIVERGENT"), "{msg}");
+        // A joined (race-free) variant is schedule-invariant.
+        let clean = "        li      s1, child
+                             tspawn  s2, s1
+                             tjoin   s2
+                             li      s3, 1
+                             sw      s3, 100(s0)
+                             halt
+            child:           li      s3, 2
+                             sw      s3, 100(s0)
+                             texit
+            ";
+        let out = cmd_lint(clean, "clean.asc", &MachineOpts::default().config(), &opts).unwrap();
+        assert!(out.contains("schedule-invariant"), "{out}");
+    }
+
+    #[test]
+    fn stats_validate_knows_the_lint_schema() {
+        let dir = std::env::temp_dir().join("mtasc_validate_lint_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let program = asc_asm::assemble("        li s1, 2000\n        lw s2, 0(s1)\n").unwrap();
+        let report = asc_verify::analyze(&program, &MachineOpts::default().config());
+        let good = dir.join("lint.json");
+        std::fs::write(&good, report.to_json().to_pretty()).unwrap();
+        let out = cmd_stats_validate(&[good.to_string_lossy().into_owned()]).unwrap();
+        assert!(out.contains("ok (mtasc.lint.v1)"), "{out}");
+        // a summary that disagrees with the diagnostics list is rejected
+        let bad = dir.join("bad_lint.json");
+        std::fs::write(
+            &bad,
+            r#"{"schema":"mtasc.lint.v1","program":{"len":2},
+                "diagnostics":[{"severity":"error","code":"E2002","pc":1,"message":"m","notes":[]}],
+                "summary":{"errors":0,"warnings":0,"notes":0}}"#,
+        )
+        .unwrap();
+        let e = cmd_stats_validate(&[bad.to_string_lossy().into_owned()]).unwrap_err();
+        assert!(e.to_string().contains("`errors` says 0"), "{e}");
+        // unknown codes are rejected so --explain always resolves
+        let unknown = dir.join("unknown_code.json");
+        std::fs::write(
+            &unknown,
+            r#"{"schema":"mtasc.lint.v1","program":{"len":2},
+                "diagnostics":[{"severity":"error","code":"E9999","pc":1,"message":"m","notes":[]}],
+                "summary":{"errors":1,"warnings":0,"notes":0}}"#,
+        )
+        .unwrap();
+        let e = cmd_stats_validate(&[unknown.to_string_lossy().into_owned()]).unwrap_err();
+        assert!(e.to_string().contains("not in the catalog"), "{e}");
     }
 
     #[test]

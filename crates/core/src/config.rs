@@ -99,6 +99,17 @@ pub struct MachineConfig {
     /// an execution strategy — results, cycle counts, stats and profiles
     /// are bit-identical at every count; see [`asc_pe::SegmentGeometry`].
     pub segments: usize,
+    /// Schedule-perturbation seed (`0` = off, the exact baseline
+    /// schedule; overridable with `MTASC_SCHED_SEED`). A non-zero seed
+    /// jitters the rotating-priority scan offset (and the coarse-grain
+    /// switch penalty) deterministically, so the scheduler still issues
+    /// only ready threads — every perturbed run is a legal hardware
+    /// schedule — but the interleaving of independent threads varies
+    /// with the seed. Race-free programs produce bit-identical
+    /// architectural state under every seed; schedule-dependent programs
+    /// diverge. Used by `mtasc lint --schedules N` and the
+    /// `tests/race_differential.rs` gate; see docs/static-analysis.md.
+    pub sched_seed: u64,
 }
 
 impl MachineConfig {
@@ -123,6 +134,7 @@ impl MachineConfig {
             fusion: true,
             simd: true,
             segments: 0,
+            sched_seed: 0,
         }
     }
 
@@ -226,6 +238,18 @@ impl MachineConfig {
     /// The segment count after the `MTASC_SEGMENTS` override.
     pub fn effective_segments(&self) -> usize {
         env_usize("MTASC_SEGMENTS").unwrap_or(self.segments)
+    }
+
+    /// Set the schedule-perturbation seed (`0` disables perturbation).
+    pub fn with_sched_seed(mut self, seed: u64) -> MachineConfig {
+        self.sched_seed = seed;
+        self
+    }
+
+    /// The schedule-perturbation seed after the `MTASC_SCHED_SEED`
+    /// override.
+    pub fn effective_sched_seed(&self) -> u64 {
+        env_usize("MTASC_SCHED_SEED").map(|s| s as u64).unwrap_or(self.sched_seed)
     }
 
     /// The Rayon dispatch threshold after the `MTASC_PAR_THRESHOLD`

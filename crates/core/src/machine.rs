@@ -113,6 +113,11 @@ pub struct Machine {
     halted: bool,
     rotate: usize,
     current: usize,
+    /// Schedule-perturbation seed (resolved from the config and the
+    /// `MTASC_SCHED_SEED` override once at construction; `0` = off).
+    sched_seed: u64,
+    /// Running state of the perturbation generator (splitmix64).
+    sched_rng: u64,
     /// Per-thread reason for a pending `next_issue` bubble.
     bubble: Vec<StallReason>,
     /// Instructions buffered per thread (finite fetch model).
@@ -177,6 +182,8 @@ impl Machine {
             halted: false,
             rotate: 0,
             current: 0,
+            sched_seed: cfg.effective_sched_seed(),
+            sched_rng: cfg.effective_sched_seed(),
             bubble: vec![StallReason::BranchBubble; cfg.threads],
             ibuf: vec![0; cfg.threads],
             fetch_rotate: 0,
@@ -379,6 +386,53 @@ impl Machine {
         &mut self.smem
     }
 
+    /// FNV-1a digest of the program-observable architectural state: the
+    /// boot context's scalar and parallel registers and flags, plus the
+    /// shared memories (scalar memory and every PE's local memory).
+    ///
+    /// Worker contexts are excluded deliberately: `tspawn` clears a
+    /// context's registers at allocation, so residue left behind by an
+    /// exited worker is invisible to software — but *which* physical
+    /// context a worker landed in is allocation-order- and therefore
+    /// schedule-dependent. On this footprint, race-free programs produce
+    /// equal digests under every perturbation seed
+    /// ([`MachineConfig::with_sched_seed`]); schedule-dependent programs
+    /// diverge. Used by `mtasc lint --schedules N` and the
+    /// `race_differential` test gate.
+    pub fn arch_digest(&self) -> u64 {
+        fn mix(h: u64, v: u64) -> u64 {
+            const PRIME: u64 = 0x0000_0100_0000_01b3;
+            v.to_le_bytes().iter().fold(h, |h, &b| (h ^ b as u64).wrapping_mul(PRIME))
+        }
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for reg in 0..asc_isa::NUM_GPRS {
+            h = mix(h, self.sregs.read(0, reg).0 as u64);
+        }
+        for flag in 0..asc_isa::NUM_FLAGS {
+            h = mix(h, self.sflags.read(0, flag) as u64);
+        }
+        for w in self.smem.as_slice() {
+            h = mix(h, w.0 as u64);
+        }
+        for reg in 0..asc_isa::NUM_GPRS {
+            for w in self.array.gpr_plane(0, reg) {
+                h = mix(h, w.0 as u64);
+            }
+        }
+        for flag in 0..asc_isa::NUM_FLAGS {
+            for w in self.array.flag_plane(0, flag) {
+                h = mix(h, *w);
+            }
+        }
+        for pe in 0..self.cfg.num_pes {
+            for addr in 0..self.cfg.lmem_words as u32 {
+                let w = self.array.lmem_word(pe, addr).expect("in-range lmem address");
+                h = mix(h, w.0 as u64);
+            }
+        }
+        h
+    }
+
     /// True once the machine has halted or all threads have exited.
     pub fn finished(&self) -> bool {
         self.halted || !self.threads.any_live()
@@ -471,6 +525,31 @@ impl Machine {
         }
     }
 
+    /// Advance the schedule-perturbation generator (splitmix64). Callers
+    /// guard on a non-zero seed, so seed-0 machines never touch it and
+    /// stay bit-identical to builds without the hook.
+    fn sched_next(&mut self) -> u64 {
+        self.sched_rng = self.sched_rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.sched_rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Rotation offset after an issue by `tid`. The baseline hands
+    /// priority to the next context; a non-zero seed jitters the hand-off
+    /// point. Only the scan *order* among ready threads changes — the
+    /// scheduler still issues the first ready thread it finds — so every
+    /// perturbed run is a legal schedule of the same machine.
+    fn next_rotate(&mut self, tid: usize) -> usize {
+        let n = self.threads.len();
+        let base = (tid + 1) % n;
+        if self.sched_seed == 0 || n <= 1 {
+            return base;
+        }
+        (base + self.sched_next() as usize % n) % n
+    }
+
     fn step_fine(&mut self) -> Result<Step, RunError> {
         let mut first_block: Option<Blocked> = None;
         let mut min_earliest = u64::MAX;
@@ -483,7 +562,7 @@ impl Machine {
                 Ok(instr) => {
                     drop(scan);
                     self.issue(tid, instr)?;
-                    self.rotate = (tid + 1) % self.threads.len();
+                    self.rotate = self.next_rotate(tid);
                     return Ok(Step::Issued { thread: tid });
                 }
                 Err(b) => {
@@ -512,17 +591,28 @@ impl Machine {
                 let must_switch = matches!(b.reason, StallReason::NoThread | StallReason::WaitJoin)
                     || wait > penalty;
                 if must_switch {
+                    // Perturbation: jitter where the switch-target search
+                    // starts and stretch the penalty by 0..=1 cycles (a
+                    // front end refilling from a different buffer state).
+                    // Both stay legal coarse-grain schedules.
+                    let n = self.threads.len();
+                    let mut start = (self.current + 1) % n;
+                    let mut stretch = 0u64;
+                    if self.sched_seed != 0 && n > 1 {
+                        let j = self.sched_next();
+                        start = (start + (j as usize >> 8) % n) % n;
+                        stretch = j % 2;
+                    }
                     // find another live thread to switch to
-                    let next = self
-                        .threads
-                        .rotation((self.current + 1) % self.threads.len())
-                        .take(self.threads.len() - 1)
-                        .find(|&t| self.threads.get(t).state == ThreadState::Runnable);
+                    let current = self.current;
+                    let next = self.threads.rotation(start).take(n).find(|&t| {
+                        t != current && self.threads.get(t).state == ThreadState::Runnable
+                    });
                     if let Some(next) = next {
                         self.current = next;
                         self.stats.thread_switches += 1;
                         let row = self.threads.get_mut(next);
-                        row.next_issue = row.next_issue.max(self.cycle + penalty);
+                        row.next_issue = row.next_issue.max(self.cycle + penalty + stretch);
                         let next_pc = row.pc;
                         self.bubble[next] = StallReason::SwitchPenalty;
                         self.stats.record_stall(StallReason::SwitchPenalty, 1);

@@ -504,3 +504,95 @@ proptest! {
             "profiles bit-identical (seed {}, {} threads)", seed, threads);
     }
 }
+
+proptest! {
+    /// Race-free multithreaded programs are schedule-invariant: random
+    /// straight-line worker bodies whose memory accesses are rewritten
+    /// into disjoint per-worker windows (scalar and PE-local memory both
+    /// partition; registers and flags are per-context planes already)
+    /// must reach the *same architectural state* under every perturbed
+    /// legal schedule, fine- and coarse-grain, and the cycle-attribution
+    /// profiler must conserve cycles under perturbation too. Seed 0 is
+    /// the unperturbed baseline. Cycle counts are deliberately excluded:
+    /// with a single issue port, cycle-identical would force
+    /// interleaving-identical, and the whole point is that the
+    /// interleaving varies (docs/static-analysis.md, "Why architectural
+    /// state and not cycles").
+    #[test]
+    fn race_free_random_programs_are_schedule_invariant(
+        seed in any::<u64>(),
+        threads in 2usize..=8,
+    ) {
+        use asc_isa::gen::random_straightline_instr;
+        use asc_isa::reg::{PReg, SReg};
+        use asc_isa::Instr;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let workers = threads - 1;
+        let mut src = String::new();
+        // spawn each worker at its own entry, into its own handle register
+        for w in 0..workers {
+            src.push_str(&format!("        li     s1, worker{w}\n"));
+            src.push_str(&format!("        tspawn s{}, s1\n", w + 2));
+        }
+        for w in 0..workers {
+            src.push_str(&format!("        tjoin  s{}\n", w + 2));
+        }
+        src.push_str("        halt\n");
+        for w in 0..workers {
+            src.push_str(&format!("worker{w}:\n"));
+            for _ in 0..16 {
+                let mut i = random_straightline_instr(&mut rng);
+                // Rewrite every memory access into the worker's private
+                // 16-word window off the hardwired-zero base register, so
+                // no two threads ever touch the same word. `tid` is the
+                // one straight-line instruction whose *result* is
+                // schedule-dependent (context ids are allocation-order
+                // dependent) — pin it to the worker number instead.
+                let window = |off: i64| (w as i64 * 16 + off.rem_euclid(16)) as i16;
+                match &mut i {
+                    Instr::Lw { base, off, .. } | Instr::Sw { base, off, .. } => {
+                        *base = SReg::R0;
+                        *off = window(*off as i64);
+                    }
+                    Instr::Plw { base, off, .. } | Instr::Psw { base, off, .. } => {
+                        *base = PReg::R0;
+                        *off = window(*off as i64) as i8;
+                    }
+                    Instr::TId { rd } => i = Instr::Li { rd: *rd, imm: w as i16 },
+                    _ => {}
+                }
+                src.push_str("        ");
+                src.push_str(&asc_asm::disassemble(&i));
+                src.push('\n');
+            }
+            src.push_str("        texit\n");
+        }
+        let program = asc_asm::assemble(&src).unwrap();
+        let cfg = MachineConfig::new(8).with_width(Width::W8).with_threads(8);
+
+        for grain in ["fine", "coarse"] {
+            let cfg = if grain == "coarse" { cfg.coarse_grain(3) } else { cfg };
+            let digest = |sched_seed: u64| {
+                let mut m =
+                    Machine::with_program(cfg.with_sched_seed(sched_seed), &program).unwrap();
+                m.attach_profiler();
+                m.run(10_000_000).unwrap();
+                let cycles = m.stats().cycles;
+                prop_assert_eq!(
+                    m.take_profile().unwrap().attributed_cycles(), cycles,
+                    "profiler conserves cycles ({} grain, seed {}, sched seed {})",
+                    grain, seed, sched_seed
+                );
+                Ok(m.arch_digest())
+            };
+            let baseline = digest(0)?;
+            for sched_seed in 1..=4u64 {
+                prop_assert_eq!(
+                    digest(sched_seed)?, baseline,
+                    "race-free program diverged ({} grain, seed {}, sched seed {}, {} threads)",
+                    grain, seed, sched_seed, threads
+                );
+            }
+        }
+    }
+}

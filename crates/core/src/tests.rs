@@ -835,6 +835,90 @@ fn deterministic_across_runs() {
     assert_eq!(run(), run());
 }
 
+// ---------------------------------------------- schedule perturbation
+
+/// Two threads write different constants to the same scalar-memory word
+/// with no intervening join: the final value is decided by the
+/// interleaving alone. The spawner stores more times than the (later
+/// starting) child so the two write windows end neck and neck, and the
+/// last writer flips with the rotation phase.
+const RACY_PROGRAM: &str = "
+main:    li   s1, child
+         tspawn s2, s1
+         li   s3, 1
+         sw   s3, 100(s0)
+         sw   s3, 100(s0)
+         sw   s3, 100(s0)
+         sw   s3, 100(s0)
+         sw   s3, 100(s0)
+         sw   s3, 100(s0)
+         tjoin s2
+         halt
+child:   li   s3, 2
+         sw   s3, 100(s0)
+         sw   s3, 100(s0)
+         texit
+";
+
+#[test]
+fn sched_seed_zero_is_the_exact_baseline() {
+    let (a, sa) = run_source(full(), MT_PROGRAM, MAX).unwrap();
+    let (b, sb) = run_source(full().with_sched_seed(0), MT_PROGRAM, MAX).unwrap();
+    assert_eq!(sa.cycles, sb.cycles);
+    assert_eq!(sa.issued, sb.issued);
+    assert_eq!(a.arch_digest(), b.arch_digest());
+}
+
+#[test]
+fn perturbed_schedules_are_deterministic_per_seed() {
+    let run = |seed| {
+        let (m, stats) = run_source(full().with_sched_seed(seed), MT_PROGRAM, MAX).unwrap();
+        (stats.cycles, stats.issued, m.arch_digest())
+    };
+    assert_eq!(run(3), run(3));
+    assert_eq!(run(7), run(7));
+}
+
+#[test]
+fn race_free_program_is_schedule_invariant() {
+    let base = run_source(full(), MT_PROGRAM, MAX).unwrap().0.arch_digest();
+    for seed in 1..=8u64 {
+        let (m, _) = run_source(full().with_sched_seed(seed), MT_PROGRAM, MAX).unwrap();
+        assert_eq!(m.arch_digest(), base, "seed {seed}");
+    }
+    // coarse-grain perturbation is equally invisible to race-free code
+    let coarse = full().coarse_grain(4);
+    let base = run_source(coarse, MT_PROGRAM, MAX).unwrap().0.arch_digest();
+    for seed in 1..=4u64 {
+        let (m, _) = run_source(coarse.with_sched_seed(seed), MT_PROGRAM, MAX).unwrap();
+        assert_eq!(m.arch_digest(), base, "coarse seed {seed}");
+    }
+}
+
+#[test]
+fn racy_program_diverges_across_perturbed_schedules() {
+    let mut values = std::collections::BTreeSet::new();
+    let mut digests = std::collections::BTreeSet::new();
+    for seed in 0..16u64 {
+        let (m, _) = run_source(full().with_sched_seed(seed), RACY_PROGRAM, MAX).unwrap();
+        values.insert(m.smem().read(100).unwrap().0);
+        digests.insert(m.arch_digest());
+    }
+    assert!(values.len() >= 2, "the write-write race must be schedule-dependent, got {values:?}");
+    assert!(digests.len() >= 2, "divergent values must show up in the digest");
+}
+
+#[test]
+fn single_threaded_runs_ignore_the_seed_entirely() {
+    let cfg = full().single_threaded();
+    let base = run_source(cfg, ST_PROGRAM, MAX).unwrap().1;
+    for seed in [1, 99u64] {
+        let stats = run_source(cfg.with_sched_seed(seed), ST_PROGRAM, MAX).unwrap().1;
+        assert_eq!(stats.cycles, base.cycles, "seed {seed}");
+        assert_eq!(stats.issued, base.issued, "seed {seed}");
+    }
+}
+
 // ------------------------------------------------------------ baseline
 
 #[test]

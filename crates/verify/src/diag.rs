@@ -368,6 +368,78 @@ pub const CODES: &[CodeInfo] = &[
                       shift, ...). Reordering scalar bookkeeping out of a parallel block can \
                       lengthen the fused run and reduce per-instruction broadcast overhead.",
     },
+    CodeInfo {
+        code: "E6001",
+        severity: Severity::Error,
+        summary: "scalar memory write race: result provably depends on the schedule",
+        explanation: "Two threads that definitely run concurrently both definitely write the \
+                      same scalar-memory word with different known values, and no `tjoin` \
+                      orders the writes — the word's final value is decided by the schedule \
+                      alone:\n\n    li     s1, child\n    tspawn s2, s1\n    li     s3, 1\n    \
+                      sw     s3, 100(s0)   ; E6001 — child stores 2 to the same word\n    \
+                      tjoin  s2\n    halt\n  child:\n    li     s3, 2\n    sw     s3, \
+                      100(s0)\n    texit\n\nThe severity contract for this code is enforced \
+                      by execution: `mtasc lint --schedules N` (and the \
+                      `race_differential` test suite) runs the program under N perturbed \
+                      legal schedules and demonstrates divergent architectural state. W6002 \
+                      is the maybe-variant for conflicts the analysis cannot prove divergent \
+                      (read/write pairs, unknown values, conditionally executed accesses, or \
+                      spawn targets that do not constant-fold).",
+    },
+    CodeInfo {
+        code: "W6002",
+        severity: Severity::Warning,
+        summary: "scalar memory access may race with a concurrent thread",
+        explanation: "A scalar-memory access conflicts with an access to the same word from \
+                      a thread that may run in parallel (per the happens-before windows \
+                      delimited by constant-folded `tspawn`/`tjoin` edges), and at least one \
+                      side writes:\n\n    li     s1, child\n    tspawn s2, s1\n    lw     s4, \
+                      100(s0)   ; W6002 — the child may store first or second\n    tjoin  \
+                      s2\n\nMove the access after the `tjoin`, or prove the addresses \
+                      disjoint (the pass only compares constant-folded effective \
+                      addresses). See E6001 for the provably-divergent variant.",
+    },
+    CodeInfo {
+        code: "W6003",
+        severity: Severity::Warning,
+        summary: "PE-local memory access may race between thread contexts",
+        explanation: "A parallel load/store (`plw`/`psw`) conflicts with a parallel access \
+                      to the same local-memory word from a concurrent thread. Each PE has \
+                      one local memory shared by *all* thread contexts — the paper's \
+                      multithreading multiplies register planes, not local store — so \
+                      concurrent threads must partition the local address space:\n\n    \
+                      ; boot thread: psw p1, 0(p0)\n    ; spawned thread: psw p2, 0(p0)   \
+                      ; W6003 — same word, any PE\n\nGive each thread a private window \
+                      (offset by a per-thread base register) or join before reusing the \
+                      region.",
+    },
+    CodeInfo {
+        code: "W6004",
+        severity: Severity::Warning,
+        summary: "register transfer to/from a running thread is unordered",
+        explanation: "A `tget`/`tput` addresses a scalar register of a spawned thread that \
+                      is still running *and* writes that same register itself:\n\n    li     \
+                      s1, child\n    tspawn s2, s1\n    tget   s3, s2, s4   ; W6004 — the \
+                      child also writes s4\n    tjoin  s2\n\nTransfers are serialized at \
+                      issue but impose no ordering against the target's own instructions, \
+                      so the value moved depends on the schedule. Passing arguments with \
+                      `tput` right after `tspawn` into registers the child only *reads* is \
+                      the sanctioned idiom and stays quiet; reading results back is safe \
+                      after `tjoin`.",
+    },
+    CodeInfo {
+        code: "W6005",
+        severity: Severity::Warning,
+        summary: "raw thread id used while spawned threads are live",
+        explanation: "A `tjoin`/`tget`/`tput` addresses a thread context by a raw constant \
+                      id while at least one spawn window is open:\n\n    li     s1, child\n    \
+                      tspawn s2, s1\n    li     s3, 1\n    tjoin  s3        ; W6005 — id 1 \
+                      is an allocation-order guess\n\nContext ids are assigned in allocation \
+                      order and reused after `texit`, so under another schedule the id may \
+                      name a different thread (or none). Use the handle written by `tspawn`; \
+                      W3004 covers raw-id waits in spawn-free programs and E3002/W3002 \
+                      cover out-of-range ids.",
+    },
 ];
 
 /// Look up a code (case-insensitive) in the catalog.

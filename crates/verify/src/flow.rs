@@ -208,7 +208,7 @@ impl AbsState {
         *self != before
     }
 
-    fn sget(&self, r: SReg) -> SVal {
+    pub(crate) fn sget(&self, r: SReg) -> SVal {
         if r.index() == 0 {
             SVal::Const(Word::ZERO)
         } else {
@@ -224,7 +224,7 @@ impl AbsState {
         }
     }
 
-    fn pget(&self, r: PReg) -> PVal {
+    pub(crate) fn pget(&self, r: PReg) -> PVal {
         if r.index() == 0 {
             PVal::Uniform(Word::ZERO)
         } else {
@@ -371,7 +371,7 @@ pub(crate) fn flow_of(pc: u32, instr: &Instr, st: &AbsState, input: &Input) -> F
 
 /// In-range CFG successors of the instruction (out-of-range edges are
 /// reported by the scan, not followed).
-fn successors(pc: u32, flow: &Flow, len: u32) -> Vec<u32> {
+pub(crate) fn successors(pc: u32, flow: &Flow, len: u32) -> Vec<u32> {
     let mut out = Vec::new();
     let mut push = |t: i64| {
         if (0..len as i64).contains(&t) {
@@ -1118,9 +1118,10 @@ pub(crate) fn must_reach(
 
 /// Run the full forward-analysis pipeline: contexts, scans, must-reach,
 /// severity assignment, plus the unreachable-code sweep. Returns
-/// diagnostics without source info (the caller attaches line/span) and
-/// the per-pc reachability vector for the later passes.
-pub(crate) fn run(input: &Input) -> (Vec<Diagnostic>, Vec<bool>) {
+/// diagnostics without source info (the caller attaches line/span), the
+/// per-pc reachability vector, and the converged per-context states for
+/// the later passes (the inter-thread race pass reuses them).
+pub(crate) fn run(input: &Input) -> (Vec<Diagnostic>, Vec<bool>, Vec<ContextStates>) {
     let mut diags: Vec<Diagnostic> = Vec::new();
     if input.len() as usize > input.cfg.imem_words {
         diags.push(Diagnostic::new(
@@ -1133,7 +1134,7 @@ pub(crate) fn run(input: &Input) -> (Vec<Diagnostic>, Vec<bool>) {
                 input.cfg.imem_words
             ),
         ));
-        return (diags, vec![false; input.len() as usize]);
+        return (diags, vec![false; input.len() as usize], Vec::new());
     }
     let contexts = discover_contexts(input);
     let main = contexts.iter().find(|c| c.ctx.is_main).expect("boot context always analyzed");
@@ -1227,7 +1228,7 @@ pub(crate) fn run(input: &Input) -> (Vec<Diagnostic>, Vec<bool>) {
         ));
     }
 
-    (diags, reachable)
+    (diags, reachable, contexts)
 }
 
 /// Successors on the *unfolded* CFG — no constant propagation, both arms

@@ -49,7 +49,9 @@ mod deadstore;
 mod diag;
 mod flow;
 mod json;
+mod mhp;
 mod notes;
+mod races;
 mod render;
 
 pub use diag::{explain, CodeInfo, Diagnostic, Severity, CODES};
@@ -137,9 +139,10 @@ fn analyze_imem(
     labels: Vec<u32>,
 ) -> LintReport {
     let input = flow::Input::new(imem, cfg, labels);
-    let (mut diags, reachable) = flow::run(&input);
+    let (mut diags, reachable, contexts) = flow::run(&input);
     let oversized = diags.iter().any(|d| d.code == "E0004");
     if !oversized {
+        diags.extend(races::run(&input, &contexts));
         diags.extend(deadstore::run(&input, &reachable));
         diags.extend(notes::hazards(&input));
         diags.extend(notes::fusion_cuts(&input));

@@ -1,0 +1,191 @@
+//! May-happen-in-parallel analysis over the per-context CFGs.
+//!
+//! Thread regions are delimited by the constant-folded `tspawn`/`tjoin`
+//! edges of the boot thread: a spawn at pc `S` opens a concurrency window
+//! that every later boot-thread pc belongs to until a `tjoin` through the
+//! handle of `S` closes it on that path. The window computation is a
+//! forward *may* fixpoint (union over paths): a child counts as live at a
+//! pc unless **every** path into that pc joined it, which is exactly the
+//! happens-before order the machine guarantees (`tjoin` is the only
+//! inter-thread edge that orders memory accesses; `tput`/`tget` are
+//! serialized at issue but impose no ordering on anything else).
+//!
+//! Spawns whose target register does not constant-fold (worker entry
+//! stubs reached through an incremented function-pointer register, as in
+//! the batch kernel) put the analysis in *conservative* mode: every
+//! context is assumed concurrent with every other, and nothing is ever
+//! provable (`definite_spawns` stays empty), so such programs can earn
+//! warnings but never `E6001`. The same closure applies when a spawned
+//! context itself spawns (nested fork), where the boot thread's window
+//! analysis no longer covers all edges.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use asc_isa::Instr;
+
+use crate::flow::{flow_of, successors, ContextStates, Flow, Input, SVal};
+
+/// Result of the may-happen-in-parallel analysis.
+pub(crate) struct Mhp {
+    /// For each boot-thread pc: spawn sites whose child may still be
+    /// running when the boot thread is *about to execute* that pc.
+    pub live_at: BTreeMap<u32, BTreeSet<u32>>,
+    /// Constant-folded spawn sites of the boot thread: spawn pc → child
+    /// entry pc.
+    pub children: BTreeMap<u32, u32>,
+    /// Spawn sites that may be re-executed while their own child is
+    /// still live (a spawn in a loop): two instances of the same child
+    /// code may run in parallel with each other.
+    pub self_parallel: BTreeSet<u32>,
+    /// Spawn sites on the boot thread's straight-line prefix that are
+    /// guaranteed a free context slot: these spawns definitely happen.
+    pub definite_spawns: BTreeSet<u32>,
+    /// An indirect (unfoldable) or nested spawn was seen: assume every
+    /// context pair concurrent, prove nothing.
+    pub conservative: bool,
+}
+
+impl Mhp {
+    /// May the child spawned at `spawn_pc` run while the boot thread is
+    /// at `pc`?
+    pub fn live(&self, spawn_pc: u32, pc: u32) -> bool {
+        self.conservative || self.live_at.get(&pc).is_some_and(|s| s.contains(&spawn_pc))
+    }
+
+    /// May the children of two distinct spawn sites overlap in time?
+    /// (Both live at some common boot-thread pc.)
+    pub fn overlap(&self, a: u32, b: u32) -> bool {
+        self.conservative
+            || self.live_at.values().any(|live| live.contains(&a) && live.contains(&b))
+    }
+}
+
+/// The straight-line prefix of a context: every pc the context executes
+/// before the first control-flow uncertainty (unknown branch, indirect
+/// jump, undecodable word). Unlike `flow::must_reach` this walk does not
+/// stop at `tspawn` — it answers "does this instruction execute in every
+/// schedule (barring an earlier fault)", which is what proving a race
+/// divergent needs, not "does it execute before anything else can halt
+/// the machine".
+pub(crate) fn must_prefix(cs: &ContextStates, input: &Input) -> BTreeSet<u32> {
+    let mut seen = BTreeSet::new();
+    let mut pc = cs.ctx.entry as i64;
+    let len = input.len() as i64;
+    loop {
+        if !(0..len).contains(&pc) || !seen.insert(pc as u32) {
+            break;
+        }
+        let pc32 = pc as u32;
+        let Some(st) = cs.states.get(&pc32) else { break };
+        let Ok(instr) = &input.imem[pc as usize] else { break };
+        match flow_of(pc32, instr, st, input) {
+            Flow::Stop | Flow::Indirect(_) => break,
+            Flow::Fall => pc += 1,
+            Flow::Jump(t) => pc = t,
+            Flow::Branch { taken, known } => match known {
+                Some(true) => pc = taken,
+                Some(false) => pc += 1,
+                None => break,
+            },
+        }
+    }
+    seen
+}
+
+/// Run the analysis. `main` is the boot context's converged fixpoint;
+/// `contexts` every discovered context (used only to detect nested
+/// spawns).
+pub(crate) fn analyze(main: &ContextStates, contexts: &[ContextStates], input: &Input) -> Mhp {
+    let mut children = BTreeMap::new();
+    let mut conservative = false;
+    for cs in contexts {
+        for (&pc, st) in &cs.states {
+            let Ok(Instr::TSpawn { ra, .. }) = &input.imem[pc as usize] else { continue };
+            match st.sget(*ra) {
+                SVal::Const(c) if cs.ctx.is_main && c.to_u32() < input.len() => {
+                    children.insert(pc, c.to_u32());
+                }
+                // a spawn from a *spawned* context, or a target the
+                // constant propagation cannot fold: conservative closure
+                _ => conservative = true,
+            }
+        }
+    }
+
+    // Forward may-live fixpoint over the boot thread's CFG.
+    let mut live_at: BTreeMap<u32, BTreeSet<u32>> = BTreeMap::new();
+    let mut work = Vec::new();
+    if main.states.contains_key(&main.ctx.entry) {
+        live_at.insert(main.ctx.entry, BTreeSet::new());
+        work.push(main.ctx.entry);
+    }
+    // Finite lattice (sets of spawn pcs, ordered by inclusion), so this
+    // converges; cap the work anyway, falling back to the conservative
+    // closure if the cap is ever hit.
+    let mut budget = (input.len() as usize + 1) * 64;
+    while let Some(pc) = work.pop() {
+        if budget == 0 {
+            conservative = true;
+            break;
+        }
+        budget -= 1;
+        let Some(st) = main.states.get(&pc) else { continue };
+        let Ok(instr) = &input.imem[pc as usize] else { continue };
+        let mut out = live_at[&pc].clone();
+        match instr {
+            Instr::TSpawn { .. } if children.contains_key(&pc) => {
+                out.insert(pc);
+            }
+            // A join through a folded handle closes that spawn's window
+            // on this path. Joins through reloaded (escaped) handles
+            // don't fold, so the window conservatively stays open.
+            Instr::TJoin { ra } => {
+                if let SVal::Handle { spawn_pc, .. } = st.sget(*ra) {
+                    out.remove(&spawn_pc);
+                }
+            }
+            _ => {}
+        }
+        let flow = flow_of(pc, instr, st, input);
+        for succ in successors(pc, &flow, input.len()) {
+            match live_at.get_mut(&succ) {
+                Some(existing) => {
+                    let before = existing.len();
+                    existing.extend(out.iter().copied());
+                    if existing.len() != before {
+                        work.push(succ);
+                    }
+                }
+                None => {
+                    live_at.insert(succ, out.clone());
+                    work.push(succ);
+                }
+            }
+        }
+    }
+
+    let self_parallel: BTreeSet<u32> = children
+        .keys()
+        .filter(|&&s| live_at.get(&s).is_some_and(|live| live.contains(&s)))
+        .copied()
+        .collect();
+
+    // A spawn definitely happens when it sits on the boot thread's
+    // straight-line prefix *and* a context slot is guaranteed free (at
+    // most threads-1 children can be live when it executes).
+    let definite_spawns: BTreeSet<u32> = if conservative {
+        BTreeSet::new()
+    } else {
+        let prefix = must_prefix(main, input);
+        children
+            .keys()
+            .filter(|&&s| {
+                prefix.contains(&s)
+                    && live_at.get(&s).is_none_or(|live| live.len() + 1 < input.cfg.threads)
+            })
+            .copied()
+            .collect()
+    };
+
+    Mhp { live_at, children, self_parallel, definite_spawns, conservative }
+}

@@ -1,0 +1,413 @@
+//! Shared-state race detection on top of the MHP analysis (family 6).
+//!
+//! Conflicts are reported only when both effective addresses
+//! constant-fold (the same address intervals the bounds pass uses), so
+//! the pass stays quiet on address arithmetic it cannot see — missing a
+//! race is a false negative the schedule-exploration harness can still
+//! catch, while a spurious race warning on the kernel corpus would trip
+//! the `--deny warnings` gate.
+//!
+//! Severity follows the family-6 contract (docs/static-analysis.md):
+//! `E6001` means *provably schedule-divergent* — two definitely-executed
+//! writes of different known values to the same scalar word from
+//! definitely-concurrent threads — and is enforced by execution in
+//! `tests/race_differential.rs` (every `E6001` fixture must produce
+//! divergent architectural state across perturbed schedules). Everything
+//! weaker is a warning.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use asc_isa::{Instr, SReg};
+
+use crate::diag::{Diagnostic, Severity};
+use crate::flow::{ContextStates, Input, PVal, SVal};
+use crate::mhp;
+
+/// One memory access with a constant-folded effective address.
+struct Site {
+    pc: u32,
+    write: bool,
+    /// Folded effective address (word index).
+    addr: i64,
+    /// Folded stored value, for writes whose operand folds.
+    value: Option<u32>,
+    text: String,
+}
+
+/// Scalar-register transfer site (`tget`/`tput`) in the boot thread.
+struct Transfer {
+    pc: u32,
+    /// The spawn site of the handle being addressed.
+    spawn_pc: u32,
+    /// The remote register read (`tget src`) or written (`tput dst`).
+    reg: SReg,
+    /// True for `tput` (parent writes the remote register).
+    put: bool,
+    text: String,
+}
+
+/// Per-context facts the conflict enumeration works from.
+struct CtxFacts {
+    smem: Vec<Site>,
+    lmem: Vec<Site>,
+    /// Scalar registers the context may write anywhere in its code
+    /// (bitmask; used by the transfer-protocol check).
+    defs: u16,
+    /// Straight-line prefix of the context.
+    prefix: BTreeSet<u32>,
+}
+
+fn scalar_def(instr: &Instr) -> Option<SReg> {
+    match *instr {
+        Instr::SAlu { rd, .. }
+        | Instr::SAluImm { rd, .. }
+        | Instr::Li { rd, .. }
+        | Instr::Lui { rd, .. }
+        | Instr::Lw { rd, .. }
+        | Instr::Jal { rd, .. }
+        | Instr::TSpawn { rd, .. }
+        | Instr::TGet { rd, .. }
+        | Instr::TId { rd } => Some(rd),
+        Instr::Reduce { sd, .. } | Instr::RCount { sd, .. } | Instr::RGet { sd, .. } => Some(sd),
+        _ => None,
+    }
+}
+
+fn facts(cs: &ContextStates, input: &Input) -> CtxFacts {
+    let mut smem = Vec::new();
+    let mut lmem = Vec::new();
+    let mut defs = 0u16;
+    for (&pc, st) in &cs.states {
+        let Ok(instr) = &input.imem[pc as usize] else { continue };
+        if let Some(rd) = scalar_def(instr) {
+            if rd.index() != 0 {
+                defs |= 1 << rd.index();
+            }
+        }
+        let text = || asc_asm::disassemble(instr);
+        match *instr {
+            Instr::Lw { base, off, .. } => {
+                if let SVal::Const(b) = st.sget(base) {
+                    let addr = b.to_u32() as i64 + off as i64;
+                    smem.push(Site { pc, write: false, addr, value: None, text: text() });
+                }
+            }
+            Instr::Sw { rs, base, off } => {
+                if let SVal::Const(b) = st.sget(base) {
+                    let addr = b.to_u32() as i64 + off as i64;
+                    let value = match st.sget(rs) {
+                        SVal::Const(v) => Some(v.to_u32()),
+                        _ => None,
+                    };
+                    smem.push(Site { pc, write: true, addr, value, text: text() });
+                }
+            }
+            Instr::Plw { base, off, .. } => {
+                if let PVal::Uniform(b) = st.pget(base) {
+                    let addr = b.to_u32() as i64 + off as i64;
+                    lmem.push(Site { pc, write: false, addr, value: None, text: text() });
+                }
+            }
+            Instr::Psw { ps, base, off, .. } => {
+                if let PVal::Uniform(b) = st.pget(base) {
+                    let addr = b.to_u32() as i64 + off as i64;
+                    let value = match st.pget(ps) {
+                        PVal::Uniform(v) => Some(v.to_u32()),
+                        _ => None,
+                    };
+                    lmem.push(Site { pc, write: true, addr, value, text: text() });
+                }
+            }
+            _ => {}
+        }
+    }
+    CtxFacts { smem, lmem, defs, prefix: mhp::must_prefix(cs, input) }
+}
+
+/// Do two sites conflict? At least one write to the same word, and not
+/// the benign case of two writes that provably store the same value.
+fn conflicting(a: &Site, b: &Site) -> bool {
+    if a.addr != b.addr || (!a.write && !b.write) {
+        return false;
+    }
+    !(a.write && b.write && a.value.is_some() && a.value == b.value)
+}
+
+/// Run the race passes. Returns nothing on spawn-free programs.
+pub(crate) fn run(input: &Input, contexts: &[ContextStates]) -> Vec<Diagnostic> {
+    if !input.has_spawn {
+        return Vec::new();
+    }
+    let Some(main) = contexts.iter().find(|c| c.ctx.is_main) else { return Vec::new() };
+    let m = mhp::analyze(main, contexts, input);
+    if m.children.is_empty() && !m.conservative {
+        return Vec::new();
+    }
+
+    let main_facts = facts(main, input);
+    // One fact set per distinct child entry, plus its spawn sites.
+    let mut child_facts: BTreeMap<u32, (CtxFacts, Vec<u32>)> = BTreeMap::new();
+    for cs in contexts.iter().filter(|c| !c.ctx.is_main) {
+        let spawners = m.children.iter().filter(|&(_, &e)| e == cs.ctx.entry).map(|(&s, _)| s);
+        child_facts.insert(cs.ctx.entry, (facts(cs, input), spawners.collect()));
+    }
+
+    let mut out = Vec::new();
+    let mut emitted: BTreeSet<(&'static str, u32)> = BTreeSet::new();
+    let mut emit = |out: &mut Vec<Diagnostic>,
+                    severity: Severity,
+                    code: &'static str,
+                    pc: u32,
+                    message: String,
+                    notes: Vec<String>| {
+        if emitted.insert((code, pc)) {
+            let mut d = Diagnostic::new(severity, code, pc, message);
+            d.notes = notes;
+            out.push(d);
+        }
+    };
+
+    // ---- scalar-memory and PE-local-memory conflicts -----------------------
+    // boot thread vs. each child
+    for (entry, (child, spawners)) in &child_facts {
+        let window = |pc: u32| m.conservative || spawners.iter().any(|&s| m.live(s, pc));
+        let definite_spawner =
+            |pc: u32| spawners.iter().any(|&s| m.definite_spawns.contains(&s) && m.live(s, pc));
+        for a in &main_facts.smem {
+            for b in &child.smem {
+                if !conflicting(a, b) || !window(a.pc) {
+                    continue;
+                }
+                let proven = !m.conservative
+                    && a.write
+                    && b.write
+                    && a.value.is_some()
+                    && b.value.is_some()
+                    && main_facts.prefix.contains(&a.pc)
+                    && child.prefix.contains(&b.pc)
+                    && definite_spawner(a.pc);
+                let (sev, code) =
+                    if proven { (Severity::Error, "E6001") } else { (Severity::Warning, "W6002") };
+                let what = if a.write && b.write { "is also written" } else { "is accessed" };
+                emit(
+                    &mut out,
+                    sev,
+                    code,
+                    a.pc,
+                    format!(
+                        "`{}` races on scalar memory word {}: the word {} by `{}` (pc {}) in \
+                         the thread spawned at entry pc {}, with no join ordering the two",
+                        a.text, a.addr, what, b.text, b.pc, entry
+                    ),
+                    vec![if proven {
+                        "both writes definitely execute with different known values, so the \
+                         final word is decided by the schedule alone (verify with `mtasc lint \
+                         --schedules N`)"
+                            .to_string()
+                    } else {
+                        "the access order depends on the schedule; join the thread (or prove \
+                         the addresses disjoint) before touching the word"
+                            .to_string()
+                    }],
+                );
+            }
+        }
+        for a in &main_facts.lmem {
+            for b in &child.lmem {
+                if conflicting(a, b) && window(a.pc) {
+                    emit(
+                        &mut out,
+                        Severity::Warning,
+                        "W6003",
+                        a.pc,
+                        format!(
+                            "`{}` races on PE-local memory word {}: local memory is shared by \
+                             all thread contexts on a PE, and `{}` (pc {}) in the thread \
+                             spawned at entry pc {} touches the same word",
+                            a.text, a.addr, b.text, b.pc, entry
+                        ),
+                        vec!["per-PE local memory has one plane per PE, not per thread; \
+                              partition the address space per context or join first"
+                            .to_string()],
+                    );
+                }
+            }
+        }
+    }
+
+    // child vs. child (distinct entries, same entry spawned twice, or a
+    // spawn looping while its child is live)
+    let entries: Vec<u32> = child_facts.keys().copied().collect();
+    for (i, &e1) in entries.iter().enumerate() {
+        for &e2 in &entries[i..] {
+            let (c1, s1) = &child_facts[&e1];
+            let (c2, s2) = &child_facts[&e2];
+            let same = e1 == e2;
+            // Two instances of the same entry require either two spawn
+            // sites or a self-parallel (looping) spawn. Conservative
+            // mode assumes distinct entries overlap but not that any
+            // entry overlaps itself — self-overlap needs a loop the
+            // window analysis must actually see.
+            let pair_live = if same {
+                s1.len() > 1 || s1.iter().any(|s| m.self_parallel.contains(s))
+            } else {
+                s1.iter().any(|&a| s2.iter().any(|&b| m.overlap(a, b)))
+            };
+            if !pair_live {
+                continue;
+            }
+            let both_definite = |pc_a: u32, pc_b: u32| {
+                !same
+                    && !m.conservative
+                    && c1.prefix.contains(&pc_a)
+                    && c2.prefix.contains(&pc_b)
+                    && s1.iter().any(|s| m.definite_spawns.contains(s))
+                    && s2.iter().any(|s| m.definite_spawns.contains(s))
+            };
+            for a in &c1.smem {
+                for b in &c2.smem {
+                    if !conflicting(a, b) {
+                        continue;
+                    }
+                    let proven = a.write
+                        && b.write
+                        && a.value.is_some()
+                        && b.value.is_some()
+                        && a.value != b.value
+                        && both_definite(a.pc, b.pc);
+                    let (sev, code) = if proven {
+                        (Severity::Error, "E6001")
+                    } else {
+                        (Severity::Warning, "W6002")
+                    };
+                    let other = if same {
+                        format!("another instance of the same spawned code (entry pc {e1})")
+                    } else {
+                        format!("the thread spawned at entry pc {e2}")
+                    };
+                    emit(
+                        &mut out,
+                        sev,
+                        code,
+                        a.pc.min(b.pc),
+                        format!(
+                            "`{}` races on scalar memory word {}: `{}` (pc {}) in {} touches \
+                             the same word while both threads may run in parallel",
+                            a.text, a.addr, b.text, b.pc, other
+                        ),
+                        Vec::new(),
+                    );
+                }
+            }
+            for a in &c1.lmem {
+                for b in &c2.lmem {
+                    if !conflicting(a, b) {
+                        continue;
+                    }
+                    emit(
+                        &mut out,
+                        Severity::Warning,
+                        "W6003",
+                        a.pc.min(b.pc),
+                        format!(
+                            "`{}` races on PE-local memory word {}: local memory is shared by \
+                             all thread contexts on a PE, and `{}` (pc {}) in the thread \
+                             spawned at entry pc {} touches the same word",
+                            a.text, a.addr, b.text, b.pc, e2
+                        ),
+                        Vec::new(),
+                    );
+                }
+            }
+        }
+    }
+
+    // ---- unsynchronized register transfers (W6004) -------------------------
+    let mut transfers = Vec::new();
+    for (&pc, st) in &main.states {
+        let Ok(instr) = &input.imem[pc as usize] else { continue };
+        let (ta, reg, put) = match *instr {
+            Instr::TGet { ta, src, .. } => (ta, src, false),
+            Instr::TPut { ta, dst, .. } => (ta, dst, true),
+            _ => continue,
+        };
+        if let SVal::Handle { spawn_pc, released: false, .. } = st.sget(ta) {
+            transfers.push(Transfer { pc, spawn_pc, reg, put, text: asc_asm::disassemble(instr) });
+        }
+    }
+    for t in &transfers {
+        let Some(&entry) = m.children.get(&t.spawn_pc) else { continue };
+        let Some((child, _)) = child_facts.get(&entry) else { continue };
+        if t.reg.index() == 0 || child.defs & (1 << t.reg.index()) == 0 {
+            continue; // the sanctioned argument-passing idiom: child only reads
+        }
+        if !m.live(t.spawn_pc, t.pc) {
+            continue;
+        }
+        let (verb, how) = if t.put {
+            (
+                "writes",
+                "also writes it, so the transfer and the thread's own write land in \
+              schedule order",
+            )
+        } else {
+            ("reads", "still writes it, so the value read depends on the schedule")
+        };
+        emit(
+            &mut out,
+            Severity::Warning,
+            "W6004",
+            t.pc,
+            format!(
+                "`{}` {} register s{} of the running thread spawned at pc {}, but that \
+                 thread {}",
+                t.text,
+                verb,
+                t.reg.index(),
+                t.spawn_pc,
+                how
+            ),
+            vec!["inter-thread register transfers are serialized at issue but not ordered \
+                  against the target's own instructions; synchronize with `tjoin` or flags \
+                  first"
+                .to_string()],
+        );
+    }
+
+    // ---- raw thread ids under live spawns (W6005) --------------------------
+    for (&pc, st) in &main.states {
+        let Ok(instr) = &input.imem[pc as usize] else { continue };
+        let ta = match *instr {
+            Instr::TJoin { ra } => ra,
+            Instr::TGet { ta, .. } | Instr::TPut { ta, .. } => ta,
+            _ => continue,
+        };
+        let SVal::Const(c) = st.sget(ta) else { continue };
+        let tid = c.to_u32();
+        if tid as usize >= input.cfg.threads {
+            continue; // out of range: that's E3002/W3002's finding
+        }
+        let live = m.conservative || m.live_at.get(&pc).is_some_and(|l| !l.is_empty());
+        if !live {
+            continue; // no spawn can be live: W3004 covers the no-spawn case
+        }
+        emit(
+            &mut out,
+            Severity::Warning,
+            "W6005",
+            pc,
+            format!(
+                "`{}` addresses thread context {} by raw id while spawned threads may still \
+                 be running",
+                asc_asm::disassemble(instr),
+                tid
+            ),
+            vec!["context ids are allocation-order-dependent: a fast worker may exit and its \
+                  id be reused by a later spawn under another schedule; use the handle \
+                  returned by tspawn"
+                .to_string()],
+        );
+    }
+
+    out
+}

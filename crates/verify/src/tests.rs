@@ -390,3 +390,224 @@ fn every_emittable_code_is_in_the_catalog() {
         }
     }
 }
+
+// ------------------------------------------------ family 6: inter-thread
+
+#[test]
+fn definite_write_write_race_is_an_error() {
+    // Both writes are on straight-line prefixes with different folded
+    // values, the spawn definitely happens, and no join intervenes.
+    let p = asm("        li      s1, child
+                         tspawn  s2, s1
+                         li      s3, 1
+                         sw      s3, 100(s0)
+                         tjoin   s2
+                         halt
+        child:           li      s3, 2
+                         sw      s3, 100(s0)
+                         texit
+        ");
+    let r = analyze(&p, &MachineConfig::prototype());
+    assert!(has(&r, "E6001"), "{}", r.render(None, "t"));
+    assert!(!has(&r, "W6002"));
+}
+
+#[test]
+fn read_write_conflict_is_a_warning() {
+    let p = asm("        li      s1, child
+                         tspawn  s2, s1
+                         lw      s4, 100(s0)
+                         tjoin   s2
+                         halt
+        child:           li      s3, 2
+                         sw      s3, 100(s0)
+                         texit
+        ");
+    let r = analyze(&p, &MachineConfig::prototype());
+    assert!(has(&r, "W6002"), "{}", r.render(None, "t"));
+    assert!(!has(&r, "E6001"));
+}
+
+#[test]
+fn writes_of_the_same_folded_value_are_benign() {
+    let p = asm("        li      s1, child
+                         tspawn  s2, s1
+                         li      s3, 7
+                         sw      s3, 100(s0)
+                         tjoin   s2
+                         halt
+        child:           li      s3, 7
+                         sw      s3, 100(s0)
+                         texit
+        ");
+    let r = analyze(&p, &MachineConfig::prototype());
+    assert!(!has(&r, "E6001"), "{}", r.render(None, "t"));
+    assert!(!has(&r, "W6002"));
+}
+
+#[test]
+fn access_after_join_is_ordered_and_quiet() {
+    let p = asm("        li      s1, child
+                         tspawn  s2, s1
+                         tjoin   s2
+                         li      s3, 1
+                         sw      s3, 100(s0)
+                         halt
+        child:           li      s3, 2
+                         sw      s3, 100(s0)
+                         texit
+        ");
+    let r = analyze(&p, &MachineConfig::prototype());
+    assert!(!has(&r, "E6001"), "{}", r.render(None, "t"));
+    assert!(!has(&r, "W6002"));
+}
+
+#[test]
+fn disjoint_addresses_are_quiet() {
+    let p = asm("        li      s1, child
+                         tspawn  s2, s1
+                         li      s3, 1
+                         sw      s3, 100(s0)
+                         tjoin   s2
+                         halt
+        child:           li      s3, 2
+                         sw      s3, 101(s0)
+                         texit
+        ");
+    let r = analyze(&p, &MachineConfig::prototype());
+    assert!(!has(&r, "E6001"), "{}", r.render(None, "t"));
+    assert!(!has(&r, "W6002"));
+}
+
+#[test]
+fn local_memory_race_between_contexts_warns() {
+    let p = asm("        li      s1, child
+                         li      s4, 5
+                         pmovs   p1, s4
+                         tspawn  s2, s1
+                         psw     p1, 0(p0)
+                         tjoin   s2
+                         halt
+        child:           li      s5, 9
+                         pmovs   p2, s5
+                         psw     p2, 0(p0)
+                         texit
+        ");
+    let r = analyze(&p, &MachineConfig::prototype());
+    assert!(has(&r, "W6003"), "{}", r.render(None, "t"));
+}
+
+#[test]
+fn sibling_threads_racing_each_other_warn() {
+    let p = asm("        li      s1, left
+                         tspawn  s2, s1
+                         li      s1, right
+                         tspawn  s3, s1
+                         tjoin   s2
+                         tjoin   s3
+                         lw      s4, 50(s0)
+                         halt
+        left:            li      s5, 1
+                         sw      s5, 50(s0)
+                         texit
+        right:           li      s5, 2
+                         sw      s5, 50(s0)
+                         texit
+        ");
+    let r = analyze(&p, &MachineConfig::prototype());
+    assert!(has(&r, "E6001"), "{}", r.render(None, "t"));
+    // The parent's own lw sits after both joins: no main-vs-child finding.
+    let e: Vec<_> = r.diagnostics.iter().filter(|d| d.code == "E6001").collect();
+    assert_eq!(e.len(), 1, "{}", r.render(None, "t"));
+}
+
+#[test]
+fn transfer_to_running_thread_that_writes_the_register_warns() {
+    let p = asm("        li      s1, child
+                         tspawn  s2, s1
+                         tget    s3, s2, s4
+                         tjoin   s2
+                         halt
+        child:           li      s4, 9
+                         texit
+        ");
+    let r = analyze(&p, &MachineConfig::prototype());
+    assert!(has(&r, "W6004"), "{}", r.render(None, "t"));
+}
+
+#[test]
+fn argument_passing_idiom_stays_quiet_in_family_6() {
+    // tput into a register the child only reads: the sanctioned idiom.
+    let p = asm("        li      s2, child
+                         tspawn  s3, s2
+                         li      s4, 42
+                         tput    s3, s1, s4
+                         tjoin   s3
+                         halt
+        child:           add     s5, s1, s1
+                         texit
+        ");
+    let r = analyze(&p, &MachineConfig::prototype());
+    assert!(!has(&r, "W6004"), "{}", r.render(None, "t"));
+    assert!(!has(&r, "W6005"));
+}
+
+#[test]
+fn raw_thread_id_under_live_spawn_warns() {
+    let p = asm("        li      s1, child
+                         tspawn  s2, s1
+                         li      s3, 1
+                         tjoin   s3
+                         halt
+        child:           texit
+        ");
+    let r = analyze(&p, &MachineConfig::prototype());
+    assert!(has(&r, "W6005"), "{}", r.render(None, "t"));
+}
+
+#[test]
+fn spawn_free_programs_have_no_family_6_findings() {
+    let p = asm("        li s1, 1\n        sw s1, 0(s0)\n        lw s2, 0(s0)\n        halt\n");
+    let r = analyze(&p, &MachineConfig::prototype());
+    assert!(!codes(&r).iter().any(|c| c.starts_with("E6") || c.starts_with("W6")));
+}
+
+#[test]
+fn kernel_corpus_is_race_clean() {
+    // The shipped kernels must stay quiet under the race passes: the CI
+    // lint gate runs with --deny warnings over the corpus.
+    for (name, asm_src) in asc_kernels::harness::corpus() {
+        let p = asm(&asm_src);
+        let r = analyze(&p, &MachineConfig::prototype());
+        let fam6: Vec<_> = r
+            .diagnostics
+            .iter()
+            .filter(|d| d.code.starts_with("E6") || d.code.starts_with("W6"))
+            .collect();
+        assert!(fam6.is_empty(), "{name}: {}", r.render(None, &name));
+    }
+}
+
+#[test]
+fn docs_catalog_table_matches_the_code_catalog() {
+    // docs/static-analysis.md documents every code in a `| `X0000` |`
+    // table row; the sets must stay in sync in both directions so
+    // `--explain` and the docs never disagree.
+    let docs =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../docs/static-analysis.md");
+    let text = std::fs::read_to_string(&docs).unwrap_or_else(|e| panic!("{docs:?}: {e}"));
+    let mut documented = std::collections::BTreeSet::new();
+    for line in text.lines() {
+        let Some(rest) = line.strip_prefix("| `") else { continue };
+        let Some((code, _)) = rest.split_once('`') else { continue };
+        if code.len() == 4 + 1 && code[1..].chars().all(|c| c.is_ascii_digit()) {
+            documented.insert(code.to_string());
+        }
+    }
+    let catalog: std::collections::BTreeSet<String> =
+        crate::CODES.iter().map(|i| i.code.to_string()).collect();
+    assert_eq!(
+        documented, catalog,
+        "docs table and CODES catalog diverged (left = docs, right = catalog)"
+    );
+}
