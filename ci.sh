@@ -16,6 +16,18 @@ cargo build --release --workspace
 echo "==> cargo doc (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
+echo "==> dependency policy (zero external crates)"
+# Every resolved dependency must live in this tree (path deps only):
+# the workspace builds with no crates.io access, and `mtasc serve` in
+# particular is hand-rolled on std. Any line without an in-tree path
+# is a smuggled external crate.
+EXTERNAL="$(cargo tree --workspace -e normal --prefix none | grep -v '^$' | grep -v ' (/' || true)"
+if [ -n "$EXTERNAL" ]; then
+    echo "non-path dependencies detected:"
+    echo "$EXTERNAL"
+    exit 1
+fi
+
 echo "==> mtasc lint (deny warnings: examples + kernel corpus)"
 # The committed corpus must stay lint-clean; see docs/static-analysis.md.
 for prog in examples/programs/*; do
@@ -151,6 +163,60 @@ test "$DIFF_EXIT" -eq 1
 "$MTASC" runs gc --keep 1 --runs-dir "$RUNS_DIR" | grep -q "pruned 1"
 "$MTASC" runs list --runs-dir "$RUNS_DIR" | grep -q "$SLOW_ID"
 ! "$MTASC" runs list --runs-dir "$RUNS_DIR" | grep -q "$FAST_ID"
+
+echo "==> mtasc serve (HTTP observability daemon end to end)"
+SERVE_RUNS="$SMOKE_DIR/serve-runs"
+# two recorded runs: the first with a tight heartbeat cadence (so the SSE
+# replay below yields several events), the second with forwarding off (so
+# the diff endpoint has a real regression to report)
+"$MTASC" run "$SMOKE_DIR/smoke.asc" --runs-dir "$SERVE_RUNS" --progress-every 2 \
+    > /dev/null 2> /dev/null
+"$MTASC" run "$SMOKE_DIR/smoke.asc" --no-forwarding --runs-dir "$SERVE_RUNS" > /dev/null
+BASE_ID="$("$MTASC" runs list --runs-dir "$SERVE_RUNS" --limit 1 --offset 1 \
+    | sed -n '2p' | cut -d' ' -f1)"
+NOFWD_ID="$("$MTASC" runs list --runs-dir "$SERVE_RUNS" --limit 1 \
+    | sed -n '2p' | cut -d' ' -f1)"
+"$MTASC" serve --addr 127.0.0.1:0 --runs-dir "$SERVE_RUNS" > "$SMOKE_DIR/serve.log" &
+SERVE_PID=$!
+for _ in $(seq 1 50); do
+    if grep -q "listening on" "$SMOKE_DIR/serve.log" 2>/dev/null; then break; fi
+    sleep 0.1
+done
+PORT="$(sed -n 's|.*http://127\.0\.0\.1:\([0-9]*\).*|\1|p' "$SMOKE_DIR/serve.log")"
+test -n "$PORT"
+# tiny std-only HTTP client on bash's /dev/tcp: prints the decoded body
+http_get() {
+    exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+    printf 'GET %s HTTP/1.1\r\nHost: ci\r\nConnection: close\r\n\r\n' "$1" >&3
+    tr -d '\r' <&3 | sed '1,/^$/d'
+    exec 3<&- 3>&-
+}
+# listing parity: the API document is byte-for-byte `runs list --json`,
+# and it satisfies `stats validate` as a run listing
+http_get /api/v1/runs > "$SMOKE_DIR/api_runs.json"
+"$MTASC" runs list --json --runs-dir "$SERVE_RUNS" | diff - "$SMOKE_DIR/api_runs.json"
+"$MTASC" stats validate "$SMOKE_DIR/api_runs.json" | grep -q "mtasc.run_meta.v1 list"
+http_get /healthz | grep -q '"status":"ok"'
+http_get "/api/v1/runs/$BASE_ID" | grep -q "\"id\": \"$BASE_ID\""
+http_get "/api/v1/runs/$BASE_ID/report" | grep -q '"schema": "mtasc.run_report.v1"'
+# the forwarding-off run regresses against the baseline, and the diff
+# endpoint says so in mtasc.stats_diff.v1 terms
+http_get "/api/v1/runs/$BASE_ID/diff/$NOFWD_ID?fail-on-regress=0" > "$SMOKE_DIR/diff.json"
+grep -q '"schema": "mtasc.stats_diff.v1"' "$SMOKE_DIR/diff.json"
+grep -q '"regressed": true' "$SMOKE_DIR/diff.json"
+# SSE replay of the recorded heartbeats: >=2 progress events, clean end
+http_get "/api/v1/runs/$BASE_ID/progress" > "$SMOKE_DIR/sse.log"
+test "$(grep -c '^event: progress' "$SMOKE_DIR/sse.log")" -ge 2
+grep -q '^event: end' "$SMOKE_DIR/sse.log"
+# prometheus: registry totals plus the server's own request metrics
+http_get /metrics > "$SMOKE_DIR/metrics.txt"
+grep -q 'mtasc_runs_total{status="ok"} 2' "$SMOKE_DIR/metrics.txt"
+grep -q 'mtasc_http_requests_total{route="/api/v1/runs",status="200"}' "$SMOKE_DIR/metrics.txt"
+grep -q 'mtasc_http_request_duration_ms_count' "$SMOKE_DIR/metrics.txt"
+# clean SIGTERM shutdown: exit 0 and the stopped line on stdout
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+grep -q "mtasc serve stopped" "$SMOKE_DIR/serve.log"
 
 echo "==> cargo test"
 cargo test --workspace -q

@@ -24,16 +24,17 @@ use asc_core::obs::{
     chrome_trace, chrome_trace_text, diff_registries, parse_json_lines, render_diff, Json,
     JsonLinesProgress, JsonLinesSink, MemorySink, Profile, ProgressHandle, ProgressSample,
     ProgressSampler, ProgressSink, Registry, RegressionCheck, RunReport, SinkHandle,
-    PROFILE_SCHEMA, PROGRESS_SCHEMA, REPORT_SCHEMA,
+    PROFILE_SCHEMA, PROGRESS_SCHEMA, REPORT_SCHEMA, STATS_DIFF_SCHEMA,
 };
 use asc_core::pipeline::{control_unit_organization, hazard_diagram, pipeline_organization};
 use asc_core::{Machine, MachineConfig};
 use asc_fpga::{ClockModel, Device, FpgaConfig, ResourceReport};
 use asc_isa::Width;
 use asc_obs_store::{
-    config_fingerprint, list_to_json, program_hash, render_list, Resolve, RunHandle, RunMeta,
-    RunStatus, RunStore, HEARTBEAT_FILE, META_FILE, RUN_META_SCHEMA,
+    config_fingerprint, filter_list, list_to_json, program_hash, render_list, HeartbeatTail,
+    Resolve, RunHandle, RunMeta, RunStatus, RunStore, HEARTBEAT_FILE, META_FILE, RUN_META_SCHEMA,
 };
+use asc_serve::{install_signal_shutdown, ServeOpts, Server, HTTP_SCHEMA};
 
 /// Errors surfaced to the user with exit code 1/2.
 #[derive(Debug)]
@@ -250,21 +251,33 @@ USAGE:
                                         (or failure) / 2 usage error
   mtasc stats validate <files...>       check saved JSON artifacts against
                                         their declared schemas
-  mtasc runs list [--status S] [--limit N] [--offset N] [--json]
-                                        recorded runs, newest first
+  mtasc runs list [--status S] [--program P] [--limit N] [--offset N]
+                  [--json]              recorded runs, newest first
+                                        (--program filters by program
+                                        hash: a source path, a full
+                                        fnv1a64 hash, or a hex prefix)
   mtasc runs show <id> [--top N]        one run's manifest + recorded
                                         hot-spot table (ids may be unique
                                         prefixes)
   mtasc runs diff <a> <b> [--fail-on-regress PCT] [--all]
                                         stats diff over two recorded runs
                                         (registry ids or artifact paths)
-  mtasc runs watch <id> [--no-follow] [--poll-ms N]
+  mtasc runs watch <id> [--no-follow] [--interval-ms N]
                                         tail a run's live progress
-                                        heartbeats (mtasc.progress.v1)
+                                        heartbeats (mtasc.progress.v1);
+                                        --poll-ms is an alias
   mtasc runs gc --keep N                prune all but the newest N runs
   mtasc runs export --prometheus [--out F]
                                         registry metrics in Prometheus
                                         text exposition format
+  mtasc serve [--addr HOST:PORT] [--workers N]
+                                        HTTP observability daemon over the
+                                        run registry: run listing & diffs
+                                        (/api/v1/runs), SSE progress
+                                        streams, /metrics scrape, embedded
+                                        dashboard at /
+                                        (default addr 127.0.0.1:7878;
+                                        honours --runs-dir)
   mtasc info [options]                  machine geometry + FPGA resources
   mtasc --version                       tool version + emitted schemas
 
@@ -518,6 +531,7 @@ pub fn dispatch(mut args: Vec<String>) -> Result<String, CliError> {
             match sub.as_str() {
                 "list" => {
                     let mut status = None;
+                    let mut program = None;
                     let mut limit = None;
                     let mut offset = 0usize;
                     let mut json = false;
@@ -532,6 +546,12 @@ pub fn dispatch(mut args: Vec<String>) -> Result<String, CliError> {
                                         "--status must be running, ok or fault, got `{s}`"
                                     ))
                                 })?);
+                            }
+                            "--program" => {
+                                let operand = it.next().ok_or_else(|| {
+                                    CliError::Usage("--program needs a source path or hash".into())
+                                })?;
+                                program = Some(program_query(&operand)?);
                             }
                             "--limit" => {
                                 limit =
@@ -553,7 +573,7 @@ pub fn dispatch(mut args: Vec<String>) -> Result<String, CliError> {
                             }
                         }
                     }
-                    cmd_runs_list(&store()?, status, limit, offset, json)
+                    cmd_runs_list(&store()?, status, program.as_deref(), limit, offset, json)
                 }
                 "show" => {
                     let mut top = 10usize;
@@ -618,11 +638,11 @@ pub fn dispatch(mut args: Vec<String>) -> Result<String, CliError> {
                     while let Some(a) = it.next() {
                         match a.as_str() {
                             "--no-follow" => follow = false,
-                            "--poll-ms" => {
-                                poll_ms =
-                                    parse_num(&it.next().ok_or_else(|| {
-                                        CliError::Usage("--poll-ms needs N".into())
-                                    })?)? as u64
+                            "--interval-ms" | "--poll-ms" => {
+                                poll_ms = parse_num(
+                                    &it.next()
+                                        .ok_or_else(|| CliError::Usage(format!("{a} needs N")))?,
+                                )? as u64
                             }
                             other if !other.starts_with('-') && id.is_none() => id = Some(a),
                             other => {
@@ -686,6 +706,29 @@ pub fn dispatch(mut args: Vec<String>) -> Result<String, CliError> {
                 other => Err(CliError::Usage(format!("unknown runs subcommand `{other}`"))),
             }
         }
+        "serve" => {
+            let mut addr = "127.0.0.1:7878".to_string();
+            let mut workers = 4usize;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--addr" => {
+                        addr = it
+                            .next()
+                            .ok_or_else(|| CliError::Usage("--addr needs HOST:PORT".into()))?
+                    }
+                    "--workers" => {
+                        workers = parse_num(
+                            &it.next()
+                                .ok_or_else(|| CliError::Usage("--workers needs N".into()))?,
+                        )?
+                    }
+                    other => {
+                        return Err(CliError::Usage(format!("unknown serve option `{other}`")))
+                    }
+                }
+            }
+            cmd_serve(&opts, &addr, workers)
+        }
         "info" => Ok(cmd_info(opts)),
         other => Err(CliError::Usage(format!("unknown command `{other}`\n\n{USAGE}"))),
     }
@@ -703,7 +746,7 @@ pub fn version_text() -> String {
     };
     format!(
         "mtasc {}\nschemas: {REPORT_SCHEMA}, {PROFILE_SCHEMA}, mtasc.lint.v1, \
-         {RUN_META_SCHEMA}, {PROGRESS_SCHEMA}\n\
+         {RUN_META_SCHEMA}, {PROGRESS_SCHEMA}, {STATS_DIFF_SCHEMA}, {HTTP_SCHEMA}\n\
          execution: simd {} (MTASC_NO_SIMD), segments {} (MTASC_SEGMENTS), \
          par-threshold {} (MTASC_PAR_THRESHOLD)\n",
         env!("CARGO_PKG_VERSION"),
@@ -1077,29 +1120,41 @@ fn resolve_diffable(store: &RunStore, operand: &str) -> Result<String, CliError>
 pub fn cmd_runs_list(
     store: &RunStore,
     status: Option<RunStatus>,
+    program: Option<&str>,
     limit: Option<usize>,
     offset: usize,
     json: bool,
 ) -> Result<String, CliError> {
-    let (mut metas, skipped) =
+    let (metas, skipped) =
         store.list().map_err(|e| CliError::Failure(format!("run registry: {e}")))?;
-    if let Some(status) = status {
-        metas.retain(|m| m.status == status);
-    }
-    let total = metas.len();
-    let metas: Vec<RunMeta> =
-        metas.into_iter().skip(offset).take(limit.unwrap_or(usize::MAX)).collect();
+    // the same filter/paginate pipeline backs the server's /api/v1/runs,
+    // keeping the two JSON surfaces byte-for-byte interchangeable
+    let (page, total) = filter_list(metas, status, program, limit, offset);
     if json {
-        return Ok(list_to_json(&metas).to_pretty() + "\n");
+        return Ok(list_to_json(&page).to_pretty() + "\n");
     }
-    let mut out = render_list(&metas);
-    if metas.len() < total {
-        let _ = writeln!(out, "({} of {} runs shown)", metas.len(), total);
+    let mut out = render_list(&page);
+    if page.len() < total {
+        let _ = writeln!(out, "({} of {} runs shown)", page.len(), total);
     }
     if skipped > 0 {
         let _ = writeln!(out, "warning: skipped {skipped} malformed index line(s)");
     }
     Ok(out)
+}
+
+/// Resolve a `--program` operand: an existing source file is lowered
+/// (if ASCL) and hashed the same way run recording hashes it; anything
+/// else is taken as a literal `fnv1a64:` hash or hex prefix.
+fn program_query(operand: &str) -> Result<String, CliError> {
+    if Path::new(operand).is_file() {
+        let src = std::fs::read_to_string(operand)
+            .map_err(|e| CliError::Failure(format!("{operand}: {e}")))?;
+        let src = lower_if_ascl(operand, &src)?;
+        Ok(program_hash(&src))
+    } else {
+        Ok(operand.to_string())
+    }
 }
 
 /// `mtasc runs show`: manifest plus whatever recorded tables the run has
@@ -1170,52 +1225,85 @@ pub fn cmd_runs_watch(
     let meta = resolve_one(store, id)?;
     let dir = store.run_dir(&meta.id);
     let path = dir.join(HEARTBEAT_FILE);
+    // the same torn-tail-tolerant follower backs the server's SSE streams
+    let mut tail = HeartbeatTail::new(&path);
     if !follow {
-        let text = std::fs::read_to_string(&path)
-            .map_err(|e| CliError::Failure(format!("{}: {e}", path.display())))?;
-        let samples = parse_heartbeats(&text, &path)?;
+        if !path.is_file() {
+            return Err(CliError::Failure(format!("{}: no heartbeats recorded", path.display())));
+        }
+        let batch = drain_heartbeats(&mut tail)?;
         let mut out = format!("run {} ({} {})\n", meta.id, meta.kind, meta.name);
-        for s in &samples {
+        for s in &batch {
             out.push_str(&s.render());
             out.push('\n');
         }
         return Ok(out);
     }
     println!("watching run {} ({} {})", meta.id, meta.kind, meta.name);
-    let mut seen = 0usize;
+    let mut finished = false;
     loop {
-        let text = std::fs::read_to_string(&path).unwrap_or_default();
-        let samples = parse_heartbeats(&text, &path)?;
-        for s in &samples[seen.min(samples.len())..] {
+        for s in &drain_heartbeats(&mut tail)? {
             println!("{}", s.render());
+            finished |= s.final_sample;
         }
-        seen = samples.len();
-        if samples.last().is_some_and(|s| s.final_sample) {
+        if finished {
             break;
         }
         // a run that died without a final heartbeat still terminates the
-        // watch once its manifest leaves the `running` state
+        // watch once its manifest leaves the `running` state — after one
+        // more drain so recorded-but-unread samples are not dropped
         if let Ok(text) = std::fs::read_to_string(dir.join(META_FILE)) {
-            if RunMeta::parse(&text).is_ok_and(|m| m.status != RunStatus::Running) {
-                break;
-            }
+            finished = RunMeta::parse(&text).is_ok_and(|m| m.status != RunStatus::Running);
         }
-        std::thread::sleep(std::time::Duration::from_millis(poll_ms.max(10)));
+        if !finished {
+            std::thread::sleep(std::time::Duration::from_millis(poll_ms.max(10)));
+        }
     }
     let final_meta = resolve_one(store, &meta.id)?;
     Ok(format!("run {} finished: {}\n", final_meta.id, final_meta.status))
 }
 
-/// Parse heartbeat JSON-Lines, ignoring a torn (unterminated) final line
-/// — the writer may be mid-append while we read.
-fn parse_heartbeats(text: &str, path: &Path) -> Result<Vec<ProgressSample>, CliError> {
-    let complete = match text.rfind('\n') {
-        Some(i) => &text[..=i],
-        None => "",
+/// Poll a heartbeat tail once, promoting malformed lines to errors (the
+/// watcher is strict where the server merely skips).
+fn drain_heartbeats(tail: &mut HeartbeatTail) -> Result<Vec<ProgressSample>, CliError> {
+    let batch =
+        tail.poll().map_err(|e| CliError::Failure(format!("{}: {e}", tail.path().display())))?;
+    if let Some(&line) = batch.malformed.first() {
+        return Err(CliError::Failure(format!(
+            "{}: malformed heartbeat on line {line}",
+            tail.path().display()
+        )));
+    }
+    Ok(batch.samples)
+}
+
+/// `mtasc serve`: the HTTP observability daemon. Binds first (so an
+/// ephemeral `:0` port is resolved), prints the listening line
+/// immediately — scripts parse it to find the port — then blocks in the
+/// accept loop until SIGINT/SIGTERM (or the shutdown flag) stops it.
+pub fn cmd_serve(opts: &MachineOpts, addr: &str, workers: usize) -> Result<String, CliError> {
+    let runs_dir = match &opts.runs_dir {
+        Some(dir) => PathBuf::from(dir),
+        None => RunStore::default_root(),
     };
-    ProgressSample::parse_lines(complete).map_err(|line| {
-        CliError::Failure(format!("{}: malformed heartbeat on line {line}", path.display()))
-    })
+    let serve_opts = ServeOpts {
+        addr: addr.to_string(),
+        runs_dir: Some(runs_dir),
+        workers,
+        ..ServeOpts::default()
+    };
+    let server =
+        Server::bind(&serve_opts).map_err(|e| CliError::Failure(format!("bind {addr}: {e}")))?;
+    install_signal_shutdown(server.shutdown_handle());
+    println!(
+        "mtasc serve listening on http://{} (registry {})",
+        server.local_addr(),
+        server.root().display()
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.run().map_err(|e| CliError::Failure(format!("serve: {e}")))?;
+    Ok("mtasc serve stopped\n".to_string())
 }
 
 /// Load the metrics registry out of a saved JSON artifact: a
@@ -1387,6 +1475,23 @@ pub fn cmd_stats_validate(paths: &[String]) -> Result<String, CliError> {
 fn validate_one(path: &str) -> Result<String, String> {
     let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
     let v = Json::parse(&text).map_err(|e| e.to_string())?;
+    // a bare array is a run listing — the `runs list --json` document,
+    // also served as `GET /api/v1/runs`: every element must be a manifest
+    if let Json::Arr(items) = &v {
+        for (i, item) in items.iter().enumerate() {
+            let schema = item
+                .get("schema")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("[{i}]: missing `schema` field"))?;
+            if schema != RUN_META_SCHEMA {
+                return Err(format!(
+                    "[{i}]: expected {RUN_META_SCHEMA} in a run listing, got `{schema}`"
+                ));
+            }
+            RunMeta::from_json(item).ok_or_else(|| format!("[{i}]: malformed run manifest"))?;
+        }
+        return Ok(format!("{RUN_META_SCHEMA} list, {} run(s)", items.len()));
+    }
     let schema = v.get("schema").and_then(Json::as_str).ok_or("missing `schema` field")?;
     match schema {
         REPORT_SCHEMA => {
@@ -2443,6 +2548,8 @@ mod tests {
             "mtasc.lint.v1",
             "mtasc.run_meta.v1",
             "mtasc.progress.v1",
+            "mtasc.stats_diff.v1",
+            "mtasc.http.v1",
         ] {
             assert!(out.contains(schema), "missing {schema} in: {out}");
         }

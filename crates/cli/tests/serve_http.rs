@@ -1,0 +1,229 @@
+//! End-to-end tests for `mtasc serve`: spawn the real binary on an
+//! ephemeral port and drive it over a raw `TcpStream`, proving the HTTP
+//! surface matches the CLI surface byte-for-byte and that SSE streams
+//! follow a genuinely in-flight run.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use asc_core::obs::{Json, ProgressSample};
+use asc_obs_store::{program_hash, RunMeta, RunStore, HEARTBEAT_FILE};
+
+fn mtasc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mtasc"))
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mtasc-serve-http-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A running `mtasc serve` child; killed on drop so a failing test
+/// can't leak daemons.
+struct Daemon {
+    child: Child,
+    addr: SocketAddr,
+    stdout: BufReader<std::process::ChildStdout>,
+}
+
+impl Daemon {
+    fn start(runs_dir: &std::path::Path) -> Daemon {
+        let mut child = mtasc()
+            .args(["serve", "--addr", "127.0.0.1:0", "--runs-dir"])
+            .arg(runs_dir)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn mtasc serve");
+        let mut stdout = BufReader::new(child.stdout.take().unwrap());
+        let mut line = String::new();
+        stdout.read_line(&mut line).unwrap();
+        // "mtasc serve listening on http://127.0.0.1:PORT (registry ...)"
+        let addr = line
+            .split_once("http://")
+            .and_then(|(_, rest)| rest.split_whitespace().next())
+            .unwrap_or_else(|| panic!("no address in listening line: {line:?}"))
+            .parse()
+            .unwrap();
+        Daemon { child, addr, stdout }
+    }
+
+    fn get(&self, path: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(self.addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        let (head, body) = raw.split_once("\r\n\r\n").expect("response head");
+        (head.split_whitespace().nth(1).unwrap().parse().unwrap(), body.to_string())
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Record one real run through the binary, returning its id.
+fn record_run(runs_dir: &std::path::Path, program: &std::path::Path) -> String {
+    let out = mtasc()
+        .arg("run")
+        .arg(program)
+        .args(["--max-cycles", "10000", "--runs-dir"])
+        .arg(runs_dir)
+        .output()
+        .expect("run mtasc");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("recorded run "))
+        .unwrap_or_else(|| panic!("no recorded-run line in: {stdout}"))
+        .split_whitespace()
+        .next()
+        .unwrap()
+        .to_string()
+}
+
+fn write_program(dir: &std::path::Path) -> PathBuf {
+    let path = dir.join("prog.asc");
+    std::fs::write(&path, "        pidx   p1\n        rmax   s1, p1\n        halt\n").unwrap();
+    path
+}
+
+#[test]
+fn api_listing_matches_cli_listing_byte_for_byte() {
+    let runs_dir = tmp_dir("list");
+    let program = write_program(&runs_dir);
+    record_run(&runs_dir, &program);
+    record_run(&runs_dir, &program);
+
+    let daemon = Daemon::start(&runs_dir);
+    let (status, http_body) = daemon.get("/api/v1/runs");
+    assert_eq!(status, 200);
+
+    let cli =
+        mtasc().args(["runs", "list", "--json", "--runs-dir"]).arg(&runs_dir).output().unwrap();
+    assert!(cli.status.success());
+    assert_eq!(
+        http_body,
+        String::from_utf8(cli.stdout).unwrap(),
+        "GET /api/v1/runs and `mtasc runs list --json` must be byte-for-byte identical"
+    );
+
+    // the HTTP listing also validates through `mtasc stats validate`
+    let payload = runs_dir.join("listing.json");
+    std::fs::write(&payload, &http_body).unwrap();
+    let validate = mtasc().args(["stats", "validate"]).arg(&payload).output().unwrap();
+    assert!(validate.status.success(), "{}", String::from_utf8_lossy(&validate.stderr));
+    let summary = String::from_utf8(validate.stdout).unwrap();
+    assert!(summary.contains("mtasc.run_meta.v1 list"), "{summary}");
+
+    // /metrics carries registry totals and the server's own counters
+    let (status, metrics) = daemon.get("/metrics");
+    assert_eq!(status, 200);
+    assert!(metrics.contains("mtasc_runs_total{status=\"ok\"} 2"), "{metrics}");
+    assert!(
+        metrics.contains("mtasc_http_requests_total{route=\"/api/v1/runs\",status=\"200\"} 1"),
+        "{metrics}"
+    );
+    assert!(metrics.contains("mtasc_http_request_duration_ms_count"), "{metrics}");
+
+    let (status, health) = daemon.get("/healthz");
+    assert_eq!(status, 200);
+    assert!(health.contains("\"status\":\"ok\""), "{health}");
+}
+
+#[test]
+fn sse_streams_live_heartbeats_from_an_in_flight_run() {
+    let runs_dir = tmp_dir("sse");
+    // forge an in-flight run the way the recorder would create it
+    let store = RunStore::open(&runs_dir).unwrap();
+    let meta = RunMeta::begin("run", "live.asc", program_hash("live.asc"), "pes=16".into(), 16);
+    let handle = store.begin(meta).unwrap();
+    let id = handle.id().to_string();
+    let heartbeat = store.run_dir(&id).join(HEARTBEAT_FILE);
+    let sample = |cycle: u64, final_sample: bool| {
+        ProgressSample { cycle, issued: cycle, final_sample, ..ProgressSample::default() }
+            .to_json()
+            .to_compact()
+            + "\n"
+    };
+    std::fs::write(&heartbeat, sample(100, false) + &sample(200, false)).unwrap();
+
+    let daemon = Daemon::start(&runs_dir);
+    let mut stream = TcpStream::connect(daemon.addr).unwrap();
+    write!(
+        stream,
+        "GET /api/v1/runs/{id}/progress HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut reader = BufReader::new(stream);
+    // skip response head
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        if line == "\r\n" {
+            break;
+        }
+    }
+    let read_event = |reader: &mut BufReader<TcpStream>| -> (String, Json) {
+        let mut name = String::new();
+        loop {
+            let mut line = String::new();
+            assert_ne!(reader.read_line(&mut line).unwrap(), 0, "stream ended early");
+            let line = line.trim_end();
+            if let Some(n) = line.strip_prefix("event: ") {
+                name = n.to_string();
+            } else if let Some(data) = line.strip_prefix("data: ") {
+                return (name, Json::parse(data).unwrap());
+            }
+        }
+    };
+
+    // the two pre-existing heartbeats replay immediately — live proof #1 and #2
+    for expect in [100u64, 200] {
+        let (name, data) = read_event(&mut reader);
+        assert_eq!(name, "progress");
+        assert_eq!(data.get("cycle").and_then(Json::as_u64), Some(expect));
+    }
+    // now append while the stream is open: the tail must pick it up live
+    let mut f = std::fs::OpenOptions::new().append(true).open(&heartbeat).unwrap();
+    f.write_all(sample(300, true).as_bytes()).unwrap();
+    drop(f);
+    handle.finish_ok(300, 300).unwrap();
+    let (name, data) = read_event(&mut reader);
+    assert_eq!(name, "progress");
+    assert_eq!(data.get("cycle").and_then(Json::as_u64), Some(300));
+    assert_eq!(data.get("final"), Some(&Json::Bool(true)));
+    let (name, data) = read_event(&mut reader);
+    assert_eq!(name, "end");
+    assert!(data.get("status").and_then(Json::as_str).is_some());
+}
+
+#[cfg(unix)]
+#[test]
+fn sigterm_shuts_the_daemon_down_cleanly() {
+    let runs_dir = tmp_dir("sigterm");
+    let mut daemon = Daemon::start(&runs_dir);
+    let (status, _) = daemon.get("/healthz");
+    assert_eq!(status, 200);
+
+    let kill = Command::new("kill")
+        .args(["-TERM", &daemon.child.id().to_string()])
+        .status()
+        .expect("spawn kill");
+    assert!(kill.success());
+    let exit = daemon.child.wait().unwrap();
+    assert!(exit.success(), "SIGTERM exit should be clean, got {exit:?}");
+    let mut rest = String::new();
+    daemon.stdout.read_to_string(&mut rest).unwrap();
+    assert!(rest.contains("mtasc serve stopped"), "{rest:?}");
+}

@@ -318,6 +318,7 @@ impl Machine {
             stall_cycles: self.stats.stall_cycles,
             stalls: self.stats.stalls,
             live_threads: self.threads.live_count() as u32,
+            every: 0, // stamped by the sampler on push
             final_sample,
         };
         if let Some(p) = &mut self.progress {

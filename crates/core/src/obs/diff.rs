@@ -10,7 +10,12 @@
 //! otherwise), and any directed metric moving the wrong way by more than
 //! the threshold fails the check (`mtasc stats diff --fail-on-regress`).
 
+use super::json::Json;
 use super::metrics::{MetricValue, Registry};
+
+/// Schema tag of the JSON diff document ([`diff_to_json`]); bump on
+/// incompatible change.
+pub const STATS_DIFF_SCHEMA: &str = "mtasc.stats_diff.v1";
 
 /// Which way a metric is allowed to move without being a regression.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,6 +26,17 @@ pub enum Direction {
     HigherIsBetter,
     /// No regression semantics (issue counts, geometry).
     Neutral,
+}
+
+impl Direction {
+    /// Wire label of this direction (`mtasc.stats_diff.v1`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Direction::HigherIsWorse => "higher-is-worse",
+            Direction::HigherIsBetter => "higher-is-better",
+            Direction::Neutral => "neutral",
+        }
+    }
 }
 
 /// Regression direction of a metric name. The taxonomy is curated: cycle
@@ -90,6 +106,23 @@ impl DiffEntry {
             Some(p) => p.abs(),
             None => f64::INFINITY,
         }
+    }
+
+    /// Serialize as one entry of a `mtasc.stats_diff.v1` document. The
+    /// percentage is elided when growth-from-zero leaves it undefined
+    /// (JSON has no infinity).
+    pub fn to_json(&self) -> Json {
+        let mut obj = vec![
+            ("name".into(), Json::str(&self.name)),
+            ("a".into(), Json::F64(self.a)),
+            ("b".into(), Json::F64(self.b)),
+            ("delta".into(), Json::F64(self.delta)),
+        ];
+        if let Some(p) = self.pct {
+            obj.push(("pct".into(), Json::F64(p)));
+        }
+        obj.push(("direction".into(), Json::str(self.direction.label())));
+        Json::Obj(obj)
     }
 
     /// Render as a fixed-width table line.
@@ -182,6 +215,25 @@ impl RegressionCheck {
     pub fn regressions<'a>(&self, entries: &'a [DiffEntry]) -> Vec<&'a DiffEntry> {
         entries.iter().filter(|e| e.regression_pct() > self.threshold_pct).collect()
     }
+}
+
+/// Render a diff as a `mtasc.stats_diff.v1` JSON document with the
+/// regression verdict baked in: `regressed` is true when any directed
+/// metric moved the wrong way by more than `threshold_pct`, and
+/// `regressions` names the offenders (covering the infinite
+/// growth-from-zero case that a per-entry percentage cannot express).
+/// `kind` names the diffed artifact kind (`run report`, `profile`, …).
+pub fn diff_to_json(kind: &str, entries: &[DiffEntry], threshold_pct: f64) -> Json {
+    let gate = RegressionCheck { threshold_pct };
+    let regressions = gate.regressions(entries);
+    Json::Obj(vec![
+        ("schema".into(), Json::str(STATS_DIFF_SCHEMA)),
+        ("kind".into(), Json::str(kind)),
+        ("threshold_pct".into(), Json::F64(threshold_pct)),
+        ("regressed".into(), Json::Bool(!regressions.is_empty())),
+        ("regressions".into(), Json::Arr(regressions.iter().map(|e| Json::str(&e.name)).collect())),
+        ("entries".into(), Json::Arr(entries.iter().map(DiffEntry::to_json).collect())),
+    ])
 }
 
 /// Render a diff as text: changed metrics first (sorted by |relative
@@ -298,6 +350,41 @@ mod tests {
         let new_point = d.iter().find(|e| e.name == "pes.262144.wall_ms").unwrap();
         assert_eq!(new_point.direction, Direction::Neutral);
         assert!(RegressionCheck { threshold_pct: 0.0 }.regressions(&d).is_empty());
+    }
+
+    #[test]
+    fn diff_to_json_carries_the_verdict() {
+        let v = diff_to_json("run report", &diff_registries(&reg(100, 0.5), &reg(120, 0.4)), 5.0);
+        assert_eq!(v.get("schema").and_then(Json::as_str), Some(STATS_DIFF_SCHEMA));
+        assert_eq!(v.get("kind").and_then(Json::as_str), Some("run report"));
+        assert_eq!(v.get("regressed"), Some(&Json::Bool(true)));
+        let names: Vec<&str> = v
+            .get("regressions")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .filter_map(Json::as_str)
+            .collect();
+        assert!(names.contains(&"cycles") && names.contains(&"ipc"), "{names:?}");
+        let entries = v.get("entries").and_then(Json::as_arr).unwrap();
+        let cycles = entries.iter().find(|e| e.get("name").unwrap().as_str() == Some("cycles"));
+        let cycles = cycles.unwrap();
+        assert_eq!(cycles.get("pct").and_then(Json::as_f64), Some(20.0));
+        assert_eq!(cycles.get("direction").and_then(Json::as_str), Some("higher-is-worse"));
+        // an untripped gate reports regressed=false, and the undefined
+        // growth-from-zero percentage is elided, not serialized as inf
+        let calm =
+            diff_to_json("run report", &diff_registries(&reg(100, 0.5), &reg(100, 0.5)), 0.0);
+        assert_eq!(calm.get("regressed"), Some(&Json::Bool(false)));
+        let mut a = Registry::new();
+        a.counter_add("stall.join wait", 0);
+        let mut b = Registry::new();
+        b.counter_add("stall.join wait", 7);
+        let zero_growth = diff_to_json("run report", &diff_registries(&a, &b), 1e9);
+        assert_eq!(zero_growth.get("regressed"), Some(&Json::Bool(true)));
+        let entry = &zero_growth.get("entries").and_then(Json::as_arr).unwrap()[0];
+        assert!(entry.get("pct").is_none());
+        assert!(Json::parse(&zero_growth.to_pretty()).is_ok(), "valid JSON");
     }
 
     #[test]

@@ -53,7 +53,10 @@ pub mod report;
 pub mod trace;
 
 pub use chrome::{chrome_trace, chrome_trace_text};
-pub use diff::{diff_registries, render_diff, DiffEntry, Direction, RegressionCheck};
+pub use diff::{
+    diff_registries, diff_to_json, render_diff, DiffEntry, Direction, RegressionCheck,
+    STATS_DIFF_SCHEMA,
+};
 pub use event::{SeqUnit, ThreadTransition, TraceEvent};
 pub use json::{Json, JsonError};
 pub use metrics::{Histogram, MetricValue, Registry};

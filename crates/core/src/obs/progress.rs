@@ -35,6 +35,12 @@ pub struct ProgressSample {
     pub stalls: [u64; 10],
     /// Thread contexts currently allocated (runnable or joining).
     pub live_threads: u32,
+    /// Sampling cadence in cycles, stamped by the emitting
+    /// [`ProgressSampler`] (0 when the sample was built outside a
+    /// sampler). Surfaced on the wire so stream consumers — the `mtasc
+    /// serve` SSE endpoint, dashboards — can pace themselves without
+    /// out-of-band knowledge of the run's `--progress-every`.
+    pub every: u64,
     /// True for the last sample of a run (taken after pipeline drain,
     /// so `cycle` equals the final `Stats::cycles`).
     pub final_sample: bool,
@@ -67,6 +73,9 @@ impl ProgressSample {
             ("stalls".into(), Json::Obj(stalls)),
             ("live_threads".into(), Json::U64(self.live_threads as u64)),
         ];
+        if self.every > 0 {
+            obj.push(("every".into(), Json::U64(self.every)));
+        }
         if self.final_sample {
             obj.push(("final".into(), Json::Bool(true)));
         }
@@ -92,6 +101,7 @@ impl ProgressSample {
             stall_cycles: v.get("stall_cycles")?.as_u64()?,
             stalls,
             live_threads: v.get("live_threads")?.as_u64()? as u32,
+            every: v.get("every").and_then(Json::as_u64).unwrap_or(0),
             final_sample: matches!(v.get("final"), Some(Json::Bool(true))),
         })
     }
@@ -299,8 +309,11 @@ impl ProgressSampler {
     }
 
     /// Record one sample. Allocation-free: the ring was pre-sized at
-    /// construction and the sample is `Copy`.
-    pub fn push(&mut self, sample: ProgressSample) {
+    /// construction and the sample is `Copy`. The sampler stamps its
+    /// cadence into the sample so every emitted heartbeat self-describes
+    /// its pacing.
+    pub fn push(&mut self, mut sample: ProgressSample) {
+        sample.every = self.every;
         self.next_at = sample.cycle.saturating_add(self.every);
         if self.ring.len() < self.ring.capacity() {
             self.ring.push(sample);
@@ -368,6 +381,7 @@ mod tests {
             stall_cycles: cycle / 2,
             stalls,
             live_threads: 2,
+            every: 0,
             final_sample: false,
         }
     }
@@ -395,6 +409,22 @@ mod tests {
         assert_eq!(back, vec![sample(10), sample(20)]);
         assert_eq!(ProgressSample::parse_lines("not json"), Err(1));
         assert_eq!(ProgressSample::parse_lines(&format!("{text}{{}}")), Err(4));
+    }
+
+    #[test]
+    fn sampler_stamps_its_cadence_onto_the_wire() {
+        let mut p = ProgressSampler::new(8, 4);
+        p.push(sample(8));
+        let stamped = *p.latest().unwrap();
+        assert_eq!(stamped.every, 8);
+        let v = stamped.to_json();
+        assert_eq!(v.get("every").and_then(Json::as_u64), Some(8));
+        assert_eq!(ProgressSample::from_json(&v), Some(stamped));
+        // samples built outside a sampler elide the field and parse back
+        // as cadence-unknown
+        let bare = sample(10).to_json();
+        assert!(bare.get("every").is_none());
+        assert_eq!(ProgressSample::from_json(&bare).unwrap().every, 0);
     }
 
     #[test]

@@ -28,13 +28,15 @@
 
 mod meta;
 mod store;
+mod tail;
 mod ulid;
 
 pub use meta::{config_fingerprint, program_hash, RunMeta, RunStatus, RUN_META_SCHEMA};
 pub use store::{
-    list_to_json, prometheus_text, render_list, Resolve, RunHandle, RunStore, HEARTBEAT_FILE,
-    INDEX_FILE, META_FILE,
+    filter_list, list_to_json, program_hash_matches, prometheus_text, render_list, Resolve,
+    RunHandle, RunStore, HEARTBEAT_FILE, INDEX_FILE, META_FILE,
 };
+pub use tail::{HeartbeatBatch, HeartbeatTail, IndexWatcher, LineTail, TailChunk};
 pub use ulid::{format_unix_ms, is_ulid, ulid, ulid_at, ulid_ms, unix_ms, ULID_LEN};
 
 #[cfg(all(test, feature = "proptest"))]

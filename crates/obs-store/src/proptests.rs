@@ -56,6 +56,8 @@ fn arbitrary_sample(state: &mut u64) -> ProgressSample {
         stall_cycles: next(state),
         stalls,
         live_threads: (next(state) % 4096) as u32,
+        // zero (cadence unknown) is elided on the wire, so mix it in
+        every: if next(state) % 2 == 0 { 0 } else { next(state) },
         final_sample: next(state) % 2 == 0,
     }
 }

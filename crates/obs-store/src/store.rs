@@ -100,7 +100,11 @@ impl RunStore {
         fs::write(self.run_dir(&meta.id).join(META_FILE), meta.to_json().to_pretty())?;
         let mut index =
             fs::OpenOptions::new().create(true).append(true).open(self.root.join(INDEX_FILE))?;
-        writeln!(index, "{}", meta.to_json().to_compact())
+        // one write(2) for the whole line: with O_APPEND that makes the
+        // append atomic, so concurrent recorders sharing a registry can
+        // never interleave mid-line (writeln! would issue several writes)
+        let line = meta.to_json().to_compact() + "\n";
+        index.write_all(line.as_bytes())
     }
 
     /// All recorded runs, newest first (ids are ULIDs, so id order is
@@ -248,6 +252,37 @@ impl RunHandle {
 /// `mtasc.run_meta.v1` object), newest first.
 pub fn list_to_json(metas: &[RunMeta]) -> Json {
     Json::Arr(metas.iter().map(RunMeta::to_json).collect())
+}
+
+/// The shared filter/paginate pipeline behind `mtasc runs list` and the
+/// server's `GET /api/v1/runs` — one implementation so the two surfaces
+/// stay byte-for-byte interchangeable. Returns the selected page and the
+/// total number of runs that survived the filters (pre-pagination).
+pub fn filter_list(
+    mut metas: Vec<RunMeta>,
+    status: Option<RunStatus>,
+    program: Option<&str>,
+    limit: Option<usize>,
+    offset: usize,
+) -> (Vec<RunMeta>, usize) {
+    if let Some(status) = status {
+        metas.retain(|m| m.status == status);
+    }
+    if let Some(query) = program {
+        metas.retain(|m| program_hash_matches(&m.program_hash, query));
+    }
+    let total = metas.len();
+    let page = metas.into_iter().skip(offset).take(limit.unwrap_or(usize::MAX)).collect();
+    (page, total)
+}
+
+/// Whether a manifest's program hash matches a user query: the full
+/// `fnv1a64:<16 hex>` form, or a (case-insensitive) prefix of the hex
+/// digits with or without the algorithm tag.
+pub fn program_hash_matches(hash: &str, query: &str) -> bool {
+    let hex = hash.strip_prefix("fnv1a64:").unwrap_or(hash);
+    let q = query.strip_prefix("fnv1a64:").unwrap_or(query);
+    !q.is_empty() && hex.len() >= q.len() && hex[..q.len()].eq_ignore_ascii_case(q)
 }
 
 /// Column rendering for `mtasc runs list`.
@@ -459,6 +494,36 @@ mod tests {
         // running runs contribute no per-run series; labels are escaped
         assert!(!text.contains("weird\"name"), "{text}");
         let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn filter_list_filters_and_paginates() {
+        let mut metas = Vec::new();
+        for i in 0..5u64 {
+            let mut m = begin_meta(&format!("k{i}.asc"));
+            m.id = ulid_at(1000 + i, i.into());
+            if i % 2 == 0 {
+                m.status = RunStatus::Ok;
+            }
+            metas.push(m);
+        }
+        metas.sort_by(|a, b| b.id.cmp(&a.id));
+        let (all, total) = filter_list(metas.clone(), None, None, None, 0);
+        assert_eq!((all.len(), total), (5, 5));
+        let (ok, total) = filter_list(metas.clone(), Some(RunStatus::Ok), None, None, 0);
+        assert_eq!((ok.len(), total), (3, 3));
+        let (page, total) = filter_list(metas.clone(), None, None, Some(2), 1);
+        assert_eq!((page.len(), total), (2, 5));
+        assert_eq!(page[0].id, metas[1].id, "offset skips the newest");
+        let hash = program_hash("k3.asc");
+        let (hit, total) = filter_list(metas.clone(), None, Some(&hash), None, 0);
+        assert_eq!((hit.len(), total), (1, 1));
+        assert_eq!(hit[0].name, "k3.asc");
+        // bare-hex prefix, case-insensitive
+        let prefix = hash.strip_prefix("fnv1a64:").unwrap()[..6].to_uppercase();
+        let (hit, _) = filter_list(metas, None, Some(&prefix), None, 0);
+        assert_eq!(hit.len(), 1);
+        assert!(!program_hash_matches(&hash, ""), "empty query matches nothing");
     }
 
     #[test]

@@ -1,0 +1,316 @@
+//! Tail-follow readers over the registry's append-only files.
+//!
+//! Two consumers follow live registry files: `mtasc runs watch` (a
+//! terminal tailer) and the `mtasc serve` SSE endpoint (a streaming HTTP
+//! tailer). Both sit on the same primitive, [`LineTail`]: an incremental
+//! reader that remembers its byte offset between polls, buffers a torn
+//! (unterminated) final line until the writer completes it, and resets
+//! itself when the file shrinks underneath it (a `gc` compaction).
+//! [`HeartbeatTail`] parses the lines as `mtasc.progress.v1` samples;
+//! [`IndexWatcher`] folds `index.jsonl` lines into the same
+//! last-line-wins manifest view [`RunStore::list`] produces, without
+//! re-reading the whole index on every poll.
+
+use std::fs;
+use std::io::{self, Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+
+use asc_core::obs::{Json, ProgressSample};
+
+use crate::meta::RunMeta;
+use crate::store::INDEX_FILE;
+
+/// One poll's worth of progress from a [`LineTail`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TailChunk {
+    /// Complete lines read since the previous poll, newline stripped.
+    pub lines: Vec<String>,
+    /// True when the file shrank and the tail restarted from the top
+    /// (consumers holding derived state must rebuild it).
+    pub reset: bool,
+}
+
+/// An incremental, torn-tail-tolerant line reader over a growing file.
+///
+/// Each [`poll`](LineTail::poll) reads only the bytes appended since the
+/// previous poll and returns the newly *completed* lines; a trailing
+/// partial line (a writer mid-append) is buffered, not returned, until
+/// its newline arrives. A missing file reads as empty — the writer may
+/// not have created it yet.
+#[derive(Debug)]
+pub struct LineTail {
+    path: PathBuf,
+    offset: u64,
+    pending: Vec<u8>,
+    lines_seen: usize,
+}
+
+impl LineTail {
+    /// Tail `path` from the beginning.
+    pub fn new(path: impl Into<PathBuf>) -> LineTail {
+        LineTail { path: path.into(), offset: 0, pending: Vec::new(), lines_seen: 0 }
+    }
+
+    /// The file being tailed.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// 1-based line number of the next complete line `poll` will return.
+    pub fn next_line_number(&self) -> usize {
+        self.lines_seen + 1
+    }
+
+    /// Read newly appended bytes and return the newly completed lines.
+    pub fn poll(&mut self) -> io::Result<TailChunk> {
+        let mut file = match fs::File::open(&self.path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                // the file may have been removed (gc) after we read some
+                // of it: report a reset so derived state is dropped too
+                let reset = self.offset > 0 || !self.pending.is_empty();
+                self.offset = 0;
+                self.pending.clear();
+                self.lines_seen = 0;
+                return Ok(TailChunk { lines: Vec::new(), reset });
+            }
+            Err(e) => return Err(e),
+        };
+        let len = file.metadata()?.len();
+        let mut reset = false;
+        if len < self.offset {
+            // the file shrank: a compaction rewrote it; start over
+            self.offset = 0;
+            self.pending.clear();
+            self.lines_seen = 0;
+            reset = true;
+        }
+        file.seek(SeekFrom::Start(self.offset))?;
+        let mut fresh = Vec::new();
+        file.read_to_end(&mut fresh)?;
+        self.offset += fresh.len() as u64;
+        self.pending.extend_from_slice(&fresh);
+        let mut lines = Vec::new();
+        while let Some(nl) = self.pending.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = self.pending.drain(..=nl).take(nl).collect();
+            lines.push(String::from_utf8_lossy(&line).into_owned());
+            self.lines_seen += 1;
+        }
+        Ok(TailChunk { lines, reset })
+    }
+}
+
+/// One poll's worth of parsed heartbeats from a [`HeartbeatTail`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeartbeatBatch {
+    /// Samples parsed from the newly completed lines, in file order.
+    pub samples: Vec<ProgressSample>,
+    /// 1-based line numbers of newly completed lines that failed to
+    /// parse as `mtasc.progress.v1` (blank lines are not counted).
+    pub malformed: Vec<usize>,
+}
+
+/// Tails a run's `progress.jsonl`, parsing each completed line as a
+/// `mtasc.progress.v1` sample. The shared follow engine behind both
+/// `mtasc runs watch` and the `mtasc serve` SSE stream.
+#[derive(Debug)]
+pub struct HeartbeatTail {
+    tail: LineTail,
+}
+
+impl HeartbeatTail {
+    /// Tail the heartbeat file at `path` from the beginning.
+    pub fn new(path: impl Into<PathBuf>) -> HeartbeatTail {
+        HeartbeatTail { tail: LineTail::new(path) }
+    }
+
+    /// The file being tailed.
+    pub fn path(&self) -> &Path {
+        self.tail.path()
+    }
+
+    /// Parse the heartbeats completed since the previous poll.
+    pub fn poll(&mut self) -> io::Result<HeartbeatBatch> {
+        let line_base = self.tail.next_line_number();
+        let chunk = self.tail.poll()?;
+        let mut batch = HeartbeatBatch { samples: Vec::new(), malformed: Vec::new() };
+        for (i, line) in chunk.lines.iter().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match Json::parse(line).ok().as_ref().and_then(ProgressSample::from_json) {
+                Some(s) => batch.samples.push(s),
+                None => batch.malformed.push(line_base + i),
+            }
+        }
+        Ok(batch)
+    }
+}
+
+/// An incremental reader of the registry index: folds newly appended
+/// `index.jsonl` lines into the same deduplicated, newest-first manifest
+/// view [`crate::RunStore::list`] computes from scratch, re-reading only
+/// the appended bytes per poll. When the index is compacted (shrinks),
+/// the watcher rebuilds from the top transparently.
+#[derive(Debug)]
+pub struct IndexWatcher {
+    tail: LineTail,
+    metas: Vec<RunMeta>,
+    skipped: usize,
+}
+
+impl IndexWatcher {
+    /// Watch the index of the registry rooted at `root`.
+    pub fn new(root: impl AsRef<Path>) -> IndexWatcher {
+        IndexWatcher {
+            tail: LineTail::new(root.as_ref().join(INDEX_FILE)),
+            metas: Vec::new(),
+            skipped: 0,
+        }
+    }
+
+    /// Fold in any new index lines and return the current manifests
+    /// (newest first) plus the cumulative count of malformed lines.
+    pub fn poll(&mut self) -> io::Result<(&[RunMeta], usize)> {
+        let chunk = self.tail.poll()?;
+        if chunk.reset {
+            self.metas.clear();
+            self.skipped = 0;
+        }
+        let mut changed = false;
+        for line in chunk.lines.iter().filter(|l| !l.trim().is_empty()) {
+            match Json::parse(line).ok().as_ref().and_then(RunMeta::from_json) {
+                Some(meta) => {
+                    // last line wins: finish supersedes begin
+                    match self.metas.iter_mut().find(|m| m.id == meta.id) {
+                        Some(slot) => *slot = meta,
+                        None => self.metas.push(meta),
+                    }
+                    changed = true;
+                }
+                None => self.skipped += 1,
+            }
+        }
+        if changed {
+            self.metas.sort_by(|a, b| b.id.cmp(&a.id));
+        }
+        Ok((&self.metas, self.skipped))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::{program_hash, RunStatus};
+    use crate::store::RunStore;
+    use crate::ulid::ulid_at;
+    use std::io::Write as _;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("mtasc-obs-tail-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn append(path: &Path, text: &str) {
+        let mut f = fs::OpenOptions::new().create(true).append(true).open(path).unwrap();
+        f.write_all(text.as_bytes()).unwrap();
+    }
+
+    #[test]
+    fn line_tail_buffers_torn_lines() {
+        let dir = tmp_dir("torn");
+        let path = dir.join("log");
+        let mut tail = LineTail::new(&path);
+        // missing file reads as empty, not an error
+        assert_eq!(tail.poll().unwrap().lines, Vec::<String>::new());
+        append(&path, "alpha\nbet");
+        let chunk = tail.poll().unwrap();
+        assert_eq!(chunk.lines, vec!["alpha"]);
+        assert!(!chunk.reset);
+        // the torn tail stays buffered until its newline arrives
+        assert_eq!(tail.poll().unwrap().lines, Vec::<String>::new());
+        append(&path, "a\ngamma\n");
+        assert_eq!(tail.poll().unwrap().lines, vec!["beta", "gamma"]);
+        assert_eq!(tail.next_line_number(), 4);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn line_tail_resets_on_shrink() {
+        let dir = tmp_dir("shrink");
+        let path = dir.join("log");
+        append(&path, "one\ntwo\n");
+        let mut tail = LineTail::new(&path);
+        assert_eq!(tail.poll().unwrap().lines.len(), 2);
+        // a compaction rewrote the file smaller: tail restarts from zero
+        fs::write(&path, "three\n").unwrap();
+        let chunk = tail.poll().unwrap();
+        assert!(chunk.reset);
+        assert_eq!(chunk.lines, vec!["three"]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn heartbeat_tail_parses_and_flags_malformed() {
+        let dir = tmp_dir("hb");
+        let path = dir.join("progress.jsonl");
+        let mut tail = HeartbeatTail::new(&path);
+        let sample = |cycle: u64| ProgressSample { cycle, ..ProgressSample::default() };
+        append(&path, &format!("{}\n", sample(10).to_json().to_compact()));
+        append(&path, "{\"schema\":\"mtasc.progress.v1\",\"cyc"); // torn
+        let batch = tail.poll().unwrap();
+        assert_eq!(batch.samples.len(), 1);
+        assert_eq!(batch.samples[0].cycle, 10);
+        assert!(batch.malformed.is_empty(), "torn tail is buffered, not malformed");
+        append(&path, "le\":broken}\nnot json\n");
+        append(&path, &format!("{}\n", sample(20).to_json().to_compact()));
+        let batch = tail.poll().unwrap();
+        assert_eq!(batch.samples.len(), 1);
+        assert_eq!(batch.samples[0].cycle, 20);
+        assert_eq!(batch.malformed, vec![2, 3]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn index_watcher_matches_full_list() {
+        let dir = tmp_dir("watch");
+        let store = RunStore::open(&dir).unwrap();
+        let mut watcher = IndexWatcher::new(&dir);
+        let (metas, skipped) = watcher.poll().unwrap();
+        assert!(metas.is_empty());
+        assert_eq!(skipped, 0);
+
+        let meta = |i: u64, name: &str| {
+            let mut m = RunMeta::begin("run", name, program_hash(name), "pes=16".into(), 16);
+            m.id = ulid_at(1_000 + i, i.into());
+            m
+        };
+        let h = store.begin(meta(1, "a.asc")).unwrap();
+        store.record(&meta(2, "b.asc")).unwrap();
+        let (metas, _) = watcher.poll().unwrap();
+        assert_eq!(metas.len(), 2);
+        assert_eq!(metas[0].status, RunStatus::Running, "newest first, still running");
+
+        // finish supersedes begin incrementally, same as a full list()
+        h.finish_ok(100, 40).unwrap();
+        append(&store.root().join(INDEX_FILE), "{\"torn"); // torn tail: pending, not skipped
+        let (metas, skipped) = watcher.poll().unwrap();
+        let (full, _) = store.list().unwrap();
+        assert_eq!(metas, &full[..]);
+        assert_eq!(metas[1].status, RunStatus::Ok);
+        assert_eq!(skipped, 0);
+
+        // gc compacts the index: the watcher rebuilds transparently
+        append(&store.root().join(INDEX_FILE), " line}\n");
+        store.gc(1).unwrap();
+        let (metas, skipped) = watcher.poll().unwrap();
+        assert_eq!(metas.len(), 1);
+        assert_eq!(skipped, 0, "reset clears the malformed count too");
+        let (full, _) = store.list().unwrap();
+        assert_eq!(metas, &full[..]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

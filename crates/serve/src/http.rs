@@ -1,0 +1,348 @@
+//! Minimal HTTP/1.1 plumbing on `std::net` — just enough protocol for
+//! the observability daemon, with zero dependencies outside `std`.
+//!
+//! Three pieces:
+//!
+//! * [`Request`] — a parsed request line plus headers, with the target
+//!   split into percent-decoded path segments and query parameters.
+//! * [`Response`] — status, content type, and body; always answered
+//!   with `Connection: close`, so the connection lifecycle is exactly
+//!   one request long and needs no keep-alive bookkeeping.
+//! * [`ThreadPool`] — a fixed pool of worker threads fed over an mpsc
+//!   channel; dropping the pool closes the channel and joins every
+//!   worker, which is what gives `mtasc serve` its graceful shutdown.
+
+use std::io::{self, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::mpsc::{self, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+
+/// Cap on the request head (request line + headers). Anything larger is
+/// rejected before buffering it: the daemon only ever serves small GETs.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method, uppercased as received (`GET`, `HEAD`, ...).
+    pub method: String,
+    /// Percent-decoded path, always starting with `/`; the query string
+    /// is stripped off into [`Request::query`].
+    pub path: String,
+    /// Query parameters in request order, percent-decoded, `+` read as
+    /// space. A bare `?flag` yields `("flag", "")`.
+    pub query: Vec<(String, String)>,
+    /// Headers with lowercased names, in request order.
+    pub headers: Vec<(String, String)>,
+}
+
+impl Request {
+    /// Read and parse one request head from `stream`. Returns
+    /// `Ok(None)` on a clean EOF before any bytes (client connected and
+    /// closed), and an error for malformed or oversized heads.
+    pub fn read(stream: &TcpStream) -> io::Result<Option<Request>> {
+        let mut reader = BufReader::new(stream);
+        let request_line = match read_head_line(&mut reader)? {
+            Some(line) => line,
+            None => return Ok(None),
+        };
+        let mut parts = request_line.split_whitespace();
+        let (method, target, version) =
+            match (parts.next(), parts.next(), parts.next(), parts.next()) {
+                (Some(m), Some(t), Some(v), None) => (m, t, v),
+                _ => return Err(bad_request("malformed request line")),
+            };
+        if !version.starts_with("HTTP/1.") {
+            return Err(bad_request("unsupported HTTP version"));
+        }
+        let mut headers = Vec::new();
+        let mut head_bytes = request_line.len();
+        loop {
+            let line = match read_head_line(&mut reader)? {
+                Some(line) => line,
+                None => return Err(bad_request("connection closed mid-headers")),
+            };
+            if line.is_empty() {
+                break;
+            }
+            head_bytes += line.len();
+            if head_bytes > MAX_HEAD_BYTES {
+                return Err(bad_request("request head too large"));
+            }
+            let (name, value) = match line.split_once(':') {
+                Some((n, v)) => (n.trim().to_ascii_lowercase(), v.trim().to_string()),
+                None => return Err(bad_request("malformed header line")),
+            };
+            headers.push((name, value));
+        }
+        let (raw_path, raw_query) = match target.split_once('?') {
+            Some((p, q)) => (p, Some(q)),
+            None => (target, None),
+        };
+        let path = percent_decode(raw_path, false);
+        let query = raw_query.map(parse_query).unwrap_or_default();
+        Ok(Some(Request { method: method.to_string(), path, query, headers }))
+    }
+
+    /// First value of query parameter `name`, if present.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Read one CRLF- (or bare-LF-) terminated line of the request head,
+/// bounded by [`MAX_HEAD_BYTES`]. `Ok(None)` means EOF with no bytes.
+fn read_head_line(reader: &mut BufReader<&TcpStream>) -> io::Result<Option<String>> {
+    let mut buf = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        // Byte-at-a-time through the BufReader: fine at head sizes, and
+        // it never reads past the blank line into a (hypothetical) body.
+        if reader.read(&mut byte)? == 0 {
+            return if buf.is_empty() { Ok(None) } else { Err(bad_request("truncated head")) };
+        }
+        if byte[0] == b'\n' {
+            if buf.last() == Some(&b'\r') {
+                buf.pop();
+            }
+            let line = String::from_utf8(buf)
+                .map_err(|_| bad_request("request head is not valid UTF-8"))?;
+            return Ok(Some(line));
+        }
+        buf.push(byte[0]);
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(bad_request("request head too large"));
+        }
+    }
+}
+
+fn bad_request(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Decode `%XX` escapes; in query strings (`plus_is_space`) `+` decodes
+/// to a space too. Invalid escapes pass through literally.
+pub fn percent_decode(s: &str, plus_is_space: bool) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => match (hex_val(bytes.get(i + 1)), hex_val(bytes.get(i + 2))) {
+                (Some(hi), Some(lo)) => {
+                    out.push(hi * 16 + lo);
+                    i += 3;
+                }
+                _ => {
+                    out.push(b'%');
+                    i += 1;
+                }
+            },
+            b'+' if plus_is_space => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn hex_val(b: Option<&u8>) -> Option<u8> {
+    (*b? as char).to_digit(16).map(|d| d as u8)
+}
+
+fn parse_query(raw: &str) -> Vec<(String, String)> {
+    raw.split('&')
+        .filter(|pair| !pair.is_empty())
+        .map(|pair| {
+            let (name, value) = pair.split_once('=').unwrap_or((pair, ""));
+            (percent_decode(name, true), percent_decode(value, true))
+        })
+        .collect()
+}
+
+/// An HTTP response ready to serialize. Every response carries
+/// `Connection: close`.
+#[derive(Debug)]
+pub struct Response {
+    /// Status code (200, 404, ...).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A `200 OK` with the given content type.
+    pub fn ok(content_type: &'static str, body: impl Into<Vec<u8>>) -> Response {
+        Response { status: 200, content_type, body: body.into() }
+    }
+
+    /// JSON response with the given status.
+    pub fn json(status: u16, body: String) -> Response {
+        Response { status, content_type: "application/json", body: body.into_bytes() }
+    }
+
+    /// Plain-text error with the given status; the body gets a trailing
+    /// newline so `curl` output stays readable.
+    pub fn error(status: u16, msg: &str) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: format!("{msg}\n").into_bytes(),
+        }
+    }
+
+    /// Canonical reason phrase for the status code.
+    pub fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            409 => "Conflict",
+            500 => "Internal Server Error",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serialize head and body to `w` (one-shot; connection closes after).
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            self.reason(),
+            self.content_type,
+            self.body.len()
+        )?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// Write just the head of a streaming (SSE) response: no
+/// `Content-Length`; the body is produced incrementally and the
+/// connection close delimits it.
+pub fn write_stream_head(w: &mut impl Write, content_type: &str) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\nCache-Control: no-store\r\nConnection: close\r\n\r\n",
+    )?;
+    w.flush()
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size worker pool over an mpsc channel. Dropping the pool
+/// drops the sender (workers see the channel close and exit) and joins
+/// every worker, so in-flight requests finish before shutdown.
+pub struct ThreadPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawn `size.max(1)` workers.
+    pub fn new(size: usize) -> ThreadPool {
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..size.max(1))
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                thread::Builder::new()
+                    .name(format!("mtasc-serve-{i}"))
+                    .spawn(move || loop {
+                        let job = match receiver.lock() {
+                            Ok(rx) => rx.recv(),
+                            Err(_) => return, // a worker panicked holding the lock
+                        };
+                        match job {
+                            Ok(job) => job(),
+                            Err(_) => return, // channel closed: shutdown
+                        }
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        ThreadPool { sender: Some(sender), workers }
+    }
+
+    /// Queue a job; returns false if the pool is already shut down.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) -> bool {
+        match &self.sender {
+            Some(sender) => sender.send(Box::new(job)).is_ok(),
+            None => false,
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        drop(self.sender.take());
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(percent_decode("/api/v1/runs/01ABC", false), "/api/v1/runs/01ABC");
+        assert_eq!(percent_decode("a%2Fb.asc", false), "a/b.asc");
+        assert_eq!(percent_decode("a+b", false), "a+b");
+        assert_eq!(percent_decode("a+b%20c", true), "a b c");
+        assert_eq!(percent_decode("bad%2", false), "bad%2");
+        assert_eq!(percent_decode("bad%zz", false), "bad%zz");
+    }
+
+    #[test]
+    fn query_parsing() {
+        let q = parse_query("status=ok&limit=5&flag&name=a+b%21");
+        assert_eq!(
+            q,
+            vec![
+                ("status".into(), "ok".into()),
+                ("limit".into(), "5".into()),
+                ("flag".into(), "".into()),
+                ("name".into(), "a b!".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn response_serialization() {
+        let mut out = Vec::new();
+        Response::ok("text/plain; charset=utf-8", "hi").write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\nhi"));
+    }
+
+    #[test]
+    fn pool_runs_jobs_and_joins_on_drop() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let pool = ThreadPool::new(3);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..32 {
+            let counter = Arc::clone(&counter);
+            assert!(pool.execute(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        drop(pool); // joins workers, so all 32 jobs have run
+        assert_eq!(counter.load(Ordering::SeqCst), 32);
+    }
+}

@@ -50,6 +50,9 @@
 //!   stall and fusion-cut diagnostics.
 //! * [`obs_store`] — persistent run registry behind `mtasc runs`:
 //!   per-run manifests, artifacts, heartbeats, Prometheus export.
+//! * [`serve`] — `mtasc serve`, the zero-dependency HTTP observability
+//!   daemon over the registry: status API, SSE progress streams,
+//!   Prometheus scrape endpoint, embedded dashboard.
 //!
 //! See `DESIGN.md` for the architecture inventory and `EXPERIMENTS.md`
 //! for the paper-versus-measured record of every table and figure.
@@ -63,6 +66,7 @@ pub use asc_lang as lang;
 pub use asc_network as network;
 pub use asc_obs_store as obs_store;
 pub use asc_pe as pe;
+pub use asc_serve as serve;
 pub use asc_verify as verify;
 
 /// Crate version (workspace-wide).

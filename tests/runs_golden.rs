@@ -8,10 +8,14 @@
 //! `UPDATE_RUNS_GOLDEN=1 cargo test --test runs_golden` and review the
 //! diff.
 
+use std::collections::BTreeSet;
 use std::fs;
+use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Barrier};
+use std::thread;
 
-use asc::obs_store::{ulid_at, RunMeta, RunStatus, RunStore};
+use asc::obs_store::{ulid_at, IndexWatcher, RunMeta, RunStatus, RunStore, INDEX_FILE};
 
 fn golden_path() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/runs/list.expected.json")
@@ -72,8 +76,8 @@ fn runs_list_json_matches_golden() {
     for meta in fixture_metas() {
         store.record(&meta).unwrap();
     }
-    let actual =
-        asc_cli::cmd_runs_list(&store, None, None, 0, true).expect("runs list --json renders");
+    let actual = asc_cli::cmd_runs_list(&store, None, None, None, 0, true)
+        .expect("runs list --json renders");
     let _ = fs::remove_dir_all(&root);
 
     let golden = golden_path();
@@ -112,4 +116,96 @@ fn golden_parses_and_round_trips() {
     let mut sorted = ids.clone();
     sorted.sort_by(|a, b| b.cmp(a));
     assert_eq!(ids, sorted, "newest first");
+}
+
+/// Registry torture test: two recorders (separate `RunStore` handles,
+/// like two `mtasc` processes sharing one `--runs-dir`) append to
+/// `index.jsonl` while a reader paginates the listing and an
+/// [`IndexWatcher`] tails it incrementally. Torn and garbage lines must
+/// be skipped, never panicked on, and no finished run may be dropped.
+#[test]
+fn concurrent_recorders_never_corrupt_the_listing() {
+    const WRITERS: usize = 2;
+    const RUNS_PER_WRITER: usize = 40;
+    let root = std::env::temp_dir().join(format!("mtasc_runs_torture_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    let store = RunStore::open(&root).unwrap();
+
+    let barrier = Arc::new(Barrier::new(WRITERS + 2));
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let root = root.clone();
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                let store = RunStore::open(&root).unwrap();
+                barrier.wait();
+                let mut ids = Vec::new();
+                for i in 0..RUNS_PER_WRITER {
+                    let meta = RunMeta::begin(
+                        "run",
+                        &format!("w{w}-{i}.asc"),
+                        format!("fnv1a64:{:016x}", (w << 8) | i),
+                        "pes=16 threads=16 arity=4 w16 b=2 r=4 rr".into(),
+                        16,
+                    );
+                    let handle = store.begin(meta).unwrap();
+                    ids.push(handle.id().to_string());
+                    handle.finish_ok(i as u64 + 1, i as u64).unwrap();
+                }
+                ids
+            })
+        })
+        .collect();
+
+    // the reader paginates (as the CLI and the HTTP listing do) and tails
+    // incrementally (as the server's watcher does) mid-write
+    let reader = thread::spawn({
+        let root = root.clone();
+        let barrier = Arc::clone(&barrier);
+        move || {
+            let store = RunStore::open(&root).unwrap();
+            let mut watcher = IndexWatcher::new(&root);
+            barrier.wait();
+            for _ in 0..60 {
+                let page = asc_cli::cmd_runs_list(&store, None, None, Some(7), 3, true)
+                    .expect("listing survives concurrent appends");
+                asc::core::obs::Json::parse(&page).expect("listing is always valid JSON");
+                let (snapshot, _skipped) =
+                    watcher.poll().expect("incremental tail survives concurrent appends");
+                let ids: Vec<&str> = snapshot.iter().map(|m| m.id.as_str()).collect();
+                let mut sorted = ids.clone();
+                sorted.sort_by(|a, b| b.cmp(a));
+                assert_eq!(ids, sorted, "watcher snapshots stay newest-first");
+            }
+        }
+    });
+
+    barrier.wait();
+    let expected: BTreeSet<String> = writers.into_iter().flat_map(|w| w.join().unwrap()).collect();
+    reader.join().unwrap();
+
+    // interleave registry damage: a malformed line and a torn tail
+    let mut index = fs::OpenOptions::new().append(true).open(root.join(INDEX_FILE)).unwrap();
+    index.write_all(b"{\"schema\":\"mtasc.run_meta.v1\", GARBAGE\n").unwrap();
+    index.write_all(b"{\"schema\":\"mtasc.run_meta.v1\",\"id\":\"01TORN").unwrap();
+    drop(index);
+
+    let (metas, skipped) = store.list().unwrap();
+    assert!(skipped >= 1, "the malformed line is counted, not silently eaten");
+    let listed: BTreeSet<String> = metas.iter().map(|m| m.id.clone()).collect();
+    assert_eq!(listed, expected, "every recorded run survives");
+    assert!(
+        metas.iter().all(|m| m.status == RunStatus::Ok),
+        "every finish line supersedes its begin line"
+    );
+
+    // a fresh watcher sees exactly what a full list sees
+    let mut watcher = IndexWatcher::new(&root);
+    let (snapshot, watcher_skipped) = watcher.poll().unwrap();
+    assert_eq!(
+        snapshot.iter().map(|m| m.id.as_str()).collect::<Vec<_>>(),
+        metas.iter().map(|m| m.id.as_str()).collect::<Vec<_>>(),
+    );
+    assert!(watcher_skipped >= 1);
+    let _ = fs::remove_dir_all(&root);
 }
